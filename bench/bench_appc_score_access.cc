@@ -1,0 +1,20 @@
+// Appendix C companion experiment (no figure in the paper): the same
+// K-sweep as Figure 3(a)/(d) but under score-based access, exercising the
+// corner bound (36) and the tight bound (40) with the closed form (41).
+#include "bench_util.h"
+
+int main() {
+  using namespace prj::bench;
+  std::vector<std::string> labels;
+  std::vector<CellConfig> configs;
+  for (int k : {1, 10, 50}) {
+    CellConfig c;
+    c.k = k;
+    c.kind = prj::AccessKind::kScore;
+    labels.push_back("K=" + std::to_string(k));
+    configs.push_back(c);
+  }
+  RunSweep("Appendix C: sumDepths vs K (score-based access)",
+           "Appendix C: CPU vs K (score-based access)", "K", labels, configs);
+  return 0;
+}

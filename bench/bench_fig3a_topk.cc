@@ -1,0 +1,20 @@
+// Figure 3(a) + 3(d): sumDepths and total CPU time vs. the number of top
+// results K in {1, 10, 50}, other parameters at the paper's defaults
+// (d=2, rho=50, skew=1, n=2), averaged over ten synthetic data sets.
+#include "bench_util.h"
+
+int main() {
+  using namespace prj::bench;
+  const std::vector<int> ks = {1, 10, 50};
+  std::vector<std::string> labels;
+  std::vector<CellConfig> configs;
+  for (int k : ks) {
+    CellConfig c;
+    c.k = k;
+    labels.push_back("K=" + std::to_string(k));
+    configs.push_back(c);
+  }
+  RunSweep("Figure 3(a): sumDepths vs K", "Figure 3(d): CPU vs K", "K",
+           labels, configs);
+  return 0;
+}

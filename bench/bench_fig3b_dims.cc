@@ -1,0 +1,24 @@
+// Figure 3(b) + 3(e): sumDepths and CPU vs. the dimensionality d of the
+// feature space, d in {1, 2, 4, 8, 16}; defaults otherwise.
+//
+// Optional argument: tuples per relation (default: the repository default
+// in bench_util.h; 0 = Appendix D.1 unit-volume mode).
+#include <cstdlib>
+
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace prj::bench;
+  std::vector<std::string> labels;
+  std::vector<CellConfig> configs;
+  for (int d : {1, 2, 4, 8, 16}) {
+    CellConfig c;
+    c.dim = d;
+    if (argc > 1) c.count = std::atoi(argv[1]);
+    labels.push_back("d=" + std::to_string(d));
+    configs.push_back(c);
+  }
+  RunSweep("Figure 3(b): sumDepths vs d", "Figure 3(e): CPU vs d", "d",
+           labels, configs);
+  return 0;
+}

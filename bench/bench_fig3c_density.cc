@@ -1,0 +1,18 @@
+// Figure 3(c) + 3(f): sumDepths and CPU vs. the tuple density rho
+// (tuples per volume unit), rho in {20, 50, 100, 200}; defaults otherwise.
+#include "bench_util.h"
+
+int main() {
+  using namespace prj::bench;
+  std::vector<std::string> labels;
+  std::vector<CellConfig> configs;
+  for (int rho : {20, 50, 100, 200}) {
+    CellConfig c;
+    c.density = rho;
+    labels.push_back("rho=" + std::to_string(rho));
+    configs.push_back(c);
+  }
+  RunSweep("Figure 3(c): sumDepths vs density", "Figure 3(f): CPU vs density",
+           "rho", labels, configs);
+  return 0;
+}

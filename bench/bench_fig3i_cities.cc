@@ -1,0 +1,43 @@
+// Figure 3(i) + 3(l): the real-data experiment -- hotels, restaurants and
+// theaters in five American cities (simulated per Appendix D.2
+// substitution; see DESIGN.md), n=3, d=2, K=10, distance-based access from
+// a landmark query point.
+#include "bench_util.h"
+#include "workload/cities.h"
+
+int main() {
+  using namespace prj;
+  using namespace prj::bench;
+
+  std::vector<std::string> algo_names;
+  for (const auto& p : AllPresets()) algo_names.push_back(p.name);
+  std::vector<std::string> labels;
+  std::vector<std::vector<std::string>> depth_cells, cpu_cells;
+
+  for (const std::string& code : CityCodes()) {
+    const CityDataset city = MakeCityDataset(code);
+    CellConfig config;
+    config.n = 3;
+    config.k = 10;
+    // The paper's real-data query weights proximity in km; soften the
+    // distance penalties so a ~1 km walk is acceptable.
+    config.wq = 0.5;
+    config.wmu = 0.5;
+    labels.push_back(code);
+    std::vector<std::string> drow, crow;
+    for (const auto& preset : AllPresets()) {
+      const CellResult r =
+          RunFixedInstance(city.relations, city.query, config, preset);
+      drow.push_back(FormatDepths(r));
+      crow.push_back(FormatCpu(r));
+    }
+    depth_cells.push_back(std::move(drow));
+    cpu_cells.push_back(std::move(crow));
+  }
+  PrintTable("Figure 3(i): sumDepths on real data sets", "city", labels,
+             algo_names, depth_cells);
+  PrintTable("Figure 3(l): CPU on real data sets  [total seconds (share in "
+             "updateBound)]",
+             "city", labels, algo_names, cpu_cells);
+  return 0;
+}

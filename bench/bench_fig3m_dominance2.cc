@@ -1,0 +1,38 @@
+// Figure 3(m): total CPU time of TBRR/TBPA for n = 2 as a function of the
+// dominance period in {1, 2, 4, 8, 12, 16, inf}; inf disables the
+// dominance test. Cells show total seconds with the shares spent in
+// updateBound (b) and in the dominance LPs (d) -- the paper's stacked bars.
+#include "bench_util.h"
+
+int main() {
+  using namespace prj::bench;
+  const std::vector<int> periods = {1, 2, 4, 8, 12, 16, 0};  // 0 == inf
+  const std::vector<prj::AlgorithmPreset> algos = {prj::kTBRR, prj::kTBPA};
+  // Two solver regimes: the paper's off-the-shelf QP (where skipping
+  // dominated partials saves real work) and our closed-form water-filling
+  // (so cheap that the dominance LPs rarely pay off; see EXPERIMENTS.md).
+  for (bool generic_qp : {true, false}) {
+    std::vector<std::string> labels;
+    std::vector<std::vector<std::string>> cells;
+    std::vector<std::string> algo_names = {"TBRR", "TBPA"};
+    for (int period : periods) {
+      CellConfig c;
+      c.n = 2;
+      c.dominance_period = period;
+      c.use_generic_qp = generic_qp;
+      labels.push_back(period == 0 ? "inf" : std::to_string(period));
+      std::vector<std::string> row;
+      for (const auto& preset : algos) {
+        row.push_back(FormatCpuDom(RunSyntheticCell(c, preset)));
+      }
+      cells.push_back(std::move(row));
+    }
+    PrintTable(
+        std::string("Figure 3(m): CPU vs dominance period, n=2, ") +
+            (generic_qp ? "generic QP solver (paper's regime)"
+                        : "water-filling solver") +
+            "  [total seconds (updateBound share / dominance share)]",
+        "period", labels, algo_names, cells);
+  }
+  return 0;
+}

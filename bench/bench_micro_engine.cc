@@ -1,0 +1,59 @@
+// Microbenchmarks (google-benchmark) for full operator runs at the
+// paper's default setting, one per algorithm, plus the per-pull cost of
+// the two bounding schemes.
+#include <benchmark/benchmark.h>
+
+#include "core/engine.h"
+#include "workload/synthetic.h"
+
+namespace prj {
+namespace {
+
+void RunAlgorithm(benchmark::State& state, const AlgorithmPreset& preset,
+                  AccessKind kind) {
+  SyntheticSpec spec;
+  spec.dim = 2;
+  spec.density = 50;
+  spec.count = 4000;
+  spec.seed = 11;
+  const auto rels = GenerateProblem(2, spec);
+  const SumLogEuclideanScoring scoring(1, 1, 1);
+  const Vec q(2, 0.0);
+  ProxRJOptions opts;
+  opts.k = 10;
+  opts.Apply(preset);
+  size_t depths = 0;
+  for (auto _ : state) {
+    ExecStats stats;
+    auto result = RunProxRJ(rels, kind, scoring, q, opts, &stats);
+    benchmark::DoNotOptimize(result);
+    depths = stats.sum_depths;
+  }
+  state.counters["sumDepths"] = static_cast<double>(depths);
+}
+
+void BM_CBRR_Distance(benchmark::State& state) {
+  RunAlgorithm(state, kCBRR, AccessKind::kDistance);
+}
+void BM_CBPA_Distance(benchmark::State& state) {
+  RunAlgorithm(state, kCBPA, AccessKind::kDistance);
+}
+void BM_TBRR_Distance(benchmark::State& state) {
+  RunAlgorithm(state, kTBRR, AccessKind::kDistance);
+}
+void BM_TBPA_Distance(benchmark::State& state) {
+  RunAlgorithm(state, kTBPA, AccessKind::kDistance);
+}
+void BM_TBPA_Score(benchmark::State& state) {
+  RunAlgorithm(state, kTBPA, AccessKind::kScore);
+}
+BENCHMARK(BM_CBRR_Distance);
+BENCHMARK(BM_CBPA_Distance);
+BENCHMARK(BM_TBRR_Distance);
+BENCHMARK(BM_TBPA_Distance);
+BENCHMARK(BM_TBPA_Score);
+
+}  // namespace
+}  // namespace prj
+
+BENCHMARK_MAIN();

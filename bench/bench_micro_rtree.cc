@@ -1,0 +1,88 @@
+// Microbenchmarks (google-benchmark) for the R-tree substrate: insertion,
+// STR bulk loading, k-NN queries, and incremental distance browsing (the
+// engine behind distance-based access sources).
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "index/rtree.h"
+
+namespace prj {
+namespace {
+
+std::vector<RTree::Item> MakeItems(int dim, int count, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<RTree::Item> items;
+  items.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    items.push_back(RTree::Item{rng.UniformInCube(dim, -10, 10), i});
+  }
+  return items;
+}
+
+void BM_RTreeInsert(benchmark::State& state) {
+  const int count = static_cast<int>(state.range(0));
+  const auto items = MakeItems(2, count, 1);
+  for (auto _ : state) {
+    RTree tree(2);
+    for (const auto& it : items) tree.Insert(it.point, it.id);
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetItemsProcessed(state.iterations() * count);
+}
+BENCHMARK(BM_RTreeInsert)->Arg(1000)->Arg(10000);
+
+void BM_RTreeBulkLoad(benchmark::State& state) {
+  const int count = static_cast<int>(state.range(0));
+  const auto items = MakeItems(2, count, 2);
+  for (auto _ : state) {
+    auto copy = items;
+    RTree tree = RTree::BulkLoad(2, std::move(copy));
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetItemsProcessed(state.iterations() * count);
+}
+BENCHMARK(BM_RTreeBulkLoad)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_RTreeNearestK(benchmark::State& state) {
+  const int count = static_cast<int>(state.range(0));
+  const int dim = static_cast<int>(state.range(1));
+  RTree tree = RTree::BulkLoad(dim, MakeItems(dim, count, 3));
+  Rng rng(4);
+  for (auto _ : state) {
+    const Vec q = rng.UniformInCube(dim, -10, 10);
+    benchmark::DoNotOptimize(tree.NearestK(q, 10));
+  }
+}
+BENCHMARK(BM_RTreeNearestK)->Args({10000, 2})->Args({100000, 2})->Args({10000, 8});
+
+void BM_RTreeBrowseDepth100(benchmark::State& state) {
+  // The operator's typical access pattern: stream the first ~100 tuples.
+  const int count = static_cast<int>(state.range(0));
+  RTree tree = RTree::BulkLoad(2, MakeItems(2, count, 5));
+  Rng rng(6);
+  for (auto _ : state) {
+    const Vec q = rng.UniformInCube(2, -5, 5);
+    auto browse = tree.NearestBrowse(q);
+    for (int i = 0; i < 100; ++i) benchmark::DoNotOptimize(browse.Next());
+  }
+}
+BENCHMARK(BM_RTreeBrowseDepth100)->Arg(10000)->Arg(100000);
+
+void BM_RTreeRangeQuery(benchmark::State& state) {
+  const int count = static_cast<int>(state.range(0));
+  RTree tree = RTree::BulkLoad(2, MakeItems(2, count, 7));
+  Rng rng(8);
+  for (auto _ : state) {
+    Vec lo = rng.UniformInCube(2, -10, 8);
+    Vec hi = lo;
+    hi[0] += 2.0;
+    hi[1] += 2.0;
+    benchmark::DoNotOptimize(tree.RangeQuery(Rect(lo, hi)));
+  }
+}
+BENCHMARK(BM_RTreeRangeQuery)->Arg(10000)->Arg(100000);
+
+}  // namespace
+}  // namespace prj
+
+BENCHMARK_MAIN();

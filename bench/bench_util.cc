@@ -1,0 +1,157 @@
+#include "bench_util.h"
+
+#include <cstdio>
+
+namespace prj {
+namespace bench {
+namespace {
+
+void Accumulate(CellResult* acc, const ExecStats& stats) {
+  if (!stats.completed) {
+    ++acc->dnf;
+    return;
+  }
+  acc->sum_depths += static_cast<double>(stats.sum_depths);
+  acc->total_seconds += stats.total_seconds;
+  acc->bound_seconds += stats.bound_seconds;
+  acc->dominance_seconds += stats.dominance_seconds;
+  acc->combinations += static_cast<double>(stats.combinations_formed);
+  ++acc->runs;
+}
+
+void Finalize(CellResult* acc) {
+  if (acc->runs == 0) return;
+  const double inv = 1.0 / acc->runs;
+  acc->sum_depths *= inv;
+  acc->total_seconds *= inv;
+  acc->bound_seconds *= inv;
+  acc->dominance_seconds *= inv;
+  acc->combinations *= inv;
+}
+
+ProxRJOptions MakeOptions(const CellConfig& config,
+                          const AlgorithmPreset& preset) {
+  ProxRJOptions opts;
+  opts.k = config.k;
+  opts.Apply(preset);
+  opts.time_budget_seconds = config.time_budget_seconds;
+  opts.dominance_period = config.dominance_period;
+  opts.bound_update_period = config.bound_update_period;
+  opts.use_generic_qp = config.use_generic_qp;
+  return opts;
+}
+
+}  // namespace
+
+CellResult RunSyntheticCell(const CellConfig& config,
+                            const AlgorithmPreset& preset) {
+  CellResult acc;
+  const SumLogEuclideanScoring scoring(config.ws, config.wq, config.wmu);
+  for (int s = 0; s < config.seeds; ++s) {
+    SyntheticSpec spec;
+    spec.dim = config.dim;
+    spec.density = config.density;
+    spec.count = config.count;
+    spec.seed = config.seed_base + static_cast<uint64_t>(s);
+    const auto rels = GenerateProblem(config.n, spec, config.skew);
+    const Vec q(config.dim, 0.0);
+    ExecStats stats;
+    auto result = RunProxRJ(rels, config.kind, scoring, q,
+                            MakeOptions(config, preset), &stats);
+    PRJ_CHECK(result.ok()) << result.status().ToString();
+    Accumulate(&acc, stats);
+  }
+  Finalize(&acc);
+  return acc;
+}
+
+CellResult RunFixedInstance(const std::vector<Relation>& relations,
+                            const Vec& query, const CellConfig& config,
+                            const AlgorithmPreset& preset) {
+  CellResult acc;
+  const SumLogEuclideanScoring scoring(config.ws, config.wq, config.wmu);
+  ExecStats stats;
+  auto result = RunProxRJ(relations, config.kind, scoring, query,
+                          MakeOptions(config, preset), &stats);
+  PRJ_CHECK(result.ok()) << result.status().ToString();
+  Accumulate(&acc, stats);
+  Finalize(&acc);
+  return acc;
+}
+
+const std::vector<AlgorithmPreset>& AllPresets() {
+  static const std::vector<AlgorithmPreset> presets = {kCBRR, kCBPA, kTBRR,
+                                                       kTBPA};
+  return presets;
+}
+
+std::string FormatDepths(const CellResult& r) {
+  char buf[64];
+  if (r.runs == 0) return "DNF";
+  if (r.dnf > 0) {
+    std::snprintf(buf, sizeof(buf), "%.1f(%dDNF)", r.sum_depths, r.dnf);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f", r.sum_depths);
+  }
+  return buf;
+}
+
+std::string FormatCpu(const CellResult& r) {
+  char buf[64];
+  if (r.runs == 0) return "DNF";
+  const double pct =
+      r.total_seconds > 0 ? 100.0 * r.bound_seconds / r.total_seconds : 0.0;
+  std::snprintf(buf, sizeof(buf), "%.4fs(%2.0f%%)", r.total_seconds, pct);
+  return buf;
+}
+
+std::string FormatCpuDom(const CellResult& r) {
+  char buf[80];
+  if (r.runs == 0) return "DNF";
+  const double bound_pct =
+      r.total_seconds > 0 ? 100.0 * r.bound_seconds / r.total_seconds : 0.0;
+  const double dom_pct =
+      r.total_seconds > 0 ? 100.0 * r.dominance_seconds / r.total_seconds : 0.0;
+  std::snprintf(buf, sizeof(buf), "%.4fs(b%2.0f%%/d%2.0f%%)", r.total_seconds,
+                bound_pct, dom_pct);
+  return buf;
+}
+
+void RunSweep(const std::string& fig_depths, const std::string& fig_cpu,
+              const std::string& param_name,
+              const std::vector<std::string>& values,
+              const std::vector<CellConfig>& configs) {
+  PRJ_CHECK_EQ(values.size(), configs.size());
+  std::vector<std::string> algo_names;
+  for (const auto& p : AllPresets()) algo_names.push_back(p.name);
+  std::vector<std::vector<std::string>> depth_cells(values.size());
+  std::vector<std::vector<std::string>> cpu_cells(values.size());
+  for (size_t v = 0; v < values.size(); ++v) {
+    for (const auto& preset : AllPresets()) {
+      const CellResult r = RunSyntheticCell(configs[v], preset);
+      depth_cells[v].push_back(FormatDepths(r));
+      cpu_cells[v].push_back(FormatCpu(r));
+    }
+  }
+  PrintTable(fig_depths, param_name, values, algo_names, depth_cells);
+  PrintTable(fig_cpu + "  [total seconds (share in updateBound)]", param_name,
+             values, algo_names, cpu_cells);
+}
+
+void PrintTable(const std::string& title, const std::string& param_name,
+                const std::vector<std::string>& param_values,
+                const std::vector<std::string>& algo_names,
+                const std::vector<std::vector<std::string>>& cells) {
+  std::printf("\n== %s ==\n", title.c_str());
+  std::printf("%-10s", param_name.c_str());
+  for (const auto& name : algo_names) std::printf("  %16s", name.c_str());
+  std::printf("\n");
+  for (size_t r = 0; r < param_values.size(); ++r) {
+    std::printf("%-10s", param_values[r].c_str());
+    for (const auto& cell : cells[r]) std::printf("  %16s", cell.c_str());
+    std::printf("\n");
+  }
+}
+
+}  // namespace bench
+}  // namespace prj

@@ -1,0 +1,48 @@
+// Pipelined consumption: ProxRJStream emits one certified combination per
+// Next() call, reading inputs lazily. This is how the operator would sit
+// inside a query plan (compare HRJN's GetNext interface). The example
+// shows input consumption growing with each emitted result -- stop early,
+// pay less.
+//
+//   $ ./examples/streaming_results
+#include <cstdio>
+
+#include "core/stream.h"
+#include "workload/synthetic.h"
+
+int main() {
+  using namespace prj;
+
+  SyntheticSpec spec;
+  spec.dim = 2;
+  spec.density = 50;
+  spec.count = 2000;
+  spec.seed = 2024;
+  const auto relations = GenerateProblem(2, spec);
+  const Vec query(2, 0.0);
+  const SumLogEuclideanScoring scoring(1.0, 1.0, 1.0);
+
+  ProxRJStreamOptions options;
+  options.Apply(kTBPA);
+  ProxRJStream stream(MakeSources(relations, AccessKind::kDistance, query),
+                      &scoring, query, options);
+  const Status st = stream.Open();
+  if (!st.ok()) {
+    std::fprintf(stderr, "Open failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  std::printf("rank  score      tuples            input consumed so far\n");
+  for (int rank = 1; rank <= 15; ++rank) {
+    auto rc = stream.Next();
+    if (!rc) break;
+    std::printf("%4d  %9.4f  (%4lld, %4lld)     %zu of %zu tuples\n", rank,
+                rc->score, static_cast<long long>(rc->tuples[0].id),
+                static_cast<long long>(rc->tuples[1].id), stream.SumDepths(),
+                2 * static_cast<size_t>(spec.count));
+  }
+  std::printf(
+      "\nThe stream certified each result against the tight bound before\n"
+      "emitting it; consuming fewer results would have read fewer tuples.\n");
+  return 0;
+}

@@ -1,0 +1,38 @@
+#include "access/relation.h"
+
+#include <unordered_set>
+
+namespace prj {
+
+Status Relation::Validate() const {
+  if (dim_ < 1 || dim_ > kMaxDim) {
+    return Status::InvalidArgument("relation '" + name_ + "': dim " +
+                                   std::to_string(dim_) + " out of range");
+  }
+  if (sigma_max_ <= 0.0) {
+    return Status::InvalidArgument("relation '" + name_ +
+                                   "': sigma_max must be positive");
+  }
+  std::unordered_set<int64_t> ids;
+  for (const Tuple& t : tuples_) {
+    if (t.x.dim() != dim_) {
+      return Status::InvalidArgument(
+          "relation '" + name_ + "': tuple " + std::to_string(t.id) +
+          " has dim " + std::to_string(t.x.dim()) + ", expected " +
+          std::to_string(dim_));
+    }
+    if (!(t.score > 0.0) || t.score > sigma_max_) {
+      return Status::InvalidArgument(
+          "relation '" + name_ + "': tuple " + std::to_string(t.id) +
+          " score " + std::to_string(t.score) + " outside (0, sigma_max]");
+    }
+    if (!ids.insert(t.id).second) {
+      return Status::InvalidArgument("relation '" + name_ +
+                                     "': duplicate tuple id " +
+                                     std::to_string(t.id));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace prj

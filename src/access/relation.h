@@ -1,0 +1,61 @@
+// Relations and tuples: the inputs of the proximity rank join problem.
+//
+// Each tuple carries a real-valued feature vector x in R^d and a score
+// sigma (paper §2). A Relation is the service-side collection; the join
+// operator itself never sees it directly -- it only consumes AccessSource
+// streams (source.h) sorted by distance or score.
+#ifndef PRJ_ACCESS_RELATION_H_
+#define PRJ_ACCESS_RELATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/vec.h"
+
+namespace prj {
+
+/// One scored, located object.
+struct Tuple {
+  int64_t id = -1;     ///< provider-assigned identifier, unique per relation
+  double score = 0.0;  ///< sigma(tau), must lie in (0, sigma_max]
+  Vec x;               ///< feature vector x(tau)
+};
+
+/// A named collection of tuples plus the score ceiling sigma_max that
+/// distance-based bounding needs a priori (paper eq. (4)-(5)).
+class Relation {
+ public:
+  Relation() = default;
+  Relation(std::string name, int dim, double sigma_max = 1.0)
+      : name_(std::move(name)), dim_(dim), sigma_max_(sigma_max) {}
+
+  const std::string& name() const { return name_; }
+  int dim() const { return dim_; }
+  double sigma_max() const { return sigma_max_; }
+  size_t size() const { return tuples_.size(); }
+  bool empty() const { return tuples_.empty(); }
+
+  const std::vector<Tuple>& tuples() const { return tuples_; }
+  const Tuple& tuple(size_t i) const { return tuples_[i]; }
+
+  void Add(Tuple t) { tuples_.push_back(std::move(t)); }
+  void Add(int64_t id, double score, Vec x) {
+    tuples_.push_back(Tuple{id, score, std::move(x)});
+  }
+
+  /// Checks structural soundness: consistent dimensions, scores in
+  /// (0, sigma_max], unique ids. Returns the first violation found.
+  Status Validate() const;
+
+ private:
+  std::string name_;
+  int dim_ = 0;
+  double sigma_max_ = 1.0;
+  std::vector<Tuple> tuples_;
+};
+
+}  // namespace prj
+
+#endif  // PRJ_ACCESS_RELATION_H_

@@ -1,0 +1,138 @@
+#include "access/source.h"
+
+#include <algorithm>
+
+namespace prj {
+
+SortedDistanceSource::SortedDistanceSource(const Relation& relation, Vec query)
+    : name_(relation.name()),
+      dim_(relation.dim()),
+      sigma_max_(relation.sigma_max()),
+      sorted_(relation.tuples()) {
+  PRJ_CHECK_EQ(query.dim(), relation.dim());
+  std::sort(sorted_.begin(), sorted_.end(), [&](const Tuple& a, const Tuple& b) {
+    const double da = a.x.SquaredDistance(query);
+    const double db = b.x.SquaredDistance(query);
+    if (da != db) return da < db;
+    return a.id < b.id;
+  });
+}
+
+std::optional<Tuple> SortedDistanceSource::Next() {
+  if (cursor_ >= sorted_.size()) return std::nullopt;
+  return sorted_[cursor_++];
+}
+
+RTreeDistanceSource::RTreeDistanceSource(const Relation& relation, Vec query)
+    : name_(relation.name()),
+      dim_(relation.dim()),
+      sigma_max_(relation.sigma_max()),
+      tuples_(relation.tuples()),
+      tree_(relation.dim() == 0 ? 1 : relation.dim()) {
+  PRJ_CHECK_EQ(query.dim(), relation.dim());
+  std::vector<RTree::Item> items;
+  items.reserve(tuples_.size());
+  for (size_t i = 0; i < tuples_.size(); ++i) {
+    items.push_back(RTree::Item{tuples_[i].x, static_cast<int64_t>(i)});
+  }
+  tree_ = RTree::BulkLoad(relation.dim(), std::move(items));
+  browse_.emplace(tree_.NearestBrowse(query));
+}
+
+std::optional<Tuple> RTreeDistanceSource::Next() {
+  auto item = browse_->Next();
+  if (!item) return std::nullopt;
+  ++depth_;
+  return tuples_[static_cast<size_t>(item->id)];
+}
+
+ScoreSource::ScoreSource(const Relation& relation)
+    : name_(relation.name()),
+      dim_(relation.dim()),
+      sigma_max_(relation.sigma_max()),
+      sorted_(relation.tuples()) {
+  std::sort(sorted_.begin(), sorted_.end(), [](const Tuple& a, const Tuple& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.id < b.id;
+  });
+}
+
+std::optional<Tuple> ScoreSource::Next() {
+  if (cursor_ >= sorted_.size()) return std::nullopt;
+  return sorted_[cursor_++];
+}
+
+IndexedRelation::IndexedRelation(const Relation& relation)
+    : name_(relation.name()),
+      dim_(relation.dim()),
+      sigma_max_(relation.sigma_max()),
+      tuples_(relation.tuples()),
+      tree_(relation.dim() == 0 ? 1 : relation.dim()) {
+  std::vector<RTree::Item> items;
+  items.reserve(tuples_.size());
+  for (size_t i = 0; i < tuples_.size(); ++i) {
+    items.push_back(RTree::Item{tuples_[i].x, static_cast<int64_t>(i)});
+  }
+  tree_ = RTree::BulkLoad(relation.dim(), std::move(items));
+}
+
+std::shared_ptr<const IndexedRelation> IndexedRelation::Build(
+    const Relation& relation) {
+  PRJ_CHECK_GE(relation.dim(), 1);
+  return std::shared_ptr<const IndexedRelation>(new IndexedRelation(relation));
+}
+
+SharedIndexDistanceSource::SharedIndexDistanceSource(
+    std::shared_ptr<const IndexedRelation> index, Vec query)
+    : index_(std::move(index)) {
+  PRJ_CHECK_EQ(query.dim(), index_->dim());
+  browse_.emplace(index_->tree().NearestBrowse(query));
+}
+
+std::optional<Tuple> SharedIndexDistanceSource::Next() {
+  auto item = browse_->Next();
+  if (!item) return std::nullopt;
+  ++depth_;
+  return index_->tuples()[static_cast<size_t>(item->id)];
+}
+
+BlockedSource::BlockedSource(std::unique_ptr<AccessSource> inner,
+                             size_t block_size)
+    : inner_(std::move(inner)), block_size_(block_size) {
+  PRJ_CHECK_GE(block_size_, 1u);
+}
+
+std::optional<Tuple> BlockedSource::Next() {
+  if (buffer_pos_ >= buffer_.size()) {
+    buffer_.clear();
+    buffer_pos_ = 0;
+    for (size_t i = 0; i < block_size_; ++i) {
+      auto t = inner_->Next();
+      if (!t) break;
+      buffer_.push_back(std::move(*t));
+    }
+    if (buffer_.empty()) return std::nullopt;
+  }
+  return buffer_[buffer_pos_++];
+}
+
+std::vector<std::unique_ptr<AccessSource>> MakeSources(
+    const std::vector<Relation>& relations, AccessKind kind, const Vec& query,
+    bool use_rtree) {
+  std::vector<std::unique_ptr<AccessSource>> sources;
+  sources.reserve(relations.size());
+  for (const Relation& r : relations) {
+    if (kind == AccessKind::kDistance) {
+      if (use_rtree) {
+        sources.push_back(std::make_unique<RTreeDistanceSource>(r, query));
+      } else {
+        sources.push_back(std::make_unique<SortedDistanceSource>(r, query));
+      }
+    } else {
+      sources.push_back(std::make_unique<ScoreSource>(r));
+    }
+  }
+  return sources;
+}
+
+}  // namespace prj

@@ -1,0 +1,188 @@
+// Sequential access to relations (paper Definition 2.1).
+//
+// The operator may only consume its inputs as streams, either
+//   A. distance-based: increasing delta(x(tau), q), or
+//   B. score-based:    decreasing sigma(tau),
+// and pays one unit of the sumDepths cost metric per delivered tuple.
+// Sources count their own depth so the engine's accounting cannot drift
+// from what was actually consumed.
+//
+// Two distance implementations are provided: a presorted snapshot
+// (SortedDistanceSource) and an R-tree-backed incremental browser
+// (RTreeDistanceSource) that models a real spatial service answering
+// nearest-first without materializing the order up front. They deliver
+// identical streams (tested) -- pick whichever fits the deployment.
+#ifndef PRJ_ACCESS_SOURCE_H_
+#define PRJ_ACCESS_SOURCE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "access/relation.h"
+#include "common/vec.h"
+#include "index/rtree.h"
+
+namespace prj {
+
+enum class AccessKind { kDistance, kScore };
+
+/// Streaming view of one relation; not thread-safe.
+class AccessSource {
+ public:
+  virtual ~AccessSource() = default;
+
+  /// Delivers the next tuple in access order, or nullopt when exhausted.
+  virtual std::optional<Tuple> Next() = 0;
+
+  virtual AccessKind kind() const = 0;
+  virtual const std::string& name() const = 0;
+  /// Feature-space dimensionality of the underlying relation.
+  virtual int dim() const = 0;
+  /// Score ceiling of the underlying relation (known a priori).
+  virtual double sigma_max() const = 0;
+  /// Number of tuples delivered so far (the depth p_i of the paper).
+  virtual size_t depth() const = 0;
+};
+
+/// Distance-based access over a presorted snapshot of the relation.
+/// Ties in distance are broken by tuple id for determinism.
+class SortedDistanceSource : public AccessSource {
+ public:
+  SortedDistanceSource(const Relation& relation, Vec query);
+
+  std::optional<Tuple> Next() override;
+  AccessKind kind() const override { return AccessKind::kDistance; }
+  const std::string& name() const override { return name_; }
+  int dim() const override { return dim_; }
+  double sigma_max() const override { return sigma_max_; }
+  size_t depth() const override { return cursor_; }
+
+ private:
+  std::string name_;
+  int dim_;
+  double sigma_max_;
+  std::vector<Tuple> sorted_;
+  size_t cursor_ = 0;
+};
+
+/// Distance-based access backed by an R-tree using incremental
+/// distance browsing (Hjaltason & Samet); equivalent stream to
+/// SortedDistanceSource but with index-driven, on-demand ordering.
+class RTreeDistanceSource : public AccessSource {
+ public:
+  RTreeDistanceSource(const Relation& relation, Vec query);
+
+  std::optional<Tuple> Next() override;
+  AccessKind kind() const override { return AccessKind::kDistance; }
+  const std::string& name() const override { return name_; }
+  int dim() const override { return dim_; }
+  double sigma_max() const override { return sigma_max_; }
+  size_t depth() const override { return depth_; }
+
+ private:
+  std::string name_;
+  int dim_;
+  double sigma_max_;
+  std::vector<Tuple> tuples_;  // payload lookup by position
+  RTree tree_;
+  std::optional<RTree::NearestIterator> browse_;
+  size_t depth_ = 0;
+};
+
+/// Score-based access: decreasing sigma, ties by tuple id.
+class ScoreSource : public AccessSource {
+ public:
+  explicit ScoreSource(const Relation& relation);
+
+  std::optional<Tuple> Next() override;
+  AccessKind kind() const override { return AccessKind::kScore; }
+  const std::string& name() const override { return name_; }
+  int dim() const override { return dim_; }
+  double sigma_max() const override { return sigma_max_; }
+  size_t depth() const override { return cursor_; }
+
+ private:
+  std::string name_;
+  int dim_;
+  double sigma_max_;
+  std::vector<Tuple> sorted_;
+  size_t cursor_ = 0;
+};
+
+/// A relation with a prebuilt spatial index, shareable across queries: a
+/// distance-access service builds its R-tree once and answers every query
+/// with a fresh incremental browse over the same structure.
+class IndexedRelation {
+ public:
+  static std::shared_ptr<const IndexedRelation> Build(const Relation& relation);
+
+  const std::string& name() const { return name_; }
+  int dim() const { return dim_; }
+  double sigma_max() const { return sigma_max_; }
+  const std::vector<Tuple>& tuples() const { return tuples_; }
+  const RTree& tree() const { return tree_; }
+
+ private:
+  IndexedRelation(const Relation& relation);
+
+  std::string name_;
+  int dim_;
+  double sigma_max_;
+  std::vector<Tuple> tuples_;
+  RTree tree_;
+};
+
+/// Distance-based access over a shared IndexedRelation. Construction is
+/// O(1) apart from seeding the browse iterator; the index is reused.
+class SharedIndexDistanceSource : public AccessSource {
+ public:
+  SharedIndexDistanceSource(std::shared_ptr<const IndexedRelation> index,
+                            Vec query);
+
+  std::optional<Tuple> Next() override;
+  AccessKind kind() const override { return AccessKind::kDistance; }
+  const std::string& name() const override { return index_->name(); }
+  int dim() const override { return index_->dim(); }
+  double sigma_max() const override { return index_->sigma_max(); }
+  size_t depth() const override { return depth_; }
+
+ private:
+  std::shared_ptr<const IndexedRelation> index_;
+  std::optional<RTree::NearestIterator> browse_;
+  size_t depth_ = 0;
+};
+
+/// Decorator that fetches from the inner source in blocks of `block_size`,
+/// modelling paged remote service invocations (paper §4.2 notes that
+/// practical systems retrieve blocks of tuples). depth() reports tuples
+/// *fetched from the service*, i.e. whole blocks, which is what a paged
+/// deployment would pay for.
+class BlockedSource : public AccessSource {
+ public:
+  BlockedSource(std::unique_ptr<AccessSource> inner, size_t block_size);
+
+  std::optional<Tuple> Next() override;
+  AccessKind kind() const override { return inner_->kind(); }
+  const std::string& name() const override { return inner_->name(); }
+  int dim() const override { return inner_->dim(); }
+  double sigma_max() const override { return inner_->sigma_max(); }
+  size_t depth() const override { return inner_->depth(); }
+
+ private:
+  std::unique_ptr<AccessSource> inner_;
+  size_t block_size_;
+  std::vector<Tuple> buffer_;
+  size_t buffer_pos_ = 0;
+};
+
+/// Builds one source per relation, all with the same access kind.
+/// `use_rtree` selects the index-backed distance implementation.
+std::vector<std::unique_ptr<AccessSource>> MakeSources(
+    const std::vector<Relation>& relations, AccessKind kind, const Vec& query,
+    bool use_rtree = false);
+
+}  // namespace prj
+
+#endif  // PRJ_ACCESS_SOURCE_H_

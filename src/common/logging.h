@@ -1,0 +1,65 @@
+// Lightweight assertion/logging macros in the spirit of the CHECK family
+// used by production database engines. A failed PRJ_CHECK aborts the
+// process after printing the failing condition and location; PRJ_DCHECK
+// compiles away in NDEBUG builds.
+#ifndef PRJ_COMMON_LOGGING_H_
+#define PRJ_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace prj {
+namespace internal {
+
+// Accumulates a streamed message and aborts on destruction.
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* cond) {
+    stream_ << file << ":" << line << " check failed: " << cond << " ";
+  }
+  [[noreturn]] ~CheckFailure() {
+    std::fprintf(stderr, "%s\n", stream_.str().c_str());
+    std::fflush(stderr);
+    std::abort();
+  }
+  template <typename T>
+  CheckFailure& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace prj
+
+#define PRJ_CHECK(cond)                                           \
+  if (cond) {                                                     \
+  } else                                                          \
+    ::prj::internal::CheckFailure(__FILE__, __LINE__, #cond)
+
+#define PRJ_CHECK_OP(a, op, b) PRJ_CHECK((a)op(b))
+#define PRJ_CHECK_EQ(a, b) PRJ_CHECK_OP(a, ==, b)
+#define PRJ_CHECK_NE(a, b) PRJ_CHECK_OP(a, !=, b)
+#define PRJ_CHECK_LT(a, b) PRJ_CHECK_OP(a, <, b)
+#define PRJ_CHECK_LE(a, b) PRJ_CHECK_OP(a, <=, b)
+#define PRJ_CHECK_GT(a, b) PRJ_CHECK_OP(a, >, b)
+#define PRJ_CHECK_GE(a, b) PRJ_CHECK_OP(a, >=, b)
+
+#ifdef NDEBUG
+#define PRJ_DCHECK(cond) PRJ_CHECK(true)
+#define PRJ_DCHECK_EQ(a, b) PRJ_CHECK(true)
+#define PRJ_DCHECK_LE(a, b) PRJ_CHECK(true)
+#define PRJ_DCHECK_GE(a, b) PRJ_CHECK(true)
+#else
+#define PRJ_DCHECK(cond) PRJ_CHECK(cond)
+#define PRJ_DCHECK_EQ(a, b) PRJ_CHECK_EQ(a, b)
+#define PRJ_DCHECK_LE(a, b) PRJ_CHECK_LE(a, b)
+#define PRJ_DCHECK_GE(a, b) PRJ_CHECK_GE(a, b)
+#endif
+
+#endif  // PRJ_COMMON_LOGGING_H_

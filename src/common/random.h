@@ -1,0 +1,52 @@
+// Deterministic pseudo-random generation used by workloads and tests.
+//
+// We implement xoshiro256** (public-domain algorithm by Blackman & Vigna)
+// rather than relying on std::mt19937 so that generated datasets are
+// bit-identical across standard libraries and platforms; benchmark rows
+// must be reproducible from a seed alone.
+#ifndef PRJ_COMMON_RANDOM_H_
+#define PRJ_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+#include "common/vec.h"
+
+namespace prj {
+
+/// xoshiro256** generator with splitmix64 seeding.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) { Seed(seed); }
+
+  void Seed(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t NextU64();
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n); n must be positive.
+  uint64_t NextBounded(uint64_t n);
+
+  /// Standard normal via Box-Muller.
+  double NextGaussian();
+
+  /// Uniform point in the axis-aligned cube [lo, hi)^dim.
+  Vec UniformInCube(int dim, double lo, double hi);
+
+  /// Point from an isotropic Gaussian centered at `center`.
+  Vec GaussianAround(const Vec& center, double sigma);
+
+ private:
+  uint64_t s_[4];
+  bool has_spare_gaussian_ = false;
+  double spare_gaussian_ = 0.0;
+};
+
+}  // namespace prj
+
+#endif  // PRJ_COMMON_RANDOM_H_

@@ -1,0 +1,44 @@
+// Wall-clock timing utilities for the engine's cost accounting
+// (total time vs. time in updateBound vs. time in dominance tests,
+// as reported in the paper's stacked bar charts, Figure 3(d)-(n)).
+#ifndef PRJ_COMMON_TIMER_H_
+#define PRJ_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace prj {
+
+/// Monotonic stopwatch; Elapsed* report time since construction or Reset.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Adds the lifetime of the scope to *sink (seconds).
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(double* sink) : sink_(sink) {}
+  ~ScopedTimer() { *sink_ += timer_.ElapsedSeconds(); }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  double* sink_;
+  WallTimer timer_;
+};
+
+}  // namespace prj
+
+#endif  // PRJ_COMMON_TIMER_H_

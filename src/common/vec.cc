@@ -1,0 +1,88 @@
+#include "common/vec.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace prj {
+
+Vec& Vec::operator+=(const Vec& o) {
+  PRJ_DCHECK_EQ(dim_, o.dim_);
+  for (int i = 0; i < dim_; ++i) v_[i] += o.v_[i];
+  return *this;
+}
+
+Vec& Vec::operator-=(const Vec& o) {
+  PRJ_DCHECK_EQ(dim_, o.dim_);
+  for (int i = 0; i < dim_; ++i) v_[i] -= o.v_[i];
+  return *this;
+}
+
+Vec& Vec::operator*=(double s) {
+  for (int i = 0; i < dim_; ++i) v_[i] *= s;
+  return *this;
+}
+
+Vec& Vec::operator/=(double s) {
+  for (int i = 0; i < dim_; ++i) v_[i] /= s;
+  return *this;
+}
+
+bool Vec::operator==(const Vec& o) const {
+  if (dim_ != o.dim_) return false;
+  for (int i = 0; i < dim_; ++i) {
+    if (v_[i] != o.v_[i]) return false;
+  }
+  return true;
+}
+
+double Vec::Dot(const Vec& o) const {
+  PRJ_DCHECK_EQ(dim_, o.dim_);
+  double acc = 0.0;
+  for (int i = 0; i < dim_; ++i) acc += v_[i] * o.v_[i];
+  return acc;
+}
+
+double Vec::SquaredDistance(const Vec& o) const {
+  PRJ_DCHECK_EQ(dim_, o.dim_);
+  double acc = 0.0;
+  for (int i = 0; i < dim_; ++i) {
+    const double d = v_[i] - o.v_[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+Vec Vec::Normalized() const {
+  const double n = Norm();
+  PRJ_CHECK_GT(n, 0.0) << "cannot normalize the zero vector";
+  return *this / n;
+}
+
+bool Vec::ApproxEquals(const Vec& o, double tol) const {
+  if (dim_ != o.dim_) return false;
+  for (int i = 0; i < dim_; ++i) {
+    if (std::fabs(v_[i] - o.v_[i]) > tol) return false;
+  }
+  return true;
+}
+
+std::string Vec::ToString() const {
+  std::string s = "[";
+  char buf[32];
+  for (int i = 0; i < dim_; ++i) {
+    std::snprintf(buf, sizeof(buf), "%.6g", v_[i]);
+    if (i > 0) s += ", ";
+    s += buf;
+  }
+  s += "]";
+  return s;
+}
+
+Vec Mean(const std::vector<Vec>& vs) {
+  PRJ_CHECK(!vs.empty());
+  Vec acc(vs[0].dim());
+  for (const Vec& v : vs) acc += v;
+  return acc / static_cast<double>(vs.size());
+}
+
+}  // namespace prj

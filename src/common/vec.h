@@ -1,0 +1,105 @@
+// Fixed-capacity feature vector used throughout the library.
+//
+// The paper evaluates dimensionalities d in {1,2,4,8,16}; tuples carry one
+// such vector each, and hot loops (scoring, bounding) touch millions of
+// them, so we use inline storage instead of heap-allocated std::vector.
+#ifndef PRJ_COMMON_VEC_H_
+#define PRJ_COMMON_VEC_H_
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace prj {
+
+/// Maximum supported feature-space dimensionality (paper max is 16).
+inline constexpr int kMaxDim = 16;
+
+/// A dense real-valued vector of dimension <= kMaxDim with inline storage.
+class Vec {
+ public:
+  Vec() : dim_(0) {}
+  explicit Vec(int dim, double fill = 0.0) : dim_(dim) {
+    PRJ_CHECK(dim >= 0 && dim <= kMaxDim) << "dim=" << dim;
+    for (int i = 0; i < dim_; ++i) v_[i] = fill;
+  }
+  Vec(std::initializer_list<double> init) : dim_(0) {
+    PRJ_CHECK_LE(static_cast<int>(init.size()), kMaxDim);
+    for (double x : init) v_[dim_++] = x;
+  }
+  static Vec FromStd(const std::vector<double>& xs) {
+    PRJ_CHECK_LE(static_cast<int>(xs.size()), kMaxDim);
+    Vec v(static_cast<int>(xs.size()));
+    for (int i = 0; i < v.dim_; ++i) v.v_[i] = xs[static_cast<size_t>(i)];
+    return v;
+  }
+  /// Unit vector along coordinate axis `axis`.
+  static Vec Basis(int dim, int axis) {
+    Vec v(dim);
+    PRJ_CHECK(axis >= 0 && axis < dim);
+    v[axis] = 1.0;
+    return v;
+  }
+
+  int dim() const { return dim_; }
+  bool empty() const { return dim_ == 0; }
+
+  double& operator[](int i) {
+    PRJ_DCHECK(i >= 0 && i < dim_);
+    return v_[i];
+  }
+  double operator[](int i) const {
+    PRJ_DCHECK(i >= 0 && i < dim_);
+    return v_[i];
+  }
+
+  const double* data() const { return v_.data(); }
+  double* data() { return v_.data(); }
+
+  Vec& operator+=(const Vec& o);
+  Vec& operator-=(const Vec& o);
+  Vec& operator*=(double s);
+  Vec& operator/=(double s);
+
+  friend Vec operator+(Vec a, const Vec& b) { return a += b; }
+  friend Vec operator-(Vec a, const Vec& b) { return a -= b; }
+  friend Vec operator*(Vec a, double s) { return a *= s; }
+  friend Vec operator*(double s, Vec a) { return a *= s; }
+  friend Vec operator/(Vec a, double s) { return a /= s; }
+
+  bool operator==(const Vec& o) const;
+  bool operator!=(const Vec& o) const { return !(*this == o); }
+
+  double Dot(const Vec& o) const;
+  double SquaredNorm() const { return Dot(*this); }
+  double Norm() const { return std::sqrt(SquaredNorm()); }
+  double SquaredDistance(const Vec& o) const;
+  double Distance(const Vec& o) const { return std::sqrt(SquaredDistance(o)); }
+
+  /// Returns this vector scaled to unit norm; requires Norm() > 0.
+  Vec Normalized() const;
+
+  /// True if every component differs from `o` by at most `tol`.
+  bool ApproxEquals(const Vec& o, double tol = 1e-9) const;
+
+  std::string ToString() const;
+  std::vector<double> ToStd() const {
+    return std::vector<double>(v_.begin(), v_.begin() + dim_);
+  }
+
+ private:
+  std::array<double, kMaxDim> v_;
+  int dim_;
+};
+
+/// Arithmetic mean of `vs` (all same dimension; `vs` non-empty).
+Vec Mean(const std::vector<Vec>& vs);
+
+}  // namespace prj
+
+#endif  // PRJ_COMMON_VEC_H_

@@ -1,0 +1,74 @@
+// Bounding schemes: upper bounds on the aggregate score of any combination
+// that uses at least one unseen tuple (paper §3). The engine stops once the
+// K-th buffered combination scores at least the bound.
+//
+// Two schemes are provided for each access kind:
+//   * CornerBound      -- the HRJN-style bound (eq. (3)-(5) / (36)-(38));
+//                         cheap but not tight, hence not instance-optimal
+//                         (Theorems 3.1 / C.1).
+//   * TightBound*      -- the paper's contribution (eq. (9) / (40));
+//                         tight, hence instance-optimal with round-robin
+//                         or potential-adaptive pulling.
+//
+// A scheme also exposes per-relation potentials pot_i = max{t_M : i not in M}
+// (§3.3), which drive the potential-adaptive pulling strategy.
+#ifndef PRJ_CORE_BOUNDS_H_
+#define PRJ_CORE_BOUNDS_H_
+
+#include <cstdint>
+
+#include "core/join_state.h"
+#include "core/scoring.h"
+
+namespace prj {
+
+struct BoundStats {
+  uint64_t bound_updates = 0;   ///< calls to OnPull
+  uint64_t qp_solves = 0;       ///< tight-bound optimization problems solved
+  uint64_t lp_solves = 0;       ///< dominance feasibility LPs solved
+  uint64_t partials_total = 0;  ///< partial combinations materialized
+  uint64_t partials_dominated = 0;
+};
+
+class BoundingScheme {
+ public:
+  virtual ~BoundingScheme() = default;
+
+  /// Notifies that a tuple was appended to P_i (JoinState already updated).
+  virtual void OnPull(int i) = 0;
+  /// Notifies that relation i is exhausted.
+  virtual void OnExhausted(int i) = 0;
+
+  /// Current upper bound t on unseen-using combinations.
+  virtual double bound() const = 0;
+  /// pot_i: bound over combinations needing an unseen tuple from R_i.
+  virtual double Potential(int i) const = 0;
+
+  virtual const BoundStats& stats() const = 0;
+};
+
+/// HRJN's corner bound; works with any ScoringFunction and both access
+/// kinds. CBRR/CBPA of the paper == HRJN/HRJN* with this scheme.
+class CornerBound : public BoundingScheme {
+ public:
+  CornerBound(const JoinState* state, const ScoringFunction* scoring);
+
+  void OnPull(int i) override;
+  void OnExhausted(int /*i*/) override {}
+  double bound() const override;
+  double Potential(int i) const override;
+  const BoundStats& stats() const override { return stats_; }
+
+ private:
+  // t_i of eq. (3) / (36): every slot j != i at its best-possible weighted
+  // score, slot i at the best an *unseen* tuple of R_i can reach.
+  double CornerTerm(int i) const;
+
+  const JoinState* state_;
+  const ScoringFunction* scoring_;
+  BoundStats stats_;
+};
+
+}  // namespace prj
+
+#endif  // PRJ_CORE_BOUNDS_H_

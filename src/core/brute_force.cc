@@ -1,0 +1,62 @@
+#include "core/brute_force.h"
+
+#include "core/topk.h"
+
+namespace prj {
+
+std::vector<ResultCombination> BruteForceTopK(
+    const std::vector<Relation>& relations, const ScoringFunction& scoring,
+    const Vec& query, int k) {
+  PRJ_CHECK_GE(k, 1);
+  const int n = static_cast<int>(relations.size());
+  PRJ_CHECK_GE(n, 1);
+  for (const Relation& r : relations) {
+    if (r.empty()) return {};
+  }
+
+  TopKBuffer buffer(static_cast<size_t>(k));
+  std::vector<uint32_t> pos(static_cast<size_t>(n), 0);
+  std::vector<const Vec*> xs(static_cast<size_t>(n));
+  std::vector<double> s(static_cast<size_t>(n));
+  for (;;) {
+    for (int j = 0; j < n; ++j) {
+      xs[static_cast<size_t>(j)] =
+          &relations[static_cast<size_t>(j)].tuple(pos[static_cast<size_t>(j)]).x;
+    }
+    const Vec mu = scoring.Centroid(xs);
+    for (int j = 0; j < n; ++j) {
+      const Tuple& t =
+          relations[static_cast<size_t>(j)].tuple(pos[static_cast<size_t>(j)]);
+      s[static_cast<size_t>(j)] = scoring.ProximityWeightedScore(
+          j, t.score, scoring.Distance(t.x, query), scoring.Distance(t.x, mu));
+    }
+    Combination combo;
+    combo.positions = pos;
+    combo.score = scoring.Aggregate(s);
+    buffer.Offer(std::move(combo));
+
+    int j = 0;
+    for (; j < n; ++j) {
+      if (++pos[static_cast<size_t>(j)] <
+          relations[static_cast<size_t>(j)].size()) {
+        break;
+      }
+      pos[static_cast<size_t>(j)] = 0;
+    }
+    if (j == n) break;
+  }
+
+  std::vector<ResultCombination> out;
+  for (const Combination& c : buffer.SortedDescending()) {
+    ResultCombination rc;
+    rc.score = c.score;
+    for (int j = 0; j < n; ++j) {
+      rc.tuples.push_back(
+          relations[static_cast<size_t>(j)].tuple(c.positions[static_cast<size_t>(j)]));
+    }
+    out.push_back(std::move(rc));
+  }
+  return out;
+}
+
+}  // namespace prj

@@ -1,0 +1,24 @@
+// Exhaustive reference evaluation: scores the entire cross product and
+// returns the top K. Exponential in n -- used as the correctness oracle in
+// tests and to sanity-check benchmark instances, never in production paths.
+#ifndef PRJ_CORE_BRUTE_FORCE_H_
+#define PRJ_CORE_BRUTE_FORCE_H_
+
+#include <vector>
+
+#include "access/relation.h"
+#include "core/engine.h"
+#include "core/scoring.h"
+
+namespace prj {
+
+/// Top-k combinations of the full cross product under `scoring`, ordered by
+/// (score desc, lexicographic member tuple ids asc). Returns fewer than k
+/// when the cross product is smaller; empty if any relation is empty.
+std::vector<ResultCombination> BruteForceTopK(
+    const std::vector<Relation>& relations, const ScoringFunction& scoring,
+    const Vec& query, int k);
+
+}  // namespace prj
+
+#endif  // PRJ_CORE_BRUTE_FORCE_H_

@@ -1,0 +1,59 @@
+#include "core/bounds.h"
+
+#include <limits>
+
+namespace prj {
+
+CornerBound::CornerBound(const JoinState* state, const ScoringFunction* scoring)
+    : state_(state), scoring_(scoring) {}
+
+void CornerBound::OnPull(int /*i*/) { ++stats_.bound_updates; }
+
+double CornerBound::CornerTerm(int i) const {
+  const int n = state_->n();
+  std::vector<double> s(static_cast<size_t>(n));
+  for (int j = 0; j < n; ++j) {
+    const RelationState& rs = state_->rel(j);
+    if (state_->kind() == AccessKind::kDistance) {
+      if (j == i) {
+        // Best unseen tuple of R_i: max score, at the access frontier,
+        // centroid distance 0 (eq. (5)).
+        s[static_cast<size_t>(j)] = scoring_->ProximityWeightedScore(
+            j, rs.sigma_max, rs.last_dist(), 0.0);
+      } else {
+        // Best conceivable tuple of R_j: max score, as close to the query
+        // as the first retrieved tuple, centroid distance 0 (eq. (4)).
+        s[static_cast<size_t>(j)] = scoring_->ProximityWeightedScore(
+            j, rs.sigma_max, rs.first_dist(), 0.0);
+      }
+    } else {
+      if (j == i) {
+        // Best unseen tuple of R_i: frontier score, both distances 0
+        // (eq. (38)).
+        s[static_cast<size_t>(j)] = scoring_->ProximityWeightedScore(
+            j, rs.last_score(), 0.0, 0.0);
+      } else {
+        s[static_cast<size_t>(j)] = scoring_->ProximityWeightedScore(
+            j, rs.first_score(), 0.0, 0.0);
+      }
+    }
+  }
+  return scoring_->Aggregate(s);
+}
+
+double CornerBound::bound() const {
+  double t = -std::numeric_limits<double>::infinity();
+  for (int i = 0; i < state_->n(); ++i) {
+    t = std::max(t, Potential(i));
+  }
+  return t;
+}
+
+double CornerBound::Potential(int i) const {
+  if (state_->rel(i).exhausted) {
+    return -std::numeric_limits<double>::infinity();
+  }
+  return CornerTerm(i);
+}
+
+}  // namespace prj

@@ -1,0 +1,61 @@
+#include "core/dominance.h"
+
+#include "solver/lp.h"
+
+namespace prj {
+
+double DominanceResidual(const DominanceEntry& alpha, const DominanceEntry& beta,
+                         double b_scale, const Vec& y_centered) {
+  Vec diff = alpha.nu_centered;
+  diff -= beta.nu_centered;
+  return alpha.c - beta.c - 2.0 * b_scale * diff.Dot(y_centered);
+}
+
+bool PartialIsDominated(size_t alpha, const std::vector<DominanceEntry>& entries,
+                        const std::vector<bool>& active, double b_scale,
+                        uint64_t* lp_solves, Vec* witness) {
+  PRJ_CHECK_EQ(entries.size(), active.size());
+  const int d = entries[alpha].nu_centered.dim();
+
+  // Witness screen: if the cached region point still beats every active
+  // beta, the region is still nonempty -- no LP needed.
+  if (witness && witness->dim() == d) {
+    bool still_wins = true;
+    for (size_t b = 0; b < entries.size(); ++b) {
+      if (b == alpha || !active[b]) continue;
+      if (DominanceResidual(entries[alpha], entries[b], b_scale, *witness) <
+          -1e-9) {
+        still_wins = false;
+        break;
+      }
+    }
+    if (still_wins) return false;
+  }
+
+  // Rows: for every active beta != alpha,
+  //   2*b_scale*(nu_a - nu_b)^T y <= C_a - C_b.
+  std::vector<size_t> betas;
+  for (size_t b = 0; b < entries.size(); ++b) {
+    if (b != alpha && active[b]) betas.push_back(b);
+  }
+  if (betas.empty()) return false;
+
+  Matrix g(static_cast<int>(betas.size()), d);
+  std::vector<double> h(betas.size());
+  for (size_t r = 0; r < betas.size(); ++r) {
+    const DominanceEntry& a = entries[alpha];
+    const DominanceEntry& b = entries[betas[r]];
+    for (int j = 0; j < d; ++j) {
+      g(static_cast<int>(r), j) =
+          2.0 * b_scale * (a.nu_centered[j] - b.nu_centered[j]);
+    }
+    h[r] = a.c - b.c;
+  }
+  ++*lp_solves;
+  std::vector<double> point;
+  const bool empty = PolyhedronIsEmpty(g, h, witness ? &point : nullptr);
+  if (!empty && witness) *witness = Vec::FromStd(point);
+  return empty;
+}
+
+}  // namespace prj

@@ -1,0 +1,52 @@
+// Dominance between partial combinations (paper §3.2.2, Appendix B.5).
+//
+// Within one subset M, the unconstrained completion objective of a partial
+// combination alpha is U_alpha(y) = C_alpha - a*||y-q||^2 - 2*b_alpha^T(y-q)
+// with a shared quadratic coefficient a, b_alpha = -wmu*(n-m)*(m/n)*
+// (nu_alpha - q) and C_alpha the constant of DESIGN.md §4.2. alpha
+// dominates beta at y iff 2*(b_alpha - b_beta)^T (y-q) <= C_alpha - C_beta
+// -- a half-space, since the quadratic terms cancel. The dominance region
+// D(alpha) is the intersection over all beta; alpha is dominated iff it is
+// empty, decided by the Farkas-dual LP of solver/lp.h. A dominated partial
+// can never attain t_M (the half-space comparison is exact for *every*
+// completion configuration, not just symmetric ones; see DESIGN.md §4.2),
+// so it is skipped by all future bound recomputations.
+#ifndef PRJ_CORE_DOMINANCE_H_
+#define PRJ_CORE_DOMINANCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/vec.h"
+
+namespace prj {
+
+/// Geometry of one partial combination for dominance purposes.
+struct DominanceEntry {
+  Vec nu_centered;   ///< centroid of seen members minus q
+  double c = 0.0;    ///< the constant C_alpha
+};
+
+/// Returns true iff entry `alpha` is dominated by the entries whose
+/// `active` flag is set (alpha itself is skipped). `b_scale` is the common
+/// scalar such that b = b_scale * nu_centered, i.e. -wmu*(n-m)*m/n.
+/// Increments *lp_solves when an LP is actually run.
+///
+/// `witness` (optional, in/out): a point of alpha's dominance region from
+/// an earlier check. Regions only shrink as partials are added, so if the
+/// cached witness still beats every active beta the LP is skipped
+/// entirely; otherwise the LP runs and refreshes the witness. Witness
+/// staleness can only cost an extra LP, never a wrong flag.
+bool PartialIsDominated(size_t alpha, const std::vector<DominanceEntry>& entries,
+                        const std::vector<bool>& active, double b_scale,
+                        uint64_t* lp_solves, Vec* witness = nullptr);
+
+/// Evaluates U_alpha(y) - U_beta(y) margins directly; test support.
+/// Returns the half-space residual C_alpha - C_beta - 2*(b_a - b_b)^T y
+/// (>= 0 where alpha dominates beta).
+double DominanceResidual(const DominanceEntry& alpha, const DominanceEntry& beta,
+                         double b_scale, const Vec& y_centered);
+
+}  // namespace prj
+
+#endif  // PRJ_CORE_DOMINANCE_H_

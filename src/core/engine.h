@@ -1,0 +1,139 @@
+// The ProxRJ operator (paper Algorithm 1): the public entry point of the
+// library. Combines an access kind, a bounding scheme and a pulling
+// strategy into the four evaluated algorithms:
+//
+//   CBRR = corner bound + round-robin          (== HRJN   of Ilyas et al.)
+//   CBPA = corner bound + potential-adaptive   (== HRJN*)
+//   TBRR = tight bound  + round-robin          (instance-optimal, Thm 3.3)
+//   TBPA = tight bound  + potential-adaptive   (instance-optimal, Cor 3.6,
+//                                               never deeper than TBRR,
+//                                               Thm 3.5)
+#ifndef PRJ_CORE_ENGINE_H_
+#define PRJ_CORE_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "access/source.h"
+#include "common/status.h"
+#include "common/vec.h"
+#include "core/bounds.h"
+#include "core/scoring.h"
+#include "core/trace.h"
+
+namespace prj {
+
+enum class BoundKind { kCorner, kTight };
+enum class PullKind { kRoundRobin, kPotentialAdaptive };
+
+/// Named presets for the four algorithms of the experimental study.
+struct AlgorithmPreset {
+  const char* name;
+  BoundKind bound;
+  PullKind pull;
+};
+inline constexpr AlgorithmPreset kCBRR{"CBRR(HRJN)", BoundKind::kCorner,
+                                       PullKind::kRoundRobin};
+inline constexpr AlgorithmPreset kCBPA{"CBPA(HRJN*)", BoundKind::kCorner,
+                                       PullKind::kPotentialAdaptive};
+inline constexpr AlgorithmPreset kTBRR{"TBRR", BoundKind::kTight,
+                                       PullKind::kRoundRobin};
+inline constexpr AlgorithmPreset kTBPA{"TBPA", BoundKind::kTight,
+                                       PullKind::kPotentialAdaptive};
+
+struct ProxRJOptions {
+  int k = 10;                       ///< number of result combinations K
+  BoundKind bound = BoundKind::kTight;
+  PullKind pull = PullKind::kPotentialAdaptive;
+
+  /// Tight bound, distance access only: run the dominance LP sweep every
+  /// `dominance_period` pulls; 0 disables dominance (paper Figure 3(m)/(n)).
+  int dominance_period = 0;
+  /// Tight bound, distance access only: refresh stale partial bounds every
+  /// `bound_update_period` pulls (>= 1). 1 reproduces Algorithm 2; larger
+  /// values trade extra I/O for less CPU (paper §4.2 remark).
+  int bound_update_period = 1;
+  /// Tight bound, distance access only: solve each t(tau) through the
+  /// paper's explicit QP formulation (14)/(30) instead of the closed-form
+  /// water-filling path. Identical results; matches the paper's
+  /// off-the-shelf-solver CPU regime (used by the dominance ablations).
+  bool use_generic_qp = false;
+
+  /// Safety rails for benchmarking; 0 disables each. When tripped, Run
+  /// still returns the current buffer but ExecStats::completed is false
+  /// (this is how the paper reports CBPA's DNF at n = 4).
+  uint64_t max_pulls = 0;
+  double time_budget_seconds = 0.0;
+
+  /// Termination slack on the threshold test (floating-point guard).
+  double epsilon = 1e-9;
+
+  /// When non-null, records one TraceStep per pull (not owned).
+  ExecTrace* trace = nullptr;
+
+  void Apply(const AlgorithmPreset& preset) {
+    bound = preset.bound;
+    pull = preset.pull;
+  }
+};
+
+/// Cost accounting matching the paper's reporting: sumDepths, total CPU
+/// time, and the fractions spent in updateBound and in dominance tests.
+struct ExecStats {
+  std::vector<size_t> depths;       ///< depth(A, I, i) per relation
+  size_t sum_depths = 0;            ///< the sumDepths metric
+  double total_seconds = 0.0;
+  double bound_seconds = 0.0;       ///< time inside updateBound
+  double dominance_seconds = 0.0;   ///< included in bound_seconds
+  uint64_t combinations_formed = 0;
+  BoundStats bound_stats;
+  double final_bound = 0.0;
+  bool completed = false;           ///< false if a safety rail tripped
+};
+
+/// One result combination with materialized member tuples.
+struct ResultCombination {
+  double score = 0.0;
+  std::vector<Tuple> tuples;  ///< one per relation, join order
+};
+
+/// The ProxRJ operator. Single-shot: construct, Run once, read stats.
+class ProxRJ {
+ public:
+  /// `sources` must all share one access kind; `scoring` must outlive the
+  /// operator. The tight bound requires SumLogEuclideanScoring; distance
+  /// access requires a Euclidean-metric scorer (sources stream in
+  /// Euclidean order).
+  ProxRJ(std::vector<std::unique_ptr<AccessSource>> sources,
+         const ScoringFunction* scoring, Vec query, ProxRJOptions options);
+  ~ProxRJ();
+
+  /// Executes Algorithm 1 and returns the top-K combinations in
+  /// descending score order (fewer than K if the cross product is
+  /// smaller). Returns InvalidArgument/FailedPrecondition on bad setup.
+  Result<std::vector<ResultCombination>> Run();
+
+  const ExecStats& stats() const { return stats_; }
+
+ private:
+  Status Validate() const;
+
+  std::vector<std::unique_ptr<AccessSource>> sources_;
+  const ScoringFunction* scoring_;
+  Vec query_;
+  ProxRJOptions options_;
+  ExecStats stats_;
+  bool ran_ = false;
+};
+
+/// Convenience wrapper: build sources for `relations` with the given access
+/// kind and run the operator.
+Result<std::vector<ResultCombination>> RunProxRJ(
+    const std::vector<Relation>& relations, AccessKind kind,
+    const ScoringFunction& scoring, const Vec& query,
+    const ProxRJOptions& options, ExecStats* stats_out = nullptr);
+
+}  // namespace prj
+
+#endif  // PRJ_CORE_ENGINE_H_

@@ -1,0 +1,69 @@
+// Internal helper shared by the batch engine and the streaming operator:
+// forms every new combination created by the tuple just appended to P_i
+// (Algorithm 1 line 6: P_1 x ... x {tau_i} x ... x P_n), scores it, and
+// hands it to the sink. Returns how many were formed.
+#ifndef PRJ_CORE_FORM_COMBINATIONS_H_
+#define PRJ_CORE_FORM_COMBINATIONS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/join_state.h"
+#include "core/scoring.h"
+#include "core/topk.h"
+
+namespace prj {
+namespace internal {
+
+template <typename Sink>
+uint64_t FormNewCombinations(const JoinState& state,
+                             const ScoringFunction& scoring, int i,
+                             Sink&& sink) {
+  const int n = state.n();
+  const uint32_t new_pos = static_cast<uint32_t>(state.rel(i).depth()) - 1u;
+  std::vector<uint32_t> limits(static_cast<size_t>(n));
+  for (int j = 0; j < n; ++j) {
+    if (j == i) continue;
+    limits[static_cast<size_t>(j)] = static_cast<uint32_t>(state.rel(j).depth());
+    if (limits[static_cast<size_t>(j)] == 0) return 0;
+  }
+  std::vector<uint32_t> pos(static_cast<size_t>(n), 0);
+  pos[static_cast<size_t>(i)] = new_pos;
+
+  // Reused scratch buffers keep the per-combination cost allocation-free.
+  std::vector<const Vec*> xs(static_cast<size_t>(n));
+  std::vector<double> s(static_cast<size_t>(n));
+  uint64_t formed = 0;
+  const Vec& q = state.query();
+  for (;;) {
+    for (int j = 0; j < n; ++j) {
+      xs[static_cast<size_t>(j)] =
+          &state.rel(j).seen[pos[static_cast<size_t>(j)]].x;
+    }
+    const Vec mu = scoring.Centroid(xs);
+    for (int j = 0; j < n; ++j) {
+      const Tuple& t = state.rel(j).seen[pos[static_cast<size_t>(j)]];
+      s[static_cast<size_t>(j)] = scoring.ProximityWeightedScore(
+          j, t.score, scoring.Distance(t.x, q), scoring.Distance(t.x, mu));
+    }
+    Combination combo;
+    combo.positions = pos;
+    combo.score = scoring.Aggregate(s);
+    sink(std::move(combo));
+    ++formed;
+
+    int j = 0;
+    for (; j < n; ++j) {
+      if (j == i) continue;
+      if (++pos[static_cast<size_t>(j)] < limits[static_cast<size_t>(j)]) break;
+      pos[static_cast<size_t>(j)] = 0;
+    }
+    if (j == n) break;
+  }
+  return formed;
+}
+
+}  // namespace internal
+}  // namespace prj
+
+#endif  // PRJ_CORE_FORM_COMBINATIONS_H_

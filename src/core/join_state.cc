@@ -1,0 +1,50 @@
+#include "core/join_state.h"
+
+namespace prj {
+
+JoinState::JoinState(Vec query, AccessKind kind,
+                     const std::vector<std::unique_ptr<AccessSource>>& sources)
+    : query_(std::move(query)), kind_(kind) {
+  rels_.reserve(sources.size());
+  for (const auto& s : sources) {
+    RelationState rs;
+    rs.name = s->name();
+    rs.sigma_max = s->sigma_max();
+    rels_.push_back(std::move(rs));
+  }
+}
+
+void JoinState::Append(int i, Tuple tuple) {
+  RelationState& rs = rels_[static_cast<size_t>(i)];
+  PRJ_CHECK(!rs.exhausted);
+  const double d = tuple.x.Distance(query_);
+  if (kind_ == AccessKind::kDistance && !rs.seen.empty()) {
+    PRJ_CHECK_GE(d + 1e-12, rs.dist_q.back())
+        << "distance-based access must be non-decreasing in distance";
+  }
+  if (kind_ == AccessKind::kScore && !rs.seen.empty()) {
+    PRJ_CHECK_LE(tuple.score, rs.seen.back().score + 1e-12)
+        << "score-based access must be non-increasing in score";
+  }
+  rs.dist_q.push_back(d);
+  rs.seen.push_back(std::move(tuple));
+}
+
+void JoinState::MarkExhausted(int i) {
+  rels_[static_cast<size_t>(i)].exhausted = true;
+}
+
+bool JoinState::AllExhausted() const {
+  for (const RelationState& rs : rels_) {
+    if (!rs.exhausted) return false;
+  }
+  return true;
+}
+
+size_t JoinState::SumDepths() const {
+  size_t total = 0;
+  for (const RelationState& rs : rels_) total += rs.depth();
+  return total;
+}
+
+}  // namespace prj

@@ -1,0 +1,67 @@
+// Shared execution state of Algorithm 1: the pulled prefixes P_i and the
+// per-relation statistics (first/last distance and score) that every
+// bounding scheme reads.
+#ifndef PRJ_CORE_JOIN_STATE_H_
+#define PRJ_CORE_JOIN_STATE_H_
+
+#include <vector>
+
+#include "access/relation.h"
+#include "access/source.h"
+#include "common/vec.h"
+
+namespace prj {
+
+struct RelationState {
+  std::string name;
+  double sigma_max = 1.0;
+  std::vector<Tuple> seen;            ///< P_i in access order
+  std::vector<double> dist_q;         ///< Euclidean distance of seen[j] from q
+  bool exhausted = false;
+
+  size_t depth() const { return seen.size(); }
+  /// delta(x(R_i[1]), q); 0 by convention when nothing was pulled (§3.1).
+  double first_dist() const { return seen.empty() ? 0.0 : dist_q.front(); }
+  /// delta_i = delta(x(R_i[p_i]), q); 0 by convention at depth 0.
+  double last_dist() const { return seen.empty() ? 0.0 : dist_q.back(); }
+  /// sigma(R_i[1]); sigma_max by convention at depth 0 (App. C).
+  double first_score() const {
+    return seen.empty() ? sigma_max : seen.front().score;
+  }
+  /// sigma(R_i[p_i]); sigma_max by convention at depth 0.
+  double last_score() const {
+    return seen.empty() ? sigma_max : seen.back().score;
+  }
+};
+
+class JoinState {
+ public:
+  JoinState(Vec query, AccessKind kind,
+            const std::vector<std::unique_ptr<AccessSource>>& sources);
+
+  int n() const { return static_cast<int>(rels_.size()); }
+  const Vec& query() const { return query_; }
+  AccessKind kind() const { return kind_; }
+
+  const RelationState& rel(int i) const {
+    return rels_[static_cast<size_t>(i)];
+  }
+
+  /// Appends a freshly pulled tuple to P_i and updates its statistics.
+  void Append(int i, Tuple tuple);
+  void MarkExhausted(int i);
+
+  /// True if every relation is exhausted.
+  bool AllExhausted() const;
+  /// Total number of tuples pulled (the sumDepths metric).
+  size_t SumDepths() const;
+
+ private:
+  Vec query_;
+  AccessKind kind_;
+  std::vector<RelationState> rels_;
+};
+
+}  // namespace prj
+
+#endif  // PRJ_CORE_JOIN_STATE_H_

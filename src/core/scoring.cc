@@ -1,0 +1,94 @@
+#include "core/scoring.h"
+
+#include <cmath>
+
+namespace prj {
+
+double ScoringFunction::CombinationScore(
+    const Vec& q, const std::vector<const Tuple*>& tuples) const {
+  const int n = static_cast<int>(tuples.size());
+  PRJ_CHECK_GE(n, 1);
+  std::vector<const Vec*> xs;
+  xs.reserve(tuples.size());
+  for (const Tuple* t : tuples) xs.push_back(&t->x);
+  const Vec mu = Centroid(xs);
+  std::vector<double> s(tuples.size());
+  for (int i = 0; i < n; ++i) {
+    const Tuple& t = *tuples[static_cast<size_t>(i)];
+    s[static_cast<size_t>(i)] = ProximityWeightedScore(
+        i, t.score, Distance(t.x, q), Distance(t.x, mu));
+  }
+  return Aggregate(s);
+}
+
+SumLogEuclideanScoring::SumLogEuclideanScoring(double ws, double wq, double wmu)
+    : ws_(ws), wq_(wq), wmu_(wmu) {
+  PRJ_CHECK_GE(ws, 0.0);
+  PRJ_CHECK_GE(wq, 0.0);
+  PRJ_CHECK_GE(wmu, 0.0);
+}
+
+double SumLogEuclideanScoring::ProximityWeightedScore(int /*i*/, double sigma,
+                                                      double dist_q,
+                                                      double dist_mu) const {
+  PRJ_DCHECK(sigma > 0.0) << "log-scoring needs positive scores";
+  return ws_ * std::log(sigma) - wq_ * dist_q * dist_q -
+         wmu_ * dist_mu * dist_mu;
+}
+
+double SumLogEuclideanScoring::Aggregate(const std::vector<double>& s) const {
+  double acc = 0.0;
+  for (double v : s) acc += v;
+  return acc;
+}
+
+Vec SumLogEuclideanScoring::Centroid(const std::vector<const Vec*>& xs) const {
+  PRJ_CHECK(!xs.empty());
+  Vec acc(xs[0]->dim());
+  for (const Vec* x : xs) acc += *x;
+  return acc / static_cast<double>(xs.size());
+}
+
+SumLogCosineScoring::SumLogCosineScoring(double ws, double wq, double wmu,
+                                         Vec query)
+    : ws_(ws), wq_(wq), wmu_(wmu), query_(std::move(query)) {
+  PRJ_CHECK_GE(ws, 0.0);
+  PRJ_CHECK_GE(wq, 0.0);
+  PRJ_CHECK_GE(wmu, 0.0);
+}
+
+double SumLogCosineScoring::CosineDissimilarity(const Vec& a, const Vec& b) {
+  const double na = a.Norm();
+  const double nb = b.Norm();
+  PRJ_CHECK(na > 0.0 && nb > 0.0) << "cosine needs nonzero vectors";
+  double cos = a.Dot(b) / (na * nb);
+  if (cos > 1.0) cos = 1.0;
+  if (cos < -1.0) cos = -1.0;
+  return 1.0 - cos;
+}
+
+double SumLogCosineScoring::ProximityWeightedScore(int /*i*/, double sigma,
+                                                   double dist_q,
+                                                   double dist_mu) const {
+  PRJ_DCHECK(sigma > 0.0);
+  return ws_ * std::log(sigma) - wq_ * dist_q - wmu_ * dist_mu;
+}
+
+double SumLogCosineScoring::Aggregate(const std::vector<double>& s) const {
+  double acc = 0.0;
+  for (double v : s) acc += v;
+  return acc;
+}
+
+Vec SumLogCosineScoring::Centroid(const std::vector<const Vec*>& xs) const {
+  PRJ_CHECK(!xs.empty());
+  Vec acc(xs[0]->dim());
+  for (const Vec* x : xs) acc += x->Normalized();
+  const double norm = acc.Norm();
+  // Degenerate case (directions cancel): fall back to the first member's
+  // direction so the centroid stays well defined.
+  if (norm < 1e-12) return xs[0]->Normalized();
+  return acc / norm;
+}
+
+}  // namespace prj

@@ -1,0 +1,109 @@
+// Aggregation functions for proximity rank join (paper §2, eq. (1)-(2)).
+//
+// A ScoringFunction bundles the three ingredients of eq. (1):
+//   * per-tuple proximity weighting g_i(sigma, dist_to_query, dist_to_centroid),
+//     non-decreasing in sigma, non-increasing in both distances;
+//   * the monotone aggregate f over the n weighted scores;
+//   * the combination centroid mu(tau).
+//
+// SumLogEuclideanScoring is the paper's concrete instance (eq. (2)):
+//   S(tau) = sum_i  ws*ln(sigma_i) - wq*||x_i - q||^2 - wmu*||x_i - mu||^2
+// with mu the arithmetic mean. The tight bounding schemes are specialized
+// to this family (paper §3.2.1); the corner bound works for any
+// ScoringFunction.
+#ifndef PRJ_CORE_SCORING_H_
+#define PRJ_CORE_SCORING_H_
+
+#include <vector>
+
+#include "access/relation.h"
+#include "common/vec.h"
+
+namespace prj {
+
+/// Identifies the concrete scoring family; bounding schemes that require a
+/// specific family check this tag instead of dynamic_cast.
+enum class ScoringKind { kSumLogEuclidean, kOther };
+
+class ScoringFunction {
+ public:
+  virtual ~ScoringFunction() = default;
+
+  virtual ScoringKind scoring_kind() const { return ScoringKind::kOther; }
+
+  /// g_i: proximity weighted score of tuple i given its score and its
+  /// (plain, non-squared) distances from the query and the centroid.
+  virtual double ProximityWeightedScore(int i, double sigma, double dist_q,
+                                        double dist_mu) const = 0;
+
+  /// f: aggregate of the n proximity weighted scores.
+  virtual double Aggregate(const std::vector<double>& s) const = 0;
+
+  /// mu(tau): centroid of the member feature vectors.
+  virtual Vec Centroid(const std::vector<const Vec*>& xs) const = 0;
+
+  /// delta: the metric distance the g_i's expect. Euclidean by default.
+  virtual double Distance(const Vec& a, const Vec& b) const {
+    return a.Distance(b);
+  }
+
+  /// True when Distance() is the Euclidean metric; distance-based access
+  /// sources stream in Euclidean order, so the engine rejects
+  /// distance-access runs with non-Euclidean scorers.
+  virtual bool euclidean_metric() const { return true; }
+
+  /// Convenience: S(tau) for a full combination of tuple pointers.
+  double CombinationScore(const Vec& q,
+                          const std::vector<const Tuple*>& tuples) const;
+};
+
+/// The paper's eq. (2): f = sum, g_i = ws*ln(sigma) - wq*y^2 - wmu*z^2,
+/// Euclidean distance, mean centroid.
+class SumLogEuclideanScoring final : public ScoringFunction {
+ public:
+  SumLogEuclideanScoring(double ws, double wq, double wmu);
+
+  ScoringKind scoring_kind() const override {
+    return ScoringKind::kSumLogEuclidean;
+  }
+  double ProximityWeightedScore(int i, double sigma, double dist_q,
+                                double dist_mu) const override;
+  double Aggregate(const std::vector<double>& s) const override;
+  Vec Centroid(const std::vector<const Vec*>& xs) const override;
+
+  double ws() const { return ws_; }
+  double wq() const { return wq_; }
+  double wmu() const { return wmu_; }
+
+ private:
+  double ws_, wq_, wmu_;
+};
+
+/// Extension (paper §6 future work): proximity via cosine dissimilarity,
+/// g_i = ws*ln(sigma) - wq*(1 - cos(x,q)) - wmu*(1 - cos(x, mu)), f = sum,
+/// centroid = normalized mean direction. Supported by the corner bound
+/// (and brute force); the tight bound is specific to eq. (2).
+class SumLogCosineScoring final : public ScoringFunction {
+ public:
+  SumLogCosineScoring(double ws, double wq, double wmu, Vec query);
+
+  double ProximityWeightedScore(int i, double sigma, double dist_q,
+                                double dist_mu) const override;
+  double Aggregate(const std::vector<double>& s) const override;
+  Vec Centroid(const std::vector<const Vec*>& xs) const override;
+  double Distance(const Vec& a, const Vec& b) const override {
+    return CosineDissimilarity(a, b);
+  }
+  bool euclidean_metric() const override { return false; }
+
+  /// Cosine dissimilarity in [0, 2]; vectors must be nonzero.
+  static double CosineDissimilarity(const Vec& a, const Vec& b);
+
+ private:
+  double ws_, wq_, wmu_;
+  Vec query_;
+};
+
+}  // namespace prj
+
+#endif  // PRJ_CORE_SCORING_H_

@@ -1,0 +1,46 @@
+#include "core/strategy.h"
+
+#include <limits>
+
+namespace prj {
+
+int RoundRobinStrategy::ChooseInput(const JoinState& state,
+                                    const BoundingScheme& /*bound*/) {
+  const int n = state.n();
+  for (int step = 0; step < n; ++step) {
+    const int i = (next_ + step) % n;
+    if (!state.rel(i).exhausted) {
+      next_ = (i + 1) % n;
+      return i;
+    }
+  }
+  return -1;
+}
+
+int PotentialAdaptiveStrategy::ChooseInput(const JoinState& state,
+                                           const BoundingScheme& bound) {
+  const int n = state.n();
+  int best = -1;
+  double best_pot = -std::numeric_limits<double>::infinity();
+  for (int i = 0; i < n; ++i) {
+    if (state.rel(i).exhausted) continue;
+    const double pot = bound.Potential(i);
+    bool better;
+    if (best < 0) {
+      better = true;
+    } else if (pot != best_pot) {
+      better = pot > best_pot;
+    } else if (state.rel(i).depth() != state.rel(best).depth()) {
+      better = state.rel(i).depth() < state.rel(best).depth();
+    } else {
+      better = false;  // equal depth: keep the least index (i > best)
+    }
+    if (better) {
+      best = i;
+      best_pot = pot;
+    }
+  }
+  return best;
+}
+
+}  // namespace prj

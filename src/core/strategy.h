@@ -1,0 +1,39 @@
+// Pulling strategies (paper §3.3): decide which relation to access next.
+#ifndef PRJ_CORE_STRATEGY_H_
+#define PRJ_CORE_STRATEGY_H_
+
+#include "core/bounds.h"
+#include "core/join_state.h"
+
+namespace prj {
+
+class PullingStrategy {
+ public:
+  virtual ~PullingStrategy() = default;
+
+  /// Index of the next relation to pull, or -1 if every input is exhausted.
+  virtual int ChooseInput(const JoinState& state,
+                          const BoundingScheme& bound) = 0;
+};
+
+/// Cycles R_1, ..., R_n, skipping exhausted inputs.
+class RoundRobinStrategy : public PullingStrategy {
+ public:
+  int ChooseInput(const JoinState& state, const BoundingScheme& bound) override;
+
+ private:
+  int next_ = 0;
+};
+
+/// Potential-adaptive (PA) strategy: pull the relation with the largest
+/// potential pot_i, breaking ties in favour of the least depth p_i, then
+/// the least index (paper §3.3). With the corner bound this is HRJN*'s
+/// adaptive strategy; with the tight bound it is the paper's TBPA.
+class PotentialAdaptiveStrategy : public PullingStrategy {
+ public:
+  int ChooseInput(const JoinState& state, const BoundingScheme& bound) override;
+};
+
+}  // namespace prj
+
+#endif  // PRJ_CORE_STRATEGY_H_

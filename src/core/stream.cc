@@ -1,0 +1,146 @@
+#include "core/stream.h"
+
+#include <cmath>
+#include <limits>
+
+#include "core/form_combinations.h"
+#include "core/tight_bound.h"
+
+namespace prj {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+ProxRJStream::ProxRJStream(std::vector<std::unique_ptr<AccessSource>> sources,
+                           const ScoringFunction* scoring, Vec query,
+                           ProxRJStreamOptions options)
+    : sources_(std::move(sources)),
+      scoring_(scoring),
+      query_(std::move(query)),
+      options_(options) {}
+
+ProxRJStream::~ProxRJStream() = default;
+
+Status ProxRJStream::Open() {
+  if (opened_) {
+    return Status::FailedPrecondition("Open may be called only once");
+  }
+  // Reuse the batch engine's validation by constructing the same checks.
+  if (sources_.empty()) {
+    return Status::InvalidArgument("need at least one input relation");
+  }
+  if (sources_.size() > 20) {
+    return Status::InvalidArgument("at most 20 input relations supported");
+  }
+  const AccessKind kind = sources_[0]->kind();
+  for (const auto& s : sources_) {
+    if (s->kind() != kind) {
+      return Status::InvalidArgument(
+          "all sources must share one access kind (Definition 2.1)");
+    }
+    if (s->dim() != query_.dim()) {
+      return Status::InvalidArgument(
+          "source '" + s->name() + "' has dim " + std::to_string(s->dim()) +
+          " but the query has dim " + std::to_string(query_.dim()));
+    }
+    if (s->depth() != 0) {
+      return Status::FailedPrecondition("source '" + s->name() +
+                                        "' was already consumed");
+    }
+  }
+  if (kind == AccessKind::kDistance && !scoring_->euclidean_metric()) {
+    return Status::FailedPrecondition(
+        "distance-based access streams in Euclidean order; use score-based "
+        "access with non-Euclidean scorers");
+  }
+  if (options_.bound == BoundKind::kTight &&
+      scoring_->scoring_kind() != ScoringKind::kSumLogEuclidean) {
+    return Status::Unimplemented(
+        "the tight bound is specialized to SumLogEuclideanScoring");
+  }
+
+  state_ = std::make_unique<JoinState>(query_, kind, sources_);
+  if (options_.bound == BoundKind::kCorner) {
+    bound_ = std::make_unique<CornerBound>(state_.get(), scoring_);
+  } else if (kind == AccessKind::kDistance) {
+    bound_ = std::make_unique<TightBoundDistance>(
+        state_.get(), static_cast<const SumLogEuclideanScoring*>(scoring_),
+        options_.dominance_period, options_.bound_update_period, nullptr,
+        options_.use_generic_qp);
+  } else {
+    bound_ = std::make_unique<TightBoundScore>(
+        state_.get(), static_cast<const SumLogEuclideanScoring*>(scoring_));
+  }
+  if (options_.pull == PullKind::kRoundRobin) {
+    strategy_ = std::make_unique<RoundRobinStrategy>();
+  } else {
+    strategy_ = std::make_unique<PotentialAdaptiveStrategy>();
+  }
+  current_bound_ = kInf;
+  opened_ = true;
+  return Status::OK();
+}
+
+void ProxRJStream::Pull() {
+  const int i = strategy_->ChooseInput(*state_, *bound_);
+  if (i < 0) {
+    exhausted_ = true;
+    return;
+  }
+  std::optional<Tuple> tuple = sources_[static_cast<size_t>(i)]->Next();
+  if (!tuple) {
+    state_->MarkExhausted(i);
+    bound_->OnExhausted(i);
+    current_bound_ = bound_->bound();
+    return;
+  }
+  state_->Append(i, std::move(*tuple));
+  internal::FormNewCombinations(*state_, *scoring_, i,
+                                [&](Combination c) { buffer_.push(std::move(c)); });
+  bound_->OnPull(i);
+  current_bound_ = bound_->bound();
+}
+
+std::optional<ResultCombination> ProxRJStream::Next() {
+  PRJ_CHECK(opened_) << "call Open() before Next()";
+  for (;;) {
+    // Emit once the best buffered combination is certified: nothing unseen
+    // can beat it.
+    const bool certified =
+        !buffer_.empty() &&
+        (buffer_.top().score >= current_bound_ - options_.epsilon ||
+         exhausted_ || state_->AllExhausted());
+    if (certified) {
+      const Combination& top = buffer_.top();
+      ResultCombination rc;
+      rc.score = top.score;
+      rc.tuples.reserve(static_cast<size_t>(state_->n()));
+      for (int j = 0; j < state_->n(); ++j) {
+        rc.tuples.push_back(
+            state_->rel(j).seen[top.positions[static_cast<size_t>(j)]]);
+      }
+      buffer_.pop();
+      ++emitted_;
+      return rc;
+    }
+    if (exhausted_ || state_->AllExhausted()) {
+      // Buffer drained and inputs gone: the stream is complete.
+      if (buffer_.empty()) return std::nullopt;
+      continue;  // certify-and-emit the remaining buffer
+    }
+    if (std::isinf(current_bound_) && current_bound_ < 0 && buffer_.empty()) {
+      // No continuation can produce further combinations.
+      return std::nullopt;
+    }
+    Pull();
+  }
+}
+
+size_t ProxRJStream::SumDepths() const {
+  size_t total = 0;
+  for (const auto& s : sources_) total += s->depth();
+  return total;
+}
+
+}  // namespace prj

@@ -1,0 +1,99 @@
+// Pipelined proximity rank join: a GetNext-style operator interface.
+//
+// The batch ProxRJ engine (engine.h) answers one top-K request. Inside a
+// query plan, rank-join operators are instead consumed incrementally --
+// HRJN itself is defined as a GetNext operator (Ilyas et al.). This class
+// provides that interface for proximity rank join: each Next() call emits
+// the single next-best combination, pulling input tuples lazily and only
+// as far as the bounding scheme requires to *certify* that the emitted
+// combination cannot be beaten by anything unseen.
+//
+// Consuming r results costs no more input than a batch run with K = r
+// (same pulling strategy and bound), so early termination by the consumer
+// translates directly into saved accesses.
+//
+// Unlike the batch engine, which caps its buffer at K, the stream must
+// retain every formed-but-not-yet-emitted combination (their count is
+// bounded by the product of the pulled prefixes).
+#ifndef PRJ_CORE_STREAM_H_
+#define PRJ_CORE_STREAM_H_
+
+#include <memory>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/join_state.h"
+#include "core/strategy.h"
+#include "core/topk.h"
+
+namespace prj {
+
+/// Streaming options: a subset of ProxRJOptions (no K -- the consumer
+/// decides when to stop).
+struct ProxRJStreamOptions {
+  BoundKind bound = BoundKind::kTight;
+  PullKind pull = PullKind::kPotentialAdaptive;
+  int dominance_period = 0;
+  int bound_update_period = 1;
+  bool use_generic_qp = false;
+  double epsilon = 1e-9;
+
+  void Apply(const AlgorithmPreset& preset) {
+    bound = preset.bound;
+    pull = preset.pull;
+  }
+};
+
+class ProxRJStream {
+ public:
+  /// Same contracts as ProxRJ: one shared access kind, matching
+  /// dimensions, SumLogEuclidean scorer for the tight bound.
+  ProxRJStream(std::vector<std::unique_ptr<AccessSource>> sources,
+               const ScoringFunction* scoring, Vec query,
+               ProxRJStreamOptions options);
+  ~ProxRJStream();
+
+  /// Validates the setup; must be called (once) before Next().
+  Status Open();
+
+  /// Emits the next combination in descending score order, or nullopt once
+  /// the whole cross product has been produced. Requires a successful
+  /// Open().
+  std::optional<ResultCombination> Next();
+
+  /// Number of combinations emitted so far.
+  size_t emitted() const { return emitted_; }
+  /// Input consumed so far (the sumDepths metric at this point).
+  size_t SumDepths() const;
+
+ private:
+  void Pull();
+
+  std::vector<std::unique_ptr<AccessSource>> sources_;
+  const ScoringFunction* scoring_;
+  Vec query_;
+  ProxRJStreamOptions options_;
+
+  bool opened_ = false;
+  std::unique_ptr<JoinState> state_;
+  std::unique_ptr<BoundingScheme> bound_;
+  std::unique_ptr<PullingStrategy> strategy_;
+  // Formed-but-unemitted combinations, best first: the heap's "largest"
+  // element (its top) is the best combination.
+  struct WorseThan {
+    bool operator()(const Combination& a, const Combination& b) const {
+      return CombinationBetter(b, a);
+    }
+  };
+  std::priority_queue<Combination, std::vector<Combination>, WorseThan>
+      buffer_;
+  double current_bound_ = 0.0;
+  size_t emitted_ = 0;
+  bool exhausted_ = false;
+};
+
+}  // namespace prj
+
+#endif  // PRJ_CORE_STREAM_H_

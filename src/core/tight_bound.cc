@@ -1,0 +1,601 @@
+#include "core/tight_bound.h"
+
+#include <bit>
+#include <cmath>
+#include <limits>
+
+#include "common/timer.h"
+#include "solver/qp.h"
+#include "solver/waterfill.h"
+
+namespace prj {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Shared setup: computes the water-filling problem for a partial
+// combination with members `seen` of subset `mask`, given per-relation
+// unseen log-score bounds and distance lower bounds for the complement.
+WaterfillProblem BuildWaterfill(const SumLogEuclideanScoring& scoring,
+                                const Vec& q, int n, uint32_t mask,
+                                const std::vector<const Tuple*>& seen,
+                                const std::vector<double>& unseen_log_scores,
+                                const std::vector<double>& deltas,
+                                Vec* nu_centered_out) {
+  const int m = std::popcount(mask);
+  PRJ_CHECK_EQ(static_cast<int>(seen.size()), m);
+  PRJ_CHECK_LT(m, n);
+
+  Vec nu_centered(q.dim());
+  double base = 0.0;
+  for (const Tuple* t : seen) {
+    Vec centered = t->x;
+    centered -= q;
+    nu_centered += centered;
+    base += scoring.ws() * std::log(t->score) -
+            (scoring.wq() + scoring.wmu()) * centered.SquaredNorm();
+  }
+  if (m > 0) nu_centered /= static_cast<double>(m);
+  const double nu_norm = (m > 0) ? nu_centered.Norm() : 0.0;
+
+  WaterfillProblem p;
+  p.wq = scoring.wq();
+  p.wmu = scoring.wmu();
+  p.n = n;
+  p.m = m;
+  p.nu = nu_norm;
+  double unseen_log = 0.0;
+  for (int j = 0; j < n; ++j) {
+    if (mask & (1u << j)) continue;
+    unseen_log += scoring.ws() * std::log(unseen_log_scores[static_cast<size_t>(j)]);
+    p.deltas.push_back(deltas.empty() ? 0.0 : deltas[static_cast<size_t>(j)]);
+  }
+  p.c0 = base + unseen_log +
+         scoring.wmu() * static_cast<double>(m) * static_cast<double>(m) /
+             static_cast<double>(n) * nu_norm * nu_norm;
+  if (nu_centered_out) *nu_centered_out = nu_centered;
+  return p;
+}
+
+// Reconstructs the optimal unseen locations y_j = q + theta_j * u
+// (eq. (15)), with u along the partial centroid (arbitrary axis if the
+// centroid coincides with the query, where the value is direction-free).
+void ReconstructLocations(const Vec& q, int n, uint32_t mask,
+                          const std::vector<const Tuple*>& seen,
+                          const Vec& nu_centered,
+                          const std::vector<double>& theta,
+                          std::vector<Vec>* y_out) {
+  Vec u(q.dim());
+  if (nu_centered.Norm() > 1e-12) {
+    u = nu_centered.Normalized();
+  } else {
+    u = Vec::Basis(q.dim(), 0);
+  }
+  y_out->assign(static_cast<size_t>(n), Vec(q.dim()));
+  size_t seen_idx = 0, unseen_idx = 0;
+  for (int j = 0; j < n; ++j) {
+    if (mask & (1u << j)) {
+      (*y_out)[static_cast<size_t>(j)] = seen[seen_idx++]->x;
+    } else {
+      Vec y = q;
+      y += u * theta[unseen_idx++];
+      (*y_out)[static_cast<size_t>(j)] = y;
+    }
+  }
+}
+
+}  // namespace
+
+double TightPartialBoundDistance(const SumLogEuclideanScoring& scoring,
+                                 const Vec& q, int n, uint32_t mask,
+                                 const std::vector<const Tuple*>& seen,
+                                 const std::vector<double>& sigma_max,
+                                 const std::vector<double>& deltas,
+                                 std::vector<double>* theta_out,
+                                 std::vector<Vec>* y_out) {
+  PRJ_CHECK_EQ(static_cast<int>(sigma_max.size()), n);
+  PRJ_CHECK_EQ(static_cast<int>(deltas.size()), n);
+  Vec nu_centered;
+  const WaterfillProblem p =
+      BuildWaterfill(scoring, q, n, mask, seen, sigma_max, deltas, &nu_centered);
+  const WaterfillResult r = SolveWaterfill(p);
+  if (theta_out) *theta_out = r.theta;
+  if (y_out) ReconstructLocations(q, n, mask, seen, nu_centered, r.theta, y_out);
+  return r.value;
+}
+
+double TightPartialBoundScore(const SumLogEuclideanScoring& scoring,
+                              const Vec& q, int n, uint32_t mask,
+                              const std::vector<const Tuple*>& seen,
+                              const std::vector<double>& unseen_scores,
+                              std::vector<Vec>* y_out) {
+  PRJ_CHECK_EQ(static_cast<int>(unseen_scores.size()), n);
+  // Score-based access imposes no geometric constraint: same objective with
+  // all distance lower bounds at zero, and the best unseen score is the
+  // frontier score instead of sigma_max (eq. (39)/(41)).
+  Vec nu_centered;
+  const std::vector<double> zero_deltas(static_cast<size_t>(n), 0.0);
+  const WaterfillProblem p = BuildWaterfill(scoring, q, n, mask, seen,
+                                            unseen_scores, zero_deltas,
+                                            &nu_centered);
+  const WaterfillResult r = SolveWaterfill(p);
+  if (y_out) ReconstructLocations(q, n, mask, seen, nu_centered, r.theta, y_out);
+  return r.value;
+}
+
+double TightBoundValueByReconstruction(const SumLogEuclideanScoring& scoring,
+                                       const Vec& q, int n, uint32_t mask,
+                                       const std::vector<const Tuple*>& seen,
+                                       const std::vector<double>& scores_unseen,
+                                       const std::vector<Vec>& y) {
+  PRJ_CHECK_EQ(static_cast<int>(y.size()), n);
+  std::vector<Tuple> storage;
+  storage.reserve(static_cast<size_t>(n));
+  std::vector<const Tuple*> combo(static_cast<size_t>(n), nullptr);
+  size_t seen_idx = 0;
+  for (int j = 0; j < n; ++j) {
+    if (mask & (1u << j)) {
+      combo[static_cast<size_t>(j)] = seen[seen_idx++];
+    } else {
+      Tuple t;
+      t.id = -1;
+      t.score = scores_unseen[static_cast<size_t>(j)];
+      t.x = y[static_cast<size_t>(j)];
+      storage.push_back(std::move(t));
+    }
+  }
+  size_t k = 0;
+  for (int j = 0; j < n; ++j) {
+    if (!(mask & (1u << j))) combo[static_cast<size_t>(j)] = &storage[k++];
+  }
+  return scoring.CombinationScore(q, combo);
+}
+
+// ---------------------------------------------------------------------------
+// TightBoundDistance
+// ---------------------------------------------------------------------------
+
+TightBoundDistance::TightBoundDistance(const JoinState* state,
+                                       const SumLogEuclideanScoring* scoring,
+                                       int dominance_period,
+                                       int recompute_period,
+                                       double* dominance_seconds_sink,
+                                       bool use_generic_qp)
+    : state_(state),
+      scoring_(scoring),
+      dominance_period_(dominance_period),
+      recompute_period_(recompute_period),
+      dominance_seconds_sink_(dominance_seconds_sink),
+      use_generic_qp_(use_generic_qp) {
+  PRJ_CHECK_GE(dominance_period_, 0);
+  PRJ_CHECK_GE(recompute_period_, 1);
+  const int n = state_->n();
+  PRJ_CHECK_LE(n, 20);
+  const uint32_t full = (1u << n) - 1u;
+  subsets_.resize(full);  // every proper subset, indexed by mask
+  for (uint32_t mask = 0; mask < full; ++mask) {
+    SubsetStore& ss = subsets_[mask];
+    ss.mask = mask;
+    ss.m = std::popcount(mask);
+    ss.unseen_log = 0.0;
+    for (int j = 0; j < n; ++j) {
+      if (mask & (1u << j)) continue;
+      ss.unseen_log +=
+          scoring_->ws() * std::log(state_->rel(j).sigma_max);
+    }
+  }
+  // The empty partial <> exists from the start; its bound is +inf until the
+  // first recomputation (nothing retrieved means nothing is constrained).
+  Partial empty;
+  empty.nu_centered = Vec(state_->query().dim());
+  empty.t = kInf;
+  subsets_[0].partials.push_back(std::move(empty));
+  subsets_[0].t_max = kInf;
+  ++stats_.partials_total;
+}
+
+TightBoundDistance::Partial TightBoundDistance::MakePartial(
+    const SubsetStore& ss, std::vector<uint32_t> pos) const {
+  Partial p;
+  p.pos = std::move(pos);
+  const Vec& q = state_->query();
+  Vec nu(q.dim());
+  double base = 0.0;
+  size_t k = 0;
+  for (int j = 0; j < state_->n(); ++j) {
+    if (!(ss.mask & (1u << j))) continue;
+    const Tuple& t = state_->rel(j).seen[p.pos[k++]];
+    Vec centered = t.x;
+    centered -= q;
+    nu += centered;
+    base += scoring_->ws() * std::log(t.score) -
+            (scoring_->wq() + scoring_->wmu()) * centered.SquaredNorm();
+  }
+  if (ss.m > 0) nu /= static_cast<double>(ss.m);
+  p.nu_centered = nu;
+  p.nu_norm = (ss.m > 0) ? nu.Norm() : 0.0;
+  p.base_const = base;
+  return p;
+}
+
+double TightBoundDistance::SolvePartialGenericQp(const SubsetStore& ss,
+                                                 const Partial& p) {
+  // The paper's route (§3.2.1): fix the seen variables to the projections
+  // (13) of their locations onto the centroid ray, lower-bound the unseen
+  // ones by the current deltas, minimize theta^T H theta (eq. (30)-(34))
+  // with the active-set QP, reconstruct y* via (15), and evaluate the true
+  // aggregate score of the completion. Same optimum as the water-filling
+  // path, at the cost regime of an off-the-shelf solver.
+  const int n = state_->n();
+  const Vec& q = state_->query();
+  ++stats_.qp_solves;
+
+  // Gather members and the ray direction.
+  std::vector<const Tuple*> members;
+  size_t k = 0;
+  for (int j = 0; j < n; ++j) {
+    if (!(ss.mask & (1u << j))) continue;
+    members.push_back(&state_->rel(j).seen[p.pos[k++]]);
+  }
+  Vec u(q.dim());
+  if (p.nu_norm > 1e-12) {
+    u = p.nu_centered.Normalized();
+  } else if (q.dim() > 0) {
+    u = Vec::Basis(q.dim(), 0);
+  }
+
+  QpProblem qp;
+  qp.h = Matrix(n, n);
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < n; ++c) {
+      const double proj = (r == c ? 1.0 : 0.0) - 1.0 / n;
+      qp.h(r, c) =
+          2.0 * (scoring_->wmu() * proj + (r == c ? scoring_->wq() : 0.0));
+    }
+  }
+  qp.g.assign(static_cast<size_t>(n), 0.0);
+  qp.kind.assign(static_cast<size_t>(n), VarKind::kLowerBounded);
+  qp.fixed_value.assign(static_cast<size_t>(n), 0.0);
+  qp.lower_bound.assign(static_cast<size_t>(n), 0.0);
+  size_t member_idx = 0;
+  for (int j = 0; j < n; ++j) {
+    const size_t sj = static_cast<size_t>(j);
+    if (ss.mask & (1u << j)) {
+      // theta_j = P(x(tau_j)) of eq. (13).
+      Vec centered = members[member_idx++]->x;
+      centered -= q;
+      qp.kind[sj] = VarKind::kFixed;
+      qp.fixed_value[sj] = centered.Dot(u);
+    } else {
+      qp.lower_bound[sj] = state_->rel(j).last_dist();
+    }
+  }
+  const QpResult qr = SolveQp(qp);
+  PRJ_CHECK(qr.ok) << "tight-bound QP failed";
+
+  // Reconstruct the unseen locations (15) and evaluate the true score.
+  std::vector<double> scores_unseen(static_cast<size_t>(n), 0.0);
+  std::vector<Vec> y(static_cast<size_t>(n), Vec(q.dim()));
+  member_idx = 0;
+  for (int j = 0; j < n; ++j) {
+    const size_t sj = static_cast<size_t>(j);
+    if (ss.mask & (1u << j)) {
+      y[sj] = members[member_idx++]->x;
+    } else {
+      scores_unseen[sj] = state_->rel(j).sigma_max;
+      y[sj] = q + u * qr.x[sj];
+    }
+  }
+  return TightBoundValueByReconstruction(*scoring_, q, n, ss.mask, members,
+                                         scores_unseen, y);
+}
+
+double TightBoundDistance::SolvePartial(const SubsetStore& ss,
+                                        const Partial& p) {
+  if (use_generic_qp_) return SolvePartialGenericQp(ss, p);
+  const int n = state_->n();
+  WaterfillProblem wp;
+  wp.wq = scoring_->wq();
+  wp.wmu = scoring_->wmu();
+  wp.n = n;
+  wp.m = ss.m;
+  wp.nu = p.nu_norm;
+  for (int j = 0; j < n; ++j) {
+    if (ss.mask & (1u << j)) continue;
+    wp.deltas.push_back(state_->rel(j).last_dist());
+  }
+  wp.c0 = p.base_const + ss.unseen_log +
+          scoring_->wmu() * static_cast<double>(ss.m) *
+              static_cast<double>(ss.m) / static_cast<double>(n) * p.nu_norm *
+              p.nu_norm;
+  ++stats_.qp_solves;
+  return SolveWaterfill(wp).value;
+}
+
+void TightBoundDistance::AddNewPartials(SubsetStore* ss, int i) {
+  // New partials of PC(M), M containing i, are those whose i-th member is
+  // the just-pulled tuple (Algorithm 2 line 7, first disjunct).
+  const uint32_t new_pos_i =
+      static_cast<uint32_t>(state_->rel(i).depth()) - 1u;
+  std::vector<int> members;
+  for (int j = 0; j < state_->n(); ++j) {
+    if (ss->mask & (1u << j)) members.push_back(j);
+  }
+  // Odometer over the prefixes of the other members.
+  std::vector<uint32_t> counters(members.size(), 0);
+  std::vector<uint32_t> limits(members.size());
+  for (size_t a = 0; a < members.size(); ++a) {
+    limits[a] = (members[a] == i)
+                    ? 1u
+                    : static_cast<uint32_t>(state_->rel(members[a]).depth());
+    if (limits[a] == 0) return;  // PC(M) still empty
+  }
+  for (;;) {
+    std::vector<uint32_t> pos(members.size());
+    for (size_t a = 0; a < members.size(); ++a) {
+      pos[a] = (members[a] == i) ? new_pos_i : counters[a];
+    }
+    Partial p = MakePartial(*ss, std::move(pos));
+    p.t = SolvePartial(*ss, p);
+    if (!(p.t <= ss->t_max)) ss->t_max = p.t;
+    ss->partials.push_back(std::move(p));
+    ++stats_.partials_total;
+    ss->dominance_dirty = true;
+    // Advance the odometer.
+    size_t a = 0;
+    for (; a < members.size(); ++a) {
+      if (members[a] == i) continue;
+      if (++counters[a] < limits[a]) break;
+      counters[a] = 0;
+    }
+    if (a == members.size()) break;
+  }
+}
+
+void TightBoundDistance::RefreshMax(SubsetStore* ss) const {
+  double t_max = -kInf;
+  for (const Partial& p : ss->partials) {
+    if (!p.dominated && p.t > t_max) t_max = p.t;
+  }
+  ss->t_max = t_max;
+}
+
+void TightBoundDistance::RecomputeStore(SubsetStore* ss) {
+  for (Partial& p : ss->partials) {
+    if (p.dominated) continue;
+    p.t = SolvePartial(*ss, p);
+  }
+  RefreshMax(ss);
+  ss->stale = false;
+}
+
+void TightBoundDistance::RunDominance(SubsetStore* ss) {
+  if (ss->m == 0) return;
+  std::vector<DominanceEntry> entries(ss->partials.size());
+  std::vector<bool> active(ss->partials.size());
+  size_t active_count = 0;
+  const int n = state_->n();
+  for (size_t a = 0; a < ss->partials.size(); ++a) {
+    entries[a].nu_centered = ss->partials[a].nu_centered;
+    entries[a].c = ss->partials[a].base_const + ss->unseen_log +
+                   scoring_->wmu() * static_cast<double>(ss->m) *
+                       static_cast<double>(ss->m) / static_cast<double>(n) *
+                       ss->partials[a].nu_norm * ss->partials[a].nu_norm;
+    active[a] = !ss->partials[a].dominated;
+    if (active[a]) ++active_count;
+  }
+  if (active_count < 2) return;
+  const double b_scale = -scoring_->wmu() *
+                         static_cast<double>(n - ss->m) *
+                         static_cast<double>(ss->m) / static_cast<double>(n);
+  for (size_t a = 0; a < ss->partials.size(); ++a) {
+    if (!active[a]) continue;
+    if (PartialIsDominated(a, entries, active, b_scale, &stats_.lp_solves,
+                           &ss->partials[a].witness)) {
+      active[a] = false;
+      ss->partials[a].dominated = true;
+      ++stats_.partials_dominated;
+    }
+  }
+  RefreshMax(ss);
+}
+
+void TightBoundDistance::OnPull(int i) {
+  ++pulls_;
+  ++stats_.bound_updates;
+  const uint32_t bit = 1u << i;
+  for (SubsetStore& ss : subsets_) {
+    if (ss.mask & bit) {
+      AddNewPartials(&ss, i);
+    } else {
+      ss.stale = true;  // delta_i grew; cached bounds are now upper estimates
+    }
+  }
+  if (pulls_ % static_cast<uint64_t>(recompute_period_) == 0) {
+    for (SubsetStore& ss : subsets_) {
+      if (ss.stale) RecomputeStore(&ss);
+    }
+  }
+  if (dominance_period_ > 0 &&
+      pulls_ % static_cast<uint64_t>(dominance_period_) == 0) {
+    double local_sink = 0.0;
+    {
+      ScopedTimer timer(dominance_seconds_sink_ ? dominance_seconds_sink_
+                                                : &local_sink);
+      for (SubsetStore& ss : subsets_) {
+        if (ss.dominance_dirty) {
+          RunDominance(&ss);
+          ss.dominance_dirty = false;
+        }
+      }
+    }
+  }
+}
+
+void TightBoundDistance::OnExhausted(int /*i*/) {
+  // Validity is re-derived from JoinState on every bound()/Potential call.
+}
+
+bool TightBoundDistance::StoreValid(const SubsetStore& ss) const {
+  // A completion needs one unseen tuple from every complement relation.
+  for (int j = 0; j < state_->n(); ++j) {
+    if (ss.mask & (1u << j)) continue;
+    if (state_->rel(j).exhausted) return false;
+  }
+  return true;
+}
+
+double TightBoundDistance::bound() const {
+  double t = -kInf;
+  for (const SubsetStore& ss : subsets_) {
+    if (!StoreValid(ss)) continue;
+    if (ss.t_max > t) t = ss.t_max;
+  }
+  return t;
+}
+
+double TightBoundDistance::Potential(int i) const {
+  if (state_->rel(i).exhausted) return -kInf;
+  double t = -kInf;
+  const uint32_t bit = 1u << i;
+  for (const SubsetStore& ss : subsets_) {
+    if (ss.mask & bit) continue;  // pot_i ranges over M not containing i
+    if (!StoreValid(ss)) continue;
+    if (ss.t_max > t) t = ss.t_max;
+  }
+  return t;
+}
+
+double TightBoundDistance::SubsetBound(uint32_t mask) const {
+  PRJ_CHECK_LT(mask, subsets_.size());
+  return subsets_[mask].t_max;
+}
+
+bool TightBoundDistance::IsPartialDominated(uint32_t mask, size_t index) const {
+  PRJ_CHECK_LT(mask, subsets_.size());
+  PRJ_CHECK_LT(index, subsets_[mask].partials.size());
+  return subsets_[mask].partials[index].dominated;
+}
+
+size_t TightBoundDistance::NumPartials(uint32_t mask) const {
+  PRJ_CHECK_LT(mask, subsets_.size());
+  return subsets_[mask].partials.size();
+}
+
+// ---------------------------------------------------------------------------
+// TightBoundScore
+// ---------------------------------------------------------------------------
+
+TightBoundScore::TightBoundScore(const JoinState* state,
+                                 const SumLogEuclideanScoring* scoring)
+    : state_(state), scoring_(scoring) {
+  const int n = state_->n();
+  PRJ_CHECK_LE(n, 20);
+  best_.resize((1u << n) - 1u);
+  // M = empty: the single empty partial is always present.
+  best_[0].present = true;
+}
+
+std::vector<double> TightBoundScore::CurrentUnseenScores() const {
+  std::vector<double> s(static_cast<size_t>(state_->n()));
+  for (int j = 0; j < state_->n(); ++j) {
+    s[static_cast<size_t>(j)] = state_->rel(j).last_score();
+  }
+  return s;
+}
+
+double TightBoundScore::PartialValue(uint32_t mask,
+                                     const std::vector<uint32_t>& pos) const {
+  std::vector<const Tuple*> members;
+  size_t k = 0;
+  for (int j = 0; j < state_->n(); ++j) {
+    if (!(mask & (1u << j))) continue;
+    members.push_back(&state_->rel(j).seen[pos[k++]]);
+  }
+  ++stats_.qp_solves;
+  return TightPartialBoundScore(*scoring_, state_->query(), state_->n(), mask,
+                                members, CurrentUnseenScores());
+}
+
+void TightBoundScore::OnPull(int i) {
+  ++stats_.bound_updates;
+  const uint32_t bit = 1u << i;
+  const uint32_t new_pos_i = static_cast<uint32_t>(state_->rel(i).depth()) - 1u;
+  for (uint32_t mask = 0; mask < best_.size(); ++mask) {
+    if (!(mask & bit)) continue;
+    // Enumerate the new partials (those using the new tuple at slot i) and
+    // keep the best among {current best} U {new ones} (Algorithm 3). The
+    // comparison at current frontier scores is depth-invariant within M.
+    std::vector<int> members;
+    for (int j = 0; j < state_->n(); ++j) {
+      if (mask & (1u << j)) members.push_back(j);
+    }
+    std::vector<uint32_t> counters(members.size(), 0);
+    std::vector<uint32_t> limits(members.size());
+    bool empty = false;
+    for (size_t a = 0; a < members.size(); ++a) {
+      limits[a] = (members[a] == i)
+                      ? 1u
+                      : static_cast<uint32_t>(state_->rel(members[a]).depth());
+      if (limits[a] == 0) empty = true;
+    }
+    if (empty) continue;
+    BestPartial& best = best_[mask];
+    double best_value = -kInf;
+    if (best.present) best_value = PartialValue(mask, best.pos);
+    for (;;) {
+      std::vector<uint32_t> pos(members.size());
+      for (size_t a = 0; a < members.size(); ++a) {
+        pos[a] = (members[a] == i) ? new_pos_i : counters[a];
+      }
+      ++stats_.partials_total;
+      const double v = PartialValue(mask, pos);
+      if (v > best_value) {
+        best_value = v;
+        best.pos = pos;
+        best.present = true;
+      } else {
+        ++stats_.partials_dominated;  // discarded immediately (Algorithm 3)
+      }
+      size_t a = 0;
+      for (; a < members.size(); ++a) {
+        if (members[a] == i) continue;
+        if (++counters[a] < limits[a]) break;
+        counters[a] = 0;
+      }
+      if (a == members.size()) break;
+    }
+  }
+}
+
+void TightBoundScore::OnExhausted(int /*i*/) {}
+
+double TightBoundScore::bound() const {
+  double t = -kInf;
+  for (int i = 0; i < state_->n(); ++i) {
+    t = std::max(t, Potential(i));
+  }
+  return t;
+}
+
+double TightBoundScore::Potential(int i) const {
+  if (state_->rel(i).exhausted) return -kInf;
+  double t = -kInf;
+  const uint32_t bit = 1u << i;
+  for (uint32_t mask = 0; mask < best_.size(); ++mask) {
+    if (mask & bit) continue;
+    if (!best_[mask].present) continue;
+    bool valid = true;
+    for (int j = 0; j < state_->n(); ++j) {
+      if ((mask & (1u << j)) == 0 && state_->rel(j).exhausted) {
+        valid = false;
+        break;
+      }
+    }
+    if (!valid) continue;
+    t = std::max(t, PartialValue(mask, best_[mask].pos));
+  }
+  return t;
+}
+
+}  // namespace prj

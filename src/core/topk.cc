@@ -1,0 +1,48 @@
+#include "core/topk.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace prj {
+
+bool CombinationBetter(const Combination& a, const Combination& b) {
+  if (a.score != b.score) return a.score > b.score;
+  return a.positions < b.positions;
+}
+
+namespace {
+
+// Heap comparator: parent is *worse* than children (worst at the root).
+bool WorseHeap(const Combination& a, const Combination& b) {
+  return CombinationBetter(a, b);
+}
+
+}  // namespace
+
+TopKBuffer::TopKBuffer(size_t k) : k_(k) { PRJ_CHECK_GE(k, 1u); }
+
+bool TopKBuffer::Offer(Combination combo) {
+  if (entries_.size() < k_) {
+    entries_.push_back(std::move(combo));
+    std::push_heap(entries_.begin(), entries_.end(), WorseHeap);
+    return true;
+  }
+  if (!CombinationBetter(combo, entries_.front())) return false;
+  std::pop_heap(entries_.begin(), entries_.end(), WorseHeap);
+  entries_.back() = std::move(combo);
+  std::push_heap(entries_.begin(), entries_.end(), WorseHeap);
+  return true;
+}
+
+double TopKBuffer::KthScore() const {
+  if (entries_.size() < k_) return -std::numeric_limits<double>::infinity();
+  return entries_.front().score;
+}
+
+std::vector<Combination> TopKBuffer::SortedDescending() const {
+  std::vector<Combination> out = entries_;
+  std::sort(out.begin(), out.end(), CombinationBetter);
+  return out;
+}
+
+}  // namespace prj

@@ -1,0 +1,50 @@
+// Output buffer O of Algorithm 1: retains the best K combinations seen so
+// far under (score desc, lexicographic member positions asc) -- the
+// deterministic tie-breaking criterion required by Definition 2.1.
+#ifndef PRJ_CORE_TOPK_H_
+#define PRJ_CORE_TOPK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace prj {
+
+/// A combination identified by the per-relation positions of its members
+/// within the pulled prefixes P_i, plus its aggregate score.
+struct Combination {
+  std::vector<uint32_t> positions;  ///< positions[i] indexes P_i
+  double score = 0.0;
+};
+
+/// Total order: higher score first; ties by lexicographically smaller
+/// position vector (deterministic across runs).
+bool CombinationBetter(const Combination& a, const Combination& b);
+
+class TopKBuffer {
+ public:
+  explicit TopKBuffer(size_t k);
+
+  size_t k() const { return k_; }
+  size_t size() const { return entries_.size(); }
+  bool full() const { return entries_.size() >= k_; }
+
+  /// Inserts if the combination belongs in the top K. Returns true if kept.
+  bool Offer(Combination combo);
+
+  /// Score of the K-th best entry; -infinity while the buffer is not full.
+  double KthScore() const;
+
+  /// Entries in best-to-worst order.
+  std::vector<Combination> SortedDescending() const;
+
+ private:
+  size_t k_;
+  // Max-heap on "worst first" so the K-th best is at the root.
+  std::vector<Combination> entries_;
+};
+
+}  // namespace prj
+
+#endif  // PRJ_CORE_TOPK_H_

@@ -1,0 +1,31 @@
+// Optional per-pull execution trace: which relation was pulled, the bound
+// and buffer state after the pull. Used to study bound convergence (the
+// mechanism behind the sumDepths differences in Figure 3) and by property
+// tests that assert trajectory invariants (the upper bound never rises,
+// the k-th buffered score never falls).
+#ifndef PRJ_CORE_TRACE_H_
+#define PRJ_CORE_TRACE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace prj {
+
+struct TraceStep {
+  int relation = -1;        ///< input pulled at this step
+  size_t depth = 0;         ///< depth of that relation after the pull
+  double bound = 0.0;       ///< t after updateBound
+  double kth_score = 0.0;   ///< K-th best buffered score (-inf if < K)
+  uint64_t combinations_formed = 0;  ///< cumulative
+};
+
+struct ExecTrace {
+  std::vector<TraceStep> steps;
+
+  void Clear() { steps.clear(); }
+  size_t size() const { return steps.size(); }
+};
+
+}  // namespace prj
+
+#endif  // PRJ_CORE_TRACE_H_

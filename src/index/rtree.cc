@@ -1,0 +1,523 @@
+#include "index/rtree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <limits>
+
+namespace prj {
+
+double Rect::Area() const {
+  double area = 1.0;
+  for (int i = 0; i < dim(); ++i) area *= (hi[i] - lo[i]);
+  return area;
+}
+
+void Rect::Extend(const Rect& other) {
+  PRJ_DCHECK_EQ(dim(), other.dim());
+  for (int i = 0; i < dim(); ++i) {
+    lo[i] = std::min(lo[i], other.lo[i]);
+    hi[i] = std::max(hi[i], other.hi[i]);
+  }
+}
+
+bool Rect::Contains(const Vec& p) const {
+  for (int i = 0; i < dim(); ++i) {
+    if (p[i] < lo[i] || p[i] > hi[i]) return false;
+  }
+  return true;
+}
+
+bool Rect::ContainsRect(const Rect& r) const {
+  for (int i = 0; i < dim(); ++i) {
+    if (r.lo[i] < lo[i] || r.hi[i] > hi[i]) return false;
+  }
+  return true;
+}
+
+bool Rect::Intersects(const Rect& r) const {
+  for (int i = 0; i < dim(); ++i) {
+    if (r.hi[i] < lo[i] || r.lo[i] > hi[i]) return false;
+  }
+  return true;
+}
+
+double Rect::MinSquaredDistance(const Vec& p) const {
+  double acc = 0.0;
+  for (int i = 0; i < dim(); ++i) {
+    double d = 0.0;
+    if (p[i] < lo[i]) {
+      d = lo[i] - p[i];
+    } else if (p[i] > hi[i]) {
+      d = p[i] - hi[i];
+    }
+    acc += d * d;
+  }
+  return acc;
+}
+
+double Rect::Enlargement(const Rect& r) const {
+  Rect grown = *this;
+  grown.Extend(r);
+  return grown.Area() - Area();
+}
+
+struct RTree::Node {
+  bool leaf = true;
+  Rect mbr;
+  std::vector<std::unique_ptr<Node>> children;
+  std::vector<Item> items;
+
+  size_t EntryCount() const { return leaf ? items.size() : children.size(); }
+  Rect EntryRect(size_t i) const {
+    return leaf ? Rect::ForPoint(items[i].point) : children[i]->mbr;
+  }
+  void RecomputeMbr() {
+    const size_t n = EntryCount();
+    PRJ_DCHECK(n > 0);
+    mbr = EntryRect(0);
+    for (size_t i = 1; i < n; ++i) mbr.Extend(EntryRect(i));
+  }
+};
+
+namespace {
+
+// Guttman's quadratic split over an abstract entry sequence. `rect_of`
+// maps an index to its rectangle. Returns the index partition.
+void QuadraticSplitIndices(size_t n, int min_entries,
+                           const std::function<Rect(size_t)>& rect_of,
+                           std::vector<size_t>* group_a,
+                           std::vector<size_t>* group_b) {
+  PRJ_CHECK_GE(n, 2u);
+  // Seeds: the pair wasting the most area if put together.
+  size_t seed_a = 0, seed_b = 1;
+  double worst = -std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      Rect u = rect_of(i);
+      u.Extend(rect_of(j));
+      const double waste = u.Area() - rect_of(i).Area() - rect_of(j).Area();
+      if (waste > worst) {
+        worst = waste;
+        seed_a = i;
+        seed_b = j;
+      }
+    }
+  }
+  group_a->assign(1, seed_a);
+  group_b->assign(1, seed_b);
+  Rect mbr_a = rect_of(seed_a);
+  Rect mbr_b = rect_of(seed_b);
+  std::vector<bool> assigned(n, false);
+  assigned[seed_a] = assigned[seed_b] = true;
+  size_t remaining = n - 2;
+  while (remaining > 0) {
+    // If one group must absorb all the rest to reach min occupancy, do so.
+    if (group_a->size() + remaining == static_cast<size_t>(min_entries)) {
+      for (size_t i = 0; i < n; ++i) {
+        if (!assigned[i]) {
+          group_a->push_back(i);
+          assigned[i] = true;
+        }
+      }
+      break;
+    }
+    if (group_b->size() + remaining == static_cast<size_t>(min_entries)) {
+      for (size_t i = 0; i < n; ++i) {
+        if (!assigned[i]) {
+          group_b->push_back(i);
+          assigned[i] = true;
+        }
+      }
+      break;
+    }
+    // Pick the unassigned entry with the strongest preference.
+    size_t best = 0;
+    double best_pref = -1.0;
+    double best_da = 0.0, best_db = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      if (assigned[i]) continue;
+      const double da = mbr_a.Enlargement(rect_of(i));
+      const double db = mbr_b.Enlargement(rect_of(i));
+      const double pref = std::fabs(da - db);
+      if (pref > best_pref) {
+        best_pref = pref;
+        best = i;
+        best_da = da;
+        best_db = db;
+      }
+    }
+    assigned[best] = true;
+    --remaining;
+    bool to_a;
+    if (best_da != best_db) {
+      to_a = best_da < best_db;
+    } else if (mbr_a.Area() != mbr_b.Area()) {
+      to_a = mbr_a.Area() < mbr_b.Area();
+    } else {
+      to_a = group_a->size() <= group_b->size();
+    }
+    if (to_a) {
+      group_a->push_back(best);
+      mbr_a.Extend(rect_of(best));
+    } else {
+      group_b->push_back(best);
+      mbr_b.Extend(rect_of(best));
+    }
+  }
+}
+
+}  // namespace
+
+RTree::RTree(int dim, int max_entries)
+    : dim_(dim),
+      max_entries_(max_entries),
+      min_entries_(std::max(1, max_entries * 2 / 5)) {
+  PRJ_CHECK(dim >= 1 && dim <= kMaxDim);
+  PRJ_CHECK_GE(max_entries, 4);
+  root_ = std::make_unique<Node>();
+}
+
+RTree::~RTree() = default;
+RTree::RTree(RTree&&) noexcept = default;
+RTree& RTree::operator=(RTree&&) noexcept = default;
+
+void RTree::InsertRec(Node* node, const Vec& point, int64_t id,
+                      std::unique_ptr<Node>* split_out) {
+  split_out->reset();
+  if (node->leaf) {
+    node->items.push_back(Item{point, id});
+  } else {
+    // Guttman ChooseLeaf: least enlargement, ties by least area.
+    size_t best = 0;
+    double best_enl = std::numeric_limits<double>::infinity();
+    double best_area = std::numeric_limits<double>::infinity();
+    const Rect prect = Rect::ForPoint(point);
+    for (size_t i = 0; i < node->children.size(); ++i) {
+      const double enl = node->children[i]->mbr.Enlargement(prect);
+      const double area = node->children[i]->mbr.Area();
+      if (enl < best_enl || (enl == best_enl && area < best_area)) {
+        best_enl = enl;
+        best_area = area;
+        best = i;
+      }
+    }
+    std::unique_ptr<Node> child_split;
+    InsertRec(node->children[best].get(), point, id, &child_split);
+    if (child_split) node->children.push_back(std::move(child_split));
+  }
+
+  if (node->EntryCount() > static_cast<size_t>(max_entries_)) {
+    // Quadratic split.
+    const size_t n = node->EntryCount();
+    std::vector<size_t> ga, gb;
+    QuadraticSplitIndices(
+        n, min_entries_, [&](size_t i) { return node->EntryRect(i); }, &ga, &gb);
+    auto sibling = std::make_unique<Node>();
+    sibling->leaf = node->leaf;
+    if (node->leaf) {
+      std::vector<Item> keep;
+      keep.reserve(ga.size());
+      for (size_t i : ga) keep.push_back(std::move(node->items[i]));
+      for (size_t i : gb) sibling->items.push_back(std::move(node->items[i]));
+      node->items = std::move(keep);
+    } else {
+      std::vector<std::unique_ptr<Node>> keep;
+      keep.reserve(ga.size());
+      for (size_t i : ga) keep.push_back(std::move(node->children[i]));
+      for (size_t i : gb) sibling->children.push_back(std::move(node->children[i]));
+      node->children = std::move(keep);
+    }
+    node->RecomputeMbr();
+    sibling->RecomputeMbr();
+    *split_out = std::move(sibling);
+  } else {
+    if (node->EntryCount() == 1) {
+      node->RecomputeMbr();
+    } else {
+      node->mbr.Extend(Rect::ForPoint(point));
+    }
+  }
+}
+
+void RTree::Insert(const Vec& point, int64_t id) {
+  PRJ_CHECK_EQ(point.dim(), dim_);
+  std::unique_ptr<Node> split;
+  InsertRec(root_.get(), point, id, &split);
+  if (split) {
+    auto new_root = std::make_unique<Node>();
+    new_root->leaf = false;
+    new_root->children.push_back(std::move(root_));
+    new_root->children.push_back(std::move(split));
+    new_root->RecomputeMbr();
+    root_ = std::move(new_root);
+  }
+  ++size_;
+}
+
+std::unique_ptr<RTree::Node> RTree::BuildStr(int dim, std::vector<Item>* items,
+                                             int max_entries) {
+  // Build the leaf level with sort-tile-recursive tiling, then pack parents
+  // level by level with the same tiler applied to node MBR centers.
+  struct Piece {
+    Vec center;
+    std::unique_ptr<Node> node;
+  };
+  // Recursive tiler: partitions [begin, end) into groups of `group_size`
+  // by sorting on successive coordinates.
+  std::function<void(std::vector<size_t>&, size_t, size_t, int,
+                     const std::function<const Vec&(size_t)>&, size_t,
+                     std::vector<std::vector<size_t>>*)>
+      tile = [&](std::vector<size_t>& idx, size_t begin, size_t end, int axis,
+                 const std::function<const Vec&(size_t)>& center_of,
+                 size_t group_size, std::vector<std::vector<size_t>>* out) {
+        const size_t count = end - begin;
+        if (count == 0) return;
+        if (axis >= dim - 1 || count <= group_size) {
+          std::sort(idx.begin() + static_cast<long>(begin),
+                    idx.begin() + static_cast<long>(end), [&](size_t a, size_t b) {
+                      const double va = center_of(a)[axis], vb = center_of(b)[axis];
+                      if (va != vb) return va < vb;
+                      return a < b;
+                    });
+          // Distribute entries evenly over the groups so no node ends up
+          // below the minimum occupancy (a plain "chunks of M" split can
+          // leave a tiny remainder group).
+          const size_t n_groups = (count + group_size - 1) / group_size;
+          const size_t base = count / n_groups;
+          const size_t extra = count % n_groups;
+          size_t start = begin;
+          for (size_t gi = 0; gi < n_groups; ++gi) {
+            const size_t sz = base + (gi < extra ? 1 : 0);
+            std::vector<size_t> group(
+                idx.begin() + static_cast<long>(start),
+                idx.begin() + static_cast<long>(start + sz));
+            out->push_back(std::move(group));
+            start += sz;
+          }
+          return;
+        }
+        std::sort(idx.begin() + static_cast<long>(begin),
+                  idx.begin() + static_cast<long>(end), [&](size_t a, size_t b) {
+                    const double va = center_of(a)[axis], vb = center_of(b)[axis];
+                    if (va != vb) return va < vb;
+                    return a < b;
+                  });
+        const size_t groups = (count + group_size - 1) / group_size;
+        const int remaining_dims = dim - axis;
+        const size_t slabs = static_cast<size_t>(std::ceil(
+            std::pow(static_cast<double>(groups), 1.0 / remaining_dims)));
+        const size_t per_slab = (count + slabs - 1) / slabs;
+        for (size_t s = begin; s < end; s += per_slab) {
+          tile(idx, s, std::min(s + per_slab, end), axis + 1, center_of,
+               group_size, out);
+        }
+      };
+
+  auto tile_level = [&](const std::function<const Vec&(size_t)>& center_of,
+                        size_t count) {
+    std::vector<size_t> idx(count);
+    for (size_t i = 0; i < count; ++i) idx[i] = i;
+    std::vector<std::vector<size_t>> groups;
+    tile(idx, 0, count, 0, center_of, static_cast<size_t>(max_entries), &groups);
+    return groups;
+  };
+
+  // Leaf level.
+  std::vector<Piece> level;
+  {
+    auto groups = tile_level(
+        [&](size_t i) -> const Vec& { return (*items)[i].point; }, items->size());
+    for (auto& g : groups) {
+      auto node = std::make_unique<Node>();
+      node->leaf = true;
+      for (size_t i : g) node->items.push_back(std::move((*items)[i]));
+      node->RecomputeMbr();
+      Vec center = node->mbr.lo;
+      center += node->mbr.hi;
+      center *= 0.5;
+      level.push_back(Piece{std::move(center), std::move(node)});
+    }
+  }
+  // Upper levels.
+  while (level.size() > 1) {
+    auto groups = tile_level(
+        [&](size_t i) -> const Vec& { return level[i].center; }, level.size());
+    std::vector<Piece> next;
+    for (auto& g : groups) {
+      auto node = std::make_unique<Node>();
+      node->leaf = false;
+      for (size_t i : g) node->children.push_back(std::move(level[i].node));
+      node->RecomputeMbr();
+      Vec center = node->mbr.lo;
+      center += node->mbr.hi;
+      center *= 0.5;
+      next.push_back(Piece{std::move(center), std::move(node)});
+    }
+    level = std::move(next);
+  }
+  if (level.empty()) {
+    auto node = std::make_unique<Node>();
+    node->leaf = true;
+    return node;
+  }
+  return std::move(level[0].node);
+}
+
+RTree RTree::BulkLoad(int dim, std::vector<Item> items, int max_entries) {
+  RTree tree(dim, max_entries);
+  for (const Item& it : items) PRJ_CHECK_EQ(it.point.dim(), dim);
+  tree.size_ = items.size();
+  tree.root_ = BuildStr(dim, &items, max_entries);
+  return tree;
+}
+
+std::vector<int64_t> RTree::RangeQuery(const Rect& box) const {
+  std::vector<int64_t> out;
+  if (size_ == 0) return out;
+  std::vector<const Node*> stack = {root_.get()};
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    if (!node->mbr.Intersects(box) && node->EntryCount() > 0) continue;
+    if (node->leaf) {
+      for (const Item& it : node->items) {
+        if (box.Contains(it.point)) out.push_back(it.id);
+      }
+    } else {
+      for (const auto& c : node->children) {
+        if (c->mbr.Intersects(box)) stack.push_back(c.get());
+      }
+    }
+  }
+  return out;
+}
+
+RTree::NearestIterator::NearestIterator(const RTree* tree, Vec q)
+    : tree_(tree), q_(std::move(q)) {
+  PRJ_CHECK_EQ(q_.dim(), tree->dim_);
+  if (tree->size_ > 0) {
+    heap_.push(QueueEntry{tree->root_->mbr.MinSquaredDistance(q_), next_seq_++,
+                          tree->root_.get(), Item{}});
+  }
+}
+
+void RTree::NearestIterator::ExpandTop() {
+  while (!heap_.empty() && heap_.top().node != nullptr) {
+    const Node* node = static_cast<const Node*>(heap_.top().node);
+    heap_.pop();
+    if (node->leaf) {
+      for (const Item& it : node->items) {
+        heap_.push(QueueEntry{it.point.SquaredDistance(q_), next_seq_++, nullptr, it});
+      }
+    } else {
+      for (const auto& c : node->children) {
+        heap_.push(QueueEntry{c->mbr.MinSquaredDistance(q_), next_seq_++,
+                              c.get(), Item{}});
+      }
+    }
+  }
+}
+
+std::optional<RTree::Item> RTree::NearestIterator::Next() {
+  ExpandTop();
+  if (heap_.empty()) return std::nullopt;
+  Item item = heap_.top().item;
+  heap_.pop();
+  return item;
+}
+
+double RTree::NearestIterator::PeekSquaredDistance() {
+  ExpandTop();
+  if (heap_.empty()) return std::numeric_limits<double>::infinity();
+  return heap_.top().dist_sq;
+}
+
+std::vector<RTree::Item> RTree::NearestK(const Vec& q, size_t k) const {
+  NearestIterator it = NearestBrowse(q);
+  std::vector<Item> out;
+  double last_dist = -1.0;
+  // Collect k items plus every tie of the k-th distance, then make the
+  // result order independent of tree shape by sorting on (distance, id).
+  for (;;) {
+    const double peek = it.PeekSquaredDistance();
+    if (!std::isfinite(peek)) break;
+    if (out.size() >= k && peek > last_dist + 1e-18) break;
+    auto item = it.Next();
+    if (!item) break;
+    last_dist = peek;
+    out.push_back(*item);
+  }
+  std::sort(out.begin(), out.end(), [&](const Item& a, const Item& b) {
+    const double da = a.point.SquaredDistance(q), db = b.point.SquaredDistance(q);
+    if (da != db) return da < db;
+    return a.id < b.id;
+  });
+  if (out.size() > k) out.resize(k);
+  return out;
+}
+
+namespace {
+
+struct InvariantState {
+  int leaf_depth = -1;
+  bool ok = true;
+};
+
+}  // namespace
+
+int RTree::Height() const {
+  int h = 1;
+  const Node* node = root_.get();
+  while (!node->leaf) {
+    ++h;
+    PRJ_CHECK(!node->children.empty());
+    node = node->children[0].get();
+  }
+  return h;
+}
+
+bool RTree::CheckInvariants() const {
+  InvariantState state;
+  std::function<void(const Node*, int, bool)> visit = [&](const Node* node,
+                                                          int depth, bool is_root) {
+    if (!state.ok) return;
+    const size_t n = node->EntryCount();
+    if (!is_root) {
+      if (n < static_cast<size_t>(min_entries_) ||
+          n > static_cast<size_t>(max_entries_)) {
+        state.ok = false;
+        return;
+      }
+    } else if (!node->leaf && n < 2) {
+      state.ok = false;
+      return;
+    }
+    if (node->leaf) {
+      if (state.leaf_depth < 0) state.leaf_depth = depth;
+      if (state.leaf_depth != depth) {
+        state.ok = false;
+        return;
+      }
+      for (const Item& it : node->items) {
+        if (!node->mbr.Contains(it.point)) {
+          state.ok = false;
+          return;
+        }
+      }
+    } else {
+      for (const auto& c : node->children) {
+        if (!node->mbr.ContainsRect(c->mbr)) {
+          state.ok = false;
+          return;
+        }
+        visit(c.get(), depth + 1, false);
+      }
+    }
+  };
+  if (size_ == 0) return root_->leaf && root_->items.empty();
+  visit(root_.get(), 0, true);
+  return state.ok;
+}
+
+}  // namespace prj

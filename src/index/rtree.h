@@ -1,0 +1,143 @@
+// In-memory R-tree over d-dimensional points.
+//
+// The paper's operator deliberately assumes *no* index on its inputs --
+// relations arrive as streams sorted by distance or score (Def. 2.1, §5).
+// The index lives on the data-service side: a provider answering
+// "points near q, cheapest first" runs exactly the incremental
+// distance-browsing algorithm of Hjaltason & Samet (the paper's ref. [8])
+// over an R-tree. This module implements that substrate:
+//
+//   * Guttman insertion (least-enlargement subtree, quadratic split),
+//   * sort-tile-recursive (STR) bulk loading,
+//   * axis-aligned box queries,
+//   * k-nearest-neighbour queries, and
+//   * an incremental NearestIterator streaming points in increasing
+//     distance from a query -- the engine behind distance-based access.
+//
+// Entries are (point, opaque int64 payload id).
+#ifndef PRJ_INDEX_RTREE_H_
+#define PRJ_INDEX_RTREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "common/vec.h"
+
+namespace prj {
+
+/// Axis-aligned bounding rectangle.
+struct Rect {
+  Vec lo, hi;
+
+  Rect() = default;
+  Rect(Vec l, Vec h) : lo(std::move(l)), hi(std::move(h)) {}
+  static Rect ForPoint(const Vec& p) { return Rect(p, p); }
+
+  int dim() const { return lo.dim(); }
+  double Area() const;
+  /// Grows this rectangle to cover `other`.
+  void Extend(const Rect& other);
+  bool Contains(const Vec& p) const;
+  bool ContainsRect(const Rect& r) const;
+  bool Intersects(const Rect& r) const;
+  /// Smallest squared Euclidean distance from `p` to this rectangle
+  /// (0 if contained) -- the MINDIST of the NN literature.
+  double MinSquaredDistance(const Vec& p) const;
+  /// Area of the union minus own area: Guttman's enlargement measure.
+  double Enlargement(const Rect& r) const;
+};
+
+/// R-tree over points. Not thread-safe for writes; concurrent reads are
+/// safe once construction is done.
+class RTree {
+ public:
+  struct Item {
+    Vec point;
+    int64_t id;
+  };
+
+  /// `max_entries` is the node fan-out M; min occupancy is M * 2/5.
+  explicit RTree(int dim, int max_entries = 16);
+  ~RTree();
+
+  RTree(RTree&&) noexcept;
+  RTree& operator=(RTree&&) noexcept;
+  RTree(const RTree&) = delete;
+  RTree& operator=(const RTree&) = delete;
+
+  int dim() const { return dim_; }
+  size_t size() const { return size_; }
+
+  void Insert(const Vec& point, int64_t id);
+
+  /// Builds a tree from scratch with sort-tile-recursive packing.
+  static RTree BulkLoad(int dim, std::vector<Item> items, int max_entries = 16);
+
+  /// All ids whose point lies inside `box` (inclusive).
+  std::vector<int64_t> RangeQuery(const Rect& box) const;
+
+  /// The k items nearest to `q` in increasing distance (ties by id).
+  std::vector<Item> NearestK(const Vec& q, size_t k) const;
+
+  /// Streams items in increasing distance from a fixed query point.
+  class NearestIterator {
+   public:
+    /// Returns the next nearest item, or nullopt when exhausted.
+    std::optional<Item> Next();
+    /// Squared distance the next item will have (peek); infinity if done.
+    double PeekSquaredDistance();
+
+   private:
+    friend class RTree;
+    struct QueueEntry {
+      double dist_sq;
+      uint64_t seq;         // tie-break for determinism
+      const void* node;     // internal node, or nullptr for a leaf item
+      Item item;
+      bool operator>(const QueueEntry& o) const {
+        if (dist_sq != o.dist_sq) return dist_sq > o.dist_sq;
+        return seq > o.seq;
+      }
+    };
+    NearestIterator(const RTree* tree, Vec q);
+    void ExpandTop();
+
+    const RTree* tree_;
+    Vec q_;
+    uint64_t next_seq_ = 0;
+    std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                        std::greater<QueueEntry>>
+        heap_;
+  };
+
+  NearestIterator NearestBrowse(const Vec& q) const {
+    return NearestIterator(this, q);
+  }
+
+  /// Structural invariants: every child MBR is contained in its parent's,
+  /// occupancy bounds hold, all leaves at equal depth. Test support.
+  bool CheckInvariants() const;
+  int Height() const;
+
+ private:
+  struct Node;
+  friend class NearestIterator;
+
+  void InsertRec(Node* node, const Vec& point, int64_t id,
+                 std::unique_ptr<Node>* split_out);
+  static std::unique_ptr<Node> BuildStr(int dim, std::vector<Item>* items,
+                                        int max_entries);
+
+  int dim_;
+  int max_entries_;
+  int min_entries_;
+  size_t size_ = 0;
+  std::unique_ptr<Node> root_;
+};
+
+}  // namespace prj
+
+#endif  // PRJ_INDEX_RTREE_H_

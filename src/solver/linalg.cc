@@ -1,0 +1,142 @@
+#include "solver/linalg.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace prj {
+
+Matrix Matrix::Identity(int n) {
+  Matrix m(n, n);
+  for (int i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix t(cols_, rows_);
+  for (int r = 0; r < rows_; ++r) {
+    for (int c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  }
+  return t;
+}
+
+std::vector<double> Matrix::MultiplyVec(const std::vector<double>& x) const {
+  PRJ_CHECK_EQ(static_cast<int>(x.size()), cols_);
+  std::vector<double> y(static_cast<size_t>(rows_), 0.0);
+  for (int r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    for (int c = 0; c < cols_; ++c) acc += (*this)(r, c) * x[static_cast<size_t>(c)];
+    y[static_cast<size_t>(r)] = acc;
+  }
+  return y;
+}
+
+Matrix Matrix::Multiply(const Matrix& other) const {
+  PRJ_CHECK_EQ(cols_, other.rows_);
+  Matrix out(rows_, other.cols_);
+  for (int r = 0; r < rows_; ++r) {
+    for (int k = 0; k < cols_; ++k) {
+      const double a = (*this)(r, k);
+      if (a == 0.0) continue;
+      for (int c = 0; c < other.cols_; ++c) out(r, c) += a * other(k, c);
+    }
+  }
+  return out;
+}
+
+std::string Matrix::ToString() const {
+  std::string s;
+  char buf[40];
+  for (int r = 0; r < rows_; ++r) {
+    s += (r == 0) ? "[" : " ";
+    for (int c = 0; c < cols_; ++c) {
+      std::snprintf(buf, sizeof(buf), "%10.4g", (*this)(r, c));
+      s += buf;
+    }
+    s += (r + 1 == rows_) ? "]\n" : "\n";
+  }
+  return s;
+}
+
+bool CholeskyFactor(const Matrix& a, Matrix* l) {
+  PRJ_CHECK_EQ(a.rows(), a.cols());
+  const int n = a.rows();
+  *l = Matrix(n, n);
+  for (int j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    for (int k = 0; k < j; ++k) diag -= (*l)(j, k) * (*l)(j, k);
+    if (diag <= 0.0 || !std::isfinite(diag)) return false;
+    const double root = std::sqrt(diag);
+    (*l)(j, j) = root;
+    for (int i = j + 1; i < n; ++i) {
+      double v = a(i, j);
+      for (int k = 0; k < j; ++k) v -= (*l)(i, k) * (*l)(j, k);
+      (*l)(i, j) = v / root;
+    }
+  }
+  return true;
+}
+
+std::vector<double> CholeskySolve(const Matrix& l, std::vector<double> b) {
+  const int n = l.rows();
+  PRJ_CHECK_EQ(static_cast<int>(b.size()), n);
+  // Forward substitution: L z = b.
+  for (int i = 0; i < n; ++i) {
+    double v = b[static_cast<size_t>(i)];
+    for (int k = 0; k < i; ++k) v -= l(i, k) * b[static_cast<size_t>(k)];
+    b[static_cast<size_t>(i)] = v / l(i, i);
+  }
+  // Back substitution: L^T x = z.
+  for (int i = n - 1; i >= 0; --i) {
+    double v = b[static_cast<size_t>(i)];
+    for (int k = i + 1; k < n; ++k) v -= l(k, i) * b[static_cast<size_t>(k)];
+    b[static_cast<size_t>(i)] = v / l(i, i);
+  }
+  return b;
+}
+
+std::vector<double> SolveSPD(const Matrix& a, const std::vector<double>& b) {
+  Matrix l;
+  PRJ_CHECK(CholeskyFactor(a, &l)) << "matrix is not positive definite";
+  return CholeskySolve(l, b);
+}
+
+bool SolveLU(Matrix a, std::vector<double> b, std::vector<double>* x) {
+  PRJ_CHECK_EQ(a.rows(), a.cols());
+  const int n = a.rows();
+  PRJ_CHECK_EQ(static_cast<int>(b.size()), n);
+  std::vector<int> perm(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) perm[static_cast<size_t>(i)] = i;
+  for (int col = 0; col < n; ++col) {
+    // Partial pivoting.
+    int pivot = col;
+    double best = std::fabs(a(col, col));
+    for (int r = col + 1; r < n; ++r) {
+      const double v = std::fabs(a(r, col));
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best < 1e-12) return false;
+    if (pivot != col) {
+      for (int c = 0; c < n; ++c) std::swap(a(col, c), a(pivot, c));
+      std::swap(b[static_cast<size_t>(col)], b[static_cast<size_t>(pivot)]);
+    }
+    for (int r = col + 1; r < n; ++r) {
+      const double f = a(r, col) / a(col, col);
+      if (f == 0.0) continue;
+      a(r, col) = 0.0;
+      for (int c = col + 1; c < n; ++c) a(r, c) -= f * a(col, c);
+      b[static_cast<size_t>(r)] -= f * b[static_cast<size_t>(col)];
+    }
+  }
+  x->assign(static_cast<size_t>(n), 0.0);
+  for (int i = n - 1; i >= 0; --i) {
+    double v = b[static_cast<size_t>(i)];
+    for (int c = i + 1; c < n; ++c) v -= a(i, c) * (*x)[static_cast<size_t>(c)];
+    (*x)[static_cast<size_t>(i)] = v / a(i, i);
+  }
+  return true;
+}
+
+}  // namespace prj

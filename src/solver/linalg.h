@@ -1,0 +1,67 @@
+// Small dense linear algebra used by the bound computations.
+//
+// Problem sizes here are tiny (the QP of paper eq. (14) has n <= 16
+// variables; the dominance LP basis has d+1 <= 17 rows), so simple dense
+// O(n^3) routines are the right tool.
+#ifndef PRJ_SOLVER_LINALG_H_
+#define PRJ_SOLVER_LINALG_H_
+
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace prj {
+
+/// Dense row-major matrix of doubles.
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(int rows, int cols, double fill = 0.0)
+      : rows_(rows), cols_(cols),
+        a_(static_cast<size_t>(rows) * static_cast<size_t>(cols), fill) {
+    PRJ_CHECK(rows >= 0 && cols >= 0);
+  }
+
+  static Matrix Identity(int n);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+
+  double& operator()(int r, int c) {
+    PRJ_DCHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return a_[static_cast<size_t>(r) * cols_ + c];
+  }
+  double operator()(int r, int c) const {
+    PRJ_DCHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return a_[static_cast<size_t>(r) * cols_ + c];
+  }
+
+  Matrix Transposed() const;
+  std::vector<double> MultiplyVec(const std::vector<double>& x) const;
+  Matrix Multiply(const Matrix& other) const;
+
+  std::string ToString() const;
+
+ private:
+  int rows_, cols_;
+  std::vector<double> a_;
+};
+
+/// Cholesky factorization A = L L^T of a symmetric positive-definite matrix.
+/// Returns false if A is not (numerically) positive definite.
+bool CholeskyFactor(const Matrix& a, Matrix* l);
+
+/// Solves L L^T x = b given the Cholesky factor L.
+std::vector<double> CholeskySolve(const Matrix& l, std::vector<double> b);
+
+/// Solves A x = b for symmetric positive-definite A; aborts if not SPD.
+std::vector<double> SolveSPD(const Matrix& a, const std::vector<double>& b);
+
+/// Solves a general square system via partial-pivoting LU.
+/// Returns false if the matrix is numerically singular.
+bool SolveLU(Matrix a, std::vector<double> b, std::vector<double>* x);
+
+}  // namespace prj
+
+#endif  // PRJ_SOLVER_LINALG_H_

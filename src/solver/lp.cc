@@ -1,0 +1,314 @@
+#include "solver/lp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace prj {
+namespace {
+
+constexpr double kPivotTol = 1e-9;
+constexpr double kCostTol = 1e-9;
+
+// Revised simplex over the matrix [A | I_artificial]; basis inverse kept
+// densely. Columns >= n_cols are the artificials of phase 1.
+class RevisedSimplex {
+ public:
+  RevisedSimplex(const Matrix& a, std::vector<double> b)
+      : a_(a), b_(std::move(b)), rows_(a.rows()), cols_(a.cols()) {
+    // Normalize to b >= 0 so the artificial basis is feasible.
+    row_sign_.assign(static_cast<size_t>(rows_), 1.0);
+    for (int r = 0; r < rows_; ++r) {
+      if (b_[static_cast<size_t>(r)] < 0) {
+        row_sign_[static_cast<size_t>(r)] = -1.0;
+        b_[static_cast<size_t>(r)] = -b_[static_cast<size_t>(r)];
+      }
+    }
+    binv_ = Matrix::Identity(rows_);
+    basis_.resize(static_cast<size_t>(rows_));
+    for (int r = 0; r < rows_; ++r) basis_[static_cast<size_t>(r)] = cols_ + r;
+    xb_ = b_;
+  }
+
+  // Entry (r, j) of the sign-normalized constraint matrix, artificials
+  // included as an identity block.
+  double Entry(int r, int j) const {
+    if (j < cols_) return row_sign_[static_cast<size_t>(r)] * a_(r, j);
+    return (j - cols_ == r) ? 1.0 : 0.0;
+  }
+
+  // Runs simplex iterations with the given per-column costs. `allowed`
+  // marks columns that may enter the basis. Returns status.
+  LpStatus Run(const std::vector<double>& cost, const std::vector<bool>& allowed,
+               int max_iterations, int* iterations) {
+    const int total = cols_ + rows_;
+    for (; *iterations < max_iterations; ++*iterations) {
+      // Duals: y^T = c_B^T B^{-1}.
+      std::vector<double> y(static_cast<size_t>(rows_), 0.0);
+      for (int r = 0; r < rows_; ++r) {
+        const double cb = cost[static_cast<size_t>(basis_[static_cast<size_t>(r)])];
+        if (cb == 0.0) continue;
+        for (int c = 0; c < rows_; ++c) {
+          y[static_cast<size_t>(c)] += cb * binv_(r, c);
+        }
+      }
+      // Bland's rule: smallest-index column with negative reduced cost.
+      int entering = -1;
+      for (int j = 0; j < total; ++j) {
+        if (!allowed[static_cast<size_t>(j)]) continue;
+        if (InBasis(j)) continue;
+        double red = cost[static_cast<size_t>(j)];
+        for (int r = 0; r < rows_; ++r) red -= y[static_cast<size_t>(r)] * Entry(r, j);
+        if (red < -kCostTol) {
+          entering = j;
+          break;
+        }
+      }
+      if (entering < 0) return LpStatus::kOptimal;
+
+      // Direction d = B^{-1} A_e.
+      std::vector<double> d(static_cast<size_t>(rows_), 0.0);
+      for (int r = 0; r < rows_; ++r) {
+        double acc = 0.0;
+        for (int c = 0; c < rows_; ++c) acc += binv_(r, c) * Entry(c, entering);
+        d[static_cast<size_t>(r)] = acc;
+      }
+      // Ratio test (Bland: break ties by smallest basis variable index).
+      int leaving_row = -1;
+      double best_ratio = std::numeric_limits<double>::infinity();
+      for (int r = 0; r < rows_; ++r) {
+        if (d[static_cast<size_t>(r)] > kPivotTol) {
+          const double ratio = xb_[static_cast<size_t>(r)] / d[static_cast<size_t>(r)];
+          if (ratio < best_ratio - kPivotTol ||
+              (ratio < best_ratio + kPivotTol &&
+               (leaving_row < 0 ||
+                basis_[static_cast<size_t>(r)] <
+                    basis_[static_cast<size_t>(leaving_row)]))) {
+            best_ratio = ratio;
+            leaving_row = r;
+          }
+        }
+      }
+      if (leaving_row < 0) return LpStatus::kUnbounded;
+
+      Pivot(entering, leaving_row, d, best_ratio);
+    }
+    return LpStatus::kIterationLimit;
+  }
+
+  void Pivot(int entering, int leaving_row, const std::vector<double>& d,
+             double step) {
+    for (int r = 0; r < rows_; ++r) {
+      xb_[static_cast<size_t>(r)] -= step * d[static_cast<size_t>(r)];
+      if (xb_[static_cast<size_t>(r)] < 0.0) xb_[static_cast<size_t>(r)] = 0.0;
+    }
+    xb_[static_cast<size_t>(leaving_row)] = step;
+    // Update B^{-1}: eliminate the entering column from other rows.
+    const double piv = d[static_cast<size_t>(leaving_row)];
+    for (int c = 0; c < rows_; ++c) binv_(leaving_row, c) /= piv;
+    for (int r = 0; r < rows_; ++r) {
+      if (r == leaving_row) continue;
+      const double f = d[static_cast<size_t>(r)];
+      if (std::fabs(f) < 1e-14) continue;
+      for (int c = 0; c < rows_; ++c) {
+        binv_(r, c) -= f * binv_(leaving_row, c);
+      }
+    }
+    basis_[static_cast<size_t>(leaving_row)] = entering;
+  }
+
+  bool InBasis(int j) const {
+    for (int r = 0; r < rows_; ++r) {
+      if (basis_[static_cast<size_t>(r)] == j) return true;
+    }
+    return false;
+  }
+
+  // Dual vector y^T = c_B^T B^{-1}, mapped back through the row-sign
+  // normalization so it corresponds to the caller's original rows.
+  std::vector<double> Duals(const std::vector<double>& cost) const {
+    std::vector<double> y(static_cast<size_t>(rows_), 0.0);
+    for (int r = 0; r < rows_; ++r) {
+      const double cb = cost[static_cast<size_t>(basis_[static_cast<size_t>(r)])];
+      if (cb == 0.0) continue;
+      for (int c = 0; c < rows_; ++c) {
+        y[static_cast<size_t>(c)] += cb * binv_(r, c);
+      }
+    }
+    for (int r = 0; r < rows_; ++r) {
+      y[static_cast<size_t>(r)] *= row_sign_[static_cast<size_t>(r)];
+    }
+    return y;
+  }
+
+  double BasicObjective(const std::vector<double>& cost) const {
+    double obj = 0.0;
+    for (int r = 0; r < rows_; ++r) {
+      obj += cost[static_cast<size_t>(basis_[static_cast<size_t>(r)])] *
+             xb_[static_cast<size_t>(r)];
+    }
+    return obj;
+  }
+
+  std::vector<double> ExtractX() const {
+    std::vector<double> x(static_cast<size_t>(cols_), 0.0);
+    for (int r = 0; r < rows_; ++r) {
+      const int j = basis_[static_cast<size_t>(r)];
+      if (j < cols_) x[static_cast<size_t>(j)] = xb_[static_cast<size_t>(r)];
+    }
+    return x;
+  }
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  const std::vector<int>& basis() const { return basis_; }
+
+ private:
+  const Matrix& a_;
+  std::vector<double> b_;
+  int rows_, cols_;
+  std::vector<double> row_sign_;
+  Matrix binv_;
+  std::vector<int> basis_;
+  std::vector<double> xb_;  // current basic values
+};
+
+}  // namespace
+
+LpResult SolveStandardForm(const Matrix& a, const std::vector<double>& b,
+                           const std::vector<double>& c, int max_iterations) {
+  PRJ_CHECK_EQ(a.rows(), static_cast<int>(b.size()));
+  PRJ_CHECK_EQ(a.cols(), static_cast<int>(c.size()));
+  LpResult result;
+  const int rows = a.rows();
+  const int cols = a.cols();
+  RevisedSimplex simplex(a, b);
+
+  // Phase 1: minimize the sum of artificials.
+  std::vector<double> phase1_cost(static_cast<size_t>(cols + rows), 0.0);
+  for (int r = 0; r < rows; ++r) phase1_cost[static_cast<size_t>(cols + r)] = 1.0;
+  std::vector<bool> all_allowed(static_cast<size_t>(cols + rows), true);
+  LpStatus st = simplex.Run(phase1_cost, all_allowed, max_iterations,
+                            &result.iterations);
+  if (st == LpStatus::kIterationLimit) return result;
+  const double phase1_obj = simplex.BasicObjective(phase1_cost);
+  if (phase1_obj > 1e-7) {
+    result.status = LpStatus::kInfeasible;
+    return result;
+  }
+
+  // Phase 2: original costs; artificials may stay basic at level zero but
+  // are assigned a prohibitive cost so they never re-enter and any attempt
+  // to raise them is suboptimal.
+  std::vector<double> phase2_cost(static_cast<size_t>(cols + rows), 0.0);
+  for (int j = 0; j < cols; ++j) phase2_cost[static_cast<size_t>(j)] = c[static_cast<size_t>(j)];
+  double big = 1.0;
+  for (double cj : c) big = std::max(big, std::fabs(cj));
+  for (int r = 0; r < rows; ++r) {
+    phase2_cost[static_cast<size_t>(cols + r)] = big * 1e8;
+  }
+  std::vector<bool> allowed(static_cast<size_t>(cols + rows), false);
+  for (int j = 0; j < cols; ++j) allowed[static_cast<size_t>(j)] = true;
+  st = simplex.Run(phase2_cost, allowed, max_iterations, &result.iterations);
+  if (st == LpStatus::kIterationLimit || st == LpStatus::kUnbounded) {
+    result.status = st;
+    return result;
+  }
+  result.status = LpStatus::kOptimal;
+  result.x = simplex.ExtractX();
+  result.duals = simplex.Duals(phase2_cost);
+  result.objective = 0.0;
+  for (int j = 0; j < cols; ++j) {
+    result.objective += c[static_cast<size_t>(j)] * result.x[static_cast<size_t>(j)];
+  }
+  return result;
+}
+
+LpResult SolveInequalityForm(const Matrix& g, const std::vector<double>& h,
+                             const std::vector<double>& c, int max_iterations) {
+  const int u = g.rows();
+  const int d = g.cols();
+  PRJ_CHECK_EQ(static_cast<int>(h.size()), u);
+  PRJ_CHECK_EQ(static_cast<int>(c.size()), d);
+  // Variables: y+ (d), y- (d), slack (u). G y+ - G y- + s = h.
+  Matrix a(u, 2 * d + u);
+  for (int r = 0; r < u; ++r) {
+    for (int j = 0; j < d; ++j) {
+      a(r, j) = g(r, j);
+      a(r, d + j) = -g(r, j);
+    }
+    a(r, 2 * d + r) = 1.0;
+  }
+  std::vector<double> cost(static_cast<size_t>(2 * d + u), 0.0);
+  for (int j = 0; j < d; ++j) {
+    cost[static_cast<size_t>(j)] = c[static_cast<size_t>(j)];
+    cost[static_cast<size_t>(d + j)] = -c[static_cast<size_t>(j)];
+  }
+  LpResult inner = SolveStandardForm(a, h, cost, max_iterations);
+  LpResult result;
+  result.status = inner.status;
+  result.iterations = inner.iterations;
+  if (inner.status != LpStatus::kOptimal) return result;
+  result.x.assign(static_cast<size_t>(d), 0.0);
+  for (int j = 0; j < d; ++j) {
+    result.x[static_cast<size_t>(j)] =
+        inner.x[static_cast<size_t>(j)] - inner.x[static_cast<size_t>(d + j)];
+  }
+  result.objective = inner.objective;
+  return result;
+}
+
+bool PolyhedronIsEmpty(const Matrix& g, const std::vector<double>& h,
+                       std::vector<double>* witness) {
+  const int u = g.rows();
+  const int d = g.cols();
+  PRJ_CHECK_EQ(static_cast<int>(h.size()), u);
+  if (witness) witness->assign(static_cast<size_t>(d), 0.0);
+  if (u == 0) return false;  // whole space
+
+  // Quick screen: a row with zero normal and negative offset is itself a
+  // Farkas certificate (0 <= h_i with h_i < 0).
+  for (int r = 0; r < u; ++r) {
+    double norm = 0.0;
+    for (int j = 0; j < d; ++j) norm += std::fabs(g(r, j));
+    if (norm < 1e-13 && h[static_cast<size_t>(r)] < -1e-12) return true;
+  }
+
+  // Capped-margin Farkas dual:
+  //   min h^T lambda + lambda_0
+  //   s.t. G^T lambda = 0, 1^T lambda + lambda_0 = 1, lambda, lambda_0 >= 0,
+  // which is the LP dual of "max mu s.t. G y + mu*1 <= h, mu <= 1" (in
+  // h/scale units). It is always feasible (lambda_0 = 1) and bounded;
+  // the polyhedron is empty iff the optimum is < 0 (a Farkas certificate
+  // with lambda_0 = 0), and otherwise the duals of the first d rows are
+  // the max-margin point y -- a ready-made interior witness.
+  Matrix a(d + 1, u + 1);
+  for (int r = 0; r < u; ++r) {
+    for (int j = 0; j < d; ++j) a(j, r) = g(r, j);
+    a(d, r) = 1.0;
+  }
+  a(d, u) = 1.0;  // the lambda_0 column
+  std::vector<double> b(static_cast<size_t>(d + 1), 0.0);
+  b[static_cast<size_t>(d)] = 1.0;
+
+  // Scale-normalize the objective for a robust sign test.
+  double scale = 1.0;
+  for (double v : h) scale = std::max(scale, std::fabs(v));
+  std::vector<double> c(h);
+  for (double& v : c) v /= scale;
+  c.push_back(1.0);  // cost of lambda_0 (the mu <= 1 cap)
+
+  const LpResult lp = SolveStandardForm(a, b, c);
+  PRJ_CHECK(lp.status == LpStatus::kOptimal)
+      << "capped Farkas LP must be solvable; status="
+      << static_cast<int>(lp.status);
+  if (lp.objective < -1e-9) return true;
+  if (witness) {
+    for (int j = 0; j < d; ++j) {
+      (*witness)[static_cast<size_t>(j)] = lp.duals[static_cast<size_t>(j)] * scale;
+    }
+  }
+  return false;
+}
+
+}  // namespace prj

@@ -1,0 +1,57 @@
+// Dense linear programming used by the dominance test of paper §3.2.2.
+//
+// The dominance region D(tau_alpha) (eq. (17)) is an intersection of
+// half-spaces; tau_alpha is dominated iff the region is empty, which the
+// paper decides with the feasibility LP (35). The number of half-spaces u
+// grows with the retrieved prefix (up to thousands) while the dimension d
+// stays tiny (<= 16), so instead of a u-row phase-1 we solve the Farkas
+// dual -- min h^T lambda s.t. G^T lambda = 0, 1^T lambda = 1, lambda >= 0 --
+// whose basis has only d+2 rows, with a two-phase revised simplex.
+#ifndef PRJ_SOLVER_LP_H_
+#define PRJ_SOLVER_LP_H_
+
+#include <vector>
+
+#include "solver/linalg.h"
+
+namespace prj {
+
+enum class LpStatus { kOptimal, kInfeasible, kUnbounded, kIterationLimit };
+
+struct LpResult {
+  LpStatus status = LpStatus::kIterationLimit;
+  std::vector<double> x;      ///< primal solution when kOptimal
+  double objective = 0.0;     ///< c^T x when kOptimal
+  std::vector<double> duals;  ///< dual vector (one per row) when kOptimal
+  int iterations = 0;
+};
+
+/// Solves  min c^T x  s.t.  A x = b, x >= 0  (standard form) with a
+/// two-phase revised simplex using Bland's anti-cycling rule.
+/// A has r rows (small) and n columns (possibly many).
+LpResult SolveStandardForm(const Matrix& a, const std::vector<double>& b,
+                           const std::vector<double>& c,
+                           int max_iterations = 20000);
+
+/// Solves  min c^T y  s.t.  G y <= h  with y free, by conversion to
+/// standard form. Intended for tests and small instances (the conversion
+/// introduces one slack per row).
+LpResult SolveInequalityForm(const Matrix& g, const std::vector<double>& h,
+                             const std::vector<double>& c,
+                             int max_iterations = 20000);
+
+/// Returns true iff { y : G y <= h } is empty, decided via a Farkas
+/// certificate: the set is empty iff some lambda >= 0 with G^T lambda = 0
+/// has h^T lambda < 0. This is the engine of the dominance test (35).
+///
+/// When the set is nonempty and `witness` is non-null, *witness receives a
+/// point of the set (the max-margin point, read off the Farkas dual's dual
+/// variables). Callers can use it to skip future feasibility solves: the
+/// set can only lose points as constraints are added, so as long as the
+/// cached witness satisfies every new constraint the set stays nonempty.
+bool PolyhedronIsEmpty(const Matrix& g, const std::vector<double>& h,
+                       std::vector<double>* witness = nullptr);
+
+}  // namespace prj
+
+#endif  // PRJ_SOLVER_LP_H_

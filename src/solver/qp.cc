@@ -1,0 +1,253 @@
+#include "solver/qp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace prj {
+namespace {
+
+constexpr double kTol = 1e-10;
+
+void ValidateProblem(const QpProblem& p) {
+  const int n = p.n();
+  PRJ_CHECK_EQ(p.h.rows(), p.h.cols());
+  PRJ_CHECK_EQ(static_cast<int>(p.g.size()), n);
+  PRJ_CHECK_EQ(static_cast<int>(p.kind.size()), n);
+  PRJ_CHECK_EQ(static_cast<int>(p.fixed_value.size()), n);
+  PRJ_CHECK_EQ(static_cast<int>(p.lower_bound.size()), n);
+}
+
+// Gradient of the objective: H x + g.
+std::vector<double> Gradient(const QpProblem& p, const std::vector<double>& x) {
+  std::vector<double> grad = p.h.MultiplyVec(x);
+  for (size_t i = 0; i < grad.size(); ++i) grad[i] += p.g[i];
+  return grad;
+}
+
+// Solves the equality-constrained QP where variables in `pinned` are held at
+// their current values in `x` and the rest minimize the objective. Returns
+// false if the reduced Hessian is not SPD. On success writes the full-space
+// minimizer into *target (pinned coordinates copied from x).
+bool SolveEqp(const QpProblem& p, const std::vector<bool>& pinned,
+              const std::vector<double>& x, std::vector<double>* target) {
+  const int n = p.n();
+  std::vector<int> free_idx;
+  for (int i = 0; i < n; ++i) {
+    if (!pinned[static_cast<size_t>(i)]) free_idx.push_back(i);
+  }
+  *target = x;
+  if (free_idx.empty()) return true;
+  const int f = static_cast<int>(free_idx.size());
+  Matrix hff(f, f);
+  std::vector<double> rhs(static_cast<size_t>(f), 0.0);
+  for (int a = 0; a < f; ++a) {
+    const int i = free_idx[static_cast<size_t>(a)];
+    double r = -p.g[static_cast<size_t>(i)];
+    for (int j = 0; j < n; ++j) {
+      if (pinned[static_cast<size_t>(j)]) {
+        r -= p.h(i, j) * x[static_cast<size_t>(j)];
+      }
+    }
+    rhs[static_cast<size_t>(a)] = r;
+    for (int b = 0; b < f; ++b) {
+      hff(a, b) = p.h(i, free_idx[static_cast<size_t>(b)]);
+    }
+  }
+  Matrix l;
+  if (!CholeskyFactor(hff, &l)) return false;
+  const std::vector<double> xf = CholeskySolve(l, rhs);
+  for (int a = 0; a < f; ++a) {
+    (*target)[static_cast<size_t>(free_idx[static_cast<size_t>(a)])] =
+        xf[static_cast<size_t>(a)];
+  }
+  return true;
+}
+
+}  // namespace
+
+double QpObjective(const QpProblem& p, const std::vector<double>& x) {
+  const std::vector<double> hx = p.h.MultiplyVec(x);
+  double obj = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    obj += 0.5 * x[i] * hx[i] + p.g[i] * x[i];
+  }
+  return obj;
+}
+
+QpResult SolveQp(const QpProblem& p) {
+  ValidateProblem(p);
+  const int n = p.n();
+  QpResult result;
+
+  // Feasible start: fixed vars at their values, bounded vars at the bound,
+  // free vars at zero.
+  std::vector<double> x(static_cast<size_t>(n), 0.0);
+  // Working set: true = held at its value this iteration. Fixed variables
+  // are permanently pinned; bounded variables start active.
+  std::vector<bool> pinned(static_cast<size_t>(n), false);
+  std::vector<bool> working(static_cast<size_t>(n), false);
+  for (int i = 0; i < n; ++i) {
+    switch (p.kind[static_cast<size_t>(i)]) {
+      case VarKind::kFixed:
+        x[static_cast<size_t>(i)] = p.fixed_value[static_cast<size_t>(i)];
+        pinned[static_cast<size_t>(i)] = true;
+        break;
+      case VarKind::kLowerBounded:
+        x[static_cast<size_t>(i)] = p.lower_bound[static_cast<size_t>(i)];
+        working[static_cast<size_t>(i)] = true;
+        break;
+      case VarKind::kFree:
+        break;
+    }
+  }
+
+  const int max_iters = 50 + 10 * n * n;
+  for (int iter = 0; iter < max_iters; ++iter) {
+    result.iterations = iter + 1;
+    std::vector<bool> held(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      held[static_cast<size_t>(i)] =
+          pinned[static_cast<size_t>(i)] || working[static_cast<size_t>(i)];
+    }
+    std::vector<double> target;
+    if (!SolveEqp(p, held, x, &target)) return result;  // not SPD
+
+    // Direction from current iterate to the EQP minimizer.
+    double dir_norm = 0.0;
+    for (int i = 0; i < n; ++i) {
+      dir_norm = std::max(dir_norm, std::fabs(target[static_cast<size_t>(i)] -
+                                              x[static_cast<size_t>(i)]));
+    }
+
+    if (dir_norm <= kTol) {
+      // Stationary on the working set; check multipliers of active bounds.
+      const std::vector<double> grad = Gradient(p, x);
+      int worst = -1;
+      double worst_lambda = -1e-9;
+      for (int i = 0; i < n; ++i) {
+        if (!working[static_cast<size_t>(i)]) continue;
+        // For x_i >= lo_i, the KKT multiplier equals grad_i and must be >= 0.
+        const double lambda = grad[static_cast<size_t>(i)];
+        if (lambda < worst_lambda) {
+          worst_lambda = lambda;
+          worst = i;
+        }
+      }
+      if (worst < 0) {
+        result.ok = true;
+        result.x = std::move(x);
+        result.objective = QpObjective(p, result.x);
+        return result;
+      }
+      working[static_cast<size_t>(worst)] = false;
+      continue;
+    }
+
+    // Step toward the target, stopping at the nearest violated bound.
+    double alpha = 1.0;
+    int blocking = -1;
+    for (int i = 0; i < n; ++i) {
+      if (p.kind[static_cast<size_t>(i)] != VarKind::kLowerBounded) continue;
+      if (working[static_cast<size_t>(i)]) continue;
+      const double step = target[static_cast<size_t>(i)] - x[static_cast<size_t>(i)];
+      if (step >= -kTol) continue;
+      const double room =
+          x[static_cast<size_t>(i)] - p.lower_bound[static_cast<size_t>(i)];
+      const double a = room / (-step);
+      if (a < alpha) {
+        alpha = a;
+        blocking = i;
+      }
+    }
+    for (int i = 0; i < n; ++i) {
+      x[static_cast<size_t>(i)] +=
+          alpha * (target[static_cast<size_t>(i)] - x[static_cast<size_t>(i)]);
+    }
+    if (blocking >= 0) {
+      x[static_cast<size_t>(blocking)] =
+          p.lower_bound[static_cast<size_t>(blocking)];
+      working[static_cast<size_t>(blocking)] = true;
+    }
+  }
+  return result;  // did not converge; ok stays false
+}
+
+QpResult SolveQpByEnumeration(const QpProblem& p) {
+  ValidateProblem(p);
+  const int n = p.n();
+  std::vector<int> bounded;
+  for (int i = 0; i < n; ++i) {
+    if (p.kind[static_cast<size_t>(i)] == VarKind::kLowerBounded) {
+      bounded.push_back(i);
+    }
+  }
+  const int b = static_cast<int>(bounded.size());
+  PRJ_CHECK_LE(b, 20) << "enumeration oracle limited to 20 bounded variables";
+
+  QpResult best;
+  double best_obj = std::numeric_limits<double>::infinity();
+  std::vector<double> start(static_cast<size_t>(n), 0.0);
+  for (int i = 0; i < n; ++i) {
+    if (p.kind[static_cast<size_t>(i)] == VarKind::kFixed) {
+      start[static_cast<size_t>(i)] = p.fixed_value[static_cast<size_t>(i)];
+    }
+  }
+  for (uint32_t mask = 0; mask < (1u << b); ++mask) {
+    std::vector<bool> held(static_cast<size_t>(n), false);
+    std::vector<double> x = start;
+    for (int i = 0; i < n; ++i) {
+      held[static_cast<size_t>(i)] =
+          p.kind[static_cast<size_t>(i)] == VarKind::kFixed;
+    }
+    for (int k = 0; k < b; ++k) {
+      if (mask & (1u << k)) {
+        const int i = bounded[static_cast<size_t>(k)];
+        held[static_cast<size_t>(i)] = true;
+        x[static_cast<size_t>(i)] = p.lower_bound[static_cast<size_t>(i)];
+      }
+    }
+    std::vector<double> candidate;
+    if (!SolveEqp(p, held, x, &candidate)) continue;
+    if (!CheckKkt(p, candidate, 1e-7)) continue;
+    const double obj = QpObjective(p, candidate);
+    if (obj < best_obj) {
+      best_obj = obj;
+      best.ok = true;
+      best.x = candidate;
+      best.objective = obj;
+    }
+  }
+  return best;
+}
+
+bool CheckKkt(const QpProblem& p, const std::vector<double>& x, double tol) {
+  ValidateProblem(p);
+  const int n = p.n();
+  if (static_cast<int>(x.size()) != n) return false;
+  const std::vector<double> grad = Gradient(p, x);
+  for (int i = 0; i < n; ++i) {
+    const size_t si = static_cast<size_t>(i);
+    switch (p.kind[si]) {
+      case VarKind::kFixed:
+        if (std::fabs(x[si] - p.fixed_value[si]) > tol) return false;
+        break;
+      case VarKind::kFree:
+        if (std::fabs(grad[si]) > tol) return false;
+        break;
+      case VarKind::kLowerBounded:
+        if (x[si] < p.lower_bound[si] - tol) return false;  // infeasible
+        if (x[si] > p.lower_bound[si] + tol) {
+          // Inactive bound: stationarity must hold.
+          if (std::fabs(grad[si]) > tol) return false;
+        } else {
+          // Active bound: multiplier (= gradient) must be nonnegative.
+          if (grad[si] < -tol) return false;
+        }
+        break;
+    }
+  }
+  return true;
+}
+
+}  // namespace prj

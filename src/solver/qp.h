@@ -1,0 +1,62 @@
+// Convex quadratic programming with fixed variables and lower bounds.
+//
+// This is the "off-the-shelf QP solver" the paper assumes for problem (14)
+// / (30): minimize theta^T H theta with the first m variables fixed to the
+// projections of the seen tuples and the remaining ones lower-bounded by
+// the current access depths. We solve the slightly more general
+//
+//   minimize   1/2 x^T H x + g^T x
+//   subject to x_i  =  fixed_value[i]   for i with kind kFixed
+//              x_i  >= lower_bound[i]   for i with kind kLowerBounded
+//              x_i free                 for i with kind kFree
+//
+// with H symmetric positive definite on the non-fixed subspace, using a
+// textbook primal active-set method (Nocedal & Wright, ch. 16). Problem
+// sizes are tiny (n <= 16), so dense Cholesky per iteration is ideal.
+#ifndef PRJ_SOLVER_QP_H_
+#define PRJ_SOLVER_QP_H_
+
+#include <vector>
+
+#include "solver/linalg.h"
+
+namespace prj {
+
+enum class VarKind { kFree, kFixed, kLowerBounded };
+
+struct QpProblem {
+  Matrix h;                          ///< symmetric, n x n
+  std::vector<double> g;             ///< linear term, size n
+  std::vector<VarKind> kind;         ///< per-variable kind, size n
+  std::vector<double> fixed_value;   ///< used when kind == kFixed
+  std::vector<double> lower_bound;   ///< used when kind == kLowerBounded
+
+  int n() const { return h.rows(); }
+};
+
+struct QpResult {
+  bool ok = false;                 ///< false if H was not SPD on the subspace
+  std::vector<double> x;           ///< optimizer
+  double objective = 0.0;          ///< 1/2 x^T H x + g^T x at the optimizer
+  int iterations = 0;
+};
+
+/// Solves the QP with a primal active-set method. Aborts on malformed input
+/// (dimension mismatches); returns ok=false only on numerical failure.
+QpResult SolveQp(const QpProblem& problem);
+
+/// Test oracle: enumerate all active subsets of the lower-bounded variables
+/// (2^b candidate sets, b <= 20) and return the best KKT point.
+QpResult SolveQpByEnumeration(const QpProblem& problem);
+
+/// Evaluates 1/2 x^T H x + g^T x.
+double QpObjective(const QpProblem& problem, const std::vector<double>& x);
+
+/// Returns true if `x` satisfies the KKT conditions of the problem
+/// within tolerance `tol` (feasibility + stationarity + multiplier signs).
+bool CheckKkt(const QpProblem& problem, const std::vector<double>& x,
+              double tol = 1e-7);
+
+}  // namespace prj
+
+#endif  // PRJ_SOLVER_QP_H_

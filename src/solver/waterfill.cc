@@ -1,0 +1,142 @@
+#include "solver/waterfill.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace prj {
+namespace {
+
+void Validate(const WaterfillProblem& p) {
+  PRJ_CHECK_GE(p.wq, 0.0);
+  PRJ_CHECK_GE(p.wmu, 0.0);
+  PRJ_CHECK(p.m >= 0 && p.m < p.n) << "m=" << p.m << " n=" << p.n;
+  PRJ_CHECK_EQ(static_cast<int>(p.deltas.size()), p.n - p.m);
+  for (double d : p.deltas) PRJ_CHECK_GE(d, 0.0);
+}
+
+}  // namespace
+
+double WaterfillObjective(const WaterfillProblem& p,
+                          const std::vector<double>& theta) {
+  PRJ_CHECK_EQ(theta.size(), p.deltas.size());
+  double sum = 0.0, sum_sq = 0.0;
+  for (double t : theta) {
+    sum += t;
+    sum_sq += t * t;
+  }
+  const double n = static_cast<double>(p.n);
+  return p.c0 - (p.wq + p.wmu) * sum_sq + (p.wmu / n) * sum * sum +
+         (2.0 * p.wmu * static_cast<double>(p.m) * p.nu / n) * sum;
+}
+
+WaterfillResult SolveWaterfill(const WaterfillProblem& p) {
+  Validate(p);
+  const int k = p.n - p.m;
+  const double n = static_cast<double>(p.n);
+  const double m = static_cast<double>(p.m);
+
+  WaterfillResult result;
+  result.theta.assign(static_cast<size_t>(k), 0.0);
+
+  // Fully degenerate weights: the objective is the constant C0; any
+  // feasible point is optimal.
+  if (p.wq + p.wmu == 0.0) {
+    result.theta = p.deltas;
+    result.value = p.c0;
+    return result;
+  }
+
+  // Sort slot indices by decreasing delta; the optimal active set is a
+  // prefix of this order (DESIGN.md §4.1).
+  std::vector<int> order(static_cast<size_t>(k));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return p.deltas[static_cast<size_t>(a)] > p.deltas[static_cast<size_t>(b)];
+  });
+
+  // Degenerate direction: wq == 0, m == 0 makes the free-value equation
+  // singular when everything is free; any common value >= max delta is
+  // optimal (phi is 0 + C0 there). Handled by the prefix scan below since
+  // j == 0 then requires theta_F >= delta_(1) and the formula degenerates;
+  // special-case it for clarity.
+  if (p.wq == 0.0 && p.m == 0) {
+    const double common =
+        p.deltas.empty() ? 0.0 : *std::max_element(p.deltas.begin(), p.deltas.end());
+    // With wq = 0 and no seen tuples, only mutual proximity matters; all
+    // unseen tuples collocated at the largest required distance is optimal
+    // unless wmu is also irrelevant -- the value is C0 either way.
+    for (double& t : result.theta) t = common;
+    result.value = WaterfillObjective(p, result.theta);
+    return result;
+  }
+
+  double prefix_sum = 0.0;  // sum of deltas clamped so far
+  for (int j = 0; j <= k; ++j) {
+    // Candidate: first j (largest) deltas active, the rest free at theta_F.
+    const int free_count = k - j;
+    const double denom = n * (p.wq + p.wmu) - p.wmu * static_cast<double>(free_count);
+    double theta_f = 0.0;
+    if (free_count > 0) {
+      PRJ_CHECK_GT(denom, 1e-15);
+      theta_f = p.wmu * (prefix_sum + m * p.nu) / denom;
+    }
+    const double delta_j =
+        (j == 0) ? std::numeric_limits<double>::infinity()
+                 : p.deltas[static_cast<size_t>(order[static_cast<size_t>(j - 1)])];
+    const double delta_next =
+        (j == k) ? 0.0
+                 : p.deltas[static_cast<size_t>(order[static_cast<size_t>(j)])];
+    // Consistency: active deltas above the shared free value, free deltas
+    // below it. For j == k check the stationarity threshold instead.
+    bool consistent;
+    if (free_count > 0) {
+      consistent = (delta_j >= theta_f - 1e-12) && (theta_f >= delta_next - 1e-12);
+    } else {
+      const double threshold = p.wmu * (prefix_sum + m * p.nu) / (n * (p.wq + p.wmu));
+      consistent = delta_j >= threshold - 1e-12;
+    }
+    if (consistent) {
+      for (int i = 0; i < k; ++i) {
+        const int slot = order[static_cast<size_t>(i)];
+        result.theta[static_cast<size_t>(slot)] =
+            (i < j) ? p.deltas[static_cast<size_t>(slot)] : theta_f;
+      }
+      result.value = WaterfillObjective(p, result.theta);
+      return result;
+    }
+    if (j < k) prefix_sum += p.deltas[static_cast<size_t>(order[static_cast<size_t>(j)])];
+  }
+  // Strict concavity guarantees one consistent prefix; reaching here means a
+  // numerical tie slipped through every tolerance. Fall back to all-active.
+  for (int i = 0; i < k; ++i) {
+    result.theta[static_cast<size_t>(i)] = p.deltas[static_cast<size_t>(i)];
+  }
+  result.value = WaterfillObjective(p, result.theta);
+  return result;
+}
+
+bool CheckWaterfillKkt(const WaterfillProblem& p,
+                       const std::vector<double>& theta, double tol) {
+  if (theta.size() != p.deltas.size()) return false;
+  const double n = static_cast<double>(p.n);
+  const double sum = std::accumulate(theta.begin(), theta.end(), 0.0);
+  for (size_t i = 0; i < theta.size(); ++i) {
+    if (theta[i] < p.deltas[i] - tol) return false;  // infeasible
+    // d phi / d theta_i
+    const double grad = -2.0 * (p.wq + p.wmu) * theta[i] +
+                        2.0 * (p.wmu / n) * sum +
+                        2.0 * p.wmu * static_cast<double>(p.m) * p.nu / n;
+    if (theta[i] > p.deltas[i] + tol) {
+      if (std::fabs(grad) > tol) return false;  // interior: stationary
+    } else {
+      if (grad > tol) return false;  // at bound: must not want to grow
+    }
+  }
+  return true;
+}
+
+}  // namespace prj

@@ -1,0 +1,55 @@
+// Exact specialized solver for the tight-bound optimization of paper
+// §3.2.1 (problems (10)/(12), reduced to (14) via Theorem 3.4).
+//
+// With the origin shifted to the query q, the seen set M (|M| = m),
+// partial-combination centroid norm nu = ||centroid - q||, and the n - m
+// unseen tuples placed collinearly at distances theta_i >= delta_i along
+// the ray through the centroid, the full aggregate score of problem (12)
+// equals exactly
+//
+//   phi(theta) = C0 - (wq+wmu) * sum theta_i^2
+//              + (wmu/n) * (sum theta_i)^2
+//              + (2 wmu m nu / n) * sum theta_i
+//
+// which is a strictly concave QP over theta >= delta (see DESIGN.md §4.1).
+// Its KKT structure is water-filling-like: all free variables share one
+// value theta_F, and the active set is a prefix of the deltas sorted in
+// decreasing order. This yields an exact O(k log k) solver, k = n - m.
+#ifndef PRJ_SOLVER_WATERFILL_H_
+#define PRJ_SOLVER_WATERFILL_H_
+
+#include <vector>
+
+namespace prj {
+
+struct WaterfillProblem {
+  double wq = 1.0;    ///< weight of the query-distance penalty
+  double wmu = 1.0;   ///< weight of the centroid-distance penalty
+  int n = 0;          ///< total number of relations in the join
+  int m = 0;          ///< number of seen positions (|M|)
+  double nu = 0.0;    ///< distance of the partial centroid from the query
+  double c0 = 0.0;    ///< constant term C0 (see header comment)
+  std::vector<double> deltas;  ///< lower bounds for the n - m unseen slots
+};
+
+struct WaterfillResult {
+  std::vector<double> theta;  ///< optimal distances, aligned with `deltas`
+  double value = 0.0;         ///< phi(theta*) == tight bound t(tau)
+};
+
+/// Evaluates phi(theta) for the given problem.
+double WaterfillObjective(const WaterfillProblem& p,
+                          const std::vector<double>& theta);
+
+/// Solves the problem exactly. Requires wq, wmu >= 0, 0 <= m < n,
+/// deltas.size() == n - m, deltas >= 0.
+WaterfillResult SolveWaterfill(const WaterfillProblem& p);
+
+/// Returns true if theta satisfies the KKT conditions within `tol`
+/// (used by tests; independent re-derivation of optimality).
+bool CheckWaterfillKkt(const WaterfillProblem& p,
+                       const std::vector<double>& theta, double tol = 1e-8);
+
+}  // namespace prj
+
+#endif  // PRJ_SOLVER_WATERFILL_H_

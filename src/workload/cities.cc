@@ -1,0 +1,112 @@
+#include "workload/cities.h"
+
+#include <cmath>
+
+#include "common/random.h"
+
+namespace prj {
+namespace {
+
+struct CityProfile {
+  const char* code;
+  const char* landmark;
+  uint64_t seed;
+  int clusters;        // number of POI districts
+  double spread_km;    // how far districts sit from the center
+  double cluster_km;   // in-district standard deviation
+  int hotels;
+  int restaurants;
+  int theaters;
+};
+
+// Profiles roughly shaped like the respective metro areas: dense compact
+// cores (SF, BO) vs. sprawling ones (DA, HO). Absolute counts are in the
+// low hundreds like a Yahoo! Local page crawl of 2010 would return.
+constexpr CityProfile kProfiles[] = {
+    {"SF", "Fishermans Wharf", 101, 6, 3.0, 0.8, 220, 420, 60},
+    {"NY", "Battery Park", 102, 9, 5.0, 1.0, 380, 640, 110},
+    {"BO", "Faneuil Hall", 103, 5, 2.5, 0.7, 160, 300, 45},
+    {"DA", "Dealey Plaza", 104, 7, 8.0, 1.6, 190, 340, 50},
+    {"HO", "Waikiki Beach", 105, 4, 6.0, 1.2, 150, 260, 35},
+};
+
+// Rating models per category. Hotels: star ratings 1-5 scaled to (0,1];
+// restaurants and theaters: user ratings skewed toward the upper-middle.
+double HotelScore(Rng* rng) {
+  const double stars = 1.0 + std::floor(rng->NextDouble() * 5.0);
+  return std::min(stars, 5.0) / 5.0;
+}
+
+double UserRatingScore(Rng* rng) {
+  // Average of two uniforms: triangular around 0.5, then shifted up a bit
+  // (review sites skew positive); clamped to (0, 1].
+  double s = 0.3 + 0.7 * 0.5 * (rng->NextDouble() + rng->NextDouble());
+  if (s > 1.0) s = 1.0;
+  if (s <= 0.0) s = 1e-3;
+  return s;
+}
+
+Relation MakeCategory(const CityProfile& profile, const std::string& category,
+                      int count, uint64_t salt, const std::vector<Vec>& centers,
+                      double cluster_km, double sprawl_km) {
+  Relation rel(category, 2);
+  Rng rng(profile.seed * 0x9e3779b9ULL + salt);
+  for (int i = 0; i < count; ++i) {
+    Vec pos(2);
+    if (rng.NextDouble() < 0.7) {
+      // Clustered around a district core.
+      const auto& c = centers[rng.NextBounded(centers.size())];
+      pos = rng.GaussianAround(c, cluster_km);
+    } else {
+      // Urban sprawl.
+      pos = rng.UniformInCube(2, -sprawl_km, sprawl_km);
+    }
+    const double score =
+        (category == "hotels") ? HotelScore(&rng) : UserRatingScore(&rng);
+    rel.Add(i, score, pos);
+  }
+  return rel;
+}
+
+}  // namespace
+
+const std::vector<std::string>& CityCodes() {
+  static const std::vector<std::string> codes = {"SF", "NY", "BO", "DA", "HO"};
+  return codes;
+}
+
+CityDataset MakeCityDataset(const std::string& code) {
+  const CityProfile* profile = nullptr;
+  for (const CityProfile& p : kProfiles) {
+    if (code == p.code) {
+      profile = &p;
+      break;
+    }
+  }
+  PRJ_CHECK(profile != nullptr) << "unknown city code '" << code << "'";
+
+  Rng rng(profile->seed);
+  std::vector<Vec> centers;
+  centers.reserve(static_cast<size_t>(profile->clusters));
+  for (int i = 0; i < profile->clusters; ++i) {
+    centers.push_back(rng.GaussianAround(Vec{0.0, 0.0}, profile->spread_km));
+  }
+  const double sprawl = 2.0 * profile->spread_km;
+
+  CityDataset ds;
+  ds.city = profile->code;
+  ds.landmark = profile->landmark;
+  // The landmark sits near (not exactly on) the first district core,
+  // like a waterfront attraction at the edge of downtown.
+  ds.query = rng.GaussianAround(centers[0], 0.3 * profile->cluster_km);
+  ds.relations.push_back(MakeCategory(*profile, "hotels", profile->hotels, 1,
+                                      centers, profile->cluster_km, sprawl));
+  ds.relations.push_back(MakeCategory(*profile, "restaurants",
+                                      profile->restaurants, 2, centers,
+                                      profile->cluster_km, sprawl));
+  ds.relations.push_back(MakeCategory(*profile, "theaters", profile->theaters,
+                                      3, centers, profile->cluster_km, sprawl));
+  return ds;
+}
+
+}  // namespace prj

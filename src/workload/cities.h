@@ -1,0 +1,39 @@
+// Simulated real-world data sets (paper Appendix D.2 substitution).
+//
+// The paper's real experiments pull hotels, restaurants and theaters for
+// five American cities from Yahoo!'s YQL service, which no longer exists.
+// We substitute a deterministic synthetic city model that preserves what
+// the operator actually observes: three distance-sorted streams of
+// entertainment POIs with customer-rating scores in (0, 1], d = 2
+// coordinates, clustered densities around downtown cores, and a landmark
+// query point. See DESIGN.md §3 for the substitution rationale.
+//
+// Coordinates are in kilometres relative to the city center; each city has
+// a fixed seed derived from its name, so data sets are reproducible.
+#ifndef PRJ_WORKLOAD_CITIES_H_
+#define PRJ_WORKLOAD_CITIES_H_
+
+#include <string>
+#include <vector>
+
+#include "access/relation.h"
+
+namespace prj {
+
+struct CityDataset {
+  std::string city;                 ///< short code, e.g. "SF"
+  std::string landmark;             ///< name of the query location
+  Vec query;                        ///< query vector q (landmark position)
+  std::vector<Relation> relations;  ///< hotels, restaurants, theaters (n=3)
+};
+
+/// The five cities evaluated in the paper (Figure 3(i)/(l)).
+const std::vector<std::string>& CityCodes();
+
+/// Builds the simulated data set for one of the codes returned by
+/// CityCodes(). Aborts on an unknown code.
+CityDataset MakeCityDataset(const std::string& code);
+
+}  // namespace prj
+
+#endif  // PRJ_WORKLOAD_CITIES_H_

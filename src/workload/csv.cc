@@ -1,0 +1,129 @@
+#include "workload/csv.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace prj {
+namespace {
+
+std::vector<std::string> SplitCsvLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string cur;
+  for (char c : line) {
+    if (c == ',') {
+      fields.push_back(cur);
+      cur.clear();
+    } else if (c != '\r') {
+      cur.push_back(c);
+    }
+  }
+  fields.push_back(cur);
+  return fields;
+}
+
+bool ParseDouble(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  *out = std::strtod(s.c_str(), &end);
+  return end == s.c_str() + s.size();
+}
+
+bool ParseInt64(const std::string& s, int64_t* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  *out = std::strtoll(s.c_str(), &end, 10);
+  return end == s.c_str() + s.size();
+}
+
+}  // namespace
+
+Status SaveRelationCsv(const Relation& relation, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open '" + path + "' for writing");
+  out << "id,score";
+  for (int i = 0; i < relation.dim(); ++i) out << ",x" << i;
+  out << "\n";
+  char buf[64];
+  for (const Tuple& t : relation.tuples()) {
+    out << t.id;
+    std::snprintf(buf, sizeof(buf), ",%.17g", t.score);
+    out << buf;
+    for (int i = 0; i < relation.dim(); ++i) {
+      std::snprintf(buf, sizeof(buf), ",%.17g", t.x[i]);
+      out << buf;
+    }
+    out << "\n";
+  }
+  out.flush();
+  if (!out) return Status::IOError("write to '" + path + "' failed");
+  return Status::OK();
+}
+
+Result<Relation> LoadRelationCsv(const std::string& path,
+                                 const std::string& name, double sigma_max) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open '" + path + "' for reading");
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::IOError("'" + path + "' is empty (missing header)");
+  }
+  const std::vector<std::string> header = SplitCsvLine(line);
+  if (header.size() < 3 || header[0] != "id" || header[1] != "score") {
+    return Status::InvalidArgument("'" + path +
+                                   "': header must be id,score,x0,...");
+  }
+  const int dim = static_cast<int>(header.size()) - 2;
+  for (int i = 0; i < dim; ++i) {
+    if (header[static_cast<size_t>(i + 2)] != "x" + std::to_string(i)) {
+      return Status::InvalidArgument("'" + path + "': bad coordinate header '" +
+                                     header[static_cast<size_t>(i + 2)] + "'");
+    }
+  }
+  if (dim > kMaxDim) {
+    return Status::InvalidArgument("'" + path + "': dim " +
+                                   std::to_string(dim) + " exceeds kMaxDim");
+  }
+
+  Relation rel(name, dim, sigma_max);
+  size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const std::vector<std::string> fields = SplitCsvLine(line);
+    if (fields.size() != header.size()) {
+      return Status::InvalidArgument(
+          "'" + path + "' line " + std::to_string(line_no) + ": expected " +
+          std::to_string(header.size()) + " fields, got " +
+          std::to_string(fields.size()));
+    }
+    Tuple t;
+    if (!ParseInt64(fields[0], &t.id)) {
+      return Status::InvalidArgument("'" + path + "' line " +
+                                     std::to_string(line_no) + ": bad id '" +
+                                     fields[0] + "'");
+    }
+    if (!ParseDouble(fields[1], &t.score)) {
+      return Status::InvalidArgument("'" + path + "' line " +
+                                     std::to_string(line_no) +
+                                     ": bad score '" + fields[1] + "'");
+    }
+    t.x = Vec(dim);
+    for (int i = 0; i < dim; ++i) {
+      double v;
+      if (!ParseDouble(fields[static_cast<size_t>(i + 2)], &v)) {
+        return Status::InvalidArgument(
+            "'" + path + "' line " + std::to_string(line_no) +
+            ": bad coordinate '" + fields[static_cast<size_t>(i + 2)] + "'");
+      }
+      t.x[i] = v;
+    }
+    rel.Add(std::move(t));
+  }
+  PRJ_RETURN_IF_ERROR(rel.Validate());
+  return rel;
+}
+
+}  // namespace prj

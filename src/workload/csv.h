@@ -1,0 +1,24 @@
+// CSV persistence for relations, so users can run the operator over their
+// own data (format: header `id,score,x0,...,x{d-1}` then one row per tuple).
+#ifndef PRJ_WORKLOAD_CSV_H_
+#define PRJ_WORKLOAD_CSV_H_
+
+#include <string>
+
+#include "access/relation.h"
+#include "common/status.h"
+
+namespace prj {
+
+/// Writes `relation` to `path`. Fails with IOError if unwritable.
+Status SaveRelationCsv(const Relation& relation, const std::string& path);
+
+/// Reads a relation from `path`. The relation name is taken from
+/// `name`; sigma_max from the parameter (scores are validated against it).
+Result<Relation> LoadRelationCsv(const std::string& path,
+                                 const std::string& name,
+                                 double sigma_max = 1.0);
+
+}  // namespace prj
+
+#endif  // PRJ_WORKLOAD_CSV_H_

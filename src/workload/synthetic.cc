@@ -1,0 +1,62 @@
+#include "workload/synthetic.h"
+
+#include <cmath>
+
+#include "common/random.h"
+
+namespace prj {
+
+int EffectiveCount(const SyntheticSpec& spec) {
+  PRJ_CHECK_GE(spec.count, 0);
+  if (spec.count > 0) return spec.count;
+  const int auto_count = static_cast<int>(std::llround(spec.density));
+  PRJ_CHECK_GT(auto_count, 0) << "density too small for auto count";
+  return auto_count;
+}
+
+double CubeSide(const SyntheticSpec& spec) {
+  PRJ_CHECK_GT(spec.density, 0.0);
+  return std::pow(static_cast<double>(EffectiveCount(spec)) / spec.density,
+                  1.0 / spec.dim);
+}
+
+Relation GenerateUniformRelation(const SyntheticSpec& spec,
+                                 const std::string& name) {
+  PRJ_CHECK(spec.dim >= 1 && spec.dim <= kMaxDim);
+  Relation rel(name, spec.dim, spec.sigma_max);
+  Rng rng(spec.seed);
+  const double half = 0.5 * CubeSide(spec);
+  const int count = EffectiveCount(spec);
+  for (int i = 0; i < count; ++i) {
+    // Scores uniform in (0, sigma_max]: flip U[0,1) so 0 is excluded
+    // (log-scoring requires strictly positive scores).
+    const double score = spec.sigma_max * (1.0 - rng.NextDouble());
+    rel.Add(i, score, rng.UniformInCube(spec.dim, -half, half));
+  }
+  return rel;
+}
+
+std::vector<Relation> GenerateProblem(int n, const SyntheticSpec& spec,
+                                      double skew) {
+  PRJ_CHECK_GE(n, 1);
+  PRJ_CHECK_GE(skew, 1.0);
+  std::vector<Relation> rels;
+  rels.reserve(static_cast<size_t>(n));
+  const double root = std::sqrt(skew);
+  for (int i = 0; i < n; ++i) {
+    SyntheticSpec s = spec;
+    if (i == 0) {
+      s.density = spec.density * root;
+    } else if (i == 1) {
+      s.density = spec.density / root;
+    }
+    // Keep the expected tuple count near spec.count while the cube side
+    // adapts to the density, exactly like D.1's "sample until the desired
+    // average density" procedure.
+    s.seed = spec.seed * 1000003ULL + static_cast<uint64_t>(i) * 7919ULL + 17ULL;
+    rels.push_back(GenerateUniformRelation(s, "R" + std::to_string(i + 1)));
+  }
+  return rels;
+}
+
+}  // namespace prj

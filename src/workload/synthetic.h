@@ -1,0 +1,53 @@
+// Synthetic data generation following the paper's Appendix D.1.
+//
+// Tuples get scores sampled uniformly from (0, 1] and feature vectors
+// sampled uniformly from a d-dimensional cube centered at the origin whose
+// side is chosen so that the average density equals rho tuples per volume
+// unit. The absolute relation size is irrelevant to the problem (only a
+// prefix is ever read, paper D.1); we default to a few thousand tuples so
+// no experiment ever exhausts its inputs.
+#ifndef PRJ_WORKLOAD_SYNTHETIC_H_
+#define PRJ_WORKLOAD_SYNTHETIC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "access/relation.h"
+
+namespace prj {
+
+struct SyntheticSpec {
+  int dim = 2;             ///< feature-space dimensionality d
+  double density = 50.0;   ///< rho, tuples per unit volume
+  /// Tuples per relation. 0 (the default) reproduces Appendix D.1 exactly:
+  /// the domain is the unit-volume cube [-0.5, 0.5]^d and the relation has
+  /// round(rho) tuples. A positive count keeps the density by growing the
+  /// domain instead (side = (count/density)^(1/d)); use it when an
+  /// experiment must never exhaust its inputs.
+  int count = 0;
+  uint64_t seed = 1;       ///< RNG seed; same seed -> identical relation
+  double sigma_max = 1.0;  ///< score ceiling (scores uniform in (0, ceiling])
+};
+
+/// Effective tuple count: spec.count, or round(spec.density) in auto mode.
+int EffectiveCount(const SyntheticSpec& spec);
+
+/// Side length of the cube that realizes `spec.density` with `spec.count`
+/// tuples: (count / density)^(1/dim).
+double CubeSide(const SyntheticSpec& spec);
+
+/// Generates one relation per the spec.
+Relation GenerateUniformRelation(const SyntheticSpec& spec,
+                                 const std::string& name);
+
+/// Generates the n relations of one synthetic problem instance. `skew` is
+/// the paper's density ratio rho_1/rho_2 (Table 2), applied to the first
+/// two relations while preserving their geometric-mean density:
+/// rho_1 = rho * sqrt(skew), rho_2 = rho / sqrt(skew). Remaining relations
+/// use rho unchanged. Seeds are derived from `seed` per relation.
+std::vector<Relation> GenerateProblem(int n, const SyntheticSpec& spec,
+                                      double skew = 1.0);
+
+}  // namespace prj
+
+#endif  // PRJ_WORKLOAD_SYNTHETIC_H_

@@ -1,0 +1,66 @@
+// Contract-violation (death) tests: programmer errors abort with a clear
+// message instead of corrupting state, per the PRJ_CHECK discipline.
+#include <gtest/gtest.h>
+
+#include "access/source.h"
+#include "common/vec.h"
+#include "core/scoring.h"
+#include "core/topk.h"
+#include "index/rtree.h"
+#include "solver/waterfill.h"
+
+namespace prj {
+namespace {
+
+using DeathTest = ::testing::Test;
+
+TEST(VecDeathTest, DimensionOverflowAborts) {
+  EXPECT_DEATH(Vec v(kMaxDim + 1), "dim");
+}
+
+TEST(VecDeathTest, NormalizingZeroVectorAborts) {
+  EXPECT_DEATH(Vec(3).Normalized(), "normalize");
+}
+
+TEST(VecDeathTest, BasisOutOfRangeAborts) {
+  EXPECT_DEATH(Vec::Basis(2, 5), "axis");
+}
+
+TEST(ScoringDeathTest, NegativeWeightsAbort) {
+  EXPECT_DEATH(SumLogEuclideanScoring(-1.0, 1.0, 1.0), "ws");
+}
+
+TEST(TopKDeathTest, ZeroKAborts) { EXPECT_DEATH(TopKBuffer buf(0), "k"); }
+
+TEST(WaterfillDeathTest, BadSubsetSizeAborts) {
+  WaterfillProblem p;
+  p.n = 2;
+  p.m = 2;  // m must be < n
+  EXPECT_DEATH(SolveWaterfill(p), "m=");
+}
+
+TEST(WaterfillDeathTest, NegativeDeltaAborts) {
+  WaterfillProblem p;
+  p.n = 2;
+  p.m = 0;
+  p.deltas = {0.5, -0.1};
+  EXPECT_DEATH(SolveWaterfill(p), "check failed");
+}
+
+TEST(RTreeDeathTest, WrongDimensionInsertAborts) {
+  RTree tree(2);
+  EXPECT_DEATH(tree.Insert(Vec{1.0, 2.0, 3.0}, 0), "dim");
+}
+
+TEST(RTreeDeathTest, TinyFanoutAborts) {
+  EXPECT_DEATH(RTree tree(2, 2), "max_entries");
+}
+
+TEST(SourceDeathTest, QueryDimensionMismatchAborts) {
+  Relation r("R", 2);
+  r.Add(0, 0.5, Vec{1.0, 1.0});
+  EXPECT_DEATH(SortedDistanceSource src(r, Vec{1.0}), "dim");
+}
+
+}  // namespace
+}  // namespace prj

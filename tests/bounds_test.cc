@@ -1,0 +1,557 @@
+// Tests for the bounding schemes of §3 and Appendices B/C, anchored to the
+// paper's golden values: the corner bound of Example 3.1 (t_c = -5), the
+// tight bound Table 3 (all t(tau) and t_M entries, t = -7), and the
+// optimal unseen locations of Example 3.2 / Figure 1(b).
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "access/source.h"
+#include "common/random.h"
+#include "core/bounds.h"
+#include "core/brute_force.h"
+#include "core/join_state.h"
+#include "core/tight_bound.h"
+#include "paper_fixture.h"
+#include "workload/synthetic.h"
+
+namespace prj {
+namespace {
+
+using testing_fixture::Table1Deltas;
+using testing_fixture::Table1Query;
+using testing_fixture::Table1Relations;
+using testing_fixture::Table1Scoring;
+using testing_fixture::Table3Rows;
+using testing_fixture::Table3SubsetBounds;
+
+// Drives a JoinState + bounding scheme by pulling from real sources.
+class BoundHarness {
+ public:
+  BoundHarness(const std::vector<Relation>& relations, AccessKind kind,
+               const Vec& query)
+      : sources_(MakeSources(relations, kind, query)),
+        state_(query, kind, sources_) {}
+
+  JoinState& state() { return state_; }
+
+  // Pulls one tuple from relation i and notifies `bound`.
+  bool Pull(int i, BoundingScheme* bound) {
+    auto t = sources_[static_cast<size_t>(i)]->Next();
+    if (!t) {
+      state_.MarkExhausted(i);
+      bound->OnExhausted(i);
+      return false;
+    }
+    state_.Append(i, std::move(*t));
+    bound->OnPull(i);
+    return true;
+  }
+
+  void PullAllRoundRobin(BoundingScheme* bound) {
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      for (int i = 0; i < state_.n(); ++i) {
+        if (!state_.rel(i).exhausted) progress |= Pull(i, bound);
+      }
+    }
+  }
+
+ private:
+  std::vector<std::unique_ptr<AccessSource>> sources_;
+  JoinState state_;
+};
+
+std::vector<const Tuple*> Members(const std::vector<Relation>& rels,
+                                  uint32_t mask,
+                                  const std::vector<uint32_t>& idx) {
+  std::vector<const Tuple*> out;
+  size_t k = 0;
+  for (size_t j = 0; j < rels.size(); ++j) {
+    if (mask & (1u << j)) out.push_back(&rels[j].tuple(idx[k++]));
+  }
+  return out;
+}
+
+// ------------------------------ Corner bound --------------------------- //
+
+TEST(CornerBoundTest, Example31CornerIsMinus5) {
+  const auto rels = Table1Relations();
+  const auto scoring = Table1Scoring();
+  BoundHarness h(rels, AccessKind::kDistance, Table1Query());
+  CornerBound corner(&h.state(), &scoring);
+  // Exactly the Table 1 state: two tuples pulled from each relation.
+  for (int round = 0; round < 2; ++round) {
+    for (int i = 0; i < 3; ++i) h.Pull(i, &corner);
+  }
+  // t_1 = -5, t_2 = t_3 = -10.25 -> t_c = -5 (Example 3.1).
+  EXPECT_NEAR(corner.Potential(0), -5.0, 1e-9);
+  EXPECT_NEAR(corner.Potential(1), -10.25, 1e-9);
+  EXPECT_NEAR(corner.Potential(2), -10.25, 1e-9);
+  EXPECT_NEAR(corner.bound(), -5.0, 1e-9);
+}
+
+TEST(CornerBoundTest, Depth0ConventionGivesMaxPossible) {
+  const auto rels = Table1Relations();
+  const auto scoring = Table1Scoring();
+  BoundHarness h(rels, AccessKind::kDistance, Table1Query());
+  CornerBound corner(&h.state(), &scoring);
+  // Nothing pulled: all distances 0, all scores sigma_max -> bound = 0.
+  EXPECT_NEAR(corner.bound(), 0.0, 1e-12);
+}
+
+TEST(CornerBoundTest, NeverBelowTightBound) {
+  // The corner bound dominates the tight bound at every step.
+  Rng rng(71);
+  for (int trial = 0; trial < 10; ++trial) {
+    SyntheticSpec spec;
+    spec.dim = 2;
+    spec.count = 30;
+    spec.density = 30;
+    spec.seed = 100 + trial;
+    const auto rels = GenerateProblem(2, spec);
+    const auto scoring = Table1Scoring();
+    const Vec q(2, 0.0);
+    BoundHarness hc(rels, AccessKind::kDistance, q);
+    BoundHarness ht(rels, AccessKind::kDistance, q);
+    CornerBound corner(&hc.state(), &scoring);
+    TightBoundDistance tight(&ht.state(), &scoring);
+    for (int step = 0; step < 20; ++step) {
+      const int i = step % 2;
+      hc.Pull(i, &corner);
+      ht.Pull(i, &tight);
+      EXPECT_GE(corner.bound(), tight.bound() - 1e-9)
+          << "trial " << trial << " step " << step;
+    }
+  }
+}
+
+TEST(CornerBoundTest, ScoreAccessFrontier) {
+  const auto rels = testing_fixture::TheoremC1Relations(0);
+  const SumLogEuclideanScoring scoring(1.0, 1.0, 1.0);
+  BoundHarness h(rels, AccessKind::kScore, Vec{0.0});
+  CornerBound corner(&h.state(), &scoring);
+  h.Pull(0, &corner);
+  h.Pull(1, &corner);
+  h.Pull(0, &corner);
+  h.Pull(1, &corner);
+  // p1 = p2 = 2: ts_c = 0 (Theorem C.1's proof: the corner bound is stuck
+  // at ln(sigma(R1[1])) + ln(sigma(R2[2])) = 0 with zero distances).
+  EXPECT_NEAR(corner.bound(), 0.0, 1e-9);
+}
+
+// ------------------------------ Tight bound ---------------------------- //
+
+TEST(TightBoundTest, ReproducesEveryTable3PartialBound) {
+  const auto rels = Table1Relations();
+  const auto scoring = Table1Scoring();
+  const Vec q = Table1Query();
+  const std::vector<double> sigma_max = {1.0, 1.0, 1.0};
+  const std::vector<double> deltas = Table1Deltas();
+  for (const auto& row : Table3Rows()) {
+    const auto members = Members(rels, row.mask, row.members);
+    const double t = TightPartialBoundDistance(scoring, q, 3, row.mask,
+                                               members, sigma_max, deltas);
+    EXPECT_NEAR(t, row.t, 0.06)
+        << "mask " << row.mask << " members "
+        << ::testing::PrintToString(row.members);
+  }
+}
+
+TEST(TightBoundTest, ClassReproducesTable3SubsetBoundsAndFinalBound) {
+  const auto rels = Table1Relations();
+  const auto scoring = Table1Scoring();
+  BoundHarness h(rels, AccessKind::kDistance, Table1Query());
+  TightBoundDistance tight(&h.state(), &scoring);
+  for (int round = 0; round < 2; ++round) {
+    for (int i = 0; i < 3; ++i) h.Pull(i, &tight);
+  }
+  for (const auto& [mask, t_m] : Table3SubsetBounds()) {
+    EXPECT_NEAR(tight.SubsetBound(mask), t_m, 0.06) << "mask " << mask;
+  }
+  // Example 3.1: the tight bound is -7, so the seen combination with score
+  // -7 is provably top-1 while the corner bound (-5) cannot conclude that.
+  EXPECT_NEAR(tight.bound(), -7.0, 0.05);
+}
+
+TEST(TightBoundTest, Example32PartialTau21) {
+  // Partial tau_2^(1): optimal unseen locations y_1* = [sqrt(2)/2]^2,
+  // y_3* = [2,2], bound -12.8 (Example 3.2, Figure 1(b)).
+  const auto rels = Table1Relations();
+  const auto scoring = Table1Scoring();
+  const Vec q = Table1Query();
+  std::vector<Vec> y;
+  const double t = TightPartialBoundDistance(
+      scoring, q, 3, 0b010, {&rels[1].tuple(0)}, {1.0, 1.0, 1.0},
+      Table1Deltas(), nullptr, &y);
+  EXPECT_NEAR(t, -12.8, 0.06);
+  const double s2 = std::sqrt(2.0) / 2.0;
+  EXPECT_TRUE(y[0].ApproxEquals(Vec{s2, s2}, 1e-6)) << y[0].ToString();
+  EXPECT_TRUE(y[2].ApproxEquals(Vec{2.0, 2.0}, 1e-6)) << y[2].ToString();
+}
+
+TEST(TightBoundTest, Example32PartialTau11Tau31) {
+  // Partial tau_1^(1) x tau_3^(1): y_2* = [-2.53, 1.26], bound -16.
+  const auto rels = Table1Relations();
+  const auto scoring = Table1Scoring();
+  std::vector<Vec> y;
+  std::vector<double> theta;
+  const double t = TightPartialBoundDistance(
+      scoring, Table1Query(), 3, 0b101,
+      {&rels[0].tuple(0), &rels[2].tuple(0)}, {1.0, 1.0, 1.0}, Table1Deltas(),
+      &theta, &y);
+  EXPECT_NEAR(t, -16.0, 0.05);
+  ASSERT_EQ(theta.size(), 1u);
+  EXPECT_NEAR(theta[0], 2.0 * std::sqrt(2.0), 1e-9);  // clamped at delta_2
+  EXPECT_TRUE(y[1].ApproxEquals(Vec{-2.53, 1.26}, 0.01)) << y[1].ToString();
+}
+
+TEST(TightBoundTest, OptimalLocationsAreCollinearWithCentroidRay) {
+  // Theorem 3.4: all y_i* lie on the ray from q through the partial
+  // centroid.
+  Rng rng(72);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int d = 2 + static_cast<int>(rng.NextBounded(3));
+    const SumLogEuclideanScoring scoring(rng.Uniform(0.1, 2.0),
+                                         rng.Uniform(0.1, 2.0),
+                                         rng.Uniform(0.1, 2.0));
+    const Vec q = rng.UniformInCube(d, -1, 1);
+    Tuple seen{0, 0.7, rng.UniformInCube(d, -2, 2)};
+    const int n = 3;
+    std::vector<double> sigma_max(n, 1.0);
+    std::vector<double> deltas = {0.0, rng.Uniform(0.0, 2.0),
+                                  rng.Uniform(0.0, 2.0)};
+    std::vector<Vec> y;
+    TightPartialBoundDistance(scoring, q, n, 0b001, {&seen}, sigma_max,
+                              deltas, nullptr, &y);
+    Vec ray = seen.x - q;
+    if (ray.Norm() < 1e-9) continue;
+    ray = ray.Normalized();
+    for (int j = 1; j < n; ++j) {
+      Vec rel = y[static_cast<size_t>(j)] - q;
+      const double along = rel.Dot(ray);
+      EXPECT_GE(along, -1e-9);
+      Vec residual = rel - ray * along;
+      EXPECT_LT(residual.Norm(), 1e-7) << "trial " << trial;
+    }
+  }
+}
+
+TEST(TightBoundTest, BoundIsAttainedByReconstruction) {
+  // Tightness witness: the bound equals the true aggregate score of the
+  // completion built from the optimal locations with the allowed scores.
+  Rng rng(73);
+  for (int trial = 0; trial < 100; ++trial) {
+    const int d = 1 + static_cast<int>(rng.NextBounded(4));
+    const int n = 2 + static_cast<int>(rng.NextBounded(3));
+    const SumLogEuclideanScoring scoring(rng.Uniform(0.0, 2.0),
+                                         rng.Uniform(0.1, 2.0),
+                                         rng.Uniform(0.1, 2.0));
+    const Vec q = rng.UniformInCube(d, -1, 1);
+    const uint32_t full = (1u << n) - 1u;
+    const uint32_t mask = static_cast<uint32_t>(rng.NextBounded(full));
+    std::vector<Tuple> storage;
+    storage.reserve(static_cast<size_t>(n));
+    std::vector<double> sigma_max(static_cast<size_t>(n), 1.0);
+    std::vector<double> deltas(static_cast<size_t>(n), 0.0);
+    for (int j = 0; j < n; ++j) {
+      deltas[static_cast<size_t>(j)] = rng.Uniform(0.0, 2.0);
+      if (mask & (1u << j)) {
+        storage.push_back(Tuple{j, rng.Uniform(0.1, 1.0),
+                                rng.UniformInCube(d, -2, 2)});
+      }
+    }
+    std::vector<const Tuple*> members;
+    for (auto& t : storage) members.push_back(&t);
+    std::vector<Vec> y;
+    const double t = TightPartialBoundDistance(scoring, q, n, mask, members,
+                                               sigma_max, deltas, nullptr, &y);
+    const double reconstructed = TightBoundValueByReconstruction(
+        scoring, q, n, mask, members, sigma_max, y);
+    EXPECT_NEAR(t, reconstructed, 1e-8) << "trial " << trial;
+    // And the reconstruction is feasible: every unseen location respects
+    // its distance lower bound.
+    for (int j = 0; j < n; ++j) {
+      if (mask & (1u << j)) continue;
+      EXPECT_GE(y[static_cast<size_t>(j)].Distance(q),
+                deltas[static_cast<size_t>(j)] - 1e-9);
+    }
+  }
+}
+
+// Index of the `rank`-th tuple of `rel` in distance-from-q order; the
+// upper-bound check must enumerate tuples in the same order the sources
+// deliver them.
+size_t SortedIndex(const Relation& rel, const Vec& q, uint32_t rank) {
+  std::vector<size_t> idx(rel.size());
+  for (size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  std::sort(idx.begin(), idx.end(), [&](size_t a, size_t b) {
+    const double da = rel.tuple(a).x.SquaredDistance(q);
+    const double db = rel.tuple(b).x.SquaredDistance(q);
+    if (da != db) return da < db;
+    return rel.tuple(a).id < rel.tuple(b).id;
+  });
+  return idx[rank];
+}
+
+TEST(TightBoundTest, UpperBoundsEveryUnseenCombination) {
+  // Correctness of updateBound: at every step of a run, the bound covers
+  // the score of every cross-product combination using >= 1 unseen tuple.
+  Rng rng(74);
+  for (int trial = 0; trial < 6; ++trial) {
+    SyntheticSpec spec;
+    spec.dim = 1 + static_cast<int>(rng.NextBounded(3));
+    spec.count = 12;
+    spec.density = 20;
+    spec.seed = 500 + trial;
+    const int n = 2 + static_cast<int>(rng.NextBounded(2));
+    const auto rels = GenerateProblem(n, spec);
+    const SumLogEuclideanScoring scoring(1.0, 1.0, 1.0);
+    const Vec q(spec.dim, 0.0);
+    BoundHarness h(rels, AccessKind::kDistance, q);
+    TightBoundDistance tight(&h.state(), &scoring);
+
+    std::vector<uint32_t> pos(static_cast<size_t>(n), 0);
+    for (int step = 0; step < 4 * n; ++step) {
+      h.Pull(step % n, &tight);
+      const double bound = tight.bound();
+      // Enumerate the full cross product; check unseen-using combos.
+      std::fill(pos.begin(), pos.end(), 0u);
+      for (;;) {
+        bool uses_unseen = false;
+        for (int j = 0; j < n; ++j) {
+          if (pos[static_cast<size_t>(j)] >=
+              h.state().rel(j).depth()) {
+            uses_unseen = true;
+          }
+        }
+        if (uses_unseen) {
+          std::vector<const Tuple*> combo;
+          for (int j = 0; j < n; ++j) {
+            combo.push_back(&rels[static_cast<size_t>(j)].tuple(
+                SortedIndex(rels[static_cast<size_t>(j)], q,
+                            pos[static_cast<size_t>(j)])));
+          }
+          EXPECT_GE(bound, scoring.CombinationScore(q, combo) - 1e-9)
+              << "trial " << trial << " step " << step;
+        }
+        int j = 0;
+        for (; j < n; ++j) {
+          if (++pos[static_cast<size_t>(j)] <
+              rels[static_cast<size_t>(j)].size()) {
+            break;
+          }
+          pos[static_cast<size_t>(j)] = 0;
+        }
+        if (j == n) break;
+      }
+    }
+  }
+}
+
+// --------------------------- Score-based tight ------------------------- //
+
+TEST(TightBoundScoreTest, UnconstrainedClosedForm41) {
+  // y* = q + (nu - q) * m*wmu / (m*wmu + n*wq) for every unseen slot.
+  const SumLogEuclideanScoring scoring(1.0, 2.0, 3.0);
+  const Vec q{1.0, -1.0};
+  Tuple a{0, 0.8, Vec{3.0, 1.0}};
+  Tuple b{1, 0.9, Vec{5.0, 3.0}};
+  std::vector<Vec> y;
+  TightPartialBoundScore(scoring, q, 4, 0b0011, {&a, &b},
+                         {1.0, 1.0, 0.7, 0.6}, &y);
+  const Vec nu{4.0, 2.0};  // centroid of a, b
+  const double c = 2.0 * 3.0 / (2.0 * 3.0 + 4.0 * 2.0);
+  const Vec expected = q + (nu - q) * c;
+  EXPECT_TRUE(y[2].ApproxEquals(expected, 1e-9)) << y[2].ToString();
+  EXPECT_TRUE(y[3].ApproxEquals(expected, 1e-9));
+}
+
+TEST(TightBoundScoreTest, EmptyPartialPlacesUnseenAtQuery) {
+  const SumLogEuclideanScoring scoring(1.0, 1.0, 1.0);
+  const Vec q{0.5, 0.5};
+  std::vector<Vec> y;
+  const double t =
+      TightPartialBoundScore(scoring, q, 2, 0, {}, {0.8, 0.5}, &y);
+  EXPECT_TRUE(y[0].ApproxEquals(q, 1e-9));
+  EXPECT_TRUE(y[1].ApproxEquals(q, 1e-9));
+  EXPECT_NEAR(t, std::log(0.8) + std::log(0.5), 1e-9);
+}
+
+TEST(TightBoundScoreTest, ClassBoundUpperBoundsBruteForceTop1) {
+  const auto rels = testing_fixture::TheoremC1Relations(5);
+  const SumLogEuclideanScoring scoring(1.0, 1.0, 1.0);
+  const Vec q{0.0};
+  BoundHarness h(rels, AccessKind::kScore, q);
+  TightBoundScore tight(&h.state(), &scoring);
+  const auto top = BruteForceTopK(rels, scoring, q, 1);
+  for (int step = 0; step < 4; ++step) {
+    h.Pull(step % 2, &tight);
+    // While unseen combos include the true best, the bound covers it.
+    EXPECT_GE(tight.bound(), -4.0 / 3.0 - 1e-9) << "step " << step;
+  }
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_NEAR(top[0].score, -4.0 / 3.0, 1e-9);
+}
+
+TEST(TightBoundScoreTest, TightBelowCornerUnderScoreAccess) {
+  const auto rels = testing_fixture::TheoremC1Relations(8);
+  const SumLogEuclideanScoring scoring(1.0, 1.0, 1.0);
+  const Vec q{0.0};
+  BoundHarness hc(rels, AccessKind::kScore, q);
+  BoundHarness ht(rels, AccessKind::kScore, q);
+  CornerBound corner(&hc.state(), &scoring);
+  TightBoundScore tight(&ht.state(), &scoring);
+  for (int step = 0; step < 8; ++step) {
+    hc.Pull(step % 2, &corner);
+    ht.Pull(step % 2, &tight);
+    EXPECT_GE(corner.bound(), tight.bound() - 1e-9) << "step " << step;
+  }
+}
+
+// Exhaustive reference for the score-access tight bound: recompute
+// t_s(tau) for EVERY partial combination of every valid subset, with no
+// best-partial shortcut. Validates Algorithm 3's invariance argument.
+double ExhaustiveScoreBound(const JoinState& state,
+                            const SumLogEuclideanScoring& scoring) {
+  const int n = state.n();
+  std::vector<double> unseen(static_cast<size_t>(n));
+  for (int j = 0; j < n; ++j) unseen[static_cast<size_t>(j)] = state.rel(j).last_score();
+  double best = -std::numeric_limits<double>::infinity();
+  const uint32_t full = (1u << n) - 1u;
+  for (uint32_t mask = 0; mask < full; ++mask) {
+    bool valid = true;
+    std::vector<int> members;
+    for (int j = 0; j < n; ++j) {
+      if (mask & (1u << j)) {
+        members.push_back(j);
+        if (state.rel(j).depth() == 0) valid = false;
+      } else if (state.rel(j).exhausted) {
+        valid = false;
+      }
+    }
+    if (!valid) continue;
+    std::vector<uint32_t> idx(members.size(), 0);
+    for (;;) {
+      std::vector<const Tuple*> tuples;
+      for (size_t a = 0; a < members.size(); ++a) {
+        tuples.push_back(
+            &state.rel(members[a]).seen[idx[a]]);
+      }
+      best = std::max(best, TightPartialBoundScore(scoring, state.query(), n,
+                                                   mask, tuples, unseen));
+      size_t a = 0;
+      for (; a < members.size(); ++a) {
+        if (++idx[a] < state.rel(members[a]).depth()) break;
+        idx[a] = 0;
+      }
+      if (a == members.size()) break;
+      if (members.empty()) break;
+    }
+  }
+  return best;
+}
+
+TEST(TightBoundScoreTest, SingleBestTrackingMatchesExhaustiveEnumeration) {
+  // Algorithm 3 keeps only one partial per subset, justified by the
+  // shift-invariance of the within-subset ordering. Verify against the
+  // exhaustive maximum at every step on random instances.
+  for (uint64_t seed : {301u, 302u, 303u, 304u}) {
+    SyntheticSpec spec;
+    spec.dim = 2;
+    spec.count = 15;
+    spec.density = 15;
+    spec.seed = seed;
+    const int n = (seed % 2 == 0) ? 3 : 2;
+    const auto rels = GenerateProblem(n, spec);
+    const SumLogEuclideanScoring scoring(1.0, 0.7, 1.3);
+    BoundHarness h(rels, AccessKind::kScore, Vec(2, 0.0));
+    TightBoundScore tight(&h.state(), &scoring);
+    for (int step = 0; step < 6 * n; ++step) {
+      h.Pull(step % n, &tight);
+      EXPECT_NEAR(tight.bound(), ExhaustiveScoreBound(h.state(), scoring),
+                  1e-9)
+          << "seed " << seed << " step " << step;
+    }
+  }
+}
+
+TEST(TightBoundScoreTest, UpperBoundsEveryUnseenCombinationUnderScoreAccess) {
+  for (uint64_t seed : {311u, 312u}) {
+    SyntheticSpec spec;
+    spec.dim = 2;
+    spec.count = 10;
+    spec.density = 10;
+    spec.seed = seed;
+    const auto rels = GenerateProblem(2, spec);
+    const SumLogEuclideanScoring scoring(1, 1, 1);
+    const Vec q(2, 0.0);
+    BoundHarness h(rels, AccessKind::kScore, q);
+    TightBoundScore tight(&h.state(), &scoring);
+    // Score order of each relation, to map prefix ranks to tuples.
+    auto by_score = [](const Relation& rel) {
+      std::vector<size_t> idx(rel.size());
+      for (size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+      std::sort(idx.begin(), idx.end(), [&](size_t a, size_t b) {
+        if (rel.tuple(a).score != rel.tuple(b).score) {
+          return rel.tuple(a).score > rel.tuple(b).score;
+        }
+        return rel.tuple(a).id < rel.tuple(b).id;
+      });
+      return idx;
+    };
+    const auto order1 = by_score(rels[0]);
+    const auto order2 = by_score(rels[1]);
+    for (int step = 0; step < 8; ++step) {
+      h.Pull(step % 2, &tight);
+      const double bound = tight.bound();
+      for (size_t a = 0; a < rels[0].size(); ++a) {
+        for (size_t b = 0; b < rels[1].size(); ++b) {
+          const bool unseen =
+              a >= h.state().rel(0).depth() || b >= h.state().rel(1).depth();
+          if (!unseen) continue;
+          const double s = scoring.CombinationScore(
+              q, {&rels[0].tuple(order1[a]), &rels[1].tuple(order2[b])});
+          EXPECT_GE(bound, s - 1e-9)
+              << "seed " << seed << " step " << step << " (" << a << "," << b
+              << ")";
+        }
+      }
+    }
+  }
+}
+
+// ------------------------------ Exhaustion ----------------------------- //
+
+TEST(TightBoundTest, ExhaustedComplementInvalidatesSubsets) {
+  // Two tiny relations; exhaust R2 fully. Then no combination can use an
+  // unseen tuple of R2 and the bound must come only from M containing R2.
+  Relation r1("R1", 1), r2("R2", 1);
+  r1.Add(0, 1.0, Vec{0.0});
+  r1.Add(1, 1.0, Vec{1.0});
+  r2.Add(0, 1.0, Vec{0.5});
+  const std::vector<Relation> rels = {r1, r2};
+  const SumLogEuclideanScoring scoring(1.0, 1.0, 1.0);
+  BoundHarness h(rels, AccessKind::kDistance, Vec{0.0});
+  TightBoundDistance tight(&h.state(), &scoring);
+  h.Pull(0, &tight);
+  h.Pull(1, &tight);
+  EXPECT_TRUE(std::isfinite(tight.bound()));
+  h.Pull(1, &tight);  // exhausts R2
+  EXPECT_TRUE(h.state().rel(1).exhausted);
+  // Potential of exhausted relation is -inf; the remaining bound only
+  // covers completions drawing unseen tuples from R1.
+  EXPECT_TRUE(std::isinf(tight.Potential(1)));
+  EXPECT_LT(tight.Potential(1), 0);
+  EXPECT_TRUE(std::isfinite(tight.Potential(0)));
+  h.Pull(0, &tight);  // exhausts... not yet: R1 has 2 tuples
+  h.Pull(0, &tight);  // now exhausted
+  EXPECT_TRUE(std::isinf(tight.bound()));
+  EXPECT_LT(tight.bound(), 0);
+}
+
+}  // namespace
+}  // namespace prj

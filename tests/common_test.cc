@@ -1,0 +1,214 @@
+// Unit tests for src/common: Vec math, Status/Result, Rng, timers.
+#include <cmath>
+#include <set>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "common/timer.h"
+#include "common/vec.h"
+
+namespace prj {
+namespace {
+
+TEST(VecTest, ConstructionAndAccess) {
+  Vec v(3);
+  EXPECT_EQ(v.dim(), 3);
+  EXPECT_EQ(v[0], 0.0);
+  Vec w{1.0, 2.0, 3.0};
+  EXPECT_EQ(w.dim(), 3);
+  EXPECT_EQ(w[1], 2.0);
+  Vec filled(2, 5.0);
+  EXPECT_EQ(filled[0], 5.0);
+  EXPECT_EQ(filled[1], 5.0);
+}
+
+TEST(VecTest, FromStdRoundTrip) {
+  std::vector<double> xs = {0.5, -1.5, 2.25};
+  Vec v = Vec::FromStd(xs);
+  EXPECT_EQ(v.ToStd(), xs);
+}
+
+TEST(VecTest, Basis) {
+  Vec e1 = Vec::Basis(4, 1);
+  EXPECT_EQ(e1[0], 0.0);
+  EXPECT_EQ(e1[1], 1.0);
+  EXPECT_DOUBLE_EQ(e1.Norm(), 1.0);
+}
+
+TEST(VecTest, Arithmetic) {
+  Vec a{1.0, 2.0};
+  Vec b{3.0, -1.0};
+  EXPECT_EQ((a + b), (Vec{4.0, 1.0}));
+  EXPECT_EQ((a - b), (Vec{-2.0, 3.0}));
+  EXPECT_EQ((a * 2.0), (Vec{2.0, 4.0}));
+  EXPECT_EQ((2.0 * a), (Vec{2.0, 4.0}));
+  EXPECT_EQ((a / 2.0), (Vec{0.5, 1.0}));
+}
+
+TEST(VecTest, DotAndNorms) {
+  Vec a{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(a.Dot(a), 25.0);
+  EXPECT_DOUBLE_EQ(a.SquaredNorm(), 25.0);
+  EXPECT_DOUBLE_EQ(a.Norm(), 5.0);
+  Vec b{0.0, 0.0};
+  EXPECT_DOUBLE_EQ(a.Distance(b), 5.0);
+  EXPECT_DOUBLE_EQ(a.SquaredDistance(b), 25.0);
+}
+
+TEST(VecTest, Normalized) {
+  Vec a{0.0, 3.0};
+  EXPECT_TRUE(a.Normalized().ApproxEquals(Vec{0.0, 1.0}));
+}
+
+TEST(VecTest, ApproxEquals) {
+  Vec a{1.0, 2.0};
+  Vec b{1.0 + 1e-12, 2.0 - 1e-12};
+  EXPECT_TRUE(a.ApproxEquals(b));
+  EXPECT_FALSE(a.ApproxEquals(Vec{1.0, 2.1}));
+  EXPECT_FALSE(a.ApproxEquals(Vec{1.0}));
+}
+
+TEST(VecTest, MeanOfVectors) {
+  const Vec m = Mean({Vec{0.0, 0.0}, Vec{2.0, 4.0}});
+  EXPECT_TRUE(m.ApproxEquals(Vec{1.0, 2.0}));
+}
+
+TEST(VecTest, ToStringIsReadable) {
+  EXPECT_EQ((Vec{1.0, -0.5}).ToString(), "[1, -0.5]");
+}
+
+TEST(StatusTest, OkByDefault) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::InvalidArgument("bad k");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(st.ToString(), "InvalidArgument: bad k");
+}
+
+TEST(StatusTest, AllConstructorsSetCodes) {
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::IOError("x").code(), StatusCode::kIOError);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.NextU64() == b.NextU64());
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRespectsRange) {
+  Rng rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.Uniform(-2.0, 5.0);
+    EXPECT_GE(x, -2.0);
+    EXPECT_LT(x, 5.0);
+  }
+}
+
+TEST(RngTest, BoundedCoversAllResidues) {
+  Rng rng(5);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 300; ++i) seen.insert(rng.NextBounded(7));
+  EXPECT_EQ(seen.size(), 7u);
+  for (uint64_t v : seen) EXPECT_LT(v, 7u);
+}
+
+TEST(RngTest, GaussianMomentsRoughlyStandard) {
+  Rng rng(6);
+  double sum = 0.0, sum_sq = 0.0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  EXPECT_NEAR(sum / trials, 0.0, 0.05);
+  EXPECT_NEAR(sum_sq / trials, 1.0, 0.05);
+}
+
+TEST(RngTest, UniformInCubeBounds) {
+  Rng rng(8);
+  const Vec v = rng.UniformInCube(5, -1.5, 1.5);
+  EXPECT_EQ(v.dim(), 5);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_GE(v[i], -1.5);
+    EXPECT_LT(v[i], 1.5);
+  }
+}
+
+TEST(RngTest, GaussianAroundCenters) {
+  Rng rng(9);
+  Vec center{10.0, -10.0};
+  Vec acc(2);
+  const int trials = 5000;
+  for (int i = 0; i < trials; ++i) acc += rng.GaussianAround(center, 0.5);
+  acc /= trials;
+  EXPECT_NEAR(acc[0], 10.0, 0.1);
+  EXPECT_NEAR(acc[1], -10.0, 0.1);
+}
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  WallTimer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_GE(t.ElapsedMillis(), 5.0);
+  t.Reset();
+  EXPECT_LT(t.ElapsedMillis(), 5.0);
+}
+
+TEST(TimerTest, ScopedTimerAccumulates) {
+  double sink = 0.0;
+  {
+    ScopedTimer timer(&sink);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  const double first = sink;
+  EXPECT_GT(first, 0.0);
+  {
+    ScopedTimer timer(&sink);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GT(sink, first);
+}
+
+}  // namespace
+}  // namespace prj

@@ -1,0 +1,575 @@
+// End-to-end tests of the ProxRJ operator (Algorithm 1): all four
+// algorithms x both access kinds return exactly the brute-force top-K on
+// randomized instances; the instance-optimality counterexamples of
+// Theorems 3.1 and C.1 behave as proved; Theorem 3.5 (TBPA never deeper
+// than TBRR) holds; dominance and block bound updates do not change
+// results; and the failure modes return proper Statuses.
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/brute_force.h"
+#include "core/engine.h"
+#include "paper_fixture.h"
+#include "workload/synthetic.h"
+
+namespace prj {
+namespace {
+
+using testing_fixture::Table1Query;
+using testing_fixture::Table1Relations;
+using testing_fixture::Table1Scoring;
+
+std::vector<double> Scores(const std::vector<ResultCombination>& rs) {
+  std::vector<double> out;
+  out.reserve(rs.size());
+  for (const auto& r : rs) out.push_back(r.score);
+  return out;
+}
+
+void ExpectSameScores(const std::vector<ResultCombination>& got,
+                      const std::vector<ResultCombination>& expected,
+                      const std::string& label) {
+  const auto gs = Scores(got);
+  const auto es = Scores(expected);
+  ASSERT_EQ(gs.size(), es.size()) << label;
+  for (size_t i = 0; i < gs.size(); ++i) {
+    EXPECT_NEAR(gs[i], es[i], 1e-7) << label << " rank " << i;
+  }
+}
+
+struct AlgoCase {
+  AlgorithmPreset preset;
+  AccessKind kind;
+};
+
+std::string CaseName(const ::testing::TestParamInfo<AlgoCase>& info) {
+  std::string name = info.param.preset.name;
+  for (char& c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return name + (info.param.kind == AccessKind::kDistance ? "_dist" : "_score");
+}
+
+class AllAlgorithmsTest : public ::testing::TestWithParam<AlgoCase> {};
+
+TEST_P(AllAlgorithmsTest, Table1Top1IsMinus7Combo) {
+  const auto rels = Table1Relations();
+  const auto scoring = Table1Scoring();
+  ProxRJOptions opts;
+  opts.k = 1;
+  opts.Apply(GetParam().preset);
+  ExecStats stats;
+  auto result = RunProxRJ(rels, GetParam().kind, scoring, Table1Query(), opts,
+                          &stats);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_NEAR((*result)[0].score, -7.0, 0.05);
+  EXPECT_EQ((*result)[0].tuples[0].id, 1);  // tau_1^(2)
+  EXPECT_EQ((*result)[0].tuples[1].id, 0);  // tau_2^(1)
+  EXPECT_EQ((*result)[0].tuples[2].id, 0);  // tau_3^(1)
+  EXPECT_TRUE(stats.completed);
+}
+
+TEST_P(AllAlgorithmsTest, MatchesBruteForceOnRandomInstances) {
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    for (int n : {2, 3}) {
+      SyntheticSpec spec;
+      spec.dim = 1 + static_cast<int>(seed % 3);
+      spec.count = 40;
+      spec.density = 40;
+      spec.seed = seed;
+      const auto rels = GenerateProblem(n, spec);
+      const SumLogEuclideanScoring scoring(1.0, 1.0, 1.0);
+      const Vec q(spec.dim, 0.0);
+      const int k = 1 + static_cast<int>(seed % 5) * 2;
+      const auto expected = BruteForceTopK(rels, scoring, q, k);
+
+      ProxRJOptions opts;
+      opts.k = k;
+      opts.Apply(GetParam().preset);
+      ExecStats stats;
+      auto result = RunProxRJ(rels, GetParam().kind, scoring, q, opts, &stats);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      EXPECT_TRUE(stats.completed);
+      ExpectSameScores(*result, expected,
+                       std::string(GetParam().preset.name) + " seed " +
+                           std::to_string(seed) + " n " + std::to_string(n));
+    }
+  }
+}
+
+TEST_P(AllAlgorithmsTest, VaryingWeightsStillCorrect) {
+  const double weight_sets[][3] = {
+      {1.0, 1.0, 1.0}, {0.0, 1.0, 1.0}, {1.0, 2.0, 0.5},
+      {2.0, 0.5, 3.0}, {1.0, 1.0, 0.0},
+  };
+  for (const auto& w : weight_sets) {
+    SyntheticSpec spec;
+    spec.dim = 2;
+    spec.count = 30;
+    spec.density = 30;
+    spec.seed = 99;
+    const auto rels = GenerateProblem(2, spec);
+    const SumLogEuclideanScoring scoring(w[0], w[1], w[2]);
+    const Vec q(2, 0.0);
+    const auto expected = BruteForceTopK(rels, scoring, q, 5);
+    ProxRJOptions opts;
+    opts.k = 5;
+    opts.Apply(GetParam().preset);
+    auto result = RunProxRJ(rels, GetParam().kind, scoring, q, opts);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    ExpectSameScores(*result, expected,
+                     "weights " + std::to_string(w[0]) + "/" +
+                         std::to_string(w[1]) + "/" + std::to_string(w[2]));
+  }
+}
+
+TEST_P(AllAlgorithmsTest, KLargerThanCrossProductReturnsEverything) {
+  SyntheticSpec spec;
+  spec.dim = 2;
+  spec.count = 4;
+  spec.density = 10;
+  spec.seed = 3;
+  const auto rels = GenerateProblem(2, spec);
+  const SumLogEuclideanScoring scoring(1, 1, 1);
+  const Vec q(2, 0.0);
+  ProxRJOptions opts;
+  opts.k = 100;  // cross product has only 16
+  opts.Apply(GetParam().preset);
+  ExecStats stats;
+  auto result = RunProxRJ(rels, GetParam().kind, scoring, q, opts, &stats);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->size(), 16u);
+  ExpectSameScores(*result, BruteForceTopK(rels, scoring, q, 100), "all");
+}
+
+TEST_P(AllAlgorithmsTest, EmptyRelationYieldsEmptyResult) {
+  Relation r1("R1", 2);
+  r1.Add(0, 1.0, Vec{0.0, 0.0});
+  Relation r2("R2", 2);  // empty
+  ProxRJOptions opts;
+  opts.k = 3;
+  opts.Apply(GetParam().preset);
+  const SumLogEuclideanScoring scoring(1, 1, 1);
+  auto result =
+      RunProxRJ({r1, r2}, GetParam().kind, scoring, Vec{0.0, 0.0}, opts);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->empty());
+}
+
+TEST_P(AllAlgorithmsTest, SingleRelationTopK) {
+  // n = 1 degenerates to plain top-k selection by g_1.
+  SyntheticSpec spec;
+  spec.dim = 2;
+  spec.count = 50;
+  spec.density = 50;
+  spec.seed = 17;
+  const auto rels = GenerateProblem(1, spec);
+  const SumLogEuclideanScoring scoring(1, 1, 1);
+  const Vec q(2, 0.0);
+  ProxRJOptions opts;
+  opts.k = 7;
+  opts.Apply(GetParam().preset);
+  auto result = RunProxRJ(rels, GetParam().kind, scoring, q, opts);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ExpectSameScores(*result, BruteForceTopK(rels, scoring, q, 7), "n=1");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Presets, AllAlgorithmsTest,
+    ::testing::Values(AlgoCase{kCBRR, AccessKind::kDistance},
+                      AlgoCase{kCBPA, AccessKind::kDistance},
+                      AlgoCase{kTBRR, AccessKind::kDistance},
+                      AlgoCase{kTBPA, AccessKind::kDistance},
+                      AlgoCase{kCBRR, AccessKind::kScore},
+                      AlgoCase{kCBPA, AccessKind::kScore},
+                      AlgoCase{kTBRR, AccessKind::kScore},
+                      AlgoCase{kTBPA, AccessKind::kScore}),
+    CaseName);
+
+// ------------------- Instance-optimality counterexamples --------------- //
+
+TEST(InstanceOptimalityTest, Theorem31TightStopsEarlyCornerDoesNot) {
+  // On the Theorem 3.1 instance the tight bound certifies the top-1 at
+  // depths (2, 1); the corner bound must keep reading R1 through every
+  // filler tuple inside radius sqrt(1.5).
+  const int fillers = 25;
+  const auto rels = testing_fixture::Theorem31Relations(fillers);
+  const auto scoring = testing_fixture::Theorem31Scoring();
+  const Vec q{0.0, 0.0};
+
+  ProxRJOptions tb;
+  tb.k = 1;
+  tb.Apply(kTBRR);
+  ExecStats tb_stats;
+  auto tb_result = RunProxRJ(rels, AccessKind::kDistance, scoring, q, tb,
+                             &tb_stats);
+  ASSERT_TRUE(tb_result.ok());
+  EXPECT_NEAR((*tb_result)[0].score, -5.5, 1e-9);
+
+  ProxRJOptions cb;
+  cb.k = 1;
+  cb.Apply(kCBRR);
+  ExecStats cb_stats;
+  auto cb_result = RunProxRJ(rels, AccessKind::kDistance, scoring, q, cb,
+                             &cb_stats);
+  ASSERT_TRUE(cb_result.ok());
+  EXPECT_NEAR((*cb_result)[0].score, -5.5, 1e-9);
+
+  // Same answer, wildly different I/O: the corner bound reads past every
+  // filler while the tight bound needs a handful of accesses.
+  EXPECT_GE(cb_stats.depths[0], static_cast<size_t>(fillers));
+  EXPECT_LE(tb_stats.sum_depths, 6u);
+  EXPECT_GT(cb_stats.sum_depths, 4 * tb_stats.sum_depths);
+}
+
+TEST(InstanceOptimalityTest, TheoremC1TightStopsEarlyCornerDoesNot) {
+  const int fillers = 30;
+  const auto rels = testing_fixture::TheoremC1Relations(fillers);
+  const SumLogEuclideanScoring scoring(1.0, 1.0, 1.0);
+  const Vec q{0.0};
+
+  ProxRJOptions tb;
+  tb.k = 1;
+  tb.Apply(kTBRR);
+  ExecStats tb_stats;
+  auto tb_result =
+      RunProxRJ(rels, AccessKind::kScore, scoring, q, tb, &tb_stats);
+  ASSERT_TRUE(tb_result.ok());
+  EXPECT_NEAR((*tb_result)[0].score, -4.0 / 3.0, 1e-9);
+
+  ProxRJOptions cb;
+  cb.k = 1;
+  cb.Apply(kCBRR);
+  ExecStats cb_stats;
+  auto cb_result =
+      RunProxRJ(rels, AccessKind::kScore, scoring, q, cb, &cb_stats);
+  ASSERT_TRUE(cb_result.ok());
+  EXPECT_NEAR((*cb_result)[0].score, -4.0 / 3.0, 1e-9);
+
+  EXPECT_GE(cb_stats.depths[1], static_cast<size_t>(fillers));
+  EXPECT_LE(tb_stats.sum_depths, 8u);
+}
+
+// ------------------------------ Theorem 3.5 ---------------------------- //
+
+TEST(Theorem35Test, TbpaNeverDeeperThanTbrrPerRelation) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    SyntheticSpec spec;
+    spec.dim = 2;
+    spec.count = 300;
+    spec.density = 50;
+    spec.seed = seed * 13;
+    for (int n : {2, 3}) {
+      const auto rels = GenerateProblem(n, spec, /*skew=*/seed % 2 ? 1.0 : 4.0);
+      const SumLogEuclideanScoring scoring(1, 1, 1);
+      const Vec q(2, 0.0);
+      ProxRJOptions rr;
+      rr.k = 10;
+      rr.Apply(kTBRR);
+      ExecStats rr_stats;
+      ASSERT_TRUE(
+          RunProxRJ(rels, AccessKind::kDistance, scoring, q, rr, &rr_stats)
+              .ok());
+      ProxRJOptions pa;
+      pa.k = 10;
+      pa.Apply(kTBPA);
+      ExecStats pa_stats;
+      ASSERT_TRUE(
+          RunProxRJ(rels, AccessKind::kDistance, scoring, q, pa, &pa_stats)
+              .ok());
+      for (int i = 0; i < n; ++i) {
+        EXPECT_LE(pa_stats.depths[static_cast<size_t>(i)],
+                  rr_stats.depths[static_cast<size_t>(i)])
+            << "seed " << seed << " n " << n << " relation " << i;
+      }
+    }
+  }
+}
+
+// --------------------- Dominance / block-update ablations -------------- //
+
+TEST(AblationTest, DominancePeriodDoesNotChangeResultsOrDepths) {
+  for (uint64_t seed = 2; seed <= 5; ++seed) {
+    SyntheticSpec spec;
+    spec.dim = 2;
+    spec.count = 200;
+    spec.density = 50;
+    spec.seed = seed * 7;
+    const auto rels = GenerateProblem(2, spec);
+    const SumLogEuclideanScoring scoring(1, 1, 1);
+    const Vec q(2, 0.0);
+
+    ProxRJOptions base;
+    base.k = 10;
+    base.Apply(kTBPA);
+    ExecStats base_stats;
+    auto base_result =
+        RunProxRJ(rels, AccessKind::kDistance, scoring, q, base, &base_stats);
+    ASSERT_TRUE(base_result.ok());
+
+    for (int period : {1, 4, 16}) {
+      ProxRJOptions dom = base;
+      dom.dominance_period = period;
+      ExecStats dom_stats;
+      auto dom_result =
+          RunProxRJ(rels, AccessKind::kDistance, scoring, q, dom, &dom_stats);
+      ASSERT_TRUE(dom_result.ok());
+      ExpectSameScores(*dom_result, *base_result,
+                       "dominance period " + std::to_string(period));
+      EXPECT_EQ(dom_stats.sum_depths, base_stats.sum_depths)
+          << "period " << period << " seed " << seed;
+      if (period == 1) {
+        EXPECT_GT(dom_stats.bound_stats.lp_solves, 0u);
+      }
+    }
+  }
+}
+
+TEST(AblationTest, BlockBoundUpdatesStayCorrectAndReadMore) {
+  SyntheticSpec spec;
+  spec.dim = 2;
+  spec.count = 300;
+  spec.density = 50;
+  spec.seed = 21;
+  const auto rels = GenerateProblem(2, spec);
+  const SumLogEuclideanScoring scoring(1, 1, 1);
+  const Vec q(2, 0.0);
+  const auto expected = BruteForceTopK(rels, scoring, q, 10);
+
+  size_t previous_depths = 0;
+  for (int period : {1, 4, 16}) {
+    ProxRJOptions opts;
+    opts.k = 10;
+    opts.Apply(kTBRR);
+    opts.bound_update_period = period;
+    ExecStats stats;
+    auto result =
+        RunProxRJ(rels, AccessKind::kDistance, scoring, q, opts, &stats);
+    ASSERT_TRUE(result.ok());
+    ExpectSameScores(*result, expected, "period " + std::to_string(period));
+    EXPECT_GE(stats.sum_depths, previous_depths)
+        << "coarser updates cannot read less";
+    previous_depths = stats.sum_depths;
+  }
+}
+
+TEST(AblationTest, GenericQpPathGivesIdenticalResultsAndDepths) {
+  // The paper's explicit QP route (14)/(30) and the water-filling path are
+  // two solvers for the same optimization problem; engine behaviour must
+  // be identical (same results, same per-relation depths).
+  for (uint64_t seed = 11; seed <= 14; ++seed) {
+    SyntheticSpec spec;
+    spec.dim = 2;
+    spec.count = 200;
+    spec.density = 50;
+    spec.seed = seed;
+    const auto rels = GenerateProblem(2, spec);
+    const SumLogEuclideanScoring scoring(1, 1, 1);
+    const Vec q(2, 0.0);
+
+    ProxRJOptions wf;
+    wf.k = 10;
+    wf.Apply(kTBPA);
+    ExecStats wf_stats;
+    auto wf_result =
+        RunProxRJ(rels, AccessKind::kDistance, scoring, q, wf, &wf_stats);
+    ASSERT_TRUE(wf_result.ok());
+
+    ProxRJOptions qp = wf;
+    qp.use_generic_qp = true;
+    ExecStats qp_stats;
+    auto qp_result =
+        RunProxRJ(rels, AccessKind::kDistance, scoring, q, qp, &qp_stats);
+    ASSERT_TRUE(qp_result.ok());
+
+    ExpectSameScores(*qp_result, *wf_result, "seed " + std::to_string(seed));
+    EXPECT_EQ(qp_stats.depths, wf_stats.depths) << "seed " << seed;
+  }
+}
+
+// ------------------------------ Safety rails --------------------------- //
+
+TEST(SafetyRailTest, MaxPullsTripsAndReportsIncomplete) {
+  SyntheticSpec spec;
+  spec.dim = 2;
+  spec.count = 500;
+  spec.density = 100;
+  spec.seed = 5;
+  const auto rels = GenerateProblem(2, spec);
+  const SumLogEuclideanScoring scoring(1, 1, 1);
+  ProxRJOptions opts;
+  opts.k = 10;
+  opts.Apply(kCBRR);
+  opts.max_pulls = 4;
+  ExecStats stats;
+  auto result =
+      RunProxRJ(rels, AccessKind::kDistance, scoring, Vec(2, 0.0), opts, &stats);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(stats.completed);
+  EXPECT_LE(stats.sum_depths, 4u);
+}
+
+// ------------------------------ Validation ----------------------------- //
+
+TEST(ValidationTest, RejectsBadK) {
+  ProxRJOptions opts;
+  opts.k = 0;
+  const SumLogEuclideanScoring scoring(1, 1, 1);
+  auto result = RunProxRJ(Table1Relations(), AccessKind::kDistance, scoring,
+                          Table1Query(), opts);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ValidationTest, RejectsDimensionMismatch) {
+  ProxRJOptions opts;
+  const SumLogEuclideanScoring scoring(1, 1, 1);
+  auto result = RunProxRJ(Table1Relations(), AccessKind::kDistance, scoring,
+                          Vec{0.0, 0.0, 0.0}, opts);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ValidationTest, RejectsMixedAccessKinds) {
+  const auto rels = Table1Relations();
+  const SumLogEuclideanScoring scoring(1, 1, 1);
+  const Vec q = Table1Query();
+  std::vector<std::unique_ptr<AccessSource>> sources;
+  sources.push_back(std::make_unique<SortedDistanceSource>(rels[0], q));
+  sources.push_back(std::make_unique<ScoreSource>(rels[1]));
+  sources.push_back(std::make_unique<ScoreSource>(rels[2]));
+  ProxRJ op(std::move(sources), &scoring, q, ProxRJOptions{});
+  auto result = op.Run();
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ValidationTest, TightBoundRequiresSumLogEuclidean) {
+  const SumLogCosineScoring cosine(1, 1, 1, Vec{1.0, 0.0});
+  ProxRJOptions opts;
+  opts.bound = BoundKind::kTight;
+  auto result = RunProxRJ(Table1Relations(), AccessKind::kScore, cosine,
+                          Table1Query(), opts);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST(ValidationTest, DistanceAccessRequiresEuclideanScorer) {
+  const SumLogCosineScoring cosine(1, 1, 1, Vec{1.0, 0.0});
+  ProxRJOptions opts;
+  opts.bound = BoundKind::kCorner;
+  auto result = RunProxRJ(Table1Relations(), AccessKind::kDistance, cosine,
+                          Table1Query(), opts);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ValidationTest, CosineScorerWorksWithCornerBoundScoreAccess) {
+  // The future-work scorer: valid under score access + corner bound.
+  Relation r1("docs_a", 3), r2("docs_b", 3);
+  Rng rng(91);
+  for (int i = 0; i < 25; ++i) {
+    Vec v = rng.UniformInCube(3, 0.1, 1.0);
+    r1.Add(i, rng.Uniform(0.2, 1.0), v);
+    Vec w = rng.UniformInCube(3, 0.1, 1.0);
+    r2.Add(i, rng.Uniform(0.2, 1.0), w);
+  }
+  const Vec q{1.0, 0.5, 0.2};
+  const SumLogCosineScoring cosine(1.0, 1.0, 1.0, q);
+  ProxRJOptions opts;
+  opts.k = 5;
+  opts.bound = BoundKind::kCorner;
+  opts.pull = PullKind::kRoundRobin;
+  auto result = RunProxRJ({r1, r2}, AccessKind::kScore, cosine, q, opts);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ExpectSameScores(*result, BruteForceTopK({r1, r2}, cosine, q, 5), "cosine");
+}
+
+TEST(ValidationTest, RunIsSingleShot) {
+  const SumLogEuclideanScoring scoring(1, 1, 1);
+  const auto rels = Table1Relations();
+  const Vec q = Table1Query();
+  ProxRJ op(MakeSources(rels, AccessKind::kDistance, q), &scoring, q,
+            ProxRJOptions{});
+  ASSERT_TRUE(op.Run().ok());
+  auto second = op.Run();
+  EXPECT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(PagedAccessTest, BlockedSourcesThroughTheEngine) {
+  // Paged services deliver the same stream; results are identical and the
+  // paged deployment pays for whole blocks (depth rounded up per page).
+  SyntheticSpec spec;
+  spec.dim = 2;
+  spec.count = 200;
+  spec.density = 50;
+  spec.seed = 41;
+  const auto rels = GenerateProblem(2, spec);
+  const SumLogEuclideanScoring scoring(1, 1, 1);
+  const Vec q(2, 0.0);
+  ProxRJOptions opts;
+  opts.k = 10;
+  opts.Apply(kTBPA);
+
+  ExecStats plain_stats;
+  auto plain =
+      RunProxRJ(rels, AccessKind::kDistance, scoring, q, opts, &plain_stats);
+  ASSERT_TRUE(plain.ok());
+
+  const size_t block = 5;
+  std::vector<std::unique_ptr<AccessSource>> sources;
+  for (const auto& r : rels) {
+    sources.push_back(std::make_unique<BlockedSource>(
+        std::make_unique<SortedDistanceSource>(r, q), block));
+  }
+  ProxRJ paged_op(std::move(sources), &scoring, q, opts);
+  auto paged = paged_op.Run();
+  ASSERT_TRUE(paged.ok());
+
+  ASSERT_EQ(paged->size(), plain->size());
+  for (size_t i = 0; i < plain->size(); ++i) {
+    EXPECT_NEAR((*paged)[i].score, (*plain)[i].score, 1e-9);
+  }
+  // The paged run fetched at least as much, in multiples of the block.
+  EXPECT_GE(paged_op.stats().sum_depths, plain_stats.sum_depths);
+  for (size_t depth : paged_op.stats().depths) {
+    EXPECT_TRUE(depth % block == 0 || depth == 200u) << depth;
+  }
+}
+
+// --------------------------- R-tree-backed access ---------------------- //
+
+TEST(RTreeAccessTest, SameResultsAsSortedAccess) {
+  SyntheticSpec spec;
+  spec.dim = 2;
+  spec.count = 150;
+  spec.density = 50;
+  spec.seed = 30;
+  const auto rels = GenerateProblem(2, spec);
+  const SumLogEuclideanScoring scoring(1, 1, 1);
+  const Vec q(2, 0.0);
+  ProxRJOptions opts;
+  opts.k = 10;
+  opts.Apply(kTBPA);
+
+  ProxRJ sorted_op(MakeSources(rels, AccessKind::kDistance, q, false),
+                   &scoring, q, opts);
+  auto sorted_result = sorted_op.Run();
+  ASSERT_TRUE(sorted_result.ok());
+
+  ProxRJ rtree_op(MakeSources(rels, AccessKind::kDistance, q, true), &scoring,
+                  q, opts);
+  auto rtree_result = rtree_op.Run();
+  ASSERT_TRUE(rtree_result.ok());
+
+  ExpectSameScores(*rtree_result, *sorted_result, "rtree vs sorted");
+  EXPECT_EQ(rtree_op.stats().sum_depths, sorted_op.stats().sum_depths);
+}
+
+}  // namespace
+}  // namespace prj

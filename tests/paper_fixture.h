@@ -1,0 +1,128 @@
+// Shared fixtures reproducing the paper's running example (Table 1) and
+// the counterexample instances of Theorem 3.1 and Theorem C.1.
+#ifndef PRJ_TESTS_PAPER_FIXTURE_H_
+#define PRJ_TESTS_PAPER_FIXTURE_H_
+
+#include <cmath>
+#include <vector>
+
+#include "access/relation.h"
+#include "common/vec.h"
+#include "core/scoring.h"
+
+namespace prj {
+namespace testing_fixture {
+
+/// The three relations of Table 1 (two tuples each, already in
+/// distance-from-query order; q = 0, ws = wq = wmu = 1).
+inline std::vector<Relation> Table1Relations() {
+  Relation r1("R1", 2), r2("R2", 2), r3("R3", 2);
+  r1.Add(0, 0.5, Vec{0.0, -0.5});  // tau_1^(1)
+  r1.Add(1, 1.0, Vec{0.0, 1.0});   // tau_1^(2)
+  r2.Add(0, 1.0, Vec{1.0, 1.0});   // tau_2^(1)
+  r2.Add(1, 0.8, Vec{-2.0, 2.0});  // tau_2^(2)
+  r3.Add(0, 1.0, Vec{-1.0, 1.0});  // tau_3^(1)
+  r3.Add(1, 0.4, Vec{-2.0, -2.0}); // tau_3^(2)
+  return {r1, r2, r3};
+}
+
+inline Vec Table1Query() { return Vec{0.0, 0.0}; }
+
+inline SumLogEuclideanScoring Table1Scoring() {
+  return SumLogEuclideanScoring(1.0, 1.0, 1.0);
+}
+
+/// Distances of the last accessed tuples when all of Table 1 is seen:
+/// delta_1 = 1, delta_2 = delta_3 = 2*sqrt(2).
+inline std::vector<double> Table1Deltas() {
+  return {1.0, 2.0 * std::sqrt(2.0), 2.0 * std::sqrt(2.0)};
+}
+
+/// One row of Table 1 (combination scores, 1-decimal precision).
+struct Table1Combo {
+  int i1, i2, i3;  // 0-based tuple indices into R1, R2, R3
+  double score;
+};
+
+inline std::vector<Table1Combo> Table1Scores() {
+  return {
+      {1, 0, 0, -7.0},  {0, 0, 0, -8.4},  {1, 1, 0, -13.9}, {0, 1, 0, -16.3},
+      {0, 0, 1, -21.0}, {1, 0, 1, -22.6}, {0, 1, 1, -28.9}, {1, 1, 1, -29.5},
+  };
+}
+
+/// One row of Table 3: subset mask (bit i = relation i seen), member tuple
+/// indices (ascending relation order) and the partial bound t(tau).
+struct Table3Row {
+  uint32_t mask;
+  std::vector<uint32_t> members;
+  double t;
+};
+
+inline std::vector<Table3Row> Table3Rows() {
+  return {
+      {0b000, {}, -19.2},
+      {0b001, {0}, -20.6},    {0b001, {1}, -19.2},
+      {0b010, {0}, -12.8},    {0b010, {1}, -19.4},
+      {0b100, {0}, -12.8},    {0b100, {1}, -20.1},
+      {0b011, {0, 0}, -16.0}, {0b011, {0, 1}, -24.0},
+      {0b011, {1, 0}, -13.5}, {0b011, {1, 1}, -20.4},
+      {0b101, {0, 0}, -16.0}, {0b101, {0, 1}, -22.0},
+      {0b101, {1, 0}, -13.5}, {0b101, {1, 1}, -26.4},
+      {0b110, {0, 0}, -7.0},  {0b110, {0, 1}, -21.0},
+      {0b110, {1, 0}, -13.1}, {0b110, {1, 1}, -26.8},
+  };
+}
+
+/// t_M per subset (Table 3 rightmost column).
+inline std::vector<std::pair<uint32_t, double>> Table3SubsetBounds() {
+  return {{0b000, -19.2}, {0b001, -19.2}, {0b010, -12.8}, {0b100, -12.8},
+          {0b011, -13.5}, {0b101, -13.5}, {0b110, -7.0}};
+}
+
+/// The Theorem 3.1 counterexample: ws = 0, wq = wmu = 1, q = 0, K = 1.
+/// R1 additionally carries `filler` tuples between tau_1^(2) and the
+/// distance sqrt(1.5) that the corner bound must reach before stopping.
+inline std::vector<Relation> Theorem31Relations(int fillers) {
+  Relation r1("R1", 2), r2("R2", 2);
+  r1.Add(0, 1.0, Vec{0.0, -0.5});
+  r1.Add(1, 1.0, Vec{0.0, 1.0});
+  for (int f = 0; f < fillers; ++f) {
+    // Ring between radius 1.05 and 1.2 (< sqrt(1.5) ~ 1.2247).
+    const double radius = 1.05 + 0.15 * f / std::max(1, fillers);
+    const double angle = 0.3 + 0.1 * f;
+    r1.Add(2 + f, 1.0, Vec{radius * std::cos(angle), radius * std::sin(angle)});
+  }
+  r2.Add(0, 1.0, Vec{0.0, 2.0});
+  r2.Add(1, 1.0, Vec{-2.0, 2.0});
+  return {r1, r2};
+}
+
+inline SumLogEuclideanScoring Theorem31Scoring() {
+  // ws = 0: tuple scores are immaterial. A tiny positive ws would break
+  // nothing; the paper uses exactly 0.
+  return SumLogEuclideanScoring(0.0, 1.0, 1.0);
+}
+
+/// The Theorem C.1 counterexample (score-based access): d = 1,
+/// ws = wq = wmu = 1, q = [0]. R2 carries fillers with scores in
+/// (e^{-4/3}, 1) far from the query.
+inline std::vector<Relation> TheoremC1Relations(int fillers) {
+  Relation r1("R1", 1), r2("R2", 1);
+  r1.Add(0, 1.0, Vec{1.0});
+  r1.Add(1, std::exp(-5.0), Vec{0.0});
+  r2.Add(0, 1.0, Vec{1.0});
+  r2.Add(1, 1.0, Vec{1.0 / 3.0});
+  const double floor_score = std::exp(-4.0 / 3.0) + 0.02;
+  for (int f = 0; f < fillers; ++f) {
+    const double score =
+        0.99 - (0.99 - floor_score) * (f + 1.0) / (fillers + 1.0);
+    r2.Add(2 + f, score, Vec{10.0 + f});
+  }
+  return {r1, r2};
+}
+
+}  // namespace testing_fixture
+}  // namespace prj
+
+#endif  // PRJ_TESTS_PAPER_FIXTURE_H_

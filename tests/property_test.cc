@@ -1,0 +1,374 @@
+// Property suite: randomized cross-validation of the whole operator stack
+// over a parameter grid (n, d, K, weights, access kind, algorithm), plus
+// degenerate-geometry cases that stress the bound computations.
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/brute_force.h"
+#include "core/engine.h"
+#include "workload/cities.h"
+#include "workload/synthetic.h"
+
+namespace prj {
+namespace {
+
+struct GridCase {
+  int n;
+  int d;
+  int k;
+  double ws, wq, wmu;
+  AccessKind kind;
+  BoundKind bound;
+  PullKind pull;
+  uint64_t seed;
+};
+
+void PrintTo(const GridCase& c, std::ostream* os) {
+  *os << "n" << c.n << "_d" << c.d << "_k" << c.k << "_w" << c.ws << "/"
+      << c.wq << "/" << c.wmu
+      << (c.kind == AccessKind::kDistance ? "_dist" : "_score")
+      << (c.bound == BoundKind::kTight ? "_TB" : "_CB")
+      << (c.pull == PullKind::kPotentialAdaptive ? "PA" : "RR") << "_s"
+      << c.seed;
+}
+
+class GridTest : public ::testing::TestWithParam<GridCase> {};
+
+TEST_P(GridTest, MatchesBruteForce) {
+  const GridCase& c = GetParam();
+  SyntheticSpec spec;
+  spec.dim = c.d;
+  spec.count = c.n == 3 ? 25 : 60;  // keep the oracle cheap
+  spec.density = spec.count;
+  spec.seed = c.seed;
+  const auto rels = GenerateProblem(c.n, spec);
+  const SumLogEuclideanScoring scoring(c.ws, c.wq, c.wmu);
+  const Vec q(c.d, 0.0);
+  const auto expected = BruteForceTopK(rels, scoring, q, c.k);
+
+  ProxRJOptions opts;
+  opts.k = c.k;
+  opts.bound = c.bound;
+  opts.pull = c.pull;
+  ExecStats stats;
+  auto result = RunProxRJ(rels, c.kind, scoring, q, opts, &stats);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_TRUE(stats.completed);
+  ASSERT_EQ(result->size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_NEAR((*result)[i].score, expected[i].score, 1e-7) << "rank " << i;
+  }
+  // Depth accounting is consistent.
+  size_t total = 0;
+  for (size_t depth : stats.depths) total += depth;
+  EXPECT_EQ(total, stats.sum_depths);
+}
+
+std::vector<GridCase> MakeGrid() {
+  std::vector<GridCase> cases;
+  uint64_t seed = 1000;
+  for (int n : {2, 3}) {
+    for (int d : {1, 2, 4, 8}) {
+      for (int k : {1, 7}) {
+        for (auto [ws, wq, wmu] :
+             {std::tuple{1.0, 1.0, 1.0}, std::tuple{0.5, 2.0, 0.25}}) {
+          for (AccessKind kind : {AccessKind::kDistance, AccessKind::kScore}) {
+            for (BoundKind bound : {BoundKind::kCorner, BoundKind::kTight}) {
+              cases.push_back(GridCase{n, d, k, ws, wq, wmu, kind, bound,
+                                       PullKind::kPotentialAdaptive, ++seed});
+            }
+          }
+        }
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, GridTest, ::testing::ValuesIn(MakeGrid()));
+
+// ----------------------- Degenerate geometries ------------------------- //
+
+TEST(DegenerateTest, AllTuplesAtTheSamePoint) {
+  // Geometry fully degenerate: only scores discriminate.
+  Relation r1("R1", 2), r2("R2", 2);
+  for (int i = 0; i < 6; ++i) {
+    r1.Add(i, 0.1 + 0.15 * i, Vec{1.0, 1.0});
+    r2.Add(i, 0.9 - 0.1 * i, Vec{1.0, 1.0});
+  }
+  const SumLogEuclideanScoring scoring(1, 1, 1);
+  const Vec q{0.0, 0.0};
+  const auto expected = BruteForceTopK({r1, r2}, scoring, q, 5);
+  for (const auto& preset : {kCBRR, kTBPA}) {
+    ProxRJOptions opts;
+    opts.k = 5;
+    opts.Apply(preset);
+    auto result = RunProxRJ({r1, r2}, AccessKind::kDistance, scoring, q, opts);
+    ASSERT_TRUE(result.ok()) << preset.name;
+    for (size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_NEAR((*result)[i].score, expected[i].score, 1e-9);
+    }
+  }
+}
+
+TEST(DegenerateTest, TuplesAtTheQueryItself) {
+  // nu == q for singleton partials whose member sits on the query: the
+  // centroid ray is undefined and the bound must fall back gracefully.
+  Relation r1("R1", 2), r2("R2", 2);
+  r1.Add(0, 0.8, Vec{0.0, 0.0});  // exactly at q
+  r1.Add(1, 1.0, Vec{0.5, 0.0});
+  r2.Add(0, 0.9, Vec{0.0, 0.0});  // exactly at q
+  r2.Add(1, 0.7, Vec{0.0, 0.7});
+  const SumLogEuclideanScoring scoring(1, 1, 1);
+  const Vec q{0.0, 0.0};
+  const auto expected = BruteForceTopK({r1, r2}, scoring, q, 4);
+  ProxRJOptions opts;
+  opts.k = 4;
+  opts.Apply(kTBRR);
+  auto result = RunProxRJ({r1, r2}, AccessKind::kDistance, scoring, q, opts);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 4u);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR((*result)[i].score, expected[i].score, 1e-9);
+  }
+}
+
+TEST(DegenerateTest, CollinearTuples) {
+  // All data on one line through the query (effectively 1-D embedded in 2-D).
+  Relation r1("R1", 2), r2("R2", 2);
+  for (int i = 0; i < 8; ++i) {
+    r1.Add(i, 0.5 + 0.05 * i, Vec{0.3 * i, 0.3 * i});
+    r2.Add(i, 0.9 - 0.05 * i, Vec{-0.2 * i, -0.2 * i});
+  }
+  const SumLogEuclideanScoring scoring(1, 1, 1);
+  const Vec q{0.0, 0.0};
+  const auto expected = BruteForceTopK({r1, r2}, scoring, q, 6);
+  ProxRJOptions opts;
+  opts.k = 6;
+  opts.Apply(kTBPA);
+  opts.dominance_period = 1;  // dominance with collinear centroids
+  auto result = RunProxRJ({r1, r2}, AccessKind::kDistance, scoring, q, opts);
+  ASSERT_TRUE(result.ok());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_NEAR((*result)[i].score, expected[i].score, 1e-9);
+  }
+}
+
+TEST(DegenerateTest, QueryFarOutsideTheData) {
+  SyntheticSpec spec;
+  spec.dim = 2;
+  spec.count = 40;
+  spec.density = 40;
+  spec.seed = 3;
+  const auto rels = GenerateProblem(2, spec);
+  const SumLogEuclideanScoring scoring(1, 1, 1);
+  const Vec q{100.0, -100.0};  // every tuple is far away
+  const auto expected = BruteForceTopK(rels, scoring, q, 5);
+  ProxRJOptions opts;
+  opts.k = 5;
+  opts.Apply(kTBPA);
+  auto result = RunProxRJ(rels, AccessKind::kDistance, scoring, q, opts);
+  ASSERT_TRUE(result.ok());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_NEAR((*result)[i].score, expected[i].score, 1e-7);
+  }
+}
+
+TEST(DegenerateTest, ZeroQueryWeightIgnoresTheQuery) {
+  // wq = 0: only scores and mutual proximity matter; distance access can
+  // not prune by query distance, but correctness must hold.
+  SyntheticSpec spec;
+  spec.dim = 2;
+  spec.count = 30;
+  spec.density = 30;
+  spec.seed = 4;
+  const auto rels = GenerateProblem(2, spec);
+  const SumLogEuclideanScoring scoring(1.0, 0.0, 1.0);
+  const Vec q(2, 0.0);
+  const auto expected = BruteForceTopK(rels, scoring, q, 5);
+  for (auto kind : {AccessKind::kDistance, AccessKind::kScore}) {
+    ProxRJOptions opts;
+    opts.k = 5;
+    opts.Apply(kTBRR);
+    auto result = RunProxRJ(rels, kind, scoring, q, opts);
+    ASSERT_TRUE(result.ok());
+    for (size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_NEAR((*result)[i].score, expected[i].score, 1e-9);
+    }
+  }
+}
+
+TEST(DegenerateTest, ZeroProximityWeightsReduceToClassicRankJoin) {
+  // wq = wmu = 0: the aggregation is a plain monotone function of scores
+  // -- the classical rank join setting. Score access + corner bound is
+  // then exactly HRJN, and it must already be optimal-ish: the tight
+  // bound coincides with the corner bound.
+  SyntheticSpec spec;
+  spec.dim = 2;
+  spec.count = 50;
+  spec.density = 50;
+  spec.seed = 6;
+  const auto rels = GenerateProblem(2, spec);
+  const SumLogEuclideanScoring scoring(1.0, 0.0, 0.0);
+  const Vec q(2, 0.0);
+  const auto expected = BruteForceTopK(rels, scoring, q, 10);
+
+  ExecStats cb_stats, tb_stats;
+  ProxRJOptions cb;
+  cb.k = 10;
+  cb.Apply(kCBRR);
+  auto cb_result = RunProxRJ(rels, AccessKind::kScore, scoring, q, cb, &cb_stats);
+  ProxRJOptions tb;
+  tb.k = 10;
+  tb.Apply(kTBRR);
+  auto tb_result = RunProxRJ(rels, AccessKind::kScore, scoring, q, tb, &tb_stats);
+  ASSERT_TRUE(cb_result.ok());
+  ASSERT_TRUE(tb_result.ok());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_NEAR((*cb_result)[i].score, expected[i].score, 1e-9);
+    EXPECT_NEAR((*tb_result)[i].score, expected[i].score, 1e-9);
+  }
+  // Without geometry the tight bound degenerates to the corner bound, so
+  // both read the same number of tuples.
+  EXPECT_EQ(cb_stats.sum_depths, tb_stats.sum_depths);
+}
+
+TEST(DegenerateTest, DuplicateScores) {
+  // Many score ties exercise the deterministic tie-breaking paths of the
+  // score sources and the output buffer.
+  Relation r1("R1", 1), r2("R2", 1);
+  for (int i = 0; i < 10; ++i) {
+    r1.Add(i, 0.5, Vec{0.1 * i});
+    r2.Add(i, 0.5, Vec{-0.1 * i});
+  }
+  const SumLogEuclideanScoring scoring(1, 1, 1);
+  const Vec q{0.0};
+  const auto expected = BruteForceTopK({r1, r2}, scoring, q, 8);
+  for (auto kind : {AccessKind::kDistance, AccessKind::kScore}) {
+    ProxRJOptions opts;
+    opts.k = 8;
+    opts.Apply(kTBPA);
+    auto result = RunProxRJ({r1, r2}, kind, scoring, q, opts);
+    ASSERT_TRUE(result.ok());
+    for (size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_NEAR((*result)[i].score, expected[i].score, 1e-9);
+    }
+  }
+}
+
+TEST(DegenerateTest, SigmaMaxBelowOne) {
+  // A relation whose a-priori score ceiling is 0.3: the corner and tight
+  // bounds must use it instead of 1.0 (otherwise they over-estimate and
+  // read too much, but never too little -- here we check correctness and
+  // that the tighter ceiling helps).
+  Relation r1("R1", 1, /*sigma_max=*/0.3), r1_loose("R1", 1, /*sigma_max=*/1.0);
+  Relation r2("R2", 1);
+  Rng rng(8);
+  for (int i = 0; i < 40; ++i) {
+    const double s = 0.3 * (1.0 - rng.NextDouble());
+    const Vec x{rng.Uniform(-1, 1)};
+    r1.Add(i, s, x);
+    r1_loose.Add(i, s, x);
+    r2.Add(i, 1.0 - rng.NextDouble() * 0.999, Vec{rng.Uniform(-1, 1)});
+  }
+  const SumLogEuclideanScoring scoring(1, 1, 1);
+  const Vec q{0.0};
+  const auto expected = BruteForceTopK({r1, r2}, scoring, q, 5);
+  ExecStats tight_stats, loose_stats;
+  ProxRJOptions opts;
+  opts.k = 5;
+  opts.Apply(kTBRR);
+  auto tight_res =
+      RunProxRJ({r1, r2}, AccessKind::kDistance, scoring, q, opts, &tight_stats);
+  auto loose_res = RunProxRJ({r1_loose, r2}, AccessKind::kDistance, scoring, q,
+                             opts, &loose_stats);
+  ASSERT_TRUE(tight_res.ok());
+  ASSERT_TRUE(loose_res.ok());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_NEAR((*tight_res)[i].score, expected[i].score, 1e-9);
+    EXPECT_NEAR((*loose_res)[i].score, expected[i].score, 1e-9);
+  }
+  EXPECT_LE(tight_stats.sum_depths, loose_stats.sum_depths);
+}
+
+// -------------------------- City integration --------------------------- //
+
+TEST(CityIntegrationTest, AllAlgorithmsAgreeWithOracleOnHonolulu) {
+  // Full end-to-end run on the smallest city against the brute-force
+  // oracle (150 x 260 x 35 ~ 1.4M combinations).
+  const CityDataset city = MakeCityDataset("HO");
+  const SumLogEuclideanScoring scoring(1.0, 0.5, 0.5);
+  const auto expected = BruteForceTopK(city.relations, scoring, city.query, 10);
+  ASSERT_EQ(expected.size(), 10u);
+  for (const auto& preset : {kCBRR, kCBPA, kTBRR, kTBPA}) {
+    ProxRJOptions opts;
+    opts.k = 10;
+    opts.Apply(preset);
+    ExecStats stats;
+    auto result = RunProxRJ(city.relations, AccessKind::kDistance, scoring,
+                            city.query, opts, &stats);
+    ASSERT_TRUE(result.ok()) << preset.name;
+    ASSERT_TRUE(stats.completed);
+    for (size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_NEAR((*result)[i].score, expected[i].score, 1e-7)
+          << preset.name << " rank " << i;
+    }
+  }
+}
+
+TEST(CityIntegrationTest, ScoreAccessAgreesToo) {
+  const CityDataset city = MakeCityDataset("HO");
+  const SumLogEuclideanScoring scoring(1.0, 0.5, 0.5);
+  const auto expected = BruteForceTopK(city.relations, scoring, city.query, 5);
+  ProxRJOptions opts;
+  opts.k = 5;
+  opts.Apply(kTBPA);
+  auto result = RunProxRJ(city.relations, AccessKind::kScore, scoring,
+                          city.query, opts);
+  ASSERT_TRUE(result.ok());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_NEAR((*result)[i].score, expected[i].score, 1e-7);
+  }
+}
+
+// --------------------- Cross-algorithm consistency --------------------- //
+
+TEST(ConsistencyTest, AllEightVariantsReturnTheSameScoreVector) {
+  for (uint64_t seed : {21u, 22u, 23u}) {
+    SyntheticSpec spec;
+    spec.dim = 2;
+    spec.count = 120;
+    spec.density = 60;
+    spec.seed = seed;
+    const auto rels = GenerateProblem(2, spec);
+    const SumLogEuclideanScoring scoring(1, 1, 1);
+    const Vec q(2, 0.0);
+    std::vector<double> reference;
+    for (auto kind : {AccessKind::kDistance, AccessKind::kScore}) {
+      for (const auto& preset : {kCBRR, kCBPA, kTBRR, kTBPA}) {
+        ProxRJOptions opts;
+        opts.k = 12;
+        opts.Apply(preset);
+        auto result = RunProxRJ(rels, kind, scoring, q, opts);
+        ASSERT_TRUE(result.ok());
+        std::vector<double> scores;
+        for (const auto& rc : *result) scores.push_back(rc.score);
+        if (reference.empty()) {
+          reference = scores;
+        } else {
+          ASSERT_EQ(scores.size(), reference.size());
+          for (size_t i = 0; i < scores.size(); ++i) {
+            EXPECT_NEAR(scores[i], reference[i], 1e-7)
+                << preset.name << " seed " << seed << " rank " << i;
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace prj

@@ -1,0 +1,252 @@
+// Unit and property tests for the R-tree substrate: structural invariants,
+// range queries, k-NN and incremental distance browsing vs. linear scans.
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "index/rtree.h"
+
+namespace prj {
+namespace {
+
+std::vector<RTree::Item> RandomItems(Rng* rng, int dim, int count,
+                                     double lo = -10, double hi = 10) {
+  std::vector<RTree::Item> items;
+  items.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    items.push_back(RTree::Item{rng->UniformInCube(dim, lo, hi), i});
+  }
+  return items;
+}
+
+std::vector<int64_t> BruteRange(const std::vector<RTree::Item>& items,
+                                const Rect& box) {
+  std::vector<int64_t> out;
+  for (const auto& it : items) {
+    if (box.Contains(it.point)) out.push_back(it.id);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<int64_t> BruteNearest(const std::vector<RTree::Item>& items,
+                                  const Vec& q, size_t k) {
+  std::vector<RTree::Item> sorted = items;
+  std::sort(sorted.begin(), sorted.end(),
+            [&](const RTree::Item& a, const RTree::Item& b) {
+              const double da = a.point.SquaredDistance(q);
+              const double db = b.point.SquaredDistance(q);
+              if (da != db) return da < db;
+              return a.id < b.id;
+            });
+  std::vector<int64_t> ids;
+  for (size_t i = 0; i < std::min(k, sorted.size()); ++i) {
+    ids.push_back(sorted[i].id);
+  }
+  return ids;
+}
+
+TEST(RectTest, AreaAndExtend) {
+  Rect r(Vec{0.0, 0.0}, Vec{2.0, 3.0});
+  EXPECT_DOUBLE_EQ(r.Area(), 6.0);
+  r.Extend(Rect::ForPoint(Vec{-1.0, 5.0}));
+  EXPECT_DOUBLE_EQ(r.Area(), 15.0);
+  EXPECT_TRUE(r.Contains(Vec{-1.0, 5.0}));
+}
+
+TEST(RectTest, ContainsAndIntersects) {
+  Rect a(Vec{0.0, 0.0}, Vec{2.0, 2.0});
+  Rect b(Vec{1.0, 1.0}, Vec{3.0, 3.0});
+  Rect c(Vec{5.0, 5.0}, Vec{6.0, 6.0});
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE(a.Intersects(c));
+  EXPECT_TRUE(a.ContainsRect(Rect(Vec{0.5, 0.5}, Vec{1.0, 1.0})));
+  EXPECT_FALSE(a.ContainsRect(b));
+}
+
+TEST(RectTest, MinSquaredDistance) {
+  Rect r(Vec{0.0, 0.0}, Vec{2.0, 2.0});
+  EXPECT_DOUBLE_EQ(r.MinSquaredDistance(Vec{1.0, 1.0}), 0.0);  // inside
+  EXPECT_DOUBLE_EQ(r.MinSquaredDistance(Vec{3.0, 1.0}), 1.0);  // right side
+  EXPECT_DOUBLE_EQ(r.MinSquaredDistance(Vec{3.0, 3.0}), 2.0);  // corner
+}
+
+TEST(RTreeTest, EmptyTreeBehaves) {
+  RTree tree(2);
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_TRUE(tree.CheckInvariants());
+  EXPECT_TRUE(tree.RangeQuery(Rect(Vec{-1.0, -1.0}, Vec{1.0, 1.0})).empty());
+  EXPECT_TRUE(tree.NearestK(Vec{0.0, 0.0}, 3).empty());
+  auto browse = tree.NearestBrowse(Vec{0.0, 0.0});
+  EXPECT_FALSE(browse.Next().has_value());
+}
+
+TEST(RTreeTest, SingleItem) {
+  RTree tree(2);
+  tree.Insert(Vec{1.0, 2.0}, 42);
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_TRUE(tree.CheckInvariants());
+  const auto nearest = tree.NearestK(Vec{0.0, 0.0}, 1);
+  ASSERT_EQ(nearest.size(), 1u);
+  EXPECT_EQ(nearest[0].id, 42);
+}
+
+TEST(RTreeTest, InvariantsHoldDuringInsertions) {
+  Rng rng(51);
+  RTree tree(3);
+  auto items = RandomItems(&rng, 3, 400);
+  for (size_t i = 0; i < items.size(); ++i) {
+    tree.Insert(items[i].point, items[i].id);
+    if (i % 37 == 0) {
+      ASSERT_TRUE(tree.CheckInvariants()) << "after insert " << i;
+    }
+  }
+  EXPECT_TRUE(tree.CheckInvariants());
+  EXPECT_EQ(tree.size(), items.size());
+  EXPECT_GT(tree.Height(), 1);
+}
+
+TEST(RTreeTest, BulkLoadInvariants) {
+  Rng rng(52);
+  for (int count : {1, 5, 16, 17, 100, 1000}) {
+    auto items = RandomItems(&rng, 2, count);
+    RTree tree = RTree::BulkLoad(2, items);
+    EXPECT_EQ(tree.size(), static_cast<size_t>(count));
+    EXPECT_TRUE(tree.CheckInvariants()) << "count " << count;
+  }
+}
+
+TEST(RTreeTest, RangeQueryMatchesBruteForce) {
+  Rng rng(53);
+  auto items = RandomItems(&rng, 2, 500);
+  RTree inserted(2);
+  for (const auto& it : items) inserted.Insert(it.point, it.id);
+  RTree bulk = RTree::BulkLoad(2, items);
+  for (int trial = 0; trial < 40; ++trial) {
+    Vec lo = rng.UniformInCube(2, -10, 8);
+    Vec hi = lo;
+    hi[0] += rng.Uniform(0.5, 6.0);
+    hi[1] += rng.Uniform(0.5, 6.0);
+    const Rect box(lo, hi);
+    const auto expected = BruteRange(items, box);
+    for (RTree* tree : {&inserted, &bulk}) {
+      auto got = tree->RangeQuery(box);
+      std::sort(got.begin(), got.end());
+      EXPECT_EQ(got, expected) << "trial " << trial;
+    }
+  }
+}
+
+TEST(RTreeTest, NearestKMatchesBruteForceAcrossDims) {
+  Rng rng(54);
+  for (int dim : {1, 2, 4, 8}) {
+    auto items = RandomItems(&rng, dim, 300);
+    RTree tree = RTree::BulkLoad(dim, items);
+    for (int trial = 0; trial < 20; ++trial) {
+      const Vec q = rng.UniformInCube(dim, -12, 12);
+      for (size_t k : {1u, 5u, 50u}) {
+        const auto got = tree.NearestK(q, k);
+        const auto expected = BruteNearest(items, q, k);
+        ASSERT_EQ(got.size(), expected.size());
+        for (size_t i = 0; i < got.size(); ++i) {
+          EXPECT_EQ(got[i].id, expected[i]) << "dim " << dim << " k " << k;
+        }
+      }
+    }
+  }
+}
+
+TEST(RTreeTest, NearestKMoreThanSizeReturnsAll) {
+  Rng rng(55);
+  auto items = RandomItems(&rng, 2, 20);
+  RTree tree = RTree::BulkLoad(2, items);
+  EXPECT_EQ(tree.NearestK(Vec{0.0, 0.0}, 100).size(), 20u);
+}
+
+TEST(RTreeTest, IncrementalBrowseIsSorted) {
+  Rng rng(56);
+  auto items = RandomItems(&rng, 2, 400);
+  RTree tree(2);
+  for (const auto& it : items) tree.Insert(it.point, it.id);
+  const Vec q = Vec{0.5, -0.5};
+  auto browse = tree.NearestBrowse(q);
+  double prev = -1.0;
+  size_t count = 0;
+  while (auto item = browse.Next()) {
+    const double d = item->point.SquaredDistance(q);
+    EXPECT_GE(d, prev - 1e-12);
+    prev = d;
+    ++count;
+  }
+  EXPECT_EQ(count, items.size());
+}
+
+TEST(RTreeTest, IncrementalBrowseMatchesFullSort) {
+  Rng rng(57);
+  auto items = RandomItems(&rng, 3, 250);
+  RTree tree = RTree::BulkLoad(3, items);
+  const Vec q = rng.UniformInCube(3, -5, 5);
+  const auto expected = BruteNearest(items, q, items.size());
+  auto browse = tree.NearestBrowse(q);
+  for (size_t i = 0; i < expected.size(); ++i) {
+    auto item = browse.Next();
+    ASSERT_TRUE(item.has_value());
+    // Equal-distance ties may come out in either order; compare distances.
+    const double de =
+        items[static_cast<size_t>(expected[i])].point.SquaredDistance(q);
+    EXPECT_NEAR(item->point.SquaredDistance(q), de, 1e-12);
+  }
+  EXPECT_FALSE(browse.Next().has_value());
+}
+
+TEST(RTreeTest, PeekMatchesNext) {
+  Rng rng(58);
+  auto items = RandomItems(&rng, 2, 50);
+  RTree tree = RTree::BulkLoad(2, items);
+  auto browse = tree.NearestBrowse(Vec{0.0, 0.0});
+  for (int i = 0; i < 50; ++i) {
+    const double peek = browse.PeekSquaredDistance();
+    auto item = browse.Next();
+    ASSERT_TRUE(item.has_value());
+    EXPECT_DOUBLE_EQ(item->point.SquaredDistance(Vec{0.0, 0.0}), peek);
+  }
+  EXPECT_TRUE(std::isinf(browse.PeekSquaredDistance()));
+}
+
+TEST(RTreeTest, DuplicatePointsAllReturned) {
+  RTree tree(2);
+  for (int i = 0; i < 30; ++i) tree.Insert(Vec{1.0, 1.0}, i);
+  EXPECT_TRUE(tree.CheckInvariants());
+  const auto nearest = tree.NearestK(Vec{0.0, 0.0}, 30);
+  EXPECT_EQ(nearest.size(), 30u);
+}
+
+TEST(RTreeTest, ClusteredDataInvariants) {
+  Rng rng(59);
+  RTree tree(2);
+  for (int c = 0; c < 5; ++c) {
+    const Vec center = rng.UniformInCube(2, -100, 100);
+    for (int i = 0; i < 80; ++i) {
+      tree.Insert(rng.GaussianAround(center, 0.5), c * 80 + i);
+    }
+  }
+  EXPECT_TRUE(tree.CheckInvariants());
+  EXPECT_EQ(tree.size(), 400u);
+}
+
+TEST(RTreeTest, HighDimensionalQueries) {
+  Rng rng(60);
+  auto items = RandomItems(&rng, 16, 200, -2, 2);
+  RTree tree = RTree::BulkLoad(16, items);
+  EXPECT_TRUE(tree.CheckInvariants());
+  const Vec q(16, 0.0);
+  const auto got = tree.NearestK(q, 10);
+  const auto expected = BruteNearest(items, q, 10);
+  ASSERT_EQ(got.size(), 10u);
+  for (size_t i = 0; i < got.size(); ++i) EXPECT_EQ(got[i].id, expected[i]);
+}
+
+}  // namespace
+}  // namespace prj

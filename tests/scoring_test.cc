@@ -1,0 +1,192 @@
+// Tests for the aggregation functions of §2, anchored to the paper's
+// Table 1 golden scores, plus the top-K output buffer.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/brute_force.h"
+#include "core/scoring.h"
+#include "core/topk.h"
+#include "paper_fixture.h"
+
+namespace prj {
+namespace {
+
+using testing_fixture::Table1Query;
+using testing_fixture::Table1Relations;
+using testing_fixture::Table1Scores;
+using testing_fixture::Table1Scoring;
+
+TEST(SumLogEuclideanTest, ReproducesAllTable1Scores) {
+  const auto rels = Table1Relations();
+  const auto scoring = Table1Scoring();
+  const Vec q = Table1Query();
+  for (const auto& row : Table1Scores()) {
+    const std::vector<const Tuple*> combo = {
+        &rels[0].tuple(static_cast<size_t>(row.i1)),
+        &rels[1].tuple(static_cast<size_t>(row.i2)),
+        &rels[2].tuple(static_cast<size_t>(row.i3))};
+    EXPECT_NEAR(scoring.CombinationScore(q, combo), row.score, 0.05)
+        << "combo (" << row.i1 << "," << row.i2 << "," << row.i3 << ")";
+  }
+}
+
+TEST(SumLogEuclideanTest, Table1OrderingMatchesPaper) {
+  // Table 1 lists the 8 combinations in decreasing score order; the
+  // brute-force oracle must reproduce exactly that ranking.
+  const auto rows = Table1Scores();
+  const auto top = BruteForceTopK(Table1Relations(), Table1Scoring(),
+                                  Table1Query(), 8);
+  ASSERT_EQ(top.size(), 8u);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(top[i].tuples[0].id, rows[i].i1) << "rank " << i;
+    EXPECT_EQ(top[i].tuples[1].id, rows[i].i2) << "rank " << i;
+    EXPECT_EQ(top[i].tuples[2].id, rows[i].i3) << "rank " << i;
+    EXPECT_NEAR(top[i].score, rows[i].score, 0.05);
+  }
+}
+
+TEST(SumLogEuclideanTest, GiMonotonicity) {
+  const SumLogEuclideanScoring s(1.0, 2.0, 3.0);
+  // Non-decreasing in sigma.
+  EXPECT_LT(s.ProximityWeightedScore(0, 0.5, 1.0, 1.0),
+            s.ProximityWeightedScore(0, 0.9, 1.0, 1.0));
+  // Non-increasing in the query distance.
+  EXPECT_GT(s.ProximityWeightedScore(0, 0.5, 1.0, 1.0),
+            s.ProximityWeightedScore(0, 0.5, 2.0, 1.0));
+  // Non-increasing in the centroid distance.
+  EXPECT_GT(s.ProximityWeightedScore(0, 0.5, 1.0, 1.0),
+            s.ProximityWeightedScore(0, 0.5, 1.0, 2.0));
+}
+
+TEST(SumLogEuclideanTest, WeightsScaleTerms) {
+  const SumLogEuclideanScoring s(2.0, 3.0, 5.0);
+  // g = 2*ln(sigma) - 3*dq^2 - 5*dmu^2.
+  EXPECT_DOUBLE_EQ(s.ProximityWeightedScore(0, std::exp(1.0), 2.0, 1.0),
+                   2.0 - 12.0 - 5.0);
+}
+
+TEST(SumLogEuclideanTest, CentroidIsMean) {
+  const SumLogEuclideanScoring s(1, 1, 1);
+  const Vec a{0.0, 0.0}, b{2.0, 4.0}, c{4.0, -1.0};
+  const Vec mu = s.Centroid({&a, &b, &c});
+  EXPECT_TRUE(mu.ApproxEquals(Vec{2.0, 1.0}));
+}
+
+TEST(SumLogEuclideanTest, AggregateIsSum) {
+  const SumLogEuclideanScoring s(1, 1, 1);
+  EXPECT_DOUBLE_EQ(s.Aggregate({1.0, -2.0, 0.5}), -0.5);
+}
+
+TEST(SumLogEuclideanTest, SingleRelationCentroidIsSelf) {
+  // n = 1: the centroid equals the tuple location, so the proximity term
+  // w.r.t. the centroid vanishes.
+  const SumLogEuclideanScoring s(1, 1, 1);
+  Tuple t{0, 1.0, Vec{3.0, 4.0}};
+  EXPECT_NEAR(s.CombinationScore(Vec{0.0, 0.0}, {&t}), -25.0, 1e-12);
+}
+
+TEST(SumLogCosineTest, DissimilarityBasics) {
+  EXPECT_NEAR(
+      SumLogCosineScoring::CosineDissimilarity(Vec{1.0, 0.0}, Vec{2.0, 0.0}),
+      0.0, 1e-12);
+  EXPECT_NEAR(
+      SumLogCosineScoring::CosineDissimilarity(Vec{1.0, 0.0}, Vec{0.0, 3.0}),
+      1.0, 1e-12);
+  EXPECT_NEAR(
+      SumLogCosineScoring::CosineDissimilarity(Vec{1.0, 0.0}, Vec{-1.0, 0.0}),
+      2.0, 1e-12);
+}
+
+TEST(SumLogCosineTest, ScoresPreferAlignedVectors) {
+  const Vec q{1.0, 0.0};
+  const SumLogCosineScoring s(1.0, 1.0, 1.0, q);
+  Tuple aligned{0, 0.9, Vec{5.0, 0.1}};
+  Tuple off{1, 0.9, Vec{-1.0, 4.0}};
+  Tuple anchor{2, 0.9, Vec{2.0, 0.0}};
+  EXPECT_GT(s.CombinationScore(q, {&aligned, &anchor}),
+            s.CombinationScore(q, {&off, &anchor}));
+}
+
+TEST(SumLogCosineTest, NotEuclidean) {
+  const SumLogCosineScoring s(1, 1, 1, Vec{1.0, 0.0});
+  EXPECT_FALSE(s.euclidean_metric());
+  EXPECT_EQ(s.scoring_kind(), ScoringKind::kOther);
+}
+
+// ----------------------------- TopKBuffer ----------------------------- //
+
+Combination MakeCombo(std::vector<uint32_t> pos, double score) {
+  Combination c;
+  c.positions = std::move(pos);
+  c.score = score;
+  return c;
+}
+
+TEST(TopKBufferTest, KeepsBestK) {
+  TopKBuffer buf(2);
+  buf.Offer(MakeCombo({0}, 1.0));
+  buf.Offer(MakeCombo({1}, 3.0));
+  buf.Offer(MakeCombo({2}, 2.0));
+  const auto sorted = buf.SortedDescending();
+  ASSERT_EQ(sorted.size(), 2u);
+  EXPECT_DOUBLE_EQ(sorted[0].score, 3.0);
+  EXPECT_DOUBLE_EQ(sorted[1].score, 2.0);
+}
+
+TEST(TopKBufferTest, KthScoreSentinelUntilFull) {
+  TopKBuffer buf(3);
+  EXPECT_TRUE(std::isinf(buf.KthScore()));
+  EXPECT_LT(buf.KthScore(), 0);
+  buf.Offer(MakeCombo({0}, 1.0));
+  buf.Offer(MakeCombo({1}, 2.0));
+  EXPECT_TRUE(std::isinf(buf.KthScore()));
+  buf.Offer(MakeCombo({2}, 3.0));
+  EXPECT_DOUBLE_EQ(buf.KthScore(), 1.0);
+}
+
+TEST(TopKBufferTest, RejectsWorseThanKth) {
+  TopKBuffer buf(1);
+  buf.Offer(MakeCombo({0}, 5.0));
+  EXPECT_FALSE(buf.Offer(MakeCombo({1}, 4.0)));
+  EXPECT_TRUE(buf.Offer(MakeCombo({2}, 6.0)));
+  EXPECT_DOUBLE_EQ(buf.KthScore(), 6.0);
+}
+
+TEST(TopKBufferTest, TieBreakLexicographic) {
+  TopKBuffer buf(2);
+  buf.Offer(MakeCombo({5, 0}, 1.0));
+  buf.Offer(MakeCombo({1, 7}, 1.0));
+  buf.Offer(MakeCombo({0, 9}, 1.0));
+  const auto sorted = buf.SortedDescending();
+  ASSERT_EQ(sorted.size(), 2u);
+  EXPECT_EQ(sorted[0].positions, (std::vector<uint32_t>{0, 9}));
+  EXPECT_EQ(sorted[1].positions, (std::vector<uint32_t>{1, 7}));
+}
+
+TEST(TopKBufferTest, ManyOffersKeepHeapConsistent) {
+  TopKBuffer buf(10);
+  for (int i = 0; i < 1000; ++i) {
+    buf.Offer(MakeCombo({static_cast<uint32_t>(i)},
+                        std::fmod(i * 37.0, 101.0)));
+  }
+  const auto sorted = buf.SortedDescending();
+  ASSERT_EQ(sorted.size(), 10u);
+  for (size_t i = 1; i < sorted.size(); ++i) {
+    EXPECT_GE(sorted[i - 1].score, sorted[i].score);
+  }
+  EXPECT_DOUBLE_EQ(buf.KthScore(), sorted.back().score);
+}
+
+TEST(CombinationBetterTest, TotalOrder) {
+  const Combination a = MakeCombo({0, 1}, 2.0);
+  const Combination b = MakeCombo({0, 2}, 2.0);
+  const Combination c = MakeCombo({0, 0}, 1.0);
+  EXPECT_TRUE(CombinationBetter(a, b));
+  EXPECT_FALSE(CombinationBetter(b, a));
+  EXPECT_TRUE(CombinationBetter(a, c));
+  EXPECT_FALSE(CombinationBetter(a, a));
+}
+
+}  // namespace
+}  // namespace prj

@@ -1,0 +1,259 @@
+// Tests for the pipelined ProxRJStream operator and the execution trace:
+// the stream must emit exactly the brute-force ranking, lazily, and the
+// trace trajectories must obey the algorithm's invariants (the bound never
+// rises, the k-th buffered score never falls).
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/brute_force.h"
+#include "core/stream.h"
+#include "paper_fixture.h"
+#include "workload/synthetic.h"
+
+namespace prj {
+namespace {
+
+using testing_fixture::Table1Query;
+using testing_fixture::Table1Relations;
+using testing_fixture::Table1Scoring;
+
+ProxRJStream MakeStream(const std::vector<Relation>& rels, AccessKind kind,
+                        const ScoringFunction& scoring, const Vec& q,
+                        const AlgorithmPreset& preset) {
+  ProxRJStreamOptions opts;
+  opts.Apply(preset);
+  return ProxRJStream(MakeSources(rels, kind, q), &scoring, q, opts);
+}
+
+TEST(StreamTest, EmitsFullCrossProductInOrder) {
+  const auto rels = Table1Relations();
+  const auto scoring = Table1Scoring();
+  const Vec q = Table1Query();
+  auto stream = MakeStream(rels, AccessKind::kDistance, scoring, q, kTBPA);
+  ASSERT_TRUE(stream.Open().ok());
+  const auto expected = BruteForceTopK(rels, scoring, q, 8);
+  for (size_t rank = 0; rank < 8; ++rank) {
+    auto rc = stream.Next();
+    ASSERT_TRUE(rc.has_value()) << "rank " << rank;
+    EXPECT_NEAR(rc->score, expected[rank].score, 1e-9) << "rank " << rank;
+  }
+  EXPECT_FALSE(stream.Next().has_value());
+  EXPECT_EQ(stream.emitted(), 8u);
+}
+
+TEST(StreamTest, MatchesBruteForceOnRandomInstancesAllPresets) {
+  for (const auto& preset : {kCBRR, kCBPA, kTBRR, kTBPA}) {
+    for (auto kind : {AccessKind::kDistance, AccessKind::kScore}) {
+      SyntheticSpec spec;
+      spec.dim = 2;
+      spec.count = 25;
+      spec.density = 25;
+      spec.seed = 77;
+      const auto rels = GenerateProblem(2, spec);
+      const SumLogEuclideanScoring scoring(1, 1, 1);
+      const Vec q(2, 0.0);
+      auto stream = MakeStream(rels, kind, scoring, q, preset);
+      ASSERT_TRUE(stream.Open().ok());
+      const auto expected = BruteForceTopK(rels, scoring, q, 20);
+      for (size_t rank = 0; rank < expected.size(); ++rank) {
+        auto rc = stream.Next();
+        ASSERT_TRUE(rc.has_value());
+        EXPECT_NEAR(rc->score, expected[rank].score, 1e-9)
+            << preset.name << " rank " << rank;
+      }
+    }
+  }
+}
+
+TEST(StreamTest, LazinessConsumingFewerResultsReadsLess) {
+  SyntheticSpec spec;
+  spec.dim = 2;
+  spec.count = 300;
+  spec.density = 50;
+  spec.seed = 5;
+  const auto rels = GenerateProblem(2, spec);
+  const SumLogEuclideanScoring scoring(1, 1, 1);
+  const Vec q(2, 0.0);
+
+  auto stream = MakeStream(rels, AccessKind::kDistance, scoring, q, kTBPA);
+  ASSERT_TRUE(stream.Open().ok());
+  ASSERT_TRUE(stream.Next().has_value());
+  const size_t depth_after_1 = stream.SumDepths();
+  for (int r = 0; r < 30; ++r) ASSERT_TRUE(stream.Next().has_value());
+  const size_t depth_after_31 = stream.SumDepths();
+  EXPECT_LT(depth_after_1, depth_after_31);
+  EXPECT_LT(depth_after_31, 2 * rels[0].size());  // far from exhaustion
+}
+
+TEST(StreamTest, StreamDepthsMatchBatchRun) {
+  // Consuming r results costs the same input as a batch run with K = r.
+  SyntheticSpec spec;
+  spec.dim = 2;
+  spec.count = 200;
+  spec.density = 50;
+  spec.seed = 9;
+  const auto rels = GenerateProblem(2, spec);
+  const SumLogEuclideanScoring scoring(1, 1, 1);
+  const Vec q(2, 0.0);
+  for (int r : {1, 5, 20}) {
+    auto stream = MakeStream(rels, AccessKind::kDistance, scoring, q, kTBRR);
+    ASSERT_TRUE(stream.Open().ok());
+    for (int e = 0; e < r; ++e) ASSERT_TRUE(stream.Next().has_value());
+
+    ProxRJOptions batch;
+    batch.k = r;
+    batch.Apply(kTBRR);
+    ExecStats stats;
+    ASSERT_TRUE(
+        RunProxRJ(rels, AccessKind::kDistance, scoring, q, batch, &stats).ok());
+    EXPECT_EQ(stream.SumDepths(), stats.sum_depths) << "r=" << r;
+  }
+}
+
+TEST(StreamTest, EmptyRelationEmitsNothing) {
+  Relation r1("R1", 1);
+  r1.Add(0, 1.0, Vec{0.5});
+  Relation r2("R2", 1);  // empty
+  const SumLogEuclideanScoring scoring(1, 1, 1);
+  auto stream =
+      MakeStream({r1, r2}, AccessKind::kDistance, scoring, Vec{0.0}, kTBRR);
+  ASSERT_TRUE(stream.Open().ok());
+  EXPECT_FALSE(stream.Next().has_value());
+}
+
+TEST(StreamTest, OpenValidates) {
+  const SumLogCosineScoring cosine(1, 1, 1, Vec{1.0, 0.0});
+  auto rels = Table1Relations();
+  ProxRJStreamOptions opts;  // tight bound by default
+  ProxRJStream stream(MakeSources(rels, AccessKind::kScore, Table1Query()),
+                      &cosine, Table1Query(), opts);
+  const Status st = stream.Open();
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kUnimplemented);
+}
+
+TEST(StreamTest, OpenIsSingleShot) {
+  const auto rels = Table1Relations();
+  const auto scoring = Table1Scoring();
+  auto stream = MakeStream(rels, AccessKind::kDistance, scoring,
+                           Table1Query(), kTBRR);
+  ASSERT_TRUE(stream.Open().ok());
+  EXPECT_EQ(stream.Open().code(), StatusCode::kFailedPrecondition);
+}
+
+// ------------------------------- Trace --------------------------------- //
+
+TEST(TraceTest, RecordsOneStepPerPull) {
+  const auto rels = Table1Relations();
+  const auto scoring = Table1Scoring();
+  ExecTrace trace;
+  ProxRJOptions opts;
+  opts.k = 1;
+  opts.Apply(kTBRR);
+  opts.trace = &trace;
+  ExecStats stats;
+  ASSERT_TRUE(RunProxRJ(rels, AccessKind::kDistance, scoring, Table1Query(),
+                        opts, &stats)
+                  .ok());
+  EXPECT_EQ(trace.size(), stats.sum_depths);
+  for (const TraceStep& step : trace.steps) {
+    EXPECT_GE(step.relation, 0);
+    EXPECT_LT(step.relation, 3);
+    EXPECT_GE(step.depth, 1u);
+  }
+}
+
+TEST(TraceTest, BoundTrajectoryNeverRises) {
+  // Pulling more input can only tighten (lower) a correct upper bound on
+  // the unseen combinations -- for every scheme and access kind.
+  for (const auto& preset : {kCBRR, kTBRR}) {
+    for (auto kind : {AccessKind::kDistance, AccessKind::kScore}) {
+      SyntheticSpec spec;
+      spec.dim = 2;
+      spec.count = 150;
+      spec.density = 50;
+      spec.seed = 31;
+      const auto rels = GenerateProblem(2, spec);
+      const SumLogEuclideanScoring scoring(1, 1, 1);
+      ExecTrace trace;
+      ProxRJOptions opts;
+      opts.k = 10;
+      opts.Apply(preset);
+      opts.trace = &trace;
+      ASSERT_TRUE(
+          RunProxRJ(rels, kind, scoring, Vec(2, 0.0), opts, nullptr).ok());
+      ASSERT_GT(trace.size(), 2u);
+      for (size_t s = 1; s < trace.size(); ++s) {
+        EXPECT_LE(trace.steps[s].bound, trace.steps[s - 1].bound + 1e-9)
+            << preset.name << " step " << s;
+      }
+    }
+  }
+}
+
+TEST(TraceTest, KthScoreNeverFallsAndCrossesBoundAtTermination) {
+  SyntheticSpec spec;
+  spec.dim = 2;
+  spec.count = 150;
+  spec.density = 50;
+  spec.seed = 32;
+  const auto rels = GenerateProblem(2, spec);
+  const SumLogEuclideanScoring scoring(1, 1, 1);
+  ExecTrace trace;
+  ProxRJOptions opts;
+  opts.k = 10;
+  opts.Apply(kTBPA);
+  opts.trace = &trace;
+  ExecStats stats;
+  ASSERT_TRUE(RunProxRJ(rels, AccessKind::kDistance, scoring, Vec(2, 0.0),
+                        opts, &stats)
+                  .ok());
+  for (size_t s = 1; s < trace.size(); ++s) {
+    EXPECT_GE(trace.steps[s].kth_score, trace.steps[s - 1].kth_score - 1e-12);
+  }
+  // Terminated via the threshold test: at the last step the k-th score
+  // reached the bound.
+  ASSERT_TRUE(stats.completed);
+  const TraceStep& last = trace.steps.back();
+  EXPECT_GE(last.kth_score, last.bound - 1e-6);
+  // And one step earlier it had not (otherwise we would have stopped).
+  const TraceStep& prev = trace.steps[trace.size() - 2];
+  EXPECT_LT(prev.kth_score, prev.bound - 1e-12);
+}
+
+TEST(TraceTest, TightBoundTrajectoryBelowCornerTrajectory) {
+  // Replay the same pull sequence is not possible across strategies, but
+  // under round-robin the pull sequence is identical until one of the two
+  // terminates; compare the common prefix pointwise.
+  SyntheticSpec spec;
+  spec.dim = 2;
+  spec.count = 150;
+  spec.density = 50;
+  spec.seed = 33;
+  const auto rels = GenerateProblem(2, spec);
+  const SumLogEuclideanScoring scoring(1, 1, 1);
+  ExecTrace corner_trace, tight_trace;
+  for (auto [preset, trace] :
+       {std::pair{kCBRR, &corner_trace}, std::pair{kTBRR, &tight_trace}}) {
+    ProxRJOptions opts;
+    opts.k = 10;
+    opts.Apply(preset);
+    opts.trace = trace;
+    ASSERT_TRUE(
+        RunProxRJ(rels, AccessKind::kDistance, scoring, Vec(2, 0.0), opts,
+                  nullptr)
+            .ok());
+  }
+  const size_t common = std::min(corner_trace.size(), tight_trace.size());
+  ASSERT_GT(common, 0u);
+  for (size_t s = 0; s < common; ++s) {
+    EXPECT_EQ(corner_trace.steps[s].relation, tight_trace.steps[s].relation);
+    EXPECT_LE(tight_trace.steps[s].bound, corner_trace.steps[s].bound + 1e-9);
+  }
+  // The tight bound run terminates no later (that is the whole point).
+  EXPECT_LE(tight_trace.size(), corner_trace.size());
+}
+
+}  // namespace
+}  // namespace prj

@@ -1,0 +1,158 @@
+// Tests for the LP dual/witness extraction used by the dominance witness
+// cache, and for the witness-screening fast path of PartialIsDominated.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/dominance.h"
+#include "solver/lp.h"
+
+namespace prj {
+namespace {
+
+TEST(LpDualsTest, DualsReturnedAtOptimality) {
+  // min -x1 - 2x2 s.t. x1 + x2 + s = 4: dual of the single row is -2
+  // (the objective improves by 2 per unit of b).
+  Matrix a(1, 3);
+  a(0, 0) = 1.0;
+  a(0, 1) = 1.0;
+  a(0, 2) = 1.0;
+  const LpResult r = SolveStandardForm(a, {4.0}, {-1.0, -2.0, 0.0});
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  ASSERT_EQ(r.duals.size(), 1u);
+  EXPECT_NEAR(r.duals[0], -2.0, 1e-9);
+}
+
+TEST(LpDualsTest, DualFeasibilityOnRandomProblems) {
+  // At optimality the reduced costs c_j - y^T A_j must be >= 0 for every
+  // column (weak duality certificate).
+  Rng rng(61);
+  for (int trial = 0; trial < 60; ++trial) {
+    const int rows = 1 + static_cast<int>(rng.NextBounded(4));
+    const int cols = rows + 1 + static_cast<int>(rng.NextBounded(8));
+    Matrix a(rows, cols);
+    std::vector<double> c(static_cast<size_t>(cols));
+    for (int j = 0; j < cols; ++j) {
+      c[static_cast<size_t>(j)] = rng.Uniform(0.1, 2.0);  // bounded LP
+      for (int r = 0; r < rows; ++r) a(r, j) = rng.Uniform(0.0, 1.0);
+    }
+    std::vector<double> b(static_cast<size_t>(rows));
+    for (double& v : b) v = rng.Uniform(0.5, 2.0);
+    const LpResult res = SolveStandardForm(a, b, c);
+    if (res.status != LpStatus::kOptimal) continue;
+    for (int j = 0; j < cols; ++j) {
+      double red = c[static_cast<size_t>(j)];
+      for (int r = 0; r < rows; ++r) {
+        red -= res.duals[static_cast<size_t>(r)] * a(r, j);
+      }
+      EXPECT_GE(red, -1e-6) << "trial " << trial << " col " << j;
+    }
+    // Strong duality: y^T b == objective.
+    double dual_obj = 0.0;
+    for (int r = 0; r < rows; ++r) {
+      dual_obj += res.duals[static_cast<size_t>(r)] * b[static_cast<size_t>(r)];
+    }
+    EXPECT_NEAR(dual_obj, res.objective, 1e-6);
+  }
+}
+
+TEST(WitnessTest, WitnessSatisfiesAllConstraints) {
+  Rng rng(62);
+  int nonempty = 0;
+  for (int trial = 0; trial < 120; ++trial) {
+    const int d = 1 + static_cast<int>(rng.NextBounded(3));
+    const int u = 2 + static_cast<int>(rng.NextBounded(12));
+    Matrix g(u, d);
+    std::vector<double> h(static_cast<size_t>(u));
+    for (int r = 0; r < u; ++r) {
+      for (int c = 0; c < d; ++c) g(r, c) = rng.Uniform(-1, 1);
+      h[static_cast<size_t>(r)] = rng.Uniform(-0.4, 0.8);
+    }
+    std::vector<double> witness;
+    if (PolyhedronIsEmpty(g, h, &witness)) continue;
+    ++nonempty;
+    ASSERT_EQ(witness.size(), static_cast<size_t>(d));
+    for (int r = 0; r < u; ++r) {
+      double dot = 0.0;
+      for (int c = 0; c < d; ++c) {
+        dot += g(r, c) * witness[static_cast<size_t>(c)];
+      }
+      EXPECT_LE(dot, h[static_cast<size_t>(r)] + 1e-6)
+          << "trial " << trial << " row " << r;
+    }
+  }
+  EXPECT_GT(nonempty, 30);  // the draw actually exercises the witness path
+}
+
+TEST(WitnessTest, WitnessIsTheMaxMarginPoint) {
+  // Box -1 <= x <= 1 in 1-D: the deepest point is 0 with margin 1.
+  Matrix g(2, 1);
+  g(0, 0) = 1.0;   // x <= 1
+  g(1, 0) = -1.0;  // -x <= 1
+  std::vector<double> witness;
+  ASSERT_FALSE(PolyhedronIsEmpty(g, {1.0, 1.0}, &witness));
+  EXPECT_NEAR(witness[0], 0.0, 1e-9);
+}
+
+TEST(WitnessScreenTest, CachedWitnessSkipsTheLp) {
+  // alpha's region is y <= 0 (vs beta with a larger centroid). With a
+  // valid cached witness no LP may run.
+  std::vector<DominanceEntry> entries = {{Vec{-1.0}, 0.0}, {Vec{1.0}, 0.0}};
+  std::vector<bool> active = {true, true};
+  uint64_t lp = 0;
+  Vec witness{-5.0};  // deep inside alpha's half-plane
+  EXPECT_FALSE(PartialIsDominated(0, entries, active, -0.5, &lp, &witness));
+  EXPECT_EQ(lp, 0u);
+}
+
+TEST(WitnessScreenTest, StaleWitnessFallsBackToTheLp) {
+  // The cached witness lies outside the region after a new beta arrives;
+  // the LP must run and refresh it.
+  std::vector<DominanceEntry> entries = {{Vec{-1.0}, 0.0}, {Vec{1.0}, 0.0}};
+  std::vector<bool> active = {true, true};
+  uint64_t lp = 0;
+  Vec witness{+5.0};  // on beta's side: stale
+  EXPECT_FALSE(PartialIsDominated(0, entries, active, -0.5, &lp, &witness));
+  EXPECT_EQ(lp, 1u);
+  // The refreshed witness is valid: re-running skips the LP.
+  EXPECT_FALSE(PartialIsDominated(0, entries, active, -0.5, &lp, &witness));
+  EXPECT_EQ(lp, 1u);
+}
+
+TEST(WitnessScreenTest, DominatedDespiteWitnessAttempt) {
+  std::vector<DominanceEntry> entries = {{Vec{0.5}, -1.0},  // strictly worse
+                                         {Vec{0.5}, 0.0}};
+  std::vector<bool> active = {true, true};
+  uint64_t lp = 0;
+  Vec witness{0.0};
+  EXPECT_TRUE(PartialIsDominated(0, entries, active, -0.5, &lp, &witness));
+  EXPECT_EQ(lp, 1u);
+}
+
+TEST(WitnessScreenTest, ResultsIdenticalWithAndWithoutWitnesses) {
+  Rng rng(63);
+  for (int trial = 0; trial < 60; ++trial) {
+    const int d = 1 + static_cast<int>(rng.NextBounded(3));
+    const size_t count = 3 + rng.NextBounded(8);
+    std::vector<DominanceEntry> entries;
+    for (size_t i = 0; i < count; ++i) {
+      entries.push_back(DominanceEntry{rng.UniformInCube(d, -2, 2),
+                                       rng.Uniform(-2, 2)});
+    }
+    std::vector<bool> active(count, true);
+    const double b_scale = -rng.Uniform(0.2, 1.5);
+    for (size_t a = 0; a < count; ++a) {
+      uint64_t lp1 = 0, lp2 = 0;
+      Vec witness;
+      const bool with = PartialIsDominated(a, entries, active, b_scale, &lp1,
+                                           &witness);
+      const bool without =
+          PartialIsDominated(a, entries, active, b_scale, &lp2, nullptr);
+      EXPECT_EQ(with, without) << "trial " << trial << " partial " << a;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace prj

@@ -1,0 +1,216 @@
+// Tests for the workload generators: density/skew semantics of the
+// synthetic generator (Appendix D.1) and the simulated city datasets
+// (Appendix D.2 substitution).
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "workload/cities.h"
+#include "workload/synthetic.h"
+
+namespace prj {
+namespace {
+
+TEST(SyntheticTest, AutoModeIsUnitVolumeWithRhoTuples) {
+  // Appendix D.1: fixed unit-volume domain, so the relation size is rho.
+  SyntheticSpec spec;
+  spec.dim = 5;
+  spec.density = 73.0;
+  spec.count = 0;
+  EXPECT_EQ(EffectiveCount(spec), 73);
+  EXPECT_NEAR(CubeSide(spec), 1.0, 1e-12);
+  const Relation rel = GenerateUniformRelation(spec, "R");
+  EXPECT_EQ(rel.size(), 73u);
+  for (const Tuple& t : rel.tuples()) {
+    for (int i = 0; i < 5; ++i) {
+      EXPECT_GE(t.x[i], -0.5);
+      EXPECT_LT(t.x[i], 0.5);
+    }
+  }
+}
+
+TEST(SyntheticTest, CubeSideRealizesDensity) {
+  SyntheticSpec spec;
+  spec.dim = 2;
+  spec.count = 5000;
+  spec.density = 50.0;
+  const double side = CubeSide(spec);
+  EXPECT_NEAR(spec.count / (side * side), 50.0, 1e-9);
+}
+
+TEST(SyntheticTest, CubeSideHighDimensional) {
+  SyntheticSpec spec;
+  spec.dim = 16;
+  spec.count = 4000;
+  spec.density = 50.0;
+  EXPECT_NEAR(std::pow(CubeSide(spec), 16.0), 80.0, 1e-9);
+}
+
+TEST(SyntheticTest, TuplesLieInTheCubeWithValidScores) {
+  SyntheticSpec spec;
+  spec.dim = 3;
+  spec.count = 500;
+  spec.density = 20.0;
+  spec.seed = 7;
+  const Relation rel = GenerateUniformRelation(spec, "R");
+  ASSERT_TRUE(rel.Validate().ok());
+  EXPECT_EQ(rel.size(), 500u);
+  const double half = CubeSide(spec) / 2.0;
+  for (const Tuple& t : rel.tuples()) {
+    EXPECT_GT(t.score, 0.0);
+    EXPECT_LE(t.score, 1.0);
+    for (int i = 0; i < 3; ++i) {
+      EXPECT_GE(t.x[i], -half);
+      EXPECT_LT(t.x[i], half);
+    }
+  }
+}
+
+TEST(SyntheticTest, SameSeedSameData) {
+  SyntheticSpec spec;
+  spec.seed = 123;
+  spec.count = 50;
+  const Relation a = GenerateUniformRelation(spec, "A");
+  const Relation b = GenerateUniformRelation(spec, "B");
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.tuple(i).score, b.tuple(i).score);
+    EXPECT_TRUE(a.tuple(i).x == b.tuple(i).x);
+  }
+}
+
+TEST(SyntheticTest, DifferentSeedsDifferentData) {
+  SyntheticSpec a_spec, b_spec;
+  a_spec.seed = 1;
+  b_spec.seed = 2;
+  a_spec.count = b_spec.count = 20;
+  const Relation a = GenerateUniformRelation(a_spec, "A");
+  const Relation b = GenerateUniformRelation(b_spec, "B");
+  int same = 0;
+  for (size_t i = 0; i < a.size(); ++i) same += (a.tuple(i).x == b.tuple(i).x);
+  EXPECT_EQ(same, 0);
+}
+
+TEST(SyntheticTest, ProblemHasDistinctRelations) {
+  SyntheticSpec spec;
+  spec.seed = 5;
+  spec.count = 30;
+  const auto rels = GenerateProblem(3, spec);
+  ASSERT_EQ(rels.size(), 3u);
+  EXPECT_NE(rels[0].tuple(0).x, rels[1].tuple(0).x);
+  EXPECT_NE(rels[1].tuple(0).x, rels[2].tuple(0).x);
+  for (const auto& r : rels) EXPECT_TRUE(r.Validate().ok());
+}
+
+TEST(SyntheticTest, SkewChangesDensitiesGeometrically) {
+  // With skew s, relation 1 is generated s times denser than relation 2.
+  // Same tuple count -> the cube of R1 is smaller by factor s^(1/d) per
+  // side. Verify via the bounding box of the generated points.
+  SyntheticSpec spec;
+  spec.dim = 2;
+  spec.count = 2000;
+  spec.density = 50.0;
+  spec.seed = 8;
+  const auto rels = GenerateProblem(2, spec, /*skew=*/4.0);
+  auto extent = [](const Relation& r) {
+    double lo = 1e300, hi = -1e300;
+    for (const Tuple& t : r.tuples()) {
+      lo = std::min(lo, t.x[0]);
+      hi = std::max(hi, t.x[0]);
+    }
+    return hi - lo;
+  };
+  // rho1/rho2 = 4 -> side ratio = sqrt(sqrt(4)*sqrt(4)) = 2 in 2-D.
+  EXPECT_NEAR(extent(rels[1]) / extent(rels[0]), 2.0, 0.1);
+}
+
+TEST(SyntheticTest, SkewOneIsSymmetric) {
+  SyntheticSpec spec;
+  spec.count = 1000;
+  spec.seed = 9;
+  const auto rels = GenerateProblem(2, spec, 1.0);
+  // Equal densities: bounding boxes of the two relations nearly coincide.
+  auto extent = [](const Relation& r) {
+    double lo = 1e300, hi = -1e300;
+    for (const Tuple& t : r.tuples()) {
+      lo = std::min(lo, t.x[0]);
+      hi = std::max(hi, t.x[0]);
+    }
+    return hi - lo;
+  };
+  EXPECT_NEAR(extent(rels[1]) / extent(rels[0]), 1.0, 0.05);
+}
+
+TEST(CitiesTest, FiveCitiesExist) {
+  EXPECT_EQ(CityCodes().size(), 5u);
+  std::set<std::string> codes(CityCodes().begin(), CityCodes().end());
+  EXPECT_TRUE(codes.count("SF"));
+  EXPECT_TRUE(codes.count("NY"));
+  EXPECT_TRUE(codes.count("BO"));
+  EXPECT_TRUE(codes.count("DA"));
+  EXPECT_TRUE(codes.count("HO"));
+}
+
+TEST(CitiesTest, DatasetShapeMatchesPaperSetting) {
+  for (const std::string& code : CityCodes()) {
+    const CityDataset ds = MakeCityDataset(code);
+    EXPECT_EQ(ds.city, code);
+    ASSERT_EQ(ds.relations.size(), 3u);  // hotels, restaurants, theaters
+    EXPECT_EQ(ds.query.dim(), 2);        // d = 2 (lat/long analogue)
+    EXPECT_EQ(ds.relations[0].name(), "hotels");
+    EXPECT_EQ(ds.relations[1].name(), "restaurants");
+    EXPECT_EQ(ds.relations[2].name(), "theaters");
+    for (const Relation& r : ds.relations) {
+      EXPECT_TRUE(r.Validate().ok()) << code << "/" << r.name();
+      EXPECT_GT(r.size(), 20u);
+    }
+    // Restaurants outnumber theaters everywhere, like the real services.
+    EXPECT_GT(ds.relations[1].size(), ds.relations[2].size());
+  }
+}
+
+TEST(CitiesTest, Deterministic) {
+  const CityDataset a = MakeCityDataset("SF");
+  const CityDataset b = MakeCityDataset("SF");
+  EXPECT_TRUE(a.query == b.query);
+  ASSERT_EQ(a.relations[0].size(), b.relations[0].size());
+  for (size_t i = 0; i < a.relations[0].size(); ++i) {
+    EXPECT_TRUE(a.relations[0].tuple(i).x == b.relations[0].tuple(i).x);
+  }
+}
+
+TEST(CitiesTest, CitiesDiffer) {
+  const CityDataset sf = MakeCityDataset("SF");
+  const CityDataset ny = MakeCityDataset("NY");
+  EXPECT_FALSE(sf.query == ny.query);
+  EXPECT_NE(sf.relations[0].size(), ny.relations[0].size());
+}
+
+TEST(CitiesTest, HotelScoresAreStarRatings) {
+  const CityDataset ds = MakeCityDataset("BO");
+  for (const Tuple& t : ds.relations[0].tuples()) {
+    const double stars = t.score * 5.0;
+    EXPECT_NEAR(stars, std::round(stars), 1e-9);
+    EXPECT_GE(stars, 1.0);
+    EXPECT_LE(stars, 5.0);
+  }
+}
+
+TEST(CitiesTest, QueryIsNearTheData) {
+  // The landmark lies inside the metro area: at least a quarter of each
+  // category sits within a few cluster radii of it.
+  for (const std::string& code : CityCodes()) {
+    const CityDataset ds = MakeCityDataset(code);
+    for (const Relation& r : ds.relations) {
+      size_t near = 0;
+      for (const Tuple& t : r.tuples()) {
+        if (t.x.Distance(ds.query) < 15.0) ++near;
+      }
+      EXPECT_GT(near, r.size() / 4) << code << "/" << r.name();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace prj
