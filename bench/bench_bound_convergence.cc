@@ -5,6 +5,7 @@
 // termination -- happens earlier (Example 3.1 writ large).
 #include <cstdio>
 
+#include "bench_util.h"
 #include "core/engine.h"
 #include "workload/synthetic.h"
 
@@ -13,7 +14,9 @@ int main() {
   SyntheticSpec spec;
   spec.dim = 2;
   spec.density = 50;
-  spec.count = 400;
+  // This bench bypasses bench_util's cell runner, so it applies the
+  // PRJ_BENCH_SMOKE shrink itself to stay seconds-scale under CTest.
+  spec.count = bench::SmokeMode() ? 40 : 400;
   spec.seed = 7;
   const auto rels = GenerateProblem(2, spec);
   const SumLogEuclideanScoring scoring(1, 1, 1);
@@ -26,6 +29,7 @@ int main() {
     opts.k = 10;
     opts.Apply(preset);
     opts.trace = trace;
+    if (bench::SmokeMode()) opts.time_budget_seconds = 2.0;
     auto result = RunProxRJ(rels, AccessKind::kDistance, scoring, q, opts);
     if (!result.ok()) {
       std::fprintf(stderr, "%s\n", result.status().ToString().c_str());

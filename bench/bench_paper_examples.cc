@@ -108,7 +108,7 @@ void PrintExample32(const std::vector<Relation>& rels,
 }
 
 void PrintFigure2(const std::vector<Relation>& rels,
-                  const SumLogEuclideanScoring& scoring, const Vec& q) {
+                  const SumLogEuclideanScoring& /*scoring*/, const Vec& q) {
   std::printf("\n== Figure 2 / Example 3.3: dominance of PC({2,3}) ==\n");
   std::vector<DominanceEntry> entries;
   std::vector<std::string> names;

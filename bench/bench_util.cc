@@ -1,10 +1,34 @@
 #include "bench_util.h"
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 namespace prj {
 namespace bench {
+
+bool SmokeMode() {
+  static const bool smoke = [] {
+    const char* v = std::getenv("PRJ_BENCH_SMOKE");
+    return v != nullptr && v[0] != '\0' && std::strcmp(v, "0") != 0;
+  }();
+  return smoke;
+}
+
 namespace {
+
+CellConfig EffectiveConfig(const CellConfig& config) {
+  if (!SmokeMode()) return config;
+  CellConfig c = config;
+  c.count = std::min(c.count, 40);
+  c.seeds = std::min(c.seeds, 1);
+  c.k = std::min(c.k, 5);
+  if (c.time_budget_seconds > 0) {
+    c.time_budget_seconds = std::min(c.time_budget_seconds, 2.0);
+  }
+  return c;
+}
 
 void Accumulate(CellResult* acc, const ExecStats& stats) {
   if (!stats.completed) {
@@ -43,8 +67,9 @@ ProxRJOptions MakeOptions(const CellConfig& config,
 
 }  // namespace
 
-CellResult RunSyntheticCell(const CellConfig& config,
+CellResult RunSyntheticCell(const CellConfig& raw_config,
                             const AlgorithmPreset& preset) {
+  const CellConfig config = EffectiveConfig(raw_config);
   CellResult acc;
   const SumLogEuclideanScoring scoring(config.ws, config.wq, config.wmu);
   for (int s = 0; s < config.seeds; ++s) {
@@ -66,8 +91,9 @@ CellResult RunSyntheticCell(const CellConfig& config,
 }
 
 CellResult RunFixedInstance(const std::vector<Relation>& relations,
-                            const Vec& query, const CellConfig& config,
+                            const Vec& query, const CellConfig& raw_config,
                             const AlgorithmPreset& preset) {
+  const CellConfig config = EffectiveConfig(raw_config);
   CellResult acc;
   const SumLogEuclideanScoring scoring(config.ws, config.wq, config.wmu);
   ExecStats stats;

@@ -51,12 +51,22 @@ struct CellResult {
   int runs = 0;
 };
 
-/// Runs `preset` over every seed of the cell on synthetic data.
+/// True when the PRJ_BENCH_SMOKE environment variable is set (non-empty,
+/// not "0"). In smoke mode RunSyntheticCell and RunFixedInstance both shrink
+/// their cell to smoke-test scale — one seed, count <= 40, K <= 5, time
+/// budget <= 2 s — so CTest's bench_smoke targets finish in seconds.
+/// Benchmarks that bypass bench_util should consult this flag themselves.
+bool SmokeMode();
+
+/// Runs `preset` over every seed of the cell on synthetic data (shrunk first
+/// when SmokeMode() is true; see above).
 CellResult RunSyntheticCell(const CellConfig& config,
                             const AlgorithmPreset& preset);
 
 /// Runs `preset` once over a fixed problem instance (used by the city
-/// benchmark, where the data set itself is the varied parameter).
+/// benchmark, where the data set itself is the varied parameter). Also
+/// subject to the SmokeMode() shrink (K and time budget; the fixed
+/// relations themselves are left untouched).
 CellResult RunFixedInstance(const std::vector<Relation>& relations,
                             const Vec& query, const CellConfig& config,
                             const AlgorithmPreset& preset);

@@ -1,0 +1,35 @@
+// Compile-time contract for the error-propagation vocabulary types. These
+// asserts (plus the explicit instantiations, which force every member of
+// Result<T> through the -Wall -Wextra -Werror gate) pin down properties the
+// rest of the codebase relies on when returning Status / Result by value.
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "common/status.h"
+#include "common/vec.h"
+
+namespace prj {
+
+static_assert(std::is_default_constructible_v<Status>);
+static_assert(std::is_copy_constructible_v<Status>);
+static_assert(std::is_copy_assignable_v<Status>);
+static_assert(std::is_nothrow_move_constructible_v<Status>);
+static_assert(std::is_nothrow_move_assignable_v<Status>);
+
+// Result<T> is usable by value for small trivials, strings, and containers.
+template class Result<int>;
+template class Result<std::string>;
+template class Result<std::vector<double>>;
+template class Result<Vec>;
+
+static_assert(std::is_move_constructible_v<Result<int>>);
+static_assert(std::is_move_constructible_v<Result<std::string>>);
+static_assert(std::is_move_constructible_v<Result<Vec>>);
+static_assert(std::is_copy_constructible_v<Result<std::vector<double>>>);
+static_assert(std::is_convertible_v<Status, Result<int>>,
+              "an error Status must implicitly convert to any Result<T>");
+static_assert(std::is_convertible_v<int, Result<int>>,
+              "a value must implicitly convert to its Result<T>");
+
+}  // namespace prj
