@@ -1,0 +1,142 @@
+// Cold-start vs amortized execution over repeated queries: the point of
+// the reusable Engine. For each batch size Q we run the same Q random
+// queries twice on the R-tree distance backend:
+//
+//   cold -- Q independent RunProxRJ calls, each rebuilding every
+//           per-relation R-tree (index builds grow as Q * n);
+//   warm -- one Engine::Create (n index builds, independent of Q)
+//           followed by Q Engine::TopK calls over the shared catalog.
+//
+// The table reports the index-build counts, total and per-query wall
+// times, and the cold/warm speedup. PRJ_BENCH_SMOKE=1 shrinks the
+// relations and batch sizes to smoke-test scale.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "common/timer.h"
+#include "core/engine.h"
+#include "workload/synthetic.h"
+
+namespace prj {
+namespace {
+
+int Run() {
+  const bool smoke = bench::SmokeMode();
+  const int n = 2;
+  const int dim = 2;
+  // Even in smoke mode the relations stay large enough that the per-query
+  // index build dominates cold latency by several times: the warm-beats-cold
+  // gate below then has a real margin and scheduler noise cannot flip it.
+  const int count = smoke ? 2000 : 10000;
+  const std::vector<int> batch_sizes =
+      smoke ? std::vector<int>{1, 4} : std::vector<int>{1, 4, 16, 64};
+
+  SyntheticSpec spec;
+  spec.dim = dim;
+  spec.count = count;
+  spec.density = 50;
+  spec.seed = 7;
+  const auto rels = GenerateProblem(n, spec);
+  const SumLogEuclideanScoring scoring(1.0, 1.0, 1.0);
+
+  ProxRJOptions opts;
+  opts.k = 10;
+  opts.Apply(kTBPA);
+  opts.backend = SourceBackend::kRTree;
+
+  std::printf(
+      "engine_batch: cold RunProxRJ vs warm Engine reuse "
+      "(distance access, R-tree backend, n=%d, %d tuples/relation, K=%d)\n\n",
+      n, count, opts.k);
+  std::printf("%6s %12s %12s %14s %14s %14s %16s %9s\n", "Q", "cold_builds",
+              "warm_builds", "cold_total_ms", "warm_build_ms", "warm_query_ms",
+              "warm_query_us/Q", "speedup");
+
+  bool amortized = true;
+  for (const int q_count : batch_sizes) {
+    Rng rng(99);  // same query sequence for every row and both modes
+    std::vector<Vec> queries;
+    queries.reserve(static_cast<size_t>(q_count));
+    for (int i = 0; i < q_count; ++i) {
+      queries.push_back(rng.UniformInCube(dim, -1.0, 1.0));
+    }
+
+    WallTimer cold_timer;
+    size_t cold_checksum = 0;
+    for (const Vec& q : queries) {
+      ExecStats stats;
+      auto result = RunProxRJ(rels, AccessKind::kDistance, scoring, q, opts,
+                              &stats);
+      if (!result.ok()) {
+        std::fprintf(stderr, "cold run failed: %s\n",
+                     result.status().ToString().c_str());
+        return 1;
+      }
+      cold_checksum += stats.sum_depths;
+    }
+    const double cold_seconds = cold_timer.ElapsedSeconds();
+
+    WallTimer build_timer;
+    auto engine = Engine::Create(rels, AccessKind::kDistance, &scoring);
+    const double build_seconds = build_timer.ElapsedSeconds();
+    if (!engine.ok()) {
+      std::fprintf(stderr, "Engine::Create failed: %s\n",
+                   engine.status().ToString().c_str());
+      return 1;
+    }
+
+    WallTimer warm_timer;
+    size_t warm_checksum = 0;
+    for (const Vec& q : queries) {
+      ExecStats stats;
+      auto result = engine->TopK(q, opts, &stats);
+      if (!result.ok()) {
+        std::fprintf(stderr, "warm run failed: %s\n",
+                     result.status().ToString().c_str());
+        return 1;
+      }
+      warm_checksum += stats.sum_depths;
+    }
+    const double warm_seconds = warm_timer.ElapsedSeconds();
+
+    if (warm_checksum != cold_checksum) {
+      std::fprintf(stderr,
+                   "checksum mismatch: cold sumDepths %zu != warm %zu\n",
+                   cold_checksum, warm_checksum);
+      return 1;
+    }
+
+    const double warm_total = build_seconds + warm_seconds;
+    const double speedup = warm_total > 0 ? cold_seconds / warm_total : 0.0;
+    std::printf("%6d %12d %12d %14.2f %14.2f %14.2f %16.1f %8.1fx\n", q_count,
+                q_count * n, n, cold_seconds * 1e3, build_seconds * 1e3,
+                warm_seconds * 1e3, warm_seconds * 1e6 / q_count, speedup);
+    // Gate on the largest batch only: it averages the most queries, so a
+    // single scheduler hiccup cannot decide the verdict.
+    if (q_count == batch_sizes.back() && q_count > 1 &&
+        warm_seconds / q_count >= cold_seconds / q_count) {
+      amortized = false;
+    }
+  }
+
+  std::printf(
+      "\nwarm_builds stays at n=%d for every Q (index work independent of "
+      "the batch size); cold_builds grows as Q*n.\n",
+      n);
+  if (!amortized) {
+    // Fail the run (and the Release CI step) rather than just warn: the
+    // whole point of the Engine is that warm queries skip the per-query
+    // index build, so losing to cold is a regression, not a shrug.
+    std::fprintf(stderr,
+                 "FAIL: warm per-query latency did not beat cold RunProxRJ\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace prj
+
+int main() { return prj::Run(); }

@@ -3,6 +3,23 @@
 #include <algorithm>
 
 namespace prj {
+namespace {
+
+// The two access orders of Definition 2.1. Every source and snapshot must
+// agree on these exactly -- the bit-identical contract between the Engine
+// and the single-shot path (tests/engine_reuse_test.cc) depends on it.
+bool ScoreOrderLess(const Tuple& a, const Tuple& b) {
+  if (a.score != b.score) return a.score > b.score;
+  return a.id < b.id;
+}
+
+bool DistanceOrderLess(double dist_a, double dist_b, const Tuple& a,
+                       const Tuple& b) {
+  if (dist_a != dist_b) return dist_a < dist_b;
+  return a.id < b.id;
+}
+
+}  // namespace
 
 SortedDistanceSource::SortedDistanceSource(const Relation& relation, Vec query)
     : name_(relation.name()),
@@ -10,12 +27,11 @@ SortedDistanceSource::SortedDistanceSource(const Relation& relation, Vec query)
       sigma_max_(relation.sigma_max()),
       sorted_(relation.tuples()) {
   PRJ_CHECK_EQ(query.dim(), relation.dim());
-  std::sort(sorted_.begin(), sorted_.end(), [&](const Tuple& a, const Tuple& b) {
-    const double da = a.x.SquaredDistance(query);
-    const double db = b.x.SquaredDistance(query);
-    if (da != db) return da < db;
-    return a.id < b.id;
-  });
+  std::sort(sorted_.begin(), sorted_.end(),
+            [&](const Tuple& a, const Tuple& b) {
+              return DistanceOrderLess(a.x.SquaredDistance(query),
+                                       b.x.SquaredDistance(query), a, b);
+            });
 }
 
 std::optional<Tuple> SortedDistanceSource::Next() {
@@ -51,10 +67,7 @@ ScoreSource::ScoreSource(const Relation& relation)
       dim_(relation.dim()),
       sigma_max_(relation.sigma_max()),
       sorted_(relation.tuples()) {
-  std::sort(sorted_.begin(), sorted_.end(), [](const Tuple& a, const Tuple& b) {
-    if (a.score != b.score) return a.score > b.score;
-    return a.id < b.id;
-  });
+  std::sort(sorted_.begin(), sorted_.end(), ScoreOrderLess);
 }
 
 std::optional<Tuple> ScoreSource::Next() {
@@ -94,6 +107,62 @@ std::optional<Tuple> SharedIndexDistanceSource::Next() {
   if (!item) return std::nullopt;
   ++depth_;
   return index_->tuples()[static_cast<size_t>(item->id)];
+}
+
+RelationSnapshot::RelationSnapshot(const Relation& relation)
+    : name_(relation.name()),
+      dim_(relation.dim()),
+      sigma_max_(relation.sigma_max()),
+      tuples_(relation.tuples()) {
+  score_order_.resize(tuples_.size());
+  for (size_t i = 0; i < tuples_.size(); ++i) {
+    score_order_[i] = static_cast<uint32_t>(i);
+  }
+  std::sort(score_order_.begin(), score_order_.end(),
+            [&](uint32_t a, uint32_t b) {
+              return ScoreOrderLess(tuples_[a], tuples_[b]);
+            });
+}
+
+std::shared_ptr<const RelationSnapshot> RelationSnapshot::Build(
+    const Relation& relation) {
+  return std::shared_ptr<const RelationSnapshot>(
+      new RelationSnapshot(relation));
+}
+
+SharedSnapshotScoreSource::SharedSnapshotScoreSource(
+    std::shared_ptr<const RelationSnapshot> snapshot)
+    : snapshot_(std::move(snapshot)) {}
+
+std::optional<Tuple> SharedSnapshotScoreSource::Next() {
+  const auto& order = snapshot_->score_order();
+  if (cursor_ >= order.size()) return std::nullopt;
+  return snapshot_->tuples()[order[cursor_++]];
+}
+
+SharedSnapshotDistanceSource::SharedSnapshotDistanceSource(
+    std::shared_ptr<const RelationSnapshot> snapshot, const Vec& query)
+    : snapshot_(std::move(snapshot)) {
+  PRJ_CHECK_EQ(query.dim(), snapshot_->dim());
+  const auto& tuples = snapshot_->tuples();
+  order_.resize(tuples.size());
+  for (size_t i = 0; i < tuples.size(); ++i) {
+    order_[i] = static_cast<uint32_t>(i);
+  }
+  // Distances are precomputed once (N evaluations, not N log N) -- this
+  // constructor runs per query, so it is the snapshot backend's hot path.
+  std::vector<double> dist(tuples.size());
+  for (size_t i = 0; i < tuples.size(); ++i) {
+    dist[i] = tuples[i].x.SquaredDistance(query);
+  }
+  std::sort(order_.begin(), order_.end(), [&](uint32_t a, uint32_t b) {
+    return DistanceOrderLess(dist[a], dist[b], tuples[a], tuples[b]);
+  });
+}
+
+std::optional<Tuple> SharedSnapshotDistanceSource::Next() {
+  if (cursor_ >= order_.size()) return std::nullopt;
+  return snapshot_->tuples()[order_[cursor_++]];
 }
 
 BlockedSource::BlockedSource(std::unique_ptr<AccessSource> inner,

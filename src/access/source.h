@@ -154,6 +154,76 @@ class SharedIndexDistanceSource : public AccessSource {
   size_t depth_ = 0;
 };
 
+/// A shared, immutable snapshot of a relation, the presorted counterpart
+/// of IndexedRelation: tuple storage plus the query-independent
+/// score-descending order, both computed once and then shared by every
+/// query. Distance order depends on the query point, so distance access
+/// over a snapshot re-sorts positions per query -- but never re-copies
+/// the tuple payloads.
+class RelationSnapshot {
+ public:
+  static std::shared_ptr<const RelationSnapshot> Build(
+      const Relation& relation);
+
+  const std::string& name() const { return name_; }
+  int dim() const { return dim_; }
+  double sigma_max() const { return sigma_max_; }
+  /// Tuples in the relation's original order.
+  const std::vector<Tuple>& tuples() const { return tuples_; }
+  /// Positions into tuples() sorted by decreasing score, ties by id.
+  const std::vector<uint32_t>& score_order() const { return score_order_; }
+
+ private:
+  explicit RelationSnapshot(const Relation& relation);
+
+  std::string name_;
+  int dim_;
+  double sigma_max_;
+  std::vector<Tuple> tuples_;
+  std::vector<uint32_t> score_order_;
+};
+
+/// Score-based access over a shared RelationSnapshot; O(1) setup. Same
+/// stream as ScoreSource.
+class SharedSnapshotScoreSource : public AccessSource {
+ public:
+  explicit SharedSnapshotScoreSource(
+      std::shared_ptr<const RelationSnapshot> snapshot);
+
+  std::optional<Tuple> Next() override;
+  AccessKind kind() const override { return AccessKind::kScore; }
+  const std::string& name() const override { return snapshot_->name(); }
+  int dim() const override { return snapshot_->dim(); }
+  double sigma_max() const override { return snapshot_->sigma_max(); }
+  size_t depth() const override { return cursor_; }
+
+ private:
+  std::shared_ptr<const RelationSnapshot> snapshot_;
+  size_t cursor_ = 0;
+};
+
+/// Distance-based access over a shared RelationSnapshot: sorts positions
+/// by distance to the query (same order as SortedDistanceSource) without
+/// copying tuple payloads. Setup is O(N log N) in the relation size --
+/// prefer the R-tree backend when per-query setup must be O(1).
+class SharedSnapshotDistanceSource : public AccessSource {
+ public:
+  SharedSnapshotDistanceSource(std::shared_ptr<const RelationSnapshot> snapshot,
+                               const Vec& query);
+
+  std::optional<Tuple> Next() override;
+  AccessKind kind() const override { return AccessKind::kDistance; }
+  const std::string& name() const override { return snapshot_->name(); }
+  int dim() const override { return snapshot_->dim(); }
+  double sigma_max() const override { return snapshot_->sigma_max(); }
+  size_t depth() const override { return cursor_; }
+
+ private:
+  std::shared_ptr<const RelationSnapshot> snapshot_;
+  std::vector<uint32_t> order_;  ///< positions, increasing distance from q
+  size_t cursor_ = 0;
+};
+
 /// Decorator that fetches from the inner source in blocks of `block_size`,
 /// modelling paged remote service invocations (paper §4.2 notes that
 /// practical systems retrieve blocks of tuples). depth() reports tuples

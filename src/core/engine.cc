@@ -1,20 +1,27 @@
 #include "core/engine.h"
 
-#include <cmath>
-#include <limits>
+#include <utility>
 
-#include "common/timer.h"
-#include "core/join_state.h"
-#include "core/strategy.h"
-#include "core/tight_bound.h"
-#include "core/topk.h"
-
-#include "core/form_combinations.h"
+#include "core/executor.h"
 
 namespace prj {
 namespace {
 
-constexpr double kInf = std::numeric_limits<double>::infinity();
+// Shared by RunProxRJ and Engine::Create: structural soundness of each
+// relation plus agreement with one expected dimension (the query's or the
+// first relation's -- `dim_holder` names it in the error message).
+Status ValidateRelations(const std::vector<Relation>& relations, int dim,
+                         const std::string& dim_holder) {
+  for (const Relation& r : relations) {
+    PRJ_RETURN_IF_ERROR(r.Validate());
+    if (r.dim() != dim) {
+      return Status::InvalidArgument(
+          "relation '" + r.name() + "' has dim " + std::to_string(r.dim()) +
+          " but " + dim_holder + " has dim " + std::to_string(dim));
+    }
+  }
+  return Status::OK();
+}
 
 }  // namespace
 
@@ -28,180 +35,139 @@ ProxRJ::ProxRJ(std::vector<std::unique_ptr<AccessSource>> sources,
 
 ProxRJ::~ProxRJ() = default;
 
-Status ProxRJ::Validate() const {
-  if (sources_.empty()) {
-    return Status::InvalidArgument("need at least one input relation");
-  }
-  if (sources_.size() > 20) {
-    return Status::InvalidArgument("at most 20 input relations supported");
-  }
-  if (options_.k < 1) {
-    return Status::InvalidArgument("k must be at least 1");
-  }
-  if (options_.bound_update_period < 1) {
-    return Status::InvalidArgument("bound_update_period must be >= 1");
-  }
-  if (options_.dominance_period < 0) {
-    return Status::InvalidArgument("dominance_period must be >= 0");
-  }
-  if (options_.epsilon < 0) {
-    return Status::InvalidArgument("epsilon must be >= 0");
-  }
-  const AccessKind kind = sources_[0]->kind();
-  for (const auto& s : sources_) {
-    if (s->kind() != kind) {
-      return Status::InvalidArgument(
-          "all sources must share one access kind (Definition 2.1)");
-    }
-    if (s->dim() != query_.dim()) {
-      return Status::InvalidArgument(
-          "source '" + s->name() + "' has dim " + std::to_string(s->dim()) +
-          " but the query has dim " + std::to_string(query_.dim()));
-    }
-    if (s->depth() != 0) {
-      return Status::FailedPrecondition("source '" + s->name() +
-                                        "' was already consumed");
-    }
-  }
-  if (kind == AccessKind::kDistance && !scoring_->euclidean_metric()) {
-    return Status::FailedPrecondition(
-        "distance-based access streams in Euclidean order; use score-based "
-        "access with non-Euclidean scorers");
-  }
-  if (options_.bound == BoundKind::kTight &&
-      scoring_->scoring_kind() != ScoringKind::kSumLogEuclidean) {
-    return Status::Unimplemented(
-        "the tight bound is specialized to SumLogEuclideanScoring "
-        "(paper §3.2.1); use the corner bound for other scorers");
-  }
-  return Status::OK();
-}
-
 Result<std::vector<ResultCombination>> ProxRJ::Run() {
   if (ran_) {
     return Status::FailedPrecondition("ProxRJ::Run may be called only once");
   }
   ran_ = true;
-  PRJ_RETURN_IF_ERROR(Validate());
-
-  const int n = static_cast<int>(sources_.size());
-  const AccessKind kind = sources_[0]->kind();
-  JoinState state(query_, kind, sources_);
-
-  std::unique_ptr<BoundingScheme> bound;
-  if (options_.bound == BoundKind::kCorner) {
-    bound = std::make_unique<CornerBound>(&state, scoring_);
-  } else if (kind == AccessKind::kDistance) {
-    bound = std::make_unique<TightBoundDistance>(
-        &state, static_cast<const SumLogEuclideanScoring*>(scoring_),
-        options_.dominance_period, options_.bound_update_period,
-        &stats_.dominance_seconds, options_.use_generic_qp);
-  } else {
-    bound = std::make_unique<TightBoundScore>(
-        &state, static_cast<const SumLogEuclideanScoring*>(scoring_));
-  }
-
-  std::unique_ptr<PullingStrategy> strategy;
-  if (options_.pull == PullKind::kRoundRobin) {
-    strategy = std::make_unique<RoundRobinStrategy>();
-  } else {
-    strategy = std::make_unique<PotentialAdaptiveStrategy>();
-  }
-
-  TopKBuffer buffer(static_cast<size_t>(options_.k));
-  WallTimer total_timer;
-  uint64_t pulls = 0;
-  stats_.completed = true;
-  double current_bound = kInf;
-
-  for (;;) {
-    if (buffer.full() && buffer.KthScore() >= current_bound - options_.epsilon) {
-      break;  // threshold termination (Algorithm 1 line 3)
-    }
-    if (std::isinf(current_bound) && current_bound < 0) {
-      // No continuation can form a combination with an unseen tuple (e.g.,
-      // an input turned out to be empty): the buffer can never grow.
-      break;
-    }
-    if (options_.max_pulls > 0 && pulls >= options_.max_pulls) {
-      stats_.completed = false;
-      break;
-    }
-    if (options_.time_budget_seconds > 0 &&
-        total_timer.ElapsedSeconds() > options_.time_budget_seconds) {
-      stats_.completed = false;
-      break;
-    }
-    const int i = strategy->ChooseInput(state, *bound);
-    if (i < 0) break;  // every input exhausted: the buffer is the answer
-    std::optional<Tuple> tuple = sources_[static_cast<size_t>(i)]->Next();
-    if (!tuple) {
-      state.MarkExhausted(i);
-      bound->OnExhausted(i);
-      current_bound = bound->bound();
-      continue;
-    }
-    ++pulls;
-    state.Append(i, std::move(*tuple));
-    stats_.combinations_formed += internal::FormNewCombinations(
-        state, *scoring_, i,
-        [&buffer](Combination c) { buffer.Offer(std::move(c)); });
-    {
-      ScopedTimer timer(&stats_.bound_seconds);
-      bound->OnPull(i);
-      current_bound = bound->bound();
-    }
-    if (options_.trace) {
-      options_.trace->steps.push_back(TraceStep{
-          i, state.rel(i).depth(), current_bound, buffer.KthScore(),
-          stats_.combinations_formed});
-    }
-  }
-
-  stats_.total_seconds = total_timer.ElapsedSeconds();
-  stats_.depths.resize(static_cast<size_t>(n));
-  stats_.sum_depths = 0;
-  for (int i = 0; i < n; ++i) {
-    // Report what the *service* delivered, not what the engine consumed --
-    // they differ for paged sources, and the paper's sumDepths charges the
-    // access, not the use.
-    const size_t depth = sources_[static_cast<size_t>(i)]->depth();
-    stats_.depths[static_cast<size_t>(i)] = depth;
-    stats_.sum_depths += depth;
-  }
-  stats_.bound_stats = bound->stats();
-  stats_.final_bound = current_bound;
-
-  std::vector<ResultCombination> results;
-  for (const Combination& c : buffer.SortedDescending()) {
-    ResultCombination rc;
-    rc.score = c.score;
-    rc.tuples.reserve(static_cast<size_t>(n));
-    for (int j = 0; j < n; ++j) {
-      rc.tuples.push_back(
-          state.rel(j).seen[c.positions[static_cast<size_t>(j)]]);
-    }
-    results.push_back(std::move(rc));
-  }
-  return results;
+  QueryPlan plan;
+  plan.sources = &sources_;
+  plan.scoring = scoring_;
+  plan.query = &query_;
+  plan.options = &options_;
+  return ExecuteQuery(plan, &stats_);
 }
 
 Result<std::vector<ResultCombination>> RunProxRJ(
     const std::vector<Relation>& relations, AccessKind kind,
     const ScoringFunction& scoring, const Vec& query,
     const ProxRJOptions& options, ExecStats* stats_out) {
-  for (const Relation& r : relations) {
-    PRJ_RETURN_IF_ERROR(r.Validate());
-    if (r.dim() != query.dim()) {
-      return Status::InvalidArgument(
-          "relation '" + r.name() + "' has dim " + std::to_string(r.dim()) +
-          " but the query has dim " + std::to_string(query.dim()));
-    }
-  }
-  ProxRJ op(MakeSources(relations, kind, query), &scoring, query, options);
+  PRJ_RETURN_IF_ERROR(ValidateRelations(relations, query.dim(), "the query"));
+  ProxRJ op(MakeSources(relations, kind, query,
+                        options.backend == SourceBackend::kRTree),
+            &scoring, query, options);
   auto result = op.Run();
   if (stats_out) *stats_out = op.stats();
   return result;
+}
+
+Engine::Engine(AccessKind kind, const ScoringFunction* scoring,
+               Options options, int dim)
+    : kind_(kind), scoring_(scoring), options_(options), dim_(dim) {}
+
+Result<Engine> Engine::Create(const std::vector<Relation>& relations,
+                              AccessKind kind, const ScoringFunction* scoring,
+                              Options options) {
+  if (scoring == nullptr) {
+    return Status::InvalidArgument("scoring function must not be null");
+  }
+  if (relations.empty()) {
+    return Status::InvalidArgument("need at least one input relation");
+  }
+  if (relations.size() > 20) {
+    return Status::InvalidArgument("at most 20 input relations supported");
+  }
+  const int dim = relations.front().dim();
+  PRJ_RETURN_IF_ERROR(ValidateRelations(
+      relations, dim, "relation '" + relations.front().name() + "'"));
+  if (kind == AccessKind::kDistance && !scoring->euclidean_metric()) {
+    return Status::FailedPrecondition(
+        "distance-based access streams in Euclidean order; use score-based "
+        "access with non-Euclidean scorers");
+  }
+  const bool use_rtree =
+      kind == AccessKind::kDistance && options.backend == SourceBackend::kRTree;
+  Engine engine(kind, scoring, options, dim);
+  if (use_rtree) {
+    engine.indexes_.reserve(relations.size());
+    for (const Relation& r : relations) {
+      engine.indexes_.push_back(IndexedRelation::Build(r));
+    }
+  } else {
+    engine.snapshots_.reserve(relations.size());
+    for (const Relation& r : relations) {
+      engine.snapshots_.push_back(RelationSnapshot::Build(r));
+    }
+  }
+  return engine;
+}
+
+std::vector<std::unique_ptr<AccessSource>> Engine::MakeQuerySources(
+    const Vec& query) const {
+  std::vector<std::unique_ptr<AccessSource>> sources;
+  sources.reserve(num_relations());
+  if (kind_ == AccessKind::kScore) {
+    for (const auto& snap : snapshots_) {
+      sources.push_back(std::make_unique<SharedSnapshotScoreSource>(snap));
+    }
+  } else if (!indexes_.empty()) {
+    for (const auto& index : indexes_) {
+      sources.push_back(
+          std::make_unique<SharedIndexDistanceSource>(index, query));
+    }
+  } else {
+    for (const auto& snap : snapshots_) {
+      sources.push_back(
+          std::make_unique<SharedSnapshotDistanceSource>(snap, query));
+    }
+  }
+  if (options_.block_size > 0) {
+    for (auto& source : sources) {
+      source = std::make_unique<BlockedSource>(std::move(source),
+                                               options_.block_size);
+    }
+  }
+  return sources;
+}
+
+Result<std::vector<ResultCombination>> Engine::TopK(
+    const Vec& query, const ProxRJOptions& options,
+    ExecStats* stats_out) const {
+  // A fresh accounting on every path, including failures, so a caller
+  // reusing one ExecStats across a loop can never read stale numbers.
+  if (stats_out) *stats_out = ExecStats{};
+  // Reject bad requests before paying for per-query source construction
+  // (the presorted distance backend sorts O(N log N) per relation).
+  PRJ_RETURN_IF_ERROR(ValidateOptions(options));
+  if (query.dim() != dim_) {
+    return Status::InvalidArgument(
+        "engine serves dim " + std::to_string(dim_) +
+        " but the query has dim " + std::to_string(query.dim()));
+  }
+  auto sources = MakeQuerySources(query);
+  QueryPlan plan;
+  plan.sources = &sources;
+  plan.scoring = scoring_;
+  plan.query = &query;
+  plan.options = &options;
+  return ExecuteQuery(plan, stats_out);
+}
+
+std::vector<QueryResult> Engine::RunBatch(
+    std::span<const QueryRequest> requests) const {
+  std::vector<QueryResult> results;
+  results.reserve(requests.size());
+  for (const QueryRequest& request : requests) {
+    QueryResult qr;
+    auto combinations = TopK(request.query, request.options, &qr.stats);
+    if (combinations.ok()) {
+      qr.combinations = std::move(*combinations);
+    } else {
+      qr.status = combinations.status();
+    }
+    results.push_back(std::move(qr));
+  }
+  return results;
 }
 
 }  // namespace prj

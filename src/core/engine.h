@@ -1,4 +1,4 @@
-// The ProxRJ operator (paper Algorithm 1): the public entry point of the
+// The ProxRJ operator (paper Algorithm 1): the public entry points of the
 // library. Combines an access kind, a bounding scheme and a pulling
 // strategy into the four evaluated algorithms:
 //
@@ -8,95 +8,28 @@
 //   TBPA = tight bound  + potential-adaptive   (instance-optimal, Cor 3.6,
 //                                               never deeper than TBRR,
 //                                               Thm 3.5)
+//
+// Three front ends share one stateless executor (core/executor.h):
+//   * ProxRJ     -- single-shot operator over explicitly built sources;
+//   * RunProxRJ  -- one-call convenience wrapper (sources built per call);
+//   * Engine     -- reusable: preprocess the relations once (shared R-tree
+//                   indexes or presorted snapshots), then answer unlimited
+//                   TopK / RunBatch queries with no per-query index work.
 #ifndef PRJ_CORE_ENGINE_H_
 #define PRJ_CORE_ENGINE_H_
 
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "access/source.h"
 #include "common/status.h"
 #include "common/vec.h"
-#include "core/bounds.h"
+#include "core/executor.h"
 #include "core/scoring.h"
-#include "core/trace.h"
 
 namespace prj {
-
-enum class BoundKind { kCorner, kTight };
-enum class PullKind { kRoundRobin, kPotentialAdaptive };
-
-/// Named presets for the four algorithms of the experimental study.
-struct AlgorithmPreset {
-  const char* name;
-  BoundKind bound;
-  PullKind pull;
-};
-inline constexpr AlgorithmPreset kCBRR{"CBRR(HRJN)", BoundKind::kCorner,
-                                       PullKind::kRoundRobin};
-inline constexpr AlgorithmPreset kCBPA{"CBPA(HRJN*)", BoundKind::kCorner,
-                                       PullKind::kPotentialAdaptive};
-inline constexpr AlgorithmPreset kTBRR{"TBRR", BoundKind::kTight,
-                                       PullKind::kRoundRobin};
-inline constexpr AlgorithmPreset kTBPA{"TBPA", BoundKind::kTight,
-                                       PullKind::kPotentialAdaptive};
-
-struct ProxRJOptions {
-  int k = 10;                       ///< number of result combinations K
-  BoundKind bound = BoundKind::kTight;
-  PullKind pull = PullKind::kPotentialAdaptive;
-
-  /// Tight bound, distance access only: run the dominance LP sweep every
-  /// `dominance_period` pulls; 0 disables dominance (paper Figure 3(m)/(n)).
-  int dominance_period = 0;
-  /// Tight bound, distance access only: refresh stale partial bounds every
-  /// `bound_update_period` pulls (>= 1). 1 reproduces Algorithm 2; larger
-  /// values trade extra I/O for less CPU (paper §4.2 remark).
-  int bound_update_period = 1;
-  /// Tight bound, distance access only: solve each t(tau) through the
-  /// paper's explicit QP formulation (14)/(30) instead of the closed-form
-  /// water-filling path. Identical results; matches the paper's
-  /// off-the-shelf-solver CPU regime (used by the dominance ablations).
-  bool use_generic_qp = false;
-
-  /// Safety rails for benchmarking; 0 disables each. When tripped, Run
-  /// still returns the current buffer but ExecStats::completed is false
-  /// (this is how the paper reports CBPA's DNF at n = 4).
-  uint64_t max_pulls = 0;
-  double time_budget_seconds = 0.0;
-
-  /// Termination slack on the threshold test (floating-point guard).
-  double epsilon = 1e-9;
-
-  /// When non-null, records one TraceStep per pull (not owned).
-  ExecTrace* trace = nullptr;
-
-  void Apply(const AlgorithmPreset& preset) {
-    bound = preset.bound;
-    pull = preset.pull;
-  }
-};
-
-/// Cost accounting matching the paper's reporting: sumDepths, total CPU
-/// time, and the fractions spent in updateBound and in dominance tests.
-struct ExecStats {
-  std::vector<size_t> depths;       ///< depth(A, I, i) per relation
-  size_t sum_depths = 0;            ///< the sumDepths metric
-  double total_seconds = 0.0;
-  double bound_seconds = 0.0;       ///< time inside updateBound
-  double dominance_seconds = 0.0;   ///< included in bound_seconds
-  uint64_t combinations_formed = 0;
-  BoundStats bound_stats;
-  double final_bound = 0.0;
-  bool completed = false;           ///< false if a safety rail tripped
-};
-
-/// One result combination with materialized member tuples.
-struct ResultCombination {
-  double score = 0.0;
-  std::vector<Tuple> tuples;  ///< one per relation, join order
-};
 
 /// The ProxRJ operator. Single-shot: construct, Run once, read stats.
 class ProxRJ {
@@ -117,8 +50,6 @@ class ProxRJ {
   const ExecStats& stats() const { return stats_; }
 
  private:
-  Status Validate() const;
-
   std::vector<std::unique_ptr<AccessSource>> sources_;
   const ScoringFunction* scoring_;
   Vec query_;
@@ -128,11 +59,106 @@ class ProxRJ {
 };
 
 /// Convenience wrapper: build sources for `relations` with the given access
-/// kind and run the operator.
+/// kind (`options.backend` selects the distance implementation) and run the
+/// operator.
 Result<std::vector<ResultCombination>> RunProxRJ(
     const std::vector<Relation>& relations, AccessKind kind,
     const ScoringFunction& scoring, const Vec& query,
     const ProxRJOptions& options, ExecStats* stats_out = nullptr);
+
+/// One query of a batch: where to evaluate and how.
+struct QueryRequest {
+  Vec query;
+  ProxRJOptions options;
+};
+
+/// Outcome of one batched query. A failed query (bad options, dimension
+/// mismatch) carries its Status here instead of failing the whole batch.
+struct QueryResult {
+  Status status;
+  std::vector<ResultCombination> combinations;
+  ExecStats stats;
+
+  bool ok() const { return status.ok(); }
+};
+
+/// Construction-time choices of an Engine.
+struct EngineOptions {
+  /// Distance-access implementation backing the catalog. kRTree gives
+  /// O(1) per-query setup; kPresorted re-sorts positions per query but
+  /// never re-copies tuples. Ignored under score access.
+  SourceBackend backend = SourceBackend::kRTree;
+  /// When > 0, wrap every per-query source in a BlockedSource fetching
+  /// `block_size` tuples per service invocation (paged deployments).
+  size_t block_size = 0;
+};
+
+/// Reusable query engine: the separation of one-time preprocessing from
+/// per-query enumeration that a multi-query deployment needs.
+///
+/// Construction ingests the relations once and builds a catalog of shared
+/// access structures -- per-relation R-trees (IndexedRelation, reused via
+/// SharedIndexDistanceSource) or presorted snapshots (RelationSnapshot) --
+/// and every subsequent TopK/RunBatch call only instantiates lightweight
+/// cursors over them. With the R-tree distance backend and with score
+/// access, per-query source setup is O(1) in the relation size.
+///
+/// An Engine is immutable after Create: TopK and RunBatch are const and
+/// share no mutable state, so concurrent queries from multiple threads are
+/// safe (the underlying RTree supports concurrent reads).
+class Engine {
+ public:
+  using Options = EngineOptions;
+
+  /// Validates the relations (structural soundness, one common dimension)
+  /// and builds the shared catalog. `scoring` must outlive the engine.
+  static Result<Engine> Create(const std::vector<Relation>& relations,
+                               AccessKind kind,
+                               const ScoringFunction* scoring,
+                               Options options = {});
+
+  Engine(Engine&&) = default;
+  Engine& operator=(Engine&&) = default;
+
+  /// Answers one top-K query against the shared catalog. Identical results
+  /// to RunProxRJ on the same relations (tested bit-for-bit). `stats_out`,
+  /// when non-null, receives a fresh ExecStats for this query alone.
+  Result<std::vector<ResultCombination>> TopK(
+      const Vec& query, const ProxRJOptions& options,
+      ExecStats* stats_out = nullptr) const;
+
+  /// Evaluates a batch of queries sequentially against the shared catalog.
+  /// Always returns one QueryResult per request, in order; per-query
+  /// failures are reported in QueryResult::status.
+  std::vector<QueryResult> RunBatch(
+      std::span<const QueryRequest> requests) const;
+
+  AccessKind kind() const { return kind_; }
+  SourceBackend backend() const { return options_.backend; }
+  int dim() const { return dim_; }
+  size_t num_relations() const {
+    return indexes_.empty() ? snapshots_.size() : indexes_.size();
+  }
+
+ private:
+  Engine(AccessKind kind, const ScoringFunction* scoring, Options options,
+         int dim);
+
+  /// Per-query cursor construction over the shared catalog: O(1) for the
+  /// R-tree backend and score access, O(N log N) for presorted distance
+  /// access (positions re-sorted per query, payloads never copied).
+  std::vector<std::unique_ptr<AccessSource>> MakeQuerySources(
+      const Vec& query) const;
+
+  AccessKind kind_;
+  const ScoringFunction* scoring_;
+  Options options_;
+  int dim_;
+  /// Exactly one catalog is populated: indexes_ for the R-tree distance
+  /// backend, snapshots_ otherwise.
+  std::vector<std::shared_ptr<const IndexedRelation>> indexes_;
+  std::vector<std::shared_ptr<const RelationSnapshot>> snapshots_;
+};
 
 }  // namespace prj
 

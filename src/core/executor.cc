@@ -1,0 +1,194 @@
+#include "core/executor.h"
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "common/timer.h"
+#include "core/form_combinations.h"
+#include "core/join_state.h"
+#include "core/strategy.h"
+#include "core/tight_bound.h"
+#include "core/topk.h"
+
+namespace prj {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+Status ValidateOptions(const ProxRJOptions& options) {
+  if (options.k < 1) {
+    return Status::InvalidArgument("k must be at least 1");
+  }
+  if (options.bound_update_period < 1) {
+    return Status::InvalidArgument("bound_update_period must be >= 1");
+  }
+  if (options.dominance_period < 0) {
+    return Status::InvalidArgument("dominance_period must be >= 0");
+  }
+  if (options.epsilon < 0) {
+    return Status::InvalidArgument("epsilon must be >= 0");
+  }
+  return Status::OK();
+}
+
+Status ValidateQueryPlan(const QueryPlan& plan) {
+  if (plan.sources == nullptr || plan.scoring == nullptr ||
+      plan.query == nullptr || plan.options == nullptr) {
+    return Status::InvalidArgument("incomplete query plan");
+  }
+  PRJ_RETURN_IF_ERROR(ValidateOptions(*plan.options));
+  const auto& sources = *plan.sources;
+  const ProxRJOptions& options = *plan.options;
+  if (sources.empty()) {
+    return Status::InvalidArgument("need at least one input relation");
+  }
+  if (sources.size() > 20) {
+    return Status::InvalidArgument("at most 20 input relations supported");
+  }
+  const AccessKind kind = sources[0]->kind();
+  for (const auto& s : sources) {
+    if (s->kind() != kind) {
+      return Status::InvalidArgument(
+          "all sources must share one access kind (Definition 2.1)");
+    }
+    if (s->dim() != plan.query->dim()) {
+      return Status::InvalidArgument(
+          "source '" + s->name() + "' has dim " + std::to_string(s->dim()) +
+          " but the query has dim " + std::to_string(plan.query->dim()));
+    }
+    if (s->depth() != 0) {
+      return Status::FailedPrecondition("source '" + s->name() +
+                                        "' was already consumed");
+    }
+  }
+  if (kind == AccessKind::kDistance && !plan.scoring->euclidean_metric()) {
+    return Status::FailedPrecondition(
+        "distance-based access streams in Euclidean order; use score-based "
+        "access with non-Euclidean scorers");
+  }
+  if (options.bound == BoundKind::kTight &&
+      plan.scoring->scoring_kind() != ScoringKind::kSumLogEuclidean) {
+    return Status::Unimplemented(
+        "the tight bound is specialized to SumLogEuclideanScoring "
+        "(paper §3.2.1); use the corner bound for other scorers");
+  }
+  return Status::OK();
+}
+
+Result<std::vector<ResultCombination>> ExecuteQuery(const QueryPlan& plan,
+                                                    ExecStats* stats) {
+  ExecStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+  *stats = ExecStats{};  // a fresh accounting per query (also on failure),
+                         // so reuse cannot leak a previous query's numbers
+  PRJ_RETURN_IF_ERROR(ValidateQueryPlan(plan));
+
+  auto& sources = *plan.sources;
+  const ScoringFunction& scoring = *plan.scoring;
+  const ProxRJOptions& options = *plan.options;
+  const int n = static_cast<int>(sources.size());
+  const AccessKind kind = sources[0]->kind();
+  JoinState state(*plan.query, kind, sources);
+
+  std::unique_ptr<BoundingScheme> bound;
+  if (options.bound == BoundKind::kCorner) {
+    bound = std::make_unique<CornerBound>(&state, &scoring);
+  } else if (kind == AccessKind::kDistance) {
+    bound = std::make_unique<TightBoundDistance>(
+        &state, static_cast<const SumLogEuclideanScoring*>(&scoring),
+        options.dominance_period, options.bound_update_period,
+        &stats->dominance_seconds, options.use_generic_qp);
+  } else {
+    bound = std::make_unique<TightBoundScore>(
+        &state, static_cast<const SumLogEuclideanScoring*>(&scoring));
+  }
+
+  std::unique_ptr<PullingStrategy> strategy;
+  if (options.pull == PullKind::kRoundRobin) {
+    strategy = std::make_unique<RoundRobinStrategy>();
+  } else {
+    strategy = std::make_unique<PotentialAdaptiveStrategy>();
+  }
+
+  TopKBuffer buffer(static_cast<size_t>(options.k));
+  WallTimer total_timer;
+  uint64_t pulls = 0;
+  stats->completed = true;
+  double current_bound = kInf;
+
+  for (;;) {
+    if (buffer.full() && buffer.KthScore() >= current_bound - options.epsilon) {
+      break;  // threshold termination (Algorithm 1 line 3)
+    }
+    if (std::isinf(current_bound) && current_bound < 0) {
+      // No continuation can form a combination with an unseen tuple (e.g.,
+      // an input turned out to be empty): the buffer can never grow.
+      break;
+    }
+    if (options.max_pulls > 0 && pulls >= options.max_pulls) {
+      stats->completed = false;
+      break;
+    }
+    if (options.time_budget_seconds > 0 &&
+        total_timer.ElapsedSeconds() > options.time_budget_seconds) {
+      stats->completed = false;
+      break;
+    }
+    const int i = strategy->ChooseInput(state, *bound);
+    if (i < 0) break;  // every input exhausted: the buffer is the answer
+    std::optional<Tuple> tuple = sources[static_cast<size_t>(i)]->Next();
+    if (!tuple) {
+      state.MarkExhausted(i);
+      bound->OnExhausted(i);
+      current_bound = bound->bound();
+      continue;
+    }
+    ++pulls;
+    state.Append(i, std::move(*tuple));
+    stats->combinations_formed += internal::FormNewCombinations(
+        state, scoring, i,
+        [&buffer](Combination c) { buffer.Offer(std::move(c)); });
+    {
+      ScopedTimer timer(&stats->bound_seconds);
+      bound->OnPull(i);
+      current_bound = bound->bound();
+    }
+    if (options.trace) {
+      options.trace->steps.push_back(TraceStep{
+          i, state.rel(i).depth(), current_bound, buffer.KthScore(),
+          stats->combinations_formed});
+    }
+  }
+
+  stats->total_seconds = total_timer.ElapsedSeconds();
+  stats->depths.resize(static_cast<size_t>(n));
+  stats->sum_depths = 0;
+  for (int i = 0; i < n; ++i) {
+    // Report what the *service* delivered, not what the engine consumed --
+    // they differ for paged sources, and the paper's sumDepths charges the
+    // access, not the use.
+    const size_t depth = sources[static_cast<size_t>(i)]->depth();
+    stats->depths[static_cast<size_t>(i)] = depth;
+    stats->sum_depths += depth;
+  }
+  stats->bound_stats = bound->stats();
+  stats->final_bound = current_bound;
+
+  std::vector<ResultCombination> results;
+  for (const Combination& c : buffer.SortedDescending()) {
+    ResultCombination rc;
+    rc.score = c.score;
+    rc.tuples.reserve(static_cast<size_t>(n));
+    for (int j = 0; j < n; ++j) {
+      rc.tuples.push_back(
+          state.rel(j).seen[c.positions[static_cast<size_t>(j)]]);
+    }
+    results.push_back(std::move(rc));
+  }
+  return results;
+}
+
+}  // namespace prj

@@ -1,0 +1,144 @@
+// The stateless query executor behind every ProxRJ entry point.
+//
+// ExecuteQuery runs Algorithm 1 over a QueryPlan -- a borrowed set of
+// freshly positioned access sources plus a scoring function, query point
+// and options. It owns no state between calls: the single-shot ProxRJ
+// operator, the RunProxRJ convenience wrapper and the reusable Engine all
+// delegate here, so the run loop exists exactly once.
+//
+// This header also defines the plan-level vocabulary types (options,
+// statistics, result combinations, algorithm presets) that those front
+// ends share.
+#ifndef PRJ_CORE_EXECUTOR_H_
+#define PRJ_CORE_EXECUTOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "access/source.h"
+#include "common/status.h"
+#include "common/vec.h"
+#include "core/bounds.h"
+#include "core/scoring.h"
+#include "core/trace.h"
+
+namespace prj {
+
+enum class BoundKind { kCorner, kTight };
+enum class PullKind { kRoundRobin, kPotentialAdaptive };
+
+/// Which concrete access-path implementation backs distance-based access:
+/// a presorted snapshot of the relation, or an R-tree answering
+/// nearest-first through incremental distance browsing. Both deliver the
+/// identical stream (tested); score-based access ignores the choice.
+enum class SourceBackend { kPresorted, kRTree };
+
+/// Named presets for the four algorithms of the experimental study.
+struct AlgorithmPreset {
+  const char* name;
+  BoundKind bound;
+  PullKind pull;
+};
+inline constexpr AlgorithmPreset kCBRR{"CBRR(HRJN)", BoundKind::kCorner,
+                                       PullKind::kRoundRobin};
+inline constexpr AlgorithmPreset kCBPA{"CBPA(HRJN*)", BoundKind::kCorner,
+                                       PullKind::kPotentialAdaptive};
+inline constexpr AlgorithmPreset kTBRR{"TBRR", BoundKind::kTight,
+                                       PullKind::kRoundRobin};
+inline constexpr AlgorithmPreset kTBPA{"TBPA", BoundKind::kTight,
+                                       PullKind::kPotentialAdaptive};
+
+struct ProxRJOptions {
+  int k = 10;                       ///< number of result combinations K
+  BoundKind bound = BoundKind::kTight;
+  PullKind pull = PullKind::kPotentialAdaptive;
+
+  /// Distance-access implementation used by RunProxRJ when it builds the
+  /// sources itself (Engine has its own construction-time choice, and
+  /// explicitly constructed sources are taken as given).
+  SourceBackend backend = SourceBackend::kPresorted;
+
+  /// Tight bound, distance access only: run the dominance LP sweep every
+  /// `dominance_period` pulls; 0 disables dominance (paper Figure 3(m)/(n)).
+  int dominance_period = 0;
+  /// Tight bound, distance access only: refresh stale partial bounds every
+  /// `bound_update_period` pulls (>= 1). 1 reproduces Algorithm 2; larger
+  /// values trade extra I/O for less CPU (paper §4.2 remark).
+  int bound_update_period = 1;
+  /// Tight bound, distance access only: solve each t(tau) through the
+  /// paper's explicit QP formulation (14)/(30) instead of the closed-form
+  /// water-filling path. Identical results; matches the paper's
+  /// off-the-shelf-solver CPU regime (used by the dominance ablations).
+  bool use_generic_qp = false;
+
+  /// Safety rails for benchmarking; 0 disables each. When tripped, the
+  /// executor still returns the current buffer but ExecStats::completed is
+  /// false (this is how the paper reports CBPA's DNF at n = 4).
+  uint64_t max_pulls = 0;
+  double time_budget_seconds = 0.0;
+
+  /// Termination slack on the threshold test (floating-point guard).
+  double epsilon = 1e-9;
+
+  /// When non-null, records one TraceStep per pull (not owned).
+  ExecTrace* trace = nullptr;
+
+  void Apply(const AlgorithmPreset& preset) {
+    bound = preset.bound;
+    pull = preset.pull;
+  }
+};
+
+/// Cost accounting matching the paper's reporting: sumDepths, total CPU
+/// time, and the fractions spent in updateBound and in dominance tests.
+struct ExecStats {
+  std::vector<size_t> depths;       ///< depth(A, I, i) per relation
+  size_t sum_depths = 0;            ///< the sumDepths metric
+  double total_seconds = 0.0;
+  double bound_seconds = 0.0;       ///< time inside updateBound
+  double dominance_seconds = 0.0;   ///< included in bound_seconds
+  uint64_t combinations_formed = 0;
+  BoundStats bound_stats;
+  double final_bound = 0.0;
+  bool completed = false;           ///< false if a safety rail tripped
+};
+
+/// One result combination with materialized member tuples.
+struct ResultCombination {
+  double score = 0.0;
+  std::vector<Tuple> tuples;  ///< one per relation, join order
+};
+
+/// Everything one query execution needs, borrowed from the caller: the
+/// executor consumes `*sources` (pulls them to their final depths) but
+/// owns nothing and keeps no state afterwards.
+struct QueryPlan {
+  std::vector<std::unique_ptr<AccessSource>>* sources = nullptr;
+  const ScoringFunction* scoring = nullptr;
+  const Vec* query = nullptr;
+  const ProxRJOptions* options = nullptr;
+};
+
+/// Checks just the option ranges (k, periods, epsilon). Cheap; front ends
+/// call it before paying for per-query source construction.
+Status ValidateOptions(const ProxRJOptions& options);
+
+/// Checks a plan's setup invariants (source presence and uniformity,
+/// dimension agreement, fresh sources, option ranges, scorer/access-kind
+/// compatibility) without consuming anything.
+Status ValidateQueryPlan(const QueryPlan& plan);
+
+/// Executes Algorithm 1 over the plan and returns the top-K combinations
+/// in descending score order (fewer than K if the cross product is
+/// smaller). Returns InvalidArgument/FailedPrecondition on bad setup.
+///
+/// `*stats` (when non-null) is reset to a fresh ExecStats first -- on
+/// failures too -- so repeated executions, e.g. through a reusable Engine,
+/// can never leak dominance_seconds, bound_stats or depths across queries.
+Result<std::vector<ResultCombination>> ExecuteQuery(const QueryPlan& plan,
+                                                    ExecStats* stats);
+
+}  // namespace prj
+
+#endif  // PRJ_CORE_EXECUTOR_H_

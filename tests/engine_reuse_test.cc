@@ -1,0 +1,441 @@
+// Tests of the reusable Engine front end: N successive TopK calls against
+// one shared catalog are bit-identical (scores, member ids, sumDepths) to
+// fresh single-shot RunProxRJ calls on the same relations, across all four
+// algorithm presets, both access kinds and both distance backends; stats
+// never leak across queries; RunBatch matches individual calls and
+// isolates per-query failures; and the exhausted-input early-exit path
+// (current_bound == -inf) is exercised directly, including under
+// BlockedSource paging.
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/brute_force.h"
+#include "core/engine.h"
+#include "workload/synthetic.h"
+
+namespace prj {
+namespace {
+
+const AlgorithmPreset kAllPresets[] = {kCBRR, kCBPA, kTBRR, kTBPA};
+
+struct BackendCase {
+  AccessKind kind;
+  SourceBackend backend;
+  const char* name;
+};
+
+const BackendCase kBackendCases[] = {
+    {AccessKind::kDistance, SourceBackend::kPresorted, "distance/presorted"},
+    {AccessKind::kDistance, SourceBackend::kRTree, "distance/rtree"},
+    {AccessKind::kScore, SourceBackend::kPresorted, "score"},
+};
+
+std::vector<Relation> MakeRelations(int n, int count, uint64_t seed) {
+  SyntheticSpec spec;
+  spec.dim = 2;
+  spec.count = count;
+  spec.density = 50;
+  spec.seed = seed;
+  return GenerateProblem(n, spec);
+}
+
+void ExpectBitIdentical(const std::vector<ResultCombination>& got,
+                        const std::vector<ResultCombination>& expected,
+                        const std::string& label) {
+  ASSERT_EQ(got.size(), expected.size()) << label;
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].score, expected[i].score) << label << " rank " << i;
+    ASSERT_EQ(got[i].tuples.size(), expected[i].tuples.size()) << label;
+    for (size_t j = 0; j < got[i].tuples.size(); ++j) {
+      EXPECT_EQ(got[i].tuples[j].id, expected[i].tuples[j].id)
+          << label << " rank " << i << " member " << j;
+    }
+  }
+}
+
+// Satellite: N successive TopK calls (varying query point, k and preset)
+// against one Engine are bit-identical to fresh RunProxRJ calls, and
+// consume exactly the same sumDepths, for every kind/backend combination.
+TEST(EngineReuseTest, SuccessiveTopKCallsMatchFreshRunProxRJ) {
+  const auto rels = MakeRelations(2, 60, /*seed=*/7);
+  const SumLogEuclideanScoring scoring(1.0, 1.0, 1.0);
+  Rng rng(123);
+
+  for (const BackendCase& bc : kBackendCases) {
+    Engine::Options eng_opts;
+    eng_opts.backend = bc.backend;
+    auto engine = Engine::Create(rels, bc.kind, &scoring, eng_opts);
+    ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+
+    for (int call = 0; call < 12; ++call) {
+      const AlgorithmPreset& preset = kAllPresets[call % 4];
+      const Vec q = rng.UniformInCube(2, -1.0, 1.0);
+      ProxRJOptions opts;
+      opts.k = 1 + call % 7;
+      opts.Apply(preset);
+      opts.backend = bc.backend;
+
+      ExecStats engine_stats;
+      auto from_engine = engine->TopK(q, opts, &engine_stats);
+      ASSERT_TRUE(from_engine.ok()) << from_engine.status().ToString();
+
+      ExecStats fresh_stats;
+      auto fresh = RunProxRJ(rels, bc.kind, scoring, q, opts, &fresh_stats);
+      ASSERT_TRUE(fresh.ok()) << fresh.status().ToString();
+
+      const std::string label = std::string(bc.name) + " " + preset.name +
+                                " call " + std::to_string(call);
+      ExpectBitIdentical(*from_engine, *fresh, label);
+      EXPECT_EQ(engine_stats.sum_depths, fresh_stats.sum_depths) << label;
+      EXPECT_EQ(engine_stats.depths, fresh_stats.depths) << label;
+      EXPECT_TRUE(engine_stats.completed) << label;
+    }
+  }
+}
+
+// Three relations stress the subset machinery of the tight bound.
+TEST(EngineReuseTest, ThreeWayJoinMatchesBruteForceAcrossQueries) {
+  const auto rels = MakeRelations(3, 25, /*seed=*/11);
+  const SumLogEuclideanScoring scoring(1.0, 2.0, 0.5);
+  auto engine = Engine::Create(rels, AccessKind::kDistance, &scoring);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+
+  Rng rng(5);
+  for (int call = 0; call < 6; ++call) {
+    const Vec q = rng.UniformInCube(2, -0.5, 0.5);
+    ProxRJOptions opts;
+    opts.k = 5;
+    opts.Apply(kAllPresets[call % 4]);
+    auto result = engine->TopK(q, opts);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    const auto expected = BruteForceTopK(rels, scoring, q, 5);
+    ASSERT_EQ(result->size(), expected.size());
+    for (size_t i = 0; i < result->size(); ++i) {
+      EXPECT_NEAR((*result)[i].score, expected[i].score, 1e-9)
+          << "call " << call << " rank " << i;
+    }
+  }
+}
+
+// Satellite: the executor produces a fresh ExecStats per query, so engine
+// reuse cannot accumulate dominance_seconds, bound_stats or depths.
+TEST(EngineReuseTest, StatsDoNotLeakAcrossQueries) {
+  const auto rels = MakeRelations(2, 120, /*seed=*/19);
+  const SumLogEuclideanScoring scoring(1.0, 1.0, 1.0);
+  auto engine = Engine::Create(rels, AccessKind::kDistance, &scoring);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+
+  const Vec q(2, 0.25);
+  ProxRJOptions opts;
+  opts.k = 10;
+  opts.Apply(kTBPA);
+  opts.dominance_period = 1;  // make the dominance sweep run
+
+  ExecStats first;
+  ASSERT_TRUE(engine->TopK(q, opts, &first).ok());
+  ASSERT_GT(first.bound_stats.lp_solves, 0u);
+
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    ExecStats again;
+    ASSERT_TRUE(engine->TopK(q, opts, &again).ok());
+    EXPECT_EQ(again.sum_depths, first.sum_depths) << repeat;
+    EXPECT_EQ(again.depths, first.depths) << repeat;
+    EXPECT_EQ(again.combinations_formed, first.combinations_formed) << repeat;
+    EXPECT_EQ(again.bound_stats.bound_updates, first.bound_stats.bound_updates)
+        << repeat;
+    EXPECT_EQ(again.bound_stats.qp_solves, first.bound_stats.qp_solves)
+        << repeat;
+    EXPECT_EQ(again.bound_stats.lp_solves, first.bound_stats.lp_solves)
+        << repeat;
+    EXPECT_EQ(again.final_bound, first.final_bound) << repeat;
+  }
+}
+
+// A stats struct passed in dirty (e.g. reused by a caller's loop) is reset.
+TEST(EngineReuseTest, DirtyStatsStructIsReset) {
+  const auto rels = MakeRelations(2, 30, /*seed=*/3);
+  const SumLogEuclideanScoring scoring(1, 1, 1);
+  auto engine = Engine::Create(rels, AccessKind::kDistance, &scoring);
+  ASSERT_TRUE(engine.ok());
+
+  ExecStats stats;
+  stats.dominance_seconds = 1e9;
+  stats.sum_depths = 123456;
+  stats.bound_stats.lp_solves = 77;
+  ProxRJOptions opts;
+  opts.k = 3;
+  ASSERT_TRUE(engine->TopK(Vec(2, 0.0), opts, &stats).ok());
+  EXPECT_LT(stats.dominance_seconds, 1.0);
+  EXPECT_LT(stats.sum_depths, 123456u);
+  EXPECT_EQ(stats.bound_stats.lp_solves, 0u);  // dominance disabled here
+
+  // A failed query must also leave fresh (zeroed) stats, not the previous
+  // query's numbers.
+  ProxRJOptions bad = opts;
+  bad.k = 0;
+  EXPECT_FALSE(engine->TopK(Vec(2, 0.0), bad, &stats).ok());
+  EXPECT_EQ(stats.sum_depths, 0u);
+  EXPECT_EQ(stats.bound_stats.bound_updates, 0u);
+}
+
+TEST(EngineBatchTest, RunBatchMatchesIndividualTopK) {
+  const auto rels = MakeRelations(2, 50, /*seed=*/29);
+  const SumLogEuclideanScoring scoring(1, 1, 1);
+  auto engine = Engine::Create(rels, AccessKind::kDistance, &scoring);
+  ASSERT_TRUE(engine.ok());
+
+  Rng rng(77);
+  std::vector<QueryRequest> requests;
+  for (int i = 0; i < 8; ++i) {
+    QueryRequest req;
+    req.query = rng.UniformInCube(2, -1.0, 1.0);
+    req.options.k = 1 + i;
+    req.options.Apply(kAllPresets[i % 4]);
+    requests.push_back(std::move(req));
+  }
+
+  const auto batch = engine->RunBatch(requests);
+  ASSERT_EQ(batch.size(), requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    ASSERT_TRUE(batch[i].ok()) << batch[i].status.ToString();
+    ExecStats stats;
+    auto single = engine->TopK(requests[i].query, requests[i].options, &stats);
+    ASSERT_TRUE(single.ok());
+    ExpectBitIdentical(batch[i].combinations, *single,
+                       "batch entry " + std::to_string(i));
+    EXPECT_EQ(batch[i].stats.sum_depths, stats.sum_depths) << i;
+  }
+}
+
+TEST(EngineBatchTest, PerQueryFailureDoesNotPoisonTheBatch) {
+  const auto rels = MakeRelations(2, 20, /*seed=*/31);
+  const SumLogEuclideanScoring scoring(1, 1, 1);
+  auto engine = Engine::Create(rels, AccessKind::kDistance, &scoring);
+  ASSERT_TRUE(engine.ok());
+
+  std::vector<QueryRequest> requests(3);
+  requests[0].query = Vec(2, 0.0);
+  requests[0].options.k = 3;
+  requests[1].query = Vec(2, 0.0);
+  requests[1].options.k = 0;  // invalid
+  requests[2].query = Vec{0.0, 0.0, 0.0};  // wrong dimension
+  requests[2].options.k = 3;
+
+  const auto batch = engine->RunBatch(requests);
+  ASSERT_EQ(batch.size(), 3u);
+  EXPECT_TRUE(batch[0].ok());
+  EXPECT_EQ(batch[0].combinations.size(), 3u);
+  EXPECT_EQ(batch[1].status.code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(batch[1].combinations.empty());
+  EXPECT_EQ(batch[2].status.code(), StatusCode::kInvalidArgument);
+}
+
+// ------------- exhausted-input early exit (current_bound == -inf) -------- //
+
+// An empty input makes the bound collapse to -inf after its first (failed)
+// pull: the run loop must exit through the -inf branch with a complete,
+// empty answer -- for every preset, kind and backend.
+TEST(ExhaustedInputTest, EmptyRelationExitsEarlyWithMinusInfBound) {
+  Relation r1("left", 2);
+  for (int i = 0; i < 10; ++i) {
+    r1.Add(i, 0.5 + 0.05 * i, Vec{0.1 * i, -0.1 * i});
+  }
+  Relation r2("right", 2);  // empty
+  const SumLogEuclideanScoring scoring(1, 1, 1);
+
+  for (const BackendCase& bc : kBackendCases) {
+    Engine::Options eng_opts;
+    eng_opts.backend = bc.backend;
+    auto engine = Engine::Create({r1, r2}, bc.kind, &scoring, eng_opts);
+    ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+    for (const AlgorithmPreset& preset : kAllPresets) {
+      ProxRJOptions opts;
+      opts.k = 5;
+      opts.Apply(preset);
+      ExecStats stats;
+      auto result = engine->TopK(Vec(2, 0.0), opts, &stats);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      EXPECT_TRUE(result->empty()) << bc.name << " " << preset.name;
+      EXPECT_TRUE(stats.completed);
+      EXPECT_TRUE(std::isinf(stats.final_bound) && stats.final_bound < 0)
+          << bc.name << " " << preset.name << " bound " << stats.final_bound;
+      // The tight bound learns from OnExhausted that no combination can
+      // complete and exits without draining the non-empty side; the corner
+      // bound (whose OnExhausted is a no-op) only collapses once every
+      // input is exhausted.
+      if (preset.bound == BoundKind::kTight) {
+        EXPECT_LT(stats.sum_depths, r1.size()) << bc.name << " "
+                                               << preset.name;
+      } else {
+        EXPECT_LE(stats.sum_depths, r1.size()) << bc.name << " "
+                                               << preset.name;
+      }
+    }
+  }
+}
+
+// Same early exit through paged access: a BlockedSource over an empty
+// inner source delivers an empty first block and must propagate
+// exhaustion, not spin.
+TEST(ExhaustedInputTest, EmptyRelationUnderBlockedPaging) {
+  Relation r1("left", 2);
+  for (int i = 0; i < 12; ++i) {
+    r1.Add(i, 0.9, Vec{0.05 * i, 0.0});
+  }
+  Relation r2("right", 2);  // empty
+  const SumLogEuclideanScoring scoring(1, 1, 1);
+
+  // Through the Engine's paging option...
+  Engine::Options eng_opts;
+  eng_opts.block_size = 5;
+  auto engine = Engine::Create({r1, r2}, AccessKind::kDistance, &scoring,
+                               eng_opts);
+  ASSERT_TRUE(engine.ok());
+  for (const AlgorithmPreset& preset : kAllPresets) {
+    ProxRJOptions opts;
+    opts.k = 4;
+    opts.Apply(preset);
+    ExecStats stats;
+    auto result = engine->TopK(Vec(2, 0.0), opts, &stats);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_TRUE(result->empty()) << preset.name;
+    EXPECT_TRUE(stats.completed);
+    EXPECT_TRUE(std::isinf(stats.final_bound) && stats.final_bound < 0);
+  }
+
+  // ...and through explicitly constructed blocked sources.
+  const Vec q(2, 0.0);
+  std::vector<std::unique_ptr<AccessSource>> sources;
+  sources.push_back(std::make_unique<BlockedSource>(
+      std::make_unique<SortedDistanceSource>(r1, q), 3));
+  sources.push_back(std::make_unique<BlockedSource>(
+      std::make_unique<SortedDistanceSource>(r2, q), 3));
+  ProxRJOptions opts;
+  opts.k = 4;
+  opts.Apply(kTBPA);
+  ProxRJ op(std::move(sources), &scoring, q, opts);
+  auto result = op.Run();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->empty());
+  EXPECT_TRUE(op.stats().completed);
+}
+
+// K beyond the cross product: every input exhausts mid-run, the bound
+// drops to -inf, and the buffer holds exactly the full cross product --
+// also under paging, where exhaustion is only visible at block granularity.
+TEST(ExhaustedInputTest, KLargerThanCrossProductUnderBlockedPaging) {
+  SyntheticSpec spec;
+  spec.dim = 2;
+  spec.count = 4;
+  spec.density = 10;
+  spec.seed = 13;
+  const auto rels = GenerateProblem(2, spec);
+  const SumLogEuclideanScoring scoring(1, 1, 1);
+  const Vec q(2, 0.0);
+  const auto expected = BruteForceTopK(rels, scoring, q, 100);
+  ASSERT_EQ(expected.size(), 16u);
+
+  for (size_t block : {1u, 3u, 7u}) {
+    Engine::Options eng_opts;
+    eng_opts.block_size = block;
+    auto engine = Engine::Create(rels, AccessKind::kDistance, &scoring,
+                                 eng_opts);
+    ASSERT_TRUE(engine.ok());
+    for (const AlgorithmPreset& preset : kAllPresets) {
+      ProxRJOptions opts;
+      opts.k = 100;
+      opts.Apply(preset);
+      ExecStats stats;
+      auto result = engine->TopK(q, opts, &stats);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      ASSERT_EQ(result->size(), 16u) << preset.name << " block " << block;
+      for (size_t i = 0; i < result->size(); ++i) {
+        EXPECT_NEAR((*result)[i].score, expected[i].score, 1e-9)
+            << preset.name << " block " << block << " rank " << i;
+      }
+      EXPECT_TRUE(stats.completed);
+    }
+  }
+}
+
+// ----------------------- construction validation ------------------------ //
+
+TEST(EngineCreateTest, RejectsBadSetups) {
+  const SumLogEuclideanScoring scoring(1, 1, 1);
+  EXPECT_EQ(Engine::Create({}, AccessKind::kDistance, &scoring)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+
+  Relation a("a", 2);
+  a.Add(0, 1.0, Vec{0.5, 0.5});
+  Relation b("b", 3);
+  b.Add(0, 1.0, Vec{0.5, 0.5, 0.5});
+  EXPECT_EQ(Engine::Create({a, b}, AccessKind::kDistance, &scoring)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+
+  const SumLogCosineScoring cosine(1, 1, 1, Vec{1.0, 0.0});
+  EXPECT_EQ(Engine::Create({a}, AccessKind::kDistance, &cosine)
+                .status()
+                .code(),
+            StatusCode::kFailedPrecondition);
+
+  // Cosine under score access is fine with the corner bound.
+  auto engine = Engine::Create({a}, AccessKind::kScore, &cosine);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  ProxRJOptions opts;
+  opts.k = 1;
+  opts.bound = BoundKind::kCorner;
+  auto result = engine->TopK(Vec{1.0, 0.0}, opts);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->size(), 1u);
+}
+
+// Satellite: the R-tree backend is reachable through the plain RunProxRJ
+// API via ProxRJOptions::backend and delivers the identical execution.
+TEST(SourceBackendTest, RunProxRJRTreeBackendMatchesPresorted) {
+  const auto rels = MakeRelations(2, 80, /*seed=*/43);
+  const SumLogEuclideanScoring scoring(1, 1, 1);
+  const Vec q(2, 0.1);
+  for (const AlgorithmPreset& preset : kAllPresets) {
+    ProxRJOptions sorted_opts;
+    sorted_opts.k = 8;
+    sorted_opts.Apply(preset);
+    ExecStats sorted_stats;
+    auto sorted = RunProxRJ(rels, AccessKind::kDistance, scoring, q,
+                            sorted_opts, &sorted_stats);
+    ASSERT_TRUE(sorted.ok());
+
+    ProxRJOptions rtree_opts = sorted_opts;
+    rtree_opts.backend = SourceBackend::kRTree;
+    ExecStats rtree_stats;
+    auto rtree = RunProxRJ(rels, AccessKind::kDistance, scoring, q,
+                           rtree_opts, &rtree_stats);
+    ASSERT_TRUE(rtree.ok());
+
+    ExpectBitIdentical(*rtree, *sorted, preset.name);
+    EXPECT_EQ(rtree_stats.sum_depths, sorted_stats.sum_depths) << preset.name;
+  }
+}
+
+// The backend option is irrelevant under score access (no R-tree involved).
+TEST(SourceBackendTest, BackendIgnoredForScoreAccess) {
+  const auto rels = MakeRelations(2, 40, /*seed=*/47);
+  const SumLogEuclideanScoring scoring(1, 1, 1);
+  const Vec q(2, 0.0);
+  ProxRJOptions opts;
+  opts.k = 5;
+  opts.backend = SourceBackend::kRTree;
+  auto result = RunProxRJ(rels, AccessKind::kScore, scoring, q, opts);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->size(), 5u);
+}
+
+}  // namespace
+}  // namespace prj
