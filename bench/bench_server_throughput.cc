@@ -1,0 +1,165 @@
+// Aggregate serving throughput of the concurrent Server front end: a
+// threads x batch sweep over one shared Engine.
+//
+// For each worker count W we stand up a Server over the same immutable
+// engine, fan the same Q-query workload through SubmitBatch, and report
+// wall time, queries/second, speedup over the 1-worker row, p50/p99
+// latency from the server's streaming histogram, and the queue-depth
+// high-water mark. A serial Engine::RunBatch pass provides both the
+// correctness checksum (total sumDepths must match every row exactly:
+// concurrency must not change what is computed) and the serial reference
+// time.
+//
+// Gates (exit 1, failing the Release CI step):
+//   * any checksum mismatch between a concurrent row and the serial pass;
+//   * full mode on >= 8 hardware threads: 8 workers must reach >= 3x the
+//     1-worker throughput;
+//   * smoke mode (PRJ_BENCH_SMOKE=1) on >= 4 hardware threads: the widest
+//     row must beat 1 worker at all (> 1.2x) -- a loose bound that still
+//     catches an accidentally serialized pool without being flaky on
+//     small CI machines.
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "common/timer.h"
+#include "core/engine.h"
+#include "server/server.h"
+#include "workload/synthetic.h"
+
+namespace prj {
+namespace {
+
+int Run() {
+  const bool smoke = bench::SmokeMode();
+  const unsigned hw = std::thread::hardware_concurrency();
+  const int n = 2;
+  const int dim = 2;
+  const int count = smoke ? 2000 : 10000;
+  const int q_count = smoke ? 64 : 256;
+  const std::vector<int> worker_counts = {1, 2, 4, 8};
+
+  SyntheticSpec spec;
+  spec.dim = dim;
+  spec.count = count;
+  spec.density = 50;
+  spec.seed = 7;
+  const auto rels = GenerateProblem(n, spec);
+  const SumLogEuclideanScoring scoring(1.0, 1.0, 1.0);
+
+  auto engine = Engine::Create(rels, AccessKind::kDistance, &scoring);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "Engine::Create failed: %s\n",
+                 engine.status().ToString().c_str());
+    return 1;
+  }
+
+  Rng rng(99);
+  std::vector<QueryRequest> workload;
+  workload.reserve(static_cast<size_t>(q_count));
+  for (int i = 0; i < q_count; ++i) {
+    QueryRequest req;
+    req.query = rng.UniformInCube(dim, -1.0, 1.0);
+    req.options.k = 10;
+    req.options.Apply(kTBPA);
+    workload.push_back(std::move(req));
+  }
+
+  // Serial reference: correctness checksum + baseline latency.
+  WallTimer serial_timer;
+  const auto serial = engine->RunBatch(workload);
+  const double serial_seconds = serial_timer.ElapsedSeconds();
+  uint64_t serial_checksum = 0;
+  for (const QueryResult& qr : serial) {
+    if (!qr.ok()) {
+      std::fprintf(stderr, "serial run failed: %s\n",
+                   qr.status.ToString().c_str());
+      return 1;
+    }
+    serial_checksum += qr.stats.sum_depths;
+  }
+
+  std::printf(
+      "server_throughput: SubmitBatch over one shared Engine "
+      "(distance access, R-tree backend, n=%d, %d tuples/relation, Q=%d, "
+      "K=10, hw_threads=%u)\n",
+      n, count, q_count, hw);
+  std::printf("serial Engine::RunBatch: %.2f ms (%.0f q/s)\n\n",
+              serial_seconds * 1e3, q_count / serial_seconds);
+  std::printf("%8s %12s %12s %9s %10s %10s %11s\n", "workers", "total_ms",
+              "queries/s", "speedup", "p50_ms", "p99_ms", "queue_hwm");
+
+  double single_worker_qps = 0.0;
+  double widest_speedup = 0.0;
+  double eight_worker_speedup = 0.0;
+  for (const int workers : worker_counts) {
+    ServerOptions opts;
+    opts.num_workers = workers;
+    opts.queue_capacity = static_cast<size_t>(q_count);
+    Server server(&*engine, opts);
+    WallTimer timer;
+    const auto results = server.SubmitBatch(workload);
+    const double seconds = timer.ElapsedSeconds();
+
+    uint64_t checksum = 0;
+    for (const QueryResult& qr : results) {
+      if (!qr.ok()) {
+        std::fprintf(stderr, "concurrent run failed: %s\n",
+                     qr.status.ToString().c_str());
+        return 1;
+      }
+      checksum += qr.stats.sum_depths;
+    }
+    if (checksum != serial_checksum) {
+      std::fprintf(stderr,
+                   "FAIL: checksum mismatch at %d workers: serial sumDepths "
+                   "%llu != concurrent %llu\n",
+                   workers, static_cast<unsigned long long>(serial_checksum),
+                   static_cast<unsigned long long>(checksum));
+      return 1;
+    }
+
+    const ServerStats stats = server.Stats();
+    const double qps = q_count / seconds;
+    if (workers == 1) single_worker_qps = qps;
+    const double speedup = single_worker_qps > 0 ? qps / single_worker_qps : 0;
+    if (workers == worker_counts.back()) widest_speedup = speedup;
+    if (workers == 8) eight_worker_speedup = speedup;
+    std::printf("%8d %12.2f %12.0f %8.2fx %10.3f %10.3f %11zu\n", workers,
+                seconds * 1e3, qps, speedup, stats.latency_p50_seconds * 1e3,
+                stats.latency_p99_seconds * 1e3, stats.queue_high_water);
+  }
+
+  std::printf(
+      "\nevery row computes the identical answers (sumDepths checksum == "
+      "serial run); speedup is against the 1-worker row.\n");
+
+  if (!smoke && hw >= 8 && eight_worker_speedup < 3.0) {
+    std::fprintf(stderr,
+                 "FAIL: 8 workers reached only %.2fx single-worker "
+                 "throughput on %u hardware threads (need >= 3x)\n",
+                 eight_worker_speedup, hw);
+    return 1;
+  }
+  if (smoke && hw >= 4 && widest_speedup < 1.2) {
+    std::fprintf(stderr,
+                 "FAIL: %d workers reached only %.2fx single-worker "
+                 "throughput on %u hardware threads (need > 1.2x)\n",
+                 worker_counts.back(), widest_speedup, hw);
+    return 1;
+  }
+  if (hw < 8) {
+    std::printf(
+        "note: only %u hardware threads; the >= 3x @ 8 workers gate needs "
+        ">= 8 and was not enforced.\n",
+        hw);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace prj
+
+int main() { return prj::Run(); }

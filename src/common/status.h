@@ -21,6 +21,7 @@ enum class StatusCode {
   kIOError,
   kUnimplemented,
   kInternal,
+  kUnavailable,
 };
 
 /// Result of a fallible operation: a code plus a human-readable message.
@@ -51,6 +52,9 @@ class Status {
   }
   static Status Internal(std::string m) {
     return Status(StatusCode::kInternal, std::move(m));
+  }
+  static Status Unavailable(std::string m) {
+    return Status(StatusCode::kUnavailable, std::move(m));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

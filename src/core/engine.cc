@@ -153,19 +153,23 @@ Result<std::vector<ResultCombination>> Engine::TopK(
   return ExecuteQuery(plan, stats_out);
 }
 
+QueryResult Engine::RunOne(const QueryRequest& request) const {
+  QueryResult qr;
+  auto combinations = TopK(request.query, request.options, &qr.stats);
+  if (combinations.ok()) {
+    qr.combinations = std::move(*combinations);
+  } else {
+    qr.status = combinations.status();
+  }
+  return qr;
+}
+
 std::vector<QueryResult> Engine::RunBatch(
     std::span<const QueryRequest> requests) const {
   std::vector<QueryResult> results;
   results.reserve(requests.size());
   for (const QueryRequest& request : requests) {
-    QueryResult qr;
-    auto combinations = TopK(request.query, request.options, &qr.stats);
-    if (combinations.ok()) {
-      qr.combinations = std::move(*combinations);
-    } else {
-      qr.status = combinations.status();
-    }
-    results.push_back(std::move(qr));
+    results.push_back(RunOne(request));
   }
   return results;
 }

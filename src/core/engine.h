@@ -105,7 +105,10 @@ struct EngineOptions {
 ///
 /// An Engine is immutable after Create: TopK and RunBatch are const and
 /// share no mutable state, so concurrent queries from multiple threads are
-/// safe (the underlying RTree supports concurrent reads).
+/// safe (the underlying RTree supports concurrent reads). Server
+/// (server/server.h) builds directly on this guarantee; it holds the
+/// engine by pointer, so keep the Engine alive and un-moved while any
+/// server is running over it.
 class Engine {
  public:
   using Options = EngineOptions;
@@ -127,9 +130,18 @@ class Engine {
       const Vec& query, const ProxRJOptions& options,
       ExecStats* stats_out = nullptr) const;
 
+  /// Evaluates one request and packages the outcome -- combinations on
+  /// success, the error Status otherwise, plus this query's ExecStats --
+  /// into a QueryResult. The shared building block of RunBatch and of
+  /// Server's workers, so serial and concurrent serving cannot drift in
+  /// how they report a query's result.
+  QueryResult RunOne(const QueryRequest& request) const;
+
   /// Evaluates a batch of queries sequentially against the shared catalog.
   /// Always returns one QueryResult per request, in order; per-query
-  /// failures are reported in QueryResult::status.
+  /// failures are reported in QueryResult::status. For the concurrent
+  /// counterpart -- the same contract, fanned across a worker pool -- see
+  /// Server::SubmitBatch in server/server.h.
   std::vector<QueryResult> RunBatch(
       std::span<const QueryRequest> requests) const;
 

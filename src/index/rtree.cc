@@ -402,7 +402,7 @@ RTree::NearestIterator::NearestIterator(const RTree* tree, Vec q)
   }
 }
 
-void RTree::NearestIterator::ExpandTop() {
+void RTree::NearestIterator::ExpandTop() const {
   while (!heap_.empty() && heap_.top().node != nullptr) {
     const Node* node = static_cast<const Node*>(heap_.top().node);
     heap_.pop();
@@ -427,7 +427,7 @@ std::optional<RTree::Item> RTree::NearestIterator::Next() {
   return item;
 }
 
-double RTree::NearestIterator::PeekSquaredDistance() {
+double RTree::NearestIterator::PeekSquaredDistance() const {
   ExpandTop();
   if (heap_.empty()) return std::numeric_limits<double>::infinity();
   return heap_.top().dist_sq;
@@ -437,12 +437,16 @@ std::vector<RTree::Item> RTree::NearestK(const Vec& q, size_t k) const {
   NearestIterator it = NearestBrowse(q);
   std::vector<Item> out;
   double last_dist = -1.0;
-  // Collect k items plus every tie of the k-th distance, then make the
-  // result order independent of tree shape by sorting on (distance, id).
+  // Collect k items plus every exact tie of the k-th distance, then make
+  // the result order independent of tree shape by sorting on (distance,
+  // id). The tie test is an exact comparison: an absolute epsilon on
+  // squared distances would be scale-dependent (inert at large coordinate
+  // magnitudes, lumping genuinely distinct neighbours -- potentially the
+  // whole tree -- at tiny ones).
   for (;;) {
     const double peek = it.PeekSquaredDistance();
     if (!std::isfinite(peek)) break;
-    if (out.size() >= k && peek > last_dist + 1e-18) break;
+    if (out.size() >= k && peek > last_dist) break;
     auto item = it.Next();
     if (!item) break;
     last_dist = peek;

@@ -88,7 +88,12 @@ class RTree {
     /// Returns the next nearest item, or nullopt when exhausted.
     std::optional<Item> Next();
     /// Squared distance the next item will have (peek); infinity if done.
-    double PeekSquaredDistance();
+    /// Logically read-only -- the observable stream is unchanged -- so it
+    /// is callable through a const iterator (the lazily expanded frontier
+    /// heap is an implementation detail, hence mutable). Const here means
+    /// non-mutating, not concurrently callable: an iterator is still
+    /// single-threaded per-query state, unlike the tree it browses.
+    double PeekSquaredDistance() const;
 
    private:
     friend class RTree;
@@ -103,13 +108,13 @@ class RTree {
       }
     };
     NearestIterator(const RTree* tree, Vec q);
-    void ExpandTop();
+    void ExpandTop() const;
 
     const RTree* tree_;
     Vec q_;
-    uint64_t next_seq_ = 0;
-    std::priority_queue<QueueEntry, std::vector<QueueEntry>,
-                        std::greater<QueueEntry>>
+    mutable uint64_t next_seq_ = 0;
+    mutable std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                                std::greater<QueueEntry>>
         heap_;
   };
 

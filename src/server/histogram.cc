@@ -1,0 +1,56 @@
+#include "server/histogram.h"
+
+#include <cmath>
+
+namespace prj {
+
+size_t LatencyHistogram::BucketIndex(double seconds) {
+  if (!(seconds > kMinSeconds)) return 0;  // also catches NaN and negatives
+  const double octaves = std::log2(seconds / kMinSeconds);
+  const double idx = std::floor(octaves * 4.0) + 1.0;
+  if (idx >= static_cast<double>(kNumBuckets)) return kNumBuckets - 1;
+  return static_cast<size_t>(idx);
+}
+
+double LatencyHistogram::BucketUpperBound(size_t index) {
+  // Bucket 0 holds everything <= kMinSeconds; bucket i >= 1 covers
+  // [kMinSeconds * 2^((i-1)/4), kMinSeconds * 2^(i/4)).
+  return kMinSeconds * std::exp2(static_cast<double>(index) / 4.0);
+}
+
+void LatencyHistogram::Record(double seconds) {
+  counts_[BucketIndex(seconds)].fetch_add(1, std::memory_order_relaxed);
+}
+
+void LatencyHistogram::MergeFrom(const LatencyHistogram& other) {
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    const uint64_t n = other.counts_[i].load(std::memory_order_relaxed);
+    if (n > 0) counts_[i].fetch_add(n, std::memory_order_relaxed);
+  }
+}
+
+uint64_t LatencyHistogram::TotalCount() const {
+  uint64_t total = 0;
+  for (const auto& c : counts_) total += c.load(std::memory_order_relaxed);
+  return total;
+}
+
+double LatencyHistogram::Quantile(double q) const {
+  const uint64_t total = TotalCount();
+  if (total == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // The sample with (1-based) rank ceil(q * total), clamped to [1, total].
+  uint64_t rank =
+      static_cast<uint64_t>(std::ceil(q * static_cast<double>(total)));
+  if (rank < 1) rank = 1;
+  if (rank > total) rank = total;
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    cumulative += counts_[i].load(std::memory_order_relaxed);
+    if (cumulative >= rank) return BucketUpperBound(i);
+  }
+  return BucketUpperBound(kNumBuckets - 1);
+}
+
+}  // namespace prj

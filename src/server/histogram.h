@@ -1,0 +1,55 @@
+// Streaming latency histogram for the server's p50/p99 reporting.
+//
+// Fixed geometric buckets (4 per power of two starting at 1 microsecond,
+// ~19% relative resolution) with lock-free relaxed atomic counters: every
+// worker records into its own histogram on the hot path with one atomic
+// increment and no synchronization against readers, and the server merges
+// the per-worker histograms into a snapshot only when stats are requested.
+#ifndef PRJ_SERVER_HISTOGRAM_H_
+#define PRJ_SERVER_HISTOGRAM_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <cstddef>
+
+namespace prj {
+
+class LatencyHistogram {
+ public:
+  /// 4 buckets per octave from kMinSeconds: 112 buckets reach
+  /// 1e-6 * 2^(112/4) ≈ 4.5 minutes; anything slower lands in the last
+  /// (overflow) bucket -- ample headroom for query-serving latencies.
+  static constexpr size_t kNumBuckets = 112;
+  static constexpr double kMinSeconds = 1e-6;
+
+  LatencyHistogram() = default;
+  LatencyHistogram(const LatencyHistogram&) = delete;
+  LatencyHistogram& operator=(const LatencyHistogram&) = delete;
+
+  /// Records one sample. Lock-free: a single relaxed fetch_add.
+  void Record(double seconds);
+
+  /// Adds `other`'s counts into this histogram (relaxed reads of a live
+  /// histogram: the result is a consistent-enough snapshot for quantiles).
+  void MergeFrom(const LatencyHistogram& other);
+
+  /// Total samples recorded.
+  uint64_t TotalCount() const;
+
+  /// Upper bound of the bucket holding the q-quantile sample (q in
+  /// [0, 1]); 0 when empty. Accurate to one bucket width (~19%).
+  double Quantile(double q) const;
+
+  /// Exposed for tests: the bucket a sample of `seconds` lands in, and a
+  /// bucket's upper boundary in seconds.
+  static size_t BucketIndex(double seconds);
+  static double BucketUpperBound(size_t index);
+
+ private:
+  std::array<std::atomic<uint64_t>, kNumBuckets> counts_{};
+};
+
+}  // namespace prj
+
+#endif  // PRJ_SERVER_HISTOGRAM_H_

@@ -1,0 +1,112 @@
+// Bounded multi-producer / multi-consumer FIFO queue: the hand-off point
+// between the server's Submit front end and its worker pool.
+//
+// Classic two-condition-variable design: producers block while the queue
+// is full, consumers block while it is empty, and Close() releases both
+// sides for shutdown. Two drain disciplines are provided so the server
+// can either finish the backlog (Close: consumers keep popping until the
+// queue empties) or cancel it (CloseAndDrain: the backlog is handed back
+// to the caller, which fails each pending request explicitly).
+//
+// The queue also tracks its depth high-water mark -- recorded under the
+// mutex it already holds, so the accounting costs nothing extra -- which
+// the server reports as a saturation signal.
+#ifndef PRJ_SERVER_QUEUE_H_
+#define PRJ_SERVER_QUEUE_H_
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace prj {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity) : capacity_(capacity) {
+    PRJ_CHECK_GE(capacity, 1u);
+  }
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Blocks until there is room, then enqueues `item` (moved from) and
+  /// returns true. Returns false -- leaving `item` untouched -- once the
+  /// queue is closed, so the caller keeps ownership of rejected work.
+  bool Push(T& item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock,
+                   [this] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    if (items_.size() > high_water_) high_water_ = items_.size();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available and dequeues it. Returns nullopt
+  /// only when the queue is closed *and* drained: items enqueued before
+  /// Close() are still delivered.
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Rejects all future pushes and wakes every blocked thread. Pending
+  /// items remain poppable (drain semantics). Idempotent.
+  void Close() {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  /// Close() plus cancellation: returns every item still queued, in FIFO
+  /// order, so the caller can fail them instead of running them.
+  std::vector<T> CloseAndDrain() {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    std::vector<T> drained;
+    drained.reserve(items_.size());
+    for (T& item : items_) drained.push_back(std::move(item));
+    items_.clear();
+    not_full_.notify_all();
+    not_empty_.notify_all();
+    return drained;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  /// Largest depth the queue ever reached.
+  size_t high_water() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return high_water_;
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  const size_t capacity_;
+  size_t high_water_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace prj
+
+#endif  // PRJ_SERVER_QUEUE_H_

@@ -1,0 +1,128 @@
+#include "server/server.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/timer.h"
+
+namespace prj {
+
+namespace {
+
+int ResolveWorkerCount(int requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+}  // namespace
+
+Server::Server(const Engine* engine, ServerOptions options)
+    : engine_(engine), queue_(options.queue_capacity) {
+  PRJ_CHECK(engine != nullptr);
+  const int n = ResolveWorkerCount(options.num_workers);
+  slots_.reserve(static_cast<size_t>(n));
+  workers_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    slots_.push_back(std::make_unique<WorkerSlot>());
+    workers_.emplace_back(&Server::WorkerLoop, this, slots_.back().get());
+  }
+}
+
+Server::~Server() { Shutdown(DrainMode::kDrain); }
+
+void Server::WorkerLoop(WorkerSlot* slot) {
+  while (auto task = queue_.Pop()) {
+    QueryResult qr;
+    // Exception barrier: an escape from a worker thread would terminate
+    // the whole process and abandon every other future. A throwing query
+    // (e.g. bad_alloc on a huge K) fails alone, through its status, like
+    // every other per-query failure.
+    try {
+      qr = engine_->RunOne(task->request);
+    } catch (const std::exception& e) {
+      qr = QueryResult{};
+      qr.status = Status::Internal(std::string("query threw: ") + e.what());
+    } catch (...) {
+      qr = QueryResult{};
+      qr.status = Status::Internal("query threw a non-standard exception");
+    }
+    slot->latency.Record(task->submitted.ElapsedSeconds());
+    slot->served.fetch_add(1, std::memory_order_relaxed);
+    if (!qr.ok()) slot->failed.fetch_add(1, std::memory_order_relaxed);
+    slot->sum_depths.fetch_add(qr.stats.sum_depths, std::memory_order_relaxed);
+    task->promise.set_value(std::move(qr));
+  }
+}
+
+QueryResult Server::Rejected() {
+  QueryResult qr;
+  qr.status = Status::Unavailable("server is shut down; query was not run");
+  return qr;
+}
+
+std::future<QueryResult> Server::Submit(QueryRequest request) {
+  Task task;
+  task.request = std::move(request);
+  std::future<QueryResult> future = task.promise.get_future();
+  if (!queue_.Push(task)) {
+    // Queue closed by Shutdown: the task was not consumed, so the promise
+    // is still ours to resolve.
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    task.promise.set_value(Rejected());
+  }
+  return future;
+}
+
+std::vector<QueryResult> Server::SubmitBatch(
+    std::span<const QueryRequest> requests) {
+  std::vector<std::future<QueryResult>> futures;
+  futures.reserve(requests.size());
+  for (const QueryRequest& request : requests) {
+    futures.push_back(Submit(request));
+  }
+  std::vector<QueryResult> results;
+  results.reserve(requests.size());
+  for (auto& future : futures) {
+    results.push_back(future.get());
+  }
+  return results;
+}
+
+void Server::Shutdown(DrainMode mode) {
+  std::lock_guard<std::mutex> lock(shutdown_mu_);
+  if (stopped_) return;
+  stopped_ = true;
+  if (mode == DrainMode::kCancel) {
+    // Fail the backlog first so waiters unblock immediately; the workers
+    // then finish only the queries they had already started.
+    std::vector<Task> cancelled = queue_.CloseAndDrain();
+    rejected_.fetch_add(cancelled.size(), std::memory_order_relaxed);
+    for (Task& task : cancelled) {
+      task.promise.set_value(Rejected());
+    }
+  } else {
+    queue_.Close();
+  }
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+ServerStats Server::Stats() const {
+  ServerStats stats;
+  LatencyHistogram merged;
+  for (const auto& slot : slots_) {
+    stats.queries_served += slot->served.load(std::memory_order_relaxed);
+    stats.queries_failed += slot->failed.load(std::memory_order_relaxed);
+    stats.sum_depths += slot->sum_depths.load(std::memory_order_relaxed);
+    merged.MergeFrom(slot->latency);
+  }
+  stats.queries_rejected = rejected_.load(std::memory_order_relaxed);
+  stats.queue_high_water = queue_.high_water();
+  stats.latency_p50_seconds = merged.Quantile(0.5);
+  stats.latency_p99_seconds = merged.Quantile(0.99);
+  return stats;
+}
+
+}  // namespace prj

@@ -1,0 +1,136 @@
+// Concurrent query service over an immutable Engine.
+//
+// The paper's operator is meant to run inside a service answering many
+// users' proximity top-K queries against the same indexed relations
+// (PAPER.md §1, §5). Engine already gives the single-machine substrate --
+// Create once, then const, data-race-free TopK calls over a shared
+// catalog -- and Server turns it into a traffic-serving front end:
+//
+//   * a fixed pool of worker threads pulling from a bounded MPMC request
+//     queue (back-pressure: Submit blocks while the queue is full);
+//   * Submit(QueryRequest) -> std::future<QueryResult> for async callers;
+//   * SubmitBatch, the concurrent counterpart of Engine::RunBatch: fans a
+//     batch across the pool and blocks until every result is in, in order;
+//   * graceful Shutdown that either drains the backlog (kDrain) or
+//     cancels it (kCancel: queued requests fail with kUnavailable instead
+//     of hanging);
+//   * aggregate ServerStats -- queries served, p50/p99 latency from a
+//     streaming histogram, queue-depth high-water mark -- merged from
+//     per-worker counters that the hot path updates without locks.
+//
+// Results are bit-identical to serial Engine::TopK calls (tested): the
+// engine is shared strictly read-only and each query runs on exactly one
+// worker.
+#ifndef PRJ_SERVER_SERVER_H_
+#define PRJ_SERVER_SERVER_H_
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "common/timer.h"
+#include "core/engine.h"
+#include "server/histogram.h"
+#include "server/queue.h"
+
+namespace prj {
+
+struct ServerOptions {
+  /// Worker threads in the pool; 0 picks std::thread::hardware_concurrency
+  /// (at least 1).
+  int num_workers = 0;
+  /// Bounded request-queue capacity; Submit blocks when it is full.
+  size_t queue_capacity = 1024;
+};
+
+/// Aggregate counters merged from the per-worker slots; a point-in-time
+/// snapshot (exact once the server is idle or shut down).
+struct ServerStats {
+  uint64_t queries_served = 0;    ///< completed by a worker (ok or failed)
+  uint64_t queries_failed = 0;    ///< subset of served with !status.ok()
+  uint64_t queries_rejected = 0;  ///< refused at Submit or cancelled queued
+  uint64_t sum_depths = 0;        ///< total access cost of served queries
+  size_t queue_high_water = 0;    ///< deepest the request queue ever got
+  /// End-to-end latency quantiles, clocked from Submit to completion --
+  /// queue wait included, so saturation shows up here, not just in
+  /// queue_high_water.
+  double latency_p50_seconds = 0.0;
+  double latency_p99_seconds = 0.0;
+};
+
+class Server {
+ public:
+  enum class DrainMode {
+    kDrain,   ///< finish every queued request before stopping
+    kCancel,  ///< fail queued requests with kUnavailable, stop after the
+              ///< queries already running
+  };
+
+  /// Starts the worker pool. `engine` must outlive the server and is only
+  /// ever used through its const API.
+  explicit Server(const Engine* engine, ServerOptions options = {});
+
+  /// Equivalent to Shutdown(DrainMode::kDrain) if still running.
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Enqueues one query; the future resolves to its QueryResult (per-query
+  /// failures travel in QueryResult::status, like Engine::RunBatch).
+  /// Blocks while the queue is full. After Shutdown the future is already
+  /// resolved with a kUnavailable status.
+  std::future<QueryResult> Submit(QueryRequest request);
+
+  /// Concurrent counterpart of Engine::RunBatch: fans the batch across
+  /// the worker pool and blocks until all results are in. Always returns
+  /// one QueryResult per request, in request order.
+  std::vector<QueryResult> SubmitBatch(std::span<const QueryRequest> requests);
+
+  /// Stops the pool: closes the queue, then either drains the backlog or
+  /// cancels it (see DrainMode), and joins every worker. Idempotent;
+  /// concurrent calls serialize.
+  void Shutdown(DrainMode mode = DrainMode::kDrain);
+
+  /// Merged per-worker counters plus queue accounting. Safe to call at any
+  /// time, including while queries are in flight.
+  ServerStats Stats() const;
+
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+  const Engine& engine() const { return *engine_; }
+
+ private:
+  struct Task {
+    QueryRequest request;
+    std::promise<QueryResult> promise;
+    WallTimer submitted;  ///< starts in Submit: latency includes queue wait
+  };
+
+  /// One cache line per worker: the hot path touches only its own slot,
+  /// with relaxed atomics, so serving threads never contend on stats.
+  struct alignas(64) WorkerSlot {
+    std::atomic<uint64_t> served{0};
+    std::atomic<uint64_t> failed{0};
+    std::atomic<uint64_t> sum_depths{0};
+    LatencyHistogram latency;
+  };
+
+  void WorkerLoop(WorkerSlot* slot);
+  static QueryResult Rejected();
+
+  const Engine* engine_;
+  BoundedQueue<Task> queue_;
+  std::vector<std::unique_ptr<WorkerSlot>> slots_;
+  std::vector<std::thread> workers_;
+  std::atomic<uint64_t> rejected_{0};
+
+  std::mutex shutdown_mu_;  ///< serializes Shutdown; guards stopped_
+  bool stopped_ = false;
+};
+
+}  // namespace prj
+
+#endif  // PRJ_SERVER_SERVER_H_

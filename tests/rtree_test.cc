@@ -236,6 +236,101 @@ TEST(RTreeTest, ClusteredDataInvariants) {
   EXPECT_EQ(tree.size(), 400u);
 }
 
+// Regression: NearestK used to group distance ties with an absolute
+// epsilon (peek > last_dist + 1e-18) on *squared* distances, which is
+// scale-dependent. At both extremes the contract is the same: exactly
+// min(k, size) items, nearest first, ties broken by id -- independent of
+// tree shape (Insert-built vs bulk-loaded).
+TEST(RTreeNearestKTiesTest, ExactTiesAtCoarseCoordinatesBreakById) {
+  const Vec q{1000.0, 1000.0};
+  // Four points at squared distance 1 and eight exactly tied at 25 (3-4-5
+  // offsets are exactly representable, so the ties are bit-exact).
+  std::vector<RTree::Item> items;
+  items.push_back({Vec{1001.0, 1000.0}, 100});
+  items.push_back({Vec{999.0, 1000.0}, 101});
+  items.push_back({Vec{1000.0, 1001.0}, 102});
+  items.push_back({Vec{1000.0, 999.0}, 103});
+  const double off[8][2] = {{3, 4},  {4, 3},  {-3, 4}, {4, -3},
+                            {-4, -3}, {-3, -4}, {5, 0},  {0, 5}};
+  for (int i = 0; i < 8; ++i) {
+    items.push_back({Vec{1000.0 + off[i][0], 1000.0 + off[i][1]}, i});
+  }
+
+  RTree inserted(2);
+  for (const auto& it : items) inserted.Insert(it.point, it.id);
+  RTree bulk = RTree::BulkLoad(2, items);
+  for (RTree* tree : {&inserted, &bulk}) {
+    // k cuts through the tied group: the cut must select the smallest ids
+    // among the ties, and return exactly k items.
+    const auto got = tree->NearestK(q, 6);
+    ASSERT_EQ(got.size(), 6u);
+    const int64_t expected_ids[6] = {100, 101, 102, 103, 0, 1};
+    for (size_t i = 0; i < 6; ++i) {
+      EXPECT_EQ(got[i].id, expected_ids[i]) << "rank " << i;
+    }
+  }
+}
+
+TEST(RTreeNearestKTiesTest, TinyCoordinatesDoNotLumpDistinctDistances) {
+  // At coordinates ~1e-12 every pairwise squared-distance difference is
+  // far below the old 1e-18 epsilon, which lumped the entire data set into
+  // one "tie" group. Distances here are distinct, so NearestK must return
+  // exactly k items in true distance order.
+  const Vec q{0.0, 0.0};
+  std::vector<RTree::Item> items;
+  for (int i = 0; i < 40; ++i) {
+    // Distinct distances (i+1)*1e-12; ids deliberately out of distance
+    // order so id order cannot masquerade as distance order.
+    items.push_back({Vec{static_cast<double>(i + 1) * 1e-12, 0.0},
+                     (i * 7) % 40});
+  }
+  RTree inserted(2);
+  for (const auto& it : items) inserted.Insert(it.point, it.id);
+  RTree bulk = RTree::BulkLoad(2, items);
+  for (RTree* tree : {&inserted, &bulk}) {
+    for (size_t k : {1u, 3u, 10u}) {
+      const auto got = tree->NearestK(q, k);
+      ASSERT_EQ(got.size(), k);
+      for (size_t i = 0; i < k; ++i) {
+        EXPECT_EQ(got[i].id,
+                  items[i].id)  // items built in increasing distance
+            << "k " << k << " rank " << i;
+      }
+    }
+  }
+}
+
+TEST(RTreeNearestKTiesTest, ExactTiesAtTinyCoordinatesBreakById) {
+  const Vec q{0.0, 0.0};
+  RTree tree(2);
+  // Ten exact duplicates (bit-identical distance) plus one nearer point.
+  tree.Insert(Vec{1e-12, 0.0}, 50);
+  for (int id : {9, 4, 7, 1, 8, 3, 6, 0, 5, 2}) {
+    tree.Insert(Vec{0.0, 2e-12}, id);
+  }
+  const auto got = tree.NearestK(q, 4);
+  ASSERT_EQ(got.size(), 4u);
+  EXPECT_EQ(got[0].id, 50);
+  EXPECT_EQ(got[1].id, 0);
+  EXPECT_EQ(got[2].id, 1);
+  EXPECT_EQ(got[3].id, 2);
+}
+
+// PeekSquaredDistance is logically read-only and callable through a const
+// iterator: the shared read paths (const RTree& -> const Engine& -> the
+// server) must never need a const_cast.
+TEST(RTreeTest, PeekSquaredDistanceIsConst) {
+  Rng rng(61);
+  auto items = RandomItems(&rng, 2, 20);
+  const RTree tree = RTree::BulkLoad(2, items);
+  RTree::NearestIterator browse = tree.NearestBrowse(Vec{0.0, 0.0});
+  const RTree::NearestIterator& const_browse = browse;
+  const double peek = const_browse.PeekSquaredDistance();
+  auto item = browse.Next();
+  ASSERT_TRUE(item.has_value());
+  EXPECT_DOUBLE_EQ(item->point.SquaredDistance(Vec{0.0, 0.0}), peek);
+}
+
 TEST(RTreeTest, HighDimensionalQueries) {
   Rng rng(60);
   auto items = RandomItems(&rng, 16, 200, -2, 2);

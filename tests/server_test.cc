@@ -1,0 +1,512 @@
+// Tests of the concurrent serving front end: the bounded MPMC queue and
+// streaming latency histogram in isolation, then the Server itself --
+// N threads x M mixed-preset queries through Submit are bit-identical to
+// serial Engine::TopK, SubmitBatch matches RunBatch, per-worker stats
+// merge into correct aggregates, and shutdown (drain and cancel) neither
+// hangs nor loses a promise: every queued request resolves, cancelled ones
+// with a clean kUnavailable status.
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/engine.h"
+#include "server/histogram.h"
+#include "server/queue.h"
+#include "server/server.h"
+#include "workload/synthetic.h"
+
+namespace prj {
+namespace {
+
+const AlgorithmPreset kAllPresets[] = {kCBRR, kCBPA, kTBRR, kTBPA};
+
+std::vector<Relation> MakeRelations(int n, int count, uint64_t seed) {
+  SyntheticSpec spec;
+  spec.dim = 2;
+  spec.count = count;
+  spec.density = 50;
+  spec.seed = seed;
+  return GenerateProblem(n, spec);
+}
+
+/// Deterministic mixed workload: query points, K and presets all vary.
+std::vector<QueryRequest> MakeWorkload(int count, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<QueryRequest> requests;
+  requests.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    QueryRequest req;
+    req.query = rng.UniformInCube(2, -1.0, 1.0);
+    req.options.k = 1 + i % 9;
+    req.options.Apply(kAllPresets[i % 4]);
+    requests.push_back(std::move(req));
+  }
+  return requests;
+}
+
+void ExpectBitIdentical(const std::vector<ResultCombination>& got,
+                        const std::vector<ResultCombination>& expected,
+                        const std::string& label) {
+  ASSERT_EQ(got.size(), expected.size()) << label;
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].score, expected[i].score) << label << " rank " << i;
+    ASSERT_EQ(got[i].tuples.size(), expected[i].tuples.size()) << label;
+    for (size_t j = 0; j < got[i].tuples.size(); ++j) {
+      EXPECT_EQ(got[i].tuples[j].id, expected[i].tuples[j].id)
+          << label << " rank " << i << " member " << j;
+    }
+  }
+}
+
+// --------------------------- BoundedQueue ------------------------------ //
+
+TEST(BoundedQueueTest, FifoSingleThread) {
+  BoundedQueue<int> queue(8);
+  for (int i = 0; i < 5; ++i) {
+    int v = i;
+    ASSERT_TRUE(queue.Push(v));
+  }
+  EXPECT_EQ(queue.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    auto v = queue.Pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(BoundedQueueTest, PushBlocksAtCapacityUntilPopped) {
+  BoundedQueue<int> queue(2);
+  int a = 1, b = 2, c = 3;
+  ASSERT_TRUE(queue.Push(a));
+  ASSERT_TRUE(queue.Push(b));
+  std::atomic<bool> third_pushed{false};
+  std::thread producer([&] {
+    ASSERT_TRUE(queue.Push(c));
+    third_pushed.store(true);
+  });
+  // The producer cannot complete until a slot frees up.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(third_pushed.load());
+  EXPECT_EQ(queue.Pop().value_or(-1), 1);
+  producer.join();
+  EXPECT_TRUE(third_pushed.load());
+  EXPECT_EQ(queue.Pop().value_or(-1), 2);
+  EXPECT_EQ(queue.Pop().value_or(-1), 3);
+}
+
+TEST(BoundedQueueTest, CloseWakesBlockedPopper) {
+  BoundedQueue<int> queue(4);
+  std::atomic<bool> got_nullopt{false};
+  std::thread consumer([&] {
+    auto v = queue.Pop();
+    got_nullopt.store(!v.has_value());
+  });
+  queue.Close();
+  consumer.join();
+  EXPECT_TRUE(got_nullopt.load());
+}
+
+TEST(BoundedQueueTest, CloseDrainsPendingButRejectsNewPushes) {
+  BoundedQueue<int> queue(4);
+  int a = 7;
+  ASSERT_TRUE(queue.Push(a));
+  queue.Close();
+  int b = 8;
+  EXPECT_FALSE(queue.Push(b));
+  EXPECT_EQ(b, 8);  // rejected item left untouched
+  EXPECT_EQ(queue.Pop().value_or(-1), 7);  // pending item still delivered
+  EXPECT_FALSE(queue.Pop().has_value());
+}
+
+TEST(BoundedQueueTest, CloseAndDrainReturnsBacklogInOrder) {
+  BoundedQueue<int> queue(8);
+  for (int i = 0; i < 4; ++i) {
+    int v = i * 10;
+    ASSERT_TRUE(queue.Push(v));
+  }
+  const std::vector<int> drained = queue.CloseAndDrain();
+  ASSERT_EQ(drained.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(drained[static_cast<size_t>(i)], i * 10);
+  }
+  EXPECT_FALSE(queue.Pop().has_value());  // backlog was taken, queue closed
+}
+
+TEST(BoundedQueueTest, HighWaterTracksDeepestFill) {
+  BoundedQueue<int> queue(16);
+  int v = 0;
+  queue.Push(v);
+  queue.Push(v);
+  queue.Push(v);
+  (void)queue.Pop();
+  (void)queue.Pop();
+  queue.Push(v);
+  EXPECT_EQ(queue.high_water(), 3u);
+}
+
+TEST(BoundedQueueTest, ManyProducersManyConsumersLoseNothing) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr int kPerProducer = 500;
+  BoundedQueue<int> queue(8);
+  std::vector<std::thread> threads;
+  std::atomic<int> consumed{0};
+  std::vector<std::atomic<int>> seen(kProducers * kPerProducer);
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      while (auto v = queue.Pop()) {
+        seen[static_cast<size_t>(*v)].fetch_add(1);
+        consumed.fetch_add(1);
+      }
+    });
+  }
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        int v = p * kPerProducer + i;
+        ASSERT_TRUE(queue.Push(v));
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  queue.Close();
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(consumed.load(), kProducers * kPerProducer);
+  for (const auto& s : seen) EXPECT_EQ(s.load(), 1);
+  EXPECT_LE(queue.high_water(), queue.capacity());
+}
+
+// ------------------------- LatencyHistogram ---------------------------- //
+
+TEST(LatencyHistogramTest, EmptyHistogramReportsZero) {
+  LatencyHistogram hist;
+  EXPECT_EQ(hist.TotalCount(), 0u);
+  EXPECT_EQ(hist.Quantile(0.5), 0.0);
+  EXPECT_EQ(hist.Quantile(0.99), 0.0);
+}
+
+TEST(LatencyHistogramTest, QuantilesWithinBucketResolution) {
+  LatencyHistogram hist;
+  for (int i = 0; i < 1000; ++i) hist.Record(1e-3);
+  EXPECT_EQ(hist.TotalCount(), 1000u);
+  // All mass sits in one bucket: every quantile reports that bucket's
+  // upper bound, within one bucket width (2^(1/4) ~ 19%) of the sample.
+  for (double q : {0.0, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_GE(hist.Quantile(q), 1e-3);
+    EXPECT_LE(hist.Quantile(q), 1e-3 * 1.2);
+  }
+}
+
+TEST(LatencyHistogramTest, SeparatesFastAndSlowPopulations) {
+  LatencyHistogram hist;
+  for (int i = 0; i < 99; ++i) hist.Record(1e-4);  // fast bulk
+  hist.Record(1e-1);                               // one slow outlier
+  EXPECT_LE(hist.Quantile(0.5), 1e-4 * 1.2);
+  EXPECT_GE(hist.Quantile(0.995), 1e-1);
+  EXPECT_LE(hist.Quantile(0.995), 1e-1 * 1.2);
+}
+
+TEST(LatencyHistogramTest, MergeSumsCounts) {
+  LatencyHistogram a, b, merged;
+  for (int i = 0; i < 50; ++i) a.Record(1e-5);
+  for (int i = 0; i < 50; ++i) b.Record(1e-2);
+  merged.MergeFrom(a);
+  merged.MergeFrom(b);
+  EXPECT_EQ(merged.TotalCount(), 100u);
+  EXPECT_LE(merged.Quantile(0.25), 1e-5 * 1.2);
+  EXPECT_GE(merged.Quantile(0.75), 1e-2);
+}
+
+TEST(LatencyHistogramTest, ExtremeSamplesLandInBoundaryBuckets) {
+  LatencyHistogram hist;
+  hist.Record(0.0);
+  // Defensive: negatives and NaN clamp into the first bucket, huge samples
+  // into the overflow bucket -- never UB, never a lost count.
+  hist.Record(-1.0);
+  hist.Record(std::nan(""));
+  hist.Record(1e9);
+  EXPECT_EQ(hist.TotalCount(), 4u);
+  EXPECT_EQ(LatencyHistogram::BucketIndex(0.0), 0u);
+  EXPECT_EQ(LatencyHistogram::BucketIndex(1e9),
+            LatencyHistogram::kNumBuckets - 1);
+  // Bucket bounds are monotone, so quantiles stay ordered.
+  EXPECT_LE(hist.Quantile(0.5), hist.Quantile(1.0));
+}
+
+// ------------------------------ Server --------------------------------- //
+
+class ServerTest : public ::testing::Test {
+ protected:
+  ServerTest()
+      : relations_(MakeRelations(2, 60, /*seed=*/7)),
+        scoring_(1.0, 1.0, 1.0),
+        engine_(Engine::Create(relations_, AccessKind::kDistance, &scoring_)) {
+    EXPECT_TRUE(engine_.ok()) << engine_.status().ToString();
+  }
+
+  const Engine& engine() { return *engine_; }
+
+  std::vector<Relation> relations_;
+  SumLogEuclideanScoring scoring_;
+  Result<Engine> engine_;
+};
+
+// The tentpole contract: queries answered through the concurrent server
+// are bit-identical to serial Engine::TopK on the same engine.
+TEST_F(ServerTest, SubmittedResultsMatchSerialTopK) {
+  ServerOptions opts;
+  opts.num_workers = 4;
+  Server server(&engine(), opts);
+  const auto workload = MakeWorkload(32, /*seed=*/123);
+
+  std::vector<std::future<QueryResult>> futures;
+  for (const QueryRequest& req : workload) {
+    futures.push_back(server.Submit(req));
+  }
+
+  for (size_t i = 0; i < workload.size(); ++i) {
+    QueryResult got = futures[i].get();
+    ASSERT_TRUE(got.ok()) << got.status.ToString();
+    ExecStats serial_stats;
+    auto serial = engine().TopK(workload[i].query, workload[i].options,
+                                &serial_stats);
+    ASSERT_TRUE(serial.ok());
+    ExpectBitIdentical(got.combinations, *serial,
+                       "query " + std::to_string(i));
+    EXPECT_EQ(got.stats.sum_depths, serial_stats.sum_depths) << i;
+    EXPECT_EQ(got.stats.depths, serial_stats.depths) << i;
+  }
+}
+
+// N submitter threads x M mixed-preset queries each, all in flight at
+// once: every thread's results must match its own serial baseline.
+TEST_F(ServerTest, ConcurrentSubmittersGetBitIdenticalResults) {
+  constexpr int kThreads = 4;
+  constexpr int kQueriesPerThread = 16;
+  ServerOptions opts;
+  opts.num_workers = 4;
+  opts.queue_capacity = 8;  // small: exercises Submit back-pressure too
+  Server server(&engine(), opts);
+
+  std::vector<std::thread> submitters;
+  std::atomic<int> mismatches{0};
+  for (int t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&, t] {
+      const auto workload =
+          MakeWorkload(kQueriesPerThread, /*seed=*/1000 + t);
+      std::vector<std::future<QueryResult>> futures;
+      for (const QueryRequest& req : workload) {
+        futures.push_back(server.Submit(req));
+      }
+      for (size_t i = 0; i < workload.size(); ++i) {
+        QueryResult got = futures[i].get();
+        auto serial = engine().TopK(workload[i].query, workload[i].options);
+        if (!got.ok() || !serial.ok() ||
+            got.combinations.size() != serial->size()) {
+          mismatches.fetch_add(1);
+          continue;
+        }
+        for (size_t r = 0; r < serial->size(); ++r) {
+          if (got.combinations[r].score != (*serial)[r].score) {
+            mismatches.fetch_add(1);
+            break;
+          }
+          for (size_t m = 0; m < (*serial)[r].tuples.size(); ++m) {
+            if (got.combinations[r].tuples[m].id !=
+                (*serial)[r].tuples[m].id) {
+              mismatches.fetch_add(1);
+              r = serial->size();
+              break;
+            }
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : submitters) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+
+  const ServerStats stats = server.Stats();
+  EXPECT_EQ(stats.queries_served,
+            static_cast<uint64_t>(kThreads * kQueriesPerThread));
+  EXPECT_EQ(stats.queries_failed, 0u);
+  EXPECT_EQ(stats.queries_rejected, 0u);
+}
+
+TEST_F(ServerTest, SubmitBatchMatchesEngineRunBatch) {
+  ServerOptions opts;
+  opts.num_workers = 3;
+  Server server(&engine(), opts);
+  const auto workload = MakeWorkload(20, /*seed=*/55);
+
+  const auto serial = engine().RunBatch(workload);
+  const auto concurrent = server.SubmitBatch(workload);
+  ASSERT_EQ(concurrent.size(), serial.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_EQ(concurrent[i].ok(), serial[i].ok()) << i;
+    ExpectBitIdentical(concurrent[i].combinations, serial[i].combinations,
+                       "batch entry " + std::to_string(i));
+    EXPECT_EQ(concurrent[i].stats.sum_depths, serial[i].stats.sum_depths) << i;
+  }
+}
+
+TEST_F(ServerTest, PerQueryFailuresAreIsolatedAndCounted) {
+  ServerOptions opts;
+  opts.num_workers = 2;
+  Server server(&engine(), opts);
+
+  std::vector<QueryRequest> requests(3);
+  requests[0].query = Vec(2, 0.0);
+  requests[0].options.k = 3;
+  requests[1].query = Vec(2, 0.0);
+  requests[1].options.k = 0;  // invalid K
+  requests[2].query = Vec{0.0, 0.0, 0.0};  // wrong dimension
+  requests[2].options.k = 3;
+
+  const auto results = server.SubmitBatch(requests);
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_TRUE(results[0].ok());
+  EXPECT_EQ(results[0].combinations.size(), 3u);
+  EXPECT_EQ(results[1].status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(results[2].status.code(), StatusCode::kInvalidArgument);
+
+  const ServerStats stats = server.Stats();
+  EXPECT_EQ(stats.queries_served, 3u);
+  EXPECT_EQ(stats.queries_failed, 2u);
+}
+
+// Stats from the per-worker slots sum to the serial accounting: total
+// sumDepths matches a serial RunBatch, latency quantiles are populated,
+// and the queue high-water mark reflects actual queuing.
+TEST_F(ServerTest, StatsSumAcrossWorkers) {
+  const auto workload = MakeWorkload(24, /*seed=*/321);
+  uint64_t expected_depths = 0;
+  for (const QueryResult& qr : engine().RunBatch(workload)) {
+    ASSERT_TRUE(qr.ok());
+    expected_depths += qr.stats.sum_depths;
+  }
+
+  ServerOptions opts;
+  opts.num_workers = 4;
+  Server server(&engine(), opts);
+  const auto results = server.SubmitBatch(workload);
+  for (const QueryResult& qr : results) ASSERT_TRUE(qr.ok());
+
+  const ServerStats stats = server.Stats();
+  EXPECT_EQ(stats.queries_served, workload.size());
+  EXPECT_EQ(stats.queries_failed, 0u);
+  EXPECT_EQ(stats.queries_rejected, 0u);
+  EXPECT_EQ(stats.sum_depths, expected_depths);
+  EXPECT_GT(stats.latency_p50_seconds, 0.0);
+  EXPECT_GE(stats.latency_p99_seconds, stats.latency_p50_seconds);
+  EXPECT_GE(stats.queue_high_water, 1u);
+  EXPECT_LE(stats.queue_high_water, ServerOptions{}.queue_capacity);
+}
+
+// ----------------------------- shutdown -------------------------------- //
+
+TEST_F(ServerTest, ShutdownDrainCompletesEveryQueuedQuery) {
+  ServerOptions opts;
+  opts.num_workers = 1;  // force queuing
+  Server server(&engine(), opts);
+  const auto workload = MakeWorkload(12, /*seed=*/77);
+  std::vector<std::future<QueryResult>> futures;
+  for (const QueryRequest& req : workload) {
+    futures.push_back(server.Submit(req));
+  }
+  server.Shutdown(Server::DrainMode::kDrain);
+  for (auto& f : futures) {
+    QueryResult qr = f.get();
+    EXPECT_TRUE(qr.ok()) << qr.status.ToString();
+  }
+  EXPECT_EQ(server.Stats().queries_served, workload.size());
+}
+
+// The satellite requirement: shutdown with work still queued resolves the
+// backlog with a clean error instead of hanging (or dropping promises).
+TEST_F(ServerTest, ShutdownCancelFailsQueuedQueriesCleanly) {
+  // A single worker over a heavier engine: the first query occupies it for
+  // long enough that the rest are still queued when we cancel.
+  const auto big_rels = MakeRelations(2, 5000, /*seed=*/13);
+  auto big_engine = Engine::Create(big_rels, AccessKind::kDistance, &scoring_);
+  ASSERT_TRUE(big_engine.ok());
+
+  ServerOptions opts;
+  opts.num_workers = 1;
+  Server server(&*big_engine, opts);
+
+  Rng rng(9);
+  std::vector<std::future<QueryResult>> futures;
+  for (int i = 0; i < 9; ++i) {
+    QueryRequest req;
+    req.query = rng.UniformInCube(2, -1.0, 1.0);
+    req.options.k = 50;
+    req.options.Apply(kTBPA);
+    futures.push_back(server.Submit(req));
+  }
+  server.Shutdown(Server::DrainMode::kCancel);
+
+  size_t completed = 0, cancelled = 0;
+  for (auto& f : futures) {
+    QueryResult qr = f.get();  // must not hang
+    if (qr.ok()) {
+      ++completed;
+    } else {
+      EXPECT_EQ(qr.status.code(), StatusCode::kUnavailable)
+          << qr.status.ToString();
+      ++cancelled;
+    }
+  }
+  EXPECT_EQ(completed + cancelled, 9u);
+  EXPECT_GE(cancelled, 1u);  // the backlog cannot have fully drained
+
+  const ServerStats stats = server.Stats();
+  EXPECT_EQ(stats.queries_served, completed);
+  EXPECT_EQ(stats.queries_rejected, cancelled);
+}
+
+TEST_F(ServerTest, SubmitAfterShutdownResolvesImmediatelyWithUnavailable) {
+  Server server(&engine());
+  server.Shutdown();
+  QueryRequest req;
+  req.query = Vec(2, 0.0);
+  req.options.k = 3;
+  auto future = server.Submit(req);
+  ASSERT_EQ(future.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  const QueryResult qr = future.get();
+  EXPECT_EQ(qr.status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(server.Stats().queries_rejected, 1u);
+
+  // SubmitBatch after shutdown: every entry resolves with the same error.
+  const auto results = server.SubmitBatch(MakeWorkload(3, /*seed=*/1));
+  ASSERT_EQ(results.size(), 3u);
+  for (const QueryResult& r : results) {
+    EXPECT_EQ(r.status.code(), StatusCode::kUnavailable);
+  }
+}
+
+TEST_F(ServerTest, ShutdownIsIdempotentAndDestructorIsSafe) {
+  std::future<QueryResult> future;
+  {
+    Server server(&engine());
+    QueryRequest req;
+    req.query = Vec(2, 0.1);
+    req.options.k = 2;
+    future = server.Submit(req);
+    server.Shutdown();
+    server.Shutdown(Server::DrainMode::kCancel);  // no-op, must not hang
+  }  // destructor after explicit shutdown: also a no-op
+  EXPECT_TRUE(future.get().ok());
+}
+
+}  // namespace
+}  // namespace prj
