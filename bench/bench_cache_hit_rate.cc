@@ -1,0 +1,154 @@
+// Cache hit rate and hit-path speedup of the CachedEngine decorator under
+// a skewed (repeat-heavy) workload, served through the Server front end.
+//
+// A pool of D distinct requests is sampled Q times with a bias toward low
+// pool indices (min of two uniform draws), modelling the head-heavy query
+// distribution a public service sees. The workload runs twice through a
+// Server over a CachedEngine: the first pass mixes misses and hits, the
+// second is fully warm. Reported per pass: wall time, q/s, hit rate from
+// ServerStats (the engine's counters surfaced through the QueryEngine
+// interface), and the warm-over-cold speedup.
+//
+// Gates (exit 1, failing the Release CI step):
+//   * every cached result must be bit-identical to the undecorated
+//     engine's answer for the same request (hit path exactness);
+//   * the measured hit rate must be > 0 after pass 1 and equal to 1 in
+//     pass 2 (every warm query hits).
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "cache/cached_engine.h"
+#include "common/random.h"
+#include "common/timer.h"
+#include "core/engine.h"
+#include "server/server.h"
+#include "workload/synthetic.h"
+
+namespace prj {
+namespace {
+
+int Run() {
+  const bool smoke = bench::SmokeMode();
+  const int n = 2;
+  const int count = smoke ? 1500 : 8000;
+  const int pool_size = smoke ? 12 : 48;
+  const int q_count = smoke ? 64 : 512;
+
+  SyntheticSpec spec;
+  spec.dim = 2;
+  spec.count = count;
+  spec.density = 50;
+  spec.seed = 23;
+  const auto rels = GenerateProblem(n, spec);
+  const SumLogEuclideanScoring scoring(1.0, 1.0, 1.0);
+
+  auto engine = Engine::Create(rels, AccessKind::kDistance, &scoring);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "Engine::Create failed: %s\n",
+                 engine.status().ToString().c_str());
+    return 1;
+  }
+
+  Rng rng(7);
+  std::vector<QueryRequest> pool;
+  pool.reserve(static_cast<size_t>(pool_size));
+  for (int i = 0; i < pool_size; ++i) {
+    QueryRequest req;
+    req.query = rng.UniformInCube(2, -1.0, 1.0);
+    req.options.k = 10;
+    req.options.Apply(kTBPA);
+    pool.push_back(std::move(req));
+  }
+  std::vector<QueryRequest> workload;
+  workload.reserve(static_cast<size_t>(q_count));
+  for (int i = 0; i < q_count; ++i) {
+    // Head-heavy: min of two uniform draws biases toward low indices.
+    const uint64_t a = rng.NextBounded(static_cast<uint64_t>(pool_size));
+    const uint64_t b = rng.NextBounded(static_cast<uint64_t>(pool_size));
+    workload.push_back(pool[static_cast<size_t>(std::min(a, b))]);
+  }
+
+  // Per-pool-entry baseline from the undecorated engine, expanded to one
+  // expected result per workload entry: the exactness reference for every
+  // cached answer.
+  const auto baseline = engine->RunBatch(pool);
+  std::vector<QueryResult> expected;
+  expected.reserve(workload.size());
+  for (const QueryRequest& req : workload) {
+    for (size_t p = 0; p < pool.size(); ++p) {
+      if (CanonicalRequestEqual(pool[p], req)) {
+        expected.push_back(baseline[p]);
+        break;
+      }
+    }
+  }
+
+  CachedEngine cached(&*engine);
+  ServerOptions server_opts;
+  server_opts.num_workers = 4;
+  server_opts.queue_capacity = static_cast<size_t>(q_count);
+  Server server(&cached, server_opts);
+
+  std::printf(
+      "cache_hit_rate: Server(4 workers) over CachedEngine over Engine "
+      "(n=%d, %d tuples/relation, pool=%d distinct, Q=%d, K=10, TBPA)\n\n",
+      n, count, pool_size, q_count);
+  std::printf("%6s %10s %10s %10s %10s %10s\n", "pass", "total_ms", "q/s",
+              "hits", "misses", "hit_rate");
+
+  double cold_seconds = 0.0, warm_seconds = 0.0;
+  uint64_t prev_hits = 0, prev_misses = 0;
+  for (int pass = 1; pass <= 2; ++pass) {
+    WallTimer timer;
+    const auto results = server.SubmitBatch(workload);
+    const double seconds = timer.ElapsedSeconds();
+    if (pass == 1) cold_seconds = seconds;
+    if (pass == 2) warm_seconds = seconds;
+
+    // Exactness gate: every answer equals the undecorated baseline.
+    const std::string label = "pass " + std::to_string(pass);
+    if (!bench::BitIdentical(results, expected, label.c_str())) return 1;
+
+    const ServerStats stats = server.Stats();
+    const uint64_t pass_hits = stats.cache_hits - prev_hits;
+    const uint64_t pass_misses = stats.cache_misses - prev_misses;
+    prev_hits = stats.cache_hits;
+    prev_misses = stats.cache_misses;
+    const double hit_rate =
+        static_cast<double>(pass_hits) /
+        static_cast<double>(pass_hits + pass_misses);
+    std::printf("%6d %10.2f %10.0f %10llu %10llu %9.1f%%\n", pass,
+                seconds * 1e3, q_count / seconds,
+                static_cast<unsigned long long>(pass_hits),
+                static_cast<unsigned long long>(pass_misses),
+                hit_rate * 100.0);
+
+    if (pass == 1 && pass_hits == 0) {
+      std::fprintf(stderr,
+                   "FAIL: zero cache hits on a workload with %d distinct "
+                   "requests over %d queries\n",
+                   pool_size, q_count);
+      return 1;
+    }
+    if (pass == 2 && pass_misses != 0) {
+      std::fprintf(stderr,
+                   "FAIL: %llu misses on the fully warm pass (expected 0)\n",
+                   static_cast<unsigned long long>(pass_misses));
+      return 1;
+    }
+  }
+
+  std::printf(
+      "\nwarm/cold speedup: %.2fx; every answer bit-identical to the "
+      "undecorated engine.\n",
+      cold_seconds / warm_seconds);
+  return 0;
+}
+
+}  // namespace
+}  // namespace prj
+
+int main() { return prj::Run(); }

@@ -1,0 +1,144 @@
+// Shard-count sweep of the scatter-gather ShardedEngine, checksum-gated
+// against the unsharded Engine.
+//
+// For each partitions-per-relation value P we build a ShardedEngine
+// (fan-out P^n per-shard engines over shared per-partition indexes), run
+// the same Q-query workload through the QueryEngine interface, and report
+// build time, batch wall time, queries/second, the aggregate sumDepths
+// ratio vs the unsharded engine (the scatter's extra shallow pulls), and
+// the per-query wall-clock makespan (the aggregate's max-across-shards
+// total_seconds, i.e. an idealized parallel fan-out).
+//
+// Gate (exit 1, failing the Release CI step): every row's results must be
+// bit-identical to the unsharded engine -- same scores (exact), same
+// member ids, same order -- for both partitioners.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "common/timer.h"
+#include "core/engine.h"
+#include "shard/sharded_engine.h"
+#include "workload/synthetic.h"
+
+namespace prj {
+namespace {
+
+uint64_t SumDepths(const std::vector<QueryResult>& results) {
+  uint64_t total = 0;
+  for (const QueryResult& qr : results) total += qr.stats.sum_depths;
+  return total;
+}
+
+int Run() {
+  const bool smoke = bench::SmokeMode();
+  const int n = 2;
+  const int count = smoke ? 1500 : 8000;
+  const int q_count = smoke ? 24 : 96;
+  const std::vector<uint32_t> partition_counts =
+      smoke ? std::vector<uint32_t>{1, 2, 3}
+            : std::vector<uint32_t>{1, 2, 4, 6};
+
+  SyntheticSpec spec;
+  spec.dim = 2;
+  spec.count = count;
+  spec.density = 50;
+  spec.seed = 17;
+  const auto rels = GenerateProblem(n, spec);
+  const SumLogEuclideanScoring scoring(1.0, 1.0, 1.0);
+
+  auto engine = Engine::Create(rels, AccessKind::kDistance, &scoring);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "Engine::Create failed: %s\n",
+                 engine.status().ToString().c_str());
+    return 1;
+  }
+
+  Rng rng(4242);
+  std::vector<QueryRequest> workload;
+  workload.reserve(static_cast<size_t>(q_count));
+  for (int i = 0; i < q_count; ++i) {
+    QueryRequest req;
+    req.query = rng.UniformInCube(2, -1.0, 1.0);
+    req.options.k = 10;
+    req.options.Apply(kTBPA);
+    workload.push_back(std::move(req));
+  }
+
+  WallTimer base_timer;
+  const auto baseline = engine->RunBatch(workload);
+  const double base_seconds = base_timer.ElapsedSeconds();
+  const uint64_t base_depths = SumDepths(baseline);
+  for (const QueryResult& qr : baseline) {
+    if (!qr.ok()) {
+      std::fprintf(stderr, "baseline query failed: %s\n",
+                   qr.status.ToString().c_str());
+      return 1;
+    }
+  }
+
+  std::printf(
+      "shard_scaling: ShardedEngine vs unsharded Engine (distance access, "
+      "R-tree backend, n=%d, %d tuples/relation, Q=%d, K=10, TBPA)\n",
+      n, count, q_count);
+  std::printf("unsharded: %.2f ms (%.0f q/s), sumDepths=%llu\n\n",
+              base_seconds * 1e3, q_count / base_seconds,
+              static_cast<unsigned long long>(base_depths));
+  std::printf("%9s %6s %8s %11s %11s %10s %12s %13s\n", "scheme", "parts",
+              "fan_out", "build_ms", "batch_ms", "q/s", "depth_ratio",
+              "makespan_us");
+
+  for (const PartitionScheme scheme :
+       {PartitionScheme::kHash, PartitionScheme::kStrTile}) {
+    const char* scheme_name =
+        scheme == PartitionScheme::kHash ? "hash" : "str-tile";
+    for (const uint32_t parts : partition_counts) {
+      ShardedEngineOptions opts;
+      opts.partitions_per_relation = parts;
+      opts.scheme = scheme;
+      WallTimer build_timer;
+      auto sharded = ShardedEngine::Create(rels, AccessKind::kDistance,
+                                           &scoring, opts);
+      const double build_seconds = build_timer.ElapsedSeconds();
+      if (!sharded.ok()) {
+        std::fprintf(stderr, "ShardedEngine::Create(%s, %u) failed: %s\n",
+                     scheme_name, parts, sharded.status().ToString().c_str());
+        return 1;
+      }
+      const QueryEngine& iface = *sharded;  // benches drive the interface
+
+      WallTimer timer;
+      const auto results = iface.RunBatch(workload);
+      const double seconds = timer.ElapsedSeconds();
+      const std::string label =
+          std::string(scheme_name) + "/p" + std::to_string(parts);
+      if (!bench::BitIdentical(results, baseline, label.c_str())) return 1;
+
+      // Average per-query makespan: the aggregate total_seconds is the max
+      // across shards, i.e. the wall time of an idealized parallel fan-out.
+      double makespan = 0.0;
+      for (const QueryResult& qr : results) makespan += qr.stats.total_seconds;
+      makespan /= results.empty() ? 1 : static_cast<double>(results.size());
+
+      std::printf("%9s %6u %8zu %11.2f %11.2f %10.0f %12.3f %13.1f\n",
+                  scheme_name, parts, iface.fan_out(), build_seconds * 1e3,
+                  seconds * 1e3, q_count / seconds,
+                  static_cast<double>(SumDepths(results)) /
+                      static_cast<double>(base_depths),
+                  makespan * 1e6);
+    }
+  }
+
+  std::printf(
+      "\nevery row is bit-identical to the unsharded engine (exact scores, "
+      "ids and order); depth_ratio > 1 is the scatter's extra shallow "
+      "pulls, makespan_us the max-across-shards per-query wall time.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace prj
+
+int main() { return prj::Run(); }

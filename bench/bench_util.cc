@@ -111,6 +111,29 @@ const std::vector<AlgorithmPreset>& AllPresets() {
   return presets;
 }
 
+bool BitIdentical(const std::vector<QueryResult>& got,
+                  const std::vector<QueryResult>& want, const char* label) {
+  if (got.size() != want.size()) {
+    std::fprintf(stderr, "FAIL(%s): %zu results vs %zu expected\n", label,
+                 got.size(), want.size());
+    return false;
+  }
+  for (size_t i = 0; i < got.size(); ++i) {
+    if (!got[i].ok() || !want[i].ok()) {
+      std::fprintf(stderr, "FAIL(%s): query %zu status mismatch\n", label, i);
+      return false;
+    }
+    std::string why;
+    if (!BitIdenticalResults(got[i].combinations, want[i].combinations,
+                             &why)) {
+      std::fprintf(stderr, "FAIL(%s): query %zu: %s\n", label, i,
+                   why.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
 std::string FormatDepths(const CellResult& r) {
   char buf[64];
   if (r.runs == 0) return "DNF";

@@ -74,6 +74,13 @@ CellResult RunFixedInstance(const std::vector<Relation>& relations,
 /// The four algorithms in the paper's plotting order.
 const std::vector<AlgorithmPreset>& AllPresets();
 
+/// Exact result-list comparison shared by the checksum-gated benches
+/// (shard scaling, cache hit rate): true iff both lists have the same
+/// statuses and sizes and every combination matches on exact score and
+/// member ids. Prints the first divergence to stderr, prefixed `label`.
+bool BitIdentical(const std::vector<QueryResult>& got,
+                  const std::vector<QueryResult>& want, const char* label);
+
 /// Formats "12.3" / "0.45(38%)" / "DNF" cells.
 std::string FormatDepths(const CellResult& r);
 std::string FormatCpu(const CellResult& r);      // total(bound%)

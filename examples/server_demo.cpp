@@ -1,22 +1,29 @@
-// Server demo: the concurrent serving front end over one shared Engine.
+// Server demo: the concurrent serving front end over the full QueryEngine
+// stack -- a result cache over a sharded scatter-gather engine.
 //
 // batched_engine showed the amortized API -- one Engine::Create, then a
-// serial RunBatch. This demo adds the serving layer on top: a Server with
-// a fixed worker pool answering queries concurrently, three ways --
+// serial RunBatch. This demo composes the serving stack on top: the
+// relations are partitioned across a ShardedEngine (2 parts per relation,
+// fan-out 4), wrapped in a CachedEngine, and served by a Server with a
+// fixed worker pool -- all through the one QueryEngine interface:
 //
 //   1. async: Submit returns a std::future the caller collects later;
-//   2. batch: SubmitBatch fans a whole batch across the pool and blocks;
+//   2. batch: SubmitBatch fans a whole batch across the pool and blocks
+//      (repeated once, so the second burst hits the result cache);
 //   3. stats + graceful shutdown: aggregate p50/p99 latency, queue
-//      high-water mark, and a drain that finishes the backlog.
+//      high-water mark, cache hits/misses/evictions, shard fan-out, and
+//      a drain that finishes the backlog.
 //
 //   $ ./examples/server_demo
 #include <cstdio>
 #include <future>
 #include <vector>
 
+#include "cache/cached_engine.h"
 #include "common/random.h"
 #include "core/engine.h"
 #include "server/server.h"
+#include "shard/sharded_engine.h"
 
 int main() {
   using namespace prj;
@@ -31,22 +38,36 @@ int main() {
   }
   const SumLogEuclideanScoring scoring(/*ws=*/1.0, /*wq=*/1.0, /*wmu=*/1.0);
 
-  // Preprocess once; the engine stays immutable and shared from here on.
-  auto engine = Engine::Create({restaurants, cafes}, AccessKind::kDistance,
-                               &scoring);
+  // Preprocess once: partition each relation into 2 parts and build the
+  // 2x2 = 4 per-shard engines over shared per-partition R-trees. The
+  // sharded engine's answers are bit-identical to a monolithic Engine.
+  ShardedEngineOptions shard_opts;
+  shard_opts.partitions_per_relation = 2;
+  shard_opts.scheme = PartitionScheme::kStrTile;
+  auto engine = ShardedEngine::Create({restaurants, cafes},
+                                      AccessKind::kDistance, &scoring,
+                                      shard_opts);
   if (!engine.ok()) {
-    std::fprintf(stderr, "Engine::Create failed: %s\n",
+    std::fprintf(stderr, "ShardedEngine::Create failed: %s\n",
                  engine.status().ToString().c_str());
     return 1;
   }
 
-  // Stand up the service: 4 workers pulling from a bounded request queue.
+  // Decorate with a query-result cache (engines are immutable, so cached
+  // answers never go stale) and stand up the service: 4 workers pulling
+  // from a bounded request queue, all through the QueryEngine interface.
+  QueryCacheOptions cache_opts;
+  cache_opts.capacity = 256;
+  CachedEngine cached(&*engine, cache_opts);
   ServerOptions server_opts;
   server_opts.num_workers = 4;
   server_opts.queue_capacity = 64;
-  Server server(&*engine, server_opts);
-  std::printf("server up: %d workers, queue capacity %zu\n\n",
-              server.num_workers(), server_opts.queue_capacity);
+  Server server(&cached, server_opts);
+  std::printf(
+      "server up: %d workers, queue capacity %zu, shard fan-out %zu "
+      "(%u parts/relation, str-tile), cache capacity %zu\n\n",
+      server.num_workers(), server_opts.queue_capacity, cached.fan_out(),
+      engine->partitions_per_relation(), cache_opts.capacity);
 
   // 1) Async: submit two users' queries, do other work, collect later.
   QueryRequest first;
@@ -71,6 +92,8 @@ int main() {
   }
 
   // 2) Batch: a burst of users, fanned across the pool, results in order.
+  //    The same burst runs twice -- the second round is answered from the
+  //    result cache (watch the hits counter below).
   std::vector<QueryRequest> burst;
   for (int user = 0; user < 12; ++user) {
     QueryRequest req;
@@ -79,23 +102,27 @@ int main() {
     req.options.Apply(kTBPA);
     burst.push_back(std::move(req));
   }
-  const auto results = server.SubmitBatch(burst);
-  for (size_t user = 0; user < results.size(); ++user) {
-    const QueryResult& qr = results[user];
-    if (!qr.ok()) {
-      std::fprintf(stderr, "user %zu failed: %s\n", user,
-                   qr.status.ToString().c_str());
-      return 1;
+  for (int round = 0; round < 2; ++round) {
+    const auto results = server.SubmitBatch(burst);
+    for (size_t user = 0; user < results.size(); ++user) {
+      const QueryResult& qr = results[user];
+      if (!qr.ok()) {
+        std::fprintf(stderr, "round %d user %zu failed: %s\n", round, user,
+                     qr.status.ToString().c_str());
+        return 1;
+      }
+      if (round > 0) continue;  // print each user once
+      const ResultCombination& best = qr.combinations.front();
+      std::printf("user %2zu: restaurant #%3lld + cafe #%3lld  score %6.3f\n",
+                  user, static_cast<long long>(best.tuples[0].id),
+                  static_cast<long long>(best.tuples[1].id), best.score);
     }
-    const ResultCombination& best = qr.combinations.front();
-    std::printf("user %2zu: restaurant #%3lld + cafe #%3lld  score %6.3f\n",
-                user, static_cast<long long>(best.tuples[0].id),
-                static_cast<long long>(best.tuples[1].id), best.score);
   }
 
   // 3) Aggregate stats, then a graceful drain: queued work is finished,
   //    and a Submit after shutdown fails fast with kUnavailable instead
-  //    of hanging.
+  //    of hanging. Cache counters and the shard fan-out come from the
+  //    engine stack through the QueryEngine interface.
   const ServerStats stats = server.Stats();
   std::printf(
       "\nstats: served=%llu failed=%llu rejected=%llu  "
@@ -105,6 +132,12 @@ int main() {
       static_cast<unsigned long long>(stats.queries_rejected),
       stats.latency_p50_seconds * 1e3, stats.latency_p99_seconds * 1e3,
       stats.queue_high_water);
+  std::printf(
+      "cache: hits=%llu misses=%llu evictions=%llu  shard fan-out=%zu\n",
+      static_cast<unsigned long long>(stats.cache_hits),
+      static_cast<unsigned long long>(stats.cache_misses),
+      static_cast<unsigned long long>(stats.cache_evictions),
+      stats.shard_fan_out);
 
   server.Shutdown(Server::DrainMode::kDrain);
   auto late = server.Submit(first);

@@ -1,0 +1,134 @@
+#include "access/partition.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace prj {
+namespace {
+
+// splitmix64 finalizer (public domain, Steele et al.): ids are often
+// small consecutive integers, so mix them before taking the residue.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// Rank-based boundary: element i of n goes to bucket i*buckets/n, giving
+// bucket sizes that differ by at most one.
+uint32_t BucketOfRank(size_t rank, size_t n, uint32_t buckets) {
+  PRJ_CHECK_GT(n, 0u);
+  return static_cast<uint32_t>(rank * buckets / n);
+}
+
+}  // namespace
+
+std::vector<uint32_t> HashPartitioner::Assign(const Relation& relation,
+                                              uint32_t parts) const {
+  PRJ_CHECK_GE(parts, 1u);
+  std::vector<uint32_t> assignment;
+  assignment.reserve(relation.size());
+  for (const Tuple& t : relation.tuples()) {
+    assignment.push_back(
+        static_cast<uint32_t>(Mix64(static_cast<uint64_t>(t.id)) % parts));
+  }
+  return assignment;
+}
+
+std::vector<uint32_t> StrTilePartitioner::Assign(const Relation& relation,
+                                                 uint32_t parts) const {
+  PRJ_CHECK_GE(parts, 1u);
+  const size_t n = relation.size();
+  std::vector<uint32_t> assignment(n, 0);
+  if (n == 0 || parts == 1) return assignment;
+
+  // Slab count: for >= 2 dimensions, the largest divisor of `parts` not
+  // above sqrt(parts) (so slabs x tiles == parts exactly); 1-d relations
+  // get pure slabs along the single axis.
+  uint32_t slabs = parts;
+  if (relation.dim() >= 2) {
+    slabs = 1;
+    const double exact = std::sqrt(static_cast<double>(parts));
+    const auto root = static_cast<uint32_t>(exact);
+    for (uint32_t d = root; d >= 1; --d) {
+      if (parts % d == 0) {
+        slabs = d;
+        break;
+      }
+    }
+  }
+  const uint32_t tiles = parts / slabs;
+
+  std::vector<uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    const Tuple& ta = relation.tuple(a);
+    const Tuple& tb = relation.tuple(b);
+    if (ta.x[0] != tb.x[0]) return ta.x[0] < tb.x[0];
+    return ta.id < tb.id;
+  });
+
+  for (uint32_t slab = 0; slab < slabs; ++slab) {
+    const size_t lo = slab * n / slabs;
+    const size_t hi = (slab + 1) * n / slabs;
+    if (lo >= hi) continue;
+    std::sort(order.begin() + static_cast<ptrdiff_t>(lo),
+              order.begin() + static_cast<ptrdiff_t>(hi),
+              [&](uint32_t a, uint32_t b) {
+                const Tuple& ta = relation.tuple(a);
+                const Tuple& tb = relation.tuple(b);
+                if (relation.dim() >= 2 && ta.x[1] != tb.x[1]) {
+                  return ta.x[1] < tb.x[1];
+                }
+                return ta.id < tb.id;
+              });
+    for (size_t r = lo; r < hi; ++r) {
+      assignment[order[r]] =
+          slab * tiles + BucketOfRank(r - lo, hi - lo, tiles);
+    }
+  }
+  return assignment;
+}
+
+std::unique_ptr<Partitioner> MakePartitioner(PartitionScheme scheme) {
+  switch (scheme) {
+    case PartitionScheme::kHash:
+      return std::make_unique<HashPartitioner>();
+    case PartitionScheme::kStrTile:
+      return std::make_unique<StrTilePartitioner>();
+  }
+  PRJ_CHECK(false) << "unknown PartitionScheme";
+  return nullptr;
+}
+
+std::vector<Relation> PartitionRelation(const Relation& relation,
+                                        const std::vector<uint32_t>& assignment,
+                                        uint32_t parts) {
+  PRJ_CHECK_GE(parts, 1u);
+  PRJ_CHECK_EQ(assignment.size(), relation.size());
+  std::vector<Relation> out;
+  out.reserve(parts);
+  for (uint32_t p = 0; p < parts; ++p) {
+    out.emplace_back(relation.name() + "/" + std::to_string(p), relation.dim(),
+                     relation.sigma_max());
+  }
+  for (size_t i = 0; i < relation.size(); ++i) {
+    PRJ_CHECK_LT(assignment[i], parts);
+    out[assignment[i]].Add(relation.tuple(i));
+  }
+  return out;
+}
+
+std::vector<Relation> PartitionRelation(const Relation& relation,
+                                        const Partitioner& partitioner,
+                                        uint32_t parts) {
+  return PartitionRelation(relation, partitioner.Assign(relation, parts),
+                           parts);
+}
+
+}  // namespace prj

@@ -1,0 +1,82 @@
+// Relation partitioning for the sharded scatter-gather engine.
+//
+// A Partitioner assigns every tuple of a relation to one of `parts`
+// disjoint sub-relations. Two strategies are provided, the classic choices
+// of the partition-and-fan-out kNN-join literature:
+//   * HashPartitioner    -- splitmix64 over the tuple id: load-balanced,
+//                           oblivious to geometry;
+//   * StrTilePartitioner -- STR-style spatial tiles (sort by x[0] into
+//                           slabs, each slab by x[1] into tiles): tuples
+//                           near each other land in the same part, so a
+//                           query's top combinations concentrate in few
+//                           shards and the others terminate shallow.
+// Both are deterministic: the same relation and part count always produce
+// the same assignment, a prerequisite for the bit-identical sharded
+// results the tests enforce.
+//
+// Partitions preserve each tuple verbatim (id, score, vector) and inherit
+// the parent relation's dim and sigma_max; sigma_max is an a-priori score
+// ceiling, so staying with the parent's (possibly loose) ceiling keeps
+// every per-shard execution correct.
+#ifndef PRJ_ACCESS_PARTITION_H_
+#define PRJ_ACCESS_PARTITION_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "access/relation.h"
+
+namespace prj {
+
+/// Assigns tuples of a relation to parts; see file comment.
+class Partitioner {
+ public:
+  virtual ~Partitioner() = default;
+
+  virtual const char* name() const = 0;
+
+  /// One entry per tuple of `relation` (in tuple order), each in
+  /// [0, parts). `parts` must be >= 1.
+  virtual std::vector<uint32_t> Assign(const Relation& relation,
+                                       uint32_t parts) const = 0;
+};
+
+/// splitmix64(id) % parts: stateless, geometry-oblivious, load-balanced.
+class HashPartitioner final : public Partitioner {
+ public:
+  const char* name() const override { return "hash"; }
+  std::vector<uint32_t> Assign(const Relation& relation,
+                               uint32_t parts) const override;
+};
+
+/// Two-level STR (sort-tile-recursive) tiling: slabs along x[0], tiles
+/// along x[1] within each slab (by id for 1-d relations), all splits by
+/// rank so part sizes differ by at most one tuple per level.
+class StrTilePartitioner final : public Partitioner {
+ public:
+  const char* name() const override { return "str-tile"; }
+  std::vector<uint32_t> Assign(const Relation& relation,
+                               uint32_t parts) const override;
+};
+
+/// Named partitioning strategies (ShardedEngineOptions selects one).
+enum class PartitionScheme { kHash, kStrTile };
+
+std::unique_ptr<Partitioner> MakePartitioner(PartitionScheme scheme);
+
+/// Materializes the parts described by `assignment` (one entry per tuple,
+/// each < parts): part i is named "<name>/<i>" and inherits dim and
+/// sigma_max. Tuples keep their relative order.
+std::vector<Relation> PartitionRelation(const Relation& relation,
+                                        const std::vector<uint32_t>& assignment,
+                                        uint32_t parts);
+
+/// Convenience: Assign + materialize in one call.
+std::vector<Relation> PartitionRelation(const Relation& relation,
+                                        const Partitioner& partitioner,
+                                        uint32_t parts);
+
+}  // namespace prj
+
+#endif  // PRJ_ACCESS_PARTITION_H_

@@ -1,0 +1,52 @@
+#include "cache/cached_engine.h"
+
+#include <memory>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace prj {
+
+CachedEngine::CachedEngine(const QueryEngine* inner, QueryCacheOptions options)
+    : inner_(inner), cache_(options) {
+  PRJ_CHECK(inner != nullptr);
+}
+
+Result<std::vector<ResultCombination>> CachedEngine::TopK(
+    const Vec& query, const ProxRJOptions& options,
+    ExecStats* stats_out) const {
+  if (options.trace != nullptr) {
+    // Tracing observes the execution itself; never satisfy it from cache.
+    return inner_->TopK(query, options, stats_out);
+  }
+  // Not const: on a miss the key moves into the cache's LRU node.
+  std::string key = CanonicalRequestKey(query, options);
+  const uint64_t fingerprint = KeyFingerprint(key);
+  if (auto entry = cache_.Lookup(key, fingerprint)) {
+    if (stats_out) {
+      // A hit pulls nothing: zero cost, by definition complete.
+      *stats_out = ExecStats{};
+      stats_out->depths.assign(inner_->num_relations(), 0);
+      stats_out->completed = true;
+    }
+    return entry->combinations;
+  }
+  ExecStats stats;
+  auto result = inner_->TopK(query, options, &stats);
+  if (result.ok() && stats.completed) {
+    auto entry = std::make_shared<QueryCache::Entry>();
+    entry->combinations = *result;
+    cache_.Insert(std::move(key), fingerprint, std::move(entry));
+  }
+  if (stats_out) *stats_out = std::move(stats);
+  return result;
+}
+
+CacheCounters CachedEngine::cache_counters() const {
+  const CacheCounters mine = cache_.counters();
+  const CacheCounters theirs = inner_->cache_counters();
+  return CacheCounters{mine.hits + theirs.hits, mine.misses + theirs.misses,
+                       mine.evictions + theirs.evictions};
+}
+
+}  // namespace prj

@@ -1,0 +1,60 @@
+// CachedEngine: a query-result cache decorator over any QueryEngine.
+//
+// Wraps an inner engine (monolithic Engine, ShardedEngine, even another
+// CachedEngine) and serves repeated queries from a sharded-lock LRU
+// QueryCache keyed on the canonical request encoding. Because every
+// engine in this library is immutable after construction, a cached answer
+// can never go stale -- there is no invalidation machinery, only LRU
+// eviction under capacity pressure.
+//
+// Hit-path exactness: the cache key covers everything that determines the
+// answer (see core/query_engine.h), and entries store the combinations
+// verbatim, so a hit returns bit-identical results to re-running the
+// query. A hit's ExecStats reports what the hit actually cost -- nothing
+// (zero depths/pulls, completed) -- so aggregate cost accounting (e.g.
+// ServerStats::sum_depths) stays truthful under caching.
+//
+// Two classes of results bypass the cache:
+//   * traced queries (options.trace != nullptr): replaying from cache
+//     would silently skip the caller's trace observer;
+//   * incomplete executions (a max_pulls / time budget rail tripped):
+//     their output is timing-dependent, not a function of the request.
+#ifndef PRJ_CACHE_CACHED_ENGINE_H_
+#define PRJ_CACHE_CACHED_ENGINE_H_
+
+#include "cache/query_cache.h"
+#include "core/query_engine.h"
+
+namespace prj {
+
+class CachedEngine : public QueryEngine {
+ public:
+  /// `inner` must outlive this decorator and is only used through its
+  /// const (thread-safe) API.
+  explicit CachedEngine(const QueryEngine* inner,
+                        QueryCacheOptions options = {});
+
+  Result<std::vector<ResultCombination>> TopK(
+      const Vec& query, const ProxRJOptions& options,
+      ExecStats* stats_out = nullptr) const override;
+
+  AccessKind kind() const override { return inner_->kind(); }
+  int dim() const override { return inner_->dim(); }
+  size_t num_relations() const override { return inner_->num_relations(); }
+  size_t fan_out() const override { return inner_->fan_out(); }
+  /// This cache's counters plus the inner engine's (for stacked caches).
+  CacheCounters cache_counters() const override;
+
+  const QueryEngine& inner() const { return *inner_; }
+  const QueryCache& cache() const { return cache_; }
+
+ private:
+  const QueryEngine* inner_;
+  /// TopK is const yet must touch LRU order and counters; all mutation is
+  /// internally synchronized (sharded locks + atomics).
+  mutable QueryCache cache_;
+};
+
+}  // namespace prj
+
+#endif  // PRJ_CACHE_CACHED_ENGINE_H_

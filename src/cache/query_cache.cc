@@ -1,0 +1,85 @@
+#include "cache/query_cache.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace prj {
+
+QueryCache::QueryCache(QueryCacheOptions options)
+    : capacity_(std::max<size_t>(1, options.capacity)) {
+  const size_t n =
+      std::min(std::max<size_t>(1, options.lock_shards), capacity_);
+  shards_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+    // Spread the capacity as evenly as possible; the first capacity_ % n
+    // shards take one extra entry.
+    shards_.back()->capacity = capacity_ / n + (i < capacity_ % n ? 1 : 0);
+  }
+}
+
+std::shared_ptr<const QueryCache::Entry> QueryCache::Lookup(
+    const std::string& key, uint64_t fingerprint) {
+  Shard& shard = ShardFor(fingerprint);
+  std::shared_ptr<const Entry> found;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(std::string_view(key));
+    if (it != shard.index.end()) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      found = shard.lru.front().second;
+    }
+  }
+  if (found) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return found;
+}
+
+void QueryCache::Insert(std::string key, uint64_t fingerprint,
+                        std::shared_ptr<const Entry> entry) {
+  PRJ_CHECK(entry != nullptr);
+  Shard& shard = ShardFor(fingerprint);
+  uint64_t evicted = 0;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(std::string_view(key));
+    if (it != shard.index.end()) {
+      it->second->second = std::move(entry);
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    } else {
+      shard.lru.emplace_front(std::move(key), std::move(entry));
+      shard.index.emplace(std::string_view(shard.lru.front().first),
+                          shard.lru.begin());
+      while (shard.lru.size() > shard.capacity) {
+        shard.index.erase(std::string_view(shard.lru.back().first));
+        shard.lru.pop_back();
+        ++evicted;
+      }
+    }
+  }
+  if (evicted > 0) evictions_.fetch_add(evicted, std::memory_order_relaxed);
+}
+
+CacheCounters QueryCache::counters() const {
+  CacheCounters c;
+  c.hits = hits_.load(std::memory_order_relaxed);
+  c.misses = misses_.load(std::memory_order_relaxed);
+  c.evictions = evictions_.load(std::memory_order_relaxed);
+  return c;
+}
+
+size_t QueryCache::size() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->lru.size();
+  }
+  return total;
+}
+
+}  // namespace prj

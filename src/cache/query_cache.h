@@ -1,0 +1,99 @@
+// Sharded-lock LRU cache of query results.
+//
+// Keys are the canonical request encoding of core/query_engine.h (query
+// point + result-relevant options), so two requests share an entry exactly
+// when they are guaranteed the same answer. The key space is split across
+// `shards` independent LRU structures, each behind its own mutex, chosen
+// by the request fingerprint -- concurrent server workers serving
+// different queries contend only 1/shards of the time. Hit/miss/eviction
+// counters are relaxed atomics off the lock.
+//
+// Values are immutable snapshots behind shared_ptr: a lookup hands back a
+// reference the caller can read lock-free even if the entry is evicted a
+// microsecond later. Because engines are immutable after Create, entries
+// never go stale and there is no invalidation path at all.
+#ifndef PRJ_CACHE_QUERY_CACHE_H_
+#define PRJ_CACHE_QUERY_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/query_engine.h"
+
+namespace prj {
+
+struct QueryCacheOptions {
+  /// Total cached results across all lock shards (>= 1; smaller values
+  /// are clamped). Per-shard capacity is split as evenly as possible.
+  size_t capacity = 1024;
+  /// Independent LRU + mutex shards (>= 1; clamped to capacity).
+  size_t lock_shards = 8;
+};
+
+class QueryCache {
+ public:
+  /// One cached answer: the combinations, verbatim. (No ExecStats: a hit
+  /// performs no pulls, so CachedEngine reports zero cost rather than
+  /// replaying the original execution's accounting.)
+  struct Entry {
+    std::vector<ResultCombination> combinations;
+  };
+
+  explicit QueryCache(QueryCacheOptions options = {});
+
+  QueryCache(const QueryCache&) = delete;
+  QueryCache& operator=(const QueryCache&) = delete;
+
+  /// Returns the entry for `key` (moving it to the front of its shard's
+  /// LRU) or nullptr. `fingerprint` must be RequestFingerprint of the same
+  /// request; it picks the lock shard. Counts a hit or a miss.
+  std::shared_ptr<const Entry> Lookup(const std::string& key,
+                                      uint64_t fingerprint);
+
+  /// Inserts (or refreshes) the entry, evicting the least recently used
+  /// entries of the shard past its capacity. Does not count a hit/miss.
+  /// Takes the key by value: callers done with it move it straight into
+  /// the LRU node.
+  void Insert(std::string key, uint64_t fingerprint,
+              std::shared_ptr<const Entry> entry);
+
+  CacheCounters counters() const;
+
+  /// Entries currently cached (point-in-time across shards).
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+  size_t lock_shards() const { return shards_.size(); }
+
+ private:
+  struct Shard {
+    std::mutex mu;
+    /// Front = most recently used. The list node owns the key string; the
+    /// map's string_view keys point into the nodes (stable across splice),
+    /// so each key is stored exactly once.
+    std::list<std::pair<std::string, std::shared_ptr<const Entry>>> lru;
+    std::unordered_map<std::string_view, decltype(lru)::iterator> index;
+    size_t capacity = 0;
+  };
+
+  Shard& ShardFor(uint64_t fingerprint) {
+    // The low bits feed unordered_map buckets; shard on the high ones.
+    return *shards_[(fingerprint >> 32) % shards_.size()];
+  }
+
+  size_t capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+};
+
+}  // namespace prj
+
+#endif  // PRJ_CACHE_QUERY_CACHE_H_

@@ -25,6 +25,28 @@ Status ValidateRelations(const std::vector<Relation>& relations, int dim,
 
 }  // namespace
 
+Status ValidateEngineInputs(const std::vector<Relation>& relations,
+                            AccessKind kind, const ScoringFunction* scoring) {
+  if (scoring == nullptr) {
+    return Status::InvalidArgument("scoring function must not be null");
+  }
+  if (relations.empty()) {
+    return Status::InvalidArgument("need at least one input relation");
+  }
+  if (relations.size() > 20) {
+    return Status::InvalidArgument("at most 20 input relations supported");
+  }
+  PRJ_RETURN_IF_ERROR(ValidateRelations(
+      relations, relations.front().dim(),
+      "relation '" + relations.front().name() + "'"));
+  if (kind == AccessKind::kDistance && !scoring->euclidean_metric()) {
+    return Status::FailedPrecondition(
+        "distance-based access streams in Euclidean order; use score-based "
+        "access with non-Euclidean scorers");
+  }
+  return Status::OK();
+}
+
 ProxRJ::ProxRJ(std::vector<std::unique_ptr<AccessSource>> sources,
                const ScoringFunction* scoring, Vec query,
                ProxRJOptions options)
@@ -68,23 +90,8 @@ Engine::Engine(AccessKind kind, const ScoringFunction* scoring,
 Result<Engine> Engine::Create(const std::vector<Relation>& relations,
                               AccessKind kind, const ScoringFunction* scoring,
                               Options options) {
-  if (scoring == nullptr) {
-    return Status::InvalidArgument("scoring function must not be null");
-  }
-  if (relations.empty()) {
-    return Status::InvalidArgument("need at least one input relation");
-  }
-  if (relations.size() > 20) {
-    return Status::InvalidArgument("at most 20 input relations supported");
-  }
+  PRJ_RETURN_IF_ERROR(ValidateEngineInputs(relations, kind, scoring));
   const int dim = relations.front().dim();
-  PRJ_RETURN_IF_ERROR(ValidateRelations(
-      relations, dim, "relation '" + relations.front().name() + "'"));
-  if (kind == AccessKind::kDistance && !scoring->euclidean_metric()) {
-    return Status::FailedPrecondition(
-        "distance-based access streams in Euclidean order; use score-based "
-        "access with non-Euclidean scorers");
-  }
   const bool use_rtree =
       kind == AccessKind::kDistance && options.backend == SourceBackend::kRTree;
   Engine engine(kind, scoring, options, dim);
@@ -99,6 +106,51 @@ Result<Engine> Engine::Create(const std::vector<Relation>& relations,
       engine.snapshots_.push_back(RelationSnapshot::Build(r));
     }
   }
+  return engine;
+}
+
+Result<Engine> Engine::FromCatalog(
+    AccessKind kind, const ScoringFunction* scoring, Options options,
+    std::vector<std::shared_ptr<const IndexedRelation>> indexes,
+    std::vector<std::shared_ptr<const RelationSnapshot>> snapshots) {
+  if (scoring == nullptr) {
+    return Status::InvalidArgument("scoring function must not be null");
+  }
+  if (indexes.empty() == snapshots.empty()) {
+    return Status::InvalidArgument(
+        "exactly one of indexes/snapshots must be non-empty");
+  }
+  const bool want_indexes =
+      kind == AccessKind::kDistance && options.backend == SourceBackend::kRTree;
+  if (want_indexes != !indexes.empty()) {
+    return Status::InvalidArgument(
+        "catalog type does not match the (kind, backend) pair: the R-tree "
+        "distance backend needs indexes, every other path needs snapshots");
+  }
+  if (kind == AccessKind::kDistance && !scoring->euclidean_metric()) {
+    return Status::FailedPrecondition(
+        "distance-based access streams in Euclidean order; use score-based "
+        "access with non-Euclidean scorers");
+  }
+  const size_t n = indexes.empty() ? snapshots.size() : indexes.size();
+  if (n > 20) {
+    return Status::InvalidArgument("at most 20 input relations supported");
+  }
+  const int dim = indexes.empty() ? snapshots.front()->dim()
+                                  : indexes.front()->dim();
+  for (const auto& index : indexes) {
+    if (index == nullptr || index->dim() != dim) {
+      return Status::InvalidArgument("catalog entries must agree on one dim");
+    }
+  }
+  for (const auto& snap : snapshots) {
+    if (snap == nullptr || snap->dim() != dim) {
+      return Status::InvalidArgument("catalog entries must agree on one dim");
+    }
+  }
+  Engine engine(kind, scoring, options, dim);
+  engine.indexes_ = std::move(indexes);
+  engine.snapshots_ = std::move(snapshots);
   return engine;
 }
 
@@ -151,27 +203,6 @@ Result<std::vector<ResultCombination>> Engine::TopK(
   plan.query = &query;
   plan.options = &options;
   return ExecuteQuery(plan, stats_out);
-}
-
-QueryResult Engine::RunOne(const QueryRequest& request) const {
-  QueryResult qr;
-  auto combinations = TopK(request.query, request.options, &qr.stats);
-  if (combinations.ok()) {
-    qr.combinations = std::move(*combinations);
-  } else {
-    qr.status = combinations.status();
-  }
-  return qr;
-}
-
-std::vector<QueryResult> Engine::RunBatch(
-    std::span<const QueryRequest> requests) const {
-  std::vector<QueryResult> results;
-  results.reserve(requests.size());
-  for (const QueryRequest& request : requests) {
-    results.push_back(RunOne(request));
-  }
-  return results;
 }
 
 }  // namespace prj

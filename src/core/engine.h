@@ -27,6 +27,7 @@
 #include "common/status.h"
 #include "common/vec.h"
 #include "core/executor.h"
+#include "core/query_engine.h"
 #include "core/scoring.h"
 
 namespace prj {
@@ -58,6 +59,12 @@ class ProxRJ {
   bool ran_ = false;
 };
 
+/// Shared construction-time validation of every engine front end (Engine,
+/// ShardedEngine): non-null scoring, 1..20 structurally sound relations
+/// agreeing on one dimension, Euclidean metric under distance access.
+Status ValidateEngineInputs(const std::vector<Relation>& relations,
+                            AccessKind kind, const ScoringFunction* scoring);
+
 /// Convenience wrapper: build sources for `relations` with the given access
 /// kind (`options.backend` selects the distance implementation) and run the
 /// operator.
@@ -65,22 +72,6 @@ Result<std::vector<ResultCombination>> RunProxRJ(
     const std::vector<Relation>& relations, AccessKind kind,
     const ScoringFunction& scoring, const Vec& query,
     const ProxRJOptions& options, ExecStats* stats_out = nullptr);
-
-/// One query of a batch: where to evaluate and how.
-struct QueryRequest {
-  Vec query;
-  ProxRJOptions options;
-};
-
-/// Outcome of one batched query. A failed query (bad options, dimension
-/// mismatch) carries its Status here instead of failing the whole batch.
-struct QueryResult {
-  Status status;
-  std::vector<ResultCombination> combinations;
-  ExecStats stats;
-
-  bool ok() const { return status.ok(); }
-};
 
 /// Construction-time choices of an Engine.
 struct EngineOptions {
@@ -107,9 +98,9 @@ struct EngineOptions {
 /// share no mutable state, so concurrent queries from multiple threads are
 /// safe (the underlying RTree supports concurrent reads). Server
 /// (server/server.h) builds directly on this guarantee; it holds the
-/// engine by pointer, so keep the Engine alive and un-moved while any
-/// server is running over it.
-class Engine {
+/// engine through the QueryEngine interface by pointer, so keep the Engine
+/// alive and un-moved while any server is running over it.
+class Engine : public QueryEngine {
  public:
   using Options = EngineOptions;
 
@@ -120,6 +111,19 @@ class Engine {
                                const ScoringFunction* scoring,
                                Options options = {});
 
+  /// Advanced: assembles an engine over prebuilt shared catalogs instead
+  /// of ingesting relations. ShardedEngine (shard/sharded_engine.h) uses
+  /// this to build each per-partition index exactly once and share it
+  /// among every shard engine that covers the partition. Exactly one of
+  /// `indexes`/`snapshots` must be non-empty, matching (kind, backend):
+  /// indexes for the R-tree distance backend, snapshots otherwise. The
+  /// catalogs are taken as already validated (they come from relations
+  /// that passed Create-style validation).
+  static Result<Engine> FromCatalog(
+      AccessKind kind, const ScoringFunction* scoring, Options options,
+      std::vector<std::shared_ptr<const IndexedRelation>> indexes,
+      std::vector<std::shared_ptr<const RelationSnapshot>> snapshots);
+
   Engine(Engine&&) = default;
   Engine& operator=(Engine&&) = default;
 
@@ -128,27 +132,12 @@ class Engine {
   /// when non-null, receives a fresh ExecStats for this query alone.
   Result<std::vector<ResultCombination>> TopK(
       const Vec& query, const ProxRJOptions& options,
-      ExecStats* stats_out = nullptr) const;
+      ExecStats* stats_out = nullptr) const override;
 
-  /// Evaluates one request and packages the outcome -- combinations on
-  /// success, the error Status otherwise, plus this query's ExecStats --
-  /// into a QueryResult. The shared building block of RunBatch and of
-  /// Server's workers, so serial and concurrent serving cannot drift in
-  /// how they report a query's result.
-  QueryResult RunOne(const QueryRequest& request) const;
-
-  /// Evaluates a batch of queries sequentially against the shared catalog.
-  /// Always returns one QueryResult per request, in order; per-query
-  /// failures are reported in QueryResult::status. For the concurrent
-  /// counterpart -- the same contract, fanned across a worker pool -- see
-  /// Server::SubmitBatch in server/server.h.
-  std::vector<QueryResult> RunBatch(
-      std::span<const QueryRequest> requests) const;
-
-  AccessKind kind() const { return kind_; }
+  AccessKind kind() const override { return kind_; }
   SourceBackend backend() const { return options_.backend; }
-  int dim() const { return dim_; }
-  size_t num_relations() const {
+  int dim() const override { return dim_; }
+  size_t num_relations() const override {
     return indexes_.empty() ? snapshots_.size() : indexes_.size();
   }
 

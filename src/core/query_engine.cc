@@ -1,0 +1,147 @@
+#include "core/query_engine.h"
+
+#include <cstring>
+#include <utility>
+
+namespace prj {
+
+QueryResult QueryEngine::RunOne(const QueryRequest& request) const {
+  QueryResult qr;
+  auto combinations = TopK(request.query, request.options, &qr.stats);
+  if (combinations.ok()) {
+    qr.combinations = std::move(*combinations);
+  } else {
+    qr.status = combinations.status();
+  }
+  return qr;
+}
+
+std::vector<QueryResult> QueryEngine::RunBatch(
+    std::span<const QueryRequest> requests) const {
+  std::vector<QueryResult> results;
+  results.reserve(requests.size());
+  for (const QueryRequest& request : requests) {
+    results.push_back(RunOne(request));
+  }
+  return results;
+}
+
+namespace {
+
+void AppendU64(uint64_t v, std::string* out) {
+  char bytes[sizeof(v)];
+  std::memcpy(bytes, &v, sizeof(v));
+  out->append(bytes, sizeof(v));
+}
+
+void AppendI64(int64_t v, std::string* out) {
+  AppendU64(static_cast<uint64_t>(v), out);
+}
+
+// Bit pattern with -0.0 canonicalized to +0.0: the two compare equal and
+// yield identical executions, so they must share one key.
+void AppendDouble(double v, std::string* out) {
+  if (v == 0.0) v = 0.0;
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  AppendU64(bits, out);
+}
+
+}  // namespace
+
+// Layout tripwire: if ProxRJOptions gains (or loses) a field, this fires
+// and forces a review of the canonical encoding below -- a forgotten
+// result-relevant field would make two different queries share one cache
+// key, i.e. silent wrong answers from CachedEngine. Update the encoding
+// (and the CanonicalRequestKeyTest field sweep) before bumping the size.
+static_assert(sizeof(ProxRJOptions) == 64,
+              "ProxRJOptions changed: audit AppendCanonicalOptions");
+
+void AppendCanonicalOptions(const ProxRJOptions& options, std::string* out) {
+  AppendI64(options.k, out);
+  out->push_back(static_cast<char>(options.bound));
+  out->push_back(static_cast<char>(options.pull));
+  AppendI64(options.dominance_period, out);
+  AppendI64(options.bound_update_period, out);
+  out->push_back(options.use_generic_qp ? 1 : 0);
+  AppendU64(options.max_pulls, out);
+  AppendDouble(options.time_budget_seconds, out);
+  AppendDouble(options.epsilon, out);
+}
+
+std::string CanonicalRequestKey(const Vec& query,
+                                const ProxRJOptions& options) {
+  std::string key;
+  key.reserve(static_cast<size_t>(query.dim() + 8) * sizeof(uint64_t));
+  AppendI64(query.dim(), &key);
+  for (int i = 0; i < query.dim(); ++i) {
+    AppendDouble(query[i], &key);
+  }
+  AppendCanonicalOptions(options, &key);
+  return key;
+}
+
+uint64_t KeyFingerprint(std::string_view key) {
+  uint64_t hash = 0xcbf29ce484222325ull;  // FNV-1a 64-bit offset basis
+  for (const char c : key) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+uint64_t RequestFingerprint(const Vec& query, const ProxRJOptions& options) {
+  return KeyFingerprint(CanonicalRequestKey(query, options));
+}
+
+bool CanonicalOptionsEqual(const ProxRJOptions& a, const ProxRJOptions& b) {
+  std::string ka, kb;
+  AppendCanonicalOptions(a, &ka);
+  AppendCanonicalOptions(b, &kb);
+  return ka == kb;
+}
+
+bool CanonicalRequestEqual(const QueryRequest& a, const QueryRequest& b) {
+  return CanonicalRequestKey(a) == CanonicalRequestKey(b);
+}
+
+namespace {
+
+void Explain(std::string* why, const std::string& message) {
+  if (why) *why = message;
+}
+
+}  // namespace
+
+bool BitIdenticalResults(const std::vector<ResultCombination>& a,
+                         const std::vector<ResultCombination>& b,
+                         std::string* why) {
+  if (a.size() != b.size()) {
+    Explain(why, std::to_string(a.size()) + " combinations vs " +
+                     std::to_string(b.size()));
+    return false;
+  }
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].score != b[i].score) {
+      Explain(why, "rank " + std::to_string(i) + ": scores differ");
+      return false;
+    }
+    if (a[i].tuples.size() != b[i].tuples.size()) {
+      Explain(why, "rank " + std::to_string(i) + ": member counts differ");
+      return false;
+    }
+    for (size_t j = 0; j < a[i].tuples.size(); ++j) {
+      if (a[i].tuples[j].id != b[i].tuples[j].id) {
+        Explain(why, "rank " + std::to_string(i) + " member " +
+                         std::to_string(j) + ": ids " +
+                         std::to_string(a[i].tuples[j].id) + " vs " +
+                         std::to_string(b[i].tuples[j].id));
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace prj

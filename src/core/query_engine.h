@@ -1,0 +1,169 @@
+// The polymorphic query-engine interface: the contract every execution
+// backend of the serving stack satisfies.
+//
+// Engine (core/engine.h) is the monolithic implementation; ShardedEngine
+// (shard/sharded_engine.h) scatter-gathers over partitioned per-shard
+// engines; CachedEngine (cache/cached_engine.h) decorates any of them with
+// a query-result cache. Server (server/server.h), RunBatch callers and the
+// benches all program against this interface, so the serving layers
+// compose freely: Server over CachedEngine over ShardedEngine is just
+// pointer plumbing.
+//
+// The contract: TopK is const, keeps no mutable state visible to callers,
+// and is safe to call concurrently from many threads. All implementations
+// must return bit-identical combinations for the same (query, options) --
+// the exactness guarantee the tests enforce across the whole lattice.
+//
+// This header is also home of the request/response vocabulary
+// (QueryRequest, QueryResult) and of the *canonical request key*: the one
+// byte-level encoding of everything that determines a query's answer,
+// shared by the result cache and by every test that needs request
+// equality -- so there is exactly one notion of "the same query".
+#ifndef PRJ_CORE_QUERY_ENGINE_H_
+#define PRJ_CORE_QUERY_ENGINE_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "access/source.h"
+#include "common/status.h"
+#include "common/vec.h"
+#include "core/executor.h"
+
+namespace prj {
+
+/// One query of a batch: where to evaluate and how.
+struct QueryRequest {
+  Vec query;
+  ProxRJOptions options;
+};
+
+/// Outcome of one query. A failed query (bad options, dimension mismatch)
+/// carries its Status here instead of failing the whole batch.
+struct QueryResult {
+  Status status;
+  std::vector<ResultCombination> combinations;
+  ExecStats stats;
+
+  bool ok() const { return status.ok(); }
+};
+
+/// Result-cache counters surfaced through the QueryEngine interface (all
+/// zero for engines without a cache layer). Servers merge these into their
+/// aggregate stats without knowing which decorator, if any, is present.
+struct CacheCounters {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+};
+
+/// Abstract top-K query engine: TopK / RunBatch plus the metadata a
+/// serving layer needs (dimensionality, access kind, scatter fan-out,
+/// cache counters). Implementations are immutable after construction;
+/// every method here is const and thread-safe.
+class QueryEngine {
+ public:
+  virtual ~QueryEngine() = default;
+
+  /// Answers one top-K query: the top-K combinations in descending score
+  /// order (fewer than K if the cross product is smaller), or
+  /// InvalidArgument/FailedPrecondition on bad setup. `stats_out`, when
+  /// non-null, receives a fresh ExecStats for this query alone.
+  virtual Result<std::vector<ResultCombination>> TopK(
+      const Vec& query, const ProxRJOptions& options,
+      ExecStats* stats_out = nullptr) const = 0;
+
+  /// Evaluates one request and packages the outcome -- combinations on
+  /// success, the error Status otherwise, plus this query's ExecStats --
+  /// into a QueryResult. Shared by RunBatch and by Server's workers, so
+  /// serial and concurrent serving cannot drift in how they report a
+  /// query's result. Non-virtual by design: it delegates to TopK, so every
+  /// implementation (and decorator) inherits consistent packaging.
+  QueryResult RunOne(const QueryRequest& request) const;
+
+  /// Evaluates a batch of queries sequentially. Always returns one
+  /// QueryResult per request, in order; per-query failures are reported in
+  /// QueryResult::status. For the concurrent counterpart see
+  /// Server::SubmitBatch in server/server.h.
+  std::vector<QueryResult> RunBatch(
+      std::span<const QueryRequest> requests) const;
+
+  /// Access kind the engine was built for.
+  virtual AccessKind kind() const = 0;
+  /// Feature-space dimensionality served.
+  virtual int dim() const = 0;
+  /// Number of joined relations.
+  virtual size_t num_relations() const = 0;
+  /// Scatter fan-out: how many per-shard engines one TopK call consults.
+  /// 1 for monolithic engines; decorators forward to their inner engine.
+  virtual size_t fan_out() const { return 1; }
+  /// Result-cache counters; all zero for engines without a cache layer.
+  virtual CacheCounters cache_counters() const { return {}; }
+
+ protected:
+  QueryEngine() = default;
+  // Implementations are value types (Engine is returned via Result<Engine>
+  // and moved); the interface itself carries no state, so defaulted
+  // copy/move on the base are safe and only reachable through derived
+  // classes.
+  QueryEngine(const QueryEngine&) = default;
+  QueryEngine& operator=(const QueryEngine&) = default;
+};
+
+// ------------------------ canonical request key ------------------------ //
+//
+// The canonical encoding covers exactly the inputs that determine a
+// query's answer and cost accounting: the query point and every
+// ProxRJOptions field except
+//   * `trace`   -- a side-channel observer, not part of the query; and
+//   * `backend` -- the access-path implementation is the *engine's*
+//                  construction-time choice (Engine ignores the per-query
+//                  field, and both backends deliver bit-identical streams).
+// Floating-point values are encoded by bit pattern with -0.0 canonicalized
+// to +0.0 (they compare equal and produce identical results), so two
+// requests with equal keys are guaranteed to produce bit-identical
+// answers on the same engine -- the property the result cache relies on.
+
+/// Appends the canonical encoding of the result-relevant option fields.
+void AppendCanonicalOptions(const ProxRJOptions& options, std::string* out);
+
+/// Canonical byte key of (query point, options): the cache key, and the
+/// single request-identity notion used by the tests.
+std::string CanonicalRequestKey(const Vec& query, const ProxRJOptions& options);
+inline std::string CanonicalRequestKey(const QueryRequest& request) {
+  return CanonicalRequestKey(request.query, request.options);
+}
+
+/// 64-bit FNV-1a over an already-built canonical key (used for cache-shard
+/// selection; the full key string guards against collisions).
+uint64_t KeyFingerprint(std::string_view key);
+
+/// Convenience: KeyFingerprint(CanonicalRequestKey(...)).
+uint64_t RequestFingerprint(const Vec& query, const ProxRJOptions& options);
+inline uint64_t RequestFingerprint(const QueryRequest& request) {
+  return RequestFingerprint(request.query, request.options);
+}
+
+/// Canonical equality: true iff the two sides encode to the same key,
+/// i.e. they are interchangeable queries. Replaces ad-hoc field-by-field
+/// comparisons.
+bool CanonicalOptionsEqual(const ProxRJOptions& a, const ProxRJOptions& b);
+bool CanonicalRequestEqual(const QueryRequest& a, const QueryRequest& b);
+
+/// The library's exactness contract, as a predicate: true iff the two
+/// result lists have the same length and match rank-for-rank on exactly
+/// equal (==, no tolerance) scores and identical member tuple ids. Every
+/// pair of execution paths that must agree (Engine vs ShardedEngine,
+/// cache hit vs recompute, concurrent vs serial) is tested and
+/// bench-gated against this one definition. `why`, when non-null,
+/// receives a description of the first divergence.
+bool BitIdenticalResults(const std::vector<ResultCombination>& a,
+                         const std::vector<ResultCombination>& b,
+                         std::string* why = nullptr);
+
+}  // namespace prj
+
+#endif  // PRJ_CORE_QUERY_ENGINE_H_

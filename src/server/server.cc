@@ -17,9 +17,10 @@ int ResolveWorkerCount(int requested) {
 
 }  // namespace
 
-Server::Server(const Engine* engine, ServerOptions options)
+Server::Server(const QueryEngine* engine, ServerOptions options)
     : engine_(engine), queue_(options.queue_capacity) {
   PRJ_CHECK(engine != nullptr);
+  cache_baseline_ = engine->cache_counters();
   const int n = ResolveWorkerCount(options.num_workers);
   slots_.reserve(static_cast<size_t>(n));
   workers_.reserve(static_cast<size_t>(n));
@@ -122,6 +123,15 @@ ServerStats Server::Stats() const {
   stats.queue_high_water = queue_.high_water();
   stats.latency_p50_seconds = merged.Quantile(0.5);
   stats.latency_p99_seconds = merged.Quantile(0.99);
+  // Engine-side metadata joins the merge: cache counters from whatever
+  // cache layers the engine stack contains -- as deltas against the
+  // construction-time snapshot, so a server never reports traffic that
+  // predates it -- and the scatter fan-out.
+  const CacheCounters cache = engine_->cache_counters();
+  stats.cache_hits = cache.hits - cache_baseline_.hits;
+  stats.cache_misses = cache.misses - cache_baseline_.misses;
+  stats.cache_evictions = cache.evictions - cache_baseline_.evictions;
+  stats.shard_fan_out = engine_->fan_out();
   return stats;
 }
 

@@ -1,10 +1,12 @@
-// Concurrent query service over an immutable Engine.
+// Concurrent query service over an immutable QueryEngine.
 //
 // The paper's operator is meant to run inside a service answering many
 // users' proximity top-K queries against the same indexed relations
-// (PAPER.md §1, §5). Engine already gives the single-machine substrate --
-// Create once, then const, data-race-free TopK calls over a shared
-// catalog -- and Server turns it into a traffic-serving front end:
+// (PAPER.md §1, §5). The QueryEngine implementations give the
+// single-machine substrate -- construct once, then const, data-race-free
+// TopK calls -- and Server turns any of them (monolithic Engine, sharded
+// scatter-gather, cached decorator, or a stack of those) into a
+// traffic-serving front end:
 //
 //   * a fixed pool of worker threads pulling from a bounded MPMC request
 //     queue (back-pressure: Submit blocks while the queue is full);
@@ -32,7 +34,7 @@
 #include <vector>
 
 #include "common/timer.h"
-#include "core/engine.h"
+#include "core/query_engine.h"
 #include "server/histogram.h"
 #include "server/queue.h"
 
@@ -54,6 +56,16 @@ struct ServerStats {
   uint64_t queries_rejected = 0;  ///< refused at Submit or cancelled queued
   uint64_t sum_depths = 0;        ///< total access cost of served queries
   size_t queue_high_water = 0;    ///< deepest the request queue ever got
+  /// Result-cache counter deltas since this server's construction (all
+  /// zero when no CachedEngine layer is present). Note: engine stacks can
+  /// be shared; traffic other users drive through the same stack while
+  /// this server is up is included in the delta.
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_evictions = 0;
+  /// Scatter fan-out of the engine: per-shard engines consulted per query
+  /// (1 for a monolithic Engine).
+  size_t shard_fan_out = 1;
   /// End-to-end latency quantiles, clocked from Submit to completion --
   /// queue wait included, so saturation shows up here, not just in
   /// queue_high_water.
@@ -70,8 +82,10 @@ class Server {
   };
 
   /// Starts the worker pool. `engine` must outlive the server and is only
-  /// ever used through its const API.
-  explicit Server(const Engine* engine, ServerOptions options = {});
+  /// ever used through its const API. Any QueryEngine implementation
+  /// works unmodified: Engine, ShardedEngine, CachedEngine, or a
+  /// composition (tested under TSan for all of them).
+  explicit Server(const QueryEngine* engine, ServerOptions options = {});
 
   /// Equivalent to Shutdown(DrainMode::kDrain) if still running.
   ~Server();
@@ -100,7 +114,7 @@ class Server {
   ServerStats Stats() const;
 
   int num_workers() const { return static_cast<int>(workers_.size()); }
-  const Engine& engine() const { return *engine_; }
+  const QueryEngine& engine() const { return *engine_; }
 
  private:
   struct Task {
@@ -121,7 +135,10 @@ class Server {
   void WorkerLoop(WorkerSlot* slot);
   static QueryResult Rejected();
 
-  const Engine* engine_;
+  const QueryEngine* engine_;
+  /// Engine-lifetime cache counters at construction: Stats() reports the
+  /// delta, i.e. this server's share of the cache traffic.
+  CacheCounters cache_baseline_;
   BoundedQueue<Task> queue_;
   std::vector<std::unique_ptr<WorkerSlot>> slots_;
   std::vector<std::thread> workers_;

@@ -1,0 +1,197 @@
+#include "shard/sharded_engine.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <utility>
+
+#include "core/executor.h"
+
+namespace prj {
+namespace {
+
+// One gathered combination plus its precomputed access keys: per relation
+// in join order, the key a member sorts by within its access stream --
+// squared distance to q under distance access (orders identically to
+// distance), negated score under score access; ties break by member id.
+struct KeyedCombination {
+  ResultCombination combo;
+  std::vector<double> keys;  ///< ascending = earlier in access order
+};
+
+KeyedCombination MakeKeyed(ResultCombination combo, AccessKind kind,
+                           const Vec& query) {
+  KeyedCombination keyed;
+  keyed.keys.reserve(combo.tuples.size());
+  for (const Tuple& t : combo.tuples) {
+    keyed.keys.push_back(kind == AccessKind::kDistance
+                             ? t.x.SquaredDistance(query)
+                             : -t.score);
+  }
+  keyed.combo = std::move(combo);
+  return keyed;
+}
+
+// The executor's result order, reconstructed from output tuples: score
+// descending, ties by the per-relation access keys in join order (id
+// breaking key ties). Distinct combinations always differ on some key
+// (ids are unique per relation and the parts are disjoint), so this is a
+// strict total order.
+bool GatherBetter(const KeyedCombination& a, const KeyedCombination& b) {
+  if (a.combo.score != b.combo.score) return a.combo.score > b.combo.score;
+  for (size_t j = 0; j < a.keys.size(); ++j) {
+    if (a.keys[j] != b.keys[j]) return a.keys[j] < b.keys[j];
+    const int64_t ida = a.combo.tuples[j].id;
+    const int64_t idb = b.combo.tuples[j].id;
+    if (ida != idb) return ida < idb;
+  }
+  return false;
+}
+
+}  // namespace
+
+void AggregateShardStats(const ExecStats& shard, ExecStats* aggregate) {
+  for (size_t j = 0; j < shard.depths.size() && j < aggregate->depths.size();
+       ++j) {
+    aggregate->depths[j] += shard.depths[j];
+  }
+  aggregate->sum_depths += shard.sum_depths;
+  aggregate->total_seconds = std::max(aggregate->total_seconds,
+                                      shard.total_seconds);
+  aggregate->bound_seconds = std::max(aggregate->bound_seconds,
+                                      shard.bound_seconds);
+  aggregate->dominance_seconds = std::max(aggregate->dominance_seconds,
+                                          shard.dominance_seconds);
+  aggregate->combinations_formed += shard.combinations_formed;
+  aggregate->bound_stats.bound_updates += shard.bound_stats.bound_updates;
+  aggregate->bound_stats.qp_solves += shard.bound_stats.qp_solves;
+  aggregate->bound_stats.lp_solves += shard.bound_stats.lp_solves;
+  aggregate->bound_stats.partials_total += shard.bound_stats.partials_total;
+  aggregate->bound_stats.partials_dominated +=
+      shard.bound_stats.partials_dominated;
+  aggregate->final_bound = std::max(aggregate->final_bound, shard.final_bound);
+  aggregate->completed = aggregate->completed && shard.completed;
+}
+
+Result<ShardedEngine> ShardedEngine::Create(
+    const std::vector<Relation>& relations, AccessKind kind,
+    const ScoringFunction* scoring, Options options) {
+  PRJ_RETURN_IF_ERROR(ValidateEngineInputs(relations, kind, scoring));
+  const uint32_t parts = options.partitions_per_relation;
+  if (parts < 1) {
+    return Status::InvalidArgument("partitions_per_relation must be >= 1");
+  }
+  size_t fan_out = 1;
+  for (size_t j = 0; j < relations.size(); ++j) {
+    if (fan_out > kMaxFanOut / parts) {
+      return Status::InvalidArgument(
+          "shard fan-out " + std::to_string(parts) + "^" +
+          std::to_string(relations.size()) + " exceeds the ceiling of " +
+          std::to_string(kMaxFanOut));
+    }
+    fan_out *= parts;
+  }
+  const int dim = relations.front().dim();
+
+  // Partition each relation and build every per-partition catalog exactly
+  // once; the shard engines below share them.
+  const auto partitioner = MakePartitioner(options.scheme);
+  const bool use_rtree = kind == AccessKind::kDistance &&
+                         options.engine.backend == SourceBackend::kRTree;
+  const size_t n = relations.size();
+  std::vector<std::vector<std::shared_ptr<const IndexedRelation>>> indexes(n);
+  std::vector<std::vector<std::shared_ptr<const RelationSnapshot>>> snaps(n);
+  std::vector<std::vector<bool>> part_empty(n);
+  for (size_t j = 0; j < n; ++j) {
+    const auto sub = PartitionRelation(relations[j], *partitioner, parts);
+    part_empty[j].reserve(parts);
+    for (const Relation& part : sub) {
+      part_empty[j].push_back(part.empty());
+      if (use_rtree) {
+        indexes[j].push_back(IndexedRelation::Build(part));
+      } else {
+        snaps[j].push_back(RelationSnapshot::Build(part));
+      }
+    }
+  }
+
+  ShardedEngine sharded(kind, options, dim, n);
+  sharded.shards_.reserve(fan_out);
+  // Odometer over the part indices (i_1,...,i_n): one shard engine per
+  // combination whose cross product is non-empty.
+  std::vector<uint32_t> digits(n, 0);
+  for (size_t shard = 0; shard < fan_out; ++shard) {
+    bool empty = false;
+    for (size_t j = 0; j < n; ++j) empty = empty || part_empty[j][digits[j]];
+    if (!empty) {
+      std::vector<std::shared_ptr<const IndexedRelation>> shard_indexes;
+      std::vector<std::shared_ptr<const RelationSnapshot>> shard_snaps;
+      for (size_t j = 0; j < n; ++j) {
+        if (use_rtree) {
+          shard_indexes.push_back(indexes[j][digits[j]]);
+        } else {
+          shard_snaps.push_back(snaps[j][digits[j]]);
+        }
+      }
+      auto engine =
+          Engine::FromCatalog(kind, scoring, options.engine,
+                              std::move(shard_indexes), std::move(shard_snaps));
+      PRJ_RETURN_IF_ERROR(engine.status());
+      sharded.shards_.push_back(std::move(*engine));
+    }
+    for (size_t j = 0; j < n; ++j) {
+      if (++digits[j] < parts) break;
+      digits[j] = 0;
+    }
+  }
+  return sharded;
+}
+
+Result<std::vector<ResultCombination>> ShardedEngine::TopK(
+    const Vec& query, const ProxRJOptions& options,
+    ExecStats* stats_out) const {
+  // Mirror Engine::TopK's contract: fresh stats on every path, request
+  // validation before any per-shard work.
+  if (stats_out) *stats_out = ExecStats{};
+  PRJ_RETURN_IF_ERROR(ValidateOptions(options));
+  if (query.dim() != dim_) {
+    return Status::InvalidArgument(
+        "engine serves dim " + std::to_string(dim_) +
+        " but the query has dim " + std::to_string(query.dim()));
+  }
+
+  ExecStats aggregate;
+  aggregate.depths.assign(num_relations_, 0);
+  aggregate.completed = true;
+  aggregate.final_bound = -std::numeric_limits<double>::infinity();
+
+  std::vector<KeyedCombination> gathered;
+  for (const Engine& shard : shards_) {
+    ExecStats shard_stats;
+    auto local = shard.TopK(query, options, &shard_stats);
+    PRJ_RETURN_IF_ERROR(local.status());
+    AggregateShardStats(shard_stats, &aggregate);
+    for (ResultCombination& combo : *local) {
+      gathered.push_back(MakeKeyed(std::move(combo), kind_, query));
+    }
+  }
+
+  // Only the global top K survive: partial_sort is O(N log K) against the
+  // full sort's O(N log N) over the per-shard union.
+  const size_t keep =
+      std::min(gathered.size(), static_cast<size_t>(options.k));
+  std::partial_sort(gathered.begin(),
+                    gathered.begin() + static_cast<ptrdiff_t>(keep),
+                    gathered.end(), GatherBetter);
+  gathered.resize(keep);
+  std::vector<ResultCombination> merged;
+  merged.reserve(gathered.size());
+  for (KeyedCombination& keyed : gathered) {
+    merged.push_back(std::move(keyed.combo));
+  }
+  if (stats_out) *stats_out = std::move(aggregate);
+  return merged;
+}
+
+}  // namespace prj

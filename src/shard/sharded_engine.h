@@ -1,0 +1,132 @@
+// Sharded scatter-gather execution of the ProxRJ operator.
+//
+// ShardedEngine partitions every input relation into P parts at Create
+// time (hash or STR-tile partitioning, access/partition.h) and builds one
+// per-shard Engine for every combination of parts -- shard (i_1,...,i_n)
+// joins part i_1 of R_1 with part i_2 of R_2 and so on, giving a fan-out
+// of P^n engines whose combination spaces partition the full cross
+// product R_1 x ... x R_n exactly. Per-partition indexes are built once
+// and shared by every shard engine that covers the partition (via
+// Engine::FromCatalog), so the data is never indexed twice.
+//
+// TopK scatters the query to every shard, gathers the per-shard top-K
+// lists, and merges them by the executor's exact result order. The merge
+// is provably exact:
+//
+//   1. Every combination of the global top K lives in exactly one shard
+//      (the parts are disjoint and cover each relation), and within that
+//      shard at most K combinations can precede it -- so the shard's own
+//      top-K list contains it. The union of the per-shard lists therefore
+//      contains the global top K.
+//   2. The executor's output order (TopKBuffer: score descending, ties by
+//      lexicographic member positions within the pulled prefixes) is
+//      reconstructible from the output tuples alone: position order per
+//      relation IS access order, i.e. (distance to q asc, id asc) under
+//      distance access and (score desc, id asc) under score access. The
+//      gather re-sorts the union with exactly that order and keeps K.
+//
+// Hence the merged list is bit-identical to the unsharded Engine's answer,
+// ties included (property-tested across presets, backends, partitioners
+// and adversarial tie-heavy inputs in tests/shard_test.cc).
+//
+// Stats: the aggregate ExecStats sums work counters (depths, sum_depths,
+// combinations_formed, bound_stats) across shards, while the wall-clock
+// fields (total_seconds, bound_seconds, dominance_seconds) report the MAX
+// across shards -- the makespan of an idealized parallel fan-out -- and
+// final_bound the loosest shard's bound; completed is the AND of all
+// shards. See AggregateShardStats.
+#ifndef PRJ_SHARD_SHARDED_ENGINE_H_
+#define PRJ_SHARD_SHARDED_ENGINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "access/partition.h"
+#include "core/engine.h"
+#include "core/query_engine.h"
+
+namespace prj {
+
+/// Construction-time choices of a ShardedEngine.
+struct ShardedEngineOptions {
+  /// Parts each relation is split into; fan-out is parts^num_relations
+  /// per-shard engines (Create rejects fan-outs above kMaxFanOut).
+  uint32_t partitions_per_relation = 2;
+  /// How tuples map to parts (access/partition.h).
+  PartitionScheme scheme = PartitionScheme::kHash;
+  /// Options for every per-shard Engine (backend, paging).
+  EngineOptions engine;
+};
+
+/// Accumulates one shard's per-query stats into the scatter-gather
+/// aggregate: counters sum, wall-clock fields take the max (an idealized
+/// parallel fan-out's makespan), final_bound takes the max (the loosest
+/// shard), completed ANDs. `aggregate->depths` must already be sized to
+/// the relation count. Exposed for the focused unit test.
+void AggregateShardStats(const ExecStats& shard, ExecStats* aggregate);
+
+class ShardedEngine : public QueryEngine {
+ public:
+  using Options = ShardedEngineOptions;
+
+  /// Hard ceiling on partitions_per_relation^num_relations.
+  static constexpr size_t kMaxFanOut = 4096;
+
+  /// Validates the relations exactly like Engine::Create, partitions them,
+  /// and assembles the per-shard engines over shared per-partition
+  /// catalogs. Shards whose cross product is empty (some part received no
+  /// tuples) are skipped -- they cannot contribute combinations.
+  /// `scoring` must outlive the engine.
+  static Result<ShardedEngine> Create(const std::vector<Relation>& relations,
+                                      AccessKind kind,
+                                      const ScoringFunction* scoring,
+                                      Options options = {});
+
+  ShardedEngine(ShardedEngine&&) = default;
+  ShardedEngine& operator=(ShardedEngine&&) = default;
+
+  /// Scatter-gather top-K: bit-identical to the unsharded Engine::TopK on
+  /// the same relations (see file comment for the exactness argument).
+  /// `options` apply to every shard individually; note that the safety
+  /// rails (max_pulls, time_budget_seconds) therefore bound each shard,
+  /// not the whole scatter, and that `options.trace` receives the shards'
+  /// executions concatenated in shard order -- per-shard trajectory
+  /// invariants hold within each segment (depths restart and the bound
+  /// jumps back up at every shard boundary), so trace consumers that
+  /// assert whole-run invariants should trace the shards individually
+  /// via shard(i).TopK instead.
+  Result<std::vector<ResultCombination>> TopK(
+      const Vec& query, const ProxRJOptions& options,
+      ExecStats* stats_out = nullptr) const override;
+
+  AccessKind kind() const override { return kind_; }
+  int dim() const override { return dim_; }
+  size_t num_relations() const override { return num_relations_; }
+  /// Number of per-shard engines a query scatters to.
+  size_t fan_out() const override { return shards_.size(); }
+
+  size_t num_shards() const { return shards_.size(); }
+  const Engine& shard(size_t i) const { return shards_[i]; }
+  uint32_t partitions_per_relation() const {
+    return options_.partitions_per_relation;
+  }
+  PartitionScheme scheme() const { return options_.scheme; }
+
+ private:
+  ShardedEngine(AccessKind kind, Options options, int dim,
+                size_t num_relations)
+      : kind_(kind),
+        options_(options),
+        dim_(dim),
+        num_relations_(num_relations) {}
+
+  AccessKind kind_;
+  Options options_;
+  int dim_;
+  size_t num_relations_;
+  std::vector<Engine> shards_;
+};
+
+}  // namespace prj
+
+#endif  // PRJ_SHARD_SHARDED_ENGINE_H_

@@ -1,0 +1,345 @@
+// The query-result cache stack: canonical request key semantics (the one
+// request-identity notion), the sharded-lock LRU QueryCache in isolation,
+// and the CachedEngine decorator -- hit path bit-identical to recompute,
+// counters, eviction, bypass rules, and composition over ShardedEngine.
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cache/cached_engine.h"
+#include "cache/query_cache.h"
+#include "common/random.h"
+#include "core/engine.h"
+#include "core/query_engine.h"
+#include "core/trace.h"
+#include "result_matchers.h"
+#include "shard/sharded_engine.h"
+#include "workload/synthetic.h"
+
+namespace prj {
+namespace {
+
+std::vector<Relation> MakeRelations(int n, int count, uint64_t seed) {
+  SyntheticSpec spec;
+  spec.dim = 2;
+  spec.count = count;
+  spec.density = 50;
+  spec.seed = seed;
+  return GenerateProblem(n, spec);
+}
+
+// ------------------------- canonical request key ------------------------ //
+
+TEST(CanonicalRequestKeyTest, EqualRequestsShareKeyAndFingerprint) {
+  QueryRequest a;
+  a.query = Vec{0.25, -1.5};
+  a.options.k = 7;
+  a.options.Apply(kTBPA);
+  QueryRequest b = a;
+  EXPECT_TRUE(CanonicalRequestEqual(a, b));
+  EXPECT_TRUE(CanonicalOptionsEqual(a.options, b.options));
+  EXPECT_EQ(CanonicalRequestKey(a), CanonicalRequestKey(b));
+  EXPECT_EQ(RequestFingerprint(a), RequestFingerprint(b));
+}
+
+TEST(CanonicalRequestKeyTest, EveryResultRelevantFieldSeparatesKeys) {
+  QueryRequest base;
+  base.query = Vec{0.5, 0.5};
+  base.options.k = 5;
+
+  auto differs = [&](auto mutate) {
+    QueryRequest other = base;
+    mutate(other);
+    return !CanonicalRequestEqual(base, other);
+  };
+
+  EXPECT_TRUE(differs([](QueryRequest& r) { r.query = Vec{0.5, 0.25}; }));
+  EXPECT_TRUE(differs([](QueryRequest& r) { r.query = Vec{0.5}; }));
+  EXPECT_TRUE(differs([](QueryRequest& r) { r.options.k = 6; }));
+  EXPECT_TRUE(differs([](QueryRequest& r) {
+    r.options.bound = BoundKind::kCorner;
+  }));
+  EXPECT_TRUE(differs([](QueryRequest& r) {
+    r.options.pull = PullKind::kRoundRobin;
+  }));
+  EXPECT_TRUE(differs([](QueryRequest& r) { r.options.dominance_period = 2; }));
+  EXPECT_TRUE(differs([](QueryRequest& r) {
+    r.options.bound_update_period = 3;
+  }));
+  EXPECT_TRUE(
+      differs([](QueryRequest& r) { r.options.use_generic_qp = true; }));
+  EXPECT_TRUE(differs([](QueryRequest& r) { r.options.max_pulls = 100; }));
+  EXPECT_TRUE(differs([](QueryRequest& r) {
+    r.options.time_budget_seconds = 1.0;
+  }));
+  EXPECT_TRUE(differs([](QueryRequest& r) { r.options.epsilon = 1e-6; }));
+}
+
+TEST(CanonicalRequestKeyTest, IgnoresTraceAndBackendAndNegativeZero) {
+  QueryRequest base;
+  base.query = Vec{0.0, 1.0};
+  base.options.k = 3;
+
+  // The access-path implementation and the trace observer do not change
+  // the answer; canonically equal.
+  QueryRequest backend = base;
+  backend.options.backend = SourceBackend::kRTree;
+  EXPECT_TRUE(CanonicalRequestEqual(base, backend));
+
+  ExecTrace trace;
+  QueryRequest traced = base;
+  traced.options.trace = &trace;
+  EXPECT_TRUE(CanonicalRequestEqual(base, traced));
+
+  // -0.0 == 0.0 and produces the identical execution: one key.
+  QueryRequest negzero = base;
+  negzero.query = Vec{-0.0, 1.0};
+  EXPECT_TRUE(CanonicalRequestEqual(base, negzero));
+  negzero.options.time_budget_seconds = -0.0;
+  EXPECT_TRUE(CanonicalRequestEqual(base, negzero));
+}
+
+// ------------------------------ QueryCache ------------------------------ //
+
+std::shared_ptr<const QueryCache::Entry> MakeEntry(double score) {
+  auto entry = std::make_shared<QueryCache::Entry>();
+  ResultCombination rc;
+  rc.score = score;
+  entry->combinations.push_back(rc);
+  return entry;
+}
+
+TEST(QueryCacheTest, LookupMissThenInsertThenHit) {
+  QueryCache cache(QueryCacheOptions{4, 1});
+  EXPECT_EQ(cache.Lookup("a", 1), nullptr);
+  cache.Insert("a", 1, MakeEntry(1.0));
+  auto hit = cache.Lookup("a", 1);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->combinations.front().score, 1.0);
+  const CacheCounters c = cache.counters();
+  EXPECT_EQ(c.hits, 1u);
+  EXPECT_EQ(c.misses, 1u);
+  EXPECT_EQ(c.evictions, 0u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(QueryCacheTest, EvictsLeastRecentlyUsed) {
+  QueryCache cache(QueryCacheOptions{2, 1});
+  cache.Insert("a", 1, MakeEntry(1.0));
+  cache.Insert("b", 2, MakeEntry(2.0));
+  // Touch "a" so "b" is the LRU victim when "c" arrives.
+  ASSERT_NE(cache.Lookup("a", 1), nullptr);
+  cache.Insert("c", 3, MakeEntry(3.0));
+  EXPECT_EQ(cache.counters().evictions, 1u);
+  EXPECT_NE(cache.Lookup("a", 1), nullptr);
+  EXPECT_EQ(cache.Lookup("b", 2), nullptr);
+  EXPECT_NE(cache.Lookup("c", 3), nullptr);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(QueryCacheTest, ReinsertRefreshesInsteadOfDuplicating) {
+  QueryCache cache(QueryCacheOptions{2, 1});
+  cache.Insert("a", 1, MakeEntry(1.0));
+  cache.Insert("a", 1, MakeEntry(9.0));
+  EXPECT_EQ(cache.size(), 1u);
+  auto hit = cache.Lookup("a", 1);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->combinations.front().score, 9.0);
+}
+
+TEST(QueryCacheTest, CapacityClampsAndSpreadsAcrossLockShards) {
+  // capacity 3 over 8 requested shards: clamped to 3 shards of 1.
+  QueryCache cache(QueryCacheOptions{3, 8});
+  EXPECT_EQ(cache.capacity(), 3u);
+  EXPECT_EQ(cache.lock_shards(), 3u);
+  // Zero capacity is clamped to one entry.
+  QueryCache tiny(QueryCacheOptions{0, 0});
+  EXPECT_EQ(tiny.capacity(), 1u);
+  EXPECT_EQ(tiny.lock_shards(), 1u);
+  tiny.Insert("a", 1, MakeEntry(1.0));
+  tiny.Insert("b", 1, MakeEntry(2.0));
+  EXPECT_EQ(tiny.size(), 1u);
+}
+
+// ----------------------------- CachedEngine ----------------------------- //
+
+class CachedEngineTest : public ::testing::Test {
+ protected:
+  CachedEngineTest()
+      : relations_(MakeRelations(2, 60, /*seed=*/17)),
+        scoring_(1.0, 1.0, 1.0),
+        engine_(Engine::Create(relations_, AccessKind::kDistance, &scoring_)) {
+    EXPECT_TRUE(engine_.ok()) << engine_.status().ToString();
+  }
+
+  QueryRequest Request(double x, double y, int k) const {
+    QueryRequest req;
+    req.query = Vec{x, y};
+    req.options.k = k;
+    req.options.Apply(kTBPA);
+    return req;
+  }
+
+  std::vector<Relation> relations_;
+  SumLogEuclideanScoring scoring_;
+  Result<Engine> engine_;
+};
+
+TEST_F(CachedEngineTest, HitPathIsBitIdenticalAndCostsNothing) {
+  CachedEngine cached(&*engine_);
+  const QueryRequest req = Request(0.3, -0.2, 6);
+
+  ExecStats cold_stats;
+  auto cold = cached.TopK(req.query, req.options, &cold_stats);
+  ASSERT_TRUE(cold.ok());
+  EXPECT_GT(cold_stats.sum_depths, 0u);
+
+  ExecStats hit_stats;
+  hit_stats.sum_depths = 999;  // dirty: the hit must reset it
+  auto hit = cached.TopK(req.query, req.options, &hit_stats);
+  ASSERT_TRUE(hit.ok());
+  ExpectBitIdentical(*hit, *cold, "hit vs cold");
+  // A hit performs no pulls: zero cost, complete, so aggregate accounting
+  // (e.g. ServerStats::sum_depths) stays truthful under caching.
+  EXPECT_EQ(hit_stats.sum_depths, 0u);
+  EXPECT_EQ(hit_stats.depths, (std::vector<size_t>{0, 0}));
+  EXPECT_TRUE(hit_stats.completed);
+
+  // And both match the undecorated engine exactly.
+  auto direct = engine_->TopK(req.query, req.options);
+  ASSERT_TRUE(direct.ok());
+  ExpectBitIdentical(*hit, *direct, "hit vs direct");
+
+  const CacheCounters c = cached.cache_counters();
+  EXPECT_EQ(c.hits, 1u);
+  EXPECT_EQ(c.misses, 1u);
+}
+
+TEST_F(CachedEngineTest, DistinctRequestsDoNotCollide) {
+  CachedEngine cached(&*engine_);
+  const QueryRequest a = Request(0.1, 0.1, 4);
+  QueryRequest b = a;
+  b.options.k = 5;
+
+  auto ra = cached.TopK(a.query, a.options);
+  auto rb = cached.TopK(b.query, b.options);
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(rb.ok());
+  EXPECT_EQ(ra->size(), 4u);
+  EXPECT_EQ(rb->size(), 5u);
+  EXPECT_EQ(cached.cache_counters().misses, 2u);
+}
+
+TEST_F(CachedEngineTest, EvictionsAreCountedAndEvictedEntriesRecompute) {
+  QueryCacheOptions small;
+  small.capacity = 2;
+  small.lock_shards = 1;
+  CachedEngine cached(&*engine_, small);
+  for (int i = 0; i < 4; ++i) {
+    const QueryRequest req = Request(0.1 * i, 0.0, 3);
+    ASSERT_TRUE(cached.TopK(req.query, req.options).ok());
+  }
+  const CacheCounters c = cached.cache_counters();
+  EXPECT_EQ(c.misses, 4u);
+  EXPECT_EQ(c.evictions, 2u);
+  EXPECT_EQ(cached.cache().size(), 2u);
+
+  // An evicted request recomputes (miss), and is bit-identical again.
+  const QueryRequest victim = Request(0.0, 0.0, 3);
+  auto again = cached.TopK(victim.query, victim.options);
+  ASSERT_TRUE(again.ok());
+  auto direct = engine_->TopK(victim.query, victim.options);
+  ASSERT_TRUE(direct.ok());
+  ExpectBitIdentical(*again, *direct, "evicted recompute");
+  EXPECT_EQ(cached.cache_counters().misses, 5u);
+}
+
+TEST_F(CachedEngineTest, FailuresAndTracedQueriesBypassTheCache) {
+  CachedEngine cached(&*engine_);
+
+  QueryRequest bad = Request(0.0, 0.0, 0);  // invalid k
+  EXPECT_FALSE(cached.TopK(bad.query, bad.options).ok());
+  EXPECT_FALSE(cached.TopK(bad.query, bad.options).ok());
+  // Both lookups missed, nothing was stored.
+  EXPECT_EQ(cached.cache_counters().misses, 2u);
+  EXPECT_EQ(cached.cache().size(), 0u);
+
+  // Traced queries never touch the cache: the observer must see the run.
+  ExecTrace trace;
+  QueryRequest traced = Request(0.2, 0.2, 3);
+  traced.options.trace = &trace;
+  ASSERT_TRUE(cached.TopK(traced.query, traced.options).ok());
+  EXPECT_GT(trace.steps.size(), 0u);
+  EXPECT_EQ(cached.cache_counters().misses, 2u);  // unchanged
+  EXPECT_EQ(cached.cache().size(), 0u);
+
+  trace.steps.clear();
+  ASSERT_TRUE(cached.TopK(traced.query, traced.options).ok());
+  EXPECT_GT(trace.steps.size(), 0u);  // traced again, not replayed
+}
+
+TEST_F(CachedEngineTest, ComposesOverShardedEngineAndForwardsMetadata) {
+  ShardedEngineOptions sh_opts;
+  sh_opts.partitions_per_relation = 2;
+  auto sharded = ShardedEngine::Create(relations_, AccessKind::kDistance,
+                                       &scoring_, sh_opts);
+  ASSERT_TRUE(sharded.ok());
+  CachedEngine cached(&*sharded);
+
+  EXPECT_EQ(cached.kind(), AccessKind::kDistance);
+  EXPECT_EQ(cached.dim(), 2);
+  EXPECT_EQ(cached.num_relations(), 2u);
+  EXPECT_EQ(cached.fan_out(), 4u);  // forwarded through the decorator
+
+  const QueryRequest req = Request(-0.4, 0.6, 5);
+  auto cold = cached.TopK(req.query, req.options);
+  auto warm = cached.TopK(req.query, req.options);
+  ASSERT_TRUE(cold.ok());
+  ASSERT_TRUE(warm.ok());
+  ExpectBitIdentical(*warm, *cold, "cached sharded");
+
+  auto unsharded = engine_->TopK(req.query, req.options);
+  ASSERT_TRUE(unsharded.ok());
+  ExpectBitIdentical(*warm, *unsharded, "cached sharded vs engine");
+  EXPECT_EQ(cached.cache_counters().hits, 1u);
+}
+
+TEST_F(CachedEngineTest, ConcurrentMixedHitsAndMissesStayExact) {
+  CachedEngine cached(&*engine_);
+  constexpr int kThreads = 4;
+  constexpr int kIters = 24;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(500 + t % 2);  // thread pairs share queries: hits guaranteed
+      for (int i = 0; i < kIters; ++i) {
+        QueryRequest req;
+        req.query = rng.UniformInCube(2, -1.0, 1.0);
+        req.options.k = 1 + i % 5;
+        auto got = cached.TopK(req.query, req.options);
+        auto want = engine_->TopK(req.query, req.options);
+        if (!got.ok() || !want.ok() || got->size() != want->size()) {
+          mismatches.fetch_add(1);
+          continue;
+        }
+        for (size_t r = 0; r < want->size(); ++r) {
+          if ((*got)[r].score != (*want)[r].score) mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  const CacheCounters c = cached.cache_counters();
+  EXPECT_EQ(c.hits + c.misses,
+            static_cast<uint64_t>(kThreads * kIters));
+  EXPECT_GT(c.hits, 0u);
+}
+
+}  // namespace
+}  // namespace prj

@@ -15,6 +15,7 @@
 #include "common/random.h"
 #include "core/brute_force.h"
 #include "core/engine.h"
+#include "result_matchers.h"
 #include "workload/synthetic.h"
 
 namespace prj {
@@ -41,20 +42,6 @@ std::vector<Relation> MakeRelations(int n, int count, uint64_t seed) {
   spec.density = 50;
   spec.seed = seed;
   return GenerateProblem(n, spec);
-}
-
-void ExpectBitIdentical(const std::vector<ResultCombination>& got,
-                        const std::vector<ResultCombination>& expected,
-                        const std::string& label) {
-  ASSERT_EQ(got.size(), expected.size()) << label;
-  for (size_t i = 0; i < got.size(); ++i) {
-    EXPECT_EQ(got[i].score, expected[i].score) << label << " rank " << i;
-    ASSERT_EQ(got[i].tuples.size(), expected[i].tuples.size()) << label;
-    for (size_t j = 0; j < got[i].tuples.size(); ++j) {
-      EXPECT_EQ(got[i].tuples[j].id, expected[i].tuples[j].id)
-          << label << " rank " << i << " member " << j;
-    }
-  }
 }
 
 // Satellite: N successive TopK calls (varying query point, k and preset)

@@ -1,0 +1,27 @@
+// gtest wrapper around the library's one bit-identity definition
+// (BitIdenticalResults, core/query_engine.h): same length, exactly equal
+// (==, no tolerance) scores, identical member tuple ids, rank for rank.
+// The tests and the bench gates (bench::BitIdentical) both defer to that
+// single predicate, so "bit-identical" cannot drift between them.
+#ifndef PRJ_TESTS_RESULT_MATCHERS_H_
+#define PRJ_TESTS_RESULT_MATCHERS_H_
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/query_engine.h"
+
+namespace prj {
+
+inline void ExpectBitIdentical(const std::vector<ResultCombination>& got,
+                               const std::vector<ResultCombination>& expected,
+                               const std::string& label) {
+  std::string why;
+  EXPECT_TRUE(BitIdenticalResults(got, expected, &why)) << label << ": " << why;
+}
+
+}  // namespace prj
+
+#endif  // PRJ_TESTS_RESULT_MATCHERS_H_

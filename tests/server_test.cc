@@ -14,11 +14,14 @@
 
 #include <gtest/gtest.h>
 
+#include "cache/cached_engine.h"
 #include "common/random.h"
 #include "core/engine.h"
+#include "result_matchers.h"
 #include "server/histogram.h"
 #include "server/queue.h"
 #include "server/server.h"
+#include "shard/sharded_engine.h"
 #include "workload/synthetic.h"
 
 namespace prj {
@@ -48,20 +51,6 @@ std::vector<QueryRequest> MakeWorkload(int count, uint64_t seed) {
     requests.push_back(std::move(req));
   }
   return requests;
-}
-
-void ExpectBitIdentical(const std::vector<ResultCombination>& got,
-                        const std::vector<ResultCombination>& expected,
-                        const std::string& label) {
-  ASSERT_EQ(got.size(), expected.size()) << label;
-  for (size_t i = 0; i < got.size(); ++i) {
-    EXPECT_EQ(got[i].score, expected[i].score) << label << " rank " << i;
-    ASSERT_EQ(got[i].tuples.size(), expected[i].tuples.size()) << label;
-    for (size_t j = 0; j < got[i].tuples.size(); ++j) {
-      EXPECT_EQ(got[i].tuples[j].id, expected[i].tuples[j].id)
-          << label << " rank " << i << " member " << j;
-    }
-  }
 }
 
 // --------------------------- BoundedQueue ------------------------------ //
@@ -409,6 +398,82 @@ TEST_F(ServerTest, StatsSumAcrossWorkers) {
   EXPECT_GE(stats.latency_p99_seconds, stats.latency_p50_seconds);
   EXPECT_GE(stats.queue_high_water, 1u);
   EXPECT_LE(stats.queue_high_water, ServerOptions{}.queue_capacity);
+}
+
+// ------------------- all three QueryEngine implementations -------------- //
+
+// The tentpole contract of the interface extraction: Server runs
+// unmodified over the monolithic Engine, the ShardedEngine, and a
+// CachedEngine stacked on the sharded one -- concurrent results stay
+// bit-identical to the serial monolithic baseline in every case, and the
+// engine-side metadata (fan-out, cache counters) surfaces in ServerStats.
+TEST_F(ServerTest, ServesIdenticallyOverAllQueryEngineImplementations) {
+  ShardedEngineOptions sh_opts;
+  sh_opts.partitions_per_relation = 3;
+  auto sharded = ShardedEngine::Create(relations_, AccessKind::kDistance,
+                                       &scoring_, sh_opts);
+  ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+  CachedEngine cached(&*sharded);
+
+  // Repeat the workload twice so the cached run gets guaranteed hits.
+  auto workload = MakeWorkload(16, /*seed=*/2024);
+  const auto repeat = workload;
+  workload.insert(workload.end(), repeat.begin(), repeat.end());
+  const auto baseline = engine().RunBatch(workload);
+
+  struct Impl {
+    const QueryEngine* impl;
+    const char* name;
+    size_t fan_out;
+  };
+  const Impl impls[] = {
+      {&engine(), "engine", 1},
+      {&*sharded, "sharded", sharded->num_shards()},
+      {&cached, "cached(sharded)", sharded->num_shards()},
+  };
+  for (const Impl& impl : impls) {
+    ServerOptions opts;
+    opts.num_workers = 4;
+    Server server(impl.impl, opts);
+    const auto results = server.SubmitBatch(workload);
+    ASSERT_EQ(results.size(), baseline.size());
+    for (size_t i = 0; i < results.size(); ++i) {
+      ASSERT_TRUE(results[i].ok()) << impl.name << " " << i;
+      ExpectBitIdentical(results[i].combinations, baseline[i].combinations,
+                         std::string(impl.name) + " query " +
+                             std::to_string(i));
+    }
+    const ServerStats stats = server.Stats();
+    EXPECT_EQ(stats.queries_served, workload.size()) << impl.name;
+    EXPECT_EQ(stats.shard_fan_out, impl.fan_out) << impl.name;
+  }
+
+  // Only the cached stack reports cache traffic, as per-server deltas:
+  // this fresh server starts at zero even though the cache is already
+  // warm from the run above, and every query it serves is a hit.
+  {
+    ServerOptions opts;
+    opts.num_workers = 2;
+    Server server(&cached, opts);
+    (void)server.SubmitBatch(workload);
+    const ServerStats stats = server.Stats();
+    EXPECT_EQ(stats.cache_hits, workload.size());
+    EXPECT_EQ(stats.cache_misses, 0u);
+    // And zero cost: every query was answered without a single pull.
+    EXPECT_EQ(stats.sum_depths, 0u);
+  }
+  // The uncached server reported no cache traffic at all.
+  {
+    ServerOptions opts;
+    opts.num_workers = 2;
+    Server server(&engine(), opts);
+    (void)server.SubmitBatch(MakeWorkload(4, /*seed=*/9));
+    const ServerStats stats = server.Stats();
+    EXPECT_EQ(stats.cache_hits, 0u);
+    EXPECT_EQ(stats.cache_misses, 0u);
+    EXPECT_EQ(stats.cache_evictions, 0u);
+    EXPECT_EQ(stats.shard_fan_out, 1u);
+  }
 }
 
 // ----------------------------- shutdown -------------------------------- //

@@ -1,0 +1,498 @@
+// The sharded scatter-gather engine: partitioner units, the exactness
+// property (ShardedEngine bit-identical to the unsharded Engine across
+// random partition counts, all four presets, both backends, both
+// partitioners, and adversarial tie-heavy inputs), and the per-shard
+// ExecStats aggregation rules (counters sum, wall times max, completed
+// ANDs) so sharded stats are never silently zero.
+#include <cmath>
+#include <limits>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "access/partition.h"
+#include "common/random.h"
+#include "core/engine.h"
+#include "result_matchers.h"
+#include "shard/sharded_engine.h"
+#include "workload/synthetic.h"
+
+namespace prj {
+namespace {
+
+const AlgorithmPreset kAllPresets[] = {kCBRR, kCBPA, kTBRR, kTBPA};
+
+struct BackendCase {
+  AccessKind kind;
+  SourceBackend backend;
+  const char* name;
+};
+
+const BackendCase kBackendCases[] = {
+    {AccessKind::kDistance, SourceBackend::kPresorted, "distance/presorted"},
+    {AccessKind::kDistance, SourceBackend::kRTree, "distance/rtree"},
+    {AccessKind::kScore, SourceBackend::kPresorted, "score"},
+};
+
+const PartitionScheme kSchemes[] = {PartitionScheme::kHash,
+                                    PartitionScheme::kStrTile};
+
+const char* SchemeName(PartitionScheme scheme) {
+  return scheme == PartitionScheme::kHash ? "hash" : "str-tile";
+}
+
+std::vector<Relation> MakeRelations(int n, int count, uint64_t seed) {
+  SyntheticSpec spec;
+  spec.dim = 2;
+  spec.count = count;
+  spec.density = 50;
+  spec.seed = seed;
+  return GenerateProblem(n, spec);
+}
+
+/// Adversarial tie factory: scores from a 4-value grid and coordinates on
+/// a coarse integer lattice, so many distinct combinations share exact
+/// aggregate scores and exact distances -- the merge must still reproduce
+/// the unsharded tie order.
+std::vector<Relation> MakeTieHeavyRelations(int n, int count, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Relation> rels;
+  for (int r = 0; r < n; ++r) {
+    Relation rel("tie" + std::to_string(r), 2);
+    for (int i = 0; i < count; ++i) {
+      const double score = 0.25 * (1 + static_cast<int>(rng.NextBounded(4)));
+      const Vec x{static_cast<double>(rng.NextBounded(4)),
+                  static_cast<double>(rng.NextBounded(4))};
+      rel.Add(i, score, x);
+    }
+    rels.push_back(std::move(rel));
+  }
+  return rels;
+}
+
+// ---------------------------- partitioners ----------------------------- //
+
+TEST(PartitionerTest, HashAssignmentIsCompleteDeterministicAndBalanced) {
+  const auto rels = MakeRelations(1, 500, /*seed=*/3);
+  HashPartitioner hash;
+  for (uint32_t parts : {1u, 2u, 3u, 8u}) {
+    const auto a = hash.Assign(rels[0], parts);
+    ASSERT_EQ(a.size(), rels[0].size());
+    std::vector<size_t> sizes(parts, 0);
+    for (uint32_t p : a) {
+      ASSERT_LT(p, parts);
+      ++sizes[p];
+    }
+    // Determinism: a second run gives the identical assignment.
+    EXPECT_EQ(hash.Assign(rels[0], parts), a);
+    // Balance: no part is pathologically loaded (splitmix over 500 ids).
+    for (size_t s : sizes) {
+      EXPECT_GT(s, rels[0].size() / (4 * parts)) << parts << " parts";
+    }
+  }
+}
+
+TEST(PartitionerTest, StrTileAssignmentCoversExactlyAndSplitsEvenly) {
+  const auto rels = MakeRelations(1, 499, /*seed=*/5);
+  StrTilePartitioner str;
+  for (uint32_t parts : {1u, 2u, 4u, 5u, 6u, 9u}) {
+    const auto a = str.Assign(rels[0], parts);
+    ASSERT_EQ(a.size(), rels[0].size());
+    std::vector<size_t> sizes(parts, 0);
+    for (uint32_t p : a) {
+      ASSERT_LT(p, parts);
+      ++sizes[p];
+    }
+    EXPECT_EQ(str.Assign(rels[0], parts), a);
+    // Rank-based splits: every tile within one tuple of the ideal size at
+    // each of the two levels, so bounded by a loose +/- 2 of n/parts.
+    for (size_t s : sizes) {
+      EXPECT_NEAR(static_cast<double>(s),
+                  static_cast<double>(rels[0].size()) / parts, 2.0)
+          << parts << " parts";
+    }
+  }
+}
+
+TEST(PartitionerTest, PartitionRelationPreservesTuplesAndMetadata) {
+  Relation rel("things", 2, /*sigma_max=*/0.75);
+  for (int i = 0; i < 37; ++i) {
+    rel.Add(100 + i, 0.25 + 0.01 * i, Vec{0.1 * i, -0.2 * i});
+  }
+  for (PartitionScheme scheme : kSchemes) {
+    const auto parts = PartitionRelation(rel, *MakePartitioner(scheme), 4);
+    ASSERT_EQ(parts.size(), 4u);
+    size_t total = 0;
+    std::set<int64_t> seen;
+    for (const Relation& part : parts) {
+      EXPECT_EQ(part.dim(), rel.dim());
+      EXPECT_EQ(part.sigma_max(), rel.sigma_max());
+      EXPECT_TRUE(part.Validate().ok()) << part.name();
+      total += part.size();
+      for (const Tuple& t : part.tuples()) {
+        EXPECT_TRUE(seen.insert(t.id).second) << "duplicate id " << t.id;
+        // The tuple is the original, verbatim.
+        const Tuple& orig = rel.tuple(static_cast<size_t>(t.id - 100));
+        EXPECT_EQ(t.score, orig.score);
+        EXPECT_EQ(t.x, orig.x);
+      }
+    }
+    EXPECT_EQ(total, rel.size()) << SchemeName(scheme);
+  }
+}
+
+TEST(PartitionerTest, EmptyRelationYieldsEmptyParts) {
+  Relation rel("empty", 2);
+  for (PartitionScheme scheme : kSchemes) {
+    const auto parts = PartitionRelation(rel, *MakePartitioner(scheme), 3);
+    ASSERT_EQ(parts.size(), 3u);
+    for (const Relation& part : parts) EXPECT_TRUE(part.empty());
+  }
+}
+
+// ------------------------- construction rules -------------------------- //
+
+TEST(ShardedEngineCreateTest, RejectsBadSetups) {
+  const SumLogEuclideanScoring scoring(1, 1, 1);
+  const auto rels = MakeRelations(2, 20, /*seed=*/1);
+
+  EXPECT_EQ(ShardedEngine::Create(rels, AccessKind::kDistance, nullptr)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ShardedEngine::Create({}, AccessKind::kDistance, &scoring)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+
+  ShardedEngineOptions opts;
+  opts.partitions_per_relation = 0;
+  EXPECT_EQ(ShardedEngine::Create(rels, AccessKind::kDistance, &scoring, opts)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+
+  // 128^2 = 16384 > kMaxFanOut.
+  opts.partitions_per_relation = 128;
+  EXPECT_EQ(ShardedEngine::Create(rels, AccessKind::kDistance, &scoring, opts)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+
+  const SumLogCosineScoring cosine(1, 1, 1, Vec{1.0, 0.0});
+  EXPECT_EQ(ShardedEngine::Create(rels, AccessKind::kDistance, &cosine)
+                .status()
+                .code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(ShardedEngineCreateTest, FanOutIsPartitionsToThePowerRelations) {
+  const SumLogEuclideanScoring scoring(1, 1, 1);
+  for (int n : {1, 2, 3}) {
+    const auto rels = MakeRelations(n, 120, /*seed=*/n);
+    ShardedEngineOptions opts;
+    opts.partitions_per_relation = 3;
+    auto sharded =
+        ShardedEngine::Create(rels, AccessKind::kDistance, &scoring, opts);
+    ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+    // All parts are non-empty at this size, so no shard is skipped.
+    EXPECT_EQ(sharded->num_shards(),
+              static_cast<size_t>(std::pow(3, n)));
+    EXPECT_EQ(sharded->fan_out(), sharded->num_shards());
+    EXPECT_EQ(sharded->num_relations(), static_cast<size_t>(n));
+    EXPECT_EQ(sharded->dim(), 2);
+  }
+}
+
+TEST(ShardedEngineCreateTest, EmptyPartsShedShardsAndEmptyRelationsServe) {
+  const SumLogEuclideanScoring scoring(1, 1, 1);
+  // 3 tuples into 4 parts: at least one part per relation is empty, so the
+  // fan-out must shrink below 4^2 yet queries still work.
+  Relation a("a", 2);
+  Relation b("b", 2);
+  for (int i = 0; i < 3; ++i) {
+    a.Add(i, 0.5, Vec{0.1 * i, 0.0});
+    b.Add(i, 0.5, Vec{0.0, 0.1 * i});
+  }
+  ShardedEngineOptions opts;
+  opts.partitions_per_relation = 4;
+  auto sharded =
+      ShardedEngine::Create({a, b}, AccessKind::kDistance, &scoring, opts);
+  ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+  EXPECT_LT(sharded->num_shards(), 16u);
+  EXPECT_GE(sharded->num_shards(), 1u);
+
+  ProxRJOptions q_opts;
+  q_opts.k = 20;
+  auto result = sharded->TopK(Vec(2, 0.0), q_opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 9u);  // the full 3x3 cross product
+
+  // An entirely empty relation: every shard is skipped; the sharded
+  // engine answers the (empty) query exactly like the unsharded one.
+  Relation empty("empty", 2);
+  auto degenerate = ShardedEngine::Create({a, empty}, AccessKind::kDistance,
+                                          &scoring, opts);
+  ASSERT_TRUE(degenerate.ok()) << degenerate.status().ToString();
+  EXPECT_EQ(degenerate->num_shards(), 0u);
+  ExecStats stats;
+  auto none = degenerate->TopK(Vec(2, 0.0), q_opts, &stats);
+  ASSERT_TRUE(none.ok());
+  EXPECT_TRUE(none->empty());
+  EXPECT_TRUE(stats.completed);
+  EXPECT_TRUE(std::isinf(stats.final_bound) && stats.final_bound < 0);
+}
+
+TEST(ShardedEngineTest, RequestValidationMatchesEngine) {
+  const SumLogEuclideanScoring scoring(1, 1, 1);
+  const auto rels = MakeRelations(2, 30, /*seed=*/9);
+  auto sharded = ShardedEngine::Create(rels, AccessKind::kDistance, &scoring);
+  ASSERT_TRUE(sharded.ok());
+
+  ProxRJOptions bad;
+  bad.k = 0;
+  ExecStats stats;
+  stats.sum_depths = 42;  // dirty: must be reset on the failure path too
+  EXPECT_EQ(sharded->TopK(Vec(2, 0.0), bad, &stats).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(stats.sum_depths, 0u);
+
+  ProxRJOptions ok;
+  ok.k = 3;
+  EXPECT_EQ(sharded->TopK(Vec{0.0, 0.0, 0.0}, ok).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+// ----------------------- the exactness property ------------------------ //
+
+// The tentpole acceptance criterion: across random partition counts, all
+// four presets, all backends, both partitioners, and both uniform and
+// tie-heavy data, ShardedEngine::TopK is bit-identical (scores, ids,
+// order) to the unsharded Engine::TopK, and consumes no fewer total
+// depths than... nothing -- only the results are contractual.
+TEST(ShardedExactnessTest, BitIdenticalToUnshardedAcrossTheGrid) {
+  Rng rng(2026);
+  for (const bool tie_heavy : {false, true}) {
+    for (int n : {2, 3}) {
+      const int count = n == 3 ? 30 : 70;
+      const auto rels = tie_heavy
+                            ? MakeTieHeavyRelations(n, count, /*seed=*/n + 10)
+                            : MakeRelations(n, count, /*seed=*/n);
+      const SumLogEuclideanScoring scoring(1.0, 1.0, 1.0);
+
+      for (const BackendCase& bc : kBackendCases) {
+        Engine::Options eng_opts;
+        eng_opts.backend = bc.backend;
+        auto engine = Engine::Create(rels, bc.kind, &scoring, eng_opts);
+        ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+
+        for (PartitionScheme scheme : kSchemes) {
+          // Random partition count per cell, 1..5.
+          const uint32_t parts = 1 + static_cast<uint32_t>(rng.NextBounded(5));
+          ShardedEngineOptions opts;
+          opts.partitions_per_relation = parts;
+          opts.scheme = scheme;
+          opts.engine = eng_opts;
+          auto sharded = ShardedEngine::Create(rels, bc.kind, &scoring, opts);
+          ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+
+          for (int call = 0; call < 4; ++call) {
+            const AlgorithmPreset& preset = kAllPresets[call];
+            const Vec q = rng.UniformInCube(2, -1.0, 1.0);
+            ProxRJOptions q_opts;
+            q_opts.k = 1 + static_cast<int>(rng.NextBounded(12));
+            q_opts.Apply(preset);
+
+            const std::string label =
+                std::string(tie_heavy ? "ties/" : "uniform/") + bc.name +
+                "/" + SchemeName(scheme) + "/p" + std::to_string(parts) +
+                "/n" + std::to_string(n) + "/" + preset.name;
+
+            auto expected = engine->TopK(q, q_opts);
+            ASSERT_TRUE(expected.ok()) << label;
+            ExecStats sharded_stats;
+            auto got = sharded->TopK(q, q_opts, &sharded_stats);
+            ASSERT_TRUE(got.ok()) << label;
+            ExpectBitIdentical(*got, *expected, label);
+            EXPECT_TRUE(sharded_stats.completed) << label;
+          }
+        }
+      }
+    }
+  }
+}
+
+// K beyond the full cross product: every shard exhausts, the gather must
+// still return exactly the unsharded order of the entire cross product.
+TEST(ShardedExactnessTest, KLargerThanCrossProduct) {
+  const auto rels = MakeTieHeavyRelations(2, 5, /*seed=*/77);
+  const SumLogEuclideanScoring scoring(1, 1, 1);
+  auto engine = Engine::Create(rels, AccessKind::kDistance, &scoring);
+  ASSERT_TRUE(engine.ok());
+  ShardedEngineOptions opts;
+  opts.partitions_per_relation = 3;
+  auto sharded =
+      ShardedEngine::Create(rels, AccessKind::kDistance, &scoring, opts);
+  ASSERT_TRUE(sharded.ok());
+
+  ProxRJOptions q_opts;
+  q_opts.k = 100;
+  auto expected = engine->TopK(Vec(2, 1.0), q_opts);
+  auto got = sharded->TopK(Vec(2, 1.0), q_opts);
+  ASSERT_TRUE(expected.ok());
+  ASSERT_TRUE(got.ok());
+  ASSERT_EQ(expected->size(), 25u);
+  ExpectBitIdentical(*got, *expected, "exhaustive");
+}
+
+// Paged shard engines (EngineOptions::block_size) stay exact too.
+TEST(ShardedExactnessTest, BlockedShardEnginesStayExact) {
+  const auto rels = MakeRelations(2, 40, /*seed=*/21);
+  const SumLogEuclideanScoring scoring(1, 1, 1);
+  auto engine = Engine::Create(rels, AccessKind::kDistance, &scoring);
+  ASSERT_TRUE(engine.ok());
+
+  ShardedEngineOptions opts;
+  opts.partitions_per_relation = 2;
+  opts.engine.block_size = 3;
+  auto sharded =
+      ShardedEngine::Create(rels, AccessKind::kDistance, &scoring, opts);
+  ASSERT_TRUE(sharded.ok());
+
+  ProxRJOptions q_opts;
+  q_opts.k = 7;
+  q_opts.Apply(kTBPA);
+  auto expected = engine->TopK(Vec{0.2, -0.3}, q_opts);
+  auto got = sharded->TopK(Vec{0.2, -0.3}, q_opts);
+  ASSERT_TRUE(expected.ok());
+  ASSERT_TRUE(got.ok());
+  ExpectBitIdentical(*got, *expected, "blocked");
+}
+
+// -------------------------- stats aggregation -------------------------- //
+
+TEST(ShardStatsTest, AggregateShardStatsSumsCountersAndMaxesWallTimes) {
+  ExecStats agg;
+  agg.depths.assign(2, 0);
+  agg.completed = true;
+  agg.final_bound = -std::numeric_limits<double>::infinity();
+
+  ExecStats a;
+  a.depths = {3, 4};
+  a.sum_depths = 7;
+  a.total_seconds = 0.5;
+  a.bound_seconds = 0.2;
+  a.dominance_seconds = 0.1;
+  a.combinations_formed = 11;
+  a.bound_stats.bound_updates = 5;
+  a.bound_stats.qp_solves = 2;
+  a.bound_stats.lp_solves = 1;
+  a.bound_stats.partials_total = 9;
+  a.bound_stats.partials_dominated = 4;
+  a.final_bound = 1.25;
+  a.completed = true;
+
+  ExecStats b = a;
+  b.depths = {10, 1};
+  b.sum_depths = 11;
+  b.total_seconds = 0.25;  // smaller: must not win the max
+  b.bound_seconds = 0.3;   // larger: must win
+  b.final_bound = -2.0;
+  b.completed = false;     // one incomplete shard poisons the aggregate
+
+  AggregateShardStats(a, &agg);
+  AggregateShardStats(b, &agg);
+
+  EXPECT_EQ(agg.depths, (std::vector<size_t>{13, 5}));
+  EXPECT_EQ(agg.sum_depths, 18u);
+  EXPECT_EQ(agg.total_seconds, 0.5);
+  EXPECT_EQ(agg.bound_seconds, 0.3);
+  EXPECT_EQ(agg.dominance_seconds, 0.1);
+  EXPECT_EQ(agg.combinations_formed, 22u);
+  EXPECT_EQ(agg.bound_stats.bound_updates, 10u);
+  EXPECT_EQ(agg.bound_stats.qp_solves, 4u);
+  EXPECT_EQ(agg.bound_stats.lp_solves, 2u);
+  EXPECT_EQ(agg.bound_stats.partials_total, 18u);
+  EXPECT_EQ(agg.bound_stats.partials_dominated, 8u);
+  EXPECT_EQ(agg.final_bound, 1.25);
+  EXPECT_FALSE(agg.completed);
+}
+
+// End to end: the aggregate a sharded TopK reports equals the sum/max of
+// the stats of running each shard engine individually -- so sharded stats
+// are real accounting, not silently zero.
+TEST(ShardStatsTest, TopKAggregateMatchesPerShardRuns) {
+  const auto rels = MakeRelations(2, 80, /*seed=*/33);
+  const SumLogEuclideanScoring scoring(1, 1, 1);
+  ShardedEngineOptions opts;
+  opts.partitions_per_relation = 3;
+  auto sharded =
+      ShardedEngine::Create(rels, AccessKind::kDistance, &scoring, opts);
+  ASSERT_TRUE(sharded.ok());
+  ASSERT_EQ(sharded->num_shards(), 9u);
+
+  const Vec q{0.1, 0.4};
+  ProxRJOptions q_opts;
+  q_opts.k = 8;
+  q_opts.Apply(kTBPA);
+
+  ExecStats aggregate;
+  ASSERT_TRUE(sharded->TopK(q, q_opts, &aggregate).ok());
+
+  size_t sum_depths = 0;
+  std::vector<size_t> depths(2, 0);
+  uint64_t combinations = 0, bound_updates = 0;
+  bool completed = true;
+  for (size_t s = 0; s < sharded->num_shards(); ++s) {
+    ExecStats st;
+    ASSERT_TRUE(sharded->shard(s).TopK(q, q_opts, &st).ok());
+    sum_depths += st.sum_depths;
+    for (size_t j = 0; j < st.depths.size(); ++j) depths[j] += st.depths[j];
+    combinations += st.combinations_formed;
+    bound_updates += st.bound_stats.bound_updates;
+    completed = completed && st.completed;
+  }
+  EXPECT_GT(aggregate.sum_depths, 0u);
+  EXPECT_EQ(aggregate.sum_depths, sum_depths);
+  EXPECT_EQ(aggregate.depths, depths);
+  EXPECT_EQ(aggregate.combinations_formed, combinations);
+  EXPECT_EQ(aggregate.bound_stats.bound_updates, bound_updates);
+  EXPECT_EQ(aggregate.completed, completed);
+  EXPECT_GE(aggregate.total_seconds, 0.0);
+}
+
+// Metadata surfaced through the QueryEngine interface.
+TEST(ShardedEngineTest, InterfaceMetadata) {
+  const auto rels = MakeRelations(2, 40, /*seed=*/8);
+  const SumLogEuclideanScoring scoring(1, 1, 1);
+  ShardedEngineOptions opts;
+  opts.partitions_per_relation = 2;
+  auto sharded =
+      ShardedEngine::Create(rels, AccessKind::kScore, &scoring, opts);
+  ASSERT_TRUE(sharded.ok());
+  const QueryEngine& iface = *sharded;
+  EXPECT_EQ(iface.kind(), AccessKind::kScore);
+  EXPECT_EQ(iface.dim(), 2);
+  EXPECT_EQ(iface.num_relations(), 2u);
+  EXPECT_EQ(iface.fan_out(), 4u);
+  // No cache layer here: counters are all zero.
+  const CacheCounters cc = iface.cache_counters();
+  EXPECT_EQ(cc.hits + cc.misses + cc.evictions, 0u);
+
+  // RunBatch through the interface works (inherited implementation).
+  std::vector<QueryRequest> reqs(2);
+  reqs[0].query = Vec(2, 0.0);
+  reqs[0].options.k = 2;
+  reqs[0].options.bound = BoundKind::kCorner;
+  reqs[1].query = Vec(2, 0.1);
+  reqs[1].options.k = 0;  // invalid, isolated
+  const auto batch = iface.RunBatch(reqs);
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_TRUE(batch[0].ok());
+  EXPECT_EQ(batch[1].status.code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace prj
