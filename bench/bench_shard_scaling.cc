@@ -1,19 +1,27 @@
-// Shard-count sweep of the scatter-gather ShardedEngine, checksum-gated
-// against the unsharded Engine.
+// Shard-count, scatter-thread and pruning sweeps of the scatter-gather
+// ShardedEngine, checksum-gated against the unsharded Engine.
 //
-// For each partitions-per-relation value P we build a ShardedEngine
-// (fan-out P^n per-shard engines over shared per-partition indexes), run
-// the same Q-query workload through the QueryEngine interface, and report
-// build time, batch wall time, queries/second, the aggregate sumDepths
-// ratio vs the unsharded engine (the scatter's extra shallow pulls), and
-// the per-query wall-clock makespan (the aggregate's max-across-shards
-// total_seconds, i.e. an idealized parallel fan-out).
+// Three sections, all bit-identity-gated (exit 1, failing the Release CI
+// step, on any divergence -- same scores exactly, same member ids, same
+// order):
 //
-// Gate (exit 1, failing the Release CI step): every row's results must be
-// bit-identical to the unsharded engine -- same scores (exact), same
-// member ids, same order -- for both partitioners.
+//   1. partition sweep: for each partitions-per-relation value P build a
+//      ShardedEngine (fan-out P^n over shared per-partition indexes), run
+//      the same Q-query workload, and report build time, batch wall time,
+//      queries/second, the aggregate sumDepths ratio vs the unsharded
+//      engine and the fraction of shards the corner bound pruned;
+//   2. scatter-thread sweep: fixed P, Options::scatter_threads swept over
+//      {sequential, 2, 4, 8}; reports the parallel speedup over the
+//      sequential scatter. Gate: >= 2x at 8 scatter threads on >= 8-core
+//      hosts (full mode only -- smoke shards are too small to amortize
+//      the fan-out);
+//   3. pruning: STR tiles with a query workload localized in one corner
+//      of the data -- the regime the corner bound is built for. Reports
+//      prune rate and sequential latency with pruning off vs on. Gate:
+//      the localized workload must actually prune (rate > 0).
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.h"
@@ -32,8 +40,21 @@ uint64_t SumDepths(const std::vector<QueryResult>& results) {
   return total;
 }
 
+uint64_t SumPruned(const std::vector<QueryResult>& results) {
+  uint64_t total = 0;
+  for (const QueryResult& qr : results) total += qr.stats.shards_pruned;
+  return total;
+}
+
+double PruneRate(const std::vector<QueryResult>& results, size_t fan_out) {
+  if (results.empty() || fan_out == 0) return 0.0;
+  return static_cast<double>(SumPruned(results)) /
+         (static_cast<double>(results.size()) * static_cast<double>(fan_out));
+}
+
 int Run() {
   const bool smoke = bench::SmokeMode();
+  const unsigned hw = std::thread::hardware_concurrency();
   const int n = 2;
   const int count = smoke ? 1500 : 8000;
   const int q_count = smoke ? 24 : 96;
@@ -86,10 +107,11 @@ int Run() {
   std::printf("unsharded: %.2f ms (%.0f q/s), sumDepths=%llu\n\n",
               base_seconds * 1e3, q_count / base_seconds,
               static_cast<unsigned long long>(base_depths));
-  std::printf("%9s %6s %8s %11s %11s %10s %12s %13s\n", "scheme", "parts",
-              "fan_out", "build_ms", "batch_ms", "q/s", "depth_ratio",
-              "makespan_us");
 
+  // ----------------------- 1. partition sweep -------------------------- //
+  std::printf("%9s %6s %8s %11s %11s %10s %12s %11s\n", "scheme", "parts",
+              "fan_out", "build_ms", "batch_ms", "q/s", "depth_ratio",
+              "prune_rate");
   for (const PartitionScheme scheme :
        {PartitionScheme::kHash, PartitionScheme::kStrTile}) {
     const char* scheme_name =
@@ -116,25 +138,130 @@ int Run() {
           std::string(scheme_name) + "/p" + std::to_string(parts);
       if (!bench::BitIdentical(results, baseline, label.c_str())) return 1;
 
-      // Average per-query makespan: the aggregate total_seconds is the max
-      // across shards, i.e. the wall time of an idealized parallel fan-out.
-      double makespan = 0.0;
-      for (const QueryResult& qr : results) makespan += qr.stats.total_seconds;
-      makespan /= results.empty() ? 1 : static_cast<double>(results.size());
-
-      std::printf("%9s %6u %8zu %11.2f %11.2f %10.0f %12.3f %13.1f\n",
+      std::printf("%9s %6u %8zu %11.2f %11.2f %10.0f %12.3f %11.3f\n",
                   scheme_name, parts, iface.fan_out(), build_seconds * 1e3,
                   seconds * 1e3, q_count / seconds,
                   static_cast<double>(SumDepths(results)) /
                       static_cast<double>(base_depths),
-                  makespan * 1e6);
+                  PruneRate(results, iface.fan_out()));
     }
+  }
+
+  // -------------------- 2. scatter-thread sweep ------------------------ //
+  // Hash partitioning spreads every query's work across all shards, so
+  // this isolates the parallel-scatter win from the pruning win.
+  const uint32_t sweep_parts = smoke ? 3 : 4;
+  std::printf(
+      "\nscatter-thread sweep (hash, parts=%u, fan-out %u, %u hardware "
+      "threads):\n",
+      sweep_parts, sweep_parts * sweep_parts, hw);
+  std::printf("%8s %11s %10s %9s %11s\n", "threads", "batch_ms", "q/s",
+              "speedup", "prune_rate");
+  double sequential_seconds = 0.0;
+  double eight_thread_speedup = 0.0;
+  for (const uint32_t threads : {0u, 2u, 4u, 8u}) {
+    if (threads > std::max(1u, hw)) continue;
+    ShardedEngineOptions opts;
+    opts.partitions_per_relation = sweep_parts;
+    opts.scheme = PartitionScheme::kHash;
+    opts.scatter_threads = threads;
+    auto sharded =
+        ShardedEngine::Create(rels, AccessKind::kDistance, &scoring, opts);
+    if (!sharded.ok()) {
+      std::fprintf(stderr, "ShardedEngine::Create(threads=%u) failed: %s\n",
+                   threads, sharded.status().ToString().c_str());
+      return 1;
+    }
+    WallTimer timer;
+    const auto results = sharded->RunBatch(workload);
+    const double seconds = timer.ElapsedSeconds();
+    const std::string label = "threads=" + std::to_string(threads);
+    if (!bench::BitIdentical(results, baseline, label.c_str())) return 1;
+    if (threads == 0) sequential_seconds = seconds;
+    const double speedup =
+        seconds > 0 && sequential_seconds > 0 ? sequential_seconds / seconds
+                                              : 0.0;
+    if (threads == 8) eight_thread_speedup = speedup;
+    std::printf("%8u %11.2f %10.0f %9.2f %11.3f\n", threads, seconds * 1e3,
+                q_count / seconds, speedup,
+                PruneRate(results, sharded->fan_out()));
+  }
+
+  // --------------------------- 3. pruning ------------------------------ //
+  // STR tiles + corner-localized queries: the regime where the corner
+  // bound over the partition MBRs retires whole shards.
+  std::vector<QueryRequest> localized = workload;
+  {
+    Rng corner_rng(99);
+    const double side = CubeSide(spec);
+    for (QueryRequest& req : localized) {
+      // Deep inside one corner tile of the [-side/2, side/2]^2 domain.
+      req.query =
+          corner_rng.UniformInCube(2, 0.30 * side, 0.45 * side);
+    }
+  }
+  const auto localized_baseline = engine->RunBatch(localized);
+
+  std::printf("\npruning (str-tile, parts=%u, corner-localized queries):\n",
+              sweep_parts);
+  std::printf("%9s %8s %11s %10s %12s %11s\n", "prune", "fan_out", "batch_ms",
+              "q/s", "depth_ratio", "prune_rate");
+  double localized_prune_rate = -1.0;
+  const uint64_t localized_base_depths = SumDepths(localized_baseline);
+  for (const bool prune : {false, true}) {
+    ShardedEngineOptions opts;
+    opts.partitions_per_relation = sweep_parts;
+    opts.scheme = PartitionScheme::kStrTile;
+    opts.prune = prune;
+    auto sharded =
+        ShardedEngine::Create(rels, AccessKind::kDistance, &scoring, opts);
+    if (!sharded.ok()) {
+      std::fprintf(stderr, "ShardedEngine::Create(prune=%d) failed: %s\n",
+                   prune, sharded.status().ToString().c_str());
+      return 1;
+    }
+    WallTimer timer;
+    const auto results = sharded->RunBatch(localized);
+    const double seconds = timer.ElapsedSeconds();
+    const std::string label = std::string("prune=") + (prune ? "on" : "off");
+    if (!bench::BitIdentical(results, localized_baseline, label.c_str())) {
+      return 1;
+    }
+    const double rate = PruneRate(results, sharded->fan_out());
+    if (prune) localized_prune_rate = rate;
+    std::printf("%9s %8zu %11.2f %10.0f %12.3f %11.3f\n",
+                prune ? "on" : "off", sharded->fan_out(), seconds * 1e3,
+                q_count / seconds,
+                static_cast<double>(SumDepths(results)) /
+                    static_cast<double>(localized_base_depths),
+                rate);
   }
 
   std::printf(
       "\nevery row is bit-identical to the unsharded engine (exact scores, "
-      "ids and order); depth_ratio > 1 is the scatter's extra shallow "
-      "pulls, makespan_us the max-across-shards per-query wall time.\n");
+      "ids and order); depth_ratio counts pulls vs unsharded, prune_rate "
+      "the fraction of shards the corner bound skipped.\n");
+
+  if (localized_prune_rate <= 0.0) {
+    std::fprintf(stderr,
+                 "\nFAIL: corner-localized STR-tile workload pruned no "
+                 "shards (rate %.3f)\n",
+                 localized_prune_rate);
+    return 1;
+  }
+  if (!smoke && hw >= 8 && eight_thread_speedup < 2.0) {
+    std::fprintf(stderr,
+                 "\nFAIL: parallel scatter speedup %.2fx at 8 threads on a "
+                 "%u-thread host (need >= 2x)\n",
+                 eight_thread_speedup, hw);
+    return 1;
+  }
+  if (hw < 8) {
+    std::printf(
+        "note: only %u hardware threads; the >= 2x @ 8 scatter threads "
+        "gate needs >= 8.\n",
+        hw);
+  }
   return 0;
 }
 

@@ -40,10 +40,13 @@ int main() {
 
   // Preprocess once: partition each relation into 2 parts and build the
   // 2x2 = 4 per-shard engines over shared per-partition R-trees. The
-  // sharded engine's answers are bit-identical to a monolithic Engine.
+  // sharded engine's answers are bit-identical to a monolithic Engine --
+  // with the scatter fanned across 2 threads per query and shards whose
+  // corner bound cannot reach the running K-th score skipped outright.
   ShardedEngineOptions shard_opts;
   shard_opts.partitions_per_relation = 2;
   shard_opts.scheme = PartitionScheme::kStrTile;
+  shard_opts.scatter_threads = 2;
   auto engine = ShardedEngine::Create({restaurants, cafes},
                                       AccessKind::kDistance, &scoring,
                                       shard_opts);
@@ -138,6 +141,11 @@ int main() {
       static_cast<unsigned long long>(stats.cache_misses),
       static_cast<unsigned long long>(stats.cache_evictions),
       stats.shard_fan_out);
+  std::printf(
+      "scatter: %u threads/query, shards pruned=%llu, gather=%.3f ms\n",
+      engine->scatter_threads(),
+      static_cast<unsigned long long>(stats.shards_pruned),
+      stats.gather_seconds * 1e3);
 
   server.Shutdown(Server::DrainMode::kDrain);
   auto late = server.Submit(first);

@@ -26,7 +26,27 @@ uint32_t BucketOfRank(size_t rank, size_t n, uint32_t buckets) {
   return static_cast<uint32_t>(rank * buckets / n);
 }
 
+// floor(sqrt(n)) in exact integer arithmetic: seed with the FP estimate,
+// then correct. std::sqrt alone is not trustworthy here -- a libm that
+// rounds 49 to 6.999... would truncate to 6 and silently degrade a
+// perfect-square grid (7x7) to a single 1x49 slab.
+uint32_t IntSqrt(uint32_t n) {
+  auto r = static_cast<uint64_t>(std::sqrt(static_cast<double>(n)));
+  while (r > 0 && r * r > n) --r;
+  while ((r + 1) * (r + 1) <= n) ++r;
+  return static_cast<uint32_t>(r);
+}
+
 }  // namespace
+
+uint32_t StrTileSlabCount(uint32_t parts, int dim) {
+  PRJ_CHECK_GE(parts, 1u);
+  if (dim < 2) return parts;
+  for (uint32_t d = IntSqrt(parts); d >= 2; --d) {
+    if (parts % d == 0) return d;
+  }
+  return 1;
+}
 
 std::vector<uint32_t> HashPartitioner::Assign(const Relation& relation,
                                               uint32_t parts) const {
@@ -47,21 +67,7 @@ std::vector<uint32_t> StrTilePartitioner::Assign(const Relation& relation,
   std::vector<uint32_t> assignment(n, 0);
   if (n == 0 || parts == 1) return assignment;
 
-  // Slab count: for >= 2 dimensions, the largest divisor of `parts` not
-  // above sqrt(parts) (so slabs x tiles == parts exactly); 1-d relations
-  // get pure slabs along the single axis.
-  uint32_t slabs = parts;
-  if (relation.dim() >= 2) {
-    slabs = 1;
-    const double exact = std::sqrt(static_cast<double>(parts));
-    const auto root = static_cast<uint32_t>(exact);
-    for (uint32_t d = root; d >= 1; --d) {
-      if (parts % d == 0) {
-        slabs = d;
-        break;
-      }
-    }
-  }
+  const uint32_t slabs = StrTileSlabCount(parts, relation.dim());
   const uint32_t tiles = parts / slabs;
 
   std::vector<uint32_t> order(n);

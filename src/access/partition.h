@@ -60,6 +60,15 @@ class StrTilePartitioner final : public Partitioner {
                                uint32_t parts) const override;
 };
 
+/// Slab count StrTilePartitioner uses for a `parts`-way split of a
+/// relation of dimensionality `dim`: the largest divisor of `parts` not
+/// above its exact integer square root for dim >= 2 (so slabs x tiles ==
+/// parts and the grid is as square as possible -- a perfect square always
+/// yields root x root), `parts` pure slabs for 1-d relations. Exposed so
+/// the grid choice is directly testable (a truncated floating-point sqrt
+/// once silently degraded 49 to a 1 x 49 split).
+uint32_t StrTileSlabCount(uint32_t parts, int dim);
+
 /// Named partitioning strategies (ShardedEngineOptions selects one).
 enum class PartitionScheme { kHash, kStrTile };
 

@@ -85,8 +85,10 @@ IndexedRelation::IndexedRelation(const Relation& relation)
   items.reserve(tuples_.size());
   for (size_t i = 0; i < tuples_.size(); ++i) {
     items.push_back(RTree::Item{tuples_[i].x, static_cast<int64_t>(i)});
+    score_max_ = std::max(score_max_, tuples_[i].score);
   }
   tree_ = RTree::BulkLoad(relation.dim(), std::move(items));
+  mbr_ = tree_.RootMbr();
 }
 
 std::shared_ptr<const IndexedRelation> IndexedRelation::Build(
@@ -122,6 +124,14 @@ RelationSnapshot::RelationSnapshot(const Relation& relation)
             [&](uint32_t a, uint32_t b) {
               return ScoreOrderLess(tuples_[a], tuples_[b]);
             });
+  for (const Tuple& t : tuples_) {
+    score_max_ = std::max(score_max_, t.score);
+    if (mbr_) {
+      mbr_->Extend(Rect::ForPoint(t.x));
+    } else {
+      mbr_ = Rect::ForPoint(t.x);
+    }
+  }
 }
 
 std::shared_ptr<const RelationSnapshot> RelationSnapshot::Build(

@@ -123,6 +123,12 @@ class IndexedRelation {
   double sigma_max() const { return sigma_max_; }
   const std::vector<Tuple>& tuples() const { return tuples_; }
   const RTree& tree() const { return tree_; }
+  /// Spatial envelope of the indexed tuples (the R-tree root MBR), or
+  /// nullopt for an empty relation. Shard pruning's per-partition bound.
+  const std::optional<Rect>& mbr() const { return mbr_; }
+  /// Largest score actually present (0 for an empty relation): a tighter
+  /// per-partition ceiling than the a-priori sigma_max.
+  double score_max() const { return score_max_; }
 
  private:
   IndexedRelation(const Relation& relation);
@@ -132,6 +138,8 @@ class IndexedRelation {
   double sigma_max_;
   std::vector<Tuple> tuples_;
   RTree tree_;
+  std::optional<Rect> mbr_;
+  double score_max_ = 0.0;
 };
 
 /// Distance-based access over a shared IndexedRelation. Construction is
@@ -172,6 +180,12 @@ class RelationSnapshot {
   const std::vector<Tuple>& tuples() const { return tuples_; }
   /// Positions into tuples() sorted by decreasing score, ties by id.
   const std::vector<uint32_t>& score_order() const { return score_order_; }
+  /// Spatial envelope of the snapshot's tuples (computed once at Build),
+  /// or nullopt for an empty relation; the presorted counterpart of
+  /// IndexedRelation::mbr for shard pruning.
+  const std::optional<Rect>& mbr() const { return mbr_; }
+  /// Largest score actually present (0 for an empty relation).
+  double score_max() const { return score_max_; }
 
  private:
   explicit RelationSnapshot(const Relation& relation);
@@ -181,6 +195,8 @@ class RelationSnapshot {
   double sigma_max_;
   std::vector<Tuple> tuples_;
   std::vector<uint32_t> score_order_;
+  std::optional<Rect> mbr_;
+  double score_max_ = 0.0;
 };
 
 /// Score-based access over a shared RelationSnapshot; O(1) setup. Same

@@ -1,0 +1,49 @@
+#include "common/thread_pool.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace prj {
+
+ThreadPool::ThreadPool(int num_threads) {
+  PRJ_CHECK_GE(num_threads, 1);
+  threads_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    threads_.emplace_back(&ThreadPool::WorkerLoop, this);
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  PRJ_CHECK(task != nullptr);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tasks_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return stopping_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stopping_ and nothing left to drain
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    task();
+  }
+}
+
+}  // namespace prj

@@ -1,0 +1,61 @@
+// A small reusable worker pool: N threads draining one task queue.
+//
+// ShardedEngine (shard/sharded_engine.h) uses it to scatter one query's
+// shards concurrently; the pool is deliberately generic so other fan-out
+// layers can share the primitive. Tasks are plain std::function<void()>
+// thunks: the pool imposes no result plumbing -- callers that need a
+// barrier count completions themselves (see the scatter loop for the
+// canonical pattern: submit helpers, run the same loop on the calling
+// thread, wait for the helpers to drain).
+//
+// Semantics:
+//   * Submit never blocks (unbounded queue) and may be called from any
+//     thread, including from inside a task;
+//   * tasks must not throw -- an escaping exception would terminate the
+//     process (same contract as a detached thread body);
+//   * the destructor finishes every queued task, then joins. Follow-up
+//     work a draining task submits still runs (the submitting task's own
+//     worker picks it up) -- so recursive submission must terminate, or
+//     the destructor never does. Submitting from outside the pool once
+//     destruction has begun is a lifetime bug on the caller.
+#ifndef PRJ_COMMON_THREAD_POOL_H_
+#define PRJ_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace prj {
+
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (>= 1, checked).
+  explicit ThreadPool(int num_threads);
+
+  /// Finishes the queued backlog, then joins every worker.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues one task; some worker runs it eventually. Never blocks.
+  void Submit(std::function<void()> task);
+
+  int num_threads() const { return static_cast<int>(threads_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> tasks_;  ///< guarded by mu_
+  bool stopping_ = false;                    ///< guarded by mu_
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace prj
+
+#endif  // PRJ_COMMON_THREAD_POOL_H_

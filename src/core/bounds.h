@@ -47,6 +47,25 @@ class BoundingScheme {
   virtual const BoundStats& stats() const = 0;
 };
 
+/// What a corner-style bound needs to know about a *region* of one
+/// relation (a partition, a subtree, ...): a ceiling on member scores and
+/// a floor on member distances to the query, in the scoring metric.
+struct RelationEnvelope {
+  double score_ceiling = 0.0;  ///< no member scores above this
+  double min_dist_q = 0.0;     ///< no member is closer to q than this
+};
+
+/// Admissible upper bound on the aggregate score of ANY combination drawn
+/// from regions described by `envelopes` (one per relation, join order):
+/// each slot at its score ceiling, at its minimum query distance, at
+/// centroid distance 0. The same corner construction as eq. (4) -- g_i is
+/// non-decreasing in sigma and non-increasing in both distances, and f is
+/// monotone, so no combination of the regions can score higher. The
+/// sharded engine prunes shards whose bound over the partition MBRs
+/// cannot beat the running K-th score (shard/sharded_engine.h).
+double CornerUpperBound(const ScoringFunction& scoring,
+                        const std::vector<RelationEnvelope>& envelopes);
+
 /// HRJN's corner bound; works with any ScoringFunction and both access
 /// kinds. CBRR/CBPA of the paper == HRJN/HRJN* with this scheme.
 class CornerBound : public BoundingScheme {

@@ -4,6 +4,18 @@
 
 namespace prj {
 
+double CornerUpperBound(const ScoringFunction& scoring,
+                        const std::vector<RelationEnvelope>& envelopes) {
+  std::vector<double> s;
+  s.reserve(envelopes.size());
+  for (size_t j = 0; j < envelopes.size(); ++j) {
+    s.push_back(scoring.ProximityWeightedScore(
+        static_cast<int>(j), envelopes[j].score_ceiling,
+        envelopes[j].min_dist_q, 0.0));
+  }
+  return scoring.Aggregate(s);
+}
+
 CornerBound::CornerBound(const JoinState* state, const ScoringFunction* scoring)
     : state_(state), scoring_(scoring) {}
 

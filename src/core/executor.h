@@ -102,6 +102,15 @@ struct ExecStats {
   BoundStats bound_stats;
   double final_bound = 0.0;
   bool completed = false;           ///< false if a safety rail tripped
+
+  // Scatter-gather accounting, filled only by ShardedEngine (zero for
+  // monolithic executions). On the sequential scatter path the wall-clock
+  // fields above are SUMS across shards (the real single-thread latency);
+  // on the parallel path they are MAXES (the makespan).
+  uint32_t scatter_threads = 0;     ///< threads that scattered the shards
+                                    ///< (0 = sequential scatter)
+  uint64_t shards_pruned = 0;       ///< shards skipped by the corner bound
+  double gather_seconds = 0.0;      ///< merging per-shard results
 };
 
 /// One result combination with materialized member tuples.

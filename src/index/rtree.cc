@@ -372,6 +372,11 @@ RTree RTree::BulkLoad(int dim, std::vector<Item> items, int max_entries) {
   return tree;
 }
 
+std::optional<Rect> RTree::RootMbr() const {
+  if (size_ == 0) return std::nullopt;
+  return root_->mbr;
+}
+
 std::vector<int64_t> RTree::RangeQuery(const Rect& box) const {
   std::vector<int64_t> out;
   if (size_ == 0) return out;

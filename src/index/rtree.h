@@ -76,6 +76,12 @@ class RTree {
   /// Builds a tree from scratch with sort-tile-recursive packing.
   static RTree BulkLoad(int dim, std::vector<Item> items, int max_entries = 16);
 
+  /// Minimum bounding rectangle of every indexed point -- the root node's
+  /// MBR -- or nullopt for an empty tree. The sharded engine's
+  /// corner-bound shard pruning reads this as the spatial envelope of a
+  /// partition (shard/sharded_engine.h).
+  std::optional<Rect> RootMbr() const;
+
   /// All ids whose point lies inside `box` (inclusive).
   std::vector<int64_t> RangeQuery(const Rect& box) const;
 
@@ -99,11 +105,20 @@ class RTree {
     friend class RTree;
     struct QueueEntry {
       double dist_sq;
-      uint64_t seq;         // tie-break for determinism
+      uint64_t seq;         // node-vs-node tie-break (expansion order)
       const void* node;     // internal node, or nullptr for a leaf item
       Item item;
+      // Exact-distance ties must stream in id order regardless of tree
+      // shape (the access-order contract of Definition 2.1; the sharded
+      // gather reconstructs it from output tuples alone): nodes expand
+      // before items at the same distance so every tied item surfaces
+      // first, and tied items then pop by id.
       bool operator>(const QueueEntry& o) const {
         if (dist_sq != o.dist_sq) return dist_sq > o.dist_sq;
+        const bool is_item = node == nullptr;
+        const bool o_is_item = o.node == nullptr;
+        if (is_item != o_is_item) return is_item;  // nodes first
+        if (is_item) return item.id > o.item.id;
         return seq > o.seq;
       }
     };

@@ -52,6 +52,11 @@ void Server::WorkerLoop(WorkerSlot* slot) {
     slot->served.fetch_add(1, std::memory_order_relaxed);
     if (!qr.ok()) slot->failed.fetch_add(1, std::memory_order_relaxed);
     slot->sum_depths.fetch_add(qr.stats.sum_depths, std::memory_order_relaxed);
+    slot->shards_pruned.fetch_add(qr.stats.shards_pruned,
+                                  std::memory_order_relaxed);
+    slot->gather_nanos.fetch_add(
+        static_cast<uint64_t>(qr.stats.gather_seconds * 1e9),
+        std::memory_order_relaxed);
     task->promise.set_value(std::move(qr));
   }
 }
@@ -117,6 +122,12 @@ ServerStats Server::Stats() const {
     stats.queries_served += slot->served.load(std::memory_order_relaxed);
     stats.queries_failed += slot->failed.load(std::memory_order_relaxed);
     stats.sum_depths += slot->sum_depths.load(std::memory_order_relaxed);
+    stats.shards_pruned +=
+        slot->shards_pruned.load(std::memory_order_relaxed);
+    stats.gather_seconds +=
+        static_cast<double>(
+            slot->gather_nanos.load(std::memory_order_relaxed)) *
+        1e-9;
     merged.MergeFrom(slot->latency);
   }
   stats.queries_rejected = rejected_.load(std::memory_order_relaxed);

@@ -66,6 +66,11 @@ struct ServerStats {
   /// Scatter fan-out of the engine: per-shard engines consulted per query
   /// (1 for a monolithic Engine).
   size_t shard_fan_out = 1;
+  /// Shards the corner bound skipped, summed over served queries (0 when
+  /// the engine stack has no sharded layer or pruning is off).
+  uint64_t shards_pruned = 0;
+  /// Total time the sharded gather spent merging per-shard results.
+  double gather_seconds = 0.0;
   /// End-to-end latency quantiles, clocked from Submit to completion --
   /// queue wait included, so saturation shows up here, not just in
   /// queue_high_water.
@@ -129,6 +134,8 @@ class Server {
     std::atomic<uint64_t> served{0};
     std::atomic<uint64_t> failed{0};
     std::atomic<uint64_t> sum_depths{0};
+    std::atomic<uint64_t> shards_pruned{0};
+    std::atomic<uint64_t> gather_nanos{0};
     LatencyHistogram latency;
   };
 

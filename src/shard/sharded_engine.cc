@@ -1,11 +1,17 @@
 #include "shard/sharded_engine.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <condition_variable>
 #include <cstddef>
 #include <limits>
+#include <mutex>
 #include <string>
 #include <utility>
 
+#include "common/timer.h"
+#include "core/bounds.h"
 #include "core/executor.h"
 
 namespace prj {
@@ -49,20 +55,41 @@ bool GatherBetter(const KeyedCombination& a, const KeyedCombination& b) {
   return false;
 }
 
+// Pruning slack: ShardUpperBound pays a sqrt/square round trip
+// (MinSquaredDistance is exact, the scoring interface takes a plain
+// distance), so the computed bound can sit a few ulps below the exact
+// corner value. Widening the comparison by a relative-absolute margin
+// makes rounding strictly conservative: it can only keep a prunable
+// shard, never prune a shard whose best combination ties the K-th score.
+bool PrunedBy(double bound, double kth_score) {
+  return bound + 1e-9 * (1.0 + std::abs(bound)) < kth_score;
+}
+
 }  // namespace
 
-void AggregateShardStats(const ExecStats& shard, ExecStats* aggregate) {
+void AggregateShardStats(const ExecStats& shard, ScatterMode mode,
+                         ExecStats* aggregate) {
   for (size_t j = 0; j < shard.depths.size() && j < aggregate->depths.size();
        ++j) {
     aggregate->depths[j] += shard.depths[j];
   }
   aggregate->sum_depths += shard.sum_depths;
-  aggregate->total_seconds = std::max(aggregate->total_seconds,
-                                      shard.total_seconds);
-  aggregate->bound_seconds = std::max(aggregate->bound_seconds,
-                                      shard.bound_seconds);
-  aggregate->dominance_seconds = std::max(aggregate->dominance_seconds,
-                                          shard.dominance_seconds);
+  if (mode == ScatterMode::kSequential) {
+    // Shards ran back to back on one thread: their wall times add up to
+    // the real latency (maxing here under-reported it by up to the
+    // fan-out factor).
+    aggregate->total_seconds += shard.total_seconds;
+    aggregate->bound_seconds += shard.bound_seconds;
+    aggregate->dominance_seconds += shard.dominance_seconds;
+  } else {
+    // Shards ran concurrently: the slowest one is the makespan.
+    aggregate->total_seconds =
+        std::max(aggregate->total_seconds, shard.total_seconds);
+    aggregate->bound_seconds =
+        std::max(aggregate->bound_seconds, shard.bound_seconds);
+    aggregate->dominance_seconds =
+        std::max(aggregate->dominance_seconds, shard.dominance_seconds);
+  }
   aggregate->combinations_formed += shard.combinations_formed;
   aggregate->bound_stats.bound_updates += shard.bound_stats.bound_updates;
   aggregate->bound_stats.qp_solves += shard.bound_stats.qp_solves;
@@ -95,7 +122,9 @@ Result<ShardedEngine> ShardedEngine::Create(
   const int dim = relations.front().dim();
 
   // Partition each relation and build every per-partition catalog exactly
-  // once; the shard engines below share them.
+  // once; the shard engines below share them. The pruning envelopes (MBR
+  // + per-part score maximum) come straight off the catalogs: the R-tree
+  // root MBR on the index path, the snapshot's precomputed box otherwise.
   const auto partitioner = MakePartitioner(options.scheme);
   const bool use_rtree = kind == AccessKind::kDistance &&
                          options.engine.backend == SourceBackend::kRTree;
@@ -103,21 +132,30 @@ Result<ShardedEngine> ShardedEngine::Create(
   std::vector<std::vector<std::shared_ptr<const IndexedRelation>>> indexes(n);
   std::vector<std::vector<std::shared_ptr<const RelationSnapshot>>> snaps(n);
   std::vector<std::vector<bool>> part_empty(n);
+  ShardedEngine sharded(kind, scoring, options, dim, n);
+  sharded.part_meta_.resize(n);
   for (size_t j = 0; j < n; ++j) {
     const auto sub = PartitionRelation(relations[j], *partitioner, parts);
     part_empty[j].reserve(parts);
+    sharded.part_meta_[j].reserve(parts);
     for (const Relation& part : sub) {
       part_empty[j].push_back(part.empty());
+      PartMeta meta;
       if (use_rtree) {
-        indexes[j].push_back(IndexedRelation::Build(part));
+        auto index = IndexedRelation::Build(part);
+        meta = PartMeta{index->mbr(), index->score_max()};
+        indexes[j].push_back(std::move(index));
       } else {
-        snaps[j].push_back(RelationSnapshot::Build(part));
+        auto snap = RelationSnapshot::Build(part);
+        meta = PartMeta{snap->mbr(), snap->score_max()};
+        snaps[j].push_back(std::move(snap));
       }
+      sharded.part_meta_[j].push_back(std::move(meta));
     }
   }
 
-  ShardedEngine sharded(kind, options, dim, n);
   sharded.shards_.reserve(fan_out);
+  sharded.shard_parts_.reserve(fan_out);
   // Odometer over the part indices (i_1,...,i_n): one shard engine per
   // combination whose cross product is non-empty.
   std::vector<uint32_t> digits(n, 0);
@@ -139,13 +177,45 @@ Result<ShardedEngine> ShardedEngine::Create(
                               std::move(shard_indexes), std::move(shard_snaps));
       PRJ_RETURN_IF_ERROR(engine.status());
       sharded.shards_.push_back(std::move(*engine));
+      sharded.shard_parts_.push_back(digits);
     }
     for (size_t j = 0; j < n; ++j) {
       if (++digits[j] < parts) break;
       digits[j] = 0;
     }
   }
+  if (options.scatter_threads > 1 && sharded.shards_.size() > 1) {
+    // The calling thread participates in its own scatter, so the pool
+    // only needs the helpers. With 0-1 shards the parallel path can never
+    // run -- don't spawn threads that would idle for the engine's life.
+    sharded.pool_ = std::make_unique<ThreadPool>(
+        static_cast<int>(options.scatter_threads) - 1);
+  }
   return sharded;
+}
+
+void ShardedEngine::FillEnvelopes(
+    size_t i, const Vec& query,
+    std::vector<RelationEnvelope>* envelopes) const {
+  envelopes->resize(num_relations_);
+  const bool euclidean = scoring_->euclidean_metric();
+  for (size_t j = 0; j < num_relations_; ++j) {
+    const PartMeta& meta = part_meta_[j][shard_parts_[i][j]];
+    (*envelopes)[j].score_ceiling = meta.score_max;
+    // Distance floor: Euclidean MINDIST from the query to the part's MBR.
+    // A non-Euclidean scoring metric keeps the floor at 0 -- still
+    // admissible, just loose.
+    (*envelopes)[j].min_dist_q =
+        euclidean && meta.mbr
+            ? std::sqrt(meta.mbr->MinSquaredDistance(query))
+            : 0.0;
+  }
+}
+
+double ShardedEngine::ShardUpperBound(size_t i, const Vec& query) const {
+  std::vector<RelationEnvelope> envelopes;
+  FillEnvelopes(i, query, &envelopes);
+  return CornerUpperBound(*scoring_, envelopes);
 }
 
 Result<std::vector<ResultCombination>> ShardedEngine::TopK(
@@ -166,30 +236,152 @@ Result<std::vector<ResultCombination>> ShardedEngine::TopK(
   aggregate.completed = true;
   aggregate.final_bound = -std::numeric_limits<double>::infinity();
 
-  std::vector<KeyedCombination> gathered;
-  for (const Engine& shard : shards_) {
-    ExecStats shard_stats;
-    auto local = shard.TopK(query, options, &shard_stats);
-    PRJ_RETURN_IF_ERROR(local.status());
-    AggregateShardStats(shard_stats, &aggregate);
-    for (ResultCombination& combo : *local) {
-      gathered.push_back(MakeKeyed(std::move(combo), kind_, query));
-    }
+  if (shards_.empty()) {
+    if (stats_out) *stats_out = std::move(aggregate);
+    return std::vector<ResultCombination>{};
   }
 
-  // Only the global top K survive: partial_sort is O(N log K) against the
-  // full sort's O(N log N) over the per-shard union.
-  const size_t keep =
-      std::min(gathered.size(), static_cast<size_t>(options.k));
-  std::partial_sort(gathered.begin(),
-                    gathered.begin() + static_cast<ptrdiff_t>(keep),
-                    gathered.end(), GatherBetter);
-  gathered.resize(keep);
+  // A traced query always runs the plain sequential scatter: the trace
+  // contract is every shard's execution, concatenated in shard order --
+  // pruning would drop segments and the pool would interleave them.
+  const bool traced = options.trace != nullptr;
+  const bool prune = options_.prune && !traced;
+  const bool parallel = pool_ != nullptr && !traced && shards_.size() > 1;
+  const ScatterMode mode =
+      parallel ? ScatterMode::kParallel : ScatterMode::kSequential;
+
+  // Visit shards best-bound-first (ties by shard index): the K-th
+  // gathered score tightens as early as possible, so later -- weaker --
+  // shards get pruned. Without pruning the visit order cannot affect the
+  // result (the K-heap keeps the best K under a strict total order), so
+  // unpruned runs skip the bound computation and keep plain shard order.
+  struct RankedShard {
+    size_t shard;
+    double bound;
+  };
+  std::vector<RankedShard> order;
+  order.reserve(shards_.size());
+  if (prune) {
+    std::vector<RelationEnvelope> envelopes;  // reused across shards
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      FillEnvelopes(s, query, &envelopes);
+      order.push_back({s, CornerUpperBound(*scoring_, envelopes)});
+    }
+    std::sort(order.begin(), order.end(),
+              [](const RankedShard& a, const RankedShard& b) {
+                if (a.bound != b.bound) return a.bound > b.bound;
+                return a.shard < b.shard;
+              });
+  } else {
+    for (size_t s = 0; s < shards_.size(); ++s) order.push_back({s, 0.0});
+  }
+
+  // Shared scatter state. `best` is a bounded K-heap under the exact
+  // gather order (worst kept combination at the front), so peak gather
+  // memory is O(K), not O(fan_out x K); `threshold` caches the K-th score
+  // for lock-free prune checks -- it only ever tightens, so a stale read
+  // is merely conservative.
+  const size_t keep = static_cast<size_t>(options.k);
+  std::mutex mu;
+  std::vector<KeyedCombination> best;        // guarded by mu
+  Status first_error;                        // guarded by mu
+  std::atomic<bool> failed{false};
+  std::atomic<size_t> next{0};
+  std::atomic<uint64_t> pruned{0};
+  std::atomic<double> threshold{-std::numeric_limits<double>::infinity()};
+
+  auto run_shards = [&]() {
+    for (;;) {
+      const size_t slot = next.fetch_add(1, std::memory_order_relaxed);
+      if (slot >= order.size()) return;
+      const RankedShard& ranked = order[slot];
+      if (prune &&
+          PrunedBy(ranked.bound, threshold.load(std::memory_order_acquire))) {
+        // No combination of this shard can reach the K already gathered
+        // -- strictly below on score, so no tie to win either.
+        pruned.fetch_add(1, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lock(mu);
+        aggregate.final_bound = std::max(aggregate.final_bound, ranked.bound);
+        continue;
+      }
+      if (failed.load(std::memory_order_relaxed)) return;
+      ExecStats shard_stats;
+      auto local = shards_[ranked.shard].TopK(query, options, &shard_stats);
+      if (!local.ok()) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (first_error.ok()) first_error = local.status();
+        failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+      // Access keys are query-dependent but shard-local: compute them
+      // outside the merge lock.
+      std::vector<KeyedCombination> keyed;
+      keyed.reserve(local->size());
+      for (ResultCombination& combo : *local) {
+        keyed.push_back(MakeKeyed(std::move(combo), kind_, query));
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      const WallTimer gather_timer;
+      AggregateShardStats(shard_stats, mode, &aggregate);
+      for (KeyedCombination& kc : keyed) {
+        if (best.size() < keep) {
+          best.push_back(std::move(kc));
+          std::push_heap(best.begin(), best.end(), GatherBetter);
+        } else if (GatherBetter(kc, best.front())) {
+          std::pop_heap(best.begin(), best.end(), GatherBetter);
+          best.back() = std::move(kc);
+          std::push_heap(best.begin(), best.end(), GatherBetter);
+        }
+      }
+      if (best.size() >= keep) {
+        threshold.store(best.front().combo.score, std::memory_order_release);
+      }
+      aggregate.gather_seconds += gather_timer.ElapsedSeconds();
+    }
+  };
+
+  if (parallel) {
+    // The pool is shared by concurrent queries, so completion is tracked
+    // per scatter: helpers run the same claim loop and count themselves
+    // out; the calling thread participates, so progress never depends on
+    // the pool being free.
+    const size_t workers =
+        std::min<size_t>(options_.scatter_threads, order.size());
+    const size_t helpers = workers - 1;
+    std::mutex done_mu;
+    std::condition_variable done_cv;
+    size_t outstanding = helpers;  // guarded by done_mu
+    for (size_t h = 0; h < helpers; ++h) {
+      pool_->Submit([&]() {
+        run_shards();
+        // The decrement happens under the lock so the waiter can only
+        // observe 0 once this helper is past every touch of the shared
+        // scatter state -- after which the caller may safely destroy it.
+        std::lock_guard<std::mutex> lock(done_mu);
+        if (--outstanding == 0) done_cv.notify_all();
+      });
+    }
+    run_shards();
+    std::unique_lock<std::mutex> lock(done_mu);
+    done_cv.wait(lock, [&]() { return outstanding == 0; });
+    aggregate.scatter_threads = static_cast<uint32_t>(workers);
+  } else {
+    run_shards();
+  }
+
+  if (failed.load(std::memory_order_relaxed)) return first_error;
+
+  // The heap holds exactly the global top K (exactness argument in the
+  // file comment); one K log K sort puts it in the executor's order.
+  const WallTimer finish_timer;
+  std::sort(best.begin(), best.end(), GatherBetter);
   std::vector<ResultCombination> merged;
-  merged.reserve(gathered.size());
-  for (KeyedCombination& keyed : gathered) {
+  merged.reserve(best.size());
+  for (KeyedCombination& keyed : best) {
     merged.push_back(std::move(keyed.combo));
   }
+  aggregate.gather_seconds += finish_timer.ElapsedSeconds();
+  aggregate.shards_pruned = pruned.load(std::memory_order_relaxed);
   if (stats_out) *stats_out = std::move(aggregate);
   return merged;
 }

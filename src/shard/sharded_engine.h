@@ -9,41 +9,73 @@
 // and shared by every shard engine that covers the partition (via
 // Engine::FromCatalog), so the data is never indexed twice.
 //
-// TopK scatters the query to every shard, gathers the per-shard top-K
-// lists, and merges them by the executor's exact result order. The merge
-// is provably exact:
+// TopK scatters the query over the shards -- sequentially, or across a
+// worker pool when Options::scatter_threads > 1 -- visiting them in
+// best-bound-first order and merging the per-shard top-K lists through a
+// bounded K-heap under the executor's exact result order. Two levers keep
+// the work proportional to the output instead of the fan-out:
+//
+//   * corner-bound shard pruning: each shard carries an a-priori upper
+//     bound -- CornerUpperBound over its partitions' MBRs and per-part
+//     score maxima (core/bounds.h) -- on the score of ANY combination it
+//     can produce. A shard whose bound cannot beat the running global
+//     K-th score is skipped entirely. Visiting shards in descending bound
+//     order makes the K-th score tighten as early as possible, so on
+//     localized workloads (STR tiles + a clustered query) most shards
+//     never run.
+//   * parallel scatter: non-pruned shards run concurrently on a pool
+//     created at Create time and shared by concurrent queries; the
+//     calling thread participates, so progress never depends on pool
+//     availability.
+//
+// The merge is provably exact, with or without pruning and parallelism:
 //
 //   1. Every combination of the global top K lives in exactly one shard
 //      (the parts are disjoint and cover each relation), and within that
 //      shard at most K combinations can precede it -- so the shard's own
 //      top-K list contains it. The union of the per-shard lists therefore
 //      contains the global top K.
-//   2. The executor's output order (TopKBuffer: score descending, ties by
+//   2. A pruned shard cannot contribute: pruning requires K combinations
+//      already gathered with K-th score strictly above the shard's upper
+//      bound, so every combination of the shard scores strictly below all
+//      K of them -- it can neither displace one nor win a tie. The
+//      threshold only tightens over time, so the decision is sound even
+//      against a stale value read concurrently.
+//   3. The executor's output order (TopKBuffer: score descending, ties by
 //      lexicographic member positions within the pulled prefixes) is
 //      reconstructible from the output tuples alone: position order per
 //      relation IS access order, i.e. (distance to q asc, id asc) under
 //      distance access and (score desc, id asc) under score access. The
-//      gather re-sorts the union with exactly that order and keeps K.
+//      gather keeps the best K of the union under exactly that order --
+//      a strict total order, so the kept set and its final sort are
+//      independent of arrival order.
 //
 // Hence the merged list is bit-identical to the unsharded Engine's answer,
-// ties included (property-tested across presets, backends, partitioners
-// and adversarial tie-heavy inputs in tests/shard_test.cc).
+// ties included (property-tested across presets, backends, partitioners,
+// scatter modes and adversarial tie-heavy inputs in tests/shard_test.cc).
 //
 // Stats: the aggregate ExecStats sums work counters (depths, sum_depths,
-// combinations_formed, bound_stats) across shards, while the wall-clock
-// fields (total_seconds, bound_seconds, dominance_seconds) report the MAX
-// across shards -- the makespan of an idealized parallel fan-out -- and
-// final_bound the loosest shard's bound; completed is the AND of all
-// shards. See AggregateShardStats.
+// combinations_formed, bound_stats) across shards. The wall-clock fields
+// (total_seconds, bound_seconds, dominance_seconds) SUM across shards on
+// the sequential path -- that is the real latency -- and MAX on the
+// parallel path (the makespan); scatter_threads records which mode ran.
+// final_bound is the loosest shard's bound (a pruned shard contributes
+// its static corner bound), completed is the AND of all executed shards,
+// and shards_pruned / gather_seconds account for the scatter itself. See
+// AggregateShardStats.
 #ifndef PRJ_SHARD_SHARDED_ENGINE_H_
 #define PRJ_SHARD_SHARDED_ENGINE_H_
 
 #include <cstdint>
+#include <memory>
+#include <optional>
 #include <vector>
 
 #include "access/partition.h"
+#include "common/thread_pool.h"
 #include "core/engine.h"
 #include "core/query_engine.h"
+#include "index/rtree.h"
 
 namespace prj {
 
@@ -56,14 +88,30 @@ struct ShardedEngineOptions {
   PartitionScheme scheme = PartitionScheme::kHash;
   /// Options for every per-shard Engine (backend, paging).
   EngineOptions engine;
+  /// Threads that scatter one query's shards concurrently; 0 or 1 keeps
+  /// the sequential scatter. The pool (scatter_threads - 1 workers; the
+  /// calling thread is the remaining one) is created at Create time and
+  /// shared by concurrent TopK calls.
+  uint32_t scatter_threads = 0;
+  /// Skip shards whose corner-bound upper score over their partitions'
+  /// MBRs cannot beat the running K-th gathered score. Results are
+  /// bit-identical either way; disable only to measure the pruning win.
+  bool prune = true;
 };
 
+/// How one query's shards were visited; picks the wall-clock aggregation
+/// rule (see AggregateShardStats).
+enum class ScatterMode { kSequential, kParallel };
+
 /// Accumulates one shard's per-query stats into the scatter-gather
-/// aggregate: counters sum, wall-clock fields take the max (an idealized
-/// parallel fan-out's makespan), final_bound takes the max (the loosest
-/// shard), completed ANDs. `aggregate->depths` must already be sized to
-/// the relation count. Exposed for the focused unit test.
-void AggregateShardStats(const ExecStats& shard, ExecStats* aggregate);
+/// aggregate: counters sum; wall-clock fields SUM under
+/// ScatterMode::kSequential (shards ran back to back -- the real latency)
+/// and MAX under kParallel (the idealized makespan); final_bound takes
+/// the max (the loosest shard), completed ANDs. `aggregate->depths` must
+/// already be sized to the relation count. Exposed for the focused unit
+/// test.
+void AggregateShardStats(const ExecStats& shard, ScatterMode mode,
+                         ExecStats* aggregate);
 
 class ShardedEngine : public QueryEngine {
  public:
@@ -89,15 +137,21 @@ class ShardedEngine : public QueryEngine {
   /// the same relations (see file comment for the exactness argument).
   /// `options` apply to every shard individually; note that the safety
   /// rails (max_pulls, time_budget_seconds) therefore bound each shard,
-  /// not the whole scatter, and that `options.trace` receives the shards'
-  /// executions concatenated in shard order -- per-shard trajectory
-  /// invariants hold within each segment (depths restart and the bound
-  /// jumps back up at every shard boundary), so trace consumers that
-  /// assert whole-run invariants should trace the shards individually
-  /// via shard(i).TopK instead.
+  /// not the whole scatter. A traced query (`options.trace` non-null)
+  /// always runs sequentially with pruning off, so the trace receives
+  /// every shard's execution concatenated in shard order -- per-shard
+  /// trajectory invariants hold within each segment (depths restart and
+  /// the bound jumps back up at every shard boundary); trace consumers
+  /// that assert whole-run invariants should trace the shards
+  /// individually via shard(i).TopK instead.
   Result<std::vector<ResultCombination>> TopK(
       const Vec& query, const ProxRJOptions& options,
       ExecStats* stats_out = nullptr) const override;
+
+  /// The corner-bound upper score of shard `i` for `query`: no
+  /// combination the shard can produce scores higher. Drives pruning and
+  /// the best-bound-first visit order; exposed for tests and benches.
+  double ShardUpperBound(size_t i, const Vec& query) const;
 
   AccessKind kind() const override { return kind_; }
   int dim() const override { return dim_; }
@@ -111,20 +165,44 @@ class ShardedEngine : public QueryEngine {
     return options_.partitions_per_relation;
   }
   PartitionScheme scheme() const { return options_.scheme; }
+  uint32_t scatter_threads() const { return options_.scatter_threads; }
 
  private:
-  ShardedEngine(AccessKind kind, Options options, int dim,
-                size_t num_relations)
+  /// Per-partition envelope metadata the shard bounds are built from.
+  struct PartMeta {
+    std::optional<Rect> mbr;  ///< nullopt for an empty part
+    double score_max = 0.0;   ///< largest score present in the part
+  };
+
+  /// Writes shard `i`'s per-relation pruning envelopes (score ceiling +
+  /// MBR MINDIST to `query`) into `*envelopes`, resizing it; split out of
+  /// ShardUpperBound so the scatter can reuse one scratch buffer across
+  /// the whole fan-out.
+  void FillEnvelopes(size_t i, const Vec& query,
+                     std::vector<RelationEnvelope>* envelopes) const;
+
+  ShardedEngine(AccessKind kind, const ScoringFunction* scoring,
+                Options options, int dim, size_t num_relations)
       : kind_(kind),
+        scoring_(scoring),
         options_(options),
         dim_(dim),
         num_relations_(num_relations) {}
 
   AccessKind kind_;
+  const ScoringFunction* scoring_;
   Options options_;
   int dim_;
   size_t num_relations_;
   std::vector<Engine> shards_;
+  /// Per shard (aligned with shards_), per relation in join order: which
+  /// part of the relation the shard joins.
+  std::vector<std::vector<uint32_t>> shard_parts_;
+  /// Per relation, per part: the pruning envelope.
+  std::vector<std::vector<PartMeta>> part_meta_;
+  /// Present iff options_.scatter_threads > 1; shared by concurrent
+  /// queries.
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace prj

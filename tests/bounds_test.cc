@@ -4,7 +4,9 @@
 // optimal unseen locations of Example 3.2 / Figure 1(b).
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <memory>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -92,6 +94,44 @@ TEST(CornerBoundTest, Example31CornerIsMinus5) {
   EXPECT_NEAR(corner.Potential(1), -10.25, 1e-9);
   EXPECT_NEAR(corner.Potential(2), -10.25, 1e-9);
   EXPECT_NEAR(corner.bound(), -5.0, 1e-9);
+}
+
+// The region variant of the corner construction: with every relation's
+// envelope at its true score maximum and minimum query distance, no
+// combination of tuples drawn from those regions can beat the bound (the
+// admissibility the sharded engine's shard pruning rests on).
+TEST(CornerBoundTest, CornerUpperBoundDominatesEveryRegionCombination) {
+  Rng rng(31);
+  const SumLogEuclideanScoring scoring(1.0, 1.0, 1.0);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Vec q = rng.UniformInCube(2, -1.0, 1.0);
+    // Three "regions" of 6 random tuples each.
+    std::vector<std::vector<Tuple>> regions(3);
+    std::vector<RelationEnvelope> envelopes(3);
+    for (size_t j = 0; j < regions.size(); ++j) {
+      double min_dist = std::numeric_limits<double>::infinity();
+      for (int t = 0; t < 6; ++t) {
+        Tuple tuple;
+        tuple.id = t;
+        tuple.score = rng.Uniform(0.1, 1.0);
+        tuple.x = rng.UniformInCube(2, -2.0, 2.0);
+        envelopes[j].score_ceiling =
+            std::max(envelopes[j].score_ceiling, tuple.score);
+        min_dist = std::min(min_dist, tuple.x.Distance(q));
+        regions[j].push_back(std::move(tuple));
+      }
+      envelopes[j].min_dist_q = min_dist;
+    }
+    const double bound = CornerUpperBound(scoring, envelopes);
+    for (const Tuple& a : regions[0]) {
+      for (const Tuple& b : regions[1]) {
+        for (const Tuple& c : regions[2]) {
+          const double score = scoring.CombinationScore(q, {&a, &b, &c});
+          EXPECT_LE(score, bound + 1e-12);
+        }
+      }
+    }
+  }
 }
 
 TEST(CornerBoundTest, Depth0ConventionGivesMaxPossible) {

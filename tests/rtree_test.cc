@@ -316,6 +316,40 @@ TEST(RTreeNearestKTiesTest, ExactTiesAtTinyCoordinatesBreakById) {
   EXPECT_EQ(got[3].id, 2);
 }
 
+// The incremental browse itself must stream exact-distance ties in id
+// order regardless of tree shape (Definition 2.1's deterministic access
+// order; the sharded gather reconstructs it from output tuples alone).
+// Insertion-built and bulk-loaded trees put the tied points in different
+// nodes, so heap insertion order alone would disagree between them.
+TEST(RTreeNearestKTiesTest, BrowseStreamsExactTiesById) {
+  const Vec q{1000.0, 1000.0};
+  std::vector<RTree::Item> items;
+  // Eight points exactly tied at squared distance 25 (3-4-5 offsets are
+  // exactly representable), ids deliberately shuffled, plus background
+  // points nearer and farther.
+  const double off[8][2] = {{3, 4},  {4, 3},  {-3, 4}, {4, -3},
+                            {-4, -3}, {-3, -4}, {5, 0},  {0, 5}};
+  const int64_t tie_ids[8] = {13, 2, 11, 5, 7, 3, 17, 0};
+  for (int i = 0; i < 8; ++i) {
+    items.push_back({Vec{1000.0 + off[i][0], 1000.0 + off[i][1]}, tie_ids[i]});
+  }
+  items.push_back({Vec{1001.0, 1000.0}, 40});   // dist^2 = 1
+  items.push_back({Vec{1000.0, 992.0}, 41});    // dist^2 = 64
+  RTree inserted(2);
+  for (const auto& it : items) inserted.Insert(it.point, it.id);
+  RTree bulk = RTree::BulkLoad(2, items);
+  const int64_t expected[10] = {40, 0, 2, 3, 5, 7, 11, 13, 17, 41};
+  for (RTree* tree : {&inserted, &bulk}) {
+    auto browse = tree->NearestBrowse(q);
+    for (int64_t want : expected) {
+      auto item = browse.Next();
+      ASSERT_TRUE(item.has_value());
+      EXPECT_EQ(item->id, want);
+    }
+    EXPECT_FALSE(browse.Next().has_value());
+  }
+}
+
 // PeekSquaredDistance is logically read-only and callable through a const
 // iterator: the shared read paths (const RTree& -> const Engine& -> the
 // server) must never need a const_cast.

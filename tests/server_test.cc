@@ -476,6 +476,64 @@ TEST_F(ServerTest, ServesIdenticallyOverAllQueryEngineImplementations) {
   }
 }
 
+// A server over a parallel, pruned sharded engine: concurrent submitters
+// drive concurrent per-query scatters through the shared worker pool, the
+// results stay bit-identical to the serial monolithic engine, and the new
+// scatter accounting (shards_pruned, gather_seconds) surfaces in
+// ServerStats. Localized STR-tiled data guarantees pruning fires.
+TEST(ServerShardScatterTest, ParallelPrunedScatterUnderConcurrentServing) {
+  std::vector<Relation> rels;
+  for (int r = 0; r < 2; ++r) {
+    Relation rel("grid" + std::to_string(r), 2);
+    for (int i = 0; i < 16; ++i) {
+      for (int j = 0; j < 16; ++j) {
+        rel.Add(i * 16 + j, 0.4 + 0.002 * ((i + 2 * j + r) % 9),
+                Vec{i / 15.0, j / 15.0});
+      }
+    }
+    rels.push_back(std::move(rel));
+  }
+  const SumLogEuclideanScoring scoring(1.0, 1.0, 1.0);
+  auto mono = Engine::Create(rels, AccessKind::kDistance, &scoring);
+  ASSERT_TRUE(mono.ok());
+
+  ShardedEngineOptions sh_opts;
+  sh_opts.partitions_per_relation = 4;  // 2x2 tiles, fan-out 16
+  sh_opts.scheme = PartitionScheme::kStrTile;
+  sh_opts.scatter_threads = 3;
+  auto sharded =
+      ShardedEngine::Create(rels, AccessKind::kDistance, &scoring, sh_opts);
+  ASSERT_TRUE(sharded.ok());
+
+  // Corner-localized queries: far tiles cannot beat the near top-K.
+  Rng rng(55);
+  std::vector<QueryRequest> workload;
+  for (int i = 0; i < 24; ++i) {
+    QueryRequest req;
+    req.query = rng.UniformInCube(2, 0.0, 0.15);
+    req.options.k = 1 + i % 5;
+    req.options.Apply(kAllPresets[i % 4]);
+    workload.push_back(std::move(req));
+  }
+  const auto baseline = mono->RunBatch(workload);
+
+  ServerOptions opts;
+  opts.num_workers = 4;
+  Server server(&*sharded, opts);
+  const auto results = server.SubmitBatch(workload);
+  ASSERT_EQ(results.size(), baseline.size());
+  for (size_t i = 0; i < results.size(); ++i) {
+    ASSERT_TRUE(results[i].ok()) << i;
+    ExpectBitIdentical(results[i].combinations, baseline[i].combinations,
+                       "query " + std::to_string(i));
+    EXPECT_GT(results[i].stats.scatter_threads, 0u) << i;
+  }
+  const ServerStats stats = server.Stats();
+  EXPECT_EQ(stats.queries_served, workload.size());
+  EXPECT_GT(stats.shards_pruned, 0u);
+  EXPECT_GE(stats.gather_seconds, 0.0);
+}
+
 // ----------------------------- shutdown -------------------------------- //
 
 TEST_F(ServerTest, ShutdownDrainCompletesEveryQueuedQuery) {

@@ -4,10 +4,12 @@
 // partitioners, and adversarial tie-heavy inputs), and the per-shard
 // ExecStats aggregation rules (counters sum, wall times max, completed
 // ANDs) so sharded stats are never silently zero.
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -140,6 +142,80 @@ TEST(PartitionerTest, PartitionRelationPreservesTuplesAndMetadata) {
       }
     }
     EXPECT_EQ(total, rel.size()) << SchemeName(scheme);
+  }
+}
+
+// Regression: the slab count once came from a truncated floating-point
+// sqrt, which a libm rounding 49 to 6.999... would silently degrade to a
+// 1 x 49 split. The integer root must be exact for perfect squares and
+// fall back to the largest divisor (1 for primes) otherwise.
+TEST(PartitionerTest, StrTileSlabCountUsesExactIntegerRoot) {
+  // Perfect squares: root x root exactly.
+  EXPECT_EQ(StrTileSlabCount(4, 2), 2u);
+  EXPECT_EQ(StrTileSlabCount(9, 2), 3u);
+  EXPECT_EQ(StrTileSlabCount(16, 2), 4u);
+  EXPECT_EQ(StrTileSlabCount(25, 2), 5u);
+  EXPECT_EQ(StrTileSlabCount(49, 2), 7u);
+  EXPECT_EQ(StrTileSlabCount(121, 2), 11u);
+  EXPECT_EQ(StrTileSlabCount(1024, 2), 32u);
+  EXPECT_EQ(StrTileSlabCount(3969, 2), 63u);  // 63^2, near kMaxFanOut
+  // Non-squares: largest divisor not above the root.
+  EXPECT_EQ(StrTileSlabCount(12, 2), 3u);
+  EXPECT_EQ(StrTileSlabCount(18, 2), 3u);
+  EXPECT_EQ(StrTileSlabCount(50, 2), 5u);
+  // Primes have no divisor in [2, root]: pure tiles.
+  EXPECT_EQ(StrTileSlabCount(2, 2), 1u);
+  EXPECT_EQ(StrTileSlabCount(7, 2), 1u);
+  EXPECT_EQ(StrTileSlabCount(13, 2), 1u);
+  EXPECT_EQ(StrTileSlabCount(1, 2), 1u);
+  // 1-d relations always use pure slabs along the only axis.
+  EXPECT_EQ(StrTileSlabCount(49, 1), 49u);
+}
+
+// Behavioral check of the same regression on a 14 x 14 integer grid split
+// 49 ways: a 7 x 7 tiling gives every part an x[0] extent of at most one
+// grid step (each slab is exactly two columns); the degraded 1 x 49 split
+// would hand parts points from four different columns.
+TEST(PartitionerTest, StrTilePerfectSquarePartsFormAGrid) {
+  Relation rel("grid", 2);
+  for (int i = 0; i < 14; ++i) {
+    for (int j = 0; j < 14; ++j) {
+      rel.Add(i + 14 * j, 0.5,
+              Vec{static_cast<double>(i), static_cast<double>(j)});
+    }
+  }
+  StrTilePartitioner str;
+  const auto assignment = str.Assign(rel, 49);
+  std::vector<double> x_lo(49, 1e9), x_hi(49, -1e9);
+  for (size_t t = 0; t < assignment.size(); ++t) {
+    x_lo[assignment[t]] = std::min(x_lo[assignment[t]], rel.tuple(t).x[0]);
+    x_hi[assignment[t]] = std::max(x_hi[assignment[t]], rel.tuple(t).x[0]);
+  }
+  for (uint32_t p = 0; p < 49; ++p) {
+    EXPECT_LE(x_hi[p] - x_lo[p], 1.0) << "part " << p << " spans columns";
+  }
+}
+
+// Prime part counts degenerate to one slab: tiles then split the single
+// x[1]-sorted run, so each part stays within one grid step along x[1].
+TEST(PartitionerTest, StrTilePrimePartsTileTheSecondAxis) {
+  Relation rel("grid", 2);
+  for (int i = 0; i < 14; ++i) {
+    for (int j = 0; j < 14; ++j) {
+      rel.Add(i + 14 * j, 0.5,
+              Vec{static_cast<double>(i), static_cast<double>(j)});
+    }
+  }
+  StrTilePartitioner str;
+  const auto assignment = str.Assign(rel, 7);
+  std::vector<double> y_lo(7, 1e9), y_hi(7, -1e9);
+  for (size_t t = 0; t < assignment.size(); ++t) {
+    ASSERT_LT(assignment[t], 7u);
+    y_lo[assignment[t]] = std::min(y_lo[assignment[t]], rel.tuple(t).x[1]);
+    y_hi[assignment[t]] = std::max(y_hi[assignment[t]], rel.tuple(t).x[1]);
+  }
+  for (uint32_t p = 0; p < 7; ++p) {
+    EXPECT_LE(y_hi[p] - y_lo[p], 1.0) << "part " << p << " spans rows";
   }
 }
 
@@ -371,14 +447,204 @@ TEST(ShardedExactnessTest, BlockedShardEnginesStayExact) {
   ExpectBitIdentical(*got, *expected, "blocked");
 }
 
+// ------------------- pruning and parallel scatter ----------------------- //
+
+// The parallel scatter (worker pool + best-bound-first claiming + shared
+// K-heap gather) must stay bit-identical to the unsharded engine across
+// backends, partitioners, presets and tie-heavy data -- runs under the
+// TSan CI job like the rest of this suite.
+TEST(ShardedExactnessTest, ParallelScatterBitIdentical) {
+  Rng rng(777);
+  for (const bool tie_heavy : {false, true}) {
+    const auto rels = tie_heavy ? MakeTieHeavyRelations(2, 60, /*seed=*/5)
+                                : MakeRelations(2, 60, /*seed=*/6);
+    const SumLogEuclideanScoring scoring(1.0, 1.0, 1.0);
+    for (const BackendCase& bc : kBackendCases) {
+      Engine::Options eng_opts;
+      eng_opts.backend = bc.backend;
+      auto engine = Engine::Create(rels, bc.kind, &scoring, eng_opts);
+      ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+      for (PartitionScheme scheme : kSchemes) {
+        ShardedEngineOptions opts;
+        opts.partitions_per_relation = 3;
+        opts.scheme = scheme;
+        opts.engine = eng_opts;
+        opts.scatter_threads = 4;
+        auto sharded = ShardedEngine::Create(rels, bc.kind, &scoring, opts);
+        ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+        for (int call = 0; call < 4; ++call) {
+          const AlgorithmPreset& preset = kAllPresets[call];
+          const Vec q = rng.UniformInCube(2, -1.0, 1.0);
+          ProxRJOptions q_opts;
+          q_opts.k = 1 + static_cast<int>(rng.NextBounded(12));
+          q_opts.Apply(preset);
+          const std::string label = std::string(tie_heavy ? "ties/" : "uni/") +
+                                    bc.name + "/" + SchemeName(scheme) + "/" +
+                                    preset.name;
+          auto expected = engine->TopK(q, q_opts);
+          ASSERT_TRUE(expected.ok()) << label;
+          ExecStats stats;
+          auto got = sharded->TopK(q, q_opts, &stats);
+          ASSERT_TRUE(got.ok()) << label;
+          ExpectBitIdentical(*got, *expected, label);
+          EXPECT_TRUE(stats.completed) << label;
+          EXPECT_GT(stats.scatter_threads, 0u) << label;  // really parallel
+        }
+      }
+    }
+  }
+}
+
+// ShardUpperBound is admissible: no combination a shard can produce
+// scores above the shard's corner bound over its partitions' MBRs.
+TEST(ShardedPruningTest, ShardUpperBoundDominatesEveryCombination) {
+  const auto rels = MakeRelations(2, 40, /*seed=*/12);
+  const SumLogEuclideanScoring scoring(1.0, 1.0, 1.0);
+  ShardedEngineOptions opts;
+  opts.partitions_per_relation = 3;
+  opts.scheme = PartitionScheme::kStrTile;
+  auto sharded =
+      ShardedEngine::Create(rels, AccessKind::kDistance, &scoring, opts);
+  ASSERT_TRUE(sharded.ok());
+
+  Rng rng(99);
+  ProxRJOptions q_opts;
+  q_opts.k = 10000;  // exhaust every shard: all combinations materialize
+  for (int call = 0; call < 3; ++call) {
+    const Vec q = rng.UniformInCube(2, -1.5, 1.5);
+    for (size_t s = 0; s < sharded->num_shards(); ++s) {
+      const double bound = sharded->ShardUpperBound(s, q);
+      auto all = sharded->shard(s).TopK(q, q_opts);
+      ASSERT_TRUE(all.ok());
+      for (const ResultCombination& combo : *all) {
+        EXPECT_LE(combo.score, bound) << "shard " << s;
+      }
+    }
+  }
+}
+
+// A query localized in one corner of STR-tiled data: far tiles' corner
+// bounds cannot beat the K-th score from the near tiles, so whole shards
+// are skipped -- and the answer is still bit-identical to the unsharded
+// engine. The acceptance scenario for shards_pruned > 0.
+TEST(ShardedPruningTest, FarQueryPrunesShardsUnderStrTiles) {
+  // A 20 x 20 grid per relation on [0, 1]^2: STR tiles become real
+  // spatial cells, so distance to the query separates the shards.
+  std::vector<Relation> rels;
+  for (int r = 0; r < 2; ++r) {
+    Relation rel("grid" + std::to_string(r), 2);
+    for (int i = 0; i < 20; ++i) {
+      for (int j = 0; j < 20; ++j) {
+        rel.Add(i * 20 + j, 0.5 + 0.001 * ((i + j + r) % 7),
+                Vec{i / 19.0, j / 19.0});
+      }
+    }
+    rels.push_back(std::move(rel));
+  }
+  const SumLogEuclideanScoring scoring(1.0, 1.0, 1.0);
+  auto unsharded = Engine::Create(rels, AccessKind::kDistance, &scoring);
+  ASSERT_TRUE(unsharded.ok());
+
+  for (const BackendCase& bc : kBackendCases) {
+    Engine::Options eng_opts;
+    eng_opts.backend = bc.backend;
+    auto engine = Engine::Create(rels, bc.kind, &scoring, eng_opts);
+    ASSERT_TRUE(engine.ok());
+    ShardedEngineOptions opts;
+    opts.partitions_per_relation = 4;  // 2 x 2 tiles, fan-out 16
+    opts.scheme = PartitionScheme::kStrTile;
+    opts.engine = eng_opts;
+    auto sharded = ShardedEngine::Create(rels, bc.kind, &scoring, opts);
+    ASSERT_TRUE(sharded.ok());
+    ASSERT_EQ(sharded->num_shards(), 16u);
+
+    const Vec q{0.05, 0.05};  // deep in the lower-left tile
+    ProxRJOptions q_opts;
+    q_opts.k = 3;
+    q_opts.Apply(kTBPA);
+    auto expected = engine->TopK(q, q_opts);
+    ASSERT_TRUE(expected.ok());
+    ExecStats stats;
+    auto got = sharded->TopK(q, q_opts, &stats);
+    ASSERT_TRUE(got.ok());
+    ExpectBitIdentical(*got, *expected, bc.name);
+    EXPECT_GT(stats.shards_pruned, 0u) << bc.name;
+    EXPECT_LT(stats.shards_pruned, 16u) << bc.name;  // the near shard ran
+    EXPECT_TRUE(stats.completed) << bc.name;
+  }
+}
+
+// Pruning off visits -- and accounts -- every shard.
+TEST(ShardedPruningTest, PruningDisabledVisitsEveryShard) {
+  const auto rels = MakeRelations(2, 60, /*seed=*/41);
+  const SumLogEuclideanScoring scoring(1.0, 1.0, 1.0);
+  auto engine = Engine::Create(rels, AccessKind::kDistance, &scoring);
+  ASSERT_TRUE(engine.ok());
+  ShardedEngineOptions opts;
+  opts.partitions_per_relation = 3;
+  opts.scheme = PartitionScheme::kStrTile;
+  opts.prune = false;
+  auto sharded =
+      ShardedEngine::Create(rels, AccessKind::kDistance, &scoring, opts);
+  ASSERT_TRUE(sharded.ok());
+
+  ProxRJOptions q_opts;
+  q_opts.k = 5;
+  ExecStats stats;
+  auto got = sharded->TopK(Vec{0.0, 0.0}, q_opts, &stats);
+  auto expected = engine->TopK(Vec{0.0, 0.0}, q_opts);
+  ASSERT_TRUE(got.ok());
+  ASSERT_TRUE(expected.ok());
+  ExpectBitIdentical(*got, *expected, "prune off");
+  EXPECT_EQ(stats.shards_pruned, 0u);
+  EXPECT_EQ(stats.scatter_threads, 0u);  // sequential by default
+}
+
+// A traced query must keep the documented trace contract -- every shard's
+// execution, concatenated in shard order -- so it runs sequentially with
+// pruning off even on an engine configured for parallel pruned scatter.
+TEST(ShardedPruningTest, TracedQueriesScatterSequentiallyUnpruned) {
+  const auto rels = MakeRelations(2, 50, /*seed=*/23);
+  const SumLogEuclideanScoring scoring(1.0, 1.0, 1.0);
+  ShardedEngineOptions opts;
+  opts.partitions_per_relation = 2;
+  opts.scheme = PartitionScheme::kStrTile;
+  opts.scatter_threads = 4;
+  auto sharded =
+      ShardedEngine::Create(rels, AccessKind::kDistance, &scoring, opts);
+  ASSERT_TRUE(sharded.ok());
+
+  ExecTrace trace;
+  ProxRJOptions q_opts;
+  q_opts.k = 4;
+  q_opts.trace = &trace;
+  ExecStats stats;
+  auto traced = sharded->TopK(Vec{0.2, 0.1}, q_opts, &stats);
+  ASSERT_TRUE(traced.ok());
+  EXPECT_GT(trace.size(), 0u);
+  EXPECT_EQ(stats.scatter_threads, 0u);
+  EXPECT_EQ(stats.shards_pruned, 0u);
+
+  // Same answer as the untraced (parallel, pruned) path.
+  q_opts.trace = nullptr;
+  auto untraced = sharded->TopK(Vec{0.2, 0.1}, q_opts);
+  ASSERT_TRUE(untraced.ok());
+  ExpectBitIdentical(*traced, *untraced, "traced vs untraced");
+}
+
 // -------------------------- stats aggregation -------------------------- //
 
-TEST(ShardStatsTest, AggregateShardStatsSumsCountersAndMaxesWallTimes) {
+namespace {
+
+ExecStats FreshAggregate() {
   ExecStats agg;
   agg.depths.assign(2, 0);
   agg.completed = true;
   agg.final_bound = -std::numeric_limits<double>::infinity();
+  return agg;
+}
 
+std::pair<ExecStats, ExecStats> TwoShardStats() {
   ExecStats a;
   a.depths = {3, 4};
   a.sum_depths = 7;
@@ -397,19 +663,17 @@ TEST(ShardStatsTest, AggregateShardStatsSumsCountersAndMaxesWallTimes) {
   ExecStats b = a;
   b.depths = {10, 1};
   b.sum_depths = 11;
-  b.total_seconds = 0.25;  // smaller: must not win the max
-  b.bound_seconds = 0.3;   // larger: must win
+  b.total_seconds = 0.25;
+  b.bound_seconds = 0.3;
+  b.dominance_seconds = 0.05;
   b.final_bound = -2.0;
-  b.completed = false;     // one incomplete shard poisons the aggregate
+  b.completed = false;  // one incomplete shard poisons the aggregate
+  return {a, b};
+}
 
-  AggregateShardStats(a, &agg);
-  AggregateShardStats(b, &agg);
-
+void ExpectCountersSummed(const ExecStats& agg) {
   EXPECT_EQ(agg.depths, (std::vector<size_t>{13, 5}));
   EXPECT_EQ(agg.sum_depths, 18u);
-  EXPECT_EQ(agg.total_seconds, 0.5);
-  EXPECT_EQ(agg.bound_seconds, 0.3);
-  EXPECT_EQ(agg.dominance_seconds, 0.1);
   EXPECT_EQ(agg.combinations_formed, 22u);
   EXPECT_EQ(agg.bound_stats.bound_updates, 10u);
   EXPECT_EQ(agg.bound_stats.qp_solves, 4u);
@@ -420,14 +684,44 @@ TEST(ShardStatsTest, AggregateShardStatsSumsCountersAndMaxesWallTimes) {
   EXPECT_FALSE(agg.completed);
 }
 
-// End to end: the aggregate a sharded TopK reports equals the sum/max of
-// the stats of running each shard engine individually -- so sharded stats
-// are real accounting, not silently zero.
+}  // namespace
+
+// The sequential scatter runs shards back to back on one thread, so wall
+// times SUM -- maxing (the old behavior) under-reported the real latency
+// by up to the fan-out factor.
+TEST(ShardStatsTest, SequentialScatterSumsWallTimes) {
+  ExecStats agg = FreshAggregate();
+  const auto [a, b] = TwoShardStats();
+  AggregateShardStats(a, ScatterMode::kSequential, &agg);
+  AggregateShardStats(b, ScatterMode::kSequential, &agg);
+  ExpectCountersSummed(agg);
+  EXPECT_DOUBLE_EQ(agg.total_seconds, 0.75);
+  EXPECT_DOUBLE_EQ(agg.bound_seconds, 0.5);
+  EXPECT_DOUBLE_EQ(agg.dominance_seconds, 0.15);
+}
+
+// The parallel scatter's latency is the slowest shard: wall times MAX.
+TEST(ShardStatsTest, ParallelScatterMaxesWallTimes) {
+  ExecStats agg = FreshAggregate();
+  const auto [a, b] = TwoShardStats();
+  AggregateShardStats(a, ScatterMode::kParallel, &agg);
+  AggregateShardStats(b, ScatterMode::kParallel, &agg);
+  ExpectCountersSummed(agg);
+  EXPECT_EQ(agg.total_seconds, 0.5);
+  EXPECT_EQ(agg.bound_seconds, 0.3);
+  EXPECT_EQ(agg.dominance_seconds, 0.1);
+}
+
+// End to end: the aggregate a sharded TopK reports equals the sum of the
+// stats of running each shard engine individually -- so sharded stats are
+// real accounting, not silently zero. Pruning is off so every shard
+// really runs (the pruned path is accounted separately in shards_pruned).
 TEST(ShardStatsTest, TopKAggregateMatchesPerShardRuns) {
   const auto rels = MakeRelations(2, 80, /*seed=*/33);
   const SumLogEuclideanScoring scoring(1, 1, 1);
   ShardedEngineOptions opts;
   opts.partitions_per_relation = 3;
+  opts.prune = false;
   auto sharded =
       ShardedEngine::Create(rels, AccessKind::kDistance, &scoring, opts);
   ASSERT_TRUE(sharded.ok());
