@@ -1,0 +1,347 @@
+// Live-update benchmark: a pinned dataset served by LiveEngine under a
+// mixed update/query workload, with background compaction on and off.
+//
+// The workload applies U update batches (inserts + deletes of random live
+// tuples) to a fixed synthetic instance; after every batch it runs a
+// burst of K-queries from a fixed pool. Reported per mode: query latency
+// before any update (epoch 1, pure base), query latency on the final
+// epoch (deltas at their largest, or folded when compaction kept up),
+// apply latency, and the live counters (epoch, residual delta tuples,
+// compactions). The same workload runs twice -- compaction off
+// (compact_threshold = 0) and on (small threshold, background pool) --
+// so the table shows what compaction buys on the query path and costs on
+// the write path.
+//
+// Gates (exit 1, failing the Release CI step):
+//   * after the full workload, sampled queries must be bit-identical to
+//     a fresh Engine built from the final logical content (the live
+//     bit-identity contract, end to end);
+//   * with compaction off, the final epoch must be 1 + U and every delta
+//     tuple must still be pending (nothing silently folded).
+//
+// Emits BENCH_live_update.json (cwd-relative; run from the repo root to
+// refresh the tracked datapoint) with the per-mode metrics.
+#include <cstdio>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "common/timer.h"
+#include "core/engine.h"
+#include "live/live_engine.h"
+#include "workload/synthetic.h"
+
+namespace prj {
+namespace {
+
+struct WorkloadSpec {
+  int n = 2;
+  int count = 4000;       ///< base tuples per relation (pinned dataset)
+  int batches = 40;       ///< update batches applied
+  int inserts = 25;       ///< inserts per relation per batch
+  int deletes = 5;        ///< deletes per relation per batch
+  int queries_per_round = 8;
+  int k = 10;
+  size_t compact_threshold = 600;  ///< for the compaction-on mode
+};
+
+struct ModeResult {
+  double epoch1_query_ms = 0.0;  ///< avg query latency before any update
+  double final_query_ms = 0.0;   ///< avg query latency after the last batch
+  double avg_apply_ms = 0.0;
+  double total_seconds = 0.0;
+  uint64_t final_epoch = 0;
+  uint64_t residual_delta_tuples = 0;
+  uint64_t compactions = 0;
+};
+
+/// Applies `batch` to the plain-relation reference content.
+void ApplyToReference(const UpdateBatch& batch,
+                      std::vector<Relation>* relations) {
+  for (size_t j = 0; j < relations->size(); ++j) {
+    const RelationUpdate& update = batch.relations[j];
+    const Relation& old = (*relations)[j];
+    std::unordered_set<int64_t> dead(update.deletes.begin(),
+                                     update.deletes.end());
+    Relation next(old.name(), old.dim(), old.sigma_max());
+    for (const Tuple& t : old.tuples()) {
+      if (dead.count(t.id) == 0) next.Add(t);
+    }
+    for (const Tuple& t : update.inserts) next.Add(t);
+    (*relations)[j] = std::move(next);
+  }
+}
+
+/// Deterministic update batches over the pinned dataset: fresh ids for
+/// inserts (never reused), deletes drawn from the currently live set.
+std::vector<UpdateBatch> MakeBatches(const WorkloadSpec& spec,
+                                     const std::vector<Relation>& seed) {
+  Rng rng(97);
+  std::vector<std::vector<int64_t>> live(seed.size());
+  for (size_t j = 0; j < seed.size(); ++j) {
+    for (const Tuple& t : seed[j].tuples()) live[j].push_back(t.id);
+  }
+  int64_t next_id = 1000000;
+  std::vector<UpdateBatch> batches(static_cast<size_t>(spec.batches));
+  for (UpdateBatch& batch : batches) {
+    batch.relations.resize(seed.size());
+    for (size_t j = 0; j < seed.size(); ++j) {
+      for (int i = 0; i < spec.inserts; ++i) {
+        batch.relations[j].inserts.push_back(
+            Tuple{next_id++, 0.05 + 0.9 * rng.NextDouble(),
+                  rng.UniformInCube(2, -1.0, 1.0)});
+      }
+      for (int i = 0; i < spec.deletes; ++i) {
+        const size_t pick = rng.NextBounded(live[j].size());
+        batch.relations[j].deletes.push_back(live[j][pick]);
+        live[j].erase(live[j].begin() + static_cast<ptrdiff_t>(pick));
+      }
+      for (const Tuple& t : batch.relations[j].inserts) {
+        live[j].push_back(t.id);
+      }
+    }
+  }
+  return batches;
+}
+
+std::vector<Vec> MakeQueryPool(int size) {
+  Rng rng(31);
+  std::vector<Vec> pool;
+  pool.reserve(static_cast<size_t>(size));
+  for (int i = 0; i < size; ++i) {
+    pool.push_back(rng.UniformInCube(2, -1.0, 1.0));
+  }
+  return pool;
+}
+
+/// Runs a query burst, returns average latency in ms. The results of the
+/// last burst land in `last_results` for the exactness gate.
+double QueryBurst(const LiveEngine& live, const std::vector<Vec>& pool,
+                  const WorkloadSpec& spec,
+                  std::vector<std::vector<ResultCombination>>* out = nullptr) {
+  ProxRJOptions options;
+  options.k = spec.k;
+  options.Apply(kTBPA);
+  if (out) out->clear();
+  const WallTimer timer;
+  for (int i = 0; i < spec.queries_per_round; ++i) {
+    const Vec& q = pool[static_cast<size_t>(i) % pool.size()];
+    auto result = live.TopK(q, options);
+    if (!result.ok()) {
+      std::fprintf(stderr, "TopK failed: %s\n",
+                   result.status().ToString().c_str());
+      std::exit(1);
+    }
+    if (out) out->push_back(std::move(*result));
+  }
+  return timer.ElapsedSeconds() * 1e3 / spec.queries_per_round;
+}
+
+int RunMode(bool compaction_on, const WorkloadSpec& spec,
+            const std::vector<Relation>& seed,
+            const std::vector<UpdateBatch>& batches,
+            const std::vector<Vec>& query_pool,
+            const ScoringFunction& scoring, ModeResult* result) {
+  LiveEngineOptions options;
+  options.compact_threshold = compaction_on ? spec.compact_threshold : 0;
+  options.compaction_threads = 1;
+  auto live_or = LiveEngine::Create(
+      seed, AccessKind::kDistance, &scoring,
+      LiveEngine::MonolithicFactory(AccessKind::kDistance, &scoring), options);
+  if (!live_or.ok()) {
+    std::fprintf(stderr, "LiveEngine::Create failed: %s\n",
+                 live_or.status().ToString().c_str());
+    return 1;
+  }
+  LiveEngine& live = **live_or;
+
+  const WallTimer total_timer;
+  result->epoch1_query_ms = QueryBurst(live, query_pool, spec);
+
+  double apply_seconds = 0.0;
+  std::vector<Relation> content = seed;
+  for (const UpdateBatch& batch : batches) {
+    const WallTimer apply_timer;
+    const Status applied = live.Apply(batch);
+    apply_seconds += apply_timer.ElapsedSeconds();
+    if (!applied.ok()) {
+      std::fprintf(stderr, "Apply failed: %s\n", applied.ToString().c_str());
+      return 1;
+    }
+    ApplyToReference(batch, &content);
+    result->final_query_ms = QueryBurst(live, query_pool, spec);
+  }
+  result->total_seconds = total_timer.ElapsedSeconds();
+  result->avg_apply_ms = apply_seconds * 1e3 / batches.size();
+
+  const LiveCounters counters = live.live_counters();
+  result->final_epoch = counters.epoch;
+  result->residual_delta_tuples = counters.delta_tuples;
+  result->compactions = counters.compactions;
+
+  // --- gates ---
+  const uint64_t expected_epoch = 1 + batches.size();
+  if (counters.epoch != expected_epoch) {
+    std::fprintf(stderr, "FAIL: final epoch %llu, expected %llu\n",
+                 static_cast<unsigned long long>(counters.epoch),
+                 static_cast<unsigned long long>(expected_epoch));
+    return 1;
+  }
+  if (!compaction_on) {
+    const uint64_t all_inserts = static_cast<uint64_t>(batches.size()) *
+                                 spec.n * static_cast<uint64_t>(spec.inserts);
+    if (counters.compactions != 0 || counters.delta_tuples != all_inserts) {
+      std::fprintf(stderr,
+                   "FAIL: compaction off but %llu compactions ran / %llu of "
+                   "%llu delta tuples pending\n",
+                   static_cast<unsigned long long>(counters.compactions),
+                   static_cast<unsigned long long>(counters.delta_tuples),
+                   static_cast<unsigned long long>(all_inserts));
+      return 1;
+    }
+  }
+  // Bit-identity, end to end: the final burst against a fresh engine over
+  // the final logical content.
+  auto fresh = Engine::Create(content, AccessKind::kDistance, &scoring);
+  if (!fresh.ok()) {
+    std::fprintf(stderr, "reference Engine::Create failed: %s\n",
+                 fresh.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<std::vector<ResultCombination>> live_results;
+  QueryBurst(live, query_pool, spec, &live_results);
+  ProxRJOptions q_options;
+  q_options.k = spec.k;
+  q_options.Apply(kTBPA);
+  for (int i = 0; i < spec.queries_per_round; ++i) {
+    const Vec& q = query_pool[static_cast<size_t>(i) % query_pool.size()];
+    auto expected = fresh->TopK(q, q_options);
+    if (!expected.ok()) return 1;
+    std::string why;
+    if (!BitIdenticalResults(live_results[static_cast<size_t>(i)], *expected,
+                             &why)) {
+      std::fprintf(stderr, "FAIL: live result diverges from fresh engine (%s "
+                           "mode, query %d): %s\n",
+                   compaction_on ? "compaction" : "no-compaction", i,
+                   why.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}
+
+void PrintMode(const char* name, const ModeResult& r) {
+  std::printf("%-14s %12.3f %12.3f %10.3f %8llu %8llu %12llu %10.2f\n", name,
+              r.epoch1_query_ms, r.final_query_ms, r.avg_apply_ms,
+              static_cast<unsigned long long>(r.final_epoch),
+              static_cast<unsigned long long>(r.compactions),
+              static_cast<unsigned long long>(r.residual_delta_tuples),
+              r.total_seconds);
+}
+
+void WriteJson(const WorkloadSpec& spec, const ModeResult& off,
+               const ModeResult& on, bool smoke) {
+  std::FILE* f = std::fopen("BENCH_live_update.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot write BENCH_live_update.json\n");
+    return;
+  }
+  auto mode = [&](const char* name, const ModeResult& r, const char* tail) {
+    std::fprintf(f,
+                 "  \"%s\": {\n"
+                 "    \"epoch1_query_ms\": %.4f,\n"
+                 "    \"final_query_ms\": %.4f,\n"
+                 "    \"avg_apply_ms\": %.4f,\n"
+                 "    \"total_seconds\": %.3f,\n"
+                 "    \"final_epoch\": %llu,\n"
+                 "    \"compactions\": %llu,\n"
+                 "    \"residual_delta_tuples\": %llu\n"
+                 "  }%s\n",
+                 name, r.epoch1_query_ms, r.final_query_ms, r.avg_apply_ms,
+                 r.total_seconds, static_cast<unsigned long long>(r.final_epoch),
+                 static_cast<unsigned long long>(r.compactions),
+                 static_cast<unsigned long long>(r.residual_delta_tuples),
+                 tail);
+  };
+  std::fprintf(f,
+               "{\n"
+               "  \"bench\": \"live_update\",\n"
+               "  \"smoke\": %s,\n"
+               "  \"config\": {\n"
+               "    \"relations\": %d,\n"
+               "    \"tuples_per_relation\": %d,\n"
+               "    \"batches\": %d,\n"
+               "    \"inserts_per_relation_per_batch\": %d,\n"
+               "    \"deletes_per_relation_per_batch\": %d,\n"
+               "    \"queries_per_round\": %d,\n"
+               "    \"k\": %d,\n"
+               "    \"compact_threshold\": %zu\n"
+               "  },\n",
+               smoke ? "true" : "false", spec.n, spec.count, spec.batches,
+               spec.inserts, spec.deletes, spec.queries_per_round, spec.k,
+               spec.compact_threshold);
+  mode("compaction_off", off, ",");
+  mode("compaction_on", on, "");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+}
+
+int Run() {
+  const bool smoke = bench::SmokeMode();
+  WorkloadSpec spec;
+  if (smoke) {
+    spec.count = 300;
+    spec.batches = 6;
+    spec.inserts = 8;
+    spec.deletes = 2;
+    spec.queries_per_round = 4;
+    spec.compact_threshold = 40;
+  }
+
+  SyntheticSpec synth;
+  synth.dim = 2;
+  synth.count = spec.count;
+  synth.density = 50;
+  synth.seed = 61;  // the pinned dataset
+  const std::vector<Relation> seed = GenerateProblem(spec.n, synth);
+  const SumLogEuclideanScoring scoring(1.0, 1.0, 1.0);
+  const std::vector<UpdateBatch> batches = MakeBatches(spec, seed);
+  const std::vector<Vec> query_pool = MakeQueryPool(spec.queries_per_round);
+
+  std::printf(
+      "live_update: LiveEngine(Monolithic base) over %d relations x %d "
+      "tuples, %d batches x (%d ins + %d del)/relation, %d queries/round, "
+      "K=%d, TBPA\n\n",
+      spec.n, spec.count, spec.batches, spec.inserts, spec.deletes,
+      spec.queries_per_round, spec.k);
+  std::printf("%-14s %12s %12s %10s %8s %8s %12s %10s\n", "mode",
+              "epoch1_q_ms", "final_q_ms", "apply_ms", "epoch", "compact",
+              "delta_left", "total_s");
+
+  ModeResult off, on;
+  if (RunMode(/*compaction_on=*/false, spec, seed, batches, query_pool,
+              scoring, &off) != 0) {
+    return 1;
+  }
+  PrintMode("compaction-off", off);
+  if (RunMode(/*compaction_on=*/true, spec, seed, batches, query_pool,
+              scoring, &on) != 0) {
+    return 1;
+  }
+  PrintMode("compaction-on", on);
+
+  std::printf(
+      "\nfinal-epoch query latency with compaction: %.2fx of the "
+      "no-compaction mode; every sampled result bit-identical to a fresh "
+      "engine over the final content.\n",
+      off.final_query_ms > 0 ? on.final_query_ms / off.final_query_ms : 0.0);
+  WriteJson(spec, off, on, smoke);
+  return 0;
+}
+
+}  // namespace
+}  // namespace prj
+
+int main() { return prj::Run(); }

@@ -1,18 +1,20 @@
 // Server demo: the concurrent serving front end over the full QueryEngine
-// stack -- a result cache over a sharded scatter-gather engine.
+// stack -- a result cache over a LIVE engine over a sharded scatter-gather
+// base, i.e. Cached(Live(Sharded(...))).
 //
 // batched_engine showed the amortized API -- one Engine::Create, then a
-// serial RunBatch. This demo composes the serving stack on top: the
-// relations are partitioned across a ShardedEngine (2 parts per relation,
-// fan-out 4), wrapped in a CachedEngine, and served by a Server with a
-// fixed worker pool -- all through the one QueryEngine interface:
+// serial RunBatch. This demo composes the whole serving stack on top, all
+// through the one QueryEngine interface:
 //
 //   1. async: Submit returns a std::future the caller collects later;
-//   2. batch: SubmitBatch fans a whole batch across the pool and blocks
-//      (repeated once, so the second burst hits the result cache);
-//   3. stats + graceful shutdown: aggregate p50/p99 latency, queue
-//      high-water mark, cache hits/misses/evictions, shard fan-out, and
-//      a drain that finishes the backlog.
+//   2. batch + live update: a burst runs twice around a mid-run
+//      Apply(UpdateBatch) -- a hot new restaurant opens and a cafe closes.
+//      The update bumps the data epoch, so round 2's queries miss the
+//      (epoch-keyed) cache, re-execute against base + delta, and see the
+//      new data immediately; the warm pre-update entries simply age out;
+//   3. stats + graceful shutdown: aggregate p50/p99 latency, cache
+//      hits/misses, shard fan-out, and the live gauges -- data epoch,
+//      pending delta tuples/tombstones, compactions -- then a drain.
 //
 //   $ ./examples/server_demo
 #include <cstdio>
@@ -22,6 +24,7 @@
 #include "cache/cached_engine.h"
 #include "common/random.h"
 #include "core/engine.h"
+#include "live/live_engine.h"
 #include "server/server.h"
 #include "shard/sharded_engine.h"
 
@@ -38,39 +41,45 @@ int main() {
   }
   const SumLogEuclideanScoring scoring(/*ws=*/1.0, /*wq=*/1.0, /*wmu=*/1.0);
 
-  // Preprocess once: partition each relation into 2 parts and build the
-  // 2x2 = 4 per-shard engines over shared per-partition R-trees. The
-  // sharded engine's answers are bit-identical to a monolithic Engine --
-  // with the scatter fanned across 2 threads per query and shards whose
-  // corner bound cannot reach the running K-th score skipped outright.
+  // The base tier: each relation partitioned into 2 parts, 2x2 = 4
+  // per-shard engines, parallel pruned scatter -- bit-identical to a
+  // monolithic Engine. The LIVE tier wraps it: inserts/deletes append to
+  // delta logs and tombstones, every query still answers exactly for the
+  // snapshot it captured, and a background compaction folds the deltas
+  // back into a freshly built sharded base past the threshold.
   ShardedEngineOptions shard_opts;
   shard_opts.partitions_per_relation = 2;
   shard_opts.scheme = PartitionScheme::kStrTile;
   shard_opts.scatter_threads = 2;
-  auto engine = ShardedEngine::Create({restaurants, cafes},
-                                      AccessKind::kDistance, &scoring,
-                                      shard_opts);
-  if (!engine.ok()) {
-    std::fprintf(stderr, "ShardedEngine::Create failed: %s\n",
-                 engine.status().ToString().c_str());
+  LiveEngineOptions live_opts;
+  live_opts.compact_threshold = 64;
+  auto live = LiveEngine::Create(
+      {restaurants, cafes}, AccessKind::kDistance, &scoring,
+      LiveEngine::ShardedFactory(AccessKind::kDistance, &scoring, shard_opts),
+      live_opts);
+  if (!live.ok()) {
+    std::fprintf(stderr, "LiveEngine::Create failed: %s\n",
+                 live.status().ToString().c_str());
     return 1;
   }
 
-  // Decorate with a query-result cache (engines are immutable, so cached
-  // answers never go stale) and stand up the service: 4 workers pulling
-  // from a bounded request queue, all through the QueryEngine interface.
+  // Decorate with a query-result cache -- safe over live data, because the
+  // cache key carries the data epoch (updates make stale entries
+  // unaddressable) -- and stand up the service: 4 workers pulling from a
+  // bounded request queue.
   QueryCacheOptions cache_opts;
   cache_opts.capacity = 256;
-  CachedEngine cached(&*engine, cache_opts);
+  CachedEngine cached(&**live, cache_opts);
   ServerOptions server_opts;
   server_opts.num_workers = 4;
   server_opts.queue_capacity = 64;
   Server server(&cached, server_opts);
   std::printf(
-      "server up: %d workers, queue capacity %zu, shard fan-out %zu "
-      "(%u parts/relation, str-tile), cache capacity %zu\n\n",
+      "server up: %d workers, queue capacity %zu, "
+      "Cached(Live(Sharded)) fan-out %zu, cache capacity %zu, "
+      "compact threshold %zu\n\n",
       server.num_workers(), server_opts.queue_capacity, cached.fan_out(),
-      engine->partitions_per_relation(), cache_opts.capacity);
+      cache_opts.capacity, live_opts.compact_threshold);
 
   // 1) Async: submit two users' queries, do other work, collect later.
   QueryRequest first;
@@ -94,9 +103,10 @@ int main() {
                 qr.combinations.front().score, qr.stats.sum_depths);
   }
 
-  // 2) Batch: a burst of users, fanned across the pool, results in order.
-  //    The same burst runs twice -- the second round is answered from the
-  //    result cache (watch the hits counter below).
+  // 2) Batch around a live update: the same burst runs before and after a
+  //    mid-run Apply. Round 1 fills the cache at epoch 1; the update bumps
+  //    the epoch, so round 2 re-executes every query (fresh misses) and
+  //    observes the new city immediately.
   std::vector<QueryRequest> burst;
   for (int user = 0; user < 12; ++user) {
     QueryRequest req;
@@ -116,19 +126,49 @@ int main() {
       }
       if (round > 0) continue;  // print each user once
       const ResultCombination& best = qr.combinations.front();
-      std::printf("user %2zu: restaurant #%3lld + cafe #%3lld  score %6.3f\n",
+      std::printf("user %2zu: restaurant #%3lld + cafe #%3lld  score %6.3f "
+                  "(epoch %llu)\n",
                   user, static_cast<long long>(best.tuples[0].id),
-                  static_cast<long long>(best.tuples[1].id), best.score);
+                  static_cast<long long>(best.tuples[1].id), best.score,
+                  static_cast<unsigned long long>(qr.stats.data_epoch));
+    }
+    if (round == 0) {
+      // The city changes mid-run: a five-star restaurant opens downtown,
+      // a cafe closes. One atomic batch; epoch 1 -> 2.
+      UpdateBatch update;
+      update.relations.resize(2);
+      update.relations[0].inserts.push_back(
+          Tuple{/*id=*/9000, /*score=*/1.0, Vec{0.0, 0.0}});
+      update.relations[1].deletes.push_back(7);
+      const Status applied = (*live)->Apply(update);
+      if (!applied.ok()) {
+        std::fprintf(stderr, "Apply failed: %s\n",
+                     applied.ToString().c_str());
+        return 1;
+      }
+      std::printf(
+          "\n-- live update applied: +restaurant #9000 (score 1.0 at the "
+          "center), -cafe #7; epoch is now %llu --\n\n",
+          static_cast<unsigned long long>((*live)->live_counters().epoch));
     }
   }
 
-  // 3) Aggregate stats, then a graceful drain: queued work is finished,
-  //    and a Submit after shutdown fails fast with kUnavailable instead
-  //    of hanging. Cache counters and the shard fan-out come from the
-  //    engine stack through the QueryEngine interface.
+  // Round 3: same burst again, same epoch -- now the epoch-2 entries are
+  // warm and every query is a cache hit.
+  for (const QueryResult& qr : server.SubmitBatch(burst)) {
+    if (!qr.ok()) {
+      std::fprintf(stderr, "round 2 failed: %s\n", qr.status.ToString().c_str());
+      return 1;
+    }
+  }
+
+  // 3) Aggregate stats, then a graceful drain. Cache counters, shard
+  //    fan-out and the live gauges all surface through the QueryEngine
+  //    interface; note the round-2 misses (the epoch moved) and the
+  //    delta tuples/tombstones still pending compaction.
   const ServerStats stats = server.Stats();
   std::printf(
-      "\nstats: served=%llu failed=%llu rejected=%llu  "
+      "stats: served=%llu failed=%llu rejected=%llu  "
       "p50=%.3f ms p99=%.3f ms  queue high-water=%zu\n",
       static_cast<unsigned long long>(stats.queries_served),
       static_cast<unsigned long long>(stats.queries_failed),
@@ -136,16 +176,21 @@ int main() {
       stats.latency_p50_seconds * 1e3, stats.latency_p99_seconds * 1e3,
       stats.queue_high_water);
   std::printf(
-      "cache: hits=%llu misses=%llu evictions=%llu  shard fan-out=%zu\n",
+      "cache: hits=%llu misses=%llu evictions=%llu (~%zu KB)  "
+      "fan-out=%zu  shards pruned=%llu\n",
       static_cast<unsigned long long>(stats.cache_hits),
       static_cast<unsigned long long>(stats.cache_misses),
       static_cast<unsigned long long>(stats.cache_evictions),
-      stats.shard_fan_out);
+      cached.cache().ApproxBytes() / 1024, stats.shard_fan_out,
+      static_cast<unsigned long long>(stats.shards_pruned));
   std::printf(
-      "scatter: %u threads/query, shards pruned=%llu, gather=%.3f ms\n",
-      engine->scatter_threads(),
-      static_cast<unsigned long long>(stats.shards_pruned),
-      stats.gather_seconds * 1e3);
+      "live: epoch=%llu delta tuples=%llu tombstones=%llu "
+      "compactions=%llu delta shards pruned=%llu\n",
+      static_cast<unsigned long long>(stats.data_epoch),
+      static_cast<unsigned long long>(stats.delta_tuples),
+      static_cast<unsigned long long>(stats.live_tombstones),
+      static_cast<unsigned long long>(stats.compactions),
+      static_cast<unsigned long long>(stats.delta_shards_pruned));
 
   server.Shutdown(Server::DrainMode::kDrain);
   auto late = server.Submit(first);

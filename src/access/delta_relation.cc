@@ -1,0 +1,191 @@
+#include "access/delta_relation.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+namespace prj {
+namespace {
+
+// The shared access orders (access/source.cc keeps the canonical copies
+// in its anonymous namespace; the contract is the comment above them).
+bool ScoreOrderLess(const Tuple& a, const Tuple& b) {
+  if (a.score != b.score) return a.score > b.score;
+  return a.id < b.id;
+}
+
+bool DistanceOrderLess(double dist_a, double dist_b, const Tuple& a,
+                       const Tuple& b) {
+  if (dist_a != dist_b) return dist_a < dist_b;
+  return a.id < b.id;
+}
+
+}  // namespace
+
+std::shared_ptr<const DeltaRelation> DeltaRelation::Empty(std::string name,
+                                                          int dim,
+                                                          double sigma_max) {
+  auto delta = std::shared_ptr<DeltaRelation>(new DeltaRelation());
+  delta->name_ = std::move(name);
+  delta->dim_ = dim;
+  delta->sigma_max_ = sigma_max;
+  return delta;
+}
+
+Result<std::shared_ptr<const DeltaRelation>> DeltaRelation::Append(
+    std::vector<Tuple> batch) const {
+  // Same structural rules Relation::Validate enforces at engine build,
+  // extended with freshness against the tuples already in the log: an
+  // id can appear at most once across base + delta (the gather order is
+  // only total when ids are unique per relation).
+  IdSet batch_ids;
+  batch_ids.reserve(batch.size());
+  for (const Tuple& t : batch) {
+    if (t.x.dim() != dim_) {
+      return Status::InvalidArgument(
+          "delta append to '" + name_ + "': tuple id " + std::to_string(t.id) +
+          " has dim " + std::to_string(t.x.dim()) + ", relation has dim " +
+          std::to_string(dim_));
+    }
+    if (!(t.score > 0.0) || t.score > sigma_max_) {
+      return Status::InvalidArgument(
+          "delta append to '" + name_ + "': tuple id " + std::to_string(t.id) +
+          " has score " + std::to_string(t.score) + " outside (0, " +
+          std::to_string(sigma_max_) + "]");
+    }
+    if (!batch_ids.insert(t.id).second || Contains(t.id)) {
+      return Status::InvalidArgument("delta append to '" + name_ +
+                                     "': duplicate tuple id " +
+                                     std::to_string(t.id));
+    }
+  }
+
+  auto next = std::shared_ptr<DeltaRelation>(new DeltaRelation(*this));
+  if (batch.empty()) return std::shared_ptr<const DeltaRelation>(next);
+  for (const Tuple& t : batch) {
+    next->ids_.insert(t.id);
+    if (next->mbr_) {
+      next->mbr_->Extend(Rect::ForPoint(t.x));
+    } else {
+      next->mbr_ = Rect::ForPoint(t.x);
+    }
+    next->score_max_ = std::max(next->score_max_, t.score);
+  }
+  next->size_ += batch.size();
+  next->chunks_.push_back(
+      std::make_shared<const std::vector<Tuple>>(std::move(batch)));
+  return std::shared_ptr<const DeltaRelation>(next);
+}
+
+std::shared_ptr<const DeltaRelation> DeltaRelation::SuffixFrom(
+    size_t first_chunk) const {
+  auto suffix = std::shared_ptr<DeltaRelation>(new DeltaRelation());
+  suffix->name_ = name_;
+  suffix->dim_ = dim_;
+  suffix->sigma_max_ = sigma_max_;
+  for (size_t c = first_chunk; c < chunks_.size(); ++c) {
+    suffix->chunks_.push_back(chunks_[c]);
+    for (const Tuple& t : *chunks_[c]) {
+      suffix->ids_.insert(t.id);
+      if (suffix->mbr_) {
+        suffix->mbr_->Extend(Rect::ForPoint(t.x));
+      } else {
+        suffix->mbr_ = Rect::ForPoint(t.x);
+      }
+      suffix->score_max_ = std::max(suffix->score_max_, t.score);
+    }
+    suffix->size_ += chunks_[c]->size();
+  }
+  return suffix;
+}
+
+std::vector<Tuple> DeltaRelation::Collect() const {
+  std::vector<Tuple> all;
+  all.reserve(size_);
+  for (const Chunk& chunk : chunks_) {
+    all.insert(all.end(), chunk->begin(), chunk->end());
+  }
+  return all;
+}
+
+DeltaScoreSource::DeltaScoreSource(std::shared_ptr<const DeltaRelation> delta)
+    : delta_(std::move(delta)), sorted_(delta_->Collect()) {
+  std::sort(sorted_.begin(), sorted_.end(), ScoreOrderLess);
+}
+
+std::optional<Tuple> DeltaScoreSource::Next() {
+  if (cursor_ >= sorted_.size()) return std::nullopt;
+  return sorted_[cursor_++];
+}
+
+DeltaDistanceSource::DeltaDistanceSource(
+    std::shared_ptr<const DeltaRelation> delta, const Vec& query)
+    : delta_(std::move(delta)), sorted_(delta_->Collect()) {
+  PRJ_CHECK_EQ(query.dim(), delta_->dim());
+  std::sort(sorted_.begin(), sorted_.end(),
+            [&query](const Tuple& a, const Tuple& b) {
+              return DistanceOrderLess(a.x.SquaredDistance(query),
+                                       b.x.SquaredDistance(query), a, b);
+            });
+}
+
+std::optional<Tuple> DeltaDistanceSource::Next() {
+  if (cursor_ >= sorted_.size()) return std::nullopt;
+  return sorted_[cursor_++];
+}
+
+MergedAccessSource::MergedAccessSource(std::unique_ptr<AccessSource> base,
+                                       std::unique_ptr<AccessSource> delta,
+                                       Vec query)
+    : base_(std::move(base)), delta_(std::move(delta)),
+      query_(std::move(query)) {
+  PRJ_CHECK_EQ(static_cast<int>(base_->kind()),
+               static_cast<int>(delta_->kind()));
+  PRJ_CHECK_EQ(base_->dim(), delta_->dim());
+  if (base_->kind() == AccessKind::kDistance) {
+    PRJ_CHECK_EQ(query_.dim(), base_->dim());
+  }
+}
+
+std::optional<Tuple> MergedAccessSource::Next() {
+  if (!primed_) {
+    base_head_ = base_->Next();
+    delta_head_ = delta_->Next();
+    primed_ = true;
+  }
+  const bool take_base = [&]() {
+    if (!base_head_) return false;
+    if (!delta_head_) return true;
+    if (base_->kind() == AccessKind::kDistance) {
+      return DistanceOrderLess(base_head_->x.SquaredDistance(query_),
+                               delta_head_->x.SquaredDistance(query_),
+                               *base_head_, *delta_head_);
+    }
+    return ScoreOrderLess(*base_head_, *delta_head_);
+  }();
+  if (!base_head_ && !delta_head_) return std::nullopt;
+  std::optional<Tuple> out;
+  if (take_base) {
+    out = std::move(base_head_);
+    base_head_ = base_->Next();
+  } else {
+    out = std::move(delta_head_);
+    delta_head_ = delta_->Next();
+  }
+  return out;
+}
+
+TombstoneFilterSource::TombstoneFilterSource(
+    std::unique_ptr<AccessSource> inner,
+    std::shared_ptr<const IdSet> tombstones)
+    : inner_(std::move(inner)), tombstones_(std::move(tombstones)) {}
+
+std::optional<Tuple> TombstoneFilterSource::Next() {
+  for (;;) {
+    std::optional<Tuple> t = inner_->Next();
+    if (!t) return std::nullopt;
+    if (!tombstones_ || tombstones_->count(t->id) == 0) return t;
+  }
+}
+
+}  // namespace prj

@@ -1,0 +1,208 @@
+// Append-only delta logs over the base relations, plus the access
+// sources that stream them: the storage half of the live-data layer
+// (live/live_engine.h).
+//
+// A DeltaRelation is an immutable, persistent (in the functional-data-
+// structure sense) log of tuples appended to one relation since its base
+// was last compacted. Append never mutates: it returns a new DeltaRelation
+// sharing every existing chunk with its parent, so a query holding an
+// older snapshot keeps streaming exactly the tuples it saw at capture
+// time while writers race ahead. Alongside the tuples the delta maintains
+// the pruning envelope incrementally -- the MBR of the appended points
+// and the largest appended score -- so the live layer can corner-bound a
+// delta shard without rescanning the log.
+//
+// The sources at the bottom of this header extend Definition 2.1 access
+// to live data:
+//
+//   * DeltaScoreSource / DeltaDistanceSource stream a delta in exactly
+//     the shared access orders (score desc / distance asc, ties by id --
+//     the comparators in access/source.cc): bit-identity of the live
+//     merge starts here.
+//   * MergedAccessSource performs an order-preserving two-way merge of
+//     base and delta streams, presenting them as one relation. It looks
+//     ahead lazily (no pull before the first Next), so a freshly built
+//     merge reports depth() == 0 and passes ValidateQueryPlan's fresh-
+//     source check; depth() is the sum of the inner depths -- the real
+//     sumDepths paid on the underlying services.
+//   * TombstoneFilterSource drops deleted ids from any stream. Deletes in
+//     the live layer are tombstones consulted at access time; the tuples
+//     leave physical storage only at compaction.
+#ifndef PRJ_ACCESS_DELTA_RELATION_H_
+#define PRJ_ACCESS_DELTA_RELATION_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "access/relation.h"
+#include "access/source.h"
+#include "common/status.h"
+#include "common/vec.h"
+#include "index/rtree.h"
+
+namespace prj {
+
+/// Tombstone set: ids deleted from one relation since its base was built.
+using IdSet = std::unordered_set<int64_t>;
+
+/// Immutable append-only log of tuples added to one relation. Appending
+/// yields a NEW DeltaRelation that shares all previous chunks with its
+/// parent -- snapshots are free, and a reader's view never moves.
+class DeltaRelation {
+ public:
+  /// An empty delta carrying the relation's identity (name, dim, score
+  /// ceiling) so sources over it can answer the AccessSource metadata.
+  static std::shared_ptr<const DeltaRelation> Empty(std::string name, int dim,
+                                                    double sigma_max);
+
+  /// Validates the batch like Relation::Validate does at engine build
+  /// (dim agreement, scores in (0, sigma_max], ids unique within the
+  /// batch and fresh w.r.t. this delta) and returns the extended delta.
+  /// `this` is unchanged; existing chunks are shared, not copied.
+  Result<std::shared_ptr<const DeltaRelation>> Append(
+      std::vector<Tuple> batch) const;
+
+  /// The tuples of chunks [first_chunk, num_chunks()) as a new delta --
+  /// what a newer log holds beyond an older snapshot's view. Used by
+  /// compaction to carry over appends that raced past the rebuild.
+  std::shared_ptr<const DeltaRelation> SuffixFrom(size_t first_chunk) const;
+
+  /// Whether `id` was appended through this delta (any chunk).
+  bool Contains(int64_t id) const { return ids_.count(id) > 0; }
+
+  /// All delta tuples in append order, concatenated across chunks.
+  std::vector<Tuple> Collect() const;
+
+  const std::string& name() const { return name_; }
+  int dim() const { return dim_; }
+  double sigma_max() const { return sigma_max_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t num_chunks() const { return chunks_.size(); }
+
+  /// Incrementally maintained pruning envelope of the appended points:
+  /// MBR (nullopt while empty) and the largest appended score (0 while
+  /// empty) -- the delta-side counterpart of RelationSnapshot::mbr() /
+  /// score_max().
+  const std::optional<Rect>& mbr() const { return mbr_; }
+  double score_max() const { return score_max_; }
+
+ private:
+  DeltaRelation() = default;
+
+  using Chunk = std::shared_ptr<const std::vector<Tuple>>;
+
+  std::string name_;
+  int dim_ = 0;
+  double sigma_max_ = 1.0;
+  std::vector<Chunk> chunks_;  ///< shared with parents and children
+  IdSet ids_;                  ///< every id across all chunks
+  size_t size_ = 0;
+  std::optional<Rect> mbr_;
+  double score_max_ = 0.0;
+};
+
+/// Score-based access over a delta: decreasing score, ties by id --
+/// identical order to ScoreSource over the same tuples.
+class DeltaScoreSource : public AccessSource {
+ public:
+  explicit DeltaScoreSource(std::shared_ptr<const DeltaRelation> delta);
+
+  std::optional<Tuple> Next() override;
+  AccessKind kind() const override { return AccessKind::kScore; }
+  const std::string& name() const override { return delta_->name(); }
+  int dim() const override { return delta_->dim(); }
+  double sigma_max() const override { return delta_->sigma_max(); }
+  size_t depth() const override { return cursor_; }
+
+ private:
+  std::shared_ptr<const DeltaRelation> delta_;
+  std::vector<Tuple> sorted_;
+  size_t cursor_ = 0;
+};
+
+/// Distance-based access over a delta: increasing distance to the query,
+/// ties by id -- identical order to SortedDistanceSource over the same
+/// tuples. Setup sorts the delta (deltas are small by design; compaction
+/// folds them into the indexed base before they grow).
+class DeltaDistanceSource : public AccessSource {
+ public:
+  DeltaDistanceSource(std::shared_ptr<const DeltaRelation> delta,
+                      const Vec& query);
+
+  std::optional<Tuple> Next() override;
+  AccessKind kind() const override { return AccessKind::kDistance; }
+  const std::string& name() const override { return delta_->name(); }
+  int dim() const override { return delta_->dim(); }
+  double sigma_max() const override { return delta_->sigma_max(); }
+  size_t depth() const override { return cursor_; }
+
+ private:
+  std::shared_ptr<const DeltaRelation> delta_;
+  std::vector<Tuple> sorted_;
+  size_t cursor_ = 0;
+};
+
+/// Order-preserving two-way merge of two access streams over the same
+/// logical relation (base + delta), presenting them as one source. Both
+/// inners must share the access kind, dim, and tie discipline; the merge
+/// picks whichever head comes first in the shared access order, so the
+/// output is the stream a single source over the union would deliver.
+///
+/// Lookahead is lazy: no inner pull happens before the first Next call,
+/// so a fresh merge has depth() == 0 (ValidateQueryPlan's fresh-source
+/// requirement). depth() is the SUM of the inner depths: the cost model
+/// charges what the underlying services actually delivered, including
+/// the one-tuple lookahead each side may hold.
+class MergedAccessSource : public AccessSource {
+ public:
+  /// `query` is needed under distance access to compare heads (squared
+  /// distance); ignored under score access.
+  MergedAccessSource(std::unique_ptr<AccessSource> base,
+                     std::unique_ptr<AccessSource> delta, Vec query);
+
+  std::optional<Tuple> Next() override;
+  AccessKind kind() const override { return base_->kind(); }
+  const std::string& name() const override { return base_->name(); }
+  int dim() const override { return base_->dim(); }
+  double sigma_max() const override { return base_->sigma_max(); }
+  size_t depth() const override { return base_->depth() + delta_->depth(); }
+
+ private:
+  std::unique_ptr<AccessSource> base_;
+  std::unique_ptr<AccessSource> delta_;
+  Vec query_;
+  std::optional<Tuple> base_head_;
+  std::optional<Tuple> delta_head_;
+  bool primed_ = false;
+};
+
+/// Drops tombstoned ids from an access stream; the surviving tuples keep
+/// their relative order, so the stream stays a valid Definition 2.1
+/// access over the relation minus the deleted set. depth() is the inner
+/// depth: the service delivered those tuples, so the cost model charges
+/// them even when the filter discards some.
+class TombstoneFilterSource : public AccessSource {
+ public:
+  TombstoneFilterSource(std::unique_ptr<AccessSource> inner,
+                        std::shared_ptr<const IdSet> tombstones);
+
+  std::optional<Tuple> Next() override;
+  AccessKind kind() const override { return inner_->kind(); }
+  const std::string& name() const override { return inner_->name(); }
+  int dim() const override { return inner_->dim(); }
+  double sigma_max() const override { return inner_->sigma_max(); }
+  size_t depth() const override { return inner_->depth(); }
+
+ private:
+  std::unique_ptr<AccessSource> inner_;
+  std::shared_ptr<const IdSet> tombstones_;
+};
+
+}  // namespace prj
+
+#endif  // PRJ_ACCESS_DELTA_RELATION_H_

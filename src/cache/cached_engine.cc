@@ -19,23 +19,41 @@ Result<std::vector<ResultCombination>> CachedEngine::TopK(
     // Tracing observes the execution itself; never satisfy it from cache.
     return inner_->TopK(query, options, stats_out);
   }
-  // Not const: on a miss the key moves into the cache's LRU node.
-  std::string key = CanonicalRequestKey(query, options);
-  const uint64_t fingerprint = KeyFingerprint(key);
+  // The key carries the inner engine's data epoch, so an update (which
+  // bumps the epoch) instantly makes every pre-update entry unaddressable
+  // -- invalidation without an invalidation path. Static engines are
+  // epoch 0 forever and behave as before. Not const: on a miss the key
+  // moves into the cache's LRU node.
+  const uint64_t epoch = inner_->live_counters().epoch;
+  std::string key = CanonicalRequestKey(query, options, epoch);
+  uint64_t fingerprint = KeyFingerprint(key);
   if (auto entry = cache_.Lookup(key, fingerprint)) {
     if (stats_out) {
-      // A hit pulls nothing: zero cost, by definition complete.
+      // A hit pulls nothing: zero cost, by definition complete. The
+      // epoch of the content the entry was computed from is reported for
+      // observability.
       *stats_out = ExecStats{};
       stats_out->depths.assign(inner_->num_relations(), 0);
       stats_out->completed = true;
+      stats_out->data_epoch = entry->data_epoch;
     }
     return entry->combinations;
   }
   ExecStats stats;
   auto result = inner_->TopK(query, options, &stats);
   if (result.ok() && stats.completed) {
+    // An Apply may have raced between reading the epoch and executing:
+    // the execution then saw a NEWER snapshot than the key says. Re-key
+    // with the epoch the query actually observed (ExecStats::data_epoch),
+    // so an entry always maps key(e) -> content(e) and a post-update
+    // lookup can never be served pre-update results.
+    if (stats.data_epoch != epoch) {
+      key = CanonicalRequestKey(query, options, stats.data_epoch);
+      fingerprint = KeyFingerprint(key);
+    }
     auto entry = std::make_shared<QueryCache::Entry>();
     entry->combinations = *result;
+    entry->data_epoch = stats.data_epoch;
     cache_.Insert(std::move(key), fingerprint, std::move(entry));
   }
   if (stats_out) *stats_out = std::move(stats);

@@ -1,11 +1,13 @@
 // CachedEngine: a query-result cache decorator over any QueryEngine.
 //
-// Wraps an inner engine (monolithic Engine, ShardedEngine, even another
-// CachedEngine) and serves repeated queries from a sharded-lock LRU
-// QueryCache keyed on the canonical request encoding. Because every
-// engine in this library is immutable after construction, a cached answer
-// can never go stale -- there is no invalidation machinery, only LRU
-// eviction under capacity pressure.
+// Wraps an inner engine (monolithic Engine, ShardedEngine, LiveEngine,
+// even another CachedEngine) and serves repeated queries from a
+// sharded-lock LRU QueryCache keyed on the canonical request encoding
+// INCLUDING the inner engine's data epoch. A cached answer can never go
+// stale: static engines are immutable after construction, and a live
+// engine's updates bump the epoch, changing the key -- pre-update entries
+// become unaddressable instantly and age out via LRU. There is no
+// invalidation machinery, only eviction under capacity/byte pressure.
 //
 // Hit-path exactness: the cache key covers everything that determines the
 // answer (see core/query_engine.h), and entries store the combinations
@@ -44,6 +46,10 @@ class CachedEngine : public QueryEngine {
   size_t fan_out() const override { return inner_->fan_out(); }
   /// This cache's counters plus the inner engine's (for stacked caches).
   CacheCounters cache_counters() const override;
+  /// Forwarded: the epoch the next lookup will key on comes from here.
+  LiveCounters live_counters() const override {
+    return inner_->live_counters();
+  }
 
   const QueryEngine& inner() const { return *inner_; }
   const QueryCache& cache() const { return cache_; }

@@ -8,16 +8,37 @@
 namespace prj {
 
 QueryCache::QueryCache(QueryCacheOptions options)
-    : capacity_(std::max<size_t>(1, options.capacity)) {
+    : capacity_(std::max<size_t>(1, options.capacity)),
+      byte_budget_(options.byte_budget) {
   const size_t n =
       std::min(std::max<size_t>(1, options.lock_shards), capacity_);
   shards_.reserve(n);
   for (size_t i = 0; i < n; ++i) {
     shards_.push_back(std::make_unique<Shard>());
-    // Spread the capacity as evenly as possible; the first capacity_ % n
-    // shards take one extra entry.
+    // Spread capacity and byte budget as evenly as possible; the first
+    // `remainder` shards take one extra unit.
     shards_.back()->capacity = capacity_ / n + (i < capacity_ % n ? 1 : 0);
+    // A zero per-shard slice of a non-zero budget would turn accounting
+    // OFF for that shard (0 = unbounded); clamp to 1 byte instead.
+    shards_.back()->byte_budget =
+        byte_budget_ == 0
+            ? 0
+            : std::max<size_t>(
+                  1, byte_budget_ / n + (i < byte_budget_ % n ? 1 : 0));
   }
+}
+
+size_t QueryCache::ApproxEntryBytes(const std::string& key,
+                                    const Entry& entry) {
+  // Tuples hold their vectors inline (common/vec.h), so sizeof(Tuple)
+  // already covers the feature payload; what varies is the key string and
+  // the two vector layers of the combinations.
+  size_t bytes = sizeof(Node) + key.size() + sizeof(Entry);
+  bytes += entry.combinations.size() * sizeof(ResultCombination);
+  for (const ResultCombination& combo : entry.combinations) {
+    bytes += combo.tuples.size() * sizeof(Tuple);
+  }
+  return bytes;
 }
 
 std::shared_ptr<const QueryCache::Entry> QueryCache::Lookup(
@@ -29,7 +50,7 @@ std::shared_ptr<const QueryCache::Entry> QueryCache::Lookup(
     auto it = shard.index.find(std::string_view(key));
     if (it != shard.index.end()) {
       shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-      found = shard.lru.front().second;
+      found = shard.lru.front().entry;
     }
   }
   if (found) {
@@ -43,23 +64,35 @@ std::shared_ptr<const QueryCache::Entry> QueryCache::Lookup(
 void QueryCache::Insert(std::string key, uint64_t fingerprint,
                         std::shared_ptr<const Entry> entry) {
   PRJ_CHECK(entry != nullptr);
+  const size_t bytes = ApproxEntryBytes(key, *entry);
   Shard& shard = ShardFor(fingerprint);
   uint64_t evicted = 0;
   {
     std::lock_guard<std::mutex> lock(shard.mu);
     auto it = shard.index.find(std::string_view(key));
     if (it != shard.index.end()) {
-      it->second->second = std::move(entry);
+      shard.bytes -= it->second->bytes;
+      shard.bytes += bytes;
+      it->second->entry = std::move(entry);
+      it->second->bytes = bytes;
       shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     } else {
-      shard.lru.emplace_front(std::move(key), std::move(entry));
-      shard.index.emplace(std::string_view(shard.lru.front().first),
+      shard.lru.emplace_front(Node{std::move(key), std::move(entry), bytes});
+      shard.index.emplace(std::string_view(shard.lru.front().key),
                           shard.lru.begin());
-      while (shard.lru.size() > shard.capacity) {
-        shard.index.erase(std::string_view(shard.lru.back().first));
-        shard.lru.pop_back();
-        ++evicted;
-      }
+      shard.bytes += bytes;
+    }
+    // Evict oldest-first past either limit. An entry bigger than the
+    // whole shard budget evicts everything including itself -- the cache
+    // honestly refuses to hold it rather than silently blowing the
+    // budget.
+    while (!shard.lru.empty() &&
+           (shard.lru.size() > shard.capacity ||
+            (shard.byte_budget > 0 && shard.bytes > shard.byte_budget))) {
+      shard.bytes -= shard.lru.back().bytes;
+      shard.index.erase(std::string_view(shard.lru.back().key));
+      shard.lru.pop_back();
+      ++evicted;
     }
   }
   if (evicted > 0) evictions_.fetch_add(evicted, std::memory_order_relaxed);
@@ -78,6 +111,15 @@ size_t QueryCache::size() const {
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
     total += shard->lru.size();
+  }
+  return total;
+}
+
+size_t QueryCache::ApproxBytes() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->bytes;
   }
   return total;
 }

@@ -10,8 +10,19 @@
 //
 // Values are immutable snapshots behind shared_ptr: a lookup hands back a
 // reference the caller can read lock-free even if the entry is evicted a
-// microsecond later. Because engines are immutable after Create, entries
-// never go stale and there is no invalidation path at all.
+// microsecond later. Entries never go stale: static engines are immutable
+// after Create, and live engines version their content through the data
+// epoch, which is part of the key (core/query_engine.h) -- an update
+// changes the epoch and thus the key, so pre-update entries simply stop
+// being addressable and age out through LRU. There is no invalidation
+// path at all.
+//
+// Two independent limits bound the cache: an entry-count capacity and a
+// byte budget over the approximate materialized size of the cached
+// results (keys + combination payloads). Results vary enormously in size
+// -- K x n tuples with d-dimensional vectors -- so counting entries alone
+// would let a few giant results dominate memory; the byte budget charges
+// what an entry actually holds.
 #ifndef PRJ_CACHE_QUERY_CACHE_H_
 #define PRJ_CACHE_QUERY_CACHE_H_
 
@@ -35,16 +46,28 @@ struct QueryCacheOptions {
   size_t capacity = 1024;
   /// Independent LRU + mutex shards (>= 1; clamped to capacity).
   size_t lock_shards = 8;
+  /// Approximate byte ceiling over the materialized entries (keys +
+  /// combination payloads), split across lock shards like `capacity`.
+  /// 0 disables byte accounting and bounds by entry count alone.
+  size_t byte_budget = 64u << 20;
 };
 
 class QueryCache {
  public:
-  /// One cached answer: the combinations, verbatim. (No ExecStats: a hit
-  /// performs no pulls, so CachedEngine reports zero cost rather than
-  /// replaying the original execution's accounting.)
+  /// One cached answer: the combinations, verbatim, plus the data epoch
+  /// of the content they were computed from (0 for static engines).
+  /// (No ExecStats: a hit performs no pulls, so CachedEngine reports zero
+  /// cost rather than replaying the original execution's accounting.)
   struct Entry {
     std::vector<ResultCombination> combinations;
+    uint64_t data_epoch = 0;
   };
+
+  /// Approximate heap footprint of one cached entry (key string + LRU
+  /// node + combination payloads, vectors counted at their element
+  /// sizes): the currency of the byte budget. Deterministic and cheap --
+  /// O(combinations), not O(allocator introspection).
+  static size_t ApproxEntryBytes(const std::string& key, const Entry& entry);
 
   explicit QueryCache(QueryCacheOptions options = {});
 
@@ -57,10 +80,12 @@ class QueryCache {
   std::shared_ptr<const Entry> Lookup(const std::string& key,
                                       uint64_t fingerprint);
 
-  /// Inserts (or refreshes) the entry, evicting the least recently used
-  /// entries of the shard past its capacity. Does not count a hit/miss.
-  /// Takes the key by value: callers done with it move it straight into
-  /// the LRU node.
+  /// Inserts (or refreshes) the entry, evicting least recently used
+  /// entries while the shard exceeds its entry capacity or its byte
+  /// budget -- an entry larger than the whole budget is evicted straight
+  /// away (the insert still counts an eviction; the cache never holds
+  /// more than the budget). Does not count a hit/miss. Takes the key by
+  /// value: callers done with it move it straight into the LRU node.
   void Insert(std::string key, uint64_t fingerprint,
               std::shared_ptr<const Entry> entry);
 
@@ -68,18 +93,30 @@ class QueryCache {
 
   /// Entries currently cached (point-in-time across shards).
   size_t size() const;
+  /// Approximate bytes currently held (point-in-time across shards), in
+  /// ApproxEntryBytes currency.
+  size_t ApproxBytes() const;
   size_t capacity() const { return capacity_; }
+  size_t byte_budget() const { return byte_budget_; }
   size_t lock_shards() const { return shards_.size(); }
 
  private:
+  struct Node {
+    std::string key;
+    std::shared_ptr<const Entry> entry;
+    size_t bytes = 0;  ///< ApproxEntryBytes at insert time
+  };
+
   struct Shard {
     std::mutex mu;
     /// Front = most recently used. The list node owns the key string; the
     /// map's string_view keys point into the nodes (stable across splice),
     /// so each key is stored exactly once.
-    std::list<std::pair<std::string, std::shared_ptr<const Entry>>> lru;
+    std::list<Node> lru;
     std::unordered_map<std::string_view, decltype(lru)::iterator> index;
     size_t capacity = 0;
+    size_t byte_budget = 0;  ///< 0 = unbounded bytes
+    size_t bytes = 0;        ///< sum of node bytes, guarded by mu
   };
 
   Shard& ShardFor(uint64_t fingerprint) {
@@ -88,6 +125,7 @@ class QueryCache {
   }
 
   size_t capacity_;
+  size_t byte_budget_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};

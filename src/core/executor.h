@@ -111,6 +111,12 @@ struct ExecStats {
                                     ///< (0 = sequential scatter)
   uint64_t shards_pruned = 0;       ///< shards skipped by the corner bound
   double gather_seconds = 0.0;      ///< merging per-shard results
+
+  // Live-data accounting, filled only by LiveEngine (live/live_engine.h);
+  // zero for engines without a live layer.
+  uint64_t data_epoch = 0;          ///< epoch of the snapshot this query saw
+  uint64_t delta_tuples = 0;        ///< delta tuples live in that snapshot
+  uint64_t delta_shards_pruned = 0; ///< delta shards the corner bound skipped
 };
 
 /// One result combination with materialized member tuples.

@@ -1,0 +1,97 @@
+#include "core/gather.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace prj {
+
+KeyedCombination MakeKeyed(ResultCombination combo, AccessKind kind,
+                           const Vec& query) {
+  KeyedCombination keyed;
+  keyed.keys.reserve(combo.tuples.size());
+  for (const Tuple& t : combo.tuples) {
+    keyed.keys.push_back(kind == AccessKind::kDistance
+                             ? t.x.SquaredDistance(query)
+                             : -t.score);
+  }
+  keyed.combo = std::move(combo);
+  return keyed;
+}
+
+bool GatherBetter(const KeyedCombination& a, const KeyedCombination& b) {
+  if (a.combo.score != b.combo.score) return a.combo.score > b.combo.score;
+  for (size_t j = 0; j < a.keys.size(); ++j) {
+    if (a.keys[j] != b.keys[j]) return a.keys[j] < b.keys[j];
+    const int64_t ida = a.combo.tuples[j].id;
+    const int64_t idb = b.combo.tuples[j].id;
+    if (ida != idb) return ida < idb;
+  }
+  return false;
+}
+
+bool GatherPruned(double bound, double kth_score) {
+  return bound + 1e-9 * (1.0 + std::abs(bound)) < kth_score;
+}
+
+void GatherHeap::Offer(KeyedCombination kc) {
+  if (keep_ == 0) return;
+  if (best_.size() < keep_) {
+    best_.push_back(std::move(kc));
+    std::push_heap(best_.begin(), best_.end(), GatherBetter);
+  } else if (GatherBetter(kc, best_.front())) {
+    std::pop_heap(best_.begin(), best_.end(), GatherBetter);
+    best_.back() = std::move(kc);
+    std::push_heap(best_.begin(), best_.end(), GatherBetter);
+  }
+}
+
+std::vector<ResultCombination> GatherHeap::Finish() {
+  std::sort(best_.begin(), best_.end(), GatherBetter);
+  std::vector<ResultCombination> merged;
+  merged.reserve(best_.size());
+  for (KeyedCombination& keyed : best_) {
+    merged.push_back(std::move(keyed.combo));
+  }
+  best_.clear();
+  return merged;
+}
+
+void AggregateShardStats(const ExecStats& shard, ScatterMode mode,
+                         ExecStats* aggregate) {
+  for (size_t j = 0; j < shard.depths.size() && j < aggregate->depths.size();
+       ++j) {
+    aggregate->depths[j] += shard.depths[j];
+  }
+  aggregate->sum_depths += shard.sum_depths;
+  if (mode == ScatterMode::kSequential) {
+    // Parts ran back to back on one thread: their wall times add up to
+    // the real latency (maxing here under-reported it by up to the
+    // fan-out factor).
+    aggregate->total_seconds += shard.total_seconds;
+    aggregate->bound_seconds += shard.bound_seconds;
+    aggregate->dominance_seconds += shard.dominance_seconds;
+  } else {
+    // Parts ran concurrently: the slowest one is the makespan.
+    aggregate->total_seconds =
+        std::max(aggregate->total_seconds, shard.total_seconds);
+    aggregate->bound_seconds =
+        std::max(aggregate->bound_seconds, shard.bound_seconds);
+    aggregate->dominance_seconds =
+        std::max(aggregate->dominance_seconds, shard.dominance_seconds);
+  }
+  aggregate->combinations_formed += shard.combinations_formed;
+  aggregate->bound_stats.bound_updates += shard.bound_stats.bound_updates;
+  aggregate->bound_stats.qp_solves += shard.bound_stats.qp_solves;
+  aggregate->bound_stats.lp_solves += shard.bound_stats.lp_solves;
+  aggregate->bound_stats.partials_total += shard.bound_stats.partials_total;
+  aggregate->bound_stats.partials_dominated +=
+      shard.bound_stats.partials_dominated;
+  aggregate->final_bound = std::max(aggregate->final_bound, shard.final_bound);
+  aggregate->completed = aggregate->completed && shard.completed;
+  aggregate->data_epoch = std::max(aggregate->data_epoch, shard.data_epoch);
+  aggregate->delta_tuples += shard.delta_tuples;
+  aggregate->delta_shards_pruned += shard.delta_shards_pruned;
+}
+
+}  // namespace prj

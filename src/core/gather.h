@@ -1,0 +1,100 @@
+// The exact scatter-gather merge: the one reconstruction of the
+// executor's result order from output tuples alone, shared by every layer
+// that partitions a query across sub-executions and merges the per-part
+// top-K lists (ShardedEngine's shard scatter, LiveEngine's base+delta
+// merge).
+//
+// The executor's output order (TopKBuffer: score descending, ties by
+// lexicographic member positions within the pulled prefixes) is
+// reconstructible from the output tuples because position order per
+// relation IS access order: (distance to q asc, id asc) under distance
+// access, (score desc, id asc) under score access. GatherBetter compares
+// two combinations under exactly that order -- a strict total order
+// whenever member ids are unique per relation across the merged parts --
+// so a bounded K-heap of the union keeps the global top K independent of
+// arrival order, and one final sort reproduces the unpartitioned answer
+// bit for bit (the exactness argument in shard/sharded_engine.h; the
+// property tests in tests/shard_test.cc and tests/live_test.cc hold both
+// users to it).
+#ifndef PRJ_CORE_GATHER_H_
+#define PRJ_CORE_GATHER_H_
+
+#include <vector>
+
+#include "access/source.h"
+#include "common/vec.h"
+#include "core/executor.h"
+
+namespace prj {
+
+/// One gathered combination plus its precomputed access keys: per relation
+/// in join order, the key a member sorts by within its access stream --
+/// squared distance to q under distance access (orders identically to
+/// distance), negated score under score access; ties break by member id.
+struct KeyedCombination {
+  ResultCombination combo;
+  std::vector<double> keys;  ///< ascending = earlier in access order
+};
+
+KeyedCombination MakeKeyed(ResultCombination combo, AccessKind kind,
+                           const Vec& query);
+
+/// The executor's result order over keyed combinations: score descending,
+/// ties by the per-relation access keys in join order (id breaking key
+/// ties). Strict and total whenever distinct combinations differ on some
+/// (key, id) pair -- guaranteed when ids are unique per relation across
+/// the merged parts.
+bool GatherBetter(const KeyedCombination& a, const KeyedCombination& b);
+
+/// Pruning test shared by the scatter layers: true when a part whose
+/// admissible upper bound is `bound` cannot contribute to a result whose
+/// K-th gathered score is `kth_score`. The comparison is widened by a
+/// relative-absolute slack so floating-point rounding in the bound
+/// computation (e.g. the sqrt/square round trip through MINDIST) can only
+/// keep a prunable part, never prune a part whose best combination ties
+/// the K-th score.
+bool GatherPruned(double bound, double kth_score);
+
+/// Bounded K-heap under GatherBetter: offers from any number of parts,
+/// keeps the best `keep`, and finishes into the executor's order. Peak
+/// memory is O(keep) regardless of how many parts feed it. Not
+/// internally synchronized -- concurrent scatters guard it with their own
+/// merge lock.
+class GatherHeap {
+ public:
+  explicit GatherHeap(size_t keep) : keep_(keep) {}
+
+  void Offer(KeyedCombination kc);
+
+  bool full() const { return best_.size() >= keep_ && keep_ > 0; }
+  size_t size() const { return best_.size(); }
+  /// Score of the worst kept combination -- the running K-th score the
+  /// pruning test compares against. Only meaningful when full().
+  double kth_score() const { return best_.front().combo.score; }
+
+  /// Sorts the kept combinations into the executor's order and strips the
+  /// keys. The heap is left empty.
+  std::vector<ResultCombination> Finish();
+
+ private:
+  size_t keep_;
+  std::vector<KeyedCombination> best_;  ///< heap, worst at front
+};
+
+/// How one query's parts were visited; picks the wall-clock aggregation
+/// rule (see AggregateShardStats).
+enum class ScatterMode { kSequential, kParallel };
+
+/// Accumulates one part's per-query stats into the scatter-gather
+/// aggregate: counters sum; wall-clock fields SUM under
+/// ScatterMode::kSequential (parts ran back to back -- the real latency)
+/// and MAX under kParallel (the idealized makespan); final_bound and
+/// data_epoch take the max, completed ANDs. `aggregate->depths` must
+/// already be sized to the relation count. Exposed for the focused unit
+/// test.
+void AggregateShardStats(const ExecStats& shard, ScatterMode mode,
+                         ExecStats* aggregate);
+
+}  // namespace prj
+
+#endif  // PRJ_CORE_GATHER_H_

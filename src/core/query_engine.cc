@@ -70,15 +70,16 @@ void AppendCanonicalOptions(const ProxRJOptions& options, std::string* out) {
   AppendDouble(options.epsilon, out);
 }
 
-std::string CanonicalRequestKey(const Vec& query,
-                                const ProxRJOptions& options) {
+std::string CanonicalRequestKey(const Vec& query, const ProxRJOptions& options,
+                                uint64_t data_epoch) {
   std::string key;
-  key.reserve(static_cast<size_t>(query.dim() + 8) * sizeof(uint64_t));
+  key.reserve(static_cast<size_t>(query.dim() + 9) * sizeof(uint64_t));
   AppendI64(query.dim(), &key);
   for (int i = 0; i < query.dim(); ++i) {
     AppendDouble(query[i], &key);
   }
   AppendCanonicalOptions(options, &key);
+  AppendU64(data_epoch, &key);
   return key;
 }
 

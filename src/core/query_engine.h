@@ -60,6 +60,20 @@ struct CacheCounters {
   uint64_t evictions = 0;
 };
 
+/// Live-data counters surfaced through the QueryEngine interface (all
+/// zero for engines without a live layer, whose content is fixed at epoch
+/// 0 forever). `epoch` versions the logical content: it bumps on every
+/// applied update batch and -- deliberately -- does NOT change on
+/// compaction, which moves tuples between physical homes without changing
+/// what a query would answer. The result cache keys on it, so update
+/// invalidation is free and compaction keeps the cache warm.
+struct LiveCounters {
+  uint64_t epoch = 0;         ///< logical content version
+  uint64_t delta_tuples = 0;  ///< inserts not yet compacted into the base
+  uint64_t tombstones = 0;    ///< deletes not yet compacted away
+  uint64_t compactions = 0;   ///< base rebuilds completed so far
+};
+
 /// Abstract top-K query engine: TopK / RunBatch plus the metadata a
 /// serving layer needs (dimensionality, access kind, scatter fan-out,
 /// cache counters). Implementations are immutable after construction;
@@ -102,6 +116,9 @@ class QueryEngine {
   virtual size_t fan_out() const { return 1; }
   /// Result-cache counters; all zero for engines without a cache layer.
   virtual CacheCounters cache_counters() const { return {}; }
+  /// Live-data counters; all zero for engines without a live layer (their
+  /// content never changes, i.e. it is epoch 0 forever).
+  virtual LiveCounters live_counters() const { return {}; }
 
  protected:
   QueryEngine() = default;
@@ -116,12 +133,16 @@ class QueryEngine {
 // ------------------------ canonical request key ------------------------ //
 //
 // The canonical encoding covers exactly the inputs that determine a
-// query's answer and cost accounting: the query point and every
+// query's answer and cost accounting: the query point, every
 // ProxRJOptions field except
 //   * `trace`   -- a side-channel observer, not part of the query; and
 //   * `backend` -- the access-path implementation is the *engine's*
 //                  construction-time choice (Engine ignores the per-query
-//                  field, and both backends deliver bit-identical streams).
+//                  field, and both backends deliver bit-identical streams),
+// and the data epoch of the engine answering it: on a live engine the
+// same (query, options) pair produces different answers before and after
+// an update, so the epoch is part of request identity. Engines without a
+// live layer are epoch 0 forever, which the default argument encodes.
 // Floating-point values are encoded by bit pattern with -0.0 canonicalized
 // to +0.0 (they compare equal and produce identical results), so two
 // requests with equal keys are guaranteed to produce bit-identical
@@ -130,9 +151,10 @@ class QueryEngine {
 /// Appends the canonical encoding of the result-relevant option fields.
 void AppendCanonicalOptions(const ProxRJOptions& options, std::string* out);
 
-/// Canonical byte key of (query point, options): the cache key, and the
-/// single request-identity notion used by the tests.
-std::string CanonicalRequestKey(const Vec& query, const ProxRJOptions& options);
+/// Canonical byte key of (query point, options, data epoch): the cache
+/// key, and the single request-identity notion used by the tests.
+std::string CanonicalRequestKey(const Vec& query, const ProxRJOptions& options,
+                                uint64_t data_epoch = 0);
 inline std::string CanonicalRequestKey(const QueryRequest& request) {
   return CanonicalRequestKey(request.query, request.options);
 }

@@ -1,0 +1,562 @@
+#include "live/live_engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <utility>
+
+#include "common/timer.h"
+#include "core/bounds.h"
+#include "core/gather.h"
+
+namespace prj {
+namespace {
+
+const IdSet& Deref(const std::shared_ptr<const IdSet>& set) {
+  static const IdSet kEmpty;
+  return set ? *set : kEmpty;
+}
+
+std::shared_ptr<const IdSet> EmptyIdSet() {
+  static const std::shared_ptr<const IdSet> kEmpty =
+      std::make_shared<const IdSet>();
+  return kEmpty;
+}
+
+/// Wraps `source` in a tombstone filter only when there is something to
+/// filter; the common no-deletes path pays nothing.
+std::unique_ptr<AccessSource> MaybeFilter(
+    std::unique_ptr<AccessSource> source,
+    const std::shared_ptr<const IdSet>& tombstones) {
+  if (!tombstones || tombstones->empty()) return source;
+  return std::make_unique<TombstoneFilterSource>(std::move(source), tombstones);
+}
+
+uint64_t SaturatingMul(uint64_t a, uint64_t b) {
+  if (a == 0 || b == 0) return 0;
+  if (a > std::numeric_limits<uint64_t>::max() / b) {
+    return std::numeric_limits<uint64_t>::max();
+  }
+  return a * b;
+}
+
+}  // namespace
+
+size_t LiveEngine::Snapshot::delta_tuples() const {
+  size_t total = 0;
+  for (const LiveRelation& lr : relations) total += lr.delta->size();
+  return total;
+}
+
+size_t LiveEngine::Snapshot::tombstones() const {
+  size_t total = 0;
+  for (const LiveRelation& lr : relations) {
+    total += Deref(lr.base_tombstones).size();
+    total += Deref(lr.delta_tombstones).size();
+  }
+  return total;
+}
+
+LiveEngine::LiveEngine(AccessKind kind, const ScoringFunction* scoring,
+                       BaseEngineFactory factory, Options options, int dim,
+                       size_t num_relations)
+    : kind_(kind),
+      scoring_(scoring),
+      factory_(std::move(factory)),
+      options_(options),
+      dim_(dim),
+      num_relations_(num_relations) {}
+
+LiveEngine::~LiveEngine() = default;
+
+Result<std::unique_ptr<LiveEngine>> LiveEngine::Create(
+    const std::vector<Relation>& relations, AccessKind kind,
+    const ScoringFunction* scoring, BaseEngineFactory factory,
+    Options options) {
+  PRJ_RETURN_IF_ERROR(ValidateEngineInputs(relations, kind, scoring));
+  if (!factory) {
+    return Status::InvalidArgument("LiveEngine needs a base engine factory");
+  }
+  auto base = factory(relations);
+  PRJ_RETURN_IF_ERROR(base.status());
+
+  std::unique_ptr<LiveEngine> live(
+      new LiveEngine(kind, scoring, std::move(factory), options,
+                     relations.front().dim(), relations.size()));
+  auto snap = std::make_shared<Snapshot>();
+  snap->epoch = 1;
+  snap->base = std::shared_ptr<const QueryEngine>(std::move(*base));
+  PRJ_RETURN_IF_ERROR(live->BuildBaseState(relations, &snap->relations));
+  live->snapshot_ = std::move(snap);
+  if (options.compact_threshold > 0) {
+    live->pool_ =
+        std::make_unique<ThreadPool>(std::max(1, options.compaction_threads));
+  }
+  return live;
+}
+
+BaseEngineFactory LiveEngine::MonolithicFactory(AccessKind kind,
+                                                const ScoringFunction* scoring,
+                                                EngineOptions options) {
+  return [kind, scoring,
+          options](const std::vector<Relation>& relations)
+             -> Result<std::unique_ptr<const QueryEngine>> {
+    auto engine = Engine::Create(relations, kind, scoring, options);
+    PRJ_RETURN_IF_ERROR(engine.status());
+    return std::unique_ptr<const QueryEngine>(
+        std::make_unique<Engine>(std::move(*engine)));
+  };
+}
+
+BaseEngineFactory LiveEngine::ShardedFactory(AccessKind kind,
+                                             const ScoringFunction* scoring,
+                                             ShardedEngineOptions options) {
+  return [kind, scoring,
+          options](const std::vector<Relation>& relations)
+             -> Result<std::unique_ptr<const QueryEngine>> {
+    auto engine = ShardedEngine::Create(relations, kind, scoring, options);
+    PRJ_RETURN_IF_ERROR(engine.status());
+    return std::unique_ptr<const QueryEngine>(
+        std::make_unique<ShardedEngine>(std::move(*engine)));
+  };
+}
+
+Status LiveEngine::BuildBaseState(const std::vector<Relation>& relations,
+                                  std::vector<LiveRelation>* out) const {
+  const bool use_rtree = kind_ == AccessKind::kDistance &&
+                         options_.catalog.backend == SourceBackend::kRTree;
+  out->clear();
+  out->reserve(relations.size());
+  for (const Relation& relation : relations) {
+    LiveRelation lr;
+    if (use_rtree) {
+      lr.index = IndexedRelation::Build(relation);
+    } else {
+      lr.snap = RelationSnapshot::Build(relation);
+    }
+    IdSet ids;
+    ids.reserve(relation.size());
+    for (const Tuple& t : relation.tuples()) ids.insert(t.id);
+    lr.base_ids = std::make_shared<const IdSet>(std::move(ids));
+    lr.delta = DeltaRelation::Empty(relation.name(), relation.dim(),
+                                    relation.sigma_max());
+    lr.base_tombstones = EmptyIdSet();
+    lr.delta_tombstones = EmptyIdSet();
+    out->push_back(std::move(lr));
+  }
+  return Status();
+}
+
+std::shared_ptr<const LiveEngine::Snapshot> LiveEngine::Capture() const {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  return snapshot_;
+}
+
+void LiveEngine::Publish(std::shared_ptr<const Snapshot> next) {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  snapshot_ = std::move(next);
+}
+
+size_t LiveEngine::fan_out() const {
+  auto snap = Capture();
+  size_t fan = snap->base->fan_out();
+  for (const LiveRelation& lr : snap->relations) {
+    if (!lr.delta->empty()) ++fan;
+  }
+  return fan;
+}
+
+CacheCounters LiveEngine::cache_counters() const {
+  return Capture()->base->cache_counters();
+}
+
+LiveCounters LiveEngine::live_counters() const {
+  auto snap = Capture();
+  LiveCounters counters;
+  counters.epoch = snap->epoch;
+  counters.delta_tuples = snap->delta_tuples();
+  counters.tombstones = snap->tombstones();
+  counters.compactions = compactions_.load(std::memory_order_relaxed);
+  return counters;
+}
+
+std::unique_ptr<AccessSource> LiveEngine::MakeBaseSource(
+    const Snapshot& snap, size_t j, const Vec& query) const {
+  const LiveRelation& lr = snap.relations[j];
+  if (lr.index) {
+    return std::make_unique<SharedIndexDistanceSource>(lr.index, query);
+  }
+  if (kind_ == AccessKind::kScore) {
+    return std::make_unique<SharedSnapshotScoreSource>(lr.snap);
+  }
+  return std::make_unique<SharedSnapshotDistanceSource>(lr.snap, query);
+}
+
+Result<std::vector<ResultCombination>> LiveEngine::TopK(
+    const Vec& query, const ProxRJOptions& options,
+    ExecStats* stats_out) const {
+  if (stats_out) *stats_out = ExecStats{};
+  PRJ_RETURN_IF_ERROR(ValidateOptions(options));
+  if (query.dim() != dim_) {
+    return Status::InvalidArgument(
+        "engine serves dim " + std::to_string(dim_) +
+        " but the query has dim " + std::to_string(query.dim()));
+  }
+  const auto snap = Capture();  // the query's immutable world
+
+  ExecStats aggregate;
+  aggregate.depths.assign(num_relations_, 0);
+  aggregate.completed = true;
+  aggregate.final_bound = -std::numeric_limits<double>::infinity();
+  aggregate.data_epoch = snap->epoch;
+  aggregate.delta_tuples = snap->delta_tuples();
+
+  const size_t keep = static_cast<size_t>(options.k);
+  GatherHeap heap(keep);
+
+  // --- shard_base: the wrapped engine answers the all-base part. ---
+  //
+  // Tombstones make the base engine's top-K' prefix over-complete: some
+  // of its combinations contain deleted members. Filtering preserves the
+  // executor order, so the survivors of the prefix are exactly the
+  // leading survivors of the whole filtered space -- we just need enough
+  // of them. Geometric over-fetch (x4) re-asks until K survive, the base
+  // is exhausted, a safety rail trips, or K' covers every live
+  // combination the base can form.
+  bool base_tombstoned = false;
+  uint64_t live_base_cap = 1;  // live base combinations, saturating
+  for (const LiveRelation& lr : snap->relations) {
+    const size_t dead = Deref(lr.base_tombstones).size();
+    base_tombstoned = base_tombstoned || dead > 0;
+    live_base_cap =
+        SaturatingMul(live_base_cap, lr.base_ids->size() - dead);
+  }
+  std::vector<ResultCombination> base_results;
+  uint64_t want = keep;
+  for (;;) {
+    ProxRJOptions base_options = options;
+    base_options.k = static_cast<int>(std::min<uint64_t>(
+        want, static_cast<uint64_t>(std::numeric_limits<int>::max())));
+    ExecStats base_stats;
+    auto res = snap->base->TopK(query, base_options, &base_stats);
+    if (!res.ok()) return res.status();
+    AggregateShardStats(base_stats, ScatterMode::kSequential, &aggregate);
+    size_t survivors = 0;
+    if (base_tombstoned) {
+      for (const ResultCombination& combo : *res) {
+        bool dead = false;
+        for (size_t j = 0; j < combo.tuples.size() && !dead; ++j) {
+          dead = Deref(snap->relations[j].base_tombstones)
+                     .count(combo.tuples[j].id) > 0;
+        }
+        survivors += dead ? 0 : 1;
+      }
+    } else {
+      survivors = res->size();
+    }
+    const bool exhausted = res->size() < static_cast<size_t>(base_options.k);
+    if (survivors >= keep || exhausted || !base_stats.completed ||
+        want >= live_base_cap) {
+      if (base_tombstoned) {
+        for (ResultCombination& combo : *res) {
+          bool dead = false;
+          for (size_t j = 0; j < combo.tuples.size() && !dead; ++j) {
+            dead = Deref(snap->relations[j].base_tombstones)
+                       .count(combo.tuples[j].id) > 0;
+          }
+          if (!dead) base_results.push_back(std::move(combo));
+        }
+      } else {
+        base_results = std::move(*res);
+      }
+      break;
+    }
+    want = std::min(SaturatingMul(want, 4), live_base_cap);
+  }
+  {
+    const WallTimer gather_timer;
+    for (ResultCombination& combo : base_results) {
+      heap.Offer(MakeKeyed(std::move(combo), kind_, query));
+    }
+    aggregate.gather_seconds += gather_timer.ElapsedSeconds();
+  }
+
+  // --- delta shards: one executor run per first-delta slot j. ---
+  //
+  // shard_j covers exactly the combinations whose first delta member is
+  // at join slot j (base-only below j, delta-only at j, base+delta merge
+  // above j): disjoint across j, and together with shard_base a cover of
+  // the whole live combination space. Shards are visited best-bound-first
+  // and pruned against the running K-th score via the same corner bound
+  // the sharded scatter uses.
+  const bool euclidean = scoring_->euclidean_metric();
+  // A traced query must observe every sub-execution, so pruning is off
+  // (same contract as the sharded scatter).
+  const bool prune = options.trace == nullptr;
+  struct RankedShard {
+    size_t slot;
+    double bound;
+  };
+  std::vector<RankedShard> order;
+  std::vector<RelationEnvelope> envelopes(num_relations_);
+  for (size_t j = 0; j < num_relations_; ++j) {
+    if (snap->relations[j].delta->empty()) continue;
+    for (size_t i = 0; i < num_relations_; ++i) {
+      const LiveRelation& lr = snap->relations[i];
+      const std::optional<Rect>& base_mbr =
+          lr.index ? lr.index->mbr() : lr.snap->mbr();
+      const double base_score =
+          lr.index ? lr.index->score_max() : lr.snap->score_max();
+      std::optional<Rect> mbr;
+      double score = 0.0;
+      if (i < j) {
+        mbr = base_mbr;
+        score = base_score;
+      } else if (i == j) {
+        mbr = lr.delta->mbr();
+        score = lr.delta->score_max();
+      } else {
+        mbr = base_mbr;
+        if (lr.delta->mbr()) {
+          if (mbr) {
+            mbr->Extend(*lr.delta->mbr());
+          } else {
+            mbr = lr.delta->mbr();
+          }
+        }
+        score = std::max(base_score, lr.delta->score_max());
+      }
+      envelopes[i].score_ceiling = score;
+      envelopes[i].min_dist_q =
+          euclidean && mbr ? std::sqrt(mbr->MinSquaredDistance(query)) : 0.0;
+    }
+    order.push_back({j, CornerUpperBound(*scoring_, envelopes)});
+  }
+  std::sort(order.begin(), order.end(),
+            [](const RankedShard& a, const RankedShard& b) {
+              if (a.bound != b.bound) return a.bound > b.bound;
+              return a.slot < b.slot;
+            });
+
+  uint64_t pruned = 0;
+  for (const RankedShard& ranked : order) {
+    if (prune && heap.full() && GatherPruned(ranked.bound, heap.kth_score())) {
+      ++pruned;
+      aggregate.final_bound = std::max(aggregate.final_bound, ranked.bound);
+      continue;
+    }
+    const size_t j = ranked.slot;
+    std::vector<std::unique_ptr<AccessSource>> sources;
+    sources.reserve(num_relations_);
+    for (size_t i = 0; i < num_relations_; ++i) {
+      const LiveRelation& lr = snap->relations[i];
+      std::unique_ptr<AccessSource> source;
+      auto delta_source = [&]() -> std::unique_ptr<AccessSource> {
+        if (kind_ == AccessKind::kScore) {
+          return std::make_unique<DeltaScoreSource>(lr.delta);
+        }
+        return std::make_unique<DeltaDistanceSource>(lr.delta, query);
+      };
+      if (i < j) {
+        source = MaybeFilter(MakeBaseSource(*snap, i, query),
+                             lr.base_tombstones);
+      } else if (i == j) {
+        source = MaybeFilter(delta_source(), lr.delta_tombstones);
+      } else {
+        source = std::make_unique<MergedAccessSource>(
+            MaybeFilter(MakeBaseSource(*snap, i, query), lr.base_tombstones),
+            MaybeFilter(delta_source(), lr.delta_tombstones), query);
+      }
+      if (options_.catalog.block_size > 0) {
+        source = std::make_unique<BlockedSource>(std::move(source),
+                                                 options_.catalog.block_size);
+      }
+      sources.push_back(std::move(source));
+    }
+    ProxRJ op(std::move(sources), scoring_, query, options);
+    auto local = op.Run();
+    if (!local.ok()) return local.status();
+    AggregateShardStats(op.stats(), ScatterMode::kSequential, &aggregate);
+    const WallTimer gather_timer;
+    for (ResultCombination& combo : *local) {
+      heap.Offer(MakeKeyed(std::move(combo), kind_, query));
+    }
+    aggregate.gather_seconds += gather_timer.ElapsedSeconds();
+  }
+
+  const WallTimer finish_timer;
+  std::vector<ResultCombination> merged = heap.Finish();
+  aggregate.gather_seconds += finish_timer.ElapsedSeconds();
+  aggregate.delta_shards_pruned = pruned;
+  if (stats_out) *stats_out = std::move(aggregate);
+  return merged;
+}
+
+Status LiveEngine::Apply(const UpdateBatch& batch) {
+  if (batch.relations.size() != num_relations_) {
+    return Status::InvalidArgument(
+        "update batch has " + std::to_string(batch.relations.size()) +
+        " relation slices, engine joins " + std::to_string(num_relations_));
+  }
+  std::lock_guard<std::mutex> writer_lock(writer_mu_);
+  const auto cur = Capture();
+
+  // Build the successor state relation by relation; nothing is published
+  // until every slice validates, so a failed batch changes nothing.
+  std::vector<LiveRelation> next_relations = cur->relations;
+  for (size_t j = 0; j < num_relations_; ++j) {
+    const RelationUpdate& update = batch.relations[j];
+    LiveRelation& lr = next_relations[j];
+    const std::string& name = lr.delta->name();
+
+    if (!update.inserts.empty()) {
+      for (const Tuple& t : update.inserts) {
+        if (lr.delta->Contains(t.id)) {
+          if (Deref(lr.delta_tombstones).count(t.id) > 0) {
+            return Status::FailedPrecondition(
+                "insert of id " + std::to_string(t.id) + " into '" + name +
+                "': id sits tombstoned in the delta log; compact before "
+                "re-inserting it");
+          }
+          return Status::InvalidArgument("insert of id " +
+                                         std::to_string(t.id) + " into '" +
+                                         name + "': id is already live");
+        }
+        if (lr.base_ids->count(t.id) > 0 &&
+            Deref(lr.base_tombstones).count(t.id) == 0) {
+          return Status::InvalidArgument("insert of id " +
+                                         std::to_string(t.id) + " into '" +
+                                         name + "': id is already live");
+        }
+      }
+      auto appended = lr.delta->Append(update.inserts);
+      PRJ_RETURN_IF_ERROR(appended.status());
+      lr.delta = std::move(*appended);
+    }
+
+    if (!update.deletes.empty()) {
+      IdSet base_tombs = Deref(lr.base_tombstones);
+      IdSet delta_tombs = Deref(lr.delta_tombstones);
+      for (const int64_t id : update.deletes) {
+        if (lr.delta->Contains(id) && delta_tombs.count(id) == 0) {
+          delta_tombs.insert(id);
+        } else if (lr.base_ids->count(id) > 0 && base_tombs.count(id) == 0) {
+          base_tombs.insert(id);
+        } else {
+          return Status::NotFound("delete of id " + std::to_string(id) +
+                                  " from '" + name + "': id is not live");
+        }
+      }
+      lr.base_tombstones = std::make_shared<const IdSet>(std::move(base_tombs));
+      lr.delta_tombstones =
+          std::make_shared<const IdSet>(std::move(delta_tombs));
+    }
+  }
+
+  auto next = std::make_shared<Snapshot>();
+  next->epoch = cur->epoch + 1;
+  next->base = cur->base;
+  next->relations = std::move(next_relations);
+  const size_t pressure = next->delta_tuples() + next->tombstones();
+  Publish(std::move(next));
+  if (pool_ && options_.compact_threshold > 0 &&
+      pressure >= options_.compact_threshold &&
+      !compaction_pending_.exchange(true)) {
+    pool_->Submit([this]() {
+      // Background best-effort: a failing rebuild leaves the current
+      // snapshot serving correctly, so the error is dropped (a manual
+      // Compact() call reports it).
+      Status status = Compact();
+      (void)status;
+      compaction_pending_.store(false);
+    });
+  }
+  return Status();
+}
+
+std::vector<Relation> LiveEngine::MaterializeContent(const Snapshot& snap) {
+  std::vector<Relation> relations;
+  relations.reserve(snap.relations.size());
+  for (const LiveRelation& lr : snap.relations) {
+    const std::string& name = lr.delta->name();
+    Relation merged(name, lr.delta->dim(), lr.delta->sigma_max());
+    const std::vector<Tuple>& base_tuples =
+        lr.index ? lr.index->tuples() : lr.snap->tuples();
+    const IdSet& base_tombs = Deref(lr.base_tombstones);
+    const IdSet& delta_tombs = Deref(lr.delta_tombstones);
+    for (const Tuple& t : base_tuples) {
+      if (base_tombs.count(t.id) == 0) merged.Add(t);
+    }
+    for (Tuple& t : lr.delta->Collect()) {
+      if (delta_tombs.count(t.id) == 0) merged.Add(std::move(t));
+    }
+    relations.push_back(std::move(merged));
+  }
+  return relations;
+}
+
+Status LiveEngine::Compact() {
+  std::lock_guard<std::mutex> compact_lock(compact_mu_);
+  const auto s0 = Capture();
+  if (s0->delta_tuples() == 0 && s0->tombstones() == 0) {
+    return Status();  // nothing to fold; don't count a no-op rebuild
+  }
+
+  // Heavy phase, outside every lock: materialize s0's live content and
+  // rebuild the base engine + catalogs from it. Apply calls proceed
+  // concurrently; whatever they add past s0 is spliced in below.
+  std::vector<size_t> chunk_marks(num_relations_);
+  for (size_t j = 0; j < num_relations_; ++j) {
+    chunk_marks[j] = s0->relations[j].delta->num_chunks();
+  }
+  const std::vector<Relation> content = MaterializeContent(*s0);
+  auto rebuilt = factory_(content);
+  PRJ_RETURN_IF_ERROR(rebuilt.status());
+  std::vector<LiveRelation> base_state;
+  PRJ_RETURN_IF_ERROR(BuildBaseState(content, &base_state));
+  std::shared_ptr<const QueryEngine> new_base = std::move(*rebuilt);
+
+  // Splice phase, serialized against Apply: everything that raced past s0
+  // keeps living in the delta layer of the new snapshot. The epoch does
+  // NOT change -- logical content is untouched, so epoch-keyed cache
+  // entries stay valid and warm across the swap.
+  {
+    std::lock_guard<std::mutex> writer_lock(writer_mu_);
+    const auto cur = Capture();
+    auto next = std::make_shared<Snapshot>();
+    next->epoch = cur->epoch;
+    next->base = std::move(new_base);
+    next->relations = std::move(base_state);
+    for (size_t j = 0; j < num_relations_; ++j) {
+      LiveRelation& nl = next->relations[j];
+      const LiveRelation& was = s0->relations[j];
+      const LiveRelation& now = cur->relations[j];
+      nl.delta = now.delta->SuffixFrom(chunk_marks[j]);
+      // Tombstones set since s0 re-target: a victim appended after s0
+      // still lives in the new delta suffix; every other victim was
+      // folded into the rebuilt base.
+      IdSet base_tombs, delta_tombs;
+      for (const int64_t id : Deref(now.base_tombstones)) {
+        if (Deref(was.base_tombstones).count(id) == 0) base_tombs.insert(id);
+      }
+      for (const int64_t id : Deref(now.delta_tombstones)) {
+        if (Deref(was.delta_tombstones).count(id) > 0) continue;
+        if (nl.delta->Contains(id)) {
+          delta_tombs.insert(id);
+        } else {
+          base_tombs.insert(id);
+        }
+      }
+      nl.base_tombstones = std::make_shared<const IdSet>(std::move(base_tombs));
+      nl.delta_tombstones =
+          std::make_shared<const IdSet>(std::move(delta_tombs));
+    }
+    Publish(std::move(next));
+  }
+  compactions_.fetch_add(1, std::memory_order_relaxed);
+  return Status();
+}
+
+}  // namespace prj

@@ -1,0 +1,235 @@
+// Live data over the serving stack: epoch-versioned snapshots, delta
+// merge, and background compaction.
+//
+// LiveEngine decorates any QueryEngine (the monolithic Engine, the
+// sharded scatter, anything satisfying the contract) with updates while
+// preserving the library's exactness guarantee: every TopK answer is
+// bit-identical -- scores, members, tie order -- to a fresh engine built
+// from the relations as of the snapshot the query observed.
+//
+// Design, in one paragraph: the wrapped base engine stays immutable;
+// inserts append to per-relation DeltaRelation logs and deletes set
+// tombstones (access/delta_relation.h). All versioned state lives in one
+// immutable Snapshot published through a shared_ptr swap, so a query
+// captures its world in O(1) and is never torn by a concurrent Apply.
+// TopK decomposes the live combination space exactly:
+//
+//     shard_base = combinations whose members are all base tuples
+//                  -> answered by the wrapped engine itself (with
+//                     geometric over-fetch when tombstones may eat into
+//                     its prefix);
+//     shard_j    = combinations whose FIRST delta member sits at join
+//                  slot j: slots < j stream base only, slot j streams
+//                  delta only, slots > j stream the base+delta merge
+//                  -> answered by the stateless executor over merged
+//                     delta sources, one run per j.
+//
+// The n+1 shards are disjoint and cover every live combination, each is
+// internally answered in the executor's order, and the per-shard top-K
+// lists merge through the exact gather (core/gather.h) -- the same
+// argument that makes the sharded scatter exact. Delta shards carry
+// corner-bound envelopes (base MBR x delta MBR), so shards that cannot
+// beat the running K-th score are pruned (ExecStats::delta_shards_pruned).
+//
+// Epochs: Apply publishes a new snapshot with epoch + 1. Compaction --
+// triggered in the background past Options::compact_threshold, or
+// manually -- rebuilds the base engine from a captured snapshot's merged
+// content OUTSIDE all locks, then splices in whatever Apply calls raced
+// past it (delta suffix, new tombstones) and publishes with the epoch
+// UNCHANGED: compaction moves tuples between physical homes but does not
+// change the logical content, so cache entries keyed by epoch
+// (cache/cached_engine.h) stay valid across it. In-flight queries keep
+// their captured snapshot alive through the shared_ptr for as long as
+// they need it.
+#ifndef PRJ_LIVE_LIVE_ENGINE_H_
+#define PRJ_LIVE_LIVE_ENGINE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "access/delta_relation.h"
+#include "access/source.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "common/vec.h"
+#include "core/engine.h"
+#include "core/query_engine.h"
+#include "core/scoring.h"
+#include "shard/sharded_engine.h"
+
+namespace prj {
+
+/// One relation's slice of an update batch, by join-order position.
+struct RelationUpdate {
+  std::vector<Tuple> inserts;
+  std::vector<int64_t> deletes;  ///< ids of currently live tuples
+};
+
+/// One atomic update across the join: exactly one RelationUpdate per
+/// relation in join order (empty slices are fine). Apply admits all of it
+/// or none of it, and bumps the epoch once.
+struct UpdateBatch {
+  std::vector<RelationUpdate> relations;
+};
+
+/// Builds the wrapped base engine from materialized relations; called at
+/// Create and again at every compaction. The scoring function and any
+/// options live in the closure. Must be thread-safe to call (compaction
+/// invokes it off-thread) and must yield an engine whose TopK order is
+/// the executor's exact order -- Engine and ShardedEngine both qualify.
+using BaseEngineFactory =
+    std::function<Result<std::unique_ptr<const QueryEngine>>(
+        const std::vector<Relation>&)>;
+
+struct LiveEngineOptions {
+  /// Catalog choices for the live layer's own base access paths (the
+  /// delta shards stream base relations directly, independent of how the
+  /// wrapped engine is built): distance backend and paging.
+  EngineOptions catalog;
+  /// Schedule a background compaction once delta tuples + tombstones
+  /// reach this count; 0 disables automatic compaction (Compact() can
+  /// still be called manually).
+  size_t compact_threshold = 1024;
+  /// Threads of the compaction pool (>= 1 when automatic compaction is
+  /// enabled; one is enough -- compactions serialize anyway).
+  int compaction_threads = 1;
+};
+
+/// Live-data counters surfaced through QueryEngine::live_counters().
+/// (Declared in core/query_engine.h; this comment is the cross-reference.)
+
+class LiveEngine : public QueryEngine {
+ public:
+  using Options = LiveEngineOptions;
+
+  /// Validates the seed relations exactly like Engine::Create and builds
+  /// epoch 1: base engine from `factory`, empty deltas, no tombstones.
+  /// `scoring` must outlive the engine; it must be the same scorer the
+  /// factory's engines use, or answers will diverge. Returns a pointer
+  /// because the engine owns mutexes and must not move.
+  static Result<std::unique_ptr<LiveEngine>> Create(
+      const std::vector<Relation>& relations, AccessKind kind,
+      const ScoringFunction* scoring, BaseEngineFactory factory,
+      Options options = {});
+
+  /// Convenience factories for the two stock backends.
+  static BaseEngineFactory MonolithicFactory(AccessKind kind,
+                                             const ScoringFunction* scoring,
+                                             EngineOptions options = {});
+  static BaseEngineFactory ShardedFactory(AccessKind kind,
+                                          const ScoringFunction* scoring,
+                                          ShardedEngineOptions options = {});
+
+  ~LiveEngine() override;
+
+  /// Exact top-K over the snapshot current at call time: bit-identical to
+  /// a fresh engine over that snapshot's merged content. Safe against
+  /// concurrent Apply/Compact -- the query's snapshot cannot change under
+  /// it. ExecStats reports data_epoch, delta_tuples and
+  /// delta_shards_pruned for the snapshot it saw.
+  Result<std::vector<ResultCombination>> TopK(
+      const Vec& query, const ProxRJOptions& options,
+      ExecStats* stats_out = nullptr) const override;
+
+  /// Atomically applies one update batch and publishes epoch + 1.
+  /// Validates everything first (dims, score range, insert ids must not
+  /// be live, delete ids must be live) and applies nothing on failure.
+  /// Re-inserting an id that still sits tombstoned in the delta log is
+  /// rejected until a compaction folds the log away (FailedPrecondition).
+  /// After Apply returns, every subsequent TopK and every cache lookup
+  /// keyed through live_counters().epoch observes the new content.
+  Status Apply(const UpdateBatch& batch);
+
+  /// Synchronous compaction: rebuilds the base engine from the current
+  /// merged content and resets deltas/tombstones, preserving the epoch.
+  /// Heavy work runs outside all locks; Apply calls racing past the
+  /// rebuild are spliced in, not lost. Serialized with other compactions.
+  Status Compact();
+
+  AccessKind kind() const override { return kind_; }
+  int dim() const override { return dim_; }
+  size_t num_relations() const override { return num_relations_; }
+  /// Wrapped engine's fan-out plus the non-empty delta shards of the
+  /// current snapshot.
+  size_t fan_out() const override;
+  CacheCounters cache_counters() const override;
+  LiveCounters live_counters() const override;
+
+ private:
+  /// One relation's versioned state inside a snapshot.
+  struct LiveRelation {
+    /// Shared base catalog: exactly one of index/snap set, mirroring
+    /// Engine's backend choice.
+    std::shared_ptr<const IndexedRelation> index;
+    std::shared_ptr<const RelationSnapshot> snap;
+    /// Ids present in the base catalog (including tombstoned ones).
+    std::shared_ptr<const IdSet> base_ids;
+    std::shared_ptr<const DeltaRelation> delta;
+    /// Deleted ids, split by where the victim physically lives: base
+    /// tombstones filter base streams and base-engine results, delta
+    /// tombstones filter delta streams. Never null.
+    std::shared_ptr<const IdSet> base_tombstones;
+    std::shared_ptr<const IdSet> delta_tombstones;
+  };
+
+  /// The immutable world one query executes against.
+  struct Snapshot {
+    uint64_t epoch = 1;
+    std::shared_ptr<const QueryEngine> base;
+    std::vector<LiveRelation> relations;
+    size_t delta_tuples() const;
+    size_t tombstones() const;
+  };
+
+  LiveEngine(AccessKind kind, const ScoringFunction* scoring,
+             BaseEngineFactory factory, Options options, int dim,
+             size_t num_relations);
+
+  std::shared_ptr<const Snapshot> Capture() const;
+  void Publish(std::shared_ptr<const Snapshot> next);
+  void MaybeScheduleCompaction(const Snapshot& snap);
+
+  /// Materializes the snapshot's live content (base minus base
+  /// tombstones, plus delta minus delta tombstones) as plain relations --
+  /// compaction's rebuild input and the reference the live property test
+  /// compares against.
+  static std::vector<Relation> MaterializeContent(const Snapshot& snap);
+
+  /// Builds per-relation base catalogs + id sets for `relations` under
+  /// the configured backend into `out` (delta/tombstone fields reset).
+  Status BuildBaseState(const std::vector<Relation>& relations,
+                        std::vector<LiveRelation>* out) const;
+
+  /// Fresh base access source for relation `j` of `snap` (not tombstone-
+  /// filtered; callers wrap it).
+  std::unique_ptr<AccessSource> MakeBaseSource(const Snapshot& snap, size_t j,
+                                               const Vec& query) const;
+
+  AccessKind kind_;
+  const ScoringFunction* scoring_;
+  BaseEngineFactory factory_;
+  Options options_;
+  int dim_;
+  size_t num_relations_;
+
+  mutable std::mutex snapshot_mu_;  ///< guards snapshot_ (pointer swap only)
+  std::shared_ptr<const Snapshot> snapshot_;
+
+  std::mutex writer_mu_;   ///< serializes Apply and the compaction splice
+  std::mutex compact_mu_;  ///< serializes whole compactions
+  std::atomic<bool> compaction_pending_{false};
+  std::atomic<uint64_t> compactions_{0};
+
+  /// Declared last: destroyed first, draining any queued compaction while
+  /// the rest of the engine is still alive.
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace prj
+
+#endif  // PRJ_LIVE_LIVE_ENGINE_H_

@@ -21,6 +21,7 @@ Server::Server(const QueryEngine* engine, ServerOptions options)
     : engine_(engine), queue_(options.queue_capacity) {
   PRJ_CHECK(engine != nullptr);
   cache_baseline_ = engine->cache_counters();
+  compactions_baseline_ = engine->live_counters().compactions;
   const int n = ResolveWorkerCount(options.num_workers);
   slots_.reserve(static_cast<size_t>(n));
   workers_.reserve(static_cast<size_t>(n));
@@ -54,6 +55,8 @@ void Server::WorkerLoop(WorkerSlot* slot) {
     slot->sum_depths.fetch_add(qr.stats.sum_depths, std::memory_order_relaxed);
     slot->shards_pruned.fetch_add(qr.stats.shards_pruned,
                                   std::memory_order_relaxed);
+    slot->delta_shards_pruned.fetch_add(qr.stats.delta_shards_pruned,
+                                        std::memory_order_relaxed);
     slot->gather_nanos.fetch_add(
         static_cast<uint64_t>(qr.stats.gather_seconds * 1e9),
         std::memory_order_relaxed);
@@ -124,6 +127,8 @@ ServerStats Server::Stats() const {
     stats.sum_depths += slot->sum_depths.load(std::memory_order_relaxed);
     stats.shards_pruned +=
         slot->shards_pruned.load(std::memory_order_relaxed);
+    stats.delta_shards_pruned +=
+        slot->delta_shards_pruned.load(std::memory_order_relaxed);
     stats.gather_seconds +=
         static_cast<double>(
             slot->gather_nanos.load(std::memory_order_relaxed)) *
@@ -143,6 +148,14 @@ ServerStats Server::Stats() const {
   stats.cache_misses = cache.misses - cache_baseline_.misses;
   stats.cache_evictions = cache.evictions - cache_baseline_.evictions;
   stats.shard_fan_out = engine_->fan_out();
+  // Live-data gauges are point-in-time reads of the stack's live layer;
+  // compactions report as a delta so a server over a long-lived engine
+  // only claims the rebuilds that happened on its watch.
+  const LiveCounters live = engine_->live_counters();
+  stats.data_epoch = live.epoch;
+  stats.delta_tuples = live.delta_tuples;
+  stats.live_tombstones = live.tombstones;
+  stats.compactions = live.compactions - compactions_baseline_;
   return stats;
 }
 

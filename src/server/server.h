@@ -71,6 +71,18 @@ struct ServerStats {
   uint64_t shards_pruned = 0;
   /// Total time the sharded gather spent merging per-shard results.
   double gather_seconds = 0.0;
+  /// Live-data gauges, read off the engine stack at Stats() time (all
+  /// zero when no LiveEngine layer is present): current content epoch,
+  /// delta tuples and tombstones not yet compacted, and compactions
+  /// completed since this server's construction (a delta, like the cache
+  /// counters; the gauges are point-in-time by nature).
+  uint64_t data_epoch = 0;
+  uint64_t delta_tuples = 0;
+  uint64_t live_tombstones = 0;
+  uint64_t compactions = 0;
+  /// Delta shards the live layer's corner bound skipped, summed over
+  /// served queries.
+  uint64_t delta_shards_pruned = 0;
   /// End-to-end latency quantiles, clocked from Submit to completion --
   /// queue wait included, so saturation shows up here, not just in
   /// queue_high_water.
@@ -135,6 +147,7 @@ class Server {
     std::atomic<uint64_t> failed{0};
     std::atomic<uint64_t> sum_depths{0};
     std::atomic<uint64_t> shards_pruned{0};
+    std::atomic<uint64_t> delta_shards_pruned{0};
     std::atomic<uint64_t> gather_nanos{0};
     LatencyHistogram latency;
   };
@@ -146,6 +159,8 @@ class Server {
   /// Engine-lifetime cache counters at construction: Stats() reports the
   /// delta, i.e. this server's share of the cache traffic.
   CacheCounters cache_baseline_;
+  /// Compactions completed at construction; Stats() reports the delta.
+  uint64_t compactions_baseline_ = 0;
   BoundedQueue<Task> queue_;
   std::vector<std::unique_ptr<WorkerSlot>> slots_;
   std::vector<std::thread> workers_;

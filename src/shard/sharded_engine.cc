@@ -13,93 +13,13 @@
 #include "common/timer.h"
 #include "core/bounds.h"
 #include "core/executor.h"
+#include "core/gather.h"
+
+// The gather-order machinery (KeyedCombination, GatherBetter, GatherHeap,
+// the GatherPruned slack test) and AggregateShardStats live in
+// core/gather.h, shared with the live-data layer.
 
 namespace prj {
-namespace {
-
-// One gathered combination plus its precomputed access keys: per relation
-// in join order, the key a member sorts by within its access stream --
-// squared distance to q under distance access (orders identically to
-// distance), negated score under score access; ties break by member id.
-struct KeyedCombination {
-  ResultCombination combo;
-  std::vector<double> keys;  ///< ascending = earlier in access order
-};
-
-KeyedCombination MakeKeyed(ResultCombination combo, AccessKind kind,
-                           const Vec& query) {
-  KeyedCombination keyed;
-  keyed.keys.reserve(combo.tuples.size());
-  for (const Tuple& t : combo.tuples) {
-    keyed.keys.push_back(kind == AccessKind::kDistance
-                             ? t.x.SquaredDistance(query)
-                             : -t.score);
-  }
-  keyed.combo = std::move(combo);
-  return keyed;
-}
-
-// The executor's result order, reconstructed from output tuples: score
-// descending, ties by the per-relation access keys in join order (id
-// breaking key ties). Distinct combinations always differ on some key
-// (ids are unique per relation and the parts are disjoint), so this is a
-// strict total order.
-bool GatherBetter(const KeyedCombination& a, const KeyedCombination& b) {
-  if (a.combo.score != b.combo.score) return a.combo.score > b.combo.score;
-  for (size_t j = 0; j < a.keys.size(); ++j) {
-    if (a.keys[j] != b.keys[j]) return a.keys[j] < b.keys[j];
-    const int64_t ida = a.combo.tuples[j].id;
-    const int64_t idb = b.combo.tuples[j].id;
-    if (ida != idb) return ida < idb;
-  }
-  return false;
-}
-
-// Pruning slack: ShardUpperBound pays a sqrt/square round trip
-// (MinSquaredDistance is exact, the scoring interface takes a plain
-// distance), so the computed bound can sit a few ulps below the exact
-// corner value. Widening the comparison by a relative-absolute margin
-// makes rounding strictly conservative: it can only keep a prunable
-// shard, never prune a shard whose best combination ties the K-th score.
-bool PrunedBy(double bound, double kth_score) {
-  return bound + 1e-9 * (1.0 + std::abs(bound)) < kth_score;
-}
-
-}  // namespace
-
-void AggregateShardStats(const ExecStats& shard, ScatterMode mode,
-                         ExecStats* aggregate) {
-  for (size_t j = 0; j < shard.depths.size() && j < aggregate->depths.size();
-       ++j) {
-    aggregate->depths[j] += shard.depths[j];
-  }
-  aggregate->sum_depths += shard.sum_depths;
-  if (mode == ScatterMode::kSequential) {
-    // Shards ran back to back on one thread: their wall times add up to
-    // the real latency (maxing here under-reported it by up to the
-    // fan-out factor).
-    aggregate->total_seconds += shard.total_seconds;
-    aggregate->bound_seconds += shard.bound_seconds;
-    aggregate->dominance_seconds += shard.dominance_seconds;
-  } else {
-    // Shards ran concurrently: the slowest one is the makespan.
-    aggregate->total_seconds =
-        std::max(aggregate->total_seconds, shard.total_seconds);
-    aggregate->bound_seconds =
-        std::max(aggregate->bound_seconds, shard.bound_seconds);
-    aggregate->dominance_seconds =
-        std::max(aggregate->dominance_seconds, shard.dominance_seconds);
-  }
-  aggregate->combinations_formed += shard.combinations_formed;
-  aggregate->bound_stats.bound_updates += shard.bound_stats.bound_updates;
-  aggregate->bound_stats.qp_solves += shard.bound_stats.qp_solves;
-  aggregate->bound_stats.lp_solves += shard.bound_stats.lp_solves;
-  aggregate->bound_stats.partials_total += shard.bound_stats.partials_total;
-  aggregate->bound_stats.partials_dominated +=
-      shard.bound_stats.partials_dominated;
-  aggregate->final_bound = std::max(aggregate->final_bound, shard.final_bound);
-  aggregate->completed = aggregate->completed && shard.completed;
-}
 
 Result<ShardedEngine> ShardedEngine::Create(
     const std::vector<Relation>& relations, AccessKind kind,
@@ -276,14 +196,14 @@ Result<std::vector<ResultCombination>> ShardedEngine::TopK(
     for (size_t s = 0; s < shards_.size(); ++s) order.push_back({s, 0.0});
   }
 
-  // Shared scatter state. `best` is a bounded K-heap under the exact
-  // gather order (worst kept combination at the front), so peak gather
-  // memory is O(K), not O(fan_out x K); `threshold` caches the K-th score
-  // for lock-free prune checks -- it only ever tightens, so a stale read
-  // is merely conservative.
+  // Shared scatter state. `heap` is a bounded K-heap under the exact
+  // gather order (core/gather.h), so peak gather memory is O(K), not
+  // O(fan_out x K); `threshold` caches the K-th score for lock-free prune
+  // checks -- it only ever tightens, so a stale read is merely
+  // conservative.
   const size_t keep = static_cast<size_t>(options.k);
   std::mutex mu;
-  std::vector<KeyedCombination> best;        // guarded by mu
+  GatherHeap heap(keep);                     // guarded by mu
   Status first_error;                        // guarded by mu
   std::atomic<bool> failed{false};
   std::atomic<size_t> next{0};
@@ -295,8 +215,8 @@ Result<std::vector<ResultCombination>> ShardedEngine::TopK(
       const size_t slot = next.fetch_add(1, std::memory_order_relaxed);
       if (slot >= order.size()) return;
       const RankedShard& ranked = order[slot];
-      if (prune &&
-          PrunedBy(ranked.bound, threshold.load(std::memory_order_acquire))) {
+      if (prune && GatherPruned(ranked.bound,
+                                threshold.load(std::memory_order_acquire))) {
         // No combination of this shard can reach the K already gathered
         // -- strictly below on score, so no tie to win either.
         pruned.fetch_add(1, std::memory_order_relaxed);
@@ -324,17 +244,10 @@ Result<std::vector<ResultCombination>> ShardedEngine::TopK(
       const WallTimer gather_timer;
       AggregateShardStats(shard_stats, mode, &aggregate);
       for (KeyedCombination& kc : keyed) {
-        if (best.size() < keep) {
-          best.push_back(std::move(kc));
-          std::push_heap(best.begin(), best.end(), GatherBetter);
-        } else if (GatherBetter(kc, best.front())) {
-          std::pop_heap(best.begin(), best.end(), GatherBetter);
-          best.back() = std::move(kc);
-          std::push_heap(best.begin(), best.end(), GatherBetter);
-        }
+        heap.Offer(std::move(kc));
       }
-      if (best.size() >= keep) {
-        threshold.store(best.front().combo.score, std::memory_order_release);
+      if (heap.full()) {
+        threshold.store(heap.kth_score(), std::memory_order_release);
       }
       aggregate.gather_seconds += gather_timer.ElapsedSeconds();
     }
@@ -374,12 +287,7 @@ Result<std::vector<ResultCombination>> ShardedEngine::TopK(
   // The heap holds exactly the global top K (exactness argument in the
   // file comment); one K log K sort puts it in the executor's order.
   const WallTimer finish_timer;
-  std::sort(best.begin(), best.end(), GatherBetter);
-  std::vector<ResultCombination> merged;
-  merged.reserve(best.size());
-  for (KeyedCombination& keyed : best) {
-    merged.push_back(std::move(keyed.combo));
-  }
+  std::vector<ResultCombination> merged = heap.Finish();
   aggregate.gather_seconds += finish_timer.ElapsedSeconds();
   aggregate.shards_pruned = pruned.load(std::memory_order_relaxed);
   if (stats_out) *stats_out = std::move(aggregate);

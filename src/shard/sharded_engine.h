@@ -74,6 +74,7 @@
 #include "access/partition.h"
 #include "common/thread_pool.h"
 #include "core/engine.h"
+#include "core/gather.h"
 #include "core/query_engine.h"
 #include "index/rtree.h"
 
@@ -99,19 +100,9 @@ struct ShardedEngineOptions {
   bool prune = true;
 };
 
-/// How one query's shards were visited; picks the wall-clock aggregation
-/// rule (see AggregateShardStats).
-enum class ScatterMode { kSequential, kParallel };
-
-/// Accumulates one shard's per-query stats into the scatter-gather
-/// aggregate: counters sum; wall-clock fields SUM under
-/// ScatterMode::kSequential (shards ran back to back -- the real latency)
-/// and MAX under kParallel (the idealized makespan); final_bound takes
-/// the max (the loosest shard), completed ANDs. `aggregate->depths` must
-/// already be sized to the relation count. Exposed for the focused unit
-/// test.
-void AggregateShardStats(const ExecStats& shard, ScatterMode mode,
-                         ExecStats* aggregate);
+// ScatterMode and AggregateShardStats moved to core/gather.h (included
+// above) so the live-data layer can share the scatter accounting; the
+// names are unchanged.
 
 class ShardedEngine : public QueryEngine {
  public:

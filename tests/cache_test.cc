@@ -103,6 +103,17 @@ TEST(CanonicalRequestKeyTest, IgnoresTraceAndBackendAndNegativeZero) {
   EXPECT_TRUE(CanonicalRequestEqual(base, negzero));
 }
 
+TEST(CanonicalRequestKeyTest, DataEpochSeparatesKeys) {
+  const Vec q{0.5, 0.5};
+  ProxRJOptions options;
+  options.k = 5;
+  // Epoch 0 is the implicit default: static engines keep their old keys.
+  EXPECT_EQ(CanonicalRequestKey(q, options), CanonicalRequestKey(q, options, 0));
+  // The same request against different content must not share an entry.
+  EXPECT_NE(CanonicalRequestKey(q, options, 1), CanonicalRequestKey(q, options, 2));
+  EXPECT_NE(CanonicalRequestKey(q, options, 0), CanonicalRequestKey(q, options, 1));
+}
+
 // ------------------------------ QueryCache ------------------------------ //
 
 std::shared_ptr<const QueryCache::Entry> MakeEntry(double score) {
@@ -163,6 +174,91 @@ TEST(QueryCacheTest, CapacityClampsAndSpreadsAcrossLockShards) {
   tiny.Insert("a", 1, MakeEntry(1.0));
   tiny.Insert("b", 1, MakeEntry(2.0));
   EXPECT_EQ(tiny.size(), 1u);
+}
+
+std::shared_ptr<const QueryCache::Entry> MakeWideEntry(size_t combos,
+                                                       size_t members) {
+  auto entry = std::make_shared<QueryCache::Entry>();
+  for (size_t c = 0; c < combos; ++c) {
+    ResultCombination rc;
+    rc.score = static_cast<double>(c);
+    rc.tuples.resize(members);
+    entry->combinations.push_back(std::move(rc));
+  }
+  return entry;
+}
+
+TEST(QueryCacheBytesTest, ApproxBytesTracksInsertsRefreshesAndEvictions) {
+  QueryCacheOptions options;
+  options.capacity = 64;
+  options.lock_shards = 1;
+  options.byte_budget = 0;  // isolate the accounting from the budget
+  QueryCache cache(options);
+  EXPECT_EQ(cache.ApproxBytes(), 0u);
+
+  auto small = MakeWideEntry(1, 2);
+  auto big = MakeWideEntry(20, 4);
+  const size_t small_bytes = QueryCache::ApproxEntryBytes("a", *small);
+  const size_t big_bytes = QueryCache::ApproxEntryBytes("b", *big);
+  EXPECT_GT(big_bytes, small_bytes);
+
+  cache.Insert("a", 1, small);
+  EXPECT_EQ(cache.ApproxBytes(), small_bytes);
+  cache.Insert("b", 2, big);
+  EXPECT_EQ(cache.ApproxBytes(), small_bytes + big_bytes);
+
+  // A refresh re-charges the entry at its new size, not additively.
+  cache.Insert("a", 1, MakeWideEntry(20, 4));
+  EXPECT_EQ(cache.ApproxBytes(),
+            QueryCache::ApproxEntryBytes("a", *big) + big_bytes);
+}
+
+TEST(QueryCacheBytesTest, ByteBudgetEvictsOldestEvenUnderEntryCapacity) {
+  auto entry = MakeWideEntry(10, 3);
+  const size_t entry_bytes = QueryCache::ApproxEntryBytes("0", *entry);
+  QueryCacheOptions options;
+  options.capacity = 100;  // entry count never binds in this test
+  options.lock_shards = 1;
+  options.byte_budget = 3 * entry_bytes;
+  QueryCache cache(options);
+
+  for (int i = 0; i < 8; ++i) {
+    cache.Insert(std::to_string(i), 1, MakeWideEntry(10, 3));
+    EXPECT_LE(cache.ApproxBytes(), cache.byte_budget());
+  }
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(cache.counters().evictions, 5u);
+  // The survivors are the most recent inserts; the oldest were evicted.
+  EXPECT_EQ(cache.Lookup("0", 1), nullptr);
+  EXPECT_NE(cache.Lookup("7", 1), nullptr);
+}
+
+TEST(QueryCacheBytesTest, EntryLargerThanTheBudgetIsRefusedOutright) {
+  QueryCacheOptions options;
+  options.capacity = 8;
+  options.lock_shards = 1;
+  options.byte_budget = 1;  // nothing real fits
+  QueryCache cache(options);
+  cache.Insert("huge", 1, MakeWideEntry(50, 4));
+  // The cache never holds more than the budget -- the oversized entry was
+  // evicted on the spot (and counted), not silently kept.
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.ApproxBytes(), 0u);
+  EXPECT_EQ(cache.counters().evictions, 1u);
+}
+
+TEST(QueryCacheBytesTest, ZeroBudgetDisablesByteAccountingOnly) {
+  QueryCacheOptions options;
+  options.capacity = 2;
+  options.lock_shards = 1;
+  options.byte_budget = 0;
+  QueryCache cache(options);
+  for (int i = 0; i < 5; ++i) {
+    cache.Insert(std::to_string(i), 1, MakeWideEntry(50, 4));
+  }
+  // Entry capacity still binds; bytes are tracked but unbounded.
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_GT(cache.ApproxBytes(), 0u);
 }
 
 // ----------------------------- CachedEngine ----------------------------- //

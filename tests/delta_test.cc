@@ -1,0 +1,252 @@
+// Tests for the live-data storage layer (access/delta_relation.h): the
+// persistent append-only DeltaRelation log and its pruning envelope, the
+// delta access sources' conformance to the shared access orders, the
+// order-preserving base+delta merge, and tombstone filtering.
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "access/delta_relation.h"
+#include "access/relation.h"
+#include "access/source.h"
+#include "common/vec.h"
+#include "workload/synthetic.h"
+
+namespace prj {
+namespace {
+
+std::vector<Tuple> SmallBatch() {
+  return {Tuple{0, 0.9, Vec{3.0, 0.0}}, Tuple{1, 0.5, Vec{1.0, 0.0}},
+          Tuple{2, 0.7, Vec{2.0, 0.0}}};
+}
+
+Relation RandomRelation(int count, uint64_t seed, const char* name = "D") {
+  SyntheticSpec spec;
+  spec.dim = 2;
+  spec.count = count;
+  spec.density = 50;
+  spec.seed = seed;
+  return GenerateUniformRelation(spec, name);
+}
+
+// ------------------------------ DeltaRelation --------------------------- //
+
+TEST(DeltaRelationTest, EmptyCarriesIdentityAndNoEnvelope) {
+  auto delta = DeltaRelation::Empty("R", 2, 0.8);
+  EXPECT_EQ(delta->name(), "R");
+  EXPECT_EQ(delta->dim(), 2);
+  EXPECT_DOUBLE_EQ(delta->sigma_max(), 0.8);
+  EXPECT_TRUE(delta->empty());
+  EXPECT_EQ(delta->num_chunks(), 0u);
+  EXPECT_FALSE(delta->mbr().has_value());
+  EXPECT_DOUBLE_EQ(delta->score_max(), 0.0);
+}
+
+TEST(DeltaRelationTest, AppendIsPersistent) {
+  auto d0 = DeltaRelation::Empty("R", 2, 1.0);
+  auto d1_or = d0->Append(SmallBatch());
+  ASSERT_TRUE(d1_or.ok()) << d1_or.status().message();
+  auto d1 = *d1_or;
+  auto d2_or = d1->Append({Tuple{7, 0.4, Vec{0.5, 0.5}}});
+  ASSERT_TRUE(d2_or.ok());
+  auto d2 = *d2_or;
+
+  // The parents are untouched: a snapshot holding d0/d1 still sees
+  // exactly the tuples it saw at capture time.
+  EXPECT_EQ(d0->size(), 0u);
+  EXPECT_EQ(d1->size(), 3u);
+  EXPECT_EQ(d2->size(), 4u);
+  EXPECT_EQ(d1->num_chunks(), 1u);
+  EXPECT_EQ(d2->num_chunks(), 2u);
+  EXPECT_FALSE(d1->Contains(7));
+  EXPECT_TRUE(d2->Contains(7));
+  EXPECT_TRUE(d2->Contains(0));
+
+  const std::vector<Tuple> all = d2->Collect();
+  ASSERT_EQ(all.size(), 4u);
+  EXPECT_EQ(all[0].id, 0);  // append order, concatenated across chunks
+  EXPECT_EQ(all[3].id, 7);
+}
+
+TEST(DeltaRelationTest, EnvelopeTracksAppendedTuples) {
+  auto d = DeltaRelation::Empty("R", 2, 1.0);
+  d = *d->Append({Tuple{1, 0.3, Vec{1.0, 4.0}}});
+  ASSERT_TRUE(d->mbr().has_value());
+  EXPECT_DOUBLE_EQ(d->score_max(), 0.3);
+  d = *d->Append({Tuple{2, 0.9, Vec{-2.0, 1.0}}});
+  EXPECT_DOUBLE_EQ(d->score_max(), 0.9);
+  const Rect& mbr = *d->mbr();
+  EXPECT_DOUBLE_EQ(mbr.lo[0], -2.0);
+  EXPECT_DOUBLE_EQ(mbr.hi[0], 1.0);
+  EXPECT_DOUBLE_EQ(mbr.lo[1], 1.0);
+  EXPECT_DOUBLE_EQ(mbr.hi[1], 4.0);
+}
+
+TEST(DeltaRelationTest, AppendValidatesLikeRelationValidate) {
+  auto d = DeltaRelation::Empty("R", 2, 0.8);
+  // Dim mismatch.
+  EXPECT_FALSE(d->Append({Tuple{1, 0.5, Vec{1.0}}}).ok());
+  // Score out of (0, sigma_max].
+  EXPECT_FALSE(d->Append({Tuple{1, 0.0, Vec{1.0, 2.0}}}).ok());
+  EXPECT_FALSE(d->Append({Tuple{1, 0.9, Vec{1.0, 2.0}}}).ok());
+  // Duplicate id within the batch.
+  EXPECT_FALSE(d
+                   ->Append({Tuple{1, 0.5, Vec{1.0, 2.0}},
+                             Tuple{1, 0.6, Vec{2.0, 1.0}}})
+                   .ok());
+  // Duplicate id across the log.
+  d = *d->Append({Tuple{1, 0.5, Vec{1.0, 2.0}}});
+  EXPECT_FALSE(d->Append({Tuple{1, 0.6, Vec{2.0, 1.0}}}).ok());
+  // A failed Append left the log unchanged each time.
+  EXPECT_EQ(d->size(), 1u);
+}
+
+TEST(DeltaRelationTest, SuffixFromDropsPrefixAndRebuildsEnvelope) {
+  auto d = DeltaRelation::Empty("R", 2, 1.0);
+  d = *d->Append({Tuple{1, 0.9, Vec{100.0, 100.0}}});
+  d = *d->Append({Tuple{2, 0.2, Vec{1.0, 1.0}}});
+  d = *d->Append({Tuple{3, 0.4, Vec{2.0, 2.0}}});
+
+  auto suffix = d->SuffixFrom(1);
+  EXPECT_EQ(suffix->size(), 2u);
+  EXPECT_EQ(suffix->num_chunks(), 2u);
+  EXPECT_FALSE(suffix->Contains(1));
+  EXPECT_TRUE(suffix->Contains(2));
+  EXPECT_TRUE(suffix->Contains(3));
+  // The envelope reflects only the suffix: the far-away high-score chunk
+  // no longer inflates it.
+  EXPECT_DOUBLE_EQ(suffix->score_max(), 0.4);
+  EXPECT_DOUBLE_EQ(suffix->mbr()->hi[0], 2.0);
+
+  auto empty = d->SuffixFrom(d->num_chunks());
+  EXPECT_TRUE(empty->empty());
+  EXPECT_FALSE(empty->mbr().has_value());
+}
+
+// ----------------------------- delta sources ---------------------------- //
+
+std::shared_ptr<const DeltaRelation> DeltaOf(const Relation& rel) {
+  auto delta = DeltaRelation::Empty(rel.name(), rel.dim(), rel.sigma_max());
+  auto appended = delta->Append(rel.tuples());
+  EXPECT_TRUE(appended.ok());
+  return *appended;
+}
+
+void ExpectSameStream(AccessSource& got, AccessSource& want) {
+  for (;;) {
+    auto a = got.Next();
+    auto b = want.Next();
+    ASSERT_EQ(a.has_value(), b.has_value());
+    if (!a.has_value()) break;
+    EXPECT_EQ(a->id, b->id);
+    EXPECT_EQ(a->score, b->score);
+  }
+}
+
+TEST(DeltaSourceTest, ScoreStreamMatchesScoreSource) {
+  const Relation rel = RandomRelation(150, 21);
+  DeltaScoreSource got(DeltaOf(rel));
+  ScoreSource want(rel);
+  EXPECT_EQ(got.kind(), AccessKind::kScore);
+  EXPECT_EQ(got.depth(), 0u);
+  ExpectSameStream(got, want);
+  EXPECT_EQ(got.depth(), rel.size());
+}
+
+TEST(DeltaSourceTest, DistanceStreamMatchesSortedDistanceSource) {
+  const Relation rel = RandomRelation(150, 22);
+  const Vec q{0.25, -0.75};
+  DeltaDistanceSource got(DeltaOf(rel), q);
+  SortedDistanceSource want(rel, q);
+  EXPECT_EQ(got.kind(), AccessKind::kDistance);
+  EXPECT_EQ(got.depth(), 0u);
+  ExpectSameStream(got, want);
+}
+
+// --------------------------- MergedAccessSource ------------------------- //
+
+// Splits `rel` into two halves by tuple parity and checks the merged
+// stream over (base half, delta half) equals one source over the whole
+// relation, under both access kinds.
+TEST(MergedAccessSourceTest, MergeEqualsSingleSourceOverUnion) {
+  const Relation whole = RandomRelation(200, 23);
+  Relation base("D", 2, whole.sigma_max());
+  Relation extra("D", 2, whole.sigma_max());
+  for (size_t i = 0; i < whole.size(); ++i) {
+    (i % 2 == 0 ? base : extra).Add(whole.tuple(i));
+  }
+  const Vec q{0.1, 0.4};
+
+  {
+    MergedAccessSource merged(std::make_unique<SortedDistanceSource>(base, q),
+                              std::make_unique<DeltaDistanceSource>(
+                                  DeltaOf(extra), q),
+                              q);
+    EXPECT_EQ(merged.depth(), 0u);  // lazy lookahead: fresh source
+    SortedDistanceSource want(whole, q);
+    ExpectSameStream(merged, want);
+    // Every tuple of both inners was delivered (and charged) exactly once.
+    EXPECT_EQ(merged.depth(), whole.size());
+  }
+  {
+    MergedAccessSource merged(std::make_unique<ScoreSource>(base),
+                              std::make_unique<DeltaScoreSource>(
+                                  DeltaOf(extra)),
+                              q);
+    ScoreSource want(whole);
+    ExpectSameStream(merged, want);
+  }
+}
+
+TEST(MergedAccessSourceTest, HandlesEmptySides) {
+  const Relation rel = RandomRelation(40, 24);
+  auto empty = DeltaRelation::Empty("D", 2, rel.sigma_max());
+  const Vec q{0.0, 0.0};
+  MergedAccessSource merged(std::make_unique<SortedDistanceSource>(rel, q),
+                            std::make_unique<DeltaDistanceSource>(empty, q),
+                            q);
+  SortedDistanceSource want(rel, q);
+  ExpectSameStream(merged, want);
+}
+
+// --------------------------- TombstoneFilterSource ---------------------- //
+
+TEST(TombstoneFilterSourceTest, DropsTombstonedIdsPreservingOrder) {
+  const Relation rel = RandomRelation(100, 25);
+  auto tombs = std::make_shared<IdSet>();
+  for (size_t i = 0; i < rel.size(); i += 3) tombs->insert(rel.tuple(i).id);
+
+  const Vec q{0.3, 0.3};
+  TombstoneFilterSource filtered(
+      std::make_unique<SortedDistanceSource>(rel, q), tombs);
+  EXPECT_EQ(filtered.depth(), 0u);
+
+  SortedDistanceSource reference(rel, q);
+  size_t survivors = 0;
+  for (;;) {
+    auto t = filtered.Next();
+    // Advance the reference past tombstoned ids to the next survivor.
+    std::optional<Tuple> r;
+    while ((r = reference.Next()).has_value() && tombs->count(r->id) > 0) {
+    }
+    ASSERT_EQ(t.has_value(), r.has_value());
+    if (!t.has_value()) break;
+    EXPECT_EQ(t->id, r->id);
+    ++survivors;
+  }
+  EXPECT_EQ(survivors, rel.size() - tombs->size());
+  // depth() charges what the inner service delivered, tombstones included.
+  EXPECT_EQ(filtered.depth(), rel.size());
+}
+
+TEST(TombstoneFilterSourceTest, NullTombstonesPassEverything) {
+  const Relation rel = RandomRelation(30, 26);
+  TombstoneFilterSource filtered(std::make_unique<ScoreSource>(rel), nullptr);
+  ScoreSource want(rel);
+  ExpectSameStream(filtered, want);
+}
+
+}  // namespace
+}  // namespace prj

@@ -1,0 +1,732 @@
+// Tests for the live-data layer (live/live_engine.h): the bit-identity
+// property under inserts/deletes/mixed batches across backends and
+// presets (LiveEngine vs a fresh engine over the same logical content),
+// Apply atomicity and validation, epoch semantics, manual and automatic
+// compaction (epoch preserved, results unchanged), composition with the
+// sharded base factory and the cache decorator, and the concurrent
+// writers-vs-readers property that every query is exact for the epoch it
+// observed -- the suite the TSan CI job runs to certify the snapshot
+// machinery.
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cache/cached_engine.h"
+#include "common/random.h"
+#include "core/engine.h"
+#include "live/live_engine.h"
+#include "result_matchers.h"
+#include "shard/sharded_engine.h"
+#include "workload/synthetic.h"
+
+namespace prj {
+namespace {
+
+const AlgorithmPreset kAllPresets[] = {kCBRR, kCBPA, kTBRR, kTBPA};
+
+struct BackendCase {
+  AccessKind kind;
+  SourceBackend backend;
+  const char* name;
+};
+
+const BackendCase kBackendCases[] = {
+    {AccessKind::kDistance, SourceBackend::kPresorted, "distance/presorted"},
+    {AccessKind::kDistance, SourceBackend::kRTree, "distance/rtree"},
+    {AccessKind::kScore, SourceBackend::kPresorted, "score"},
+};
+
+std::vector<Relation> MakeRelations(int n, int count, uint64_t seed) {
+  SyntheticSpec spec;
+  spec.dim = 2;
+  spec.count = count;
+  spec.density = 50;
+  spec.seed = seed;
+  return GenerateProblem(n, spec);
+}
+
+/// Applies `batch` to plain relations the way the live layer promises to:
+/// deletes drop live tuples, inserts append. The reference a fresh engine
+/// is built from (tuple order inside a relation is irrelevant -- every
+/// access order re-sorts).
+void ApplyToReference(const UpdateBatch& batch,
+                      std::vector<Relation>* relations) {
+  ASSERT_EQ(batch.relations.size(), relations->size());
+  for (size_t j = 0; j < relations->size(); ++j) {
+    const RelationUpdate& update = batch.relations[j];
+    const Relation& old = (*relations)[j];
+    std::unordered_set<int64_t> dead(update.deletes.begin(),
+                                     update.deletes.end());
+    Relation next(old.name(), old.dim(), old.sigma_max());
+    for (const Tuple& t : old.tuples()) {
+      if (dead.count(t.id) == 0) next.Add(t);
+    }
+    for (const Tuple& t : update.inserts) next.Add(t);
+    (*relations)[j] = std::move(next);
+  }
+}
+
+/// Live options with automatic compaction off: tests drive Compact()
+/// explicitly unless they are about the trigger itself.
+LiveEngineOptions ManualCompaction() {
+  LiveEngineOptions options;
+  options.compact_threshold = 0;
+  return options;
+}
+
+UpdateBatch EmptyBatch(size_t n) {
+  UpdateBatch batch;
+  batch.relations.resize(n);
+  return batch;
+}
+
+// ---------------------------- construction ----------------------------- //
+
+TEST(LiveEngineCreateTest, ValidatesLikeEngineCreate) {
+  const SumLogEuclideanScoring scoring(1, 1, 1);
+  const auto rels = MakeRelations(2, 20, /*seed=*/1);
+  const auto factory =
+      LiveEngine::MonolithicFactory(AccessKind::kDistance, &scoring);
+
+  EXPECT_FALSE(
+      LiveEngine::Create(rels, AccessKind::kDistance, nullptr, factory).ok());
+  EXPECT_FALSE(
+      LiveEngine::Create({}, AccessKind::kDistance, &scoring, factory).ok());
+  EXPECT_FALSE(LiveEngine::Create(rels, AccessKind::kDistance, &scoring,
+                                  BaseEngineFactory{})
+                   .ok());
+
+  auto live = LiveEngine::Create(rels, AccessKind::kDistance, &scoring,
+                                 factory, ManualCompaction());
+  ASSERT_TRUE(live.ok()) << live.status().ToString();
+  EXPECT_EQ((*live)->kind(), AccessKind::kDistance);
+  EXPECT_EQ((*live)->dim(), 2);
+  EXPECT_EQ((*live)->num_relations(), 2u);
+  const LiveCounters counters = (*live)->live_counters();
+  EXPECT_EQ(counters.epoch, 1u);  // epoch 1 at birth
+  EXPECT_EQ(counters.delta_tuples, 0u);
+  EXPECT_EQ(counters.tombstones, 0u);
+  EXPECT_EQ(counters.compactions, 0u);
+}
+
+TEST(LiveEngineTest, RequestValidationMatchesEngine) {
+  const SumLogEuclideanScoring scoring(1, 1, 1);
+  const auto rels = MakeRelations(2, 20, /*seed=*/2);
+  auto live = LiveEngine::Create(
+      rels, AccessKind::kDistance, &scoring,
+      LiveEngine::MonolithicFactory(AccessKind::kDistance, &scoring),
+      ManualCompaction());
+  ASSERT_TRUE(live.ok());
+  ProxRJOptions bad;
+  bad.k = 0;
+  EXPECT_EQ((*live)->TopK(Vec(2, 0.0), bad).status().code(),
+            StatusCode::kInvalidArgument);
+  ProxRJOptions ok;
+  ok.k = 3;
+  EXPECT_EQ((*live)->TopK(Vec(3, 0.0), ok).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+// ------------------------- exactness property -------------------------- //
+
+TEST(LiveExactnessTest, NoUpdatesMatchesStaticEngine) {
+  const auto rels = MakeRelations(2, 60, /*seed=*/7);
+  const SumLogEuclideanScoring scoring(1, 1, 1);
+  auto fresh = Engine::Create(rels, AccessKind::kDistance, &scoring);
+  ASSERT_TRUE(fresh.ok());
+  auto live = LiveEngine::Create(
+      rels, AccessKind::kDistance, &scoring,
+      LiveEngine::MonolithicFactory(AccessKind::kDistance, &scoring),
+      ManualCompaction());
+  ASSERT_TRUE(live.ok());
+
+  ProxRJOptions q_opts;
+  q_opts.k = 10;
+  const Vec q{0.2, -0.1};
+  auto expected = fresh->TopK(q, q_opts);
+  ExecStats stats;
+  auto got = (*live)->TopK(q, q_opts, &stats);
+  ASSERT_TRUE(expected.ok());
+  ASSERT_TRUE(got.ok());
+  ExpectBitIdentical(*got, *expected, "no updates");
+  EXPECT_EQ(stats.data_epoch, 1u);
+  EXPECT_EQ(stats.delta_tuples, 0u);
+  EXPECT_EQ(stats.delta_shards_pruned, 0u);
+  EXPECT_TRUE(stats.completed);
+}
+
+// The tentpole acceptance criterion: after every update batch, every
+// query the live engine answers is bit-identical to a fresh engine built
+// from the same logical content -- across backends, presets, inserts,
+// deletes (of base AND delta tuples), and mixed batches.
+TEST(LiveExactnessTest, UpdatesBitIdenticalToFreshEngineAcrossTheGrid) {
+  Rng rng(2027);
+  for (const BackendCase& bc : kBackendCases) {
+    const SumLogEuclideanScoring scoring(1.0, 1.0, 1.0);
+    std::vector<Relation> content = MakeRelations(2, 50, /*seed=*/31);
+
+    Engine::Options eng_opts;
+    eng_opts.backend = bc.backend;
+    LiveEngineOptions live_opts = ManualCompaction();
+    live_opts.catalog = eng_opts;
+    auto live = LiveEngine::Create(
+        content, bc.kind, &scoring,
+        LiveEngine::MonolithicFactory(bc.kind, &scoring, eng_opts), live_opts);
+    ASSERT_TRUE(live.ok()) << live.status().ToString();
+
+    // Batch 1: pure inserts. Batch 2: deletes of base tuples. Batch 3:
+    // mixed, including deletes of tuples inserted in batch 1 (delta
+    // tombstones).
+    std::vector<UpdateBatch> batches(3);
+    batches[0].relations.resize(2);
+    for (int j = 0; j < 2; ++j) {
+      for (int i = 0; i < 12; ++i) {
+        batches[0].relations[j].inserts.push_back(
+            Tuple{1000 + j * 100 + i, 0.05 + 0.07 * i,
+                  rng.UniformInCube(2, -0.6, 0.6)});
+      }
+    }
+    batches[1].relations.resize(2);
+    for (int j = 0; j < 2; ++j) {
+      for (int64_t id : {0, 3, 17, 29}) {
+        batches[1].relations[j].deletes.push_back(id);
+      }
+    }
+    batches[2].relations.resize(2);
+    for (int j = 0; j < 2; ++j) {
+      for (int i = 0; i < 5; ++i) {
+        batches[2].relations[j].inserts.push_back(
+            Tuple{2000 + j * 100 + i, 0.9 - 0.1 * i,
+                  rng.UniformInCube(2, -0.6, 0.6)});
+      }
+      batches[2].relations[j].deletes = {1000 + j * 100 + 2,
+                                         1000 + j * 100 + 7, 11};
+    }
+
+    uint64_t expected_epoch = 1;
+    for (size_t b = 0; b < batches.size(); ++b) {
+      const Status applied = (*live)->Apply(batches[b]);
+      ASSERT_TRUE(applied.ok()) << bc.name << ": " << applied.ToString();
+      ApplyToReference(batches[b], &content);
+      ++expected_epoch;
+      EXPECT_EQ((*live)->live_counters().epoch, expected_epoch) << bc.name;
+
+      auto fresh = Engine::Create(content, bc.kind, &scoring, eng_opts);
+      ASSERT_TRUE(fresh.ok()) << fresh.status().ToString();
+      for (const AlgorithmPreset& preset : kAllPresets) {
+        const Vec q = rng.UniformInCube(2, -1.0, 1.0);
+        ProxRJOptions q_opts;
+        q_opts.k = 1 + static_cast<int>(rng.NextBounded(15));
+        q_opts.Apply(preset);
+        const std::string label = std::string(bc.name) + "/batch" +
+                                  std::to_string(b) + "/" + preset.name;
+        auto expected = fresh->TopK(q, q_opts);
+        ASSERT_TRUE(expected.ok()) << label;
+        ExecStats stats;
+        auto got = (*live)->TopK(q, q_opts, &stats);
+        ASSERT_TRUE(got.ok()) << label;
+        ExpectBitIdentical(*got, *expected, label);
+        EXPECT_TRUE(stats.completed) << label;
+        EXPECT_EQ(stats.data_epoch, expected_epoch) << label;
+      }
+    }
+  }
+}
+
+// Paged live access paths (catalog.block_size) stay exact too.
+TEST(LiveExactnessTest, BlockedCatalogStaysExact) {
+  const SumLogEuclideanScoring scoring(1, 1, 1);
+  std::vector<Relation> content = MakeRelations(2, 40, /*seed=*/51);
+  LiveEngineOptions live_opts = ManualCompaction();
+  live_opts.catalog.block_size = 3;
+  auto live = LiveEngine::Create(
+      content, AccessKind::kDistance, &scoring,
+      LiveEngine::MonolithicFactory(AccessKind::kDistance, &scoring),
+      live_opts);
+  ASSERT_TRUE(live.ok());
+
+  UpdateBatch batch = EmptyBatch(2);
+  for (int j = 0; j < 2; ++j) {
+    for (int i = 0; i < 6; ++i) {
+      batch.relations[j].inserts.push_back(
+          Tuple{900 + j * 10 + i, 0.4 + 0.05 * i, Vec{0.1 * i, -0.1 * j}});
+    }
+    batch.relations[j].deletes = {5, 6};
+  }
+  ASSERT_TRUE((*live)->Apply(batch).ok());
+  ApplyToReference(batch, &content);
+  auto fresh = Engine::Create(content, AccessKind::kDistance, &scoring);
+  ASSERT_TRUE(fresh.ok());
+
+  ProxRJOptions q_opts;
+  q_opts.k = 9;
+  q_opts.Apply(kTBPA);
+  auto expected = fresh->TopK(Vec{0.1, 0.2}, q_opts);
+  auto got = (*live)->TopK(Vec{0.1, 0.2}, q_opts);
+  ASSERT_TRUE(expected.ok());
+  ASSERT_TRUE(got.ok());
+  ExpectBitIdentical(*got, *expected, "blocked live");
+}
+
+// K beyond the full live cross product: base over-fetch must exhaust
+// cleanly and the merge must still deliver the entire product in order.
+TEST(LiveExactnessTest, KLargerThanLiveCrossProduct) {
+  const SumLogEuclideanScoring scoring(1, 1, 1);
+  std::vector<Relation> content = MakeRelations(2, 6, /*seed=*/52);
+  auto live = LiveEngine::Create(
+      content, AccessKind::kDistance, &scoring,
+      LiveEngine::MonolithicFactory(AccessKind::kDistance, &scoring),
+      ManualCompaction());
+  ASSERT_TRUE(live.ok());
+
+  UpdateBatch batch = EmptyBatch(2);
+  batch.relations[0].inserts = {Tuple{100, 0.5, Vec{0.0, 0.0}}};
+  batch.relations[0].deletes = {0, 1};
+  batch.relations[1].deletes = {2};
+  ASSERT_TRUE((*live)->Apply(batch).ok());
+  ApplyToReference(batch, &content);
+  auto fresh = Engine::Create(content, AccessKind::kDistance, &scoring);
+  ASSERT_TRUE(fresh.ok());
+
+  ProxRJOptions q_opts;
+  q_opts.k = 1000;
+  auto expected = fresh->TopK(Vec{0.0, 0.0}, q_opts);
+  auto got = (*live)->TopK(Vec{0.0, 0.0}, q_opts);
+  ASSERT_TRUE(expected.ok());
+  ASSERT_TRUE(got.ok());
+  ASSERT_EQ(expected->size(), 25u);  // (6-2+1) x (6-1)
+  ExpectBitIdentical(*got, *expected, "exhaustive live");
+}
+
+// ------------------------ Apply semantics ------------------------------ //
+
+TEST(LiveApplyTest, RejectsBadBatchesAtomically) {
+  const SumLogEuclideanScoring scoring(1, 1, 1);
+  const auto rels = MakeRelations(2, 30, /*seed=*/8);
+  auto live_or = LiveEngine::Create(
+      rels, AccessKind::kDistance, &scoring,
+      LiveEngine::MonolithicFactory(AccessKind::kDistance, &scoring),
+      ManualCompaction());
+  ASSERT_TRUE(live_or.ok());
+  LiveEngine& live = **live_or;
+
+  ProxRJOptions q_opts;
+  q_opts.k = 5;
+  const Vec q{0.0, 0.0};
+  auto before = live.TopK(q, q_opts);
+  ASSERT_TRUE(before.ok());
+
+  // Wrong slice count.
+  EXPECT_EQ(live.Apply(EmptyBatch(1)).code(), StatusCode::kInvalidArgument);
+  // Insert of an id that is already live in the base.
+  UpdateBatch dup = EmptyBatch(2);
+  dup.relations[0].inserts = {Tuple{0, 0.5, Vec{0.0, 0.0}}};
+  EXPECT_EQ(live.Apply(dup).code(), StatusCode::kInvalidArgument);
+  // Delete of an id that is not live.
+  UpdateBatch missing = EmptyBatch(2);
+  missing.relations[1].deletes = {424242};
+  EXPECT_EQ(live.Apply(missing).code(), StatusCode::kNotFound);
+  // A bad second slice must not leak the valid first slice's insert.
+  UpdateBatch half = EmptyBatch(2);
+  half.relations[0].inserts = {Tuple{777, 0.5, Vec{0.1, 0.1}}};
+  half.relations[1].deletes = {424242};
+  EXPECT_EQ(live.Apply(half).code(), StatusCode::kNotFound);
+
+  // Nothing was applied: epoch still 1, answers unchanged, and the
+  // probe insert from the failed batch is absent (re-inserting it works).
+  EXPECT_EQ(live.live_counters().epoch, 1u);
+  EXPECT_EQ(live.live_counters().delta_tuples, 0u);
+  auto after = live.TopK(q, q_opts);
+  ASSERT_TRUE(after.ok());
+  ExpectBitIdentical(*after, *before, "after rejected batches");
+  UpdateBatch probe = EmptyBatch(2);
+  probe.relations[0].inserts = {Tuple{777, 0.5, Vec{0.1, 0.1}}};
+  EXPECT_TRUE(live.Apply(probe).ok());
+}
+
+TEST(LiveApplyTest, DeleteReinsertLifecycle) {
+  const SumLogEuclideanScoring scoring(1, 1, 1);
+  const auto rels = MakeRelations(1, 20, /*seed=*/9);
+  auto live_or = LiveEngine::Create(
+      rels, AccessKind::kDistance, &scoring,
+      LiveEngine::MonolithicFactory(AccessKind::kDistance, &scoring),
+      ManualCompaction());
+  ASSERT_TRUE(live_or.ok());
+  LiveEngine& live = **live_or;
+
+  // Delete a BASE tuple, then re-insert its id: allowed (the new version
+  // lives in the delta; the base copy stays hidden by its tombstone).
+  UpdateBatch del_base = EmptyBatch(1);
+  del_base.relations[0].deletes = {4};
+  ASSERT_TRUE(live.Apply(del_base).ok());
+  UpdateBatch re_add = EmptyBatch(1);
+  re_add.relations[0].inserts = {Tuple{4, 0.33, Vec{0.2, 0.2}}};
+  ASSERT_TRUE(live.Apply(re_add).ok());
+
+  // Delete the DELTA version, then re-insert: rejected until compaction
+  // folds the log (the delta is append-only; a second id-4 chunk would be
+  // ambiguous).
+  UpdateBatch del_delta = EmptyBatch(1);
+  del_delta.relations[0].deletes = {4};
+  ASSERT_TRUE(live.Apply(del_delta).ok());
+  EXPECT_EQ(live.Apply(re_add).code(), StatusCode::kFailedPrecondition);
+
+  // After compaction the id is gone from the log and free again.
+  ASSERT_TRUE(live.Compact().ok());
+  EXPECT_TRUE(live.Apply(re_add).ok());
+
+  // The tuple is visible with its newest attributes.
+  ProxRJOptions q_opts;
+  q_opts.k = 1000;
+  auto all = live.TopK(Vec{0.0, 0.0}, q_opts);
+  ASSERT_TRUE(all.ok());
+  size_t seen = 0;
+  for (const ResultCombination& combo : *all) {
+    if (combo.tuples[0].id == 4) {
+      ++seen;
+      EXPECT_DOUBLE_EQ(combo.tuples[0].score, 0.33);
+    }
+  }
+  EXPECT_EQ(seen, 1u);
+}
+
+// ---------------------------- compaction ------------------------------- //
+
+TEST(LiveCompactionTest, CompactPreservesEpochAndAnswers) {
+  const SumLogEuclideanScoring scoring(1, 1, 1);
+  std::vector<Relation> content = MakeRelations(2, 40, /*seed=*/11);
+  auto live_or = LiveEngine::Create(
+      content, AccessKind::kDistance, &scoring,
+      LiveEngine::MonolithicFactory(AccessKind::kDistance, &scoring),
+      ManualCompaction());
+  ASSERT_TRUE(live_or.ok());
+  LiveEngine& live = **live_or;
+
+  // Nothing to fold: a no-op that does not count.
+  ASSERT_TRUE(live.Compact().ok());
+  EXPECT_EQ(live.live_counters().compactions, 0u);
+
+  UpdateBatch batch = EmptyBatch(2);
+  for (int j = 0; j < 2; ++j) {
+    for (int i = 0; i < 8; ++i) {
+      batch.relations[j].inserts.push_back(
+          Tuple{3000 + j * 10 + i, 0.2 + 0.08 * i, Vec{0.15 * i, -0.1 * i}});
+    }
+    batch.relations[j].deletes = {1, 2};
+  }
+  ASSERT_TRUE(live.Apply(batch).ok());
+
+  ProxRJOptions q_opts;
+  q_opts.k = 12;
+  const Vec q{0.3, -0.2};
+  auto before = live.TopK(q, q_opts);
+  ASSERT_TRUE(before.ok());
+  const LiveCounters pre = live.live_counters();
+  EXPECT_EQ(pre.epoch, 2u);
+  EXPECT_EQ(pre.delta_tuples, 16u);
+  EXPECT_EQ(pre.tombstones, 4u);
+  EXPECT_GT(live.fan_out(), 1u);  // delta shards visible
+
+  ASSERT_TRUE(live.Compact().ok());
+  const LiveCounters post = live.live_counters();
+  EXPECT_EQ(post.epoch, 2u);  // logical content unchanged
+  EXPECT_EQ(post.delta_tuples, 0u);
+  EXPECT_EQ(post.tombstones, 0u);
+  EXPECT_EQ(post.compactions, 1u);
+  EXPECT_EQ(live.fan_out(), 1u);  // everything folded into the base
+
+  ExecStats stats;
+  auto after = live.TopK(q, q_opts, &stats);
+  ASSERT_TRUE(after.ok());
+  ExpectBitIdentical(*after, *before, "across compaction");
+  EXPECT_EQ(stats.data_epoch, 2u);
+  EXPECT_EQ(stats.delta_tuples, 0u);
+}
+
+TEST(LiveCompactionTest, AutomaticCompactionTriggersPastThreshold) {
+  const SumLogEuclideanScoring scoring(1, 1, 1);
+  const auto rels = MakeRelations(1, 30, /*seed=*/13);
+  LiveEngineOptions options;
+  options.compact_threshold = 6;
+  options.compaction_threads = 1;
+  auto live_or = LiveEngine::Create(
+      rels, AccessKind::kDistance, &scoring,
+      LiveEngine::MonolithicFactory(AccessKind::kDistance, &scoring), options);
+  ASSERT_TRUE(live_or.ok());
+  LiveEngine& live = **live_or;
+
+  UpdateBatch batch = EmptyBatch(1);
+  for (int i = 0; i < 8; ++i) {  // 8 >= threshold 6
+    batch.relations[0].inserts.push_back(
+        Tuple{5000 + i, 0.5, Vec{0.1 * i, 0.0}});
+  }
+  ASSERT_TRUE(live.Apply(batch).ok());
+
+  // The background pool picks the compaction up; poll with a deadline.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (std::chrono::steady_clock::now() < deadline) {
+    const LiveCounters counters = live.live_counters();
+    if (counters.compactions >= 1 && counters.delta_tuples == 0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  const LiveCounters counters = live.live_counters();
+  EXPECT_GE(counters.compactions, 1u);
+  EXPECT_EQ(counters.delta_tuples, 0u);
+  EXPECT_EQ(counters.epoch, 2u);  // compaction did not bump the epoch
+}
+
+// ---------------------------- composition ------------------------------ //
+
+TEST(LiveCompositionTest, ShardedBaseFactoryStaysExact) {
+  const SumLogEuclideanScoring scoring(1, 1, 1);
+  std::vector<Relation> content = MakeRelations(2, 60, /*seed=*/14);
+  ShardedEngineOptions sharded_opts;
+  sharded_opts.partitions_per_relation = 3;
+  auto live = LiveEngine::Create(
+      content, AccessKind::kDistance, &scoring,
+      LiveEngine::ShardedFactory(AccessKind::kDistance, &scoring,
+                                 sharded_opts),
+      ManualCompaction());
+  ASSERT_TRUE(live.ok()) << live.status().ToString();
+  EXPECT_GE((*live)->fan_out(), 9u);  // the sharded base shows through
+
+  UpdateBatch batch = EmptyBatch(2);
+  for (int j = 0; j < 2; ++j) {
+    batch.relations[j].inserts = {
+        Tuple{4000 + j, 0.7, Vec{0.2, 0.2}},
+        Tuple{4010 + j, 0.3, Vec{-0.4, 0.1}},
+    };
+    batch.relations[j].deletes = {7};
+  }
+  ASSERT_TRUE((*live)->Apply(batch).ok());
+  ApplyToReference(batch, &content);
+  auto fresh = Engine::Create(content, AccessKind::kDistance, &scoring);
+  ASSERT_TRUE(fresh.ok());
+
+  Rng rng(15);
+  for (int call = 0; call < 4; ++call) {
+    const Vec q = rng.UniformInCube(2, -1.0, 1.0);
+    ProxRJOptions q_opts;
+    q_opts.k = 2 + static_cast<int>(rng.NextBounded(10));
+    q_opts.Apply(kAllPresets[call]);
+    auto expected = fresh->TopK(q, q_opts);
+    auto got = (*live)->TopK(q, q_opts);
+    ASSERT_TRUE(expected.ok());
+    ASSERT_TRUE(got.ok());
+    ExpectBitIdentical(*got, *expected, "sharded base");
+  }
+}
+
+TEST(LiveCompositionTest, CachedLiveNeverServesStaleResults) {
+  const SumLogEuclideanScoring scoring(1, 1, 1);
+  std::vector<Relation> content = MakeRelations(2, 50, /*seed=*/16);
+  auto live_or = LiveEngine::Create(
+      content, AccessKind::kDistance, &scoring,
+      LiveEngine::MonolithicFactory(AccessKind::kDistance, &scoring),
+      ManualCompaction());
+  ASSERT_TRUE(live_or.ok());
+  LiveEngine& live = **live_or;
+  CachedEngine cached(&live);
+
+  ProxRJOptions q_opts;
+  q_opts.k = 8;
+  const Vec q{0.1, 0.3};
+
+  // Warm the cache at epoch 1.
+  auto first = cached.TopK(q, q_opts);
+  ASSERT_TRUE(first.ok());
+  ExecStats stats;
+  auto hit = cached.TopK(q, q_opts, &stats);
+  ASSERT_TRUE(hit.ok());
+  EXPECT_EQ(cached.cache().counters().hits, 1u);
+  EXPECT_EQ(stats.data_epoch, 1u);
+  EXPECT_EQ(stats.sum_depths, 0u);  // a hit pulls nothing
+  ExpectBitIdentical(*hit, *first, "epoch 1 hit");
+
+  // Apply: the very next lookup must see the new content, not the warm
+  // epoch-1 entry.
+  UpdateBatch batch = EmptyBatch(2);
+  batch.relations[0].inserts = {Tuple{6000, 0.95, Vec{0.1, 0.3}}};
+  batch.relations[1].deletes = {0};
+  ASSERT_TRUE(live.Apply(batch).ok());
+  ApplyToReference(batch, &content);
+  auto fresh = Engine::Create(content, AccessKind::kDistance, &scoring);
+  ASSERT_TRUE(fresh.ok());
+  auto expected = fresh->TopK(q, q_opts);
+  ASSERT_TRUE(expected.ok());
+
+  auto post = cached.TopK(q, q_opts, &stats);
+  ASSERT_TRUE(post.ok());
+  ExpectBitIdentical(*post, *expected, "post-update miss");
+  EXPECT_EQ(stats.data_epoch, 2u);
+  EXPECT_EQ(cached.cache().counters().hits, 1u);  // that was a miss
+
+  // The epoch-2 entry serves hits now...
+  auto post_hit = cached.TopK(q, q_opts, &stats);
+  ASSERT_TRUE(post_hit.ok());
+  EXPECT_EQ(cached.cache().counters().hits, 2u);
+  ExpectBitIdentical(*post_hit, *expected, "epoch 2 hit");
+
+  // ...and stays warm across compaction, because the epoch is preserved.
+  ASSERT_TRUE(live.Compact().ok());
+  auto compacted_hit = cached.TopK(q, q_opts, &stats);
+  ASSERT_TRUE(compacted_hit.ok());
+  EXPECT_EQ(cached.cache().counters().hits, 3u);
+  EXPECT_EQ(stats.data_epoch, 2u);
+  ExpectBitIdentical(*compacted_hit, *expected, "post-compaction hit");
+}
+
+// --------------------- concurrent update property ---------------------- //
+
+// Writers race readers (and background compactions race both): every
+// query's result must be bit-identical to a fresh engine built from the
+// logical content of the epoch the query reports. Runs under TSan in CI;
+// the small compact_threshold keeps compactions happening mid-flight.
+TEST(LiveConcurrencyTest, QueriesAreExactForTheEpochTheyObserve) {
+  const SumLogEuclideanScoring scoring(1, 1, 1);
+  const int kBatches = 12;
+  const int kReaders = 4;
+  const int kQueriesPerReader = 24;
+
+  std::vector<Relation> seed_content = MakeRelations(2, 40, /*seed=*/17);
+  LiveEngineOptions options;
+  options.compact_threshold = 10;  // small: compactions race the test
+  options.compaction_threads = 1;
+  auto live_or = LiveEngine::Create(
+      seed_content, AccessKind::kDistance, &scoring,
+      LiveEngine::MonolithicFactory(AccessKind::kDistance, &scoring), options);
+  ASSERT_TRUE(live_or.ok());
+  LiveEngine& live = **live_or;
+
+  // Precompute the batches and the per-epoch reference contents so the
+  // verification below is pure lookup. Epoch e = seed + batches[0..e-2].
+  Rng rng(18);
+  std::vector<UpdateBatch> batches(kBatches);
+  std::vector<std::vector<Relation>> content_at_epoch;
+  std::vector<Relation> rolling = seed_content;
+  content_at_epoch.push_back(rolling);  // index 0 -> epoch 1
+  std::vector<std::vector<int64_t>> live_ids(2);
+  for (int j = 0; j < 2; ++j) {
+    for (const Tuple& t : rolling[j].tuples()) live_ids[j].push_back(t.id);
+  }
+  int64_t next_id = 100000;  // ids are never reused across batches
+  for (int b = 0; b < kBatches; ++b) {
+    batches[b].relations.resize(2);
+    for (int j = 0; j < 2; ++j) {
+      for (int i = 0; i < 3; ++i) {
+        const int64_t id = next_id++;
+        batches[b].relations[j].inserts.push_back(
+            Tuple{id, 0.05 + 0.9 * (static_cast<double>((b * 7 + i * 3) % 10) /
+                                    10.0),
+                  rng.UniformInCube(2, -0.7, 0.7)});
+        live_ids[j].push_back(id);
+      }
+      // Delete one currently live tuple per relation per batch.
+      const size_t pick = rng.NextBounded(live_ids[j].size());
+      batches[b].relations[j].deletes.push_back(live_ids[j][pick]);
+      live_ids[j].erase(live_ids[j].begin() + static_cast<ptrdiff_t>(pick));
+    }
+    ApplyToReference(batches[b], &rolling);
+    content_at_epoch.push_back(rolling);  // index b+1 -> epoch b+2
+  }
+
+  const std::vector<Vec> queries = {Vec{0.0, 0.0}, Vec{0.5, -0.5},
+                                    Vec{-0.3, 0.4}};
+  struct Observation {
+    uint64_t epoch;
+    size_t query_index;
+    int k;
+    std::vector<ResultCombination> result;
+  };
+  std::vector<std::vector<Observation>> observed(kReaders);
+  std::atomic<bool> writer_failed{false};
+
+  std::thread writer([&]() {
+    for (const UpdateBatch& batch : batches) {
+      if (!live.Apply(batch).ok()) {
+        writer_failed.store(true);
+        return;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  std::vector<std::thread> readers;
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r]() {
+      Rng reader_rng(100 + static_cast<uint64_t>(r));
+      for (int i = 0; i < kQueriesPerReader; ++i) {
+        Observation obs;
+        obs.query_index = reader_rng.NextBounded(queries.size());
+        obs.k = 1 + static_cast<int>(reader_rng.NextBounded(10));
+        ProxRJOptions q_opts;
+        q_opts.k = obs.k;
+        ExecStats stats;
+        auto result = live.TopK(queries[obs.query_index], q_opts, &stats);
+        ASSERT_TRUE(result.ok()) << result.status().ToString();
+        obs.epoch = stats.data_epoch;
+        obs.result = std::move(*result);
+        observed[r].push_back(std::move(obs));
+      }
+    });
+  }
+  writer.join();
+  for (std::thread& t : readers) t.join();
+  ASSERT_FALSE(writer_failed.load());
+
+  // One final observation after the writer finished: deterministically at
+  // the last epoch, so the verification below always covers an updated
+  // snapshot even if the readers drained before the first Apply landed.
+  {
+    Observation obs;
+    obs.query_index = 0;
+    obs.k = 5;
+    ProxRJOptions q_opts;
+    q_opts.k = obs.k;
+    ExecStats stats;
+    auto result = live.TopK(queries[0], q_opts, &stats);
+    ASSERT_TRUE(result.ok());
+    obs.epoch = stats.data_epoch;
+    obs.result = std::move(*result);
+    observed[0].push_back(std::move(obs));
+  }
+
+  // Verify every observation against a fresh engine over the content of
+  // the epoch it reports. Engines are built once per (epoch) on demand.
+  std::vector<std::unique_ptr<Engine>> reference(content_at_epoch.size());
+  uint64_t max_epoch_seen = 0;
+  for (int r = 0; r < kReaders; ++r) {
+    for (const Observation& obs : observed[r]) {
+      ASSERT_GE(obs.epoch, 1u);
+      ASSERT_LE(obs.epoch, static_cast<uint64_t>(kBatches) + 1);
+      max_epoch_seen = std::max(max_epoch_seen, obs.epoch);
+      const size_t idx = static_cast<size_t>(obs.epoch - 1);
+      if (!reference[idx]) {
+        auto fresh = Engine::Create(content_at_epoch[idx],
+                                    AccessKind::kDistance, &scoring);
+        ASSERT_TRUE(fresh.ok()) << fresh.status().ToString();
+        reference[idx] = std::make_unique<Engine>(std::move(*fresh));
+      }
+      ProxRJOptions q_opts;
+      q_opts.k = obs.k;
+      auto expected = reference[idx]->TopK(queries[obs.query_index], q_opts);
+      ASSERT_TRUE(expected.ok());
+      ExpectBitIdentical(obs.result, *expected,
+                         "reader " + std::to_string(r) + " epoch " +
+                             std::to_string(obs.epoch));
+    }
+  }
+  EXPECT_GT(max_epoch_seen, 1u);  // the race was real: updates were seen
+  EXPECT_EQ(live.live_counters().epoch, static_cast<uint64_t>(kBatches) + 1);
+}
+
+}  // namespace
+}  // namespace prj
