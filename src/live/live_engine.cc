@@ -223,15 +223,17 @@ Result<std::vector<ResultCombination>> LiveEngine::TopK(
   // executor order, so the survivors of the prefix are exactly the
   // leading survivors of the whole filtered space -- we just need enough
   // of them. Geometric over-fetch (x4) re-asks until K survive, the base
-  // is exhausted, a safety rail trips, or K' covers every live
-  // combination the base can form.
+  // is exhausted, a safety rail trips, or K' covers every combination
+  // the base can form. The cap must be the FULL base cross product
+  // (tombstoned members included): the wrapped engine ranks dead
+  // combinations too, so under heavy deletes the whole live answer can
+  // sit past any live-count-sized prefix.
   bool base_tombstoned = false;
-  uint64_t live_base_cap = 1;  // live base combinations, saturating
+  uint64_t full_base_cap = 1;  // all base combinations, saturating
   for (const LiveRelation& lr : snap->relations) {
-    const size_t dead = Deref(lr.base_tombstones).size();
-    base_tombstoned = base_tombstoned || dead > 0;
-    live_base_cap =
-        SaturatingMul(live_base_cap, lr.base_ids->size() - dead);
+    base_tombstoned =
+        base_tombstoned || !Deref(lr.base_tombstones).empty();
+    full_base_cap = SaturatingMul(full_base_cap, lr.base_ids->size());
   }
   std::vector<ResultCombination> base_results;
   uint64_t want = keep;
@@ -258,7 +260,7 @@ Result<std::vector<ResultCombination>> LiveEngine::TopK(
     }
     const bool exhausted = res->size() < static_cast<size_t>(base_options.k);
     if (survivors >= keep || exhausted || !base_stats.completed ||
-        want >= live_base_cap) {
+        want >= full_base_cap) {
       if (base_tombstoned) {
         for (ResultCombination& combo : *res) {
           bool dead = false;
@@ -273,7 +275,7 @@ Result<std::vector<ResultCombination>> LiveEngine::TopK(
       }
       break;
     }
-    want = std::min(SaturatingMul(want, 4), live_base_cap);
+    want = std::min(SaturatingMul(want, 4), full_base_cap);
   }
   {
     const WallTimer gather_timer;
@@ -459,21 +461,32 @@ Status LiveEngine::Apply(const UpdateBatch& batch) {
   next->epoch = cur->epoch + 1;
   next->base = cur->base;
   next->relations = std::move(next_relations);
-  const size_t pressure = next->delta_tuples() + next->tombstones();
   Publish(std::move(next));
-  if (pool_ && options_.compact_threshold > 0 &&
-      pressure >= options_.compact_threshold &&
-      !compaction_pending_.exchange(true)) {
-    pool_->Submit([this]() {
-      // Background best-effort: a failing rebuild leaves the current
-      // snapshot serving correctly, so the error is dropped (a manual
-      // Compact() call reports it).
-      Status status = Compact();
-      (void)status;
-      compaction_pending_.store(false);
-    });
-  }
+  MaybeScheduleCompaction();
   return Status();
+}
+
+void LiveEngine::MaybeScheduleCompaction() {
+  if (!pool_ || options_.compact_threshold == 0) return;
+  const auto snap = Capture();
+  if (snap->delta_tuples() + snap->tombstones() <
+      options_.compact_threshold) {
+    return;
+  }
+  if (compaction_pending_.exchange(true)) return;
+  pool_->Submit([this]() {
+    // Background best-effort: a failing rebuild leaves the current
+    // snapshot serving correctly, so the error is dropped (a manual
+    // Compact() call reports it).
+    const Status status = Compact();
+    compaction_pending_.store(false);
+    // Applies racing the rebuild may have pushed pressure back over the
+    // threshold while compaction_pending_ suppressed scheduling; without
+    // this recheck the backlog would wait for an Apply that may never
+    // come. Only after success -- a failed rebuild leaves pressure
+    // intact, and rescheduling on it would spin.
+    if (status.ok()) MaybeScheduleCompaction();
+  });
 }
 
 std::vector<Relation> LiveEngine::MaterializeContent(const Snapshot& snap) {

@@ -192,7 +192,15 @@ class LiveEngine : public QueryEngine {
 
   std::shared_ptr<const Snapshot> Capture() const;
   void Publish(std::shared_ptr<const Snapshot> next);
-  void MaybeScheduleCompaction(const Snapshot& snap);
+
+  /// Schedules a background compaction when the CURRENT snapshot's
+  /// delta+tombstone pressure has reached the threshold and none is in
+  /// flight. Called by Apply after publishing, and by the compaction
+  /// task itself after a successful fold (pressure re-accumulated during
+  /// the rebuild must not wait for the next Apply). Recursion
+  /// terminates: once Applies stop, one fold drops pressure below the
+  /// threshold.
+  void MaybeScheduleCompaction();
 
   /// Materializes the snapshot's live content (base minus base
   /// tombstones, plus delta minus delta tombstones) as plain relations --

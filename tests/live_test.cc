@@ -306,6 +306,54 @@ TEST(LiveExactnessTest, KLargerThanLiveCrossProduct) {
   ExpectBitIdentical(*got, *expected, "exhaustive live");
 }
 
+// Regression: heavy deletes can tombstone the ENTIRE top of the base
+// order. The over-fetch rail must let want grow to the full base cross
+// product (dead combinations included) -- capping it at the live
+// combination count stops the loop with fewer than K survivors while the
+// live combinations ranked past the prefix are never fetched, silently
+// dropping results.
+TEST(LiveExactnessTest, HeavyDeletesBeyondLiveCountStayExact) {
+  const SumLogEuclideanScoring scoring(1, 1, 1);
+  std::vector<Relation> content;
+  for (int j = 0; j < 2; ++j) {
+    Relation r("r" + std::to_string(j), 2, /*sigma_max=*/1.0);
+    // Every tuple sits on the query point, so ranking is purely by
+    // score: the ids deleted below occupy the whole top of the base
+    // order and the one survivor pair ranks dead last.
+    r.Add(Tuple{0, 0.9, Vec{0.0, 0.0}});
+    r.Add(Tuple{1, 0.8, Vec{0.0, 0.0}});
+    r.Add(Tuple{2, 0.1, Vec{0.0, 0.0}});
+    content.push_back(std::move(r));
+  }
+  auto live = LiveEngine::Create(
+      content, AccessKind::kDistance, &scoring,
+      LiveEngine::MonolithicFactory(AccessKind::kDistance, &scoring),
+      ManualCompaction());
+  ASSERT_TRUE(live.ok()) << live.status().ToString();
+
+  UpdateBatch batch = EmptyBatch(2);
+  batch.relations[0].deletes = {0, 1};
+  batch.relations[1].deletes = {0, 1};
+  ASSERT_TRUE((*live)->Apply(batch).ok());
+  ApplyToReference(batch, &content);
+  auto fresh = Engine::Create(content, AccessKind::kDistance, &scoring);
+  ASSERT_TRUE(fresh.ok());
+
+  // k = 1 with one live combination ranked 9th of 9 in the unfiltered
+  // base order: any prefix sized by the live count (1) misses it.
+  ProxRJOptions q_opts;
+  q_opts.k = 1;
+  auto expected = fresh->TopK(Vec{0.0, 0.0}, q_opts);
+  auto got = (*live)->TopK(Vec{0.0, 0.0}, q_opts);
+  ASSERT_TRUE(expected.ok());
+  ASSERT_TRUE(got.ok());
+  ASSERT_EQ(expected->size(), 1u);
+  ASSERT_EQ(got->size(), 1u);
+  EXPECT_EQ((*got)[0].tuples[0].id, 2);
+  EXPECT_EQ((*got)[0].tuples[1].id, 2);
+  ExpectBitIdentical(*got, *expected, "heavy base deletes");
+}
+
 // ------------------------ Apply semantics ------------------------------ //
 
 TEST(LiveApplyTest, RejectsBadBatchesAtomically) {
