@@ -1,0 +1,417 @@
+// Hot-path microbenchmark over a pinned dataset: the distance-ordered
+// pull loop (R-tree incremental browse) that sits under every Algorithm-1
+// access, the Engine TopK loop built on it, and the sharded scatter
+// layer. Emits BENCH_hotpath.json (cwd-relative; run from the repo root
+// to refresh the tracked datapoint) so the perf trajectory of the R-tree
+// microarchitecture work is tracked in-repo, not just in CI gates.
+//
+// Sections:
+//   * pull      -- raw distance-ordered pulls/sec through NearestBrowse
+//                  over a pinned synthetic relation, dims 2 and 8;
+//                  checksum folds every (id, distance-bits) pulled, so a
+//                  traversal-order or arithmetic regression cannot hide.
+//   * engine    -- TopK queries/sec on a reusable Engine (R-tree backend,
+//                  TBPA), the end-to-end path the pulls feed; gated
+//                  bit-identical against the presorted backend, which
+//                  shares no R-tree code.
+//   * scatter   -- ShardedEngine sweep (STR tiles, sequential vs pooled
+//                  scatter), gated bit-identical against the unsharded
+//                  engine; reports pruning rate and the scatter mode the
+//                  adaptive policy actually chose.
+//
+// Gates (exit 1, failing the Release CI step):
+//   * pull checksums must agree between the two query batches (the same
+//     pinned workload run twice -- any nondeterminism fails);
+//   * engine results bit-identical across the R-tree and presorted
+//     backends (the kernels only reorder work, never results);
+//   * scatter results bit-identical to the unsharded engine;
+//   * the dispatched MBR kernels must agree exactly with the scalar
+//     reference on sampled inputs (scalar-vs-SIMD parity, in-binary).
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "common/timer.h"
+#include "core/engine.h"
+#include "core/scoring.h"
+#include "index/mbr_kernels.h"
+#include "index/rtree.h"
+#include "shard/sharded_engine.h"
+#include "workload/synthetic.h"
+
+namespace prj {
+namespace {
+
+uint64_t FoldU64(uint64_t h, uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  return h;
+}
+
+uint64_t DoubleBits(double d) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(d));
+  std::memcpy(&bits, &d, sizeof(bits));
+  return bits;
+}
+
+struct PullResult {
+  double pulls_per_sec = 0.0;
+  uint64_t checksum = 0;
+  uint64_t pulls = 0;
+};
+
+// Raw distance-ordered pulls: Q browses of depth D over a pinned
+// relation. Runs the batch twice and demands identical checksums.
+bool RunPullSection(int dim, int count, int queries, int depth,
+                    PullResult* out) {
+  SyntheticSpec spec;
+  spec.dim = dim;
+  spec.count = count;
+  spec.seed = 1212 + static_cast<uint64_t>(dim);
+  const Relation rel = GenerateUniformRelation(spec, "pull");
+  const auto index = IndexedRelation::Build(rel);
+
+  Rng rng(77);
+  std::vector<Vec> pool;
+  pool.reserve(static_cast<size_t>(queries));
+  const double half = CubeSide(spec) / 2.0;
+  for (int i = 0; i < queries; ++i) {
+    pool.push_back(rng.UniformInCube(dim, -half, half));
+  }
+
+  uint64_t checksum_first = 0;
+  Arena arena;  // reused across queries: the frontier's steady state
+  for (int round = 0; round < 2; ++round) {
+    uint64_t checksum = 0;
+    uint64_t pulls = 0;
+    const WallTimer timer;
+    for (const Vec& q : pool) {
+      arena.Reset();
+      auto browse = index->tree().NearestBrowse(q, &arena);
+      for (int d = 0; d < depth; ++d) {
+        const RTree::Item* item = browse.NextRef();
+        if (item == nullptr) break;
+        checksum = FoldU64(checksum, static_cast<uint64_t>(item->id));
+        checksum = FoldU64(checksum, DoubleBits(item->point.SquaredDistance(q)));
+        ++pulls;
+      }
+    }
+    const double seconds = timer.ElapsedSeconds();
+    if (round == 0) {
+      checksum_first = checksum;
+      out->pulls = pulls;
+      out->checksum = checksum;
+      out->pulls_per_sec = static_cast<double>(pulls) / seconds;
+    } else if (checksum != checksum_first) {
+      std::fprintf(stderr,
+                   "FAIL: pull checksum diverged between rounds (dim=%d): "
+                   "%016" PRIx64 " vs %016" PRIx64 "\n",
+                   dim, checksum_first, checksum);
+      return false;
+    } else {
+      // Report the faster (warm) round: the arena-reuse steady state.
+      out->pulls_per_sec = std::max(out->pulls_per_sec,
+                                    static_cast<double>(pulls) / seconds);
+    }
+  }
+  return true;
+}
+
+uint64_t ChecksumResults(const std::vector<ResultCombination>& results) {
+  uint64_t h = 0;
+  for (const ResultCombination& combo : results) {
+    h = FoldU64(h, DoubleBits(combo.score));
+    for (const Tuple& t : combo.tuples) {
+      h = FoldU64(h, static_cast<uint64_t>(t.id));
+    }
+  }
+  return h;
+}
+
+struct EngineResult {
+  double queries_per_sec = 0.0;
+  uint64_t checksum = 0;
+};
+
+// Engine TopK loop over the pinned 2-relation instance; the R-tree
+// backend (whose pulls the kernels serve) must match the presorted
+// backend bit for bit.
+bool RunEngineSection(const std::vector<Relation>& relations,
+                      const std::vector<Vec>& pool, int k,
+                      EngineResult* out) {
+  SumLogEuclideanScoring scoring(1.0, 1.0, 1.0);
+  EngineOptions rtree_options;
+  rtree_options.backend = SourceBackend::kRTree;
+  auto rtree_engine =
+      Engine::Create(relations, AccessKind::kDistance, &scoring, rtree_options);
+  EngineOptions presorted_options;
+  presorted_options.backend = SourceBackend::kPresorted;
+  auto presorted_engine = Engine::Create(relations, AccessKind::kDistance,
+                                         &scoring, presorted_options);
+  if (!rtree_engine.ok() || !presorted_engine.ok()) {
+    std::fprintf(stderr, "FAIL: Engine::Create failed\n");
+    return false;
+  }
+  ProxRJOptions options;
+  options.k = k;
+  options.Apply(kTBPA);
+
+  uint64_t checksum = 0;
+  // Warm-up round, then the timed round: steady-state throughput.
+  for (int round = 0; round < 2; ++round) {
+    checksum = 0;
+    const WallTimer timer;
+    for (const Vec& q : pool) {
+      auto result = rtree_engine->TopK(q, options);
+      if (!result.ok()) {
+        std::fprintf(stderr, "FAIL: TopK: %s\n",
+                     result.status().ToString().c_str());
+        return false;
+      }
+      checksum = FoldU64(checksum, ChecksumResults(*result));
+    }
+    out->queries_per_sec =
+        static_cast<double>(pool.size()) / timer.ElapsedSeconds();
+  }
+  out->checksum = checksum;
+
+  uint64_t presorted_checksum = 0;
+  for (const Vec& q : pool) {
+    auto result = presorted_engine->TopK(q, options);
+    if (!result.ok()) return false;
+    presorted_checksum = FoldU64(presorted_checksum, ChecksumResults(*result));
+  }
+  if (presorted_checksum != checksum) {
+    std::fprintf(stderr,
+                 "FAIL: R-tree and presorted backends disagree: %016" PRIx64
+                 " vs %016" PRIx64 "\n",
+                 checksum, presorted_checksum);
+    return false;
+  }
+  return true;
+}
+
+struct ScatterRow {
+  uint32_t scatter_threads_requested = 0;
+  uint32_t scatter_threads_used = 0;
+  double queries_per_sec = 0.0;
+  double pruned_rate = 0.0;
+};
+
+bool RunScatterSection(const std::vector<Relation>& relations,
+                       const std::vector<Vec>& pool, int k,
+                       uint64_t want_checksum, uint32_t parts,
+                       uint32_t scatter_threads, ScatterRow* out) {
+  SumLogEuclideanScoring scoring(1.0, 1.0, 1.0);
+  ShardedEngineOptions options;
+  options.partitions_per_relation = parts;
+  options.scheme = PartitionScheme::kStrTile;
+  options.scatter_threads = scatter_threads;
+  auto sharded =
+      ShardedEngine::Create(relations, AccessKind::kDistance, &scoring, options);
+  if (!sharded.ok()) {
+    std::fprintf(stderr, "FAIL: ShardedEngine::Create: %s\n",
+                 sharded.status().ToString().c_str());
+    return false;
+  }
+  ProxRJOptions q_options;
+  q_options.k = k;
+  q_options.Apply(kTBPA);
+
+  uint64_t checksum = 0;
+  uint64_t pruned = 0;
+  uint32_t threads_used = 0;
+  const WallTimer timer;
+  for (const Vec& q : pool) {
+    ExecStats stats;
+    auto result = sharded->TopK(q, q_options, &stats);
+    if (!result.ok()) {
+      std::fprintf(stderr, "FAIL: sharded TopK: %s\n",
+                   result.status().ToString().c_str());
+      return false;
+    }
+    checksum = FoldU64(checksum, ChecksumResults(*result));
+    pruned += stats.shards_pruned;
+    threads_used = std::max(threads_used, stats.scatter_threads);
+  }
+  const double seconds = timer.ElapsedSeconds();
+  if (checksum != want_checksum) {
+    std::fprintf(stderr,
+                 "FAIL: sharded results diverge from the unsharded engine "
+                 "(parts=%u threads=%u): %016" PRIx64 " vs %016" PRIx64 "\n",
+                 parts, scatter_threads, checksum, want_checksum);
+    return false;
+  }
+  out->scatter_threads_requested = scatter_threads;
+  out->scatter_threads_used = threads_used;
+  out->queries_per_sec = static_cast<double>(pool.size()) / seconds;
+  out->pruned_rate = static_cast<double>(pruned) /
+                     (static_cast<double>(pool.size()) *
+                      static_cast<double>(sharded->num_shards()));
+  return true;
+}
+
+// In-binary scalar-vs-dispatched kernel parity over adversarial inputs:
+// random boxes, degenerate (point) boxes, exact ties, huge and tiny
+// magnitudes. The dispatched kernel must agree bit for bit.
+bool KernelParitySweep() {
+  Rng rng(4242);
+  std::vector<double> lo, hi, q, got, want;
+  for (int trial = 0; trial < 200; ++trial) {
+    const int dim = 1 + static_cast<int>(rng.NextBounded(kMaxDim));
+    const size_t count = 1 + rng.NextBounded(40);
+    const double scale = (trial % 3 == 0) ? 1e-12 : (trial % 3 == 1 ? 1.0 : 1e12);
+    lo.assign(static_cast<size_t>(dim) * count, 0.0);
+    hi.assign(static_cast<size_t>(dim) * count, 0.0);
+    q.assign(static_cast<size_t>(dim), 0.0);
+    for (int d = 0; d < dim; ++d) {
+      q[static_cast<size_t>(d)] = scale * (rng.NextDouble() * 2.0 - 1.0);
+      for (size_t i = 0; i < count; ++i) {
+        double a = scale * (rng.NextDouble() * 2.0 - 1.0);
+        double b = scale * (rng.NextDouble() * 2.0 - 1.0);
+        if (trial % 5 == 0) b = a;          // degenerate point boxes
+        if (trial % 7 == 0) a = b = q[static_cast<size_t>(d)];  // exact ties
+        lo[static_cast<size_t>(d) * count + i] = std::min(a, b);
+        hi[static_cast<size_t>(d) * count + i] = std::max(a, b);
+      }
+    }
+    got.assign(count, -1.0);
+    want.assign(count, -1.0);
+    MinSquaredDistanceBatch(q.data(), dim, count, lo.data(), hi.data(),
+                            got.data());
+    MinSquaredDistanceBatchScalar(q.data(), dim, count, lo.data(), hi.data(),
+                                  want.data());
+    for (size_t i = 0; i < count; ++i) {
+      if (DoubleBits(got[i]) != DoubleBits(want[i])) {
+        std::fprintf(stderr,
+                     "FAIL: %s kernel diverges from scalar (trial=%d i=%zu): "
+                     "%.17g vs %.17g\n",
+                     MbrKernelIsa(), trial, i, got[i], want[i]);
+        return false;
+      }
+    }
+    PointSquaredDistanceBatch(q.data(), dim, count, lo.data(), got.data());
+    PointSquaredDistanceBatchScalar(q.data(), dim, count, lo.data(),
+                                    want.data());
+    for (size_t i = 0; i < count; ++i) {
+      if (DoubleBits(got[i]) != DoubleBits(want[i])) {
+        std::fprintf(stderr,
+                     "FAIL: %s point kernel diverges from scalar "
+                     "(trial=%d i=%zu): %.17g vs %.17g\n",
+                     MbrKernelIsa(), trial, i, got[i], want[i]);
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+void WriteJson(const PullResult& pull2, const PullResult& pull8,
+               const EngineResult& engine, const std::vector<ScatterRow>& rows,
+               bool smoke) {
+  std::FILE* f = std::fopen("BENCH_hotpath.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot write BENCH_hotpath.json\n");
+    return;
+  }
+  std::fprintf(f, "{\n  \"smoke\": %s,\n  \"kernel_isa\": \"%s\",\n",
+               smoke ? "true" : "false", MbrKernelIsa());
+  auto pull = [&](const char* name, const PullResult& r) {
+    std::fprintf(f,
+                 "  \"%s\": {\n"
+                 "    \"pulls_per_sec\": %.0f,\n"
+                 "    \"pulls\": %" PRIu64 ",\n"
+                 "    \"checksum\": \"%016" PRIx64 "\"\n  },\n",
+                 name, r.pulls_per_sec, r.pulls, r.checksum);
+  };
+  pull("pull_dim2", pull2);
+  pull("pull_dim8", pull8);
+  std::fprintf(f,
+               "  \"engine\": {\n"
+               "    \"queries_per_sec\": %.2f,\n"
+               "    \"checksum\": \"%016" PRIx64 "\"\n  },\n",
+               engine.queries_per_sec, engine.checksum);
+  std::fprintf(f, "  \"scatter\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    std::fprintf(f,
+                 "    {\"scatter_threads\": %u, \"threads_used\": %u, "
+                 "\"queries_per_sec\": %.2f, \"pruned_rate\": %.4f}%s\n",
+                 rows[i].scatter_threads_requested, rows[i].scatter_threads_used,
+                 rows[i].queries_per_sec, rows[i].pruned_rate,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote BENCH_hotpath.json\n");
+}
+
+int Main() {
+  const bool smoke = bench::SmokeMode();
+  const int pull_count = smoke ? 4000 : 200000;
+  const int pull_queries = smoke ? 8 : 64;
+  const int pull_depth = smoke ? 500 : 20000;
+  const int engine_count = smoke ? 500 : 20000;
+  const int engine_queries = smoke ? 8 : 64;
+  const int k = 10;
+
+  std::printf("hot-path microbench (kernel ISA: %s)\n", MbrKernelIsa());
+
+  if (!KernelParitySweep()) return 1;
+  std::printf("kernel parity: %s == scalar on 200 adversarial trials\n",
+              MbrKernelIsa());
+
+  PullResult pull2, pull8;
+  if (!RunPullSection(2, pull_count, pull_queries, pull_depth, &pull2)) return 1;
+  if (!RunPullSection(8, pull_count / 4, pull_queries, pull_depth / 4, &pull8)) {
+    return 1;
+  }
+  std::printf("pull  dim=2: %12.0f pulls/s  (checksum %016" PRIx64 ")\n",
+              pull2.pulls_per_sec, pull2.checksum);
+  std::printf("pull  dim=8: %12.0f pulls/s  (checksum %016" PRIx64 ")\n",
+              pull8.pulls_per_sec, pull8.checksum);
+
+  SyntheticSpec spec;
+  spec.dim = 2;
+  spec.count = engine_count;
+  spec.seed = 3434;
+  const std::vector<Relation> relations = GenerateProblem(2, spec);
+  Rng rng(99);
+  std::vector<Vec> pool;
+  const double half = CubeSide(spec) / 2.0;
+  for (int i = 0; i < engine_queries; ++i) {
+    pool.push_back(rng.UniformInCube(2, -half, half));
+  }
+
+  EngineResult engine;
+  if (!RunEngineSection(relations, pool, k, &engine)) return 1;
+  std::printf("engine (TBPA, k=%d): %10.2f queries/s\n", k,
+              engine.queries_per_sec);
+
+  std::vector<ScatterRow> rows;
+  for (uint32_t threads : {0u, 4u}) {
+    ScatterRow row;
+    if (!RunScatterSection(relations, pool, k, engine.checksum, /*parts=*/4,
+                           threads, &row)) {
+      return 1;
+    }
+    std::printf(
+        "scatter parts=4 threads=%u: %10.2f queries/s  pruned %.1f%%  "
+        "(threads used: %u)\n",
+        threads, row.queries_per_sec, 100.0 * row.pruned_rate,
+        row.scatter_threads_used);
+    rows.push_back(row);
+  }
+
+  WriteJson(pull2, pull8, engine, rows, smoke);
+  return 0;
+}
+
+}  // namespace
+}  // namespace prj
+
+int main() { return prj::Main(); }

@@ -117,14 +117,29 @@ std::vector<Relation> PartitionRelation(const Relation& relation,
                                         uint32_t parts) {
   PRJ_CHECK_GE(parts, 1u);
   PRJ_CHECK_EQ(assignment.size(), relation.size());
+  // Tighten each part's score ceiling to the largest score it actually
+  // holds: sigma_max feeds every distance-side bound (paper eq. (4)-(5)),
+  // so a part whose tuples all score low admits a correspondingly lower
+  // corner bound and terminates (or is pruned) shallower. Still a-priori
+  // admissible -- no score in the part exceeds its own maximum -- and the
+  // results stay bit-identical (bounds only decide how deep to pull, never
+  // which combinations qualify). Empty parts keep the parent's ceiling:
+  // there is no witness to tighten with, and 0 would flunk validation.
+  std::vector<double> part_sigma(parts, 0.0);
+  for (size_t i = 0; i < relation.size(); ++i) {
+    PRJ_CHECK_LT(assignment[i], parts);
+    part_sigma[assignment[i]] =
+        std::max(part_sigma[assignment[i]], relation.tuple(i).score);
+  }
   std::vector<Relation> out;
   out.reserve(parts);
   for (uint32_t p = 0; p < parts; ++p) {
+    const double sigma =
+        part_sigma[p] > 0.0 ? part_sigma[p] : relation.sigma_max();
     out.emplace_back(relation.name() + "/" + std::to_string(p), relation.dim(),
-                     relation.sigma_max());
+                     sigma);
   }
   for (size_t i = 0; i < relation.size(); ++i) {
-    PRJ_CHECK_LT(assignment[i], parts);
     out[assignment[i]].Add(relation.tuple(i));
   }
   return out;

@@ -15,9 +15,14 @@
 // results the tests enforce.
 //
 // Partitions preserve each tuple verbatim (id, score, vector) and inherit
-// the parent relation's dim and sigma_max; sigma_max is an a-priori score
-// ceiling, so staying with the parent's (possibly loose) ceiling keeps
-// every per-shard execution correct.
+// the parent relation's dim. Each part's sigma_max is TIGHTENED to the
+// largest score the part actually holds (the parent's ceiling for empty
+// parts): sigma_max is an a-priori ceiling feeding the distance-side
+// bounds, and no score in a part exceeds the part's own maximum, so the
+// tight ceiling is just as admissible while letting low-scoring shards
+// bound lower, terminate shallower, and get pruned earlier. Bounds only
+// decide how deep to pull, never which combinations qualify, so results
+// are bit-identical to partitioning with the inherited ceiling.
 #ifndef PRJ_ACCESS_PARTITION_H_
 #define PRJ_ACCESS_PARTITION_H_
 
@@ -75,8 +80,9 @@ enum class PartitionScheme { kHash, kStrTile };
 std::unique_ptr<Partitioner> MakePartitioner(PartitionScheme scheme);
 
 /// Materializes the parts described by `assignment` (one entry per tuple,
-/// each < parts): part i is named "<name>/<i>" and inherits dim and
-/// sigma_max. Tuples keep their relative order.
+/// each < parts): part i is named "<name>/<i>", inherits dim, and carries
+/// the tightened sigma_max described in the file comment. Tuples keep
+/// their relative order.
 std::vector<Relation> PartitionRelation(const Relation& relation,
                                         const std::vector<uint32_t>& assignment,
                                         uint32_t parts);

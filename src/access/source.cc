@@ -19,6 +19,15 @@ bool DistanceOrderLess(double dist_a, double dist_b, const Tuple& a,
   return a.id < b.id;
 }
 
+// R-tree fan-out for distance-access indexes. Wide nodes suit the SoA
+// node layout: the batch MINDIST kernel scores a whole child block per
+// call, so a 64-entry node trades tree height for kernel width -- ~1.25x
+// more pulls/sec than the default 16 on the bench_hotpath sweep. The
+// browse stream itself is shape-independent (sorted by (distance, id)
+// with a strict total order on frontier entries), so results are
+// bit-identical across fan-outs.
+constexpr int kBrowseFanout = 64;
+
 }  // namespace
 
 SortedDistanceSource::SortedDistanceSource(const Relation& relation, Vec query)
@@ -39,7 +48,8 @@ std::optional<Tuple> SortedDistanceSource::Next() {
   return sorted_[cursor_++];
 }
 
-RTreeDistanceSource::RTreeDistanceSource(const Relation& relation, Vec query)
+RTreeDistanceSource::RTreeDistanceSource(const Relation& relation, Vec query,
+                                         Arena* arena)
     : name_(relation.name()),
       dim_(relation.dim()),
       sigma_max_(relation.sigma_max()),
@@ -51,13 +61,13 @@ RTreeDistanceSource::RTreeDistanceSource(const Relation& relation, Vec query)
   for (size_t i = 0; i < tuples_.size(); ++i) {
     items.push_back(RTree::Item{tuples_[i].x, static_cast<int64_t>(i)});
   }
-  tree_ = RTree::BulkLoad(relation.dim(), std::move(items));
-  browse_.emplace(tree_.NearestBrowse(query));
+  tree_ = RTree::BulkLoad(relation.dim(), std::move(items), kBrowseFanout);
+  browse_.emplace(tree_.NearestBrowse(query, arena));
 }
 
 std::optional<Tuple> RTreeDistanceSource::Next() {
-  auto item = browse_->Next();
-  if (!item) return std::nullopt;
+  const RTree::Item* item = browse_->NextRef();
+  if (item == nullptr) return std::nullopt;
   ++depth_;
   return tuples_[static_cast<size_t>(item->id)];
 }
@@ -87,7 +97,7 @@ IndexedRelation::IndexedRelation(const Relation& relation)
     items.push_back(RTree::Item{tuples_[i].x, static_cast<int64_t>(i)});
     score_max_ = std::max(score_max_, tuples_[i].score);
   }
-  tree_ = RTree::BulkLoad(relation.dim(), std::move(items));
+  tree_ = RTree::BulkLoad(relation.dim(), std::move(items), kBrowseFanout);
   mbr_ = tree_.RootMbr();
 }
 
@@ -98,15 +108,15 @@ std::shared_ptr<const IndexedRelation> IndexedRelation::Build(
 }
 
 SharedIndexDistanceSource::SharedIndexDistanceSource(
-    std::shared_ptr<const IndexedRelation> index, Vec query)
+    std::shared_ptr<const IndexedRelation> index, Vec query, Arena* arena)
     : index_(std::move(index)) {
   PRJ_CHECK_EQ(query.dim(), index_->dim());
-  browse_.emplace(index_->tree().NearestBrowse(query));
+  browse_.emplace(index_->tree().NearestBrowse(query, arena));
 }
 
 std::optional<Tuple> SharedIndexDistanceSource::Next() {
-  auto item = browse_->Next();
-  if (!item) return std::nullopt;
+  const RTree::Item* item = browse_->NextRef();
+  if (item == nullptr) return std::nullopt;
   ++depth_;
   return index_->tuples()[static_cast<size_t>(item->id)];
 }

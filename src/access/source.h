@@ -72,7 +72,10 @@ class SortedDistanceSource : public AccessSource {
 /// SortedDistanceSource but with index-driven, on-demand ordering.
 class RTreeDistanceSource : public AccessSource {
  public:
-  RTreeDistanceSource(const Relation& relation, Vec query);
+  /// `arena`, when given, backs the browse frontier and must outlive this
+  /// source (see RTree::NearestBrowse).
+  RTreeDistanceSource(const Relation& relation, Vec query,
+                      Arena* arena = nullptr);
 
   std::optional<Tuple> Next() override;
   AccessKind kind() const override { return AccessKind::kDistance; }
@@ -146,8 +149,11 @@ class IndexedRelation {
 /// O(1) apart from seeding the browse iterator; the index is reused.
 class SharedIndexDistanceSource : public AccessSource {
  public:
+  /// `arena`, when given, backs the browse frontier and must outlive this
+  /// source; Engine::TopK leases one per query so repeated queries on the
+  /// same engine stop touching the system allocator.
   SharedIndexDistanceSource(std::shared_ptr<const IndexedRelation> index,
-                            Vec query);
+                            Vec query, Arena* arena = nullptr);
 
   std::optional<Tuple> Next() override;
   AccessKind kind() const override { return AccessKind::kDistance; }

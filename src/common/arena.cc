@@ -1,0 +1,85 @@
+#include "common/arena.h"
+
+#include <algorithm>
+
+namespace prj {
+
+void* Arena::Allocate(size_t bytes, size_t align) {
+  PRJ_DCHECK(align > 0 && (align & (align - 1)) == 0);
+  if (bytes == 0) bytes = 1;
+  if (!blocks_.empty()) {
+    const size_t aligned = (used_ + align - 1) & ~(align - 1);
+    Block& back = blocks_.back();
+    if (aligned + bytes <= back.capacity) {
+      used_ = aligned + bytes;
+      return back.data.get() + aligned;
+    }
+  }
+  // Doubling growth so a query that outgrows the warm block settles after
+  // O(log n) system allocations; `new[]` is suitably aligned for every
+  // scalar type the hot path stores (alignof(std::max_align_t)).
+  PRJ_CHECK_LE(align, alignof(std::max_align_t));
+  const size_t prev = blocks_.empty() ? 0 : blocks_.back().capacity;
+  const size_t capacity = std::max({kMinBlockBytes, prev * 2, bytes});
+  Block block;
+  block.data = std::make_unique<std::byte[]>(capacity);
+  block.capacity = capacity;
+  blocks_.push_back(std::move(block));
+  used_ = bytes;
+  return blocks_.back().data.get();
+}
+
+void Arena::Reset() {
+  if (blocks_.empty()) {
+    used_ = 0;
+    return;
+  }
+  size_t largest = 0;
+  for (size_t i = 1; i < blocks_.size(); ++i) {
+    if (blocks_[i].capacity > blocks_[largest].capacity) largest = i;
+  }
+  Block keep = std::move(blocks_[largest]);
+  blocks_.clear();
+  blocks_.push_back(std::move(keep));
+  used_ = 0;
+}
+
+size_t Arena::RetainedBytes() const {
+  size_t total = 0;
+  for (const Block& b : blocks_) total += b.capacity;
+  return total;
+}
+
+ArenaPool::Lease ArenaPool::Acquire() {
+  std::unique_ptr<Arena> arena;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++leases_;
+    if (!free_.empty()) {
+      arena = std::move(free_.back());
+      free_.pop_back();
+    } else {
+      ++created_;
+    }
+  }
+  if (arena == nullptr) arena = std::make_unique<Arena>();
+  return Lease(this, std::move(arena));
+}
+
+void ArenaPool::Return(std::unique_ptr<Arena> arena) {
+  arena->Reset();
+  std::lock_guard<std::mutex> lock(mu_);
+  free_.push_back(std::move(arena));
+}
+
+size_t ArenaPool::arenas_created() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return created_;
+}
+
+uint64_t ArenaPool::leases_issued() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return leases_;
+}
+
+}  // namespace prj

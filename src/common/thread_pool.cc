@@ -5,44 +5,106 @@
 #include "common/logging.h"
 
 namespace prj {
+namespace {
+
+// Identifies the current thread as worker tl_index of tl_pool, so Submit
+// from inside a task can target the submitter's own deque. Plain
+// thread_local pointers: set once per worker thread, read only by that
+// thread.
+thread_local ThreadPool* tl_pool = nullptr;
+thread_local size_t tl_index = 0;
+
+}  // namespace
 
 ThreadPool::ThreadPool(int num_threads) {
   PRJ_CHECK_GE(num_threads, 1);
+  queues_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
   threads_.reserve(static_cast<size_t>(num_threads));
   for (int i = 0; i < num_threads; ++i) {
-    threads_.emplace_back(&ThreadPool::WorkerLoop, this);
+    threads_.emplace_back(&ThreadPool::WorkerLoop, this,
+                          static_cast<size_t>(i));
   }
 }
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<std::mutex> lock(idle_mu_);
     stopping_ = true;
   }
-  cv_.notify_all();
+  idle_cv_.notify_all();
   for (std::thread& t : threads_) t.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   PRJ_CHECK(task != nullptr);
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    tasks_.push_back(std::move(task));
+  size_t target;
+  if (tl_pool == this) {
+    target = tl_index;  // worker submitting follow-up work: own deque
+  } else {
+    target = next_submit_.fetch_add(1, std::memory_order_relaxed) %
+             queues_.size();
   }
-  cv_.notify_one();
+  // Account first, publish second: once the task is visible in a deque a
+  // worker may claim it and decrement queued_, so the increment must
+  // already be in place.
+  {
+    std::lock_guard<std::mutex> lock(idle_mu_);
+    ++queued_;
+  }
+  {
+    WorkerQueue& q = *queues_[target];
+    std::lock_guard<std::mutex> lock(q.mu);
+    q.tasks.push_back(std::move(task));
+  }
+  idle_cv_.notify_one();
 }
 
-void ThreadPool::WorkerLoop() {
-  for (;;) {
-    std::function<void()> task;
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [&] { return stopping_ || !tasks_.empty(); });
-      if (tasks_.empty()) return;  // stopping_ and nothing left to drain
-      task = std::move(tasks_.front());
-      tasks_.pop_front();
+bool ThreadPool::TryRunOne(size_t self) {
+  std::function<void()> task;
+  {
+    WorkerQueue& own = *queues_[self];
+    std::lock_guard<std::mutex> lock(own.mu);
+    if (!own.tasks.empty()) {
+      task = std::move(own.tasks.front());
+      own.tasks.pop_front();
     }
-    task();
+  }
+  if (task == nullptr) {
+    const size_t n = queues_.size();
+    for (size_t k = 1; k < n && task == nullptr; ++k) {
+      WorkerQueue& victim = *queues_[(self + k) % n];
+      std::lock_guard<std::mutex> lock(victim.mu);
+      if (!victim.tasks.empty()) {
+        // Steal from the back: the owner pops the front, so thief and
+        // owner touch opposite ends of a deep backlog.
+        task = std::move(victim.tasks.back());
+        victim.tasks.pop_back();
+        steals_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+  if (task == nullptr) return false;
+  {
+    std::lock_guard<std::mutex> lock(idle_mu_);
+    --queued_;
+  }
+  task();
+  return true;
+}
+
+void ThreadPool::WorkerLoop(size_t self) {
+  tl_pool = this;
+  tl_index = self;
+  for (;;) {
+    if (TryRunOne(self)) continue;
+    std::unique_lock<std::mutex> lock(idle_mu_);
+    idle_cv_.wait(lock, [&] { return stopping_ || queued_ > 0; });
+    // queued_ may already be claimed by a sibling when we wake; the loop
+    // re-scans and, finding nothing, waits again.
+    if (stopping_ && queued_ == 0) return;
   }
 }
 

@@ -1,4 +1,4 @@
-// A small reusable worker pool: N threads draining one task queue.
+// A small reusable worker pool: N threads over N work-stealing deques.
 //
 // ShardedEngine (shard/sharded_engine.h) uses it to scatter one query's
 // shards concurrently; the pool is deliberately generic so other fan-out
@@ -8,8 +8,18 @@
 // canonical pattern: submit helpers, run the same loop on the calling
 // thread, wait for the helpers to drain).
 //
-// Semantics:
-//   * Submit never blocks (unbounded queue) and may be called from any
+// Scheduling: each worker owns a deque (its own mutex, so submissions to
+// different workers never contend). A worker drains its own deque from
+// the front; when empty it steals from the back of a sibling's. Submit
+// from inside a task lands on the submitting worker's own deque (cheap,
+// cache-warm); external submissions round-robin across deques. Stealing
+// keeps every core busy when one query's shards finish early while
+// another query's backlog is still deep -- the concurrent-queries case
+// the single shared queue serialized. steals() exposes the migration
+// count so tests can prove stealing actually happened.
+//
+// Semantics (unchanged from the single-queue pool):
+//   * Submit never blocks (unbounded deques) and may be called from any
 //     thread, including from inside a task;
 //   * tasks must not throw -- an escaping exception would terminate the
 //     process (same contract as a detached thread body);
@@ -21,9 +31,12 @@
 #ifndef PRJ_COMMON_THREAD_POOL_H_
 #define PRJ_COMMON_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -46,13 +59,36 @@ class ThreadPool {
 
   int num_threads() const { return static_cast<int>(threads_.size()); }
 
- private:
-  void WorkerLoop();
+  /// Tasks executed by a worker other than the one they were queued on.
+  /// Pure observability (tests assert stealing occurs under imbalance);
+  /// relaxed counter, exact only after the producing work has quiesced.
+  uint64_t steals() const { return steals_.load(std::memory_order_relaxed); }
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> tasks_;  ///< guarded by mu_
-  bool stopping_ = false;                    ///< guarded by mu_
+ private:
+  // One worker's deque. Own mutex: submissions and steals targeting
+  // different workers proceed in parallel. unique_ptr in the vector
+  // because the mutex is immovable.
+  struct WorkerQueue {
+    std::mutex mu;
+    std::deque<std::function<void()>> tasks;  ///< guarded by mu
+  };
+
+  void WorkerLoop(size_t self);
+  /// Claims one task -- own deque front first, then steal a sibling's
+  /// back -- and runs it. Returns false when every deque was empty.
+  bool TryRunOne(size_t self);
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::atomic<size_t> next_submit_{0};  ///< round-robin for external Submit
+  std::atomic<uint64_t> steals_{0};
+
+  // Global idle/shutdown coordination. queued_ counts submitted tasks not
+  // yet claimed by any worker; it is incremented *before* the task is
+  // published to a deque so a concurrent claim can never underflow it.
+  std::mutex idle_mu_;
+  std::condition_variable idle_cv_;
+  size_t queued_ = 0;      ///< guarded by idle_mu_
+  bool stopping_ = false;  ///< guarded by idle_mu_
   std::vector<std::thread> threads_;
 };
 

@@ -85,7 +85,11 @@ Result<std::vector<ResultCombination>> RunProxRJ(
 
 Engine::Engine(AccessKind kind, const ScoringFunction* scoring,
                Options options, int dim)
-    : kind_(kind), scoring_(scoring), options_(options), dim_(dim) {}
+    : kind_(kind),
+      scoring_(scoring),
+      options_(options),
+      dim_(dim),
+      arena_pool_(std::make_unique<ArenaPool>()) {}
 
 Result<Engine> Engine::Create(const std::vector<Relation>& relations,
                               AccessKind kind, const ScoringFunction* scoring,
@@ -155,7 +159,7 @@ Result<Engine> Engine::FromCatalog(
 }
 
 std::vector<std::unique_ptr<AccessSource>> Engine::MakeQuerySources(
-    const Vec& query) const {
+    const Vec& query, Arena* arena) const {
   std::vector<std::unique_ptr<AccessSource>> sources;
   sources.reserve(num_relations());
   if (kind_ == AccessKind::kScore) {
@@ -165,7 +169,7 @@ std::vector<std::unique_ptr<AccessSource>> Engine::MakeQuerySources(
   } else if (!indexes_.empty()) {
     for (const auto& index : indexes_) {
       sources.push_back(
-          std::make_unique<SharedIndexDistanceSource>(index, query));
+          std::make_unique<SharedIndexDistanceSource>(index, query, arena));
     }
   } else {
     for (const auto& snap : snapshots_) {
@@ -196,7 +200,13 @@ Result<std::vector<ResultCombination>> Engine::TopK(
         "engine serves dim " + std::to_string(dim_) +
         " but the query has dim " + std::to_string(query.dim()));
   }
-  auto sources = MakeQuerySources(query);
+  // The lease outlives `sources`: every browse frontier this query builds
+  // lives in the leased arena, which is reset and returned to the pool
+  // only after the sources are gone. A sequential query loop therefore
+  // reuses one warmed arena forever; concurrent queries lease distinct
+  // arenas and never share frontier memory.
+  ArenaPool::Lease lease = arena_pool_->Acquire();
+  auto sources = MakeQuerySources(query, lease.arena());
   QueryPlan plan;
   plan.sources = &sources;
   plan.scoring = scoring_;

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "access/source.h"
+#include "common/arena.h"
 #include "common/status.h"
 #include "common/vec.h"
 #include "core/executor.h"
@@ -141,6 +142,11 @@ class Engine : public QueryEngine {
     return indexes_.empty() ? snapshots_.size() : indexes_.size();
   }
 
+  /// The per-query arena pool behind TopK (observability for tests: a
+  /// sequential query loop must show arenas_created() == 1 however many
+  /// queries ran -- the frontier-reuse property of the hot-path work).
+  const ArenaPool& arena_pool() const { return *arena_pool_; }
+
  private:
   Engine(AccessKind kind, const ScoringFunction* scoring, Options options,
          int dim);
@@ -149,7 +155,7 @@ class Engine : public QueryEngine {
   /// R-tree backend and score access, O(N log N) for presorted distance
   /// access (positions re-sorted per query, payloads never copied).
   std::vector<std::unique_ptr<AccessSource>> MakeQuerySources(
-      const Vec& query) const;
+      const Vec& query, Arena* arena) const;
 
   AccessKind kind_;
   const ScoringFunction* scoring_;
@@ -159,6 +165,9 @@ class Engine : public QueryEngine {
   /// backend, snapshots_ otherwise.
   std::vector<std::shared_ptr<const IndexedRelation>> indexes_;
   std::vector<std::shared_ptr<const RelationSnapshot>> snapshots_;
+  /// Backs each query's R-tree browse frontiers; behind a pointer so the
+  /// Engine stays movable (TopK is const, the pool is internally locked).
+  std::unique_ptr<ArenaPool> arena_pool_;
 };
 
 }  // namespace prj

@@ -107,8 +107,12 @@ struct ExecStats {
   // monolithic executions). On the sequential scatter path the wall-clock
   // fields above are SUMS across shards (the real single-thread latency);
   // on the parallel path they are MAXES (the makespan).
-  uint32_t scatter_threads = 0;     ///< threads that scattered the shards
-                                    ///< (0 = sequential scatter)
+  uint32_t scatter_threads = 0;     ///< threads that scattered the shards:
+                                    ///< 0 = plain sequential configuration,
+                                    ///< 1 = parallel engine fell back inline
+                                    ///< (adaptive scatter: too few shards
+                                    ///< survived pruning to fan out),
+                                    ///< >1 = parallel workers used
   uint64_t shards_pruned = 0;       ///< shards skipped by the corner bound
   double gather_seconds = 0.0;      ///< merging per-shard results
 

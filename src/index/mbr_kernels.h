@@ -1,0 +1,249 @@
+// Branch-lean batch kernels for the R-tree hot path.
+//
+// Every distance-ordered pull bottoms out in scoring a node's whole child
+// set against the query: MINDIST to each child MBR for internal nodes,
+// point distance to each entry for leaves. The node stores those
+// geometries as structure-of-arrays blocks (per-dimension contiguous
+// min/max lanes, rtree.h), so one kernel call scores all children of a
+// node in a single pass over dense arrays -- no pointer chasing, no
+// per-coordinate branches.
+//
+// Dispatch is compile-time: the widest ISA the target enables wins
+// (AVX2 > SSE2 > scalar), selected by preprocessor checks so there is no
+// runtime branch in the hot loop. The CMake option PRJ_SIMD=OFF forces
+// the scalar path regardless of target ISA; PRJ_NATIVE=ON compiles with
+// -march=native so AVX2 lights up where the host supports it.
+//
+// Bit-identity contract: every variant computes, per element, the exact
+// same IEEE-754 operation sequence --
+//     delta_d = max(max(lo_d - q_d, q_d - hi_d), 0)        (MINDIST)
+//     delta_d = x_d - q_d                                   (points)
+//     out_i   = sum over d ascending of delta_d * delta_d
+// with max(a, b) == (a > b ? a : b) (the _mm_max_pd lane rule: returns b
+// when unordered), no FMA contraction (the build sets -ffp-contract=off),
+// and lanes fully independent. Scalar and SIMD builds therefore return
+// bit-identical results; tests/hotpath_test.cc and bench_hotpath verify
+// the dispatched kernel against the scalar reference on adversarial
+// inputs, and the engine-level property suites verify the whole R-tree
+// backend against the presorted backend, which shares none of this code.
+#ifndef PRJ_INDEX_MBR_KERNELS_H_
+#define PRJ_INDEX_MBR_KERNELS_H_
+
+#include <cstddef>
+
+// PRJ_SIMD_ENABLED is normally injected by CMake (option PRJ_SIMD);
+// default to on for out-of-build consumers of the header.
+#ifndef PRJ_SIMD_ENABLED
+#define PRJ_SIMD_ENABLED 1
+#endif
+
+#if PRJ_SIMD_ENABLED && defined(__AVX2__)
+#include <immintrin.h>
+#define PRJ_MBR_KERNEL_AVX2 1
+#elif PRJ_SIMD_ENABLED && (defined(__SSE2__) || defined(_M_X64))
+#include <emmintrin.h>
+#define PRJ_MBR_KERNEL_SSE2 1
+#endif
+
+namespace prj {
+
+/// Name of the instruction set the dispatched kernels compile to, for
+/// bench/CI reporting: "avx2", "sse2" or "scalar".
+inline const char* MbrKernelIsa() {
+#if defined(PRJ_MBR_KERNEL_AVX2)
+  return "avx2";
+#elif defined(PRJ_MBR_KERNEL_SSE2)
+  return "sse2";
+#else
+  return "scalar";
+#endif
+}
+
+/// max(a, b) with the SSE/AVX `max_pd` lane rule -- returns `b` when the
+/// comparison is unordered -- so the scalar fallback and the vector paths
+/// agree bit for bit even on NaN inputs.
+inline double MbrKernelMax(double a, double b) { return a > b ? a : b; }
+
+// ---------------------------------------------------------------------------
+// Scalar reference implementations. Also the dispatch fallback and the
+// tail handler of the vector paths: each element's computation is lane-
+// independent and identical across variants, so mixing vector body and
+// scalar tail preserves bit-identity.
+// ---------------------------------------------------------------------------
+
+/// MINDIST^2 from query `q` (dim doubles) to `count` boxes stored as
+/// per-dimension contiguous lanes: lo[d*count + i] / hi[d*count + i] bound
+/// dimension d of box i. Writes count squared distances to `out`.
+inline void MinSquaredDistanceBatchScalar(const double* q, int dim,
+                                          size_t count, const double* lo,
+                                          const double* hi, double* out) {
+  for (size_t i = 0; i < count; ++i) out[i] = 0.0;
+  for (int d = 0; d < dim; ++d) {
+    const double qd = q[d];
+    const double* lod = lo + static_cast<size_t>(d) * count;
+    const double* hid = hi + static_cast<size_t>(d) * count;
+    for (size_t i = 0; i < count; ++i) {
+      const double delta =
+          MbrKernelMax(MbrKernelMax(lod[i] - qd, qd - hid[i]), 0.0);
+      out[i] += delta * delta;
+    }
+  }
+}
+
+/// Squared Euclidean distance from `q` to `count` points stored as
+/// per-dimension contiguous lanes xs[d*count + i]. Identical arithmetic
+/// (dimension-ascending accumulation) to Vec::SquaredDistance, so the
+/// streamed distances match the AoS path bit for bit.
+inline void PointSquaredDistanceBatchScalar(const double* q, int dim,
+                                            size_t count, const double* xs,
+                                            double* out) {
+  for (size_t i = 0; i < count; ++i) out[i] = 0.0;
+  for (int d = 0; d < dim; ++d) {
+    const double qd = q[d];
+    const double* xd = xs + static_cast<size_t>(d) * count;
+    for (size_t i = 0; i < count; ++i) {
+      const double delta = xd[i] - qd;
+      out[i] += delta * delta;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Vector bodies. Same operation sequence as the scalar reference, `W`
+// lanes at a time; the remainder runs the scalar element loop.
+// ---------------------------------------------------------------------------
+
+#if defined(PRJ_MBR_KERNEL_AVX2)
+
+inline void MinSquaredDistanceBatch(const double* q, int dim, size_t count,
+                                    const double* lo, const double* hi,
+                                    double* out) {
+  constexpr size_t kW = 4;
+  const size_t main = count - count % kW;
+  const __m256d zero = _mm256_setzero_pd();
+  for (size_t i = 0; i < main; i += kW) {
+    _mm256_storeu_pd(out + i, zero);
+  }
+  for (size_t i = main; i < count; ++i) out[i] = 0.0;
+  for (int d = 0; d < dim; ++d) {
+    const double qd = q[d];
+    const __m256d vq = _mm256_set1_pd(qd);
+    const double* lod = lo + static_cast<size_t>(d) * count;
+    const double* hid = hi + static_cast<size_t>(d) * count;
+    for (size_t i = 0; i < main; i += kW) {
+      const __m256d dlo = _mm256_sub_pd(_mm256_loadu_pd(lod + i), vq);
+      const __m256d dhi = _mm256_sub_pd(vq, _mm256_loadu_pd(hid + i));
+      const __m256d delta = _mm256_max_pd(_mm256_max_pd(dlo, dhi), zero);
+      const __m256d acc = _mm256_loadu_pd(out + i);
+      _mm256_storeu_pd(out + i,
+                       _mm256_add_pd(acc, _mm256_mul_pd(delta, delta)));
+    }
+    for (size_t i = main; i < count; ++i) {
+      const double delta =
+          MbrKernelMax(MbrKernelMax(lod[i] - qd, qd - hid[i]), 0.0);
+      out[i] += delta * delta;
+    }
+  }
+}
+
+inline void PointSquaredDistanceBatch(const double* q, int dim, size_t count,
+                                      const double* xs, double* out) {
+  constexpr size_t kW = 4;
+  const size_t main = count - count % kW;
+  const __m256d zero = _mm256_setzero_pd();
+  for (size_t i = 0; i < main; i += kW) {
+    _mm256_storeu_pd(out + i, zero);
+  }
+  for (size_t i = main; i < count; ++i) out[i] = 0.0;
+  for (int d = 0; d < dim; ++d) {
+    const double qd = q[d];
+    const __m256d vq = _mm256_set1_pd(qd);
+    const double* xd = xs + static_cast<size_t>(d) * count;
+    for (size_t i = 0; i < main; i += kW) {
+      const __m256d delta = _mm256_sub_pd(_mm256_loadu_pd(xd + i), vq);
+      const __m256d acc = _mm256_loadu_pd(out + i);
+      _mm256_storeu_pd(out + i,
+                       _mm256_add_pd(acc, _mm256_mul_pd(delta, delta)));
+    }
+    for (size_t i = main; i < count; ++i) {
+      const double delta = xd[i] - qd;
+      out[i] += delta * delta;
+    }
+  }
+}
+
+#elif defined(PRJ_MBR_KERNEL_SSE2)
+
+inline void MinSquaredDistanceBatch(const double* q, int dim, size_t count,
+                                    const double* lo, const double* hi,
+                                    double* out) {
+  constexpr size_t kW = 2;
+  const size_t main = count - count % kW;
+  const __m128d zero = _mm_setzero_pd();
+  for (size_t i = 0; i < main; i += kW) {
+    _mm_storeu_pd(out + i, zero);
+  }
+  for (size_t i = main; i < count; ++i) out[i] = 0.0;
+  for (int d = 0; d < dim; ++d) {
+    const double qd = q[d];
+    const __m128d vq = _mm_set1_pd(qd);
+    const double* lod = lo + static_cast<size_t>(d) * count;
+    const double* hid = hi + static_cast<size_t>(d) * count;
+    for (size_t i = 0; i < main; i += kW) {
+      const __m128d dlo = _mm_sub_pd(_mm_loadu_pd(lod + i), vq);
+      const __m128d dhi = _mm_sub_pd(vq, _mm_loadu_pd(hid + i));
+      const __m128d delta = _mm_max_pd(_mm_max_pd(dlo, dhi), zero);
+      const __m128d acc = _mm_loadu_pd(out + i);
+      _mm_storeu_pd(out + i, _mm_add_pd(acc, _mm_mul_pd(delta, delta)));
+    }
+    for (size_t i = main; i < count; ++i) {
+      const double delta =
+          MbrKernelMax(MbrKernelMax(lod[i] - qd, qd - hid[i]), 0.0);
+      out[i] += delta * delta;
+    }
+  }
+}
+
+inline void PointSquaredDistanceBatch(const double* q, int dim, size_t count,
+                                      const double* xs, double* out) {
+  constexpr size_t kW = 2;
+  const size_t main = count - count % kW;
+  const __m128d zero = _mm_setzero_pd();
+  for (size_t i = 0; i < main; i += kW) {
+    _mm_storeu_pd(out + i, zero);
+  }
+  for (size_t i = main; i < count; ++i) out[i] = 0.0;
+  for (int d = 0; d < dim; ++d) {
+    const double qd = q[d];
+    const __m128d vq = _mm_set1_pd(qd);
+    const double* xd = xs + static_cast<size_t>(d) * count;
+    for (size_t i = 0; i < main; i += kW) {
+      const __m128d delta = _mm_sub_pd(_mm_loadu_pd(xd + i), vq);
+      const __m128d acc = _mm_loadu_pd(out + i);
+      _mm_storeu_pd(out + i, _mm_add_pd(acc, _mm_mul_pd(delta, delta)));
+    }
+    for (size_t i = main; i < count; ++i) {
+      const double delta = xd[i] - qd;
+      out[i] += delta * delta;
+    }
+  }
+}
+
+#else
+
+inline void MinSquaredDistanceBatch(const double* q, int dim, size_t count,
+                                    const double* lo, const double* hi,
+                                    double* out) {
+  MinSquaredDistanceBatchScalar(q, dim, count, lo, hi, out);
+}
+
+inline void PointSquaredDistanceBatch(const double* q, int dim, size_t count,
+                                      const double* xs, double* out) {
+  PointSquaredDistanceBatchScalar(q, dim, count, xs, out);
+}
+
+#endif
+
+}  // namespace prj
+
+#endif  // PRJ_INDEX_MBR_KERNELS_H_

@@ -5,6 +5,8 @@
 #include <functional>
 #include <limits>
 
+#include "index/mbr_kernels.h"
+
 namespace prj {
 
 double Rect::Area() const {
@@ -67,6 +69,15 @@ struct RTree::Node {
   Rect mbr;
   std::vector<std::unique_ptr<Node>> children;
   std::vector<Item> items;
+  // SoA mirror of the entry geometry in the batch-kernel layout
+  // (index/mbr_kernels.h): leaves hold dim lanes of point coordinates
+  // (soa[d*n + i] = items[i].point[d]); internal nodes hold dim lanes of
+  // child-MBR lo then dim lanes of hi (soa[(dim+d)*n + i] =
+  // children[i]->mbr.hi[d]). Rebuilt by SyncSoa whenever the entry set or
+  // a child MBR changes; NearestIterator scores a whole node's children
+  // in one kernel call over this block instead of chasing per-child
+  // pointers.
+  std::vector<double> soa;
 
   size_t EntryCount() const { return leaf ? items.size() : children.size(); }
   Rect EntryRect(size_t i) const {
@@ -77,6 +88,31 @@ struct RTree::Node {
     PRJ_DCHECK(n > 0);
     mbr = EntryRect(0);
     for (size_t i = 1; i < n; ++i) mbr.Extend(EntryRect(i));
+  }
+  void SyncSoa() {
+    const size_t n = EntryCount();
+    if (n == 0) {
+      soa.clear();
+      return;
+    }
+    if (leaf) {
+      const auto dim = static_cast<size_t>(items[0].point.dim());
+      soa.resize(dim * n);
+      for (size_t d = 0; d < dim; ++d) {
+        for (size_t i = 0; i < n; ++i) {
+          soa[d * n + i] = items[i].point[static_cast<int>(d)];
+        }
+      }
+    } else {
+      const auto dim = static_cast<size_t>(children[0]->mbr.dim());
+      soa.resize(2 * dim * n);
+      for (size_t d = 0; d < dim; ++d) {
+        for (size_t i = 0; i < n; ++i) {
+          soa[d * n + i] = children[i]->mbr.lo[static_cast<int>(d)];
+          soa[(dim + d) * n + i] = children[i]->mbr.hi[static_cast<int>(d)];
+        }
+      }
+    }
   }
 };
 
@@ -230,6 +266,7 @@ void RTree::InsertRec(Node* node, const Vec& point, int64_t id,
     }
     node->RecomputeMbr();
     sibling->RecomputeMbr();
+    sibling->SyncSoa();
     *split_out = std::move(sibling);
   } else {
     if (node->EntryCount() == 1) {
@@ -238,6 +275,10 @@ void RTree::InsertRec(Node* node, const Vec& point, int64_t id,
       node->mbr.Extend(Rect::ForPoint(point));
     }
   }
+  // Unconditional: a leaf gained an item, an internal node gained a split
+  // sibling, or -- even with an unchanged entry set -- the recursed-into
+  // child's MBR may have grown, and the SoA block caches child MBRs.
+  node->SyncSoa();
 }
 
 void RTree::Insert(const Vec& point, int64_t id) {
@@ -250,6 +291,7 @@ void RTree::Insert(const Vec& point, int64_t id) {
     new_root->children.push_back(std::move(root_));
     new_root->children.push_back(std::move(split));
     new_root->RecomputeMbr();
+    new_root->SyncSoa();
     root_ = std::move(new_root);
   }
   ++size_;
@@ -333,6 +375,7 @@ std::unique_ptr<RTree::Node> RTree::BuildStr(int dim, std::vector<Item>* items,
       node->leaf = true;
       for (size_t i : g) node->items.push_back(std::move((*items)[i]));
       node->RecomputeMbr();
+      node->SyncSoa();
       Vec center = node->mbr.lo;
       center += node->mbr.hi;
       center *= 0.5;
@@ -349,6 +392,7 @@ std::unique_ptr<RTree::Node> RTree::BuildStr(int dim, std::vector<Item>* items,
       node->leaf = false;
       for (size_t i : g) node->children.push_back(std::move(level[i].node));
       node->RecomputeMbr();
+      node->SyncSoa();
       Vec center = node->mbr.lo;
       center += node->mbr.hi;
       center *= 0.5;
@@ -398,44 +442,114 @@ std::vector<int64_t> RTree::RangeQuery(const Rect& box) const {
   return out;
 }
 
-RTree::NearestIterator::NearestIterator(const RTree* tree, Vec q)
-    : tree_(tree), q_(std::move(q)) {
+RTree::NearestIterator::NearestIterator(const RTree* tree, Vec q, Arena* arena)
+    : tree_(tree),
+      q_(std::move(q)),
+      owned_arena_(arena == nullptr ? std::make_unique<Arena>() : nullptr),
+      arena_(arena == nullptr ? owned_arena_.get() : arena),
+      heap_(ArenaAllocator<QueueEntry>(arena_)),
+      dist_buf_(ArenaAllocator<double>(arena_)) {
   PRJ_CHECK_EQ(q_.dim(), tree->dim_);
   if (tree->size_ > 0) {
-    heap_.push(QueueEntry{tree->root_->mbr.MinSquaredDistance(q_), next_seq_++,
-                          tree->root_.get(), Item{}});
+    heap_.reserve(static_cast<size_t>(tree->max_entries_) * 4);
+    dist_buf_.reserve(static_cast<size_t>(tree->max_entries_) + 1);
+    PushEntry(QueueEntry{tree->root_->mbr.MinSquaredDistance(q_), next_seq_++,
+                         tree->root_.get(), nullptr, 0});
   }
 }
 
+void RTree::NearestIterator::PushEntry(const QueueEntry& e) const {
+  heap_.push_back(e);
+  std::push_heap(heap_.begin(), heap_.end(), std::greater<QueueEntry>());
+}
+
+void RTree::NearestIterator::PopEntry() const {
+  std::pop_heap(heap_.begin(), heap_.end(), std::greater<QueueEntry>());
+  heap_.pop_back();
+}
+
+// Restores the min-heap property after the root entry's key changed in
+// place (a run cursor advanced): one sift instead of a pop + push pair.
+// Same layout and comparator as the std:: heap ops, so they compose.
+void RTree::NearestIterator::SiftDownRoot() const {
+  const size_t n = heap_.size();
+  QueueEntry e = heap_[0];
+  size_t i = 0;
+  for (;;) {
+    size_t c = 2 * i + 1;
+    if (c >= n) break;
+    if (c + 1 < n && heap_[c] > heap_[c + 1]) ++c;  // smaller child
+    if (!(e > heap_[c])) break;
+    heap_[i] = heap_[c];
+    i = c;
+  }
+  heap_[i] = e;
+}
+
 void RTree::NearestIterator::ExpandTop() const {
-  while (!heap_.empty() && heap_.top().node != nullptr) {
-    const Node* node = static_cast<const Node*>(heap_.top().node);
-    heap_.pop();
+  while (!heap_.empty() && heap_.front().node != nullptr) {
+    const Node* node = static_cast<const Node*>(heap_.front().node);
+    PopEntry();
+    const size_t n = node->EntryCount();
+    if (n == 0) continue;
+    const int dim = q_.dim();
+    dist_buf_.resize(n);
+    // One kernel pass scores the whole entry set off the node's SoA
+    // block; distances are bit-identical to the per-entry scalar calls
+    // this replaces (the dispatch contract in index/mbr_kernels.h), so
+    // the stream -- including exact tie handling -- is unchanged.
     if (node->leaf) {
-      for (const Item& it : node->items) {
-        heap_.push(QueueEntry{it.point.SquaredDistance(q_), next_seq_++, nullptr, it});
+      PointSquaredDistanceBatch(q_.data(), dim, n, node->soa.data(),
+                                dist_buf_.data());
+      auto* run = static_cast<RunItem*>(
+          arena_->Allocate(n * sizeof(RunItem), alignof(RunItem)));
+      for (size_t i = 0; i < n; ++i) {
+        run[i] = RunItem{dist_buf_[i], &node->items[i]};
       }
+      std::sort(run, run + n, [](const RunItem& a, const RunItem& b) {
+        if (a.dist_sq != b.dist_sq) return a.dist_sq < b.dist_sq;
+        return a.item->id < b.item->id;
+      });
+      PushEntry(QueueEntry{run[0].dist_sq, 0, nullptr, run,
+                           static_cast<uint32_t>(n)});
     } else {
-      for (const auto& c : node->children) {
-        heap_.push(QueueEntry{c->mbr.MinSquaredDistance(q_), next_seq_++,
-                              c.get(), Item{}});
+      MinSquaredDistanceBatch(q_.data(), dim, n, node->soa.data(),
+                              node->soa.data() + static_cast<size_t>(dim) * n,
+                              dist_buf_.data());
+      for (size_t i = 0; i < n; ++i) {
+        PushEntry(QueueEntry{dist_buf_[i], next_seq_++,
+                             node->children[i].get(), nullptr, 0});
       }
     }
   }
 }
 
-std::optional<RTree::Item> RTree::NearestIterator::Next() {
+const RTree::Item* RTree::NearestIterator::NextRef() {
   ExpandTop();
-  if (heap_.empty()) return std::nullopt;
-  Item item = heap_.top().item;
-  heap_.pop();
+  if (heap_.empty()) return nullptr;
+  QueueEntry& top = heap_.front();
+  const Item* item = top.run->item;
+  if (top.run_len > 1) {
+    ++top.run;
+    --top.run_len;
+    top.dist_sq = top.run->dist_sq;
+    SiftDownRoot();
+  } else {
+    PopEntry();
+  }
   return item;
+}
+
+std::optional<RTree::Item> RTree::NearestIterator::Next() {
+  const Item* item = NextRef();
+  if (item == nullptr) return std::nullopt;
+  return *item;
 }
 
 double RTree::NearestIterator::PeekSquaredDistance() const {
   ExpandTop();
   if (heap_.empty()) return std::numeric_limits<double>::infinity();
-  return heap_.top().dist_sq;
+  return heap_.front().dist_sq;
 }
 
 std::vector<RTree::Item> RTree::NearestK(const Vec& q, size_t k) const {
@@ -502,6 +616,31 @@ bool RTree::CheckInvariants() const {
       state.ok = false;
       return;
     }
+    // SoA mirror coherence: the kernel-facing block must reflect the
+    // entry geometry exactly, whatever mutation path produced the node.
+    {
+      const auto dim = static_cast<size_t>(dim_);
+      const size_t want = node->leaf ? dim * n : 2 * dim * n;
+      if (node->soa.size() != want) {
+        state.ok = false;
+        return;
+      }
+      for (size_t d = 0; d < dim; ++d) {
+        for (size_t i = 0; i < n; ++i) {
+          const int di = static_cast<int>(d);
+          const bool match =
+              node->leaf
+                  ? node->soa[d * n + i] == node->items[i].point[di]
+                  : node->soa[d * n + i] == node->children[i]->mbr.lo[di] &&
+                        node->soa[(dim + d) * n + i] ==
+                            node->children[i]->mbr.hi[di];
+          if (!match) {
+            state.ok = false;
+            return;
+          }
+        }
+      }
+    }
     if (node->leaf) {
       if (state.leaf_depth < 0) state.leaf_depth = depth;
       if (state.leaf_depth != depth) {
@@ -524,7 +663,9 @@ bool RTree::CheckInvariants() const {
       }
     }
   };
-  if (size_ == 0) return root_->leaf && root_->items.empty();
+  if (size_ == 0) {
+    return root_->leaf && root_->items.empty() && root_->soa.empty();
+  }
   visit(root_.get(), 0, true);
   return state.ok;
 }

@@ -21,9 +21,9 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
-#include <queue>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/vec.h"
 
 namespace prj {
@@ -89,10 +89,23 @@ class RTree {
   std::vector<Item> NearestK(const Vec& q, size_t k) const;
 
   /// Streams items in increasing distance from a fixed query point.
+  ///
+  /// The frontier heap lives in an Arena: pass one (via NearestBrowse) to
+  /// amortize its memory across repeated queries -- Engine leases arenas
+  /// from a per-engine pool for exactly this -- or pass none and the
+  /// iterator owns a private arena. Frontier distances are computed by the
+  /// batch kernels of index/mbr_kernels.h over each node's SoA entry
+  /// block, bit-identical to the scalar Rect::MinSquaredDistance /
+  /// Vec::SquaredDistance they replace.
   class NearestIterator {
    public:
     /// Returns the next nearest item, or nullopt when exhausted.
     std::optional<Item> Next();
+    /// Copy-free variant of Next(): a pointer into the tree's leaf
+    /// storage (stable for the tree's lifetime), or nullptr when
+    /// exhausted. The pull hot path -- Next() copies the inline
+    /// kMaxDim-double point per call, NextRef() does not.
+    const Item* NextRef();
     /// Squared distance the next item will have (peek); infinity if done.
     /// Logically read-only -- the observable stream is unchanged -- so it
     /// is callable through a const iterator (the lazily expanded frontier
@@ -103,38 +116,62 @@ class RTree {
 
    private:
     friend class RTree;
-    struct QueueEntry {
+    // One scored leaf entry; an expanded leaf becomes an arena array of
+    // these sorted by (distance, id) -- a "run" -- and the frontier heap
+    // holds one cursor per run instead of one entry per item, shrinking
+    // the heap by a fanout factor. Items are referenced by pointer: the
+    // tree is immutable while browsed, so leaf storage is stable.
+    struct RunItem {
       double dist_sq;
+      const Item* item;
+    };
+    struct QueueEntry {
+      double dist_sq;       // key: node MINDIST, or the run head's distance
       uint64_t seq;         // node-vs-node tie-break (expansion order)
-      const void* node;     // internal node, or nullptr for a leaf item
-      Item item;
+      const void* node;     // internal node, or nullptr for an item run
+      const RunItem* run;   // head of the remaining run, iff node == nullptr
+      uint32_t run_len;     // items left in the run
       // Exact-distance ties must stream in id order regardless of tree
       // shape (the access-order contract of Definition 2.1; the sharded
       // gather reconstructs it from output tuples alone): nodes expand
       // before items at the same distance so every tied item surfaces
-      // first, and tied items then pop by id.
+      // first, and tied items then pop by id. Runs are internally sorted
+      // by (distance, id) and compete by their head item, so the merged
+      // stream is the same total order. Strict total order on live
+      // entries, hence a pop sequence independent of heap layout.
       bool operator>(const QueueEntry& o) const {
         if (dist_sq != o.dist_sq) return dist_sq > o.dist_sq;
         const bool is_item = node == nullptr;
         const bool o_is_item = o.node == nullptr;
         if (is_item != o_is_item) return is_item;  // nodes first
-        if (is_item) return item.id > o.item.id;
+        if (is_item) return run->item->id > o.run->item->id;
         return seq > o.seq;
       }
     };
-    NearestIterator(const RTree* tree, Vec q);
+    NearestIterator(const RTree* tree, Vec q, Arena* arena);
     void ExpandTop() const;
+    void PushEntry(const QueueEntry& e) const;
+    void PopEntry() const;
+    void SiftDownRoot() const;
 
     const RTree* tree_;
     Vec q_;
+    // arena_ points at *owned_arena_ when the caller supplied none;
+    // declared before the containers so it outlives their construction.
+    std::unique_ptr<Arena> owned_arena_;
+    Arena* arena_;
     mutable uint64_t next_seq_ = 0;
-    mutable std::priority_queue<QueueEntry, std::vector<QueueEntry>,
-                                std::greater<QueueEntry>>
-        heap_;
+    // Explicit binary heap (push_heap/pop_heap) over arena storage, in
+    // place of std::priority_queue whose container would sit on the
+    // system allocator.
+    mutable std::vector<QueueEntry, ArenaAllocator<QueueEntry>> heap_;
+    mutable std::vector<double, ArenaAllocator<double>> dist_buf_;
   };
 
-  NearestIterator NearestBrowse(const Vec& q) const {
-    return NearestIterator(this, q);
+  /// `arena`, when given, backs the iterator's frontier and must outlive
+  /// it; callers running many browses should reuse one (see ArenaPool).
+  NearestIterator NearestBrowse(const Vec& q, Arena* arena = nullptr) const {
+    return NearestIterator(this, q, arena);
   }
 
   /// Structural invariants: every child MBR is contained in its parent's,

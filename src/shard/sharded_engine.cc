@@ -20,6 +20,15 @@
 // core/gather.h, shared with the live-data layer.
 
 namespace prj {
+namespace {
+
+// Adaptive scatter cutoff: after the scout shard seeds the gather
+// threshold, a survivor count at or below this finishes inline on the
+// calling thread instead of fanning out helpers. Two shards of work do
+// not amortize a round trip through the pool.
+constexpr size_t kScatterInlineMax = 2;
+
+}  // namespace
 
 Result<ShardedEngine> ShardedEngine::Create(
     const std::vector<Relation>& relations, AccessKind kind,
@@ -167,8 +176,9 @@ Result<std::vector<ResultCombination>> ShardedEngine::TopK(
   const bool traced = options.trace != nullptr;
   const bool prune = options_.prune && !traced;
   const bool parallel = pool_ != nullptr && !traced && shards_.size() > 1;
-  const ScatterMode mode =
-      parallel ? ScatterMode::kParallel : ScatterMode::kSequential;
+  // Flips to kParallel right before helpers launch (never after: helpers
+  // read it through the aggregation lock, the flip is pre-publication).
+  ScatterMode mode = ScatterMode::kSequential;
 
   // Visit shards best-bound-first (ties by shard index): the K-th
   // gathered score tightens as early as possible, so later -- weaker --
@@ -210,54 +220,60 @@ Result<std::vector<ResultCombination>> ShardedEngine::TopK(
   std::atomic<uint64_t> pruned{0};
   std::atomic<double> threshold{-std::numeric_limits<double>::infinity()};
 
+  auto process_slot = [&](size_t slot) {
+    const RankedShard& ranked = order[slot];
+    if (prune && GatherPruned(ranked.bound,
+                              threshold.load(std::memory_order_acquire))) {
+      // No combination of this shard can reach the K already gathered
+      // -- strictly below on score, so no tie to win either.
+      pruned.fetch_add(1, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lock(mu);
+      aggregate.final_bound = std::max(aggregate.final_bound, ranked.bound);
+      return;
+    }
+    if (failed.load(std::memory_order_relaxed)) return;
+    ExecStats shard_stats;
+    auto local = shards_[ranked.shard].TopK(query, options, &shard_stats);
+    if (!local.ok()) {
+      std::lock_guard<std::mutex> lock(mu);
+      if (first_error.ok()) first_error = local.status();
+      failed.store(true, std::memory_order_relaxed);
+      return;
+    }
+    // Access keys are query-dependent but shard-local: compute them
+    // outside the merge lock.
+    std::vector<KeyedCombination> keyed;
+    keyed.reserve(local->size());
+    for (ResultCombination& combo : *local) {
+      keyed.push_back(MakeKeyed(std::move(combo), kind_, query));
+    }
+    std::lock_guard<std::mutex> lock(mu);
+    const WallTimer gather_timer;
+    AggregateShardStats(shard_stats, mode, &aggregate);
+    for (KeyedCombination& kc : keyed) {
+      heap.Offer(std::move(kc));
+    }
+    if (heap.full()) {
+      threshold.store(heap.kth_score(), std::memory_order_release);
+    }
+    aggregate.gather_seconds += gather_timer.ElapsedSeconds();
+  };
+
   auto run_shards = [&]() {
     for (;;) {
       const size_t slot = next.fetch_add(1, std::memory_order_relaxed);
       if (slot >= order.size()) return;
-      const RankedShard& ranked = order[slot];
-      if (prune && GatherPruned(ranked.bound,
-                                threshold.load(std::memory_order_acquire))) {
-        // No combination of this shard can reach the K already gathered
-        // -- strictly below on score, so no tie to win either.
-        pruned.fetch_add(1, std::memory_order_relaxed);
-        std::lock_guard<std::mutex> lock(mu);
-        aggregate.final_bound = std::max(aggregate.final_bound, ranked.bound);
-        continue;
-      }
       if (failed.load(std::memory_order_relaxed)) return;
-      ExecStats shard_stats;
-      auto local = shards_[ranked.shard].TopK(query, options, &shard_stats);
-      if (!local.ok()) {
-        std::lock_guard<std::mutex> lock(mu);
-        if (first_error.ok()) first_error = local.status();
-        failed.store(true, std::memory_order_relaxed);
-        return;
-      }
-      // Access keys are query-dependent but shard-local: compute them
-      // outside the merge lock.
-      std::vector<KeyedCombination> keyed;
-      keyed.reserve(local->size());
-      for (ResultCombination& combo : *local) {
-        keyed.push_back(MakeKeyed(std::move(combo), kind_, query));
-      }
-      std::lock_guard<std::mutex> lock(mu);
-      const WallTimer gather_timer;
-      AggregateShardStats(shard_stats, mode, &aggregate);
-      for (KeyedCombination& kc : keyed) {
-        heap.Offer(std::move(kc));
-      }
-      if (heap.full()) {
-        threshold.store(heap.kth_score(), std::memory_order_release);
-      }
-      aggregate.gather_seconds += gather_timer.ElapsedSeconds();
+      process_slot(slot);
     }
   };
 
-  if (parallel) {
+  auto run_parallel = [&]() {
     // The pool is shared by concurrent queries, so completion is tracked
     // per scatter: helpers run the same claim loop and count themselves
     // out; the calling thread participates, so progress never depends on
     // the pool being free.
+    mode = ScatterMode::kParallel;
     const size_t workers =
         std::min<size_t>(options_.scatter_threads, order.size());
     const size_t helpers = workers - 1;
@@ -278,6 +294,36 @@ Result<std::vector<ResultCombination>> ShardedEngine::TopK(
     std::unique_lock<std::mutex> lock(done_mu);
     done_cv.wait(lock, [&]() { return outstanding == 0; });
     aggregate.scatter_threads = static_cast<uint32_t>(workers);
+  };
+
+  if (parallel && prune) {
+    // Adaptive scatter: with best-bound-first pruning, most queries kill
+    // all but one or two shards as soon as the strongest shard seeds the
+    // gather threshold -- and then fanning helper threads out over a
+    // near-empty slot list costs more (submit latency, cold caches, lock
+    // traffic) than just finishing inline. Scout the strongest shard on
+    // the calling thread, re-count the survivors against the fresh
+    // threshold, and only launch helpers when enough work remains.
+    const size_t scout = next.fetch_add(1, std::memory_order_relaxed);
+    if (scout < order.size()) process_slot(scout);  // mode: kSequential
+    const double thr = threshold.load(std::memory_order_acquire);
+    size_t survivors = 0;
+    for (size_t s = next.load(std::memory_order_relaxed); s < order.size();
+         ++s) {
+      if (!GatherPruned(order[s].bound, thr)) ++survivors;
+    }
+    if (survivors <= kScatterInlineMax) {
+      run_shards();
+      // 1 (not 0) records that the parallel engine *chose* inline:
+      // distinguishable from a plain sequential configuration in stats.
+      aggregate.scatter_threads = 1;
+    } else {
+      run_parallel();
+    }
+  } else if (parallel) {
+    // No pruning, so no threshold to scout: every shard must run anyway
+    // and the helpers always have work.
+    run_parallel();
   } else {
     run_shards();
   }

@@ -12,7 +12,13 @@
 // TopK scatters the query over the shards -- sequentially, or across a
 // worker pool when Options::scatter_threads > 1 -- visiting them in
 // best-bound-first order and merging the per-shard top-K lists through a
-// bounded K-heap under the executor's exact result order. Two levers keep
+// bounded K-heap under the executor's exact result order. The parallel
+// scatter is adaptive when pruning is on: the calling thread scouts the
+// strongest shard first, and if the threshold it seeds prunes all but a
+// couple of the remaining shards, the query finishes inline instead of
+// paying pool fan-out for a near-empty slot list (ExecStats::
+// scatter_threads reports 1 for that fallback, the worker count
+// otherwise). Two levers keep
 // the work proportional to the output instead of the fan-out:
 //
 //   * corner-bound shard pruning: each shard carries an a-priori upper

@@ -1,0 +1,343 @@
+// Units for the hot-path microarchitecture layer: batch MBR kernels
+// (bit-identical to their scalar reference on adversarial inputs), the
+// Arena / ArenaPool allocator behind the browse frontier, frontier-arena
+// reuse across repeated Engine::TopK calls, and SoA coherence of
+// insert-built R-trees. The concurrency cases run under the TSan CI job.
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/arena.h"
+#include "common/random.h"
+#include "core/engine.h"
+#include "core/scoring.h"
+#include "index/mbr_kernels.h"
+#include "index/rtree.h"
+
+namespace prj {
+namespace {
+
+// ----------------------------- MBR kernels ----------------------------- //
+
+// Bitwise equality: the contract is exact IEEE agreement, not closeness.
+void ExpectBitEqual(const std::vector<double>& got,
+                    const std::vector<double>& want, const char* label) {
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    uint64_t gb, wb;
+    std::memcpy(&gb, &got[i], sizeof(gb));
+    std::memcpy(&wb, &want[i], sizeof(wb));
+    EXPECT_EQ(gb, wb) << label << " lane " << i << ": " << got[i] << " vs "
+                      << want[i];
+  }
+}
+
+TEST(MbrKernelTest, DispatchedMinDistMatchesScalarOnRandomBoxes) {
+  Rng rng(4242);
+  for (int trial = 0; trial < 100; ++trial) {
+    const int dim = 1 + static_cast<int>(rng.NextBounded(8));
+    // Sweep counts across every SIMD tail length.
+    const size_t count = 1 + rng.NextBounded(13);
+    std::vector<double> q(static_cast<size_t>(dim));
+    std::vector<double> lo(static_cast<size_t>(dim) * count);
+    std::vector<double> hi(static_cast<size_t>(dim) * count);
+    for (auto& v : q) v = rng.Uniform(-10.0, 10.0);
+    for (size_t d = 0; d < static_cast<size_t>(dim); ++d) {
+      for (size_t i = 0; i < count; ++i) {
+        const double a = rng.Uniform(-10.0, 10.0);
+        const double b = rng.Uniform(-10.0, 10.0);
+        lo[d * count + i] = std::min(a, b);
+        hi[d * count + i] = std::max(a, b);
+      }
+    }
+    std::vector<double> got(count), want(count);
+    MinSquaredDistanceBatch(q.data(), dim, count, lo.data(), hi.data(),
+                            got.data());
+    MinSquaredDistanceBatchScalar(q.data(), dim, count, lo.data(), hi.data(),
+                                  want.data());
+    ExpectBitEqual(got, want, "mindist");
+  }
+}
+
+TEST(MbrKernelTest, DispatchedPointDistMatchesScalarAndVec) {
+  Rng rng(77);
+  for (int trial = 0; trial < 100; ++trial) {
+    const int dim = 1 + static_cast<int>(rng.NextBounded(8));
+    const size_t count = 1 + rng.NextBounded(13);
+    std::vector<double> qbuf(static_cast<size_t>(dim));
+    for (auto& v : qbuf) v = rng.Uniform(-5.0, 5.0);
+    std::vector<double> xs(static_cast<size_t>(dim) * count);
+    std::vector<Vec> points(count, Vec(dim));
+    for (size_t i = 0; i < count; ++i) {
+      for (int d = 0; d < dim; ++d) {
+        const double v = rng.Uniform(-5.0, 5.0);
+        xs[static_cast<size_t>(d) * count + i] = v;
+        points[i][d] = v;
+      }
+    }
+    std::vector<double> got(count), want(count);
+    PointSquaredDistanceBatch(qbuf.data(), dim, count, xs.data(), got.data());
+    PointSquaredDistanceBatchScalar(qbuf.data(), dim, count, xs.data(),
+                                    want.data());
+    ExpectBitEqual(got, want, "pointdist");
+    // And both match the AoS scalar path the engine's exactness contract
+    // is anchored to -- bit for bit, not approximately.
+    Vec q(dim);
+    for (int d = 0; d < dim; ++d) q[d] = qbuf[static_cast<size_t>(d)];
+    for (size_t i = 0; i < count; ++i) {
+      uint64_t gb, vb;
+      const double vec_dist = points[i].SquaredDistance(q);
+      std::memcpy(&gb, &got[i], sizeof(gb));
+      std::memcpy(&vb, &vec_dist, sizeof(vb));
+      EXPECT_EQ(gb, vb) << "vs Vec::SquaredDistance, lane " << i;
+    }
+  }
+}
+
+TEST(MbrKernelTest, DegenerateInputsStayBitIdentical) {
+  // Point boxes (lo == hi), query on a face, infinities, NaN: the max_pd
+  // lane rule (return b when unordered) is baked into MbrKernelMax, so
+  // even unordered comparisons agree across variants.
+  const double inf = std::numeric_limits<double>::infinity();
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const int dim = 2;
+  const size_t count = 5;
+  const std::vector<double> q = {0.0, 1.0};
+  // Layout: lo[d*count + i].
+  const std::vector<double> lo = {/* d0 */ 0.0, -1.0, -inf, nan, 1.0,
+                                  /* d1 */ 1.0, 2.0, 0.0, 0.0, nan};
+  const std::vector<double> hi = {/* d0 */ 0.0, 1.0, inf, nan, 2.0,
+                                  /* d1 */ 1.0, 3.0, 0.0, 1.0, nan};
+  std::vector<double> got(count), want(count);
+  MinSquaredDistanceBatch(q.data(), dim, count, lo.data(), hi.data(),
+                          got.data());
+  MinSquaredDistanceBatchScalar(q.data(), dim, count, lo.data(), hi.data(),
+                                want.data());
+  ExpectBitEqual(got, want, "degenerate");
+  // Sanity on the ordinary lanes: lane 0 contains q entirely (0); lane 2
+  // contains q in d0 but its d1 slab [0,0] is 1 below q's 1.0.
+  EXPECT_EQ(want[0], 0.0);
+  EXPECT_EQ(want[2], 1.0);
+}
+
+TEST(MbrKernelTest, ReportsAnIsa) {
+  const std::string isa = MbrKernelIsa();
+  EXPECT_TRUE(isa == "avx2" || isa == "sse2" || isa == "scalar") << isa;
+}
+
+// -------------------------------- Arena -------------------------------- //
+
+TEST(ArenaTest, AllocationsAreAlignedAndDistinct) {
+  Arena arena;
+  for (size_t align : {1u, 2u, 4u, 8u, 16u}) {
+    void* p = arena.Allocate(3, align);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % align, 0u);
+  }
+  // Two allocations never alias (monotonic bump).
+  char* a = static_cast<char*>(arena.Allocate(16, 8));
+  char* b = static_cast<char*>(arena.Allocate(16, 8));
+  EXPECT_GE(b, a + 16);
+}
+
+TEST(ArenaTest, ResetKeepsOnlyTheLargestBlock) {
+  Arena arena;
+  arena.Allocate(100, 8);     // first (minimum-size) block
+  arena.Allocate(100000, 8);  // forces a much larger block
+  EXPECT_GE(arena.BlockCount(), 2u);
+  arena.Reset();
+  EXPECT_EQ(arena.BlockCount(), 1u);
+  EXPECT_GE(arena.RetainedBytes(), 100000u);  // the largest one survived
+  // Steady state: the same workload now fits the kept block -- no new
+  // system allocation.
+  arena.Allocate(100, 8);
+  arena.Allocate(100000 - 200, 8);
+  EXPECT_EQ(arena.BlockCount(), 1u);
+}
+
+TEST(ArenaTest, BacksStlContainersViaArenaAllocator) {
+  Arena arena;
+  std::vector<int, ArenaAllocator<int>> v{ArenaAllocator<int>(&arena)};
+  for (int i = 0; i < 1000; ++i) v.push_back(i);
+  for (int i = 0; i < 1000; ++i) ASSERT_EQ(v[static_cast<size_t>(i)], i);
+  EXPECT_GT(arena.RetainedBytes(), 0u);
+}
+
+TEST(ArenaPoolTest, SequentialLeasesReuseOneArena) {
+  ArenaPool pool;
+  for (int i = 0; i < 10; ++i) {
+    ArenaPool::Lease lease = pool.Acquire();
+    lease.arena()->Allocate(512, 8);
+  }
+  EXPECT_EQ(pool.arenas_created(), 1u);
+  EXPECT_EQ(pool.leases_issued(), 10u);
+}
+
+TEST(ArenaPoolTest, OverlappingLeasesGetDistinctArenas) {
+  ArenaPool pool;
+  ArenaPool::Lease a = pool.Acquire();
+  ArenaPool::Lease b = pool.Acquire();
+  EXPECT_NE(a.arena(), b.arena());
+  EXPECT_EQ(pool.arenas_created(), 2u);
+}
+
+TEST(ArenaPoolTest, ReturnedArenasComeBackWarmed) {
+  ArenaPool pool;
+  {
+    ArenaPool::Lease lease = pool.Acquire();
+    lease.arena()->Allocate(50000, 8);
+  }
+  ArenaPool::Lease again = pool.Acquire();
+  // Reset on return kept the big block: the next query starts warm.
+  EXPECT_EQ(again.arena()->BlockCount(), 1u);
+  EXPECT_GE(again.arena()->RetainedBytes(), 50000u);
+  EXPECT_EQ(pool.arenas_created(), 1u);
+}
+
+TEST(ArenaPoolTest, ConcurrentAcquireIsSafe) {
+  ArenaPool pool;
+  std::vector<std::thread> threads;
+  threads.reserve(4);
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&pool] {
+      for (int i = 0; i < 50; ++i) {
+        ArenaPool::Lease lease = pool.Acquire();
+        lease.arena()->Allocate(256, 8);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(pool.leases_issued(), 200u);
+  // Never more arenas than the peak number of concurrent leases.
+  EXPECT_LE(pool.arenas_created(), 4u);
+  EXPECT_GE(pool.arenas_created(), 1u);
+}
+
+// ------------------------ Engine frontier reuse ------------------------ //
+
+std::vector<Relation> SmallRelations(int n, int tuples, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Relation> rels;
+  rels.reserve(static_cast<size_t>(n));
+  for (int j = 0; j < n; ++j) {
+    Relation r("R" + std::to_string(j), 2, 1.0);
+    for (int i = 0; i < tuples; ++i) {
+      r.Add(i, 0.1 + 0.9 * rng.NextDouble(),
+            Vec{rng.Uniform(-1, 1), rng.Uniform(-1, 1)});
+    }
+    rels.push_back(std::move(r));
+  }
+  return rels;
+}
+
+TEST(FrontierArenaTest, SequentialTopKLoopLeasesOneArena) {
+  const auto rels = SmallRelations(2, 60, 11);
+  const SumLogEuclideanScoring scoring(1.0, 1.0, 1.0);
+  auto engine = Engine::Create(rels, AccessKind::kDistance, &scoring);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  Rng rng(5);
+  ProxRJOptions opts;
+  opts.k = 5;
+  for (int i = 0; i < 16; ++i) {
+    auto res = engine->TopK(rng.UniformInCube(2, -1, 1), opts);
+    ASSERT_TRUE(res.ok());
+  }
+  // The whole loop ran on one recycled arena: queries after the first
+  // never touched the system allocator for their frontiers.
+  EXPECT_EQ(engine->arena_pool().arenas_created(), 1u);
+  EXPECT_EQ(engine->arena_pool().leases_issued(), 16u);
+}
+
+TEST(FrontierArenaTest, ConcurrentTopKLeasesDistinctArenas) {
+  const auto rels = SmallRelations(2, 60, 13);
+  const SumLogEuclideanScoring scoring(1.0, 1.0, 1.0);
+  auto engine = Engine::Create(rels, AccessKind::kDistance, &scoring);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  constexpr int kThreads = 4;
+  constexpr int kQueriesPerThread = 8;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&engine, t] {
+      Rng rng(100 + static_cast<uint64_t>(t));
+      ProxRJOptions opts;
+      opts.k = 5;
+      for (int i = 0; i < kQueriesPerThread; ++i) {
+        auto res = engine->TopK(rng.UniformInCube(2, -1, 1), opts);
+        ASSERT_TRUE(res.ok());
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(engine->arena_pool().leases_issued(),
+            static_cast<uint64_t>(kThreads * kQueriesPerThread));
+  EXPECT_LE(engine->arena_pool().arenas_created(),
+            static_cast<size_t>(kThreads));
+}
+
+// ------------------------- R-tree SoA coherence ------------------------ //
+
+TEST(RTreeSoaTest, InsertBuiltTreeStaysCoherentAndStreamsExactly) {
+  // Small fan-out forces many splits and parent-MBR growth -- every SoA
+  // resync site fires. CheckInvariants contains the bitwise SoA-vs-AoS
+  // coherence check.
+  Rng rng(321);
+  RTree tree(2, /*max_entries=*/4);
+  std::vector<RTree::Item> items;
+  for (int i = 0; i < 500; ++i) {
+    const Vec p = rng.UniformInCube(2, -1, 1);
+    tree.Insert(p, i);
+    items.push_back(RTree::Item{p, i});
+  }
+  ASSERT_TRUE(tree.CheckInvariants());
+
+  const Vec q{0.2, -0.3};
+  std::vector<std::pair<double, int64_t>> want;
+  want.reserve(items.size());
+  for (const auto& it : items) {
+    want.push_back({it.point.SquaredDistance(q), it.id});
+  }
+  std::sort(want.begin(), want.end());
+  auto browse = tree.NearestBrowse(q);
+  for (const auto& [dist, id] : want) {
+    const RTree::Item* got = browse.NextRef();
+    ASSERT_NE(got, nullptr);
+    EXPECT_EQ(got->id, id);
+    EXPECT_EQ(got->point.SquaredDistance(q), dist);
+  }
+  EXPECT_EQ(browse.NextRef(), nullptr);
+}
+
+TEST(RTreeSoaTest, NextAndNextRefAndExternalArenaAgree) {
+  Rng rng(9);
+  std::vector<RTree::Item> items;
+  for (int i = 0; i < 300; ++i) {
+    items.push_back(RTree::Item{rng.UniformInCube(3, -2, 2), i});
+  }
+  const RTree tree = RTree::BulkLoad(3, items, 8);
+  const Vec q{0.0, 0.5, -0.5};
+  Arena arena;
+  auto by_next = tree.NearestBrowse(q);
+  auto by_ref = tree.NearestBrowse(q, &arena);
+  for (;;) {
+    auto a = by_next.Next();
+    const RTree::Item* b = by_ref.NextRef();
+    if (!a) {
+      EXPECT_EQ(b, nullptr);
+      break;
+    }
+    ASSERT_NE(b, nullptr);
+    EXPECT_EQ(a->id, b->id);
+    EXPECT_EQ(a->point, b->point);
+  }
+  EXPECT_GT(arena.RetainedBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace prj

@@ -130,7 +130,17 @@ TEST(PartitionerTest, PartitionRelationPreservesTuplesAndMetadata) {
     std::set<int64_t> seen;
     for (const Relation& part : parts) {
       EXPECT_EQ(part.dim(), rel.dim());
-      EXPECT_EQ(part.sigma_max(), rel.sigma_max());
+      // sigma_max is tightened to the largest score the part holds: never
+      // above the parent's a-priori ceiling, exactly the in-part maximum
+      // for non-empty parts (every part is non-empty here: 37 tuples over
+      // 4 rank-balanced parts).
+      ASSERT_FALSE(part.empty());
+      double in_part_max = 0.0;
+      for (const Tuple& t : part.tuples()) {
+        in_part_max = std::max(in_part_max, t.score);
+      }
+      EXPECT_EQ(part.sigma_max(), in_part_max) << part.name();
+      EXPECT_LE(part.sigma_max(), rel.sigma_max()) << part.name();
       EXPECT_TRUE(part.Validate().ok()) << part.name();
       total += part.size();
       for (const Tuple& t : part.tuples()) {
@@ -142,6 +152,24 @@ TEST(PartitionerTest, PartitionRelationPreservesTuplesAndMetadata) {
       }
     }
     EXPECT_EQ(total, rel.size()) << SchemeName(scheme);
+  }
+}
+
+TEST(PartitionerTest, EmptyPartsKeepParentSigmaMax) {
+  // One tuple over 4 parts: three parts are empty and have no in-part
+  // score to tighten with, so they keep the parent ceiling (0 would fail
+  // relation validation and give a degenerate bound).
+  Relation rel("sparse", 2, /*sigma_max=*/0.6);
+  rel.Add(7, 0.4, Vec{0.0, 0.0});
+  const auto parts = PartitionRelation(rel, *MakePartitioner(kSchemes[0]), 4);
+  ASSERT_EQ(parts.size(), 4u);
+  for (const Relation& part : parts) {
+    if (part.empty()) {
+      EXPECT_EQ(part.sigma_max(), rel.sigma_max()) << part.name();
+    } else {
+      EXPECT_EQ(part.sigma_max(), 0.4) << part.name();
+    }
+    EXPECT_TRUE(part.Validate().ok()) << part.name();
   }
 }
 
@@ -492,6 +520,63 @@ TEST(ShardedExactnessTest, ParallelScatterBitIdentical) {
         }
       }
     }
+  }
+}
+
+// The adaptive parallel scatter: when the scout shard's threshold prunes
+// the remaining fan-out down to a couple of survivors, the query finishes
+// inline on the calling thread (scatter_threads == 1); with pruning off
+// every shard must run, so the helpers always launch (scatter_threads ==
+// the worker count). Bit-identity across the modes is covered by
+// ParallelScatterBitIdentical -- this test pins the mode choice itself.
+TEST(ShardedPruningTest, AdaptiveScatterChoosesInlineVsParallel) {
+  // Two tight clusters 10 apart: STR tiles separate them, so for a query
+  // inside one cluster the scout shard's K-th score kills every
+  // cross-cluster shard (distance penalty ~10 vs ~0.3).
+  std::vector<Relation> rels;
+  for (int j = 0; j < 2; ++j) {
+    Relation r("R" + std::to_string(j), 2, 1.0);
+    Rng rng(100 + static_cast<uint64_t>(j));
+    for (int i = 0; i < 30; ++i) {
+      const double c = i < 15 ? 0.0 : 10.0;
+      r.Add(i, 0.1 + 0.9 * rng.NextDouble(),
+            Vec{c + rng.Uniform(-0.3, 0.3), c + rng.Uniform(-0.3, 0.3)});
+    }
+    rels.push_back(std::move(r));
+  }
+  const SumLogEuclideanScoring scoring(1.0, 1.0, 1.0);
+  ShardedEngineOptions opts;
+  opts.partitions_per_relation = 2;
+  opts.scheme = PartitionScheme::kStrTile;
+  opts.scatter_threads = 4;
+  auto sharded =
+      ShardedEngine::Create(rels, AccessKind::kDistance, &scoring, opts);
+  ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+  ASSERT_EQ(sharded->num_shards(), 4u);
+
+  ProxRJOptions q_opts;
+  q_opts.k = 3;
+  {
+    ExecStats stats;
+    auto got = sharded->TopK(Vec{0.0, 0.0}, q_opts, &stats);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(stats.scatter_threads, 1u);  // adaptive inline fallback
+    EXPECT_GE(stats.shards_pruned, 2u);
+  }
+  {
+    ShardedEngineOptions no_prune = opts;
+    no_prune.prune = false;
+    auto all_shards =
+        ShardedEngine::Create(rels, AccessKind::kDistance, &scoring, no_prune);
+    ASSERT_TRUE(all_shards.ok());
+    ExecStats stats;
+    auto got = all_shards->TopK(Vec{0.0, 0.0}, q_opts, &stats);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(stats.scatter_threads, 4u);  // every shard runs: full fan-out
+    // And the two engines agree bit for bit regardless of mode.
+    auto pruned_res = sharded->TopK(Vec{0.0, 0.0}, q_opts);
+    ASSERT_TRUE(pruned_res.ok());
+    ExpectBitIdentical(*got, *pruned_res, "adaptive vs full fan-out");
   }
 }
 

@@ -81,6 +81,60 @@ TEST(ThreadPoolTest, SubmitFromManyThreadsAndFromTasks) {
   EXPECT_EQ(runs.load(), 4 * 50 * 2);
 }
 
+TEST(ThreadPoolTest, StealsBacklogOffABlockedWorker) {
+  // Submit-from-a-task lands follow-up work on the submitting worker's
+  // own deque. Blocking that worker until every follow-up has run forces
+  // the siblings to steal all of them -- the imbalance case the
+  // per-worker deques exist for. Every task still runs exactly once.
+  constexpr int kTasks = 64;
+  std::atomic<int> runs{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  uint64_t steals = 0;
+  {
+    ThreadPool pool(4);
+    pool.Submit([&] {
+      for (int i = 0; i < kTasks; ++i) {
+        pool.Submit([&] {
+          if (runs.fetch_add(1, std::memory_order_relaxed) + 1 == kTasks) {
+            std::lock_guard<std::mutex> lock(mu);
+            done = true;
+            cv.notify_all();
+          }
+        });
+      }
+      // Hold this worker hostage until its whole backlog has been stolen
+      // and run by the other three.
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [&] { return done; });
+    });
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return done; });
+    steals = pool.steals();
+  }
+  EXPECT_EQ(runs.load(), kTasks);
+  // The owner was blocked for the duration, so at least the first
+  // follow-up demonstrably migrated (the counter is relaxed, so no exact
+  // equality -- >= 1 is the property: stealing happened).
+  EXPECT_GE(steals, 1u);
+}
+
+TEST(ThreadPoolTest, ExternalSubmissionsSpreadWithoutSteals) {
+  // A lone external producer round-robins across deques, so with as many
+  // tasks as workers each deque gets its own and no steal is *required*.
+  // (Steals may still happen -- a fast worker can empty its deque and
+  // poach -- so only exactness is asserted, not a steal count.)
+  std::atomic<int> runs{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 100; ++i) {
+      pool.Submit([&runs] { runs.fetch_add(1, std::memory_order_relaxed); });
+    }
+  }
+  EXPECT_EQ(runs.load(), 100);
+}
+
 TEST(ThreadPoolTest, SingleThreadPoolStillDrains) {
   std::atomic<int> runs{0};
   {
