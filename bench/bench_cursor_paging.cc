@@ -1,0 +1,233 @@
+// Incremental paging cost through the Any-K cursor path, served end to
+// end by Server::SubmitPage over a monolithic Engine.
+//
+// The one-shot stack answers "the next 10 after 10" by recomputing
+// TopK(20) from rank 0; the cursor path resumes the page-1 enumeration
+// and pays only the marginal pulls past rank 10. This bench measures
+// both, per query: page 1 (K=10) and page 2 via the session token,
+// against a fresh K=20 run of the same query.
+//
+// Gates (exit 1, failing the Release CI step):
+//   * prefix exactness -- for every k' in 1..20, the first k' results
+//     pulled from an engine cursor are bit-identical to one-shot
+//     TopK(k'), and the two concatenated pages equal one-shot TopK(20);
+//   * page-2 access depth (PageResult::page_cost_depths, the marginal
+//     cost) is strictly below the fresh K=20 recompute's sum_depths, on
+//     aggregate AND for every single query.
+//
+// Emits BENCH_cursor_paging.json (cwd-relative; run from the repo root
+// to land it there, which is where CI uploads from).
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "common/timer.h"
+#include "core/engine.h"
+#include "core/result_cursor.h"
+#include "server/server.h"
+#include "workload/synthetic.h"
+
+namespace prj {
+namespace {
+
+uint64_t DoubleBits(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+/// Order-sensitive FNV-1a over the score bit patterns of a result list:
+/// the currency of the cross-variant exactness checks in the JSON.
+uint64_t Checksum(uint64_t seed, const std::vector<ResultCombination>& rows) {
+  uint64_t h = seed ? seed : 1469598103934665603ull;
+  for (const ResultCombination& row : rows) {
+    h = (h ^ DoubleBits(row.score)) * 1099511628211ull;
+    for (const Tuple& t : row.tuples) {
+      h = (h ^ static_cast<uint64_t>(t.id)) * 1099511628211ull;
+    }
+  }
+  return h;
+}
+
+int Run() {
+  const bool smoke = bench::SmokeMode();
+  const int count = smoke ? 1200 : 8000;
+  const int q_count = smoke ? 16 : 96;
+  const int page_size = 10;
+
+  SyntheticSpec spec;
+  spec.dim = 2;
+  spec.count = count;
+  spec.density = 50;
+  spec.seed = 67;
+  const auto rels = GenerateProblem(2, spec);
+  const SumLogEuclideanScoring scoring(1.0, 1.0, 1.0);
+  auto engine = Engine::Create(rels, AccessKind::kDistance, &scoring);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "Engine::Create failed: %s\n",
+                 engine.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf(
+      "cursor_paging: Server(1 worker) over Engine (n=2, %d tuples/relation, "
+      "%d queries, pages of %d, TBPA)\n\n",
+      count, q_count, page_size);
+
+  // Prefix exactness first, on a handful of queries: every k'-prefix of a
+  // cursor must be bit-identical to one-shot TopK(k').
+  Rng prefix_rng(5);
+  for (int trial = 0; trial < (smoke ? 2 : 6); ++trial) {
+    QueryRequest req;
+    req.query = prefix_rng.UniformInCube(2, -1.0, 1.0);
+    req.options.k = page_size;
+    req.options.Apply(kTBPA);
+    auto cursor = engine->OpenCursor(req);
+    if (!cursor.ok()) {
+      std::fprintf(stderr, "FAIL: OpenCursor: %s\n",
+                   cursor.status().ToString().c_str());
+      return 1;
+    }
+    std::vector<ResultCombination> prefix;
+    for (int kp = 1; kp <= 2 * page_size; ++kp) {
+      auto next = (*cursor)->Next();
+      if (!next.ok() || !next->has_value()) {
+        std::fprintf(stderr, "FAIL: cursor ended early at k'=%d\n", kp);
+        return 1;
+      }
+      prefix.push_back(std::move(**next));
+      ProxRJOptions opts = req.options;
+      opts.k = kp;
+      auto oneshot = engine->TopK(req.query, opts);
+      std::string why;
+      if (!oneshot.ok() ||
+          !BitIdenticalResults(prefix, *oneshot, &why)) {
+        std::fprintf(stderr, "FAIL: prefix k'=%d diverges: %s\n", kp,
+                     why.c_str());
+        return 1;
+      }
+    }
+  }
+  std::printf("prefix exactness: cursor == one-shot TopK(k') for k'=1..%d\n\n",
+              2 * page_size);
+
+  ServerOptions server_opts;
+  server_opts.num_workers = 1;  // cost accounting, not throughput
+  Server server(&*engine, server_opts);
+
+  Rng rng(29);
+  uint64_t page1_depths = 0, page2_depths = 0, fresh20_depths = 0;
+  uint64_t checksum = 0;
+  double page2_seconds = 0.0, fresh_seconds = 0.0;
+  int page2_not_cheaper = 0;
+  for (int qi = 0; qi < q_count; ++qi) {
+    QueryRequest req;
+    req.query = rng.UniformInCube(2, -1.0, 1.0);
+    req.options.k = page_size;
+    req.options.Apply(kTBPA);
+
+    auto page1 = server.SubmitPage(req).get();
+    if (!page1.result.status.ok() || page1.next_page_token.empty()) {
+      std::fprintf(stderr, "FAIL: page 1 of query %d\n", qi);
+      return 1;
+    }
+    WallTimer page2_timer;
+    auto page2 = server.SubmitPage(req, page1.next_page_token).get();
+    page2_seconds += page2_timer.ElapsedSeconds();
+    if (!page2.result.status.ok()) {
+      std::fprintf(stderr, "FAIL: page 2 of query %d\n", qi);
+      return 1;
+    }
+
+    // The fresh one-shot recompute the cursor path replaces.
+    ProxRJOptions deep = req.options;
+    deep.k = 2 * page_size;
+    ExecStats fresh_stats;
+    WallTimer fresh_timer;
+    auto fresh = engine->TopK(req.query, deep, &fresh_stats);
+    fresh_seconds += fresh_timer.ElapsedSeconds();
+    if (!fresh.ok()) return 1;
+
+    std::vector<ResultCombination> paged = page1.result.combinations;
+    for (const ResultCombination& row : page2.result.combinations) {
+      paged.push_back(row);
+    }
+    std::string why;
+    if (!BitIdenticalResults(paged, *fresh, &why)) {
+      std::fprintf(stderr, "FAIL: pages diverge from TopK(20) (query %d): %s\n",
+                   qi, why.c_str());
+      return 1;
+    }
+    checksum = Checksum(checksum, paged);
+
+    page1_depths += page1.page_cost_depths;
+    page2_depths += page2.page_cost_depths;
+    fresh20_depths += fresh_stats.sum_depths;
+    if (page2.page_cost_depths >= fresh_stats.sum_depths) ++page2_not_cheaper;
+  }
+
+  const double avg_page1 = static_cast<double>(page1_depths) / q_count;
+  const double avg_page2 = static_cast<double>(page2_depths) / q_count;
+  const double avg_fresh = static_cast<double>(fresh20_depths) / q_count;
+  std::printf("%22s %12s\n", "variant", "avg depths");
+  std::printf("%22s %12.1f\n", "page 1 (ranks 1-10)", avg_page1);
+  std::printf("%22s %12.1f\n", "page 2 (ranks 11-20)", avg_page2);
+  std::printf("%22s %12.1f\n", "fresh TopK(20)", avg_fresh);
+  std::printf("\npage-2 marginal cost = %.1f%% of the fresh recompute "
+              "(%.2fus vs %.2fus wall)\n",
+              100.0 * avg_page2 / avg_fresh, 1e6 * page2_seconds / q_count,
+              1e6 * fresh_seconds / q_count);
+  std::printf("checksum %016" PRIx64 "\n", checksum);
+
+  // The tentpole gate: pulling "the next 10" through the session cursor
+  // must do strictly less access work than recomputing the first 20 --
+  // per query, not just on average.
+  if (page2_not_cheaper > 0) {
+    std::fprintf(stderr,
+                 "FAIL: page 2 cost >= fresh TopK(20) for %d of %d queries\n",
+                 page2_not_cheaper, q_count);
+    return 1;
+  }
+  if (page2_depths >= fresh20_depths) {
+    std::fprintf(stderr, "FAIL: aggregate page-2 depth %" PRIu64
+                         " >= fresh %" PRIu64 "\n",
+                 page2_depths, fresh20_depths);
+    return 1;
+  }
+
+  std::FILE* f = std::fopen("BENCH_cursor_paging.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot write BENCH_cursor_paging.json\n");
+  } else {
+    std::fprintf(f,
+                 "{\n"
+                 "  \"smoke\": %s,\n"
+                 "  \"queries\": %d,\n"
+                 "  \"page_size\": %d,\n"
+                 "  \"avg_page1_depths\": %.2f,\n"
+                 "  \"avg_page2_depths\": %.2f,\n"
+                 "  \"avg_fresh_topk20_depths\": %.2f,\n"
+                 "  \"page2_over_fresh\": %.4f,\n"
+                 "  \"avg_page2_us\": %.2f,\n"
+                 "  \"avg_fresh_us\": %.2f,\n"
+                 "  \"checksum\": \"%016" PRIx64 "\"\n"
+                 "}\n",
+                 smoke ? "true" : "false", q_count, page_size, avg_page1,
+                 avg_page2, avg_fresh, avg_page2 / avg_fresh,
+                 1e6 * page2_seconds / q_count, 1e6 * fresh_seconds / q_count,
+                 checksum);
+    std::fclose(f);
+    std::printf("wrote BENCH_cursor_paging.json\n");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace prj
+
+int main() { return prj::Run(); }

@@ -23,6 +23,8 @@ bool DistanceOrderLess(double dist_a, double dist_b, const Tuple& a,
 // node layout: the batch MINDIST kernel scores a whole child block per
 // call, so a 64-entry node trades tree height for kernel width -- ~1.25x
 // more pulls/sec than the default 16 on the bench_hotpath sweep. The
+// opposite holds for early-terminating NearestK queries, which keep the
+// narrower RTree::kDefaultFanout (see the sweep note there). The
 // browse stream itself is shape-independent (sorted by (distance, id)
 // with a strict total order on frontier entries), so results are
 // bit-identical across fan-outs.

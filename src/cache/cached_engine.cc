@@ -7,8 +7,9 @@
 
 namespace prj {
 
-CachedEngine::CachedEngine(const QueryEngine* inner, QueryCacheOptions options)
-    : inner_(inner), cache_(options) {
+CachedEngine::CachedEngine(const QueryEngine* inner, QueryCacheOptions options,
+                           CursorCacheOptions cursor_options)
+    : inner_(inner), cache_(options), cursor_cache_(cursor_options) {
   PRJ_CHECK(inner != nullptr);
 }
 
@@ -27,7 +28,14 @@ Result<std::vector<ResultCombination>> CachedEngine::TopK(
   const uint64_t epoch = inner_->live_counters().epoch;
   std::string key = CanonicalRequestKey(query, options, epoch);
   uint64_t fingerprint = KeyFingerprint(key);
-  if (auto entry = cache_.Lookup(key, fingerprint)) {
+  // Stampede-guarded: N concurrent cold-key requests elect one leader to
+  // compute while the rest block on its flight -- one execution, N
+  // answers. A non-leader woken empty-handed (the leader's execution
+  // failed, was uncacheable, or re-keyed to a newer epoch) recomputes on
+  // its own below, exactly like a plain miss.
+  const QueryCache::CoalesceOutcome outcome =
+      cache_.LookupOrLead(key, fingerprint);
+  if (outcome.entry) {
     if (stats_out) {
       // A hit pulls nothing: zero cost, by definition complete. The
       // epoch of the content the entry was computed from is reported for
@@ -35,36 +43,77 @@ Result<std::vector<ResultCombination>> CachedEngine::TopK(
       *stats_out = ExecStats{};
       stats_out->depths.assign(inner_->num_relations(), 0);
       stats_out->completed = true;
-      stats_out->data_epoch = entry->data_epoch;
+      stats_out->data_epoch = outcome.entry->data_epoch;
     }
-    return entry->combinations;
+    return outcome.entry->combinations;
   }
   ExecStats stats;
   auto result = inner_->TopK(query, options, &stats);
-  if (result.ok() && stats.completed) {
+  const bool cacheable = result.ok() && stats.completed;
+  if (cacheable) {
     // An Apply may have raced between reading the epoch and executing:
     // the execution then saw a NEWER snapshot than the key says. Re-key
     // with the epoch the query actually observed (ExecStats::data_epoch),
     // so an entry always maps key(e) -> content(e) and a post-update
-    // lookup can never be served pre-update results.
-    if (stats.data_epoch != epoch) {
+    // lookup can never be served pre-update results. A leader that
+    // re-keys aborts its old-epoch flight rather than publish: the
+    // waiters asked for key(e) and must not receive content(e').
+    const bool rekeyed = stats.data_epoch != epoch;
+    if (rekeyed) {
+      if (outcome.leader) cache_.AbortLead(key, fingerprint);
       key = CanonicalRequestKey(query, options, stats.data_epoch);
       fingerprint = KeyFingerprint(key);
     }
     auto entry = std::make_shared<QueryCache::Entry>();
     entry->combinations = *result;
     entry->data_epoch = stats.data_epoch;
-    cache_.Insert(std::move(key), fingerprint, std::move(entry));
+    if (outcome.leader && !rekeyed) {
+      cache_.Publish(std::move(key), fingerprint, std::move(entry));
+    } else {
+      cache_.Insert(std::move(key), fingerprint, std::move(entry));
+    }
+  } else if (outcome.leader) {
+    cache_.AbortLead(key, fingerprint);
   }
   if (stats_out) *stats_out = std::move(stats);
   return result;
 }
 
+Result<std::unique_ptr<ResultCursor>> CachedEngine::OpenCursor(
+    const QueryRequest& request) const {
+  if (request.options.trace != nullptr ||
+      request.options.time_budget_seconds > 0) {
+    // Traces observe the execution; time budgets make the stream
+    // timing-dependent. Neither may be replayed from cache.
+    return inner_->OpenCursor(request);
+  }
+  const uint64_t epoch = inner_->live_counters().epoch;
+  std::string key =
+      CanonicalEnumerationKey(request.query, request.options, epoch);
+  uint64_t fingerprint = KeyFingerprint(key);
+  if (auto view = cursor_cache_.Lookup(key, fingerprint)) return view;
+  auto inner = inner_->OpenCursor(request);
+  if (!inner.ok()) return inner.status();
+  // An Apply may have raced between reading the epoch and opening: the
+  // cursor then pinned a NEWER snapshot than the key says. Re-key with
+  // the epoch it actually observed, mirroring the TopK path's re-key.
+  const uint64_t actual = (*inner)->stats().data_epoch;
+  if (actual != 0 && actual != epoch) {
+    key = CanonicalEnumerationKey(request.query, request.options, actual);
+    fingerprint = KeyFingerprint(key);
+  }
+  return cursor_cache_.Adopt(std::move(key), fingerprint,
+                             std::move(inner).value());
+}
+
 CacheCounters CachedEngine::cache_counters() const {
   const CacheCounters mine = cache_.counters();
+  const CacheCounters cursors = cursor_cache_.counters();
   const CacheCounters theirs = inner_->cache_counters();
-  return CacheCounters{mine.hits + theirs.hits, mine.misses + theirs.misses,
-                       mine.evictions + theirs.evictions};
+  return CacheCounters{mine.hits + cursors.hits + theirs.hits,
+                       mine.misses + cursors.misses + theirs.misses,
+                       mine.evictions + cursors.evictions + theirs.evictions,
+                       mine.coalesced + cursors.coalesced + theirs.coalesced};
 }
 
 }  // namespace prj

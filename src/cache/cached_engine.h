@@ -24,6 +24,7 @@
 #ifndef PRJ_CACHE_CACHED_ENGINE_H_
 #define PRJ_CACHE_CACHED_ENGINE_H_
 
+#include "cache/cursor_cache.h"
 #include "cache/query_cache.h"
 #include "core/query_engine.h"
 
@@ -34,11 +35,24 @@ class CachedEngine : public QueryEngine {
   /// `inner` must outlive this decorator and is only used through its
   /// const (thread-safe) API.
   explicit CachedEngine(const QueryEngine* inner,
-                        QueryCacheOptions options = {});
+                        QueryCacheOptions options = {},
+                        CursorCacheOptions cursor_options = {});
 
   Result<std::vector<ResultCombination>> TopK(
       const Vec& query, const ProxRJOptions& options,
       ExecStats* stats_out = nullptr) const override;
+
+  /// Streaming enumeration through the cursor cache: keyed by
+  /// CanonicalEnumerationKey + epoch, so requests differing only in k
+  /// share one cached cursor -- a K=10 entry serves a K=50 request by
+  /// resuming, and a re-drain of a cached prefix costs zero executor
+  /// work (ExecStats::cursor_partial_hits / cursor_resumes report the
+  /// split). Bypasses the cache for traced requests (the trace must
+  /// observe the execution) and for time-budgeted ones (where a rail
+  /// trips is timing-dependent, so the stream is not a pure function of
+  /// the request; max_pulls is deterministic and stays cacheable).
+  Result<std::unique_ptr<ResultCursor>> OpenCursor(
+      const QueryRequest& request) const override;
 
   AccessKind kind() const override { return inner_->kind(); }
   int dim() const override { return inner_->dim(); }
@@ -53,12 +67,14 @@ class CachedEngine : public QueryEngine {
 
   const QueryEngine& inner() const { return *inner_; }
   const QueryCache& cache() const { return cache_; }
+  const CursorCache& cursor_cache() const { return cursor_cache_; }
 
  private:
   const QueryEngine* inner_;
   /// TopK is const yet must touch LRU order and counters; all mutation is
   /// internally synchronized (sharded locks + atomics).
   mutable QueryCache cache_;
+  mutable CursorCache cursor_cache_;
 };
 
 }  // namespace prj

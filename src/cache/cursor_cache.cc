@@ -1,0 +1,146 @@
+#include "cache/cursor_cache.h"
+
+#include <algorithm>
+#include <optional>
+#include <utility>
+
+namespace prj {
+
+/// The shared state behind one cached enumeration: the live cursor plus
+/// the prefix it has materialized so far. `mu` serializes every consumer
+/// touch -- the cursor itself is single-threaded by contract, and the
+/// prefix grows append-only under the same lock, so a view's position
+/// stays valid across concurrent extensions.
+struct CursorCacheEntry {
+  mutable std::mutex mu;
+  std::unique_ptr<ResultCursor> inner;        ///< guarded by mu
+  std::vector<ResultCombination> prefix;      ///< guarded by mu
+  bool finished = false;                      ///< inner returned nullopt
+  Status failed = Status::OK();               ///< sticky inner failure
+};
+
+namespace {
+
+/// A consumer's window onto a shared enumeration. Replays the entry's
+/// materialized prefix from its own position, then extends it by resuming
+/// the shared cursor -- so N views cost one execution, and the per-view
+/// split between replay and fresh work is visible in stats().
+class CachedCursorView : public ResultCursor {
+ public:
+  explicit CachedCursorView(std::shared_ptr<CursorCacheEntry> entry)
+      : entry_(std::move(entry)) {}
+
+  Result<std::optional<ResultCombination>> Next() override {
+    std::lock_guard<std::mutex> lock(entry_->mu);
+    if (pos_ < entry_->prefix.size()) {
+      ++partial_hits_;
+      return std::optional<ResultCombination>(entry_->prefix[pos_++]);
+    }
+    if (entry_->finished) return std::optional<ResultCombination>();
+    if (!entry_->failed.ok()) return entry_->failed;
+    auto next = entry_->inner->Next();
+    if (!next.ok()) {
+      entry_->failed = next.status();
+      return next.status();
+    }
+    if (!next->has_value()) {
+      entry_->finished = true;
+      return std::optional<ResultCombination>();
+    }
+    entry_->prefix.push_back(**next);
+    ++pos_;
+    ++resumes_;
+    return next;
+  }
+
+  /// The shared enumeration's cumulative accounting (all consumers'
+  /// work, not this view's marginal cost -- replays cost nothing, which
+  /// is exactly what unchanged sum_depths across two drains shows), with
+  /// this view's replay/resume split overlaid.
+  ExecStats stats() const override {
+    std::lock_guard<std::mutex> lock(entry_->mu);
+    ExecStats s = entry_->inner ? entry_->inner->stats() : ExecStats{};
+    s.cursor_partial_hits = partial_hits_;
+    s.cursor_resumes = resumes_;
+    return s;
+  }
+
+  uint64_t emitted() const override { return pos_; }
+
+ private:
+  std::shared_ptr<CursorCacheEntry> entry_;
+  size_t pos_ = 0;  ///< next index of entry_->prefix this view serves
+  uint64_t partial_hits_ = 0;
+  uint64_t resumes_ = 0;
+};
+
+}  // namespace
+
+CursorCache::CursorCache(CursorCacheOptions options)
+    : capacity_(std::max<size_t>(1, options.capacity)) {
+  const size_t shards =
+      std::min(std::max<size_t>(1, options.lock_shards), capacity_);
+  shards_.reserve(shards);
+  for (size_t i = 0; i < shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    // Distribute capacity as evenly as possible, first shards get the rest.
+    shard->capacity = capacity_ / shards + (i < capacity_ % shards ? 1 : 0);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+std::unique_ptr<ResultCursor> CursorCache::Lookup(const std::string& key,
+                                                  uint64_t fingerprint) {
+  Shard& shard = ShardFor(fingerprint);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return std::make_unique<CachedCursorView>(it->second->entry);
+}
+
+std::unique_ptr<ResultCursor> CursorCache::Adopt(
+    std::string key, uint64_t fingerprint, std::unique_ptr<ResultCursor> inner) {
+  Shard& shard = ShardFor(fingerprint);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    // A concurrent Adopt won the race; join its enumeration so both
+    // consumers share one execution, and drop ours unstarted.
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return std::make_unique<CachedCursorView>(it->second->entry);
+  }
+  auto entry = std::make_shared<CursorCacheEntry>();
+  entry->inner = std::move(inner);
+  shard.lru.push_front(Node{std::move(key), entry});
+  shard.index.emplace(shard.lru.front().key, shard.lru.begin());
+  while (shard.lru.size() > shard.capacity) {
+    // Views opened on the victim keep it alive through their shared_ptr;
+    // the cache just stops handing it out.
+    shard.index.erase(shard.lru.back().key);
+    shard.lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return std::make_unique<CachedCursorView>(std::move(entry));
+}
+
+CacheCounters CursorCache::counters() const {
+  return CacheCounters{hits_.load(std::memory_order_relaxed),
+                       misses_.load(std::memory_order_relaxed),
+                       evictions_.load(std::memory_order_relaxed)};
+}
+
+size_t CursorCache::size() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->lru.size();
+  }
+  return total;
+}
+
+}  // namespace prj

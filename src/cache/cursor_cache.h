@@ -1,0 +1,111 @@
+// Sharded-lock LRU cache of in-progress enumerations.
+//
+// Where QueryCache stores finished answers, CursorCache stores the
+// resumable execution itself: one shared ResultCursor per canonical
+// ENUMERATION key (CanonicalEnumerationKey -- the request key with k
+// pinned, because a cursor's stream is k-independent) plus the prefix of
+// results it has materialized so far. A lookup hands back a lightweight
+// view cursor with its own read position: results inside the prefix are
+// replayed with zero executor work (ExecStats::cursor_partial_hits), and
+// reading past the prefix resumes the shared enumeration exactly where
+// the previous consumer stopped (ExecStats::cursor_resumes) -- so a
+// cached K=10 query serves a later K=50 request by computing only the 40
+// missing results, and a page-2 pull costs only page 2.
+//
+// Epoch freshness works like QueryCache: the epoch is part of the key, an
+// update changes the key, pre-update entries age out via LRU -- and a
+// view created before an eviction keeps its entry alive through its
+// shared_ptr, pinned to the snapshot its cursor captured at open.
+//
+// Thread safety: the cache structure uses the same sharded-lock scheme as
+// QueryCache; each entry serializes its consumers behind one entry mutex
+// (the underlying cursor is single-threaded by contract). Views are
+// cheap, single-owner objects like any ResultCursor.
+#ifndef PRJ_CACHE_CURSOR_CACHE_H_
+#define PRJ_CACHE_CURSOR_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/query_engine.h"
+#include "core/result_cursor.h"
+
+namespace prj {
+
+/// Internal shared state of one cached enumeration (defined in the .cc;
+/// views and the cache share it by shared_ptr).
+struct CursorCacheEntry;
+
+struct CursorCacheOptions {
+  /// Total cached enumerations across all lock shards (>= 1; smaller
+  /// values are clamped). Entries hold live cursors -- pinned snapshots,
+  /// arena leases -- so this default is deliberately far below
+  /// QueryCacheOptions::capacity.
+  size_t capacity = 64;
+  /// Independent LRU + mutex shards (>= 1; clamped to capacity).
+  size_t lock_shards = 8;
+};
+
+class CursorCache {
+ public:
+  explicit CursorCache(CursorCacheOptions options = {});
+
+  CursorCache(const CursorCache&) = delete;
+  CursorCache& operator=(const CursorCache&) = delete;
+
+  /// Returns a view over the cached enumeration for `key` (moving it to
+  /// the front of its shard's LRU; counts a hit) or nullptr (counts a
+  /// miss). `fingerprint` must be KeyFingerprint(key).
+  std::unique_ptr<ResultCursor> Lookup(const std::string& key,
+                                       uint64_t fingerprint);
+
+  /// Registers `inner` as the shared enumeration behind `key` and returns
+  /// a view over it, evicting LRU entries past capacity. If a concurrent
+  /// Adopt already published the key, the existing entry wins and `inner`
+  /// is discarded -- both callers end up viewing one enumeration. Does
+  /// not count a hit/miss (the preceding Lookup did).
+  std::unique_ptr<ResultCursor> Adopt(std::string key, uint64_t fingerprint,
+                                      std::unique_ptr<ResultCursor> inner);
+
+  CacheCounters counters() const;
+
+  /// Enumerations currently cached (point-in-time across shards).
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+  size_t lock_shards() const { return shards_.size(); }
+
+ private:
+  struct Node {
+    std::string key;
+    std::shared_ptr<CursorCacheEntry> entry;
+  };
+
+  struct Shard {
+    std::mutex mu;
+    /// Front = most recently used; map keys view into the nodes.
+    std::list<Node> lru;
+    std::unordered_map<std::string_view, decltype(lru)::iterator> index;
+    size_t capacity = 0;
+  };
+
+  Shard& ShardFor(uint64_t fingerprint) {
+    return *shards_[(fingerprint >> 32) % shards_.size()];
+  }
+
+  size_t capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+};
+
+}  // namespace prj
+
+#endif  // PRJ_CACHE_CURSOR_CACHE_H_

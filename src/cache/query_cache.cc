@@ -61,6 +61,79 @@ std::shared_ptr<const QueryCache::Entry> QueryCache::Lookup(
   return found;
 }
 
+QueryCache::CoalesceOutcome QueryCache::LookupOrLead(const std::string& key,
+                                                     uint64_t fingerprint) {
+  Shard& shard = ShardFor(fingerprint);
+  std::shared_ptr<Flight> flight;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(std::string_view(key));
+    if (it != shard.index.end()) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return CoalesceOutcome{shard.lru.front().entry, false};
+    }
+    auto in = shard.inflight.find(key);
+    if (in == shard.inflight.end()) {
+      // First miss on the key: lead. The flight is registered before the
+      // shard lock drops, so every later miss coalesces behind it.
+      shard.inflight.emplace(key, std::make_shared<Flight>());
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      return CoalesceOutcome{nullptr, true};
+    }
+    flight = in->second;
+  }
+  // Wait off the shard lock: a slow leader stalls only its own key.
+  coalesced_.fetch_add(1, std::memory_order_relaxed);
+  std::unique_lock<std::mutex> wait_lock(flight->mu);
+  flight->cv.wait(wait_lock, [&flight] { return flight->done; });
+  if (flight->result) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return CoalesceOutcome{flight->result, false};
+}
+
+void QueryCache::Publish(std::string key, uint64_t fingerprint,
+                         std::shared_ptr<const Entry> entry) {
+  Shard& shard = ShardFor(fingerprint);
+  std::shared_ptr<Flight> flight;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto in = shard.inflight.find(key);
+    if (in != shard.inflight.end()) {
+      flight = std::move(in->second);
+      shard.inflight.erase(in);
+    }
+  }
+  if (flight) {
+    std::lock_guard<std::mutex> wake_lock(flight->mu);
+    flight->done = true;
+    flight->result = entry;
+    flight->cv.notify_all();
+  }
+  Insert(std::move(key), fingerprint, std::move(entry));
+}
+
+void QueryCache::AbortLead(const std::string& key, uint64_t fingerprint) {
+  Shard& shard = ShardFor(fingerprint);
+  std::shared_ptr<Flight> flight;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto in = shard.inflight.find(key);
+    if (in != shard.inflight.end()) {
+      flight = std::move(in->second);
+      shard.inflight.erase(in);
+    }
+  }
+  if (flight) {
+    std::lock_guard<std::mutex> wake_lock(flight->mu);
+    flight->done = true;
+    flight->cv.notify_all();
+  }
+}
+
 void QueryCache::Insert(std::string key, uint64_t fingerprint,
                         std::shared_ptr<const Entry> entry) {
   PRJ_CHECK(entry != nullptr);
@@ -103,6 +176,7 @@ CacheCounters QueryCache::counters() const {
   c.hits = hits_.load(std::memory_order_relaxed);
   c.misses = misses_.load(std::memory_order_relaxed);
   c.evictions = evictions_.load(std::memory_order_relaxed);
+  c.coalesced = coalesced_.load(std::memory_order_relaxed);
   return c;
 }
 

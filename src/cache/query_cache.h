@@ -27,6 +27,7 @@
 #define PRJ_CACHE_QUERY_CACHE_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -80,6 +81,39 @@ class QueryCache {
   std::shared_ptr<const Entry> Lookup(const std::string& key,
                                       uint64_t fingerprint);
 
+  /// Outcome of LookupOrLead, exactly one of three shapes:
+  ///   * entry != nullptr            -- serve it (a cache hit, or a
+  ///                                    coalesced wait served by the
+  ///                                    leader's published result);
+  ///   * entry == nullptr, leader    -- the caller owns the computation
+  ///                                    and OWES the cache exactly one
+  ///                                    Publish or AbortLead for this key;
+  ///   * entry == nullptr, !leader   -- the caller waited on a flight
+  ///                                    whose leader aborted: recompute,
+  ///                                    optionally Insert, never Publish.
+  struct CoalesceOutcome {
+    std::shared_ptr<const Entry> entry;
+    bool leader = false;
+  };
+
+  /// Stampede-guarded lookup: a miss whose key is already being computed
+  /// by another thread BLOCKS until that leader publishes or aborts,
+  /// instead of recomputing the same query in parallel (N concurrent
+  /// cold-key requests cost one execution). The first miss per key
+  /// becomes the leader. Counts hits/misses like Lookup, plus
+  /// CacheCounters::coalesced for every waiter.
+  CoalesceOutcome LookupOrLead(const std::string& key, uint64_t fingerprint);
+
+  /// Leader hand-off: inserts the entry exactly like Insert AND wakes
+  /// every waiter coalesced behind the key with it.
+  void Publish(std::string key, uint64_t fingerprint,
+               std::shared_ptr<const Entry> entry);
+
+  /// Leader bail-out (failed or uncacheable execution, or an epoch
+  /// re-key): wakes every waiter empty-handed; each recomputes on its
+  /// own, and none re-leads (the herd is bounded to one extra round).
+  void AbortLead(const std::string& key, uint64_t fingerprint);
+
   /// Inserts (or refreshes) the entry, evicting least recently used
   /// entries while the shard exceeds its entry capacity or its byte
   /// budget -- an entry larger than the whole budget is evicted straight
@@ -107,6 +141,16 @@ class QueryCache {
     size_t bytes = 0;  ///< ApproxEntryBytes at insert time
   };
 
+  /// One in-flight computation waiters coalesce behind. Lives outside the
+  /// shard lock once found: waiting happens on the flight's own mutex, so
+  /// a slow leader never blocks unrelated keys of its shard.
+  struct Flight {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;                    ///< guarded by mu
+    std::shared_ptr<const Entry> result;  ///< guarded by mu; null = aborted
+  };
+
   struct Shard {
     std::mutex mu;
     /// Front = most recently used. The list node owns the key string; the
@@ -117,6 +161,8 @@ class QueryCache {
     size_t capacity = 0;
     size_t byte_budget = 0;  ///< 0 = unbounded bytes
     size_t bytes = 0;        ///< sum of node bytes, guarded by mu
+    /// Keys currently being computed by a leader, guarded by mu.
+    std::unordered_map<std::string, std::shared_ptr<Flight>> inflight;
   };
 
   Shard& ShardFor(uint64_t fingerprint) {
@@ -130,6 +176,7 @@ class QueryCache {
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
   std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> coalesced_{0};
 };
 
 }  // namespace prj

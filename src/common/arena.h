@@ -63,7 +63,10 @@ class Arena {
 /// hot path draw from the leased arena instead of the heap. deallocate is
 /// a no-op (the arena reclaims in bulk), so containers that grow leave
 /// their old buffers as arena garbage until Reset -- fine for per-query
-/// lifetimes, wrong for long-lived containers.
+/// lifetimes, wrong for long-lived containers. A null arena degrades to
+/// plain heap allocation (with real deallocation), so containers that are
+/// arena-backed opportunistically -- GatherHeap when its owner has no
+/// pool -- need no second code path.
 template <typename T>
 class ArenaAllocator {
  public:
@@ -78,9 +81,14 @@ class ArenaAllocator {
   ArenaAllocator(const ArenaAllocator<U>& o) : arena_(o.arena()) {}
 
   T* allocate(size_t n) {
+    if (arena_ == nullptr) {
+      return static_cast<T*>(::operator new(n * sizeof(T)));
+    }
     return static_cast<T*>(arena_->Allocate(n * sizeof(T), alignof(T)));
   }
-  void deallocate(T*, size_t) {}
+  void deallocate(T* p, size_t) {
+    if (arena_ == nullptr) ::operator delete(p);
+  }
 
   Arena* arena() const { return arena_; }
 

@@ -3,9 +3,35 @@
 #include <utility>
 
 #include "core/executor.h"
+#include "core/result_cursor.h"
 
 namespace prj {
 namespace {
+
+/// The self-contained cursor Engine::OpenCursor returns: the per-query
+/// sources, their arena lease, and copies of the query/options travel
+/// with the ExecutionCursor so it stays valid until destroyed. Member
+/// order is destruction order in reverse: the exec cursor goes first,
+/// then the sources, and the lease (whose arena backs the sources'
+/// browse frontiers) last.
+struct EngineCursor : public ResultCursor {
+  EngineCursor(ArenaPool::Lease lease, Vec query, ProxRJOptions options)
+      : lease(std::move(lease)),
+        query(std::move(query)),
+        options(std::move(options)) {}
+
+  Result<std::optional<ResultCombination>> Next() override {
+    return exec->Next();
+  }
+  ExecStats stats() const override { return exec->stats(); }
+  uint64_t emitted() const override { return exec->emitted(); }
+
+  ArenaPool::Lease lease;
+  Vec query;
+  ProxRJOptions options;
+  std::vector<std::unique_ptr<AccessSource>> sources;
+  std::unique_ptr<ExecutionCursor> exec;
+};
 
 // Shared by RunProxRJ and Engine::Create: structural soundness of each
 // relation plus agreement with one expected dimension (the query's or the
@@ -213,6 +239,31 @@ Result<std::vector<ResultCombination>> Engine::TopK(
   plan.query = &query;
   plan.options = &options;
   return ExecuteQuery(plan, stats_out);
+}
+
+Result<std::unique_ptr<ResultCursor>> Engine::OpenCursor(
+    const QueryRequest& request) const {
+  PRJ_RETURN_IF_ERROR(ValidateOptions(request.options));
+  if (request.query.dim() != dim_) {
+    return Status::InvalidArgument(
+        "engine serves dim " + std::to_string(dim_) +
+        " but the query has dim " + std::to_string(request.query.dim()));
+  }
+  auto cursor = std::make_unique<EngineCursor>(
+      arena_pool_->Acquire(), request.query, request.options);
+  cursor->sources = MakeQuerySources(cursor->query, cursor->lease.arena());
+  QueryPlan plan;
+  plan.sources = &cursor->sources;
+  plan.scoring = scoring_;
+  plan.query = &cursor->query;
+  plan.options = &cursor->options;
+  // Uncapped: the cursor may enumerate past options.k (paging), so every
+  // formed candidate is retained until emitted.
+  Result<std::unique_ptr<ExecutionCursor>> exec =
+      ExecutionCursor::Open(plan, /*retain_cap=*/0);
+  if (!exec.ok()) return exec.status();
+  cursor->exec = std::move(exec).value();
+  return std::unique_ptr<ResultCursor>(std::move(cursor));
 }
 
 }  // namespace prj

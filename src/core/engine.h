@@ -135,6 +135,13 @@ class Engine : public QueryEngine {
       const Vec& query, const ProxRJOptions& options,
       ExecStats* stats_out = nullptr) const override;
 
+  /// Streaming enumeration over the shared catalog: an ExecutionCursor
+  /// whose per-query sources (and their arena lease) travel inside the
+  /// returned cursor, so it stays valid across calls until destroyed.
+  /// See QueryEngine::OpenCursor for the exactness contract.
+  Result<std::unique_ptr<ResultCursor>> OpenCursor(
+      const QueryRequest& request) const override;
+
   AccessKind kind() const override { return kind_; }
   SourceBackend backend() const { return options_.backend; }
   int dim() const override { return dim_; }

@@ -1,22 +1,10 @@
 #include "core/executor.h"
 
-#include <cmath>
-#include <limits>
 #include <string>
 
-#include "common/timer.h"
-#include "core/form_combinations.h"
-#include "core/join_state.h"
-#include "core/strategy.h"
-#include "core/tight_bound.h"
-#include "core/topk.h"
+#include "core/result_cursor.h"
 
 namespace prj {
-namespace {
-
-constexpr double kInf = std::numeric_limits<double>::infinity();
-
-}  // namespace
 
 Status ValidateOptions(const ProxRJOptions& options) {
   if (options.k < 1) {
@@ -84,110 +72,21 @@ Result<std::vector<ResultCombination>> ExecuteQuery(const QueryPlan& plan,
   if (stats == nullptr) stats = &local_stats;
   *stats = ExecStats{};  // a fresh accounting per query (also on failure),
                          // so reuse cannot leak a previous query's numbers
-  PRJ_RETURN_IF_ERROR(ValidateQueryPlan(plan));
 
-  auto& sources = *plan.sources;
-  const ScoringFunction& scoring = *plan.scoring;
-  const ProxRJOptions& options = *plan.options;
-  const int n = static_cast<int>(sources.size());
-  const AccessKind kind = sources[0]->kind();
-  JoinState state(*plan.query, kind, sources);
-
-  std::unique_ptr<BoundingScheme> bound;
-  if (options.bound == BoundKind::kCorner) {
-    bound = std::make_unique<CornerBound>(&state, &scoring);
-  } else if (kind == AccessKind::kDistance) {
-    bound = std::make_unique<TightBoundDistance>(
-        &state, static_cast<const SumLogEuclideanScoring*>(&scoring),
-        options.dominance_period, options.bound_update_period,
-        &stats->dominance_seconds, options.use_generic_qp);
-  } else {
-    bound = std::make_unique<TightBoundScore>(
-        &state, static_cast<const SumLogEuclideanScoring*>(&scoring));
-  }
-
-  std::unique_ptr<PullingStrategy> strategy;
-  if (options.pull == PullKind::kRoundRobin) {
-    strategy = std::make_unique<RoundRobinStrategy>();
-  } else {
-    strategy = std::make_unique<PotentialAdaptiveStrategy>();
-  }
-
-  TopKBuffer buffer(static_cast<size_t>(options.k));
-  WallTimer total_timer;
-  uint64_t pulls = 0;
-  stats->completed = true;
-  double current_bound = kInf;
-
-  for (;;) {
-    if (buffer.full() && buffer.KthScore() >= current_bound - options.epsilon) {
-      break;  // threshold termination (Algorithm 1 line 3)
-    }
-    if (std::isinf(current_bound) && current_bound < 0) {
-      // No continuation can form a combination with an unseen tuple (e.g.,
-      // an input turned out to be empty): the buffer can never grow.
-      break;
-    }
-    if (options.max_pulls > 0 && pulls >= options.max_pulls) {
-      stats->completed = false;
-      break;
-    }
-    if (options.time_budget_seconds > 0 &&
-        total_timer.ElapsedSeconds() > options.time_budget_seconds) {
-      stats->completed = false;
-      break;
-    }
-    const int i = strategy->ChooseInput(state, *bound);
-    if (i < 0) break;  // every input exhausted: the buffer is the answer
-    std::optional<Tuple> tuple = sources[static_cast<size_t>(i)]->Next();
-    if (!tuple) {
-      state.MarkExhausted(i);
-      bound->OnExhausted(i);
-      current_bound = bound->bound();
-      continue;
-    }
-    ++pulls;
-    state.Append(i, std::move(*tuple));
-    stats->combinations_formed += internal::FormNewCombinations(
-        state, scoring, i,
-        [&buffer](Combination c) { buffer.Offer(std::move(c)); });
-    {
-      ScopedTimer timer(&stats->bound_seconds);
-      bound->OnPull(i);
-      current_bound = bound->bound();
-    }
-    if (options.trace) {
-      options.trace->steps.push_back(TraceStep{
-          i, state.rel(i).depth(), current_bound, buffer.KthScore(),
-          stats->combinations_formed});
-    }
-  }
-
-  stats->total_seconds = total_timer.ElapsedSeconds();
-  stats->depths.resize(static_cast<size_t>(n));
-  stats->sum_depths = 0;
-  for (int i = 0; i < n; ++i) {
-    // Report what the *service* delivered, not what the engine consumed --
-    // they differ for paged sources, and the paper's sumDepths charges the
-    // access, not the use.
-    const size_t depth = sources[static_cast<size_t>(i)]->depth();
-    stats->depths[static_cast<size_t>(i)] = depth;
-    stats->sum_depths += depth;
-  }
-  stats->bound_stats = bound->stats();
-  stats->final_bound = current_bound;
-
-  std::vector<ResultCombination> results;
-  for (const Combination& c : buffer.SortedDescending()) {
-    ResultCombination rc;
-    rc.score = c.score;
-    rc.tuples.reserve(static_cast<size_t>(n));
-    for (int j = 0; j < n; ++j) {
-      rc.tuples.push_back(
-          state.rel(j).seen[c.positions[static_cast<size_t>(j)]]);
-    }
-    results.push_back(std::move(rc));
-  }
+  // One-shot top-K is "open a cursor, drain K": the capped cursor runs
+  // the identical Algorithm-1 trajectory (pull choice never depends on k)
+  // and admits candidates through the same TopKBuffer(k), so this path
+  // and incremental consumers of ExecutionCursor cannot drift.
+  const size_t cap = plan.options != nullptr
+                         ? static_cast<size_t>(plan.options->k)
+                         : size_t{1};
+  Result<std::unique_ptr<ExecutionCursor>> cursor =
+      ExecutionCursor::Open(plan, cap);
+  if (!cursor.ok()) return cursor.status();
+  Result<std::vector<ResultCombination>> results =
+      (*cursor)->NextBatch(cap);
+  if (!results.ok()) return results.status();
+  *stats = (*cursor)->stats();
   return results;
 }
 

@@ -121,6 +121,13 @@ struct ExecStats {
   uint64_t data_epoch = 0;          ///< epoch of the snapshot this query saw
   uint64_t delta_tuples = 0;        ///< delta tuples live in that snapshot
   uint64_t delta_shards_pruned = 0; ///< delta shards the corner bound skipped
+
+  // Cursor-cache accounting, filled only by cache/cursor_cache.h views
+  // (zero elsewhere): how a paged request split between replaying an
+  // already-materialized prefix and resuming the live enumeration.
+  uint64_t cursor_partial_hits = 0; ///< results replayed from a cached prefix
+  uint64_t cursor_resumes = 0;      ///< results computed by resuming the
+                                    ///< shared enumeration past its prefix
 };
 
 /// One result combination with materialized member tuples.

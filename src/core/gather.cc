@@ -92,6 +92,8 @@ void AggregateShardStats(const ExecStats& shard, ScatterMode mode,
   aggregate->data_epoch = std::max(aggregate->data_epoch, shard.data_epoch);
   aggregate->delta_tuples += shard.delta_tuples;
   aggregate->delta_shards_pruned += shard.delta_shards_pruned;
+  aggregate->cursor_partial_hits += shard.cursor_partial_hits;
+  aggregate->cursor_resumes += shard.cursor_resumes;
 }
 
 }  // namespace prj

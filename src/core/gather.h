@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "access/source.h"
+#include "common/arena.h"
 #include "common/vec.h"
 #include "core/executor.h"
 
@@ -59,10 +60,13 @@ bool GatherPruned(double bound, double kth_score);
 /// keeps the best `keep`, and finishes into the executor's order. Peak
 /// memory is O(keep) regardless of how many parts feed it. Not
 /// internally synchronized -- concurrent scatters guard it with their own
-/// merge lock.
+/// merge lock; when an arena is supplied, every touch of the heap
+/// (including destruction) must honor the same discipline, since growth
+/// allocates from it. A null arena falls back to the plain heap.
 class GatherHeap {
  public:
-  explicit GatherHeap(size_t keep) : keep_(keep) {}
+  explicit GatherHeap(size_t keep, Arena* arena = nullptr)
+      : keep_(keep), best_(ArenaAllocator<KeyedCombination>(arena)) {}
 
   void Offer(KeyedCombination kc);
 
@@ -78,7 +82,10 @@ class GatherHeap {
 
  private:
   size_t keep_;
-  std::vector<KeyedCombination> best_;  ///< heap, worst at front
+  /// Heap, worst at front; spine drawn from the scatter's arena lease so
+  /// repeated queries stop paying malloc for the merge (the member
+  /// payloads move through unchanged).
+  std::vector<KeyedCombination, ArenaAllocator<KeyedCombination>> best_;
 };
 
 /// How one query's parts were visited; picks the wall-clock aggregation

@@ -3,7 +3,15 @@
 #include <cstring>
 #include <utility>
 
+#include "core/result_cursor.h"
+
 namespace prj {
+
+Result<std::unique_ptr<ResultCursor>> QueryEngine::OpenCursor(
+    const QueryRequest&) const {
+  return Status::Unimplemented(
+      "this engine does not support streaming cursors");
+}
 
 QueryResult QueryEngine::RunOne(const QueryRequest& request) const {
   QueryResult qr;
@@ -81,6 +89,18 @@ std::string CanonicalRequestKey(const Vec& query, const ProxRJOptions& options,
   AppendCanonicalOptions(options, &key);
   AppendU64(data_epoch, &key);
   return key;
+}
+
+std::string CanonicalEnumerationKey(const Vec& query,
+                                    const ProxRJOptions& options,
+                                    uint64_t data_epoch) {
+  // A cursor's stream is k-independent (prefix exactness: k only decides
+  // where the shared trajectory stops), so requests differing only in k
+  // address the same enumeration. Every other canonical field stays: the
+  // safety rails and epsilon DO change what a cursor emits.
+  ProxRJOptions canonical = options;
+  canonical.k = 1;
+  return CanonicalRequestKey(query, canonical, data_epoch);
 }
 
 uint64_t KeyFingerprint(std::string_view key) {

@@ -23,6 +23,7 @@
 #define PRJ_CORE_QUERY_ENGINE_H_
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <string_view>
@@ -34,6 +35,8 @@
 #include "core/executor.h"
 
 namespace prj {
+
+class ResultCursor;  // core/result_cursor.h
 
 /// One query of a batch: where to evaluate and how.
 struct QueryRequest {
@@ -58,6 +61,11 @@ struct CacheCounters {
   uint64_t hits = 0;
   uint64_t misses = 0;
   uint64_t evictions = 0;
+  /// Lookups that joined an in-flight computation of the same key instead
+  /// of recomputing (the stampede guard, cache/query_cache.h). Such a
+  /// lookup ALSO counts as a hit (served from the flight) or a miss (the
+  /// leader aborted and the follower recomputed).
+  uint64_t coalesced = 0;
 };
 
 /// Live-data counters surfaced through the QueryEngine interface (all
@@ -89,6 +97,20 @@ class QueryEngine {
   virtual Result<std::vector<ResultCombination>> TopK(
       const Vec& query, const ProxRJOptions& options,
       ExecStats* stats_out = nullptr) const = 0;
+
+  /// Opens a resumable cursor (core/result_cursor.h) that enumerates this
+  /// engine's results for `request` in the exact TopK order: for every
+  /// k', the first k' results pulled are bit-identical to TopK with
+  /// options.k = k'. The cursor enumerates past request.options.k freely
+  /// (k only sizes trace accounting); it observes the engine's data epoch
+  /// at open time and stays exact for that epoch. The engine must outlive
+  /// the cursor. Traced requests are rejected by scatter/merge
+  /// implementations (their segment semantics need the one-shot path).
+  /// The default implementation reports Unimplemented; Engine,
+  /// ShardedEngine, LiveEngine and CachedEngine all provide conforming
+  /// overrides.
+  virtual Result<std::unique_ptr<ResultCursor>> OpenCursor(
+      const QueryRequest& request) const;
 
   /// Evaluates one request and packages the outcome -- combinations on
   /// success, the error Status otherwise, plus this query's ExecStats --
@@ -158,6 +180,15 @@ std::string CanonicalRequestKey(const Vec& query, const ProxRJOptions& options,
 inline std::string CanonicalRequestKey(const QueryRequest& request) {
   return CanonicalRequestKey(request.query, request.options);
 }
+
+/// Canonical byte key of the ENUMERATION a request addresses: the
+/// canonical request key with k pinned to a fixed sentinel. Cursor
+/// streams are k-independent (prefix exactness), so requests differing
+/// only in k share one cached cursor -- a K=10 entry serves a K=50
+/// request by resuming (cache/cursor_cache.h keys on this).
+std::string CanonicalEnumerationKey(const Vec& query,
+                                    const ProxRJOptions& options,
+                                    uint64_t data_epoch = 0);
 
 /// 64-bit FNV-1a over an already-built canonical key (used for cache-shard
 /// selection; the full key string guards against collisions).

@@ -1,0 +1,311 @@
+#include "core/result_cursor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "core/form_combinations.h"
+#include "core/join_state.h"
+#include "core/strategy.h"
+#include "core/tight_bound.h"
+#include "core/trace.h"
+
+namespace prj {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// std heap "less": the best candidate must be the heap's largest element.
+bool HeapLess(const Combination& a, const Combination& b) {
+  return CombinationBetter(b, a);
+}
+
+/// Adds a timer's elapsed time to a sink on every scope exit, so each
+/// Next call charges its wall time no matter which branch returns.
+class TimeCharge {
+ public:
+  TimeCharge(const WallTimer* timer, double* sink)
+      : timer_(timer), sink_(sink) {}
+  ~TimeCharge() { *sink_ += timer_->ElapsedSeconds(); }
+  TimeCharge(const TimeCharge&) = delete;
+  TimeCharge& operator=(const TimeCharge&) = delete;
+
+ private:
+  const WallTimer* timer_;
+  double* sink_;
+};
+
+}  // namespace
+
+Result<std::vector<ResultCombination>> ResultCursor::NextBatch(size_t n) {
+  std::vector<ResultCombination> out;
+  out.reserve(std::min<size_t>(n, 1024));
+  for (size_t i = 0; i < n; ++i) {
+    Result<std::optional<ResultCombination>> next = Next();
+    if (!next.ok()) return next.status();
+    if (!next.value().has_value()) break;
+    out.push_back(std::move(*next.value()));
+  }
+  return out;
+}
+
+// ---------------------------- ExecutionCursor ---------------------------- //
+
+Result<std::unique_ptr<ExecutionCursor>> ExecutionCursor::Open(
+    const QueryPlan& plan, size_t retain_cap) {
+  PRJ_RETURN_IF_ERROR(ValidateQueryPlan(plan));
+  return std::unique_ptr<ExecutionCursor>(
+      new ExecutionCursor(plan, retain_cap));
+}
+
+ExecutionCursor::ExecutionCursor(const QueryPlan& plan, size_t retain_cap)
+    : sources_(plan.sources),
+      scoring_(plan.scoring),
+      options_(*plan.options),
+      retain_cap_(retain_cap),
+      current_bound_(kInf) {
+  const AccessKind kind = (*sources_)[0]->kind();
+  state_ = std::make_unique<JoinState>(*plan.query, kind, *sources_);
+  if (options_.bound == BoundKind::kCorner) {
+    bound_ = std::make_unique<CornerBound>(state_.get(), scoring_);
+  } else if (kind == AccessKind::kDistance) {
+    bound_ = std::make_unique<TightBoundDistance>(
+        state_.get(), static_cast<const SumLogEuclideanScoring*>(scoring_),
+        options_.dominance_period, options_.bound_update_period,
+        &stats_.dominance_seconds, options_.use_generic_qp);
+  } else {
+    bound_ = std::make_unique<TightBoundScore>(
+        state_.get(), static_cast<const SumLogEuclideanScoring*>(scoring_));
+  }
+  if (options_.pull == PullKind::kRoundRobin) {
+    strategy_ = std::make_unique<RoundRobinStrategy>();
+  } else {
+    strategy_ = std::make_unique<PotentialAdaptiveStrategy>();
+  }
+  if (retain_cap_ > 0) {
+    admit_ = std::make_unique<TopKBuffer>(retain_cap_);
+  } else if (options_.trace != nullptr) {
+    trace_kth_ = std::make_unique<TopKBuffer>(static_cast<size_t>(options_.k));
+  }
+  stats_.completed = true;
+}
+
+ExecutionCursor::~ExecutionCursor() = default;
+
+ResultCombination ExecutionCursor::PopBest() {
+  std::pop_heap(heap_.begin(), heap_.end(), HeapLess);
+  Combination c = std::move(heap_.back());
+  heap_.pop_back();
+  ResultCombination rc;
+  rc.score = c.score;
+  const int n = state_->n();
+  rc.tuples.reserve(static_cast<size_t>(n));
+  for (int j = 0; j < n; ++j) {
+    rc.tuples.push_back(
+        state_->rel(j).seen[c.positions[static_cast<size_t>(j)]]);
+  }
+  ++emitted_;
+  return rc;
+}
+
+bool ExecutionCursor::PullStep(const WallTimer& call_timer) {
+  // Rails before input selection -- the one-shot loop-top order. A trip is
+  // sticky: the cursor never pulls again, and the remaining candidates
+  // drain uncertified exactly like the one-shot buffer return.
+  if (options_.max_pulls > 0 && pulls_ >= options_.max_pulls) {
+    rail_tripped_ = true;
+    stats_.completed = false;
+    return false;
+  }
+  if (options_.time_budget_seconds > 0 &&
+      stats_.total_seconds + call_timer.ElapsedSeconds() >
+          options_.time_budget_seconds) {
+    rail_tripped_ = true;
+    stats_.completed = false;
+    return false;
+  }
+  const int i = strategy_->ChooseInput(*state_, *bound_);
+  if (i < 0) {
+    exhausted_ = true;  // every input exhausted: all candidates are final
+    return false;
+  }
+  std::optional<Tuple> tuple = (*sources_)[static_cast<size_t>(i)]->Next();
+  if (!tuple) {
+    state_->MarkExhausted(i);
+    bound_->OnExhausted(i);
+    current_bound_ = bound_->bound();
+    return true;
+  }
+  ++pulls_;
+  state_->Append(i, std::move(*tuple));
+  stats_.combinations_formed += internal::FormNewCombinations(
+      *state_, *scoring_, i, [this](Combination c) {
+        if (admit_ != nullptr) {
+          // One-shot admission: a candidate outside the best retain_cap
+          // seen so far can never be emitted by a capped drain.
+          if (!admit_->Offer(c)) return;
+        } else if (trace_kth_ != nullptr) {
+          trace_kth_->Offer(c);
+        }
+        heap_.push_back(std::move(c));
+        std::push_heap(heap_.begin(), heap_.end(), HeapLess);
+      });
+  {
+    ScopedTimer timer(&stats_.bound_seconds);
+    bound_->OnPull(i);
+    current_bound_ = bound_->bound();
+  }
+  if (options_.trace != nullptr) {
+    const TopKBuffer& kth = admit_ != nullptr ? *admit_ : *trace_kth_;
+    options_.trace->steps.push_back(TraceStep{i, state_->rel(i).depth(),
+                                              current_bound_, kth.KthScore(),
+                                              stats_.combinations_formed});
+  }
+  return true;
+}
+
+Result<std::optional<ResultCombination>> ExecutionCursor::Next() {
+  if (retain_cap_ > 0 && emitted_ >= retain_cap_) {
+    // A capped cursor only promises its cap: the admission filter may
+    // have dropped candidates beyond it, so the stream ends here.
+    return std::optional<ResultCombination>();
+  }
+  WallTimer call_timer;
+  TimeCharge charge(&call_timer, &stats_.total_seconds);
+  for (;;) {
+    const bool drained = exhausted_ || rail_tripped_;
+    if (!heap_.empty()) {
+      // Certification (Algorithm 1 line 3, per result): the best unemitted
+      // candidate is final once no combination containing an unseen tuple
+      // can beat it -- or once no such combination can exist at all
+      // (inputs exhausted / bound at -infinity) or pulling stopped for
+      // good (rail tripped; uncertified drain, completed already false).
+      if (drained ||
+          heap_.front().score >= current_bound_ - options_.epsilon) {
+        return std::optional<ResultCombination>(PopBest());
+      }
+    } else if (drained ||
+               (std::isinf(current_bound_) && current_bound_ < 0)) {
+      return std::optional<ResultCombination>();  // enumeration complete
+    }
+    if (!PullStep(call_timer)) {
+      // No pull happened: a rail tripped or exhaustion was detected; the
+      // loop re-enters with the flags set and resolves on the heap alone.
+      continue;
+    }
+  }
+}
+
+ExecStats ExecutionCursor::stats() const {
+  ExecStats s = stats_;
+  const size_t n = sources_->size();
+  s.depths.resize(n);
+  s.sum_depths = 0;
+  for (size_t i = 0; i < n; ++i) {
+    // Report what the *service* delivered, not what the engine consumed --
+    // they differ for paged sources, and the paper's sumDepths charges the
+    // access, not the use.
+    s.depths[i] = (*sources_)[i]->depth();
+    s.sum_depths += s.depths[i];
+  }
+  s.bound_stats = bound_->stats();
+  s.final_bound = current_bound_;
+  return s;
+}
+
+// --------------------------- GatherMergeCursor --------------------------- //
+
+GatherMergeCursor::GatherMergeCursor(AccessKind kind, Vec query,
+                                     size_t num_relations, bool prune,
+                                     std::vector<Part> parts)
+    : kind_(kind),
+      query_(std::move(query)),
+      num_relations_(num_relations),
+      prune_(prune),
+      parts_(std::move(parts)) {
+  std::stable_sort(
+      parts_.begin(), parts_.end(),
+      [](const Part& a, const Part& b) { return a.bound > b.bound; });
+}
+
+Status GatherMergeCursor::Advance(Stream* stream) {
+  stream->head.reset();
+  Result<std::optional<ResultCombination>> next = stream->cursor->Next();
+  if (!next.ok()) return next.status();
+  if (next.value().has_value()) {
+    stream->head = MakeKeyed(std::move(*next.value()), kind_, query_);
+  }
+  return Status::OK();
+}
+
+int GatherMergeCursor::BestStream() const {
+  int best = -1;
+  for (size_t j = 0; j < streams_.size(); ++j) {
+    if (!streams_[j].head.has_value()) continue;
+    if (best < 0 ||
+        GatherBetter(*streams_[j].head,
+                     *streams_[static_cast<size_t>(best)].head)) {
+      best = static_cast<int>(j);
+    }
+  }
+  return best;
+}
+
+double GatherMergeCursor::max_unopened_bound() const {
+  return next_part_ < parts_.size() ? parts_[next_part_].bound
+                                    : -std::numeric_limits<double>::infinity();
+}
+
+Result<std::optional<ResultCombination>> GatherMergeCursor::Next() {
+  if (!failed_.ok()) return failed_;
+  int best = BestStream();
+  // Open parts (descending bound order) until the next unopened one
+  // provably cannot beat or tie the best open head. GatherPruned is
+  // strictly monotone in the bound, so stopping at the first pruned part
+  // prunes every later one too.
+  while (next_part_ < parts_.size()) {
+    if (best >= 0 && prune_ &&
+        GatherPruned(parts_[next_part_].bound,
+                     streams_[static_cast<size_t>(best)].head->combo.score)) {
+      break;
+    }
+    Result<std::unique_ptr<ResultCursor>> opened = parts_[next_part_].open();
+    if (!opened.ok()) {
+      failed_ = opened.status();
+      return failed_;
+    }
+    ++next_part_;
+    streams_.push_back(Stream{std::move(opened).value(), std::nullopt});
+    Status advanced = Advance(&streams_.back());
+    if (!advanced.ok()) {
+      failed_ = advanced;
+      return failed_;
+    }
+    best = BestStream();
+  }
+  if (best < 0) return std::optional<ResultCombination>();
+  Stream& winner = streams_[static_cast<size_t>(best)];
+  ResultCombination out = std::move(winner.head->combo);
+  ++emitted_;
+  Status advanced = Advance(&winner);
+  if (!advanced.ok()) {
+    // The result in hand is valid; surface the stream failure on the
+    // next call instead of dropping a certified combination.
+    failed_ = advanced;
+  }
+  return std::optional<ResultCombination>(std::move(out));
+}
+
+ExecStats GatherMergeCursor::stats() const {
+  ExecStats agg;
+  agg.depths.assign(num_relations_, 0);
+  agg.completed = true;
+  for (const Stream& stream : streams_) {
+    AggregateShardStats(stream.cursor->stats(), ScatterMode::kSequential,
+                        &agg);
+  }
+  return agg;
+}
+
+}  // namespace prj

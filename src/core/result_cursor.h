@@ -1,0 +1,182 @@
+// Any-K streaming enumeration: the resumable form of Algorithm 1.
+//
+// A ResultCursor enumerates result combinations in the executor's exact
+// output order (score descending, deterministic tie-breaking), emitting
+// each combination the moment the rank-join bound certifies it final: the
+// best unemitted candidate C is final as soon as score(C) >= B - epsilon,
+// where B upper-bounds every combination containing a not-yet-pulled
+// tuple. One-shot TopK(k) is literally "open a cursor, drain k" (see
+// ExecuteQuery), so the streaming path and the one-shot path cannot
+// drift: for every k' <= k the first k' results pulled from a cursor are
+// bit-identical to a one-shot TopK(k') -- the pull sequence chosen by the
+// strategy depends only on the join state and the bound, never on k, so
+// k only decides where the shared trajectory stops.
+//
+// ExecutionCursor is the monolithic implementation (the Algorithm-1 loop
+// state -- pull frontier, candidate heap, running bound -- lifted out of
+// the old ExecuteQuery body); GatherMergeCursor streams an exact merge
+// over any number of part cursors under the gather order (core/gather.h),
+// opening parts lazily in best-bound-first order -- the streaming form of
+// the scatter-gather used by ShardedEngine and LiveEngine.
+#ifndef PRJ_CORE_RESULT_CURSOR_H_
+#define PRJ_CORE_RESULT_CURSOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/status.h"
+#include "common/timer.h"
+#include "common/vec.h"
+#include "core/executor.h"
+#include "core/gather.h"
+#include "core/topk.h"
+
+namespace prj {
+
+class BoundingScheme;
+class JoinState;
+class PullingStrategy;
+
+/// Abstract resumable result stream. Not thread-safe: a cursor is owned
+/// by one logical consumer (the cursor-state cache serializes sharing
+/// behind its own lock). The engine a cursor was opened from must outlive
+/// it, like any TopK caller.
+class ResultCursor {
+ public:
+  virtual ~ResultCursor() = default;
+
+  /// The next certified combination in the global result order, or
+  /// nullopt when the enumeration is complete. When a safety rail
+  /// (max_pulls / time budget) trips, pulling stops for good,
+  /// stats().completed flips to false, and the remaining best candidates
+  /// drain uncertified -- mirroring the one-shot executor, which returns
+  /// its buffer when a rail trips.
+  virtual Result<std::optional<ResultCombination>> Next() = 0;
+
+  /// Cumulative execution accounting since open, across all Next calls.
+  /// Depths / bound stats are read live, so this is cheap but not free.
+  virtual ExecStats stats() const = 0;
+
+  /// Combinations emitted so far.
+  virtual uint64_t emitted() const = 0;
+
+  /// Drains up to `n` further results (fewer when the enumeration ends).
+  Result<std::vector<ResultCombination>> NextBatch(size_t n);
+};
+
+/// The Algorithm-1 loop as a cursor over a QueryPlan. Borrows the plan's
+/// sources/scoring exactly like ExecuteQuery, but holds them across calls:
+/// the caller must keep `*plan.sources`, `*plan.scoring` and the trace
+/// sink alive for the cursor's lifetime (query and options are copied).
+class ExecutionCursor : public ResultCursor {
+ public:
+  /// `retain_cap` bounds candidate retention: 0 enumerates without limit
+  /// (every formed candidate is kept until emitted -- required to resume
+  /// past the original k); a positive cap admits candidates through a
+  /// TopKBuffer(cap) exactly like the one-shot executor, emits at most
+  /// `cap` results, and then ends the stream. ExecuteQuery drains with
+  /// retain_cap = options.k; cursor-serving layers open with 0.
+  static Result<std::unique_ptr<ExecutionCursor>> Open(const QueryPlan& plan,
+                                                       size_t retain_cap = 0);
+  ~ExecutionCursor() override;
+
+  Result<std::optional<ResultCombination>> Next() override;
+  ExecStats stats() const override;
+  uint64_t emitted() const override { return emitted_; }
+
+ private:
+  ExecutionCursor(const QueryPlan& plan, size_t retain_cap);
+
+  /// One Algorithm-1 pull step (or an exhaustion marking). Returns false
+  /// when no further pulling is possible or allowed.
+  bool PullStep(const WallTimer& call_timer);
+  ResultCombination PopBest();
+
+  std::vector<std::unique_ptr<AccessSource>>* sources_;  // borrowed
+  const ScoringFunction* scoring_;                       // borrowed
+  ProxRJOptions options_;
+  size_t retain_cap_;
+
+  std::unique_ptr<JoinState> state_;
+  std::unique_ptr<BoundingScheme> bound_;
+  std::unique_ptr<PullingStrategy> strategy_;
+  /// Max-heap (best at front, CombinationBetter order) of every formed,
+  /// admitted, not-yet-emitted candidate.
+  std::vector<Combination> heap_;
+  /// Admission filter in capped mode (the one-shot TopKBuffer); also the
+  /// running K-th score a trace records.
+  std::unique_ptr<TopKBuffer> admit_;
+  /// K-th-score tracker for traced uncapped cursors (trace parity with
+  /// the one-shot executor's buffer).
+  std::unique_ptr<TopKBuffer> trace_kth_;
+
+  double current_bound_;
+  uint64_t pulls_ = 0;
+  uint64_t emitted_ = 0;
+  bool exhausted_ = false;     ///< the strategy found every input exhausted
+  bool rail_tripped_ = false;  ///< max_pulls / time budget hit: never pull again
+  ExecStats stats_;            ///< stable home (the tight bound writes into
+                               ///< dominance_seconds by pointer)
+};
+
+/// Streams the exact gather merge over ranked parts. Each part carries an
+/// admissible upper bound on the score of ANY combination it can produce
+/// plus a factory that opens its stream on first need. Parts are visited
+/// in descending bound order and opened lazily: before a head combination
+/// is emitted, every still-unopened part that could beat or tie it (the
+/// GatherPruned test, slack included) is opened -- so the emitted sequence
+/// is the GatherBetter-ordered merge of all parts, bit-identical to the
+/// bounded K-heap gather at every prefix. With `prune` false all parts
+/// open eagerly (the measurement knob of the scatter layers).
+class GatherMergeCursor : public ResultCursor {
+ public:
+  struct Part {
+    double bound = 0.0;
+    std::function<Result<std::unique_ptr<ResultCursor>>()> open;
+  };
+
+  GatherMergeCursor(AccessKind kind, Vec query, size_t num_relations,
+                    bool prune, std::vector<Part> parts);
+
+  Result<std::optional<ResultCombination>> Next() override;
+  /// Sequential-mode aggregate over the opened part streams (see
+  /// AggregateShardStats). Pruned/unopened parts are NOT counted here --
+  /// the owning layer attributes them to its own field (shards_pruned vs
+  /// delta_shards_pruned) via parts_unopened().
+  ExecStats stats() const override;
+  uint64_t emitted() const override { return emitted_; }
+
+  size_t parts_total() const { return parts_.size(); }
+  size_t parts_unopened() const { return parts_.size() - streams_.size(); }
+  /// Largest admissible bound among unopened parts (-infinity when all
+  /// are open): what final_bound must still account for.
+  double max_unopened_bound() const;
+
+ private:
+  struct Stream {
+    std::unique_ptr<ResultCursor> cursor;
+    std::optional<KeyedCombination> head;
+  };
+
+  /// Advances `stream` to its next head (nullopt at end-of-stream).
+  Status Advance(Stream* stream);
+  /// Index of the best head among open streams, -1 when none.
+  int BestStream() const;
+
+  AccessKind kind_;
+  Vec query_;
+  size_t num_relations_;
+  bool prune_;
+  std::vector<Part> parts_;  ///< sorted by descending bound
+  std::vector<Stream> streams_;
+  size_t next_part_ = 0;  ///< first unopened entry of parts_
+  uint64_t emitted_ = 0;
+  Status failed_ = Status::OK();  ///< sticky: a failed stream ends the merge
+};
+
+}  // namespace prj
+
+#endif  // PRJ_CORE_RESULT_CURSOR_H_

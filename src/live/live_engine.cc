@@ -10,6 +10,7 @@
 #include "common/timer.h"
 #include "core/bounds.h"
 #include "core/gather.h"
+#include "core/result_cursor.h"
 
 namespace prj {
 namespace {
@@ -41,6 +42,94 @@ uint64_t SaturatingMul(uint64_t a, uint64_t b) {
   }
   return a * b;
 }
+
+/// Drops combinations the predicate rejects, preserving the inner
+/// cursor's order: the cursor form of the base-result tombstone filter.
+/// Enumeration makes the one-shot geometric over-fetch unnecessary --
+/// Next just keeps pulling until a survivor emerges.
+class FilteredCursor : public ResultCursor {
+ public:
+  FilteredCursor(std::unique_ptr<ResultCursor> inner,
+                 std::function<bool(const ResultCombination&)> keep)
+      : inner_(std::move(inner)), keep_(std::move(keep)) {}
+
+  Result<std::optional<ResultCombination>> Next() override {
+    for (;;) {
+      auto next = inner_->Next();
+      if (!next.ok()) return next.status();
+      if (!next->has_value()) return std::optional<ResultCombination>();
+      if (keep_(**next)) {
+        ++emitted_;
+        return next;
+      }
+    }
+  }
+  /// Work accounting is the inner cursor's: filtered-out results still
+  /// cost their pulls.
+  ExecStats stats() const override { return inner_->stats(); }
+  uint64_t emitted() const override { return emitted_; }
+
+ private:
+  std::unique_ptr<ResultCursor> inner_;
+  std::function<bool(const ResultCombination&)> keep_;
+  uint64_t emitted_ = 0;
+};
+
+/// LiveEngine's cursor: the lazy gather merge plus the snapshot pin that
+/// makes it epoch-stable, and the live stats overlay. Declared before
+/// merge_ so the pinned world outlives the part streams drawing on it.
+class LiveMergeCursor : public ResultCursor {
+ public:
+  LiveMergeCursor(std::shared_ptr<const void> snapshot, uint64_t epoch,
+                  uint64_t delta_tuples, AccessKind kind, Vec query,
+                  size_t num_relations, bool prune,
+                  std::vector<GatherMergeCursor::Part> parts)
+      : snapshot_(std::move(snapshot)),
+        epoch_(epoch),
+        delta_tuples_(delta_tuples),
+        merge_(kind, std::move(query), num_relations, prune,
+               std::move(parts)) {}
+
+  Result<std::optional<ResultCombination>> Next() override {
+    return merge_.Next();
+  }
+  ExecStats stats() const override {
+    ExecStats s = merge_.stats();
+    s.data_epoch = epoch_;
+    s.delta_tuples = delta_tuples_;
+    // Unopened merge parts (the base stream or a delta shard) were
+    // corner-bound pruned so far; their bound keeps final_bound honest.
+    s.delta_shards_pruned = merge_.parts_unopened();
+    s.final_bound = std::max(s.final_bound, merge_.max_unopened_bound());
+    return s;
+  }
+  uint64_t emitted() const override { return merge_.emitted(); }
+
+ private:
+  std::shared_ptr<const void> snapshot_;  ///< pins the observed epoch
+  uint64_t epoch_;
+  uint64_t delta_tuples_;
+  GatherMergeCursor merge_;
+};
+
+/// Owner of one delta shard's composed sources + executor cursor (the
+/// live-layer sibling of engine.cc's EngineCursor). Member order is
+/// reverse destruction order: exec first dead, sources after.
+struct DeltaPartCursor : public ResultCursor {
+  DeltaPartCursor(Vec query, ProxRJOptions options)
+      : query(std::move(query)), options(options) {}
+
+  Result<std::optional<ResultCombination>> Next() override {
+    return exec->Next();
+  }
+  ExecStats stats() const override { return exec->stats(); }
+  uint64_t emitted() const override { return exec->emitted(); }
+
+  Vec query;
+  ProxRJOptions options;
+  std::vector<std::unique_ptr<AccessSource>> sources;
+  std::unique_ptr<ExecutionCursor> exec;
+};
 
 }  // namespace
 
@@ -394,6 +483,146 @@ Result<std::vector<ResultCombination>> LiveEngine::TopK(
   aggregate.delta_shards_pruned = pruned;
   if (stats_out) *stats_out = std::move(aggregate);
   return merged;
+}
+
+Result<std::unique_ptr<ResultCursor>> LiveEngine::OpenCursor(
+    const QueryRequest& request) const {
+  PRJ_RETURN_IF_ERROR(ValidateOptions(request.options));
+  if (request.query.dim() != dim_) {
+    return Status::InvalidArgument(
+        "engine serves dim " + std::to_string(dim_) +
+        " but the query has dim " + std::to_string(request.query.dim()));
+  }
+  if (request.options.trace != nullptr) {
+    return Status::InvalidArgument(
+        "traced queries are not supported through live cursors; use TopK");
+  }
+  const auto snap = Capture();  // the cursor's immutable world, pinned below
+  const Vec& query = request.query;
+  const bool euclidean = scoring_->euclidean_metric();
+
+  std::vector<GatherMergeCursor::Part> parts;
+  parts.reserve(1 + num_relations_);
+  std::vector<RelationEnvelope> envelopes(num_relations_);
+
+  // --- shard_base as a stream: the wrapped engine's cursor, tombstone-
+  // filtered on the way out. Filtering preserves the executor order, so
+  // the stream is exactly the live all-base combinations in order; the
+  // part bound is the corner bound over the full base envelopes.
+  bool base_tombstoned = false;
+  for (size_t i = 0; i < num_relations_; ++i) {
+    const LiveRelation& lr = snap->relations[i];
+    base_tombstoned = base_tombstoned || !Deref(lr.base_tombstones).empty();
+    const std::optional<Rect>& mbr =
+        lr.index ? lr.index->mbr() : lr.snap->mbr();
+    envelopes[i].score_ceiling =
+        lr.index ? lr.index->score_max() : lr.snap->score_max();
+    envelopes[i].min_dist_q =
+        euclidean && mbr ? std::sqrt(mbr->MinSquaredDistance(query)) : 0.0;
+  }
+  parts.push_back(
+      {CornerUpperBound(*scoring_, envelopes),
+       [snap, request,
+        base_tombstoned]() -> Result<std::unique_ptr<ResultCursor>> {
+         auto inner = snap->base->OpenCursor(request);
+         if (!inner.ok()) return inner.status();
+         if (!base_tombstoned) return inner;
+         return std::unique_ptr<ResultCursor>(std::make_unique<FilteredCursor>(
+             std::move(*inner), [snap](const ResultCombination& combo) {
+               for (size_t j = 0; j < combo.tuples.size(); ++j) {
+                 if (Deref(snap->relations[j].base_tombstones)
+                         .count(combo.tuples[j].id) > 0) {
+                   return false;
+                 }
+               }
+               return true;
+             }));
+       }});
+
+  // --- delta shards: one lazily opened executor cursor per first-delta
+  // slot j, over the same composed sources (and the same corner bound)
+  // as the one-shot path.
+  for (size_t j = 0; j < num_relations_; ++j) {
+    if (snap->relations[j].delta->empty()) continue;
+    for (size_t i = 0; i < num_relations_; ++i) {
+      const LiveRelation& lr = snap->relations[i];
+      const std::optional<Rect>& base_mbr =
+          lr.index ? lr.index->mbr() : lr.snap->mbr();
+      const double base_score =
+          lr.index ? lr.index->score_max() : lr.snap->score_max();
+      std::optional<Rect> mbr;
+      double score = 0.0;
+      if (i < j) {
+        mbr = base_mbr;
+        score = base_score;
+      } else if (i == j) {
+        mbr = lr.delta->mbr();
+        score = lr.delta->score_max();
+      } else {
+        mbr = base_mbr;
+        if (lr.delta->mbr()) {
+          if (mbr) {
+            mbr->Extend(*lr.delta->mbr());
+          } else {
+            mbr = lr.delta->mbr();
+          }
+        }
+        score = std::max(base_score, lr.delta->score_max());
+      }
+      envelopes[i].score_ceiling = score;
+      envelopes[i].min_dist_q =
+          euclidean && mbr ? std::sqrt(mbr->MinSquaredDistance(query)) : 0.0;
+    }
+    parts.push_back(
+        {CornerUpperBound(*scoring_, envelopes),
+         [this, snap, request, j]() -> Result<std::unique_ptr<ResultCursor>> {
+           auto part = std::make_unique<DeltaPartCursor>(request.query,
+                                                         request.options);
+           part->sources.reserve(num_relations_);
+           for (size_t i = 0; i < num_relations_; ++i) {
+             const LiveRelation& lr = snap->relations[i];
+             std::unique_ptr<AccessSource> source;
+             auto delta_source = [&]() -> std::unique_ptr<AccessSource> {
+               if (kind_ == AccessKind::kScore) {
+                 return std::make_unique<DeltaScoreSource>(lr.delta);
+               }
+               return std::make_unique<DeltaDistanceSource>(lr.delta,
+                                                            part->query);
+             };
+             if (i < j) {
+               source = MaybeFilter(MakeBaseSource(*snap, i, part->query),
+                                    lr.base_tombstones);
+             } else if (i == j) {
+               source = MaybeFilter(delta_source(), lr.delta_tombstones);
+             } else {
+               source = std::make_unique<MergedAccessSource>(
+                   MaybeFilter(MakeBaseSource(*snap, i, part->query),
+                               lr.base_tombstones),
+                   MaybeFilter(delta_source(), lr.delta_tombstones),
+                   part->query);
+             }
+             if (options_.catalog.block_size > 0) {
+               source = std::make_unique<BlockedSource>(
+                   std::move(source), options_.catalog.block_size);
+             }
+             part->sources.push_back(std::move(source));
+           }
+           QueryPlan plan;
+           plan.sources = &part->sources;
+           plan.scoring = scoring_;
+           plan.query = &part->query;
+           plan.options = &part->options;
+           // Uncapped: live cursors may page past options.k.
+           auto exec = ExecutionCursor::Open(plan, /*retain_cap=*/0);
+           if (!exec.ok()) return exec.status();
+           part->exec = std::move(exec).value();
+           return std::unique_ptr<ResultCursor>(std::move(part));
+         }});
+  }
+
+  return std::unique_ptr<ResultCursor>(std::make_unique<LiveMergeCursor>(
+      std::shared_ptr<const void>(snap), snap->epoch, snap->delta_tuples(),
+      kind_, query, num_relations_, /*prune=*/true, std::move(parts)));
 }
 
 Status LiveEngine::Apply(const UpdateBatch& batch) {

@@ -136,6 +136,20 @@ class LiveEngine : public QueryEngine {
       const Vec& query, const ProxRJOptions& options,
       ExecStats* stats_out = nullptr) const override;
 
+  /// Streaming enumeration pinned to the snapshot current at open time:
+  /// the cursor holds that snapshot alive, so resuming it across any
+  /// number of Apply/Compact calls stays bit-identical to TopK against
+  /// the observed epoch -- later epochs are simply never visible to it.
+  /// Internally a lazy best-bound-first merge over the tombstone-filtered
+  /// base-engine cursor and one executor cursor per non-empty delta
+  /// shard (enumeration replaces the one-shot base over-fetch: the filter
+  /// just keeps pulling until survivors emerge). Traced requests are
+  /// rejected; stats().delta_shards_pruned reports merge parts (base or
+  /// delta) not yet opened. Requires the wrapped base engine to support
+  /// OpenCursor (both stock factories do).
+  Result<std::unique_ptr<ResultCursor>> OpenCursor(
+      const QueryRequest& request) const override;
+
   /// Atomically applies one update batch and publishes epoch + 1.
   /// Validates everything first (dims, score range, insert ids must not
   /// be live, delete ids must be live) and applies nothing on failure.

@@ -1,9 +1,12 @@
 #include "server/server.h"
 
 #include <algorithm>
+#include <cstdint>
+#include <limits>
 #include <utility>
 
 #include "common/timer.h"
+#include "core/result_cursor.h"
 
 namespace prj {
 
@@ -15,7 +18,50 @@ int ResolveWorkerCount(int requested) {
   return hw > 0 ? static_cast<int>(hw) : 1;
 }
 
+// Page tokens are "pg:<session-id>:<offset>": opaque to clients, but
+// self-describing enough that a lost session (LRU eviction, restart) can
+// be served exactly by reopening a cursor and skipping to <offset>.
+// Session id 0 means "no session" -- the cursor-less TopK fallback.
+std::string MakePageToken(uint64_t id, uint64_t offset) {
+  return "pg:" + std::to_string(id) + ":" + std::to_string(offset);
+}
+
+bool ParseU64(const std::string& text, size_t begin, size_t end,
+              uint64_t* out) {
+  if (begin >= end) return false;
+  uint64_t value = 0;
+  for (size_t i = begin; i < end; ++i) {
+    const char c = text[i];
+    if (c < '0' || c > '9') return false;
+    if (value > (std::numeric_limits<uint64_t>::max() - (c - '0')) / 10) {
+      return false;
+    }
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *out = value;
+  return true;
+}
+
+bool ParsePageToken(const std::string& token, uint64_t* id, uint64_t* offset) {
+  if (token.rfind("pg:", 0) != 0) return false;
+  const size_t sep = token.find(':', 3);
+  if (sep == std::string::npos) return false;
+  return ParseU64(token, 3, sep, id) &&
+         ParseU64(token, sep + 1, token.size(), offset);
+}
+
 }  // namespace
+
+struct Server::PageSession {
+  uint64_t id = 0;
+  /// CanonicalEnumerationKey of the request that opened the session:
+  /// guards against a token replayed with a different request.
+  std::string enum_key;
+  std::mutex mu;
+  std::unique_ptr<ResultCursor> cursor;  ///< guarded by mu
+  uint64_t next_rank = 0;                ///< guarded by mu
+  uint64_t reported_depths = 0;          ///< guarded by mu (marginal-cost base)
+};
 
 Server::Server(const QueryEngine* engine, ServerOptions options)
     : engine_(engine), queue_(options.queue_capacity) {
@@ -35,13 +81,42 @@ Server::~Server() { Shutdown(DrainMode::kDrain); }
 
 void Server::WorkerLoop(WorkerSlot* slot) {
   while (auto task = queue_.Pop()) {
-    QueryResult qr;
     // Exception barrier: an escape from a worker thread would terminate
     // the whole process and abandon every other future. A throwing query
     // (e.g. bad_alloc on a huge K) fails alone, through its status, like
     // every other per-query failure.
+    if (task->kind == Task::Kind::kPage) {
+      PageResult page;
+      try {
+        page = ServePage(task->request, task->page_token);
+      } catch (const std::exception& e) {
+        page = PageResult{};
+        page.result.status =
+            Status::Internal(std::string("page threw: ") + e.what());
+      } catch (...) {
+        page = PageResult{};
+        page.result.status =
+            Status::Internal("page threw a non-standard exception");
+      }
+      slot->latency.Record(task->submitted.ElapsedSeconds());
+      slot->served.fetch_add(1, std::memory_order_relaxed);
+      slot->pages.fetch_add(1, std::memory_order_relaxed);
+      if (!page.result.ok()) {
+        slot->failed.fetch_add(1, std::memory_order_relaxed);
+      }
+      // Pages charge their marginal cost: the session's cumulative stats
+      // would re-bill every earlier page on each pull.
+      slot->sum_depths.fetch_add(page.page_cost_depths,
+                                 std::memory_order_relaxed);
+      task->page_promise.set_value(std::move(page));
+      continue;
+    }
+    QueryResult qr;
+    uint64_t streamed = 0;
     try {
-      qr = engine_->RunOne(task->request);
+      qr = task->kind == Task::Kind::kStream
+               ? ServeStream(task->request, task->on_result, &streamed)
+               : engine_->RunOne(task->request);
     } catch (const std::exception& e) {
       qr = QueryResult{};
       qr.status = Status::Internal(std::string("query threw: ") + e.what());
@@ -51,6 +126,7 @@ void Server::WorkerLoop(WorkerSlot* slot) {
     }
     slot->latency.Record(task->submitted.ElapsedSeconds());
     slot->served.fetch_add(1, std::memory_order_relaxed);
+    slot->streamed.fetch_add(streamed, std::memory_order_relaxed);
     if (!qr.ok()) slot->failed.fetch_add(1, std::memory_order_relaxed);
     slot->sum_depths.fetch_add(qr.stats.sum_depths, std::memory_order_relaxed);
     slot->shards_pruned.fetch_add(qr.stats.shards_pruned,
@@ -70,6 +146,16 @@ QueryResult Server::Rejected() {
   return qr;
 }
 
+void Server::Reject(Task* task) {
+  if (task->kind == Task::Kind::kPage) {
+    PageResult page;
+    page.result = Rejected();
+    task->page_promise.set_value(std::move(page));
+  } else {
+    task->promise.set_value(Rejected());
+  }
+}
+
 std::future<QueryResult> Server::Submit(QueryRequest request) {
   Task task;
   task.request = std::move(request);
@@ -78,7 +164,35 @@ std::future<QueryResult> Server::Submit(QueryRequest request) {
     // Queue closed by Shutdown: the task was not consumed, so the promise
     // is still ours to resolve.
     rejected_.fetch_add(1, std::memory_order_relaxed);
-    task.promise.set_value(Rejected());
+    Reject(&task);
+  }
+  return future;
+}
+
+std::future<PageResult> Server::SubmitPage(QueryRequest request,
+                                           std::string page_token) {
+  Task task;
+  task.kind = Task::Kind::kPage;
+  task.request = std::move(request);
+  task.page_token = std::move(page_token);
+  std::future<PageResult> future = task.page_promise.get_future();
+  if (!queue_.Push(task)) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    Reject(&task);
+  }
+  return future;
+}
+
+std::future<QueryResult> Server::SubmitStream(QueryRequest request,
+                                              StreamCallback on_result) {
+  Task task;
+  task.kind = Task::Kind::kStream;
+  task.request = std::move(request);
+  task.on_result = std::move(on_result);
+  std::future<QueryResult> future = task.promise.get_future();
+  if (!queue_.Push(task)) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    Reject(&task);
   }
   return future;
 }
@@ -108,7 +222,7 @@ void Server::Shutdown(DrainMode mode) {
     std::vector<Task> cancelled = queue_.CloseAndDrain();
     rejected_.fetch_add(cancelled.size(), std::memory_order_relaxed);
     for (Task& task : cancelled) {
-      task.promise.set_value(Rejected());
+      Reject(&task);
     }
   } else {
     queue_.Close();
@@ -116,6 +230,214 @@ void Server::Shutdown(DrainMode mode) {
   for (std::thread& worker : workers_) {
     worker.join();
   }
+  // Page-session cursors pin engine snapshots (and, for live engines,
+  // whole epochs); a stopped server must not keep them alive. Workers are
+  // joined, so no session is in use.
+  std::lock_guard<std::mutex> sessions_lock(sessions_mu_);
+  session_index_.clear();
+  session_lru_.clear();
+}
+
+std::shared_ptr<Server::PageSession> Server::FindSession(uint64_t id) {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  auto it = session_index_.find(id);
+  if (it == session_index_.end()) return nullptr;
+  session_lru_.splice(session_lru_.begin(), session_lru_, it->second);
+  return session_lru_.front();
+}
+
+std::shared_ptr<Server::PageSession> Server::RegisterSession(
+    std::string enum_key) {
+  auto session = std::make_shared<PageSession>();
+  session->enum_key = std::move(enum_key);
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  session->id = next_session_id_++;
+  session_lru_.push_front(session);
+  session_index_.emplace(session->id, session_lru_.begin());
+  while (session_lru_.size() > kMaxPageSessions) {
+    // The evicted session's token stays serviceable: its next pull
+    // reopens a cursor and skips to the token's offset.
+    session_index_.erase(session_lru_.back()->id);
+    session_lru_.pop_back();
+  }
+  return session;
+}
+
+void Server::DropSession(uint64_t id) {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  auto it = session_index_.find(id);
+  if (it == session_index_.end()) return;
+  session_lru_.erase(it->second);
+  session_index_.erase(it);
+}
+
+PageResult Server::ServePage(const QueryRequest& request,
+                             const std::string& token) {
+  PageResult page;
+  uint64_t id = 0;
+  uint64_t offset = 0;
+  if (!token.empty() && !ParsePageToken(token, &id, &offset)) {
+    page.result.status =
+        Status::InvalidArgument("malformed page token: " + token);
+    return page;
+  }
+  const uint64_t page_size =
+      request.options.k > 0 ? static_cast<uint64_t>(request.options.k) : 0;
+  const std::string enum_key =
+      CanonicalEnumerationKey(request.query, request.options);
+  std::shared_ptr<PageSession> session = id != 0 ? FindSession(id) : nullptr;
+  if (session && session->enum_key != enum_key) {
+    page.result.status = Status::InvalidArgument(
+        "page token belongs to a different request; resend the request "
+        "that started the paging session");
+    return page;
+  }
+
+  // Serves one page from a positioned cursor; assumes session->mu held
+  // and session->cursor at session->next_rank == offset.
+  auto serve = [&](PageSession* s) -> PageResult {
+    PageResult out;
+    auto batch = s->cursor->NextBatch(page_size);
+    if (!batch.ok()) {
+      out.result.status = batch.status();
+      return out;
+    }
+    out.result.status = Status::OK();
+    out.result.combinations = std::move(batch).value();
+    out.result.stats = s->cursor->stats();
+    out.page_start = offset;
+    out.page_cost_depths = out.result.stats.sum_depths - s->reported_depths;
+    s->reported_depths = out.result.stats.sum_depths;
+    s->next_rank = offset + out.result.combinations.size();
+    if (out.result.combinations.size() == page_size && page_size > 0) {
+      out.next_page_token = MakePageToken(s->id, s->next_rank);
+    } else {
+      // Enumeration exhausted: retire the session (safe lock order --
+      // nothing takes a session mutex while holding sessions_mu_).
+      DropSession(s->id);
+    }
+    return out;
+  };
+
+  if (session) {
+    std::lock_guard<std::mutex> lock(session->mu);
+    if (session->cursor != nullptr && session->next_rank == offset) {
+      return serve(session.get());
+    }
+    // A replayed or out-of-order token: the cursor cannot rewind, so fall
+    // through and reopen at the requested offset.
+  }
+
+  auto cursor = engine_->OpenCursor(request);
+  if (!cursor.ok()) {
+    if (cursor.status().code() == StatusCode::kUnimplemented) {
+      return PageViaTopK(request, offset, page_size);
+    }
+    page.result.status = cursor.status();
+    return page;
+  }
+  if (!session) session = RegisterSession(enum_key);
+  std::lock_guard<std::mutex> lock(session->mu);
+  session->cursor = std::move(cursor).value();
+  session->next_rank = 0;
+  session->reported_depths = 0;
+  if (offset > 0) {
+    // Stale or replayed token: skip to its offset. Exact -- the skipped
+    // prefix is the same prefix every earlier page served.
+    auto skipped = session->cursor->NextBatch(offset);
+    if (!skipped.ok()) {
+      page.result.status = skipped.status();
+      return page;
+    }
+    session->next_rank = skipped->size();
+    if (skipped->size() < offset) {
+      // The enumeration ends before this page starts: empty final page.
+      page.result.status = Status::OK();
+      page.result.stats = session->cursor->stats();
+      page.page_start = offset;
+      page.page_cost_depths =
+          page.result.stats.sum_depths - session->reported_depths;
+      session->reported_depths = page.result.stats.sum_depths;
+      DropSession(session->id);
+      return page;
+    }
+  }
+  return serve(session.get());
+}
+
+PageResult Server::PageViaTopK(const QueryRequest& request, uint64_t offset,
+                               uint64_t page_size) {
+  PageResult page;
+  const uint64_t want = offset + page_size;
+  if (want > static_cast<uint64_t>(std::numeric_limits<int>::max())) {
+    page.result.status =
+        Status::InvalidArgument("page offset too large for the TopK fallback");
+    return page;
+  }
+  QueryRequest deep = request;
+  deep.options.k = static_cast<int>(want);
+  QueryResult qr = engine_->RunOne(deep);
+  page.page_start = offset;
+  // The fallback recomputes ranks [0, offset + k) every page; its page
+  // cost is the whole run -- exactly the degradation bench_cursor_paging
+  // quantifies against the cursor path.
+  page.page_cost_depths = qr.stats.sum_depths;
+  if (!qr.ok()) {
+    page.result = std::move(qr);
+    return page;
+  }
+  const bool may_have_more = qr.combinations.size() == want;
+  qr.combinations.erase(
+      qr.combinations.begin(),
+      qr.combinations.begin() +
+          static_cast<std::ptrdiff_t>(
+              std::min<uint64_t>(offset, qr.combinations.size())));
+  page.result = std::move(qr);
+  if (may_have_more && page_size > 0) {
+    page.next_page_token = MakePageToken(0, want);
+  }
+  return page;
+}
+
+QueryResult Server::ServeStream(const QueryRequest& request,
+                                const StreamCallback& on_result,
+                                uint64_t* delivered) {
+  QueryResult qr;
+  auto cursor = engine_->OpenCursor(request);
+  if (!cursor.ok()) {
+    if (cursor.status().code() != StatusCode::kUnimplemented) {
+      qr.status = cursor.status();
+      return qr;
+    }
+    // Cursor-less engine: run one-shot, then replay the callbacks in
+    // order. Results arrive late but identically.
+    qr = engine_->RunOne(request);
+    if (qr.ok()) {
+      for (size_t rank = 0; rank < qr.combinations.size(); ++rank) {
+        on_result(rank, qr.combinations[rank]);
+      }
+      *delivered = qr.combinations.size();
+      qr.combinations.clear();  // delivered through the callback
+    }
+    return qr;
+  }
+  const std::unique_ptr<ResultCursor> stream = std::move(cursor).value();
+  const uint64_t k =
+      request.options.k > 0 ? static_cast<uint64_t>(request.options.k) : 0;
+  for (uint64_t rank = 0; rank < k; ++rank) {
+    auto next = stream->Next();
+    if (!next.ok()) {
+      qr.status = next.status();
+      qr.stats = stream->stats();
+      return qr;
+    }
+    if (!next->has_value()) break;
+    on_result(rank, **next);
+    ++*delivered;
+  }
+  qr.status = Status::OK();
+  qr.stats = stream->stats();
+  return qr;
 }
 
 ServerStats Server::Stats() const {
@@ -133,6 +455,8 @@ ServerStats Server::Stats() const {
         static_cast<double>(
             slot->gather_nanos.load(std::memory_order_relaxed)) *
         1e-9;
+    stats.pages_served += slot->pages.load(std::memory_order_relaxed);
+    stats.streamed_results += slot->streamed.load(std::memory_order_relaxed);
     merged.MergeFrom(slot->latency);
   }
   stats.queries_rejected = rejected_.load(std::memory_order_relaxed);

@@ -27,10 +27,15 @@
 #define PRJ_SERVER_SERVER_H_
 
 #include <cstdint>
+#include <functional>
 #include <future>
+#include <list>
 #include <memory>
+#include <mutex>
 #include <span>
+#include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "common/timer.h"
@@ -48,6 +53,32 @@ struct ServerOptions {
   size_t queue_capacity = 1024;
 };
 
+/// One page of a paged enumeration (SubmitPage): up to options.k results
+/// starting at global rank `page_start`, plus the token addressing the
+/// next page. Every page prefix is bit-identical to a one-shot TopK of
+/// the same length -- paging changes cost, never content.
+struct PageResult {
+  /// status, this page's combinations, and the CUMULATIVE ExecStats of
+  /// the session's enumeration so far (all pages, not just this one).
+  QueryResult result;
+  /// Opaque token for the next page; empty when the enumeration is
+  /// exhausted (this page was short or the cross product ended).
+  std::string next_page_token;
+  /// Global rank (0-based) of this page's first combination.
+  uint64_t page_start = 0;
+  /// Access depth paid for THIS page alone (the marginal sum_depths since
+  /// the previous page) -- the number bench_cursor_paging gates on:
+  /// page 2 through a cursor must cost less than recomputing from rank 0.
+  uint64_t page_cost_depths = 0;
+};
+
+/// Per-result delivery for SubmitStream: invoked on the serving worker's
+/// thread, once per certified combination, in result order, with the
+/// combination's global rank. Must be thread-safe against itself only if
+/// the caller streams multiple requests concurrently.
+using StreamCallback =
+    std::function<void(uint64_t rank, const ResultCombination& combination)>;
+
 /// Aggregate counters merged from the per-worker slots; a point-in-time
 /// snapshot (exact once the server is idle or shut down).
 struct ServerStats {
@@ -55,6 +86,9 @@ struct ServerStats {
   uint64_t queries_failed = 0;    ///< subset of served with !status.ok()
   uint64_t queries_rejected = 0;  ///< refused at Submit or cancelled queued
   uint64_t sum_depths = 0;        ///< total access cost of served queries
+                                  ///< (pages charge their marginal cost)
+  uint64_t pages_served = 0;      ///< SubmitPage requests completed
+  uint64_t streamed_results = 0;  ///< combinations delivered via callbacks
   size_t queue_high_water = 0;    ///< deepest the request queue ever got
   /// Result-cache counter deltas since this server's construction (all
   /// zero when no CachedEngine layer is present). Note: engine stacks can
@@ -121,6 +155,29 @@ class Server {
   /// one QueryResult per request, in request order.
   std::vector<QueryResult> SubmitBatch(std::span<const QueryRequest> requests);
 
+  /// Paged top-K: returns options.k results per page. An empty token asks
+  /// for page 1 and opens a cursor session; pass each PageResult's
+  /// next_page_token (with the SAME request) to pull the next page for
+  /// only its marginal cost -- the session resumes the engine cursor
+  /// where the previous page stopped. Sessions survive in a bounded LRU
+  /// registry; a stale token (evicted session, server restart, or a
+  /// replayed older token) is served exactly anyway by reopening and
+  /// skipping to the token's offset. Engines without cursor support
+  /// degrade to TopK(offset + k) per page, sliced. A token from a
+  /// different request is rejected as kInvalidArgument.
+  std::future<PageResult> SubmitPage(QueryRequest request,
+                                     std::string page_token = {});
+
+  /// Streaming top-K: `on_result` fires on the serving worker's thread
+  /// for each of the top options.k combinations AS the bound certifies
+  /// them -- first results arrive before the enumeration finishes. The
+  /// future resolves after the last callback with status + ExecStats
+  /// (combinations empty: they were already delivered). Engines without
+  /// cursor support fall back to one-shot TopK, then replay the callbacks
+  /// in order.
+  std::future<QueryResult> SubmitStream(QueryRequest request,
+                                        StreamCallback on_result);
+
   /// Stops the pool: closes the queue, then either drains the backlog or
   /// cancels it (see DrainMode), and joins every worker. Idempotent;
   /// concurrent calls serialize.
@@ -135,10 +192,20 @@ class Server {
 
  private:
   struct Task {
+    enum class Kind { kQuery, kPage, kStream };
+    Kind kind = Kind::kQuery;
     QueryRequest request;
-    std::promise<QueryResult> promise;
+    std::string page_token;     ///< kPage only
+    StreamCallback on_result;   ///< kStream only
+    std::promise<QueryResult> promise;        ///< kQuery / kStream
+    std::promise<PageResult> page_promise;    ///< kPage
     WallTimer submitted;  ///< starts in Submit: latency includes queue wait
   };
+
+  /// One paged enumeration: the engine cursor plus its read position,
+  /// owned by the session registry and serialized by its own mutex (two
+  /// racing pulls of the same token never interleave on the cursor).
+  struct PageSession;
 
   /// One cache line per worker: the hot path touches only its own slot,
   /// with relaxed atomics, so serving threads never contend on stats.
@@ -149,11 +216,27 @@ class Server {
     std::atomic<uint64_t> shards_pruned{0};
     std::atomic<uint64_t> delta_shards_pruned{0};
     std::atomic<uint64_t> gather_nanos{0};
+    std::atomic<uint64_t> pages{0};
+    std::atomic<uint64_t> streamed{0};
     LatencyHistogram latency;
   };
 
   void WorkerLoop(WorkerSlot* slot);
   static QueryResult Rejected();
+  /// Resolves whichever promise `task`'s kind carries with the rejection
+  /// status (queue closed / backlog cancelled).
+  static void Reject(Task* task);
+
+  PageResult ServePage(const QueryRequest& request, const std::string& token);
+  PageResult PageViaTopK(const QueryRequest& request, uint64_t offset,
+                         uint64_t page_size);
+  QueryResult ServeStream(const QueryRequest& request,
+                          const StreamCallback& on_result,
+                          uint64_t* delivered);
+
+  std::shared_ptr<PageSession> FindSession(uint64_t id);
+  std::shared_ptr<PageSession> RegisterSession(std::string enum_key);
+  void DropSession(uint64_t id);
 
   const QueryEngine* engine_;
   /// Engine-lifetime cache counters at construction: Stats() reports the
@@ -165,6 +248,17 @@ class Server {
   std::vector<std::unique_ptr<WorkerSlot>> slots_;
   std::vector<std::thread> workers_;
   std::atomic<uint64_t> rejected_{0};
+
+  /// Cursor sessions behind outstanding page tokens: bounded MRU-front
+  /// list + id index. Eviction is safe -- a stale token reopens and
+  /// skips -- so the cap only bounds resources, never correctness.
+  /// Cleared at Shutdown (cursors pin engine snapshots).
+  static constexpr size_t kMaxPageSessions = 64;
+  mutable std::mutex sessions_mu_;
+  std::list<std::shared_ptr<PageSession>> session_lru_;
+  std::unordered_map<uint64_t, std::list<std::shared_ptr<PageSession>>::iterator>
+      session_index_;
+  uint64_t next_session_id_ = 1;  ///< guarded by sessions_mu_
 
   std::mutex shutdown_mu_;  ///< serializes Shutdown; guards stopped_
   bool stopped_ = false;

@@ -14,6 +14,7 @@
 #include "core/bounds.h"
 #include "core/executor.h"
 #include "core/gather.h"
+#include "core/result_cursor.h"
 
 // The gather-order machinery (KeyedCombination, GatherBetter, GatherHeap,
 // the GatherPruned slack test) and AggregateShardStats live in
@@ -27,6 +28,32 @@ namespace {
 // calling thread instead of fanning out helpers. Two shards of work do
 // not amortize a round trip through the pool.
 constexpr size_t kScatterInlineMax = 2;
+
+/// The cursor ShardedEngine::OpenCursor returns: the lazy streaming merge
+/// plus the stat overlay that attributes never-opened shards to
+/// shards_pruned (the cursor's pruning win to date) and keeps final_bound
+/// admissible over them.
+class ShardedCursor : public ResultCursor {
+ public:
+  ShardedCursor(AccessKind kind, Vec query, size_t num_relations, bool prune,
+                std::vector<GatherMergeCursor::Part> parts)
+      : merge_(kind, std::move(query), num_relations, prune,
+               std::move(parts)) {}
+
+  Result<std::optional<ResultCombination>> Next() override {
+    return merge_.Next();
+  }
+  ExecStats stats() const override {
+    ExecStats s = merge_.stats();
+    s.shards_pruned = merge_.parts_unopened();
+    s.final_bound = std::max(s.final_bound, merge_.max_unopened_bound());
+    return s;
+  }
+  uint64_t emitted() const override { return merge_.emitted(); }
+
+ private:
+  GatherMergeCursor merge_;
+};
 
 }  // namespace
 
@@ -113,6 +140,7 @@ Result<ShardedEngine> ShardedEngine::Create(
       digits[j] = 0;
     }
   }
+  sharded.gather_pool_ = std::make_unique<ArenaPool>();
   if (options.scatter_threads > 1 && sharded.shards_.size() > 1) {
     // The calling thread participates in its own scatter, so the pool
     // only needs the helpers. With 0-1 shards the parallel path can never
@@ -213,7 +241,13 @@ Result<std::vector<ResultCombination>> ShardedEngine::TopK(
   // conservative.
   const size_t keep = static_cast<size_t>(options.k);
   std::mutex mu;
-  GatherHeap heap(keep);                     // guarded by mu
+  // The heap's spine lives in a leased arena. The lease is declared
+  // before the heap (destroyed after it), and every heap touch -- growth
+  // on Offer, the final sort -- happens either under mu or after the
+  // scatter joined, so the single-threaded arena only ever sees one
+  // thread at a time.
+  ArenaPool::Lease gather_lease = gather_pool_->Acquire();
+  GatherHeap heap(keep, gather_lease.arena());  // guarded by mu
   Status first_error;                        // guarded by mu
   std::atomic<bool> failed{false};
   std::atomic<size_t> next{0};
@@ -241,8 +275,11 @@ Result<std::vector<ResultCombination>> ShardedEngine::TopK(
       return;
     }
     // Access keys are query-dependent but shard-local: compute them
-    // outside the merge lock.
-    std::vector<KeyedCombination> keyed;
+    // outside the merge lock, in a buffer on a slot-local arena lease
+    // (never the gather arena -- this runs unlocked on worker threads).
+    ArenaPool::Lease slot_lease = gather_pool_->Acquire();
+    std::vector<KeyedCombination, ArenaAllocator<KeyedCombination>> keyed(
+        ArenaAllocator<KeyedCombination>(slot_lease.arena()));
     keyed.reserve(local->size());
     for (ResultCombination& combo : *local) {
       keyed.push_back(MakeKeyed(std::move(combo), kind_, query));
@@ -338,6 +375,37 @@ Result<std::vector<ResultCombination>> ShardedEngine::TopK(
   aggregate.shards_pruned = pruned.load(std::memory_order_relaxed);
   if (stats_out) *stats_out = std::move(aggregate);
   return merged;
+}
+
+Result<std::unique_ptr<ResultCursor>> ShardedEngine::OpenCursor(
+    const QueryRequest& request) const {
+  PRJ_RETURN_IF_ERROR(ValidateOptions(request.options));
+  if (request.query.dim() != dim_) {
+    return Status::InvalidArgument(
+        "engine serves dim " + std::to_string(dim_) +
+        " but the query has dim " + std::to_string(request.query.dim()));
+  }
+  if (request.options.trace != nullptr) {
+    return Status::InvalidArgument(
+        "traced queries are not supported through sharded cursors; trace "
+        "the shards individually or use TopK");
+  }
+  // One merge part per shard, carrying the same corner bound the one-shot
+  // scatter prunes with; the shard's Engine cursor is only opened when
+  // the merge proves it could still contribute.
+  std::vector<GatherMergeCursor::Part> parts;
+  parts.reserve(shards_.size());
+  std::vector<RelationEnvelope> envelopes;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    FillEnvelopes(s, request.query, &envelopes);
+    const Engine* shard = &shards_[s];
+    parts.push_back(GatherMergeCursor::Part{
+        CornerUpperBound(*scoring_, envelopes),
+        [shard, request]() { return shard->OpenCursor(request); }});
+  }
+  return std::unique_ptr<ResultCursor>(
+      new ShardedCursor(kind_, request.query, num_relations_, options_.prune,
+                        std::move(parts)));
 }
 
 }  // namespace prj

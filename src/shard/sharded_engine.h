@@ -78,6 +78,7 @@
 #include <vector>
 
 #include "access/partition.h"
+#include "common/arena.h"
 #include "common/thread_pool.h"
 #include "core/engine.h"
 #include "core/gather.h"
@@ -145,6 +146,16 @@ class ShardedEngine : public QueryEngine {
       const Vec& query, const ProxRJOptions& options,
       ExecStats* stats_out = nullptr) const override;
 
+  /// Streaming enumeration: a lazy best-bound-first merge over per-shard
+  /// Engine cursors (GatherMergeCursor). A shard's cursor is opened only
+  /// when its corner bound says it could still beat the best pending
+  /// head, so paging keeps the pruning win; results are bit-identical to
+  /// TopK at every prefix. Traced requests are rejected (the trace
+  /// contract needs the sequential one-shot scatter). The engine must
+  /// outlive the cursor.
+  Result<std::unique_ptr<ResultCursor>> OpenCursor(
+      const QueryRequest& request) const override;
+
   /// The corner-bound upper score of shard `i` for `query`: no
   /// combination the shard can produce scores higher. Drives pruning and
   /// the best-bound-first visit order; exposed for tests and benches.
@@ -163,6 +174,12 @@ class ShardedEngine : public QueryEngine {
   }
   PartitionScheme scheme() const { return options_.scheme; }
   uint32_t scatter_threads() const { return options_.scatter_threads; }
+
+  /// The arena pool behind each query's gather K-heap and per-shard keyed
+  /// result buffers (observability for tests: a sequential query loop
+  /// must reach a fixed arena count -- the same reuse property as
+  /// Engine::arena_pool()).
+  const ArenaPool& gather_arena_pool() const { return *gather_pool_; }
 
  private:
   /// Per-partition envelope metadata the shard bounds are built from.
@@ -200,6 +217,9 @@ class ShardedEngine : public QueryEngine {
   /// Present iff options_.scatter_threads > 1; shared by concurrent
   /// queries.
   std::unique_ptr<ThreadPool> pool_;
+  /// Backs each query's gather K-heap and per-slot keyed buffers; behind
+  /// a pointer so the engine stays movable (internally locked).
+  std::unique_ptr<ArenaPool> gather_pool_;
 };
 
 }  // namespace prj

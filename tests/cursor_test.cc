@@ -1,0 +1,835 @@
+// Cursor-resume exactness property suite for the Any-K streaming path:
+// every prefix of Next() pulls is bit-identical to a one-shot TopK of the
+// same length, across presets x backends x engine compositions
+// (monolithic / sharded / live / cached), with pause/resume exercised at
+// adversarial points -- mid-tie, across a concurrent Apply, and after a
+// cursor-cache eviction. Plus the QueryCache stampede guard (suite name
+// contains "Stampede"; CI runs Cursor|Stampede suites under TSan).
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cache/cached_engine.h"
+#include "common/random.h"
+#include "core/brute_force.h"
+#include "core/engine.h"
+#include "core/query_engine.h"
+#include "core/result_cursor.h"
+#include "core/trace.h"
+#include "live/live_engine.h"
+#include "result_matchers.h"
+#include "server/server.h"
+#include "shard/sharded_engine.h"
+#include "workload/synthetic.h"
+
+namespace prj {
+namespace {
+
+const AlgorithmPreset kAllPresets[] = {kCBRR, kCBPA, kTBRR, kTBPA};
+
+struct BackendCase {
+  AccessKind kind;
+  SourceBackend backend;
+  const char* name;
+};
+
+const BackendCase kBackendCases[] = {
+    {AccessKind::kDistance, SourceBackend::kPresorted, "distance/presorted"},
+    {AccessKind::kDistance, SourceBackend::kRTree, "distance/rtree"},
+    {AccessKind::kScore, SourceBackend::kPresorted, "score"},
+};
+
+std::vector<Relation> MakeRelations(int n, int count, uint64_t seed) {
+  SyntheticSpec spec;
+  spec.dim = 2;
+  spec.count = count;
+  spec.density = 50;
+  spec.seed = seed;
+  return GenerateProblem(n, spec);
+}
+
+QueryRequest MakeRequest(double x, double y, int k,
+                         const AlgorithmPreset& preset) {
+  QueryRequest req;
+  req.query = Vec{x, y};
+  req.options.k = k;
+  req.options.Apply(preset);
+  return req;
+}
+
+/// THE exactness property. Opens one cursor for `request` against
+/// `engine`, pulls `depth` results one Next() at a time, and checks after
+/// every pull that the prefix emitted so far is bit-identical to a fresh
+/// one-shot TopK of exactly that length. `reference` answers the one-shot
+/// calls (usually `engine` itself; the live tests pass a fresh engine
+/// over equivalent content).
+void ExpectPrefixIdentity(const QueryEngine& engine,
+                          const QueryEngine& reference,
+                          const QueryRequest& request, int depth,
+                          const std::string& label) {
+  auto cursor = engine.OpenCursor(request);
+  ASSERT_TRUE(cursor.ok()) << label << ": " << cursor.status().ToString();
+  std::vector<ResultCombination> prefix;
+  for (int i = 0; i < depth; ++i) {
+    auto next = (*cursor)->Next();
+    ASSERT_TRUE(next.ok()) << label << ": " << next.status().ToString();
+    if (!next->has_value()) break;  // cross product exhausted
+    prefix.push_back(std::move(**next));
+
+    ProxRJOptions prefix_opts = request.options;
+    prefix_opts.k = static_cast<int>(prefix.size());
+    auto oneshot = reference.TopK(request.query, prefix_opts);
+    ASSERT_TRUE(oneshot.ok()) << label;
+    ExpectBitIdentical(prefix, *oneshot,
+                       label + "/prefix" + std::to_string(prefix.size()));
+  }
+  EXPECT_EQ((*cursor)->emitted(), prefix.size()) << label;
+}
+
+// ------------------- monolithic Engine, full grid ---------------------- //
+
+struct CursorGridCase {
+  BackendCase backend;
+  AlgorithmPreset preset;
+};
+
+void PrintTo(const CursorGridCase& c, std::ostream* os) {
+  *os << c.backend.name << "_" << c.preset.name;
+}
+
+class CursorGridTest : public ::testing::TestWithParam<CursorGridCase> {};
+
+TEST_P(CursorGridTest, EveryPrefixMatchesOneShotTopK) {
+  const CursorGridCase& c = GetParam();
+  const auto rels = MakeRelations(2, 50, /*seed=*/31);
+  const SumLogEuclideanScoring scoring(1.0, 1.0, 1.0);
+  EngineOptions eng_opts;
+  eng_opts.backend = c.backend.backend;
+  auto engine = Engine::Create(rels, c.backend.kind, &scoring, eng_opts);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+
+  Rng rng(7);
+  for (int trial = 0; trial < 3; ++trial) {
+    const Vec q = rng.UniformInCube(2, -1.0, 1.0);
+    const QueryRequest req = MakeRequest(q[0], q[1], 4, c.preset);
+    ExpectPrefixIdentity(*engine, *engine, req, 12,
+                         std::string(c.backend.name) + "/" + c.preset.name +
+                             "/trial" + std::to_string(trial));
+  }
+}
+
+std::vector<CursorGridCase> MakeCursorGrid() {
+  std::vector<CursorGridCase> cases;
+  for (const BackendCase& backend : kBackendCases) {
+    for (const AlgorithmPreset& preset : kAllPresets) {
+      cases.push_back(CursorGridCase{backend, preset});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, CursorGridTest,
+                         ::testing::ValuesIn(MakeCursorGrid()));
+
+// ----------------------- cursor API properties ------------------------- //
+
+TEST(CursorExactnessTest, NextBatchEqualsRepeatedNext) {
+  const auto rels = MakeRelations(2, 40, /*seed=*/5);
+  const SumLogEuclideanScoring scoring(1.0, 1.0, 1.0);
+  auto engine = Engine::Create(rels, AccessKind::kDistance, &scoring);
+  ASSERT_TRUE(engine.ok());
+  const QueryRequest req = MakeRequest(0.2, -0.3, 5, kTBPA);
+
+  auto singles = engine->OpenCursor(req);
+  auto batches = engine->OpenCursor(req);
+  ASSERT_TRUE(singles.ok() && batches.ok());
+  std::vector<ResultCombination> via_next;
+  for (int i = 0; i < 14; ++i) {
+    auto next = (*singles)->Next();
+    ASSERT_TRUE(next.ok());
+    ASSERT_TRUE(next->has_value());
+    via_next.push_back(std::move(**next));
+  }
+  std::vector<ResultCombination> via_batch;
+  for (size_t n : {size_t{1}, size_t{4}, size_t{9}}) {
+    auto batch = (*batches)->NextBatch(n);
+    ASSERT_TRUE(batch.ok());
+    ASSERT_EQ(batch->size(), n);
+    for (auto& combo : *batch) via_batch.push_back(std::move(combo));
+  }
+  ExpectBitIdentical(via_batch, via_next, "NextBatch vs Next");
+  EXPECT_EQ((*batches)->emitted(), 14u);
+}
+
+TEST(CursorExactnessTest, DrainsTheWholeCrossProductInBruteForceOrder) {
+  // k never caps a cursor: drained to the end it must enumerate every
+  // combination, in the global order the brute-force oracle defines.
+  const auto rels = MakeRelations(2, 12, /*seed=*/9);
+  const SumLogEuclideanScoring scoring(1.0, 1.0, 1.0);
+  auto engine = Engine::Create(rels, AccessKind::kDistance, &scoring);
+  ASSERT_TRUE(engine.ok());
+  const Vec q{0.1, 0.1};
+  const size_t all = rels[0].size() * rels[1].size();
+  const auto expected =
+      BruteForceTopK(rels, scoring, q, static_cast<int>(all));
+
+  QueryRequest req = MakeRequest(q[0], q[1], 3, kTBPA);
+  auto cursor = engine->OpenCursor(req);
+  ASSERT_TRUE(cursor.ok());
+  auto drained = (*cursor)->NextBatch(all + 10);  // over-ask: ends cleanly
+  ASSERT_TRUE(drained.ok());
+  ASSERT_EQ(drained->size(), all);
+  for (size_t i = 0; i < all; ++i) {
+    EXPECT_DOUBLE_EQ((*drained)[i].score, expected[i].score) << "rank " << i;
+  }
+  auto after_end = (*cursor)->Next();
+  ASSERT_TRUE(after_end.ok());
+  EXPECT_FALSE(after_end->has_value());
+  EXPECT_TRUE((*cursor)->stats().completed);
+}
+
+TEST(CursorExactnessTest, MidTiePauseResumeStaysDeterministic) {
+  // Geometry fully degenerate: every tuple at the same point, scores
+  // colliding in pairs -- the result order is decided by tie-breaking
+  // alone. Pausing anywhere inside a tie group and resuming must continue
+  // the exact deterministic order.
+  Relation r1("R1", 2), r2("R2", 2);
+  for (int i = 0; i < 6; ++i) {
+    r1.Add(i, 0.25 + 0.25 * (i / 2), Vec{1.0, 1.0});  // pairs of equal scores
+    r2.Add(i, 0.75 - 0.25 * (i / 2), Vec{1.0, 1.0});
+  }
+  const SumLogEuclideanScoring scoring(1.0, 1.0, 1.0);
+  auto engine = Engine::Create({r1, r2}, AccessKind::kDistance, &scoring);
+  ASSERT_TRUE(engine.ok());
+  for (const AlgorithmPreset& preset : kAllPresets) {
+    const QueryRequest req = MakeRequest(0.0, 0.0, 2, preset);
+    ExpectPrefixIdentity(*engine, *engine, req, 36, preset.name);
+  }
+}
+
+TEST(CursorExactnessTest, MaxPullsRailMirrorsTheOneShotExecutor) {
+  // A tripped safety rail stops pulling for good; the cursor then drains
+  // its uncertified candidates exactly like the one-shot executor returns
+  // its buffer.
+  const auto rels = MakeRelations(2, 40, /*seed=*/21);
+  const SumLogEuclideanScoring scoring(1.0, 1.0, 1.0);
+  auto engine = Engine::Create(rels, AccessKind::kDistance, &scoring);
+  ASSERT_TRUE(engine.ok());
+  QueryRequest req = MakeRequest(0.0, 0.0, 8, kTBPA);
+  req.options.max_pulls = 10;
+
+  ExecStats oneshot_stats;
+  auto oneshot = engine->TopK(req.query, req.options, &oneshot_stats);
+  ASSERT_TRUE(oneshot.ok());
+  ASSERT_FALSE(oneshot_stats.completed);
+
+  auto cursor = engine->OpenCursor(req);
+  ASSERT_TRUE(cursor.ok());
+  auto drained = (*cursor)->NextBatch(oneshot->size());
+  ASSERT_TRUE(drained.ok());
+  ExpectBitIdentical(*drained, *oneshot, "rail-tripped drain");
+  EXPECT_FALSE((*cursor)->stats().completed);
+  EXPECT_EQ((*cursor)->stats().sum_depths, oneshot_stats.sum_depths);
+}
+
+// --------------------------- ShardedEngine ----------------------------- //
+
+TEST(ShardedCursorTest, PrefixIdentityAcrossPartitionersAndPruning) {
+  const auto rels = MakeRelations(2, 40, /*seed=*/13);
+  const SumLogEuclideanScoring scoring(1.0, 1.0, 1.0);
+  auto reference = Engine::Create(rels, AccessKind::kDistance, &scoring);
+  ASSERT_TRUE(reference.ok());
+  for (PartitionScheme scheme :
+       {PartitionScheme::kHash, PartitionScheme::kStrTile}) {
+    for (bool prune : {true, false}) {
+      ShardedEngineOptions opts;
+      opts.partitions_per_relation = 3;
+      opts.scheme = scheme;
+      opts.prune = prune;
+      auto sharded =
+          ShardedEngine::Create(rels, AccessKind::kDistance, &scoring, opts);
+      ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+      const std::string label =
+          std::string(scheme == PartitionScheme::kHash ? "hash" : "strtile") +
+          (prune ? "/prune" : "/noprune");
+      for (const AlgorithmPreset& preset : kAllPresets) {
+        const QueryRequest req = MakeRequest(0.3, 0.4, 4, preset);
+        ExpectPrefixIdentity(*sharded, *reference, req, 10,
+                             label + "/" + preset.name);
+      }
+    }
+  }
+}
+
+TEST(ShardedCursorTest, LazyMergeOpensOnlyCompetitiveShards) {
+  // With spatial partitioning and a query in one corner, a shallow drain
+  // must leave far-away shards unopened -- the streaming analogue of
+  // corner-bound shard pruning, surfaced through stats().shards_pruned.
+  const auto rels = MakeRelations(2, 60, /*seed=*/29);
+  const SumLogEuclideanScoring scoring(1.0, 1.0, 1.0);
+  ShardedEngineOptions opts;
+  opts.partitions_per_relation = 3;
+  opts.scheme = PartitionScheme::kStrTile;
+  auto sharded =
+      ShardedEngine::Create(rels, AccessKind::kDistance, &scoring, opts);
+  ASSERT_TRUE(sharded.ok());
+
+  QueryRequest req = MakeRequest(0.9, 0.9, 1, kTBPA);
+  auto cursor = sharded->OpenCursor(req);
+  ASSERT_TRUE(cursor.ok());
+  auto first = (*cursor)->Next();
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(first->has_value());
+  const ExecStats shallow = (*cursor)->stats();
+  EXPECT_GT(shallow.shards_pruned, 0u)
+      << "a 1-deep pull should not have opened all " << sharded->fan_out()
+      << " shards";
+
+  // Draining deeper can only open more; the counter never goes up.
+  auto more = (*cursor)->NextBatch(20);
+  ASSERT_TRUE(more.ok());
+  EXPECT_LE((*cursor)->stats().shards_pruned, shallow.shards_pruned);
+}
+
+// ----------------------------- LiveEngine ------------------------------ //
+
+LiveEngineOptions ManualCompaction() {
+  LiveEngineOptions options;
+  options.compact_threshold = 0;
+  return options;
+}
+
+/// Inserts 8 fresh tuples per relation and deletes the two given ids
+/// (relative to relation index j so the two relations diverge).
+UpdateBatch MakeBatch(int n, Rng* rng, int64_t id_base, int64_t del_a,
+                      int64_t del_b) {
+  UpdateBatch batch;
+  batch.relations.resize(n);
+  for (int j = 0; j < n; ++j) {
+    for (int i = 0; i < 8; ++i) {
+      batch.relations[j].inserts.push_back(
+          Tuple{id_base + j * 100 + i, 0.1 + 0.1 * i,
+                rng->UniformInCube(2, -0.6, 0.6)});
+    }
+    // Delete ids >= 1000 refer to an earlier batch's inserts, which are
+    // striped per relation (j * 100); base ids just diverge by j.
+    auto in_relation = [j](int64_t id) {
+      return id >= 1000 ? id + j * 100 : id + j;
+    };
+    batch.relations[j].deletes = {in_relation(del_a), in_relation(del_b)};
+  }
+  return batch;
+}
+
+TEST(LiveCursorTest, CursorPinsItsEpochAcrossConcurrentApply) {
+  const SumLogEuclideanScoring scoring(1.0, 1.0, 1.0);
+  auto content = MakeRelations(2, 40, /*seed=*/41);
+  auto live = LiveEngine::Create(
+      content, AccessKind::kDistance, &scoring,
+      LiveEngine::MonolithicFactory(AccessKind::kDistance, &scoring),
+      ManualCompaction());
+  ASSERT_TRUE(live.ok()) << live.status().ToString();
+  // Reference for the pre-update content: a plain engine over the seed.
+  auto before = Engine::Create(content, AccessKind::kDistance, &scoring);
+  ASSERT_TRUE(before.ok());
+
+  const QueryRequest req = MakeRequest(0.1, -0.2, 4, kTBPA);
+  auto cursor = (*live)->OpenCursor(req);
+  ASSERT_TRUE(cursor.ok());
+  std::vector<ResultCombination> prefix;
+  for (int i = 0; i < 3; ++i) {
+    auto next = (*cursor)->Next();
+    ASSERT_TRUE(next.ok());
+    ASSERT_TRUE(next->has_value());
+    prefix.push_back(std::move(**next));
+  }
+  const uint64_t pinned_epoch = (*cursor)->stats().data_epoch;
+  EXPECT_EQ(pinned_epoch, 1u);
+
+  // Mutate the engine mid-enumeration. The open cursor must not notice.
+  Rng rng(55);
+  ASSERT_TRUE((*live)->Apply(MakeBatch(2, &rng, 1000, 3, 11)).ok());
+  EXPECT_EQ((*live)->live_counters().epoch, 2u);
+
+  for (int i = 0; i < 5; ++i) {
+    auto next = (*cursor)->Next();
+    ASSERT_TRUE(next.ok());
+    ASSERT_TRUE(next->has_value());
+    prefix.push_back(std::move(**next));
+  }
+  EXPECT_EQ((*cursor)->stats().data_epoch, pinned_epoch);
+  ProxRJOptions old_opts = req.options;
+  old_opts.k = static_cast<int>(prefix.size());
+  auto old_answer = before->TopK(req.query, old_opts);
+  ASSERT_TRUE(old_answer.ok());
+  ExpectBitIdentical(prefix, *old_answer, "resumed across Apply");
+
+  // A cursor opened NOW sees the post-update world.
+  auto fresh = (*live)->OpenCursor(req);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ((*fresh)->stats().data_epoch, 2u);
+  auto fresh_first = (*fresh)->Next();
+  ASSERT_TRUE(fresh_first.ok());
+  ASSERT_TRUE(fresh_first->has_value());
+  ProxRJOptions one = req.options;
+  one.k = 1;
+  auto live_top1 = (*live)->TopK(req.query, one);
+  ASSERT_TRUE(live_top1.ok());
+  ExpectBitIdentical({**fresh_first}, *live_top1, "post-Apply open");
+}
+
+TEST(LiveCursorTest, PrefixIdentityWithDeltasAndTombstones) {
+  const SumLogEuclideanScoring scoring(1.0, 1.0, 1.0);
+  auto content = MakeRelations(2, 40, /*seed=*/43);
+  auto live = LiveEngine::Create(
+      content, AccessKind::kDistance, &scoring,
+      LiveEngine::MonolithicFactory(AccessKind::kDistance, &scoring),
+      ManualCompaction());
+  ASSERT_TRUE(live.ok());
+  Rng rng(77);
+  // Batch 1 deletes base tuples; batch 2 deletes a batch-1 insert (a
+  // delta tombstone) plus another base tuple.
+  ASSERT_TRUE((*live)->Apply(MakeBatch(2, &rng, 1000, 3, 11)).ok());
+  ASSERT_TRUE((*live)->Apply(MakeBatch(2, &rng, 2000, 1002, 17)).ok());
+
+  for (const AlgorithmPreset& preset : kAllPresets) {
+    const QueryRequest req = MakeRequest(-0.2, 0.3, 4, preset);
+    // The live engine itself answers the one-shot reference calls: cursor
+    // vs TopK over the same snapshot (both see epoch 3).
+    ExpectPrefixIdentity(**live, **live, req, 10, preset.name);
+  }
+}
+
+TEST(LiveCursorTest, TracedRequestsAreRejected) {
+  const SumLogEuclideanScoring scoring(1.0, 1.0, 1.0);
+  auto content = MakeRelations(2, 20, /*seed=*/47);
+  auto live = LiveEngine::Create(
+      content, AccessKind::kDistance, &scoring,
+      LiveEngine::MonolithicFactory(AccessKind::kDistance, &scoring),
+      ManualCompaction());
+  ASSERT_TRUE(live.ok());
+  ExecTrace trace;
+  QueryRequest traced = MakeRequest(0.0, 0.0, 3, kTBPA);
+  traced.options.trace = &trace;
+  EXPECT_EQ((*live)->OpenCursor(traced).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+// ------------------------- CachedEngine cursors ------------------------ //
+
+TEST(CachedCursorTest, SmallKEnumerationServesLargerKByResuming) {
+  const auto rels = MakeRelations(2, 50, /*seed=*/51);
+  const SumLogEuclideanScoring scoring(1.0, 1.0, 1.0);
+  auto engine = Engine::Create(rels, AccessKind::kDistance, &scoring);
+  ASSERT_TRUE(engine.ok());
+  CachedEngine cached(&*engine);
+
+  // First consumer: K=10.
+  QueryRequest small = MakeRequest(0.2, 0.1, 10, kTBPA);
+  auto first = cached.OpenCursor(small);
+  ASSERT_TRUE(first.ok());
+  auto page1 = (*first)->NextBatch(10);
+  ASSERT_TRUE(page1.ok());
+  ASSERT_EQ(page1->size(), 10u);
+  const uint64_t paid_depths = (*first)->stats().sum_depths;
+  EXPECT_GT(paid_depths, 0u);
+  EXPECT_EQ(cached.cursor_cache().counters().misses, 1u);
+
+  // Second consumer: same query, K=50. The enumeration key is
+  // k-independent, so this HITS and resumes the cached stream: the first
+  // 10 results replay at zero pull cost, only ranks 11..50 execute.
+  QueryRequest big = small;
+  big.options.k = 50;
+  auto second = cached.OpenCursor(big);
+  ASSERT_TRUE(second.ok());
+  auto all50 = (*second)->NextBatch(50);
+  ASSERT_TRUE(all50.ok());
+  ASSERT_EQ(all50->size(), 50u);
+  EXPECT_EQ(cached.cursor_cache().counters().hits, 1u);
+
+  const ExecStats resumed = (*second)->stats();
+  EXPECT_EQ(resumed.cursor_partial_hits, 10u);  // replayed prefix
+  EXPECT_EQ(resumed.cursor_resumes, 40u);       // freshly enumerated tail
+
+  ProxRJOptions oneshot_opts = big.options;
+  auto oneshot = engine->TopK(big.query, oneshot_opts);
+  ASSERT_TRUE(oneshot.ok());
+  ExpectBitIdentical(*all50, *oneshot, "cache-resumed 50");
+
+  // Third consumer re-drains fully materialized state: pure replay, not a
+  // single new pull on the shared enumeration.
+  auto third = cached.OpenCursor(big);
+  ASSERT_TRUE(third.ok());
+  auto replay = (*third)->NextBatch(50);
+  ASSERT_TRUE(replay.ok());
+  ExpectBitIdentical(*replay, *oneshot, "pure replay");
+  EXPECT_EQ((*third)->stats().cursor_partial_hits, 50u);
+  EXPECT_EQ((*third)->stats().cursor_resumes, 0u);
+  EXPECT_EQ((*third)->stats().sum_depths, resumed.sum_depths)
+      << "replay must not advance the underlying enumeration";
+}
+
+TEST(CachedCursorTest, EvictedEnumerationsRecomputeExactly) {
+  const auto rels = MakeRelations(2, 40, /*seed=*/53);
+  const SumLogEuclideanScoring scoring(1.0, 1.0, 1.0);
+  auto engine = Engine::Create(rels, AccessKind::kDistance, &scoring);
+  ASSERT_TRUE(engine.ok());
+  CursorCacheOptions tiny;
+  tiny.capacity = 1;
+  tiny.lock_shards = 1;
+  CachedEngine cached(&*engine, QueryCacheOptions{}, tiny);
+
+  const QueryRequest a = MakeRequest(0.1, 0.1, 5, kTBPA);
+  const QueryRequest b = MakeRequest(-0.4, 0.6, 5, kTBPA);
+
+  auto view_a = cached.OpenCursor(a);
+  ASSERT_TRUE(view_a.ok());
+  auto first_half = (*view_a)->NextBatch(5);
+  ASSERT_TRUE(first_half.ok());
+
+  // B evicts A's enumeration (capacity 1).
+  ASSERT_TRUE(cached.OpenCursor(b).ok());
+  EXPECT_GT(cached.cursor_cache().counters().evictions, 0u);
+
+  // The evicted view stays alive and exact (shared_ptr keeps the entry).
+  auto second_half = (*view_a)->NextBatch(5);
+  ASSERT_TRUE(second_half.ok());
+  std::vector<ResultCombination> both;
+  for (auto& combo : *first_half) both.push_back(std::move(combo));
+  for (auto& combo : *second_half) both.push_back(std::move(combo));
+  ProxRJOptions ten = a.options;
+  ten.k = 10;
+  auto expected = engine->TopK(a.query, ten);
+  ASSERT_TRUE(expected.ok());
+  ExpectBitIdentical(both, *expected, "post-eviction resume");
+
+  // Re-opening A after eviction is a miss that recomputes from scratch,
+  // bit-identically.
+  auto reopened = cached.OpenCursor(a);
+  ASSERT_TRUE(reopened.ok());
+  auto again = (*reopened)->NextBatch(10);
+  ASSERT_TRUE(again.ok());
+  ExpectBitIdentical(*again, *expected, "post-eviction reopen");
+}
+
+TEST(CachedCursorTest, TraceAndTimeBudgetBypassTheCursorCache) {
+  const auto rels = MakeRelations(2, 30, /*seed=*/57);
+  const SumLogEuclideanScoring scoring(1.0, 1.0, 1.0);
+  auto engine = Engine::Create(rels, AccessKind::kDistance, &scoring);
+  ASSERT_TRUE(engine.ok());
+  CachedEngine cached(&*engine);
+
+  ExecTrace trace;
+  QueryRequest traced = MakeRequest(0.0, 0.0, 3, kTBPA);
+  traced.options.trace = &trace;
+  ASSERT_TRUE(cached.OpenCursor(traced).ok());
+
+  QueryRequest budgeted = MakeRequest(0.0, 0.0, 3, kTBPA);
+  budgeted.options.time_budget_seconds = 30.0;
+  ASSERT_TRUE(cached.OpenCursor(budgeted).ok());
+
+  const CacheCounters counters = cached.cursor_cache().counters();
+  EXPECT_EQ(counters.hits + counters.misses, 0u)
+      << "bypassed requests must not touch the cursor cache";
+}
+
+TEST(CachedCursorTest, ConcurrentOpensShareOneEnumeration) {
+  // N threads race OpenCursor on one cold key and each drains K results.
+  // All must get the exact answer; the cache must converge to one shared
+  // entry (TSan-run: suite name matches the CI Cursor regex).
+  const auto rels = MakeRelations(2, 40, /*seed=*/59);
+  const SumLogEuclideanScoring scoring(1.0, 1.0, 1.0);
+  auto engine = Engine::Create(rels, AccessKind::kDistance, &scoring);
+  ASSERT_TRUE(engine.ok());
+  CachedEngine cached(&*engine);
+  const QueryRequest req = MakeRequest(0.3, -0.1, 8, kTBPA);
+  auto expected = engine->TopK(req.query, req.options);
+  ASSERT_TRUE(expected.ok());
+
+  constexpr int kThreads = 8;
+  std::vector<std::vector<ResultCombination>> got(kThreads);
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      auto cursor = cached.OpenCursor(req);
+      if (!cursor.ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      auto drained = (*cursor)->NextBatch(8);
+      if (!drained.ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      got[t] = std::move(*drained);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  for (int t = 0; t < kThreads; ++t) {
+    ExpectBitIdentical(got[t], *expected, "thread " + std::to_string(t));
+  }
+  EXPECT_EQ(cached.cursor_cache().size(), 1u);
+}
+
+// -------------------------- stampede guard ----------------------------- //
+
+/// QueryEngine decorator that counts TopK executions reaching the inner
+/// engine -- the stampede guard's whole job is keeping this at 1 for a
+/// herd of identical cold-key requests.
+class CountingEngine : public QueryEngine {
+ public:
+  explicit CountingEngine(const QueryEngine* inner) : inner_(inner) {}
+
+  Result<std::vector<ResultCombination>> TopK(
+      const Vec& query, const ProxRJOptions& options,
+      ExecStats* stats_out = nullptr) const override {
+    executions_.fetch_add(1, std::memory_order_relaxed);
+    return inner_->TopK(query, options, stats_out);
+  }
+  AccessKind kind() const override { return inner_->kind(); }
+  int dim() const override { return inner_->dim(); }
+  size_t num_relations() const override { return inner_->num_relations(); }
+
+  uint64_t executions() const {
+    return executions_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  const QueryEngine* inner_;
+  mutable std::atomic<uint64_t> executions_{0};
+};
+
+TEST(StampedeTest, ColdKeyHerdExecutesOnce) {
+  const auto rels = MakeRelations(2, 60, /*seed=*/61);
+  const SumLogEuclideanScoring scoring(1.0, 1.0, 1.0);
+  auto engine = Engine::Create(rels, AccessKind::kDistance, &scoring);
+  ASSERT_TRUE(engine.ok());
+  const CountingEngine counting(&*engine);
+  CachedEngine cached(&counting);
+
+  const QueryRequest req = MakeRequest(0.4, 0.2, 6, kTBPA);
+  auto expected = engine->TopK(req.query, req.options);
+  ASSERT_TRUE(expected.ok());
+
+  constexpr int kThreads = 12;
+  std::vector<std::vector<ResultCombination>> got(kThreads);
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      auto result = cached.TopK(req.query, req.options);
+      if (!result.ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      got[t] = std::move(*result);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(counting.executions(), 1u)
+      << "concurrent identical cold-key requests must coalesce behind one "
+         "leader";
+  for (int t = 0; t < kThreads; ++t) {
+    ExpectBitIdentical(got[t], *expected, "thread " + std::to_string(t));
+  }
+  const CacheCounters counters = cached.cache_counters();
+  // One miss (the leader); every other thread either coalesced behind the
+  // flight or arrived after Publish and hit the LRU directly.
+  EXPECT_EQ(counters.misses, 1u);
+  EXPECT_EQ(counters.hits, static_cast<uint64_t>(kThreads - 1));
+}
+
+TEST(StampedeTest, AbortedLeaderWakesWaitersWhoRecompute) {
+  // An uncacheable execution (max_pulls rail trips, completed = false)
+  // makes the leader AbortLead: waiters must wake, recompute on their
+  // own, and nobody deadlocks. Executions land between 1 (nobody
+  // coalesced before the abort) and kThreads.
+  const auto rels = MakeRelations(2, 60, /*seed=*/67);
+  const SumLogEuclideanScoring scoring(1.0, 1.0, 1.0);
+  auto engine = Engine::Create(rels, AccessKind::kDistance, &scoring);
+  ASSERT_TRUE(engine.ok());
+  const CountingEngine counting(&*engine);
+  CachedEngine cached(&counting);
+
+  QueryRequest req = MakeRequest(0.1, 0.3, 6, kTBPA);
+  req.options.max_pulls = 5;  // rail-tripped: never cacheable
+  auto expected = engine->TopK(req.query, req.options);
+  ASSERT_TRUE(expected.ok());
+
+  constexpr int kThreads = 8;
+  std::vector<std::vector<ResultCombination>> got(kThreads);
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      auto result = cached.TopK(req.query, req.options);
+      if (!result.ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      got[t] = std::move(*result);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GE(counting.executions(), 1u);
+  EXPECT_LE(counting.executions(), static_cast<uint64_t>(kThreads));
+  for (int t = 0; t < kThreads; ++t) {
+    ExpectBitIdentical(got[t], *expected, "thread " + std::to_string(t));
+  }
+  EXPECT_EQ(cached.cache_counters().hits, 0u)
+      << "an uncacheable request must never be served from cache";
+}
+
+// ------------------------ server paging/streaming ---------------------- //
+
+TEST(CursorPagingTest, PagesConcatenateToTheOneShotAnswer) {
+  const auto rels = MakeRelations(2, 50, /*seed=*/71);
+  const SumLogEuclideanScoring scoring(1.0, 1.0, 1.0);
+  auto engine = Engine::Create(rels, AccessKind::kDistance, &scoring);
+  ASSERT_TRUE(engine.ok());
+  ServerOptions server_opts;
+  server_opts.num_workers = 2;
+  Server server(&*engine, server_opts);
+
+  const QueryRequest page_req = MakeRequest(0.2, 0.2, 5, kTBPA);
+  std::vector<ResultCombination> paged;
+  std::string token;
+  uint64_t marginal_total = 0;
+  for (int page = 0; page < 4; ++page) {
+    auto result = server.SubmitPage(page_req, token).get();
+    ASSERT_TRUE(result.result.status.ok()) << "page " << page;
+    EXPECT_EQ(result.page_start, static_cast<uint64_t>(page) * 5);
+    ASSERT_EQ(result.result.combinations.size(), 5u);
+    for (auto& combo : result.result.combinations) {
+      paged.push_back(std::move(combo));
+    }
+    marginal_total += result.page_cost_depths;
+    // Marginal costs sum to the cumulative accounting the result carries.
+    EXPECT_EQ(marginal_total, result.result.stats.sum_depths);
+    token = result.next_page_token;
+    ASSERT_FALSE(token.empty());
+  }
+  ProxRJOptions twenty = page_req.options;
+  twenty.k = 20;
+  auto oneshot = engine->TopK(page_req.query, twenty);
+  ASSERT_TRUE(oneshot.ok());
+  ExpectBitIdentical(paged, *oneshot, "4 pages of 5");
+
+  const ServerStats stats = server.Stats();
+  EXPECT_EQ(stats.pages_served, 4u);
+  EXPECT_EQ(stats.sum_depths, marginal_total)
+      << "the server charges pages their marginal cost, not cumulative";
+}
+
+TEST(CursorPagingTest, StaleAndReplayedTokensAreServedExactly) {
+  const auto rels = MakeRelations(2, 50, /*seed=*/73);
+  const SumLogEuclideanScoring scoring(1.0, 1.0, 1.0);
+  auto engine = Engine::Create(rels, AccessKind::kDistance, &scoring);
+  ASSERT_TRUE(engine.ok());
+  ServerOptions server_opts;
+  server_opts.num_workers = 1;
+  Server server(&*engine, server_opts);
+
+  const QueryRequest req = MakeRequest(-0.3, 0.5, 6, kTBPA);
+  auto page1 = server.SubmitPage(req).get();
+  ASSERT_TRUE(page1.result.status.ok());
+  auto page2 = server.SubmitPage(req, page1.next_page_token).get();
+  ASSERT_TRUE(page2.result.status.ok());
+
+  // Replay page 1's token: the session advanced past it, so the server
+  // reopens and skips -- same content, bit for bit.
+  auto replay = server.SubmitPage(req, page1.next_page_token).get();
+  ASSERT_TRUE(replay.result.status.ok());
+  ExpectBitIdentical(replay.result.combinations, page2.result.combinations,
+                     "replayed token");
+  EXPECT_EQ(replay.page_start, page2.page_start);
+
+  // A token whose request does not match its session is refused.
+  QueryRequest other = MakeRequest(0.9, 0.9, 6, kTBPA);
+  auto mismatched = server.SubmitPage(other, page1.next_page_token).get();
+  EXPECT_EQ(mismatched.result.status.code(), StatusCode::kInvalidArgument);
+
+  // Garbage tokens are refused, not crashed on.
+  auto garbage = server.SubmitPage(req, "pg:not-a-number").get();
+  EXPECT_EQ(garbage.result.status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CursorPagingTest, CursorlessEnginesFallBackToDeepTopK) {
+  // An engine that only implements TopK still pages exactly, via the
+  // TopK(offset + k) fallback and its id-0 tokens.
+  const auto rels = MakeRelations(2, 40, /*seed=*/79);
+  const SumLogEuclideanScoring scoring(1.0, 1.0, 1.0);
+  auto engine = Engine::Create(rels, AccessKind::kDistance, &scoring);
+  ASSERT_TRUE(engine.ok());
+  const CountingEngine cursorless(&*engine);  // no OpenCursor override
+  ServerOptions server_opts;
+  server_opts.num_workers = 1;
+  Server server(&cursorless, server_opts);
+
+  const QueryRequest req = MakeRequest(0.0, 0.4, 4, kTBPA);
+  std::vector<ResultCombination> paged;
+  std::string token;
+  for (int page = 0; page < 3; ++page) {
+    auto result = server.SubmitPage(req, token).get();
+    ASSERT_TRUE(result.result.status.ok()) << "page " << page;
+    for (auto& combo : result.result.combinations) {
+      paged.push_back(std::move(combo));
+    }
+    token = result.next_page_token;
+    ASSERT_FALSE(token.empty());
+  }
+  ProxRJOptions twelve = req.options;
+  twelve.k = 12;
+  auto oneshot = engine->TopK(req.query, twelve);
+  ASSERT_TRUE(oneshot.ok());
+  ExpectBitIdentical(paged, *oneshot, "fallback pages");
+}
+
+TEST(CursorStreamingTest, CallbacksArriveInRankOrderWithTheExactResults) {
+  const auto rels = MakeRelations(2, 50, /*seed=*/83);
+  const SumLogEuclideanScoring scoring(1.0, 1.0, 1.0);
+  auto engine = Engine::Create(rels, AccessKind::kDistance, &scoring);
+  ASSERT_TRUE(engine.ok());
+  ServerOptions server_opts;
+  server_opts.num_workers = 2;
+  Server server(&*engine, server_opts);
+
+  const QueryRequest req = MakeRequest(0.5, -0.5, 9, kTBPA);
+  std::vector<uint64_t> ranks;
+  std::vector<ResultCombination> streamed;
+  auto future = server.SubmitStream(
+      req, [&](uint64_t rank, const ResultCombination& combination) {
+        ranks.push_back(rank);
+        streamed.push_back(combination);
+      });
+  const QueryResult outcome = future.get();
+  ASSERT_TRUE(outcome.status.ok());
+  EXPECT_TRUE(outcome.combinations.empty())
+      << "streamed results travel through the callback, not the future";
+
+  ASSERT_EQ(ranks.size(), 9u);
+  for (uint64_t i = 0; i < ranks.size(); ++i) EXPECT_EQ(ranks[i], i);
+  auto oneshot = engine->TopK(req.query, req.options);
+  ASSERT_TRUE(oneshot.ok());
+  ExpectBitIdentical(streamed, *oneshot, "streamed");
+  EXPECT_EQ(server.Stats().streamed_results, 9u);
+}
+
+}  // namespace
+}  // namespace prj
