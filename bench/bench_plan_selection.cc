@@ -1,0 +1,292 @@
+// Adaptive plan selection win on a mixed workload, end to end through
+// PlannedEngine.
+//
+// The workload is the planner's raison d'etre: half the queries are
+// localized (near a data point -- shard pruning and the R-tree frontier
+// win), half uniform over the domain (pruning overhead loses; flat pulls
+// win). No single fixed plan is best everywhere, so an engine pinned to
+// one plan leaves latency on the table somewhere. The bench runs every
+// fixed plan (PlannedEngine::TopKWithPlan) and the planner (TopK) over
+// the same query set and compares total wall time.
+//
+// Gates (exit 1, failing the Release CI step):
+//   * exactness -- every plan's answer and the planner's answer are
+//     bit-identical to an unplanned reference Engine, per query;
+//   * planned total time >= 0.95x the best fixed plan's (0.80x under
+//     PRJ_BENCH_SMOKE: tiny queries make the per-query planning cost
+//     proportionally larger and the timings noisier);
+//   * planned total time strictly below the worst fixed plan's.
+//
+// Emits BENCH_plan_selection.json (cwd-relative; run from the repo root
+// to land it there, which is where CI uploads from).
+#include <algorithm>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "common/timer.h"
+#include "core/engine.h"
+#include "plan/planned_engine.h"
+#include "workload/synthetic.h"
+
+namespace prj {
+namespace {
+
+uint64_t DoubleBits(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+uint64_t Checksum(uint64_t seed, const std::vector<ResultCombination>& rows) {
+  uint64_t h = seed ? seed : 1469598103934665603ull;
+  for (const ResultCombination& row : rows) {
+    h = (h ^ DoubleBits(row.score)) * 1099511628211ull;
+    for (const Tuple& t : row.tuples) {
+      h = (h ^ static_cast<uint64_t>(t.id)) * 1099511628211ull;
+    }
+  }
+  return h;
+}
+
+int Run() {
+  const bool smoke = bench::SmokeMode();
+  const int count = smoke ? 1500 : 8000;
+  const int q_count = smoke ? 24 : 120;
+  const int reps = smoke ? 2 : 3;
+  const int k = 10;
+  const double gate_ratio = smoke ? 0.80 : 0.95;
+
+  SyntheticSpec spec;
+  spec.dim = 2;
+  spec.count = count;
+  spec.density = 50;
+  spec.seed = 41;
+  const auto rels = GenerateProblem(2, spec);
+  const SumLogEuclideanScoring scoring(1.0, 1.0, 1.0);
+
+  auto reference = Engine::Create(rels, AccessKind::kDistance, &scoring);
+  if (!reference.ok()) {
+    std::fprintf(stderr, "Engine::Create failed: %s\n",
+                 reference.status().ToString().c_str());
+    return 1;
+  }
+
+  PlannedEngineOptions options;
+  options.sharded.partitions_per_relation = 2;
+  options.sharded.scatter_threads = 4;
+  std::string coefficients_source = "defaults";
+  auto coefficients = PlanCoefficients::LoadFile("plan_coefficients.json");
+  if (coefficients.ok()) {
+    options.coefficients = *coefficients;
+    coefficients_source = "plan_coefficients.json";
+  }
+  auto planned =
+      PlannedEngine::Create(rels, AccessKind::kDistance, &scoring, options);
+  if (!planned.ok()) {
+    std::fprintf(stderr, "PlannedEngine::Create failed: %s\n",
+                 planned.status().ToString().c_str());
+    return 1;
+  }
+  const size_t num_plans = planned->num_plans();
+
+  // Mixed workload: even queries localized near a data tuple, odd ones
+  // uniform over the whole domain.
+  const double side = CubeSide(spec);
+  Rng rng(97);
+  std::vector<Vec> queries;
+  queries.reserve(static_cast<size_t>(q_count));
+  for (int qi = 0; qi < q_count; ++qi) {
+    if (qi % 2 == 0) {
+      const auto& tuples = rels[0].tuples();
+      Vec q = tuples[rng.NextBounded(tuples.size())].x;
+      for (int d = 0; d < q.dim(); ++d) q[d] += rng.Uniform(-0.02, 0.02) * side;
+      queries.push_back(std::move(q));
+    } else {
+      queries.push_back(rng.UniformInCube(2, -0.5 * side, 0.5 * side));
+    }
+  }
+
+  ProxRJOptions topk_options;
+  topk_options.k = k;
+  topk_options.Apply(kTBPA);
+
+  std::printf(
+      "plan_selection: n=2, %d tuples/relation, %d queries "
+      "(localized/uniform mix), K=%d, %zu fixed plans + planner, "
+      "coefficients: %s\n\n",
+      count, q_count, k, num_plans, coefficients_source.c_str());
+
+  // Warmup + exactness pass: every plan and the planner against the
+  // unplanned reference, per query, bit for bit.
+  uint64_t checksum = 0;
+  std::map<std::string, int> picks;
+  int mispredicted = 0;
+  std::vector<double> query_plan_seconds(num_plans, 0.0);
+  for (int qi = 0; qi < q_count; ++qi) {
+    auto want = reference->TopK(queries[static_cast<size_t>(qi)], topk_options);
+    if (!want.ok()) return 1;
+    size_t fastest_plan = 0;
+    double fastest_seconds = 0.0;
+    for (size_t p = 0; p < num_plans; ++p) {
+      WallTimer timer;
+      auto got = planned->TopKWithPlan(p, queries[static_cast<size_t>(qi)],
+                                       topk_options);
+      const double seconds = timer.ElapsedSeconds();
+      std::string why;
+      if (!got.ok() || !BitIdenticalResults(*got, *want, &why)) {
+        std::fprintf(stderr, "FAIL: plan %s diverges on query %d: %s\n",
+                     planned->plan(p).name().c_str(), qi, why.c_str());
+        return 1;
+      }
+      query_plan_seconds[p] += seconds;
+      if (p == 0 || seconds < fastest_seconds) {
+        fastest_seconds = seconds;
+        fastest_plan = p;
+      }
+    }
+    ExecStats stats;
+    auto got =
+        planned->TopK(queries[static_cast<size_t>(qi)], topk_options, &stats);
+    std::string why;
+    if (!got.ok() || !BitIdenticalResults(*got, *want, &why)) {
+      std::fprintf(stderr, "FAIL: planner diverges on query %d: %s\n", qi,
+                   why.c_str());
+      return 1;
+    }
+    if (stats.planned_backend.empty() || stats.plan_cost_estimate <= 0.0 ||
+        stats.plan_alternatives_considered != num_plans) {
+      std::fprintf(stderr,
+                   "FAIL: planner accounting missing on query %d "
+                   "(backend '%s', estimate %g, alternatives %u)\n",
+                   qi, stats.planned_backend.c_str(), stats.plan_cost_estimate,
+                   stats.plan_alternatives_considered);
+      return 1;
+    }
+    ++picks[stats.planned_backend];
+    if (stats.planned_backend != planned->plan(fastest_plan).name()) {
+      ++mispredicted;
+    }
+    checksum = Checksum(checksum, *got);
+  }
+  std::printf("exactness: all %zu plans + planner == unplanned Engine on "
+              "all %d queries\n\n",
+              num_plans, q_count);
+
+  // Timed passes: total wall seconds per variant over the whole query
+  // set, best of `reps`.
+  std::vector<double> fixed_seconds(num_plans, 0.0);
+  double planned_seconds = 0.0;
+  for (int rep = 0; rep < reps; ++rep) {
+    for (size_t p = 0; p < num_plans; ++p) {
+      WallTimer timer;
+      for (const Vec& query : queries) {
+        auto got = planned->TopKWithPlan(p, query, topk_options);
+        if (!got.ok()) return 1;
+      }
+      const double total = timer.ElapsedSeconds();
+      if (rep == 0 || total < fixed_seconds[p]) fixed_seconds[p] = total;
+    }
+    WallTimer timer;
+    for (const Vec& query : queries) {
+      auto got = planned->TopK(query, topk_options);
+      if (!got.ok()) return 1;
+    }
+    const double total = timer.ElapsedSeconds();
+    if (rep == 0 || total < planned_seconds) planned_seconds = total;
+  }
+
+  size_t best_plan = 0, worst_plan = 0;
+  for (size_t p = 1; p < num_plans; ++p) {
+    if (fixed_seconds[p] < fixed_seconds[best_plan]) best_plan = p;
+    if (fixed_seconds[p] > fixed_seconds[worst_plan]) worst_plan = p;
+  }
+
+  std::printf("%26s %12s\n", "variant", "total ms");
+  for (size_t p = 0; p < num_plans; ++p) {
+    std::printf("%26s %12.2f%s\n", planned->plan(p).name().c_str(),
+                1e3 * fixed_seconds[p],
+                p == best_plan ? "  <- best fixed"
+                               : (p == worst_plan ? "  <- worst fixed" : ""));
+  }
+  std::printf("%26s %12.2f\n\n", "planned (adaptive)", 1e3 * planned_seconds);
+  std::printf("planner picks:");
+  for (const auto& [name, n] : picks) std::printf("  %s x%d", name.c_str(), n);
+  std::printf("\nmispredicted fastest plan on %d of %d queries\n", mispredicted,
+              q_count);
+  std::printf("checksum %016" PRIx64 "\n\n", checksum);
+
+  bool failed = false;
+  if (planned_seconds * gate_ratio > fixed_seconds[best_plan]) {
+    std::fprintf(stderr,
+                 "FAIL: planned %.2fms is not within %.0f%% of the best "
+                 "fixed plan %s (%.2fms)\n",
+                 1e3 * planned_seconds, 100.0 * gate_ratio,
+                 planned->plan(best_plan).name().c_str(),
+                 1e3 * fixed_seconds[best_plan]);
+    failed = true;
+  }
+  if (planned_seconds >= fixed_seconds[worst_plan]) {
+    std::fprintf(stderr,
+                 "FAIL: planned %.2fms is not faster than the worst fixed "
+                 "plan %s (%.2fms)\n",
+                 1e3 * planned_seconds,
+                 planned->plan(worst_plan).name().c_str(),
+                 1e3 * fixed_seconds[worst_plan]);
+    failed = true;
+  }
+  if (!failed) {
+    std::printf("gates: planned within %.0f%% of best fixed plan (%s) and "
+                "%.1fx faster than worst (%s)\n",
+                100.0 * gate_ratio, planned->plan(best_plan).name().c_str(),
+                fixed_seconds[worst_plan] / planned_seconds,
+                planned->plan(worst_plan).name().c_str());
+  }
+
+  std::FILE* f = std::fopen("BENCH_plan_selection.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot write BENCH_plan_selection.json\n");
+  } else {
+    std::fprintf(f,
+                 "{\n"
+                 "  \"smoke\": %s,\n"
+                 "  \"queries\": %d,\n"
+                 "  \"k\": %d,\n"
+                 "  \"coefficients\": \"%s\",\n"
+                 "  \"plans\": [",
+                 smoke ? "true" : "false", q_count, k,
+                 coefficients_source.c_str());
+    for (size_t p = 0; p < num_plans; ++p) {
+      std::fprintf(f, "%s\n    {\"name\": \"%s\", \"total_ms\": %.3f}",
+                   p ? "," : "", planned->plan(p).name().c_str(),
+                   1e3 * fixed_seconds[p]);
+    }
+    std::fprintf(f,
+                 "\n  ],\n"
+                 "  \"planned_ms\": %.3f,\n"
+                 "  \"best_fixed_ms\": %.3f,\n"
+                 "  \"worst_fixed_ms\": %.3f,\n"
+                 "  \"planned_over_best\": %.4f,\n"
+                 "  \"mispredicted\": %d,\n"
+                 "  \"checksum\": \"%016" PRIx64 "\"\n"
+                 "}\n",
+                 1e3 * planned_seconds, 1e3 * fixed_seconds[best_plan],
+                 1e3 * fixed_seconds[worst_plan],
+                 planned_seconds / fixed_seconds[best_plan], mispredicted,
+                 checksum);
+    std::fclose(f);
+    std::printf("wrote BENCH_plan_selection.json\n");
+  }
+  return failed ? 1 : 0;
+}
+
+}  // namespace
+}  // namespace prj
+
+int main() { return prj::Run(); }

@@ -101,6 +101,7 @@ IndexedRelation::IndexedRelation(const Relation& relation)
   }
   tree_ = RTree::BulkLoad(relation.dim(), std::move(items), kBrowseFanout);
   mbr_ = tree_.RootMbr();
+  stats_ = BuildRelationStats(tuples_, dim_, sigma_max_);
 }
 
 std::shared_ptr<const IndexedRelation> IndexedRelation::Build(
@@ -144,6 +145,7 @@ RelationSnapshot::RelationSnapshot(const Relation& relation)
       mbr_ = Rect::ForPoint(t.x);
     }
   }
+  stats_ = BuildRelationStats(tuples_, dim_, sigma_max_);
 }
 
 std::shared_ptr<const RelationSnapshot> RelationSnapshot::Build(

@@ -23,6 +23,7 @@
 #include "access/relation.h"
 #include "common/vec.h"
 #include "index/rtree.h"
+#include "plan/relation_stats.h"
 
 namespace prj {
 
@@ -132,6 +133,9 @@ class IndexedRelation {
   /// Largest score actually present (0 for an empty relation): a tighter
   /// per-partition ceiling than the a-priori sigma_max.
   double score_max() const { return score_max_; }
+  /// Planning statistics of the indexed tuples, computed once at Build;
+  /// every engine sharing this catalog entry reads the same object.
+  const RelationStats& stats() const { return stats_; }
 
  private:
   IndexedRelation(const Relation& relation);
@@ -143,6 +147,7 @@ class IndexedRelation {
   RTree tree_;
   std::optional<Rect> mbr_;
   double score_max_ = 0.0;
+  RelationStats stats_;
 };
 
 /// Distance-based access over a shared IndexedRelation. Construction is
@@ -192,6 +197,8 @@ class RelationSnapshot {
   const std::optional<Rect>& mbr() const { return mbr_; }
   /// Largest score actually present (0 for an empty relation).
   double score_max() const { return score_max_; }
+  /// Planning statistics of the snapshot tuples, computed once at Build.
+  const RelationStats& stats() const { return stats_; }
 
  private:
   explicit RelationSnapshot(const Relation& relation);
@@ -203,6 +210,7 @@ class RelationSnapshot {
   std::vector<uint32_t> score_order_;
   std::optional<Rect> mbr_;
   double score_max_ = 0.0;
+  RelationStats stats_;
 };
 
 /// Score-based access over a shared RelationSnapshot; O(1) setup. Same

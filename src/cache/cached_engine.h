@@ -27,6 +27,7 @@
 #include "cache/cursor_cache.h"
 #include "cache/query_cache.h"
 #include "core/query_engine.h"
+#include "plan/relation_stats.h"
 
 namespace prj {
 
@@ -63,6 +64,10 @@ class CachedEngine : public QueryEngine {
   /// Forwarded: the epoch the next lookup will key on comes from here.
   LiveCounters live_counters() const override {
     return inner_->live_counters();
+  }
+  /// Forwarded: caching changes no statistics.
+  std::vector<RelationStats> relation_stats() const override {
+    return inner_->relation_stats();
   }
 
   const QueryEngine& inner() const { return *inner_; }

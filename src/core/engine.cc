@@ -241,6 +241,14 @@ Result<std::vector<ResultCombination>> Engine::TopK(
   return ExecuteQuery(plan, stats_out);
 }
 
+std::vector<RelationStats> Engine::relation_stats() const {
+  std::vector<RelationStats> stats;
+  stats.reserve(num_relations());
+  for (const auto& index : indexes_) stats.push_back(index->stats());
+  for (const auto& snap : snapshots_) stats.push_back(snap->stats());
+  return stats;
+}
+
 Result<std::unique_ptr<ResultCursor>> Engine::OpenCursor(
     const QueryRequest& request) const {
   PRJ_RETURN_IF_ERROR(ValidateOptions(request.options));

@@ -30,6 +30,7 @@
 #include "core/executor.h"
 #include "core/query_engine.h"
 #include "core/scoring.h"
+#include "plan/relation_stats.h"
 
 namespace prj {
 
@@ -153,6 +154,12 @@ class Engine : public QueryEngine {
   /// sequential query loop must show arenas_created() == 1 however many
   /// queries ran -- the frontier-reuse property of the hot-path work).
   const ArenaPool& arena_pool() const { return *arena_pool_; }
+
+  /// Per-relation planning statistics, computed once per catalog entry at
+  /// Build time (access/source.h) -- shard engines assembled over shared
+  /// catalogs via FromCatalog read the same statistics objects, so nothing
+  /// is ever computed twice.
+  std::vector<RelationStats> relation_stats() const override;
 
  private:
   Engine(AccessKind kind, const ScoringFunction* scoring, Options options,

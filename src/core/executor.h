@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "access/source.h"
@@ -78,8 +79,27 @@ struct ProxRJOptions {
   uint64_t max_pulls = 0;
   double time_budget_seconds = 0.0;
 
-  /// Termination slack on the threshold test (floating-point guard).
+  /// Certification slack on the threshold test (floating-point guard):
+  /// a result is emitted once its score exceeds the bound by more than
+  /// this. The slack widens the comparison in the safe direction -- a
+  /// bound that rounds low can only delay emission (extra pulls), never
+  /// certify a result an unseen combination could still beat or tie.
   double epsilon = 1e-9;
+
+  // Per-request execution hints, set by a planning layer
+  // (plan/planned_engine.h). Like `backend` they can never change the
+  // answer -- every plan is exact -- so the canonical request key
+  // (core/query_engine.h) excludes them; engines without the hinted
+  // machinery ignore them.
+
+  /// Scatter-width hint for sharded execution: 0 keeps the engine's
+  /// construction-time scatter configuration, 1 forces the sequential
+  /// scatter, > 1 allows parallel scatter (capped by the engine's
+  /// configured pool width -- hints never create threads).
+  uint32_t scatter_hint = 0;
+  /// Shard-pruning hint: 0 keeps the engine's configuration, > 0 forces
+  /// corner-bound shard pruning on, < 0 forces it off.
+  int8_t prune_hint = 0;
 
   /// When non-null, records one TraceStep per pull (not owned).
   ExecTrace* trace = nullptr;
@@ -128,6 +148,15 @@ struct ExecStats {
   uint64_t cursor_partial_hits = 0; ///< results replayed from a cached prefix
   uint64_t cursor_resumes = 0;      ///< results computed by resuming the
                                     ///< shared enumeration past its prefix
+
+  // Plan-selection accounting, filled only by PlannedEngine
+  // (plan/planned_engine.h); empty/zero when no planner ran. Comparing
+  // plan_cost_estimate against total_seconds after the fact is how
+  // mispredictions are measured -- a wrong pick costs latency, never
+  // correctness.
+  std::string planned_backend;      ///< PlanSpec::name() of the chosen plan
+  double plan_cost_estimate = 0.0;  ///< predicted seconds of the chosen plan
+  uint32_t plan_alternatives_considered = 0;  ///< candidate plans scored
 };
 
 /// One result combination with materialized member tuples.

@@ -4,11 +4,13 @@
 // top-K lists (ShardedEngine's shard scatter, LiveEngine's base+delta
 // merge).
 //
-// The executor's output order (TopKBuffer: score descending, ties by
-// lexicographic member positions within the pulled prefixes) is
-// reconstructible from the output tuples because position order per
-// relation IS access order: (distance to q asc, id asc) under distance
-// access, (score desc, id asc) under score access. GatherBetter compares
+// The executor's output order (score descending, ties by lexicographic
+// member positions) is reconstructible from the output tuples because
+// position order per relation IS access order: (distance to q asc, id
+// asc) under distance access, (score desc, id asc) under score access --
+// and because certification is strict (core/result_cursor.cc): an entire
+// tie class is formed before any member is emitted, so the emitted tie
+// order never depends on pull chronology. GatherBetter compares
 // two combinations under exactly that order -- a strict total order
 // whenever member ids are unique per relation across the merged parts --
 // so a bounded K-heap of the union keeps the global top K independent of

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "core/result_cursor.h"
+#include "plan/relation_stats.h"
 
 namespace prj {
 
@@ -12,6 +13,8 @@ Result<std::unique_ptr<ResultCursor>> QueryEngine::OpenCursor(
   return Status::Unimplemented(
       "this engine does not support streaming cursors");
 }
+
+std::vector<RelationStats> QueryEngine::relation_stats() const { return {}; }
 
 QueryResult QueryEngine::RunOne(const QueryRequest& request) const {
   QueryResult qr;
@@ -63,9 +66,14 @@ void AppendDouble(double v, std::string* out) {
 // result-relevant field would make two different queries share one cache
 // key, i.e. silent wrong answers from CachedEngine. Update the encoding
 // (and the CanonicalRequestKeyTest field sweep) before bumping the size.
-static_assert(sizeof(ProxRJOptions) == 64,
+static_assert(sizeof(ProxRJOptions) == 72,
               "ProxRJOptions changed: audit AppendCanonicalOptions");
 
+// Deliberately excluded from the canonical encoding, alongside `trace` and
+// `backend`: the planner's execution hints (scatter_hint, prune_hint).
+// They pick among bit-identical plans, so two requests differing only in
+// hints ARE the same query -- sharing a cache entry across them is the
+// point, not a collision.
 void AppendCanonicalOptions(const ProxRJOptions& options, std::string* out) {
   AppendI64(options.k, out);
   out->push_back(static_cast<char>(options.bound));

@@ -36,7 +36,8 @@
 
 namespace prj {
 
-class ResultCursor;  // core/result_cursor.h
+class ResultCursor;    // core/result_cursor.h
+struct RelationStats;  // plan/relation_stats.h
 
 /// One query of a batch: where to evaluate and how.
 struct QueryRequest {
@@ -141,6 +142,14 @@ class QueryEngine {
   /// Live-data counters; all zero for engines without a live layer (their
   /// content never changes, i.e. it is epoch 0 forever).
   virtual LiveCounters live_counters() const { return {}; }
+  /// Per-relation planning statistics (plan/relation_stats.h), one entry
+  /// per relation in join order. Engines compute them once at ingestion;
+  /// decorators forward or aggregate (ShardedEngine merges partitions,
+  /// LiveEngine folds its deltas in). The default returns an empty vector
+  /// -- "no statistics available" -- which planning layers treat as
+  /// "use conservative estimates". Statistics are planning inputs only and
+  /// never affect result content.
+  virtual std::vector<RelationStats> relation_stats() const;
 
  protected:
   QueryEngine() = default;
@@ -160,7 +169,9 @@ class QueryEngine {
 //   * `trace`   -- a side-channel observer, not part of the query; and
 //   * `backend` -- the access-path implementation is the *engine's*
 //                  construction-time choice (Engine ignores the per-query
-//                  field, and both backends deliver bit-identical streams),
+//                  field, and both backends deliver bit-identical streams);
+//   * `scatter_hint` / `prune_hint` -- the planner's per-request execution
+//                  hints pick among bit-identical plans, never answers,
 // and the data epoch of the engine answering it: on a live engine the
 // same (query, options) pair produces different answers before and after
 // an update, so the epoch is part of request identity. Engines without a

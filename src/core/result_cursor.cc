@@ -178,11 +178,20 @@ Result<std::optional<ResultCombination>> ExecutionCursor::Next() {
     if (!heap_.empty()) {
       // Certification (Algorithm 1 line 3, per result): the best unemitted
       // candidate is final once no combination containing an unseen tuple
-      // can beat it -- or once no such combination can exist at all
+      // can beat OR TIE it -- or once no such combination can exist at all
       // (inputs exhausted / bound at -infinity) or pulling stopped for
       // good (rail tripped; uncertified drain, completed already false).
+      // The comparison is strict, widened by the epsilon slack in the
+      // safe direction: an unformed combination may tie this score
+      // exactly (adversarial tie-heavy data) and sort EARLIER under
+      // CombinationBetter, so emitting at score == bound would fix a tie
+      // order that depends on pull chronology -- which the scatter-gather
+      // merge (core/gather.h) cannot reconstruct from output tuples.
+      // Waiting until the bound falls strictly below the score means the
+      // whole tie class is formed before any member is emitted, making
+      // the emitted order a pure function of (score, member positions).
       if (drained ||
-          heap_.front().score >= current_bound_ - options_.epsilon) {
+          heap_.front().score > current_bound_ + options_.epsilon) {
         return std::optional<ResultCombination>(PopBest());
       }
     } else if (drained ||

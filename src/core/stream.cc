@@ -106,10 +106,13 @@ std::optional<ResultCombination> ProxRJStream::Next() {
   PRJ_CHECK(opened_) << "call Open() before Next()";
   for (;;) {
     // Emit once the best buffered combination is certified: nothing unseen
-    // can beat it.
+    // can beat or tie it. Strict with the slack in the safe direction,
+    // mirroring ExecutionCursor: at score == bound an unformed tie could
+    // still sort earlier, so certifying it would make the tie order
+    // depend on pull chronology.
     const bool certified =
         !buffer_.empty() &&
-        (buffer_.top().score >= current_bound_ - options_.epsilon ||
+        (buffer_.top().score > current_bound_ + options_.epsilon ||
          exhausted_ || state_->AllExhausted());
     if (certified) {
       const Combination& top = buffer_.top();

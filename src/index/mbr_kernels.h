@@ -8,11 +8,16 @@
 // node in a single pass over dense arrays -- no pointer chasing, no
 // per-coordinate branches.
 //
-// Dispatch is compile-time: the widest ISA the target enables wins
-// (AVX2 > SSE2 > scalar), selected by preprocessor checks so there is no
-// runtime branch in the hot loop. The CMake option PRJ_SIMD=OFF forces
-// the scalar path regardless of target ISA; PRJ_NATIVE=ON compiles with
-// -march=native so AVX2 lights up where the host supports it.
+// Dispatch is at runtime: all variants the compiler can emit (scalar
+// always; SSE2 and AVX2 on x86-64 via per-function target attributes)
+// are compiled into the binary, and the first kernel call resolves a
+// function pointer to the widest variant the *running* CPU supports via
+// __builtin_cpu_supports. One portable Release binary therefore uses
+// AVX2 on machines that have it and falls back below, with no
+// per-element runtime branch -- the indirection is one pointer call per
+// node batch. The CMake option PRJ_SIMD=OFF removes the vector variants
+// entirely and forces the scalar path; non-x86 or non-GNU toolchains get
+// scalar automatically.
 //
 // Bit-identity contract: every variant computes, per element, the exact
 // same IEEE-754 operation sequence --
@@ -21,15 +26,17 @@
 //     out_i   = sum over d ascending of delta_d * delta_d
 // with max(a, b) == (a > b ? a : b) (the _mm_max_pd lane rule: returns b
 // when unordered), no FMA contraction (the build sets -ffp-contract=off),
-// and lanes fully independent. Scalar and SIMD builds therefore return
-// bit-identical results; tests/hotpath_test.cc and bench_hotpath verify
-// the dispatched kernel against the scalar reference on adversarial
+// and lanes fully independent. Every variant therefore returns
+// bit-identical results on every CPU; tests/hotpath_test.cc verifies all
+// compiled-in variants pairwise (AvailableMbrKernelVariants) plus the
+// dispatched entry points against the scalar reference on adversarial
 // inputs, and the engine-level property suites verify the whole R-tree
 // backend against the presorted backend, which shares none of this code.
 #ifndef PRJ_INDEX_MBR_KERNELS_H_
 #define PRJ_INDEX_MBR_KERNELS_H_
 
 #include <cstddef>
+#include <vector>
 
 // PRJ_SIMD_ENABLED is normally injected by CMake (option PRJ_SIMD);
 // default to on for out-of-build consumers of the header.
@@ -37,27 +44,15 @@
 #define PRJ_SIMD_ENABLED 1
 #endif
 
-#if PRJ_SIMD_ENABLED && defined(__AVX2__)
+// Runtime-dispatched vector variants need x86-64 intrinsics headers, the
+// GNU target attribute, and __builtin_cpu_supports.
+#if PRJ_SIMD_ENABLED && (defined(__x86_64__) || defined(_M_X64)) && \
+    (defined(__GNUC__) || defined(__clang__))
 #include <immintrin.h>
-#define PRJ_MBR_KERNEL_AVX2 1
-#elif PRJ_SIMD_ENABLED && (defined(__SSE2__) || defined(_M_X64))
-#include <emmintrin.h>
-#define PRJ_MBR_KERNEL_SSE2 1
+#define PRJ_MBR_KERNEL_RUNTIME_DISPATCH 1
 #endif
 
 namespace prj {
-
-/// Name of the instruction set the dispatched kernels compile to, for
-/// bench/CI reporting: "avx2", "sse2" or "scalar".
-inline const char* MbrKernelIsa() {
-#if defined(PRJ_MBR_KERNEL_AVX2)
-  return "avx2";
-#elif defined(PRJ_MBR_KERNEL_SSE2)
-  return "sse2";
-#else
-  return "scalar";
-#endif
-}
 
 /// max(a, b) with the SSE/AVX `max_pd` lane rule -- returns `b` when the
 /// comparison is unordered -- so the scalar fallback and the vector paths
@@ -65,10 +60,11 @@ inline const char* MbrKernelIsa() {
 inline double MbrKernelMax(double a, double b) { return a > b ? a : b; }
 
 // ---------------------------------------------------------------------------
-// Scalar reference implementations. Also the dispatch fallback and the
-// tail handler of the vector paths: each element's computation is lane-
-// independent and identical across variants, so mixing vector body and
-// scalar tail preserves bit-identity.
+// Scalar reference implementations. Always compiled, always available:
+// the dispatch fallback, the parity baseline, and the tail handler of the
+// vector variants -- each element's computation is lane-independent and
+// identical across variants, so mixing vector body and scalar tail
+// preserves bit-identity.
 // ---------------------------------------------------------------------------
 
 /// MINDIST^2 from query `q` (dim doubles) to `count` boxes stored as
@@ -109,15 +105,77 @@ inline void PointSquaredDistanceBatchScalar(const double* q, int dim,
 }
 
 // ---------------------------------------------------------------------------
-// Vector bodies. Same operation sequence as the scalar reference, `W`
-// lanes at a time; the remainder runs the scalar element loop.
+// Vector variants. Same operation sequence as the scalar reference, `W`
+// lanes at a time; the remainder runs the scalar element loop. AVX2
+// carries a per-function target attribute, so one translation unit emits
+// every variant regardless of the build's -march; only the resolver may
+// hand out a variant the CPU lacks the ISA for.
 // ---------------------------------------------------------------------------
 
-#if defined(PRJ_MBR_KERNEL_AVX2)
+#if defined(PRJ_MBR_KERNEL_RUNTIME_DISPATCH)
 
-inline void MinSquaredDistanceBatch(const double* q, int dim, size_t count,
-                                    const double* lo, const double* hi,
-                                    double* out) {
+// x86-64 baseline: SSE2 is architecturally guaranteed, no attribute
+// needed (and none wanted -- under PRJ_NATIVE the compiler may VEX-encode
+// these 128-bit ops, which changes encodings, never results).
+inline void MinSquaredDistanceBatchSse2(const double* q, int dim, size_t count,
+                                        const double* lo, const double* hi,
+                                        double* out) {
+  constexpr size_t kW = 2;
+  const size_t main = count - count % kW;
+  const __m128d zero = _mm_setzero_pd();
+  for (size_t i = 0; i < main; i += kW) {
+    _mm_storeu_pd(out + i, zero);
+  }
+  for (size_t i = main; i < count; ++i) out[i] = 0.0;
+  for (int d = 0; d < dim; ++d) {
+    const double qd = q[d];
+    const __m128d vq = _mm_set1_pd(qd);
+    const double* lod = lo + static_cast<size_t>(d) * count;
+    const double* hid = hi + static_cast<size_t>(d) * count;
+    for (size_t i = 0; i < main; i += kW) {
+      const __m128d dlo = _mm_sub_pd(_mm_loadu_pd(lod + i), vq);
+      const __m128d dhi = _mm_sub_pd(vq, _mm_loadu_pd(hid + i));
+      const __m128d delta = _mm_max_pd(_mm_max_pd(dlo, dhi), zero);
+      const __m128d acc = _mm_loadu_pd(out + i);
+      _mm_storeu_pd(out + i, _mm_add_pd(acc, _mm_mul_pd(delta, delta)));
+    }
+    for (size_t i = main; i < count; ++i) {
+      const double delta =
+          MbrKernelMax(MbrKernelMax(lod[i] - qd, qd - hid[i]), 0.0);
+      out[i] += delta * delta;
+    }
+  }
+}
+
+inline void PointSquaredDistanceBatchSse2(const double* q, int dim,
+                                          size_t count, const double* xs,
+                                          double* out) {
+  constexpr size_t kW = 2;
+  const size_t main = count - count % kW;
+  const __m128d zero = _mm_setzero_pd();
+  for (size_t i = 0; i < main; i += kW) {
+    _mm_storeu_pd(out + i, zero);
+  }
+  for (size_t i = main; i < count; ++i) out[i] = 0.0;
+  for (int d = 0; d < dim; ++d) {
+    const double qd = q[d];
+    const __m128d vq = _mm_set1_pd(qd);
+    const double* xd = xs + static_cast<size_t>(d) * count;
+    for (size_t i = 0; i < main; i += kW) {
+      const __m128d delta = _mm_sub_pd(_mm_loadu_pd(xd + i), vq);
+      const __m128d acc = _mm_loadu_pd(out + i);
+      _mm_storeu_pd(out + i, _mm_add_pd(acc, _mm_mul_pd(delta, delta)));
+    }
+    for (size_t i = main; i < count; ++i) {
+      const double delta = xd[i] - qd;
+      out[i] += delta * delta;
+    }
+  }
+}
+
+__attribute__((target("avx2"))) inline void MinSquaredDistanceBatchAvx2(
+    const double* q, int dim, size_t count, const double* lo, const double* hi,
+    double* out) {
   constexpr size_t kW = 4;
   const size_t main = count - count % kW;
   const __m256d zero = _mm256_setzero_pd();
@@ -146,8 +204,8 @@ inline void MinSquaredDistanceBatch(const double* q, int dim, size_t count,
   }
 }
 
-inline void PointSquaredDistanceBatch(const double* q, int dim, size_t count,
-                                      const double* xs, double* out) {
+__attribute__((target("avx2"))) inline void PointSquaredDistanceBatchAvx2(
+    const double* q, int dim, size_t count, const double* xs, double* out) {
   constexpr size_t kW = 4;
   const size_t main = count - count % kW;
   const __m256d zero = _mm256_setzero_pd();
@@ -172,77 +230,69 @@ inline void PointSquaredDistanceBatch(const double* q, int dim, size_t count,
   }
 }
 
-#elif defined(PRJ_MBR_KERNEL_SSE2)
+#endif  // PRJ_MBR_KERNEL_RUNTIME_DISPATCH
 
-inline void MinSquaredDistanceBatch(const double* q, int dim, size_t count,
-                                    const double* lo, const double* hi,
-                                    double* out) {
-  constexpr size_t kW = 2;
-  const size_t main = count - count % kW;
-  const __m128d zero = _mm_setzero_pd();
-  for (size_t i = 0; i < main; i += kW) {
-    _mm_storeu_pd(out + i, zero);
+// ---------------------------------------------------------------------------
+// Runtime resolution.
+// ---------------------------------------------------------------------------
+
+/// One compiled-in kernel implementation: a name ("scalar", "sse2",
+/// "avx2") plus the two entry points. Tests iterate these pairwise to
+/// prove bit-identity across every variant the binary carries, not just
+/// the one the dispatcher happened to pick.
+struct MbrKernelVariant {
+  const char* name;
+  void (*min_squared_distance)(const double* q, int dim, size_t count,
+                               const double* lo, const double* hi, double* out);
+  void (*point_squared_distance)(const double* q, int dim, size_t count,
+                                 const double* xs, double* out);
+};
+
+/// Every variant compiled into this binary AND runnable on this CPU,
+/// narrowest first (scalar always; then sse2/avx2 as hardware allows).
+/// The dispatcher uses the last entry.
+inline std::vector<MbrKernelVariant> AvailableMbrKernelVariants() {
+  std::vector<MbrKernelVariant> variants;
+  variants.push_back({"scalar", &MinSquaredDistanceBatchScalar,
+                      &PointSquaredDistanceBatchScalar});
+#if defined(PRJ_MBR_KERNEL_RUNTIME_DISPATCH)
+  variants.push_back(
+      {"sse2", &MinSquaredDistanceBatchSse2, &PointSquaredDistanceBatchSse2});
+  if (__builtin_cpu_supports("avx2")) {
+    variants.push_back(
+        {"avx2", &MinSquaredDistanceBatchAvx2, &PointSquaredDistanceBatchAvx2});
   }
-  for (size_t i = main; i < count; ++i) out[i] = 0.0;
-  for (int d = 0; d < dim; ++d) {
-    const double qd = q[d];
-    const __m128d vq = _mm_set1_pd(qd);
-    const double* lod = lo + static_cast<size_t>(d) * count;
-    const double* hid = hi + static_cast<size_t>(d) * count;
-    for (size_t i = 0; i < main; i += kW) {
-      const __m128d dlo = _mm_sub_pd(_mm_loadu_pd(lod + i), vq);
-      const __m128d dhi = _mm_sub_pd(vq, _mm_loadu_pd(hid + i));
-      const __m128d delta = _mm_max_pd(_mm_max_pd(dlo, dhi), zero);
-      const __m128d acc = _mm_loadu_pd(out + i);
-      _mm_storeu_pd(out + i, _mm_add_pd(acc, _mm_mul_pd(delta, delta)));
-    }
-    for (size_t i = main; i < count; ++i) {
-      const double delta =
-          MbrKernelMax(MbrKernelMax(lod[i] - qd, qd - hid[i]), 0.0);
-      out[i] += delta * delta;
-    }
-  }
-}
-
-inline void PointSquaredDistanceBatch(const double* q, int dim, size_t count,
-                                      const double* xs, double* out) {
-  constexpr size_t kW = 2;
-  const size_t main = count - count % kW;
-  const __m128d zero = _mm_setzero_pd();
-  for (size_t i = 0; i < main; i += kW) {
-    _mm_storeu_pd(out + i, zero);
-  }
-  for (size_t i = main; i < count; ++i) out[i] = 0.0;
-  for (int d = 0; d < dim; ++d) {
-    const double qd = q[d];
-    const __m128d vq = _mm_set1_pd(qd);
-    const double* xd = xs + static_cast<size_t>(d) * count;
-    for (size_t i = 0; i < main; i += kW) {
-      const __m128d delta = _mm_sub_pd(_mm_loadu_pd(xd + i), vq);
-      const __m128d acc = _mm_loadu_pd(out + i);
-      _mm_storeu_pd(out + i, _mm_add_pd(acc, _mm_mul_pd(delta, delta)));
-    }
-    for (size_t i = main; i < count; ++i) {
-      const double delta = xd[i] - qd;
-      out[i] += delta * delta;
-    }
-  }
-}
-
-#else
-
-inline void MinSquaredDistanceBatch(const double* q, int dim, size_t count,
-                                    const double* lo, const double* hi,
-                                    double* out) {
-  MinSquaredDistanceBatchScalar(q, dim, count, lo, hi, out);
-}
-
-inline void PointSquaredDistanceBatch(const double* q, int dim, size_t count,
-                                      const double* xs, double* out) {
-  PointSquaredDistanceBatchScalar(q, dim, count, xs, out);
-}
-
 #endif
+  return variants;
+}
+
+/// The variant the dispatched entry points below call through: the widest
+/// runnable one, resolved once per process (thread-safe static init).
+inline const MbrKernelVariant& ActiveMbrKernelVariant() {
+  static const MbrKernelVariant active = AvailableMbrKernelVariants().back();
+  return active;
+}
+
+/// Name of the instruction set the dispatched kernels resolved to on this
+/// CPU, for bench/CI reporting: "avx2", "sse2" or "scalar".
+inline const char* MbrKernelIsa() { return ActiveMbrKernelVariant().name; }
+
+// ---------------------------------------------------------------------------
+// Dispatched entry points (the names the R-tree hot path calls). One
+// resolved-pointer indirection per node batch; per-element work is
+// branch-free.
+// ---------------------------------------------------------------------------
+
+inline void MinSquaredDistanceBatch(const double* q, int dim, size_t count,
+                                    const double* lo, const double* hi,
+                                    double* out) {
+  ActiveMbrKernelVariant().min_squared_distance(q, dim, count, lo, hi, out);
+}
+
+inline void PointSquaredDistanceBatch(const double* q, int dim, size_t count,
+                                      const double* xs, double* out) {
+  ActiveMbrKernelVariant().point_squared_distance(q, dim, count, xs, out);
+}
 
 }  // namespace prj
 

@@ -271,6 +271,20 @@ LiveCounters LiveEngine::live_counters() const {
   return counters;
 }
 
+std::vector<RelationStats> LiveEngine::relation_stats() const {
+  auto snap = Capture();
+  std::vector<RelationStats> stats = snap->base->relation_stats();
+  stats.resize(num_relations_);
+  for (size_t j = 0; j < num_relations_; ++j) {
+    const LiveRelation& lr = snap->relations[j];
+    if (lr.delta == nullptr || lr.delta->empty()) continue;
+    stats[j] = MergeRelationStats(
+        stats[j],
+        BuildRelationStats(lr.delta->Collect(), dim_, lr.delta->sigma_max()));
+  }
+  return stats;
+}
+
 std::unique_ptr<AccessSource> LiveEngine::MakeBaseSource(
     const Snapshot& snap, size_t j, const Vec& query) const {
   const LiveRelation& lr = snap.relations[j];

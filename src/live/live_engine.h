@@ -174,6 +174,13 @@ class LiveEngine : public QueryEngine {
   CacheCounters cache_counters() const override;
   LiveCounters live_counters() const override;
 
+  /// Per-relation planning statistics of the CURRENT snapshot: the
+  /// wrapped base engine's statistics with each relation's delta log
+  /// folded in (MergeRelationStats over the delta tuples). Tombstoned
+  /// tuples stay counted on the base side -- statistics are planning
+  /// estimates, and deletes only ever make them conservative.
+  std::vector<RelationStats> relation_stats() const override;
+
  private:
   /// One relation's versioned state inside a snapshot.
   struct LiveRelation {

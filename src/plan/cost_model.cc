@@ -1,0 +1,343 @@
+#include "plan/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "core/bounds.h"
+
+namespace prj {
+namespace {
+
+/// Shortest-format round-trippable rendering of a double for JSON.
+std::string FormatDouble(double x) {
+  std::ostringstream os;
+  os.precision(17);
+  os << x;
+  return os.str();
+}
+
+/// Scans `json` for `"key": [ ... PlanFeatures::kCount numbers ... ]` and
+/// fills `out`. A deliberately tiny parser: the file is machine-written by
+/// this module and tools/calibrate, so we only accept that shape.
+Status ParseCoefficientArray(const std::string& json, const std::string& key,
+                             CostCoefficients* out) {
+  const std::string quoted = "\"" + key + "\"";
+  size_t pos = json.find(quoted);
+  if (pos == std::string::npos) {
+    return Status::InvalidArgument("plan coefficients: missing key " + key);
+  }
+  pos = json.find('[', pos + quoted.size());
+  if (pos == std::string::npos) {
+    return Status::InvalidArgument("plan coefficients: no array for " + key);
+  }
+  ++pos;
+  for (int i = 0; i < PlanFeatures::kCount; ++i) {
+    const char* begin = json.c_str() + pos;
+    char* end = nullptr;
+    const double v = std::strtod(begin, &end);
+    if (end == begin) {
+      return Status::InvalidArgument("plan coefficients: bad number in " +
+                                     key);
+    }
+    out->v[static_cast<size_t>(i)] = v;
+    pos += static_cast<size_t>(end - begin);
+    pos = json.find_first_not_of(" \t\r\n", pos);
+    if (pos == std::string::npos) {
+      return Status::InvalidArgument("plan coefficients: truncated " + key);
+    }
+    const char expect = i + 1 < PlanFeatures::kCount ? ',' : ']';
+    if (json[pos] != expect) {
+      return Status::InvalidArgument("plan coefficients: " + key +
+                                     " must hold exactly " +
+                                     std::to_string(PlanFeatures::kCount) +
+                                     " numbers");
+    }
+    ++pos;
+  }
+  return Status::OK();
+}
+
+void AppendCoefficientArray(std::ostringstream* os, const std::string& key,
+                            const CostCoefficients& c) {
+  *os << "  \"" << key << "\": [";
+  for (int i = 0; i < PlanFeatures::kCount; ++i) {
+    if (i) *os << ", ";
+    *os << FormatDouble(c.v[static_cast<size_t>(i)]);
+  }
+  *os << "]";
+}
+
+}  // namespace
+
+std::string PlanSpec::name() const {
+  switch (backend) {
+    case PlanBackend::kMonoRTree:
+      return "mono[rtree]";
+    case PlanBackend::kMonoPresorted:
+      return "mono[presorted]";
+    case PlanBackend::kSharded:
+      return std::string("sharded[") + (prune ? "prune" : "noprune") +
+             ",thr=" + std::to_string(scatter_threads) + "]";
+  }
+  return "unknown";
+}
+
+const CostCoefficients& PlanCoefficients::of(PlanBackend backend) const {
+  switch (backend) {
+    case PlanBackend::kMonoRTree:
+      return mono_rtree;
+    case PlanBackend::kMonoPresorted:
+      return mono_presorted;
+    case PlanBackend::kSharded:
+      return sharded;
+  }
+  return mono_rtree;
+}
+
+CostCoefficients& PlanCoefficients::of(PlanBackend backend) {
+  return const_cast<CostCoefficients&>(
+      static_cast<const PlanCoefficients*>(this)->of(backend));
+}
+
+PlanCoefficients PlanCoefficients::Defaults() {
+  // Hand-seeded ballpark (seconds): ~100ns per pull, tens of microseconds
+  // per shard execution, ~10ns per sorted element. Rankings from these are
+  // sane on commodity x86; tools/calibrate replaces them with a real fit.
+  PlanCoefficients c;
+  c.mono_rtree.v = {2e-5, 0.0, 1e-7, 3e-8, 1.5e-7, 0.0};
+  c.mono_presorted.v = {2e-5, 0.0, 1e-7, 8e-9, 1.0e-7, 0.0};
+  c.sharded.v = {4e-5, 0.0, 1e-7, 6e-5, 3e-8, 1.2e-7};
+  return c;
+}
+
+std::string PlanCoefficients::ToJson() const {
+  std::ostringstream os;
+  os << "{\n  \"version\": 1,\n  \"features\": " << PlanFeatures::kCount
+     << ",\n";
+  AppendCoefficientArray(&os, "mono_rtree", mono_rtree);
+  os << ",\n";
+  AppendCoefficientArray(&os, "mono_presorted", mono_presorted);
+  os << ",\n";
+  AppendCoefficientArray(&os, "sharded", sharded);
+  os << "\n}\n";
+  return os.str();
+}
+
+Result<PlanCoefficients> PlanCoefficients::FromJson(const std::string& json) {
+  PlanCoefficients c;
+  PRJ_RETURN_IF_ERROR(ParseCoefficientArray(json, "mono_rtree",
+                                            &c.mono_rtree));
+  PRJ_RETURN_IF_ERROR(
+      ParseCoefficientArray(json, "mono_presorted", &c.mono_presorted));
+  PRJ_RETURN_IF_ERROR(ParseCoefficientArray(json, "sharded", &c.sharded));
+  return c;
+}
+
+Result<PlanCoefficients> PlanCoefficients::LoadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return FromJson(buf.str());
+}
+
+Status PlanCoefficients::WriteFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  out << ToJson();
+  out.flush();
+  if (!out) return Status::IOError("short write to " + path);
+  return Status::OK();
+}
+
+CostModel::CostModel(AccessKind kind, const ScoringFunction* scoring,
+                     std::vector<RelationStats> stats)
+    : kind_(kind), scoring_(scoring), stats_(std::move(stats)) {
+  for (const RelationStats& s : stats_) {
+    max_cardinality_ =
+        std::max(max_cardinality_, static_cast<double>(s.cardinality));
+  }
+}
+
+double CostModel::RadiusAtDepth(size_t i, const Vec& query, double d) const {
+  const RelationStats& s = stats_[i];
+  if (s.empty() || !s.mbr) return 0.0;
+  // Largest radius we would ever report: the far corner of the envelope.
+  double max_sq = 0.0;
+  for (int dd = 0; dd < s.mbr->dim(); ++dd) {
+    const double far = std::max(std::abs(query[dd] - s.mbr->lo[dd]),
+                                std::abs(query[dd] - s.mbr->hi[dd]));
+    max_sq += far * far;
+  }
+  const double max_radius = std::sqrt(max_sq);
+  if (d >= static_cast<double>(s.cardinality)) return max_radius;
+  double density = s.LocalDensity(query);
+  if (density <= 0.0) density = s.GlobalDensity();
+  if (density <= 0.0) return max_radius;
+  // Invert members-within-radius ~= density * (2r)^dim: the box volume
+  // model matches the sketch's tile geometry better than a ball would.
+  const int dim = s.mbr->dim();
+  const double r = 0.5 * std::pow(d / density, 1.0 / dim);
+  return std::min(r, max_radius);
+}
+
+double CostModel::BoundAtDepth(const Vec& query, double d) const {
+  std::vector<RelationEnvelope> envelopes(stats_.size());
+  for (size_t i = 0; i < stats_.size(); ++i) {
+    const RelationStats& s = stats_[i];
+    RelationEnvelope& e = envelopes[i];
+    if (s.empty()) {
+      e.score_ceiling = s.sigma_max;
+      e.min_dist_q = 0.0;
+      continue;
+    }
+    if (kind_ == AccessKind::kDistance) {
+      // Distance streams: after d pulls everything within the frontier
+      // radius is seen; unseen tuples score at most the relation max.
+      e.score_ceiling = s.score_max;
+      e.min_dist_q = RadiusAtDepth(i, query, d);
+    } else {
+      // Score streams: after d pulls the unseen score ceiling is the
+      // (1 - d/N) quantile; unseen tuples can sit anywhere in the MBR.
+      const double frac = d / static_cast<double>(s.cardinality);
+      e.score_ceiling = s.ScoreQuantile(std::max(0.0, 1.0 - frac));
+      e.min_dist_q = s.mbr ? std::sqrt(s.mbr->MinSquaredDistance(query)) : 0.0;
+    }
+  }
+  return CornerUpperBound(*scoring_, envelopes);
+}
+
+double CostModel::TypicalScoreAtDepth(const Vec& query, double d) const {
+  // Score of a "typical" combination assembled from tuples around depth d:
+  // per slot the median-ish score, at the frontier-scale distance from the
+  // query and a comparable spread around the centroid.
+  std::vector<double> weighted(stats_.size());
+  for (size_t i = 0; i < stats_.size(); ++i) {
+    const RelationStats& s = stats_[i];
+    if (s.empty()) {
+      weighted[i] =
+          scoring_->ProximityWeightedScore(static_cast<int>(i), s.sigma_max,
+                                           0.0, 0.0);
+      continue;
+    }
+    double sigma;
+    double dist_q;
+    if (kind_ == AccessKind::kDistance) {
+      sigma = s.ScoreQuantile(0.5);
+      dist_q = RadiusAtDepth(i, query, std::max(1.0, 0.5 * d));
+    } else {
+      const double frac = 0.5 * d / static_cast<double>(s.cardinality);
+      sigma = s.ScoreQuantile(std::max(0.0, 1.0 - frac));
+      // A score-ranked member is spatially arbitrary: use the distance to
+      // the envelope center as the typical query distance.
+      if (s.mbr) {
+        const Vec center = (s.mbr->lo + s.mbr->hi) * 0.5;
+        dist_q = scoring_->euclidean_metric() ? query.Distance(center)
+                                              : scoring_->Distance(query,
+                                                                   center);
+      } else {
+        dist_q = 0.0;
+      }
+    }
+    weighted[i] = scoring_->ProximityWeightedScore(static_cast<int>(i), sigma,
+                                                   dist_q, 0.5 * dist_q);
+  }
+  return scoring_->Aggregate(weighted);
+}
+
+CostModel::DepthEstimate CostModel::EstimateDepth(const Vec& query,
+                                                  int k) const {
+  DepthEstimate est;
+  const size_t n = stats_.size();
+  if (n == 0 || max_cardinality_ <= 0.0) {
+    est.depth = std::max(1, k);
+    return est;
+  }
+  // Roughly k combinations need d^n frontier tuples per relation.
+  const double dk = std::max(
+      1.0, std::ceil(std::pow(static_cast<double>(std::max(1, k)),
+                              1.0 / static_cast<double>(n))));
+  est.kth_score = TypicalScoreAtDepth(query, dk);
+
+  // Doubling search for the certifying depth, then a short bisection to
+  // tighten inside the last doubling interval.
+  double lo = dk;
+  double hi = dk;
+  while (hi < max_cardinality_ && BoundAtDepth(query, hi) > est.kth_score) {
+    lo = hi;
+    hi = std::min(2.0 * hi, max_cardinality_);
+    if (hi >= max_cardinality_) break;
+  }
+  if (BoundAtDepth(query, hi) <= est.kth_score) {
+    for (int iter = 0; iter < 8; ++iter) {
+      const double mid = 0.5 * (lo + hi);
+      (BoundAtDepth(query, mid) > est.kth_score ? lo : hi) = mid;
+    }
+    est.depth = hi;
+  } else {
+    est.depth = max_cardinality_;  // never certifies: full scan territory
+  }
+  est.depth = std::clamp(est.depth, 1.0, max_cardinality_);
+  return est;
+}
+
+PlanFeatures CostModel::Features(const PlanSpec& spec,
+                                 const DepthEstimate& estimate, int k,
+                                 size_t survivors) const {
+  const double n = static_cast<double>(std::max<size_t>(1, stats_.size()));
+  double total_cardinality = 0.0;
+  for (const RelationStats& s : stats_) {
+    total_cardinality += static_cast<double>(s.cardinality);
+  }
+  const double log_n_avg = std::log2(1.0 + max_cardinality_);
+  const double depth = estimate.depth;
+
+  PlanFeatures f;
+  f.v[0] = 1.0;
+  f.v[1] = depth;
+  f.v[2] = static_cast<double>(k);
+  switch (spec.backend) {
+    case PlanBackend::kMonoRTree:
+      // Tree descent / frontier maintenance scales with depth * log N.
+      f.v[3] = depth * log_n_avg;
+      f.v[4] = n * depth;
+      f.v[5] = f.v[4];
+      break;
+    case PlanBackend::kMonoPresorted:
+      // Distance access pays a per-query O(N log N) sort of every
+      // relation; score access reads the precomputed score order, so the
+      // setup term vanishes.
+      f.v[3] = kind_ == AccessKind::kDistance ? total_cardinality * log_n_avg
+                                              : 0.0;
+      f.v[4] = n * depth;
+      f.v[5] = f.v[4];
+      break;
+    case PlanBackend::kSharded: {
+      // Each surviving shard pays fixed execution overhead plus a ~k-pull
+      // certification tail on top of its share of the frontier work.
+      const double surv = static_cast<double>(survivors);
+      f.v[3] = surv;
+      f.v[4] = n * depth + surv * static_cast<double>(k);
+      const double width =
+          static_cast<double>(std::max<uint32_t>(1, spec.scatter_threads));
+      f.v[5] = f.v[4] / width;
+      break;
+    }
+  }
+  return f;
+}
+
+double CostModel::PredictSeconds(const PlanSpec& spec, const PlanFeatures& f,
+                                 const PlanCoefficients& coefficients) {
+  const CostCoefficients& c = coefficients.of(spec.backend);
+  double cost = 0.0;
+  for (int i = 0; i < PlanFeatures::kCount; ++i) {
+    cost += c.v[static_cast<size_t>(i)] * f.v[static_cast<size_t>(i)];
+  }
+  return std::max(0.0, cost);
+}
+
+}  // namespace prj

@@ -1,0 +1,160 @@
+// A calibrated linear cost model over exact execution plans.
+//
+// The planner's candidate plans (plan/planned_engine.h) all return
+// bit-identical results, so choosing one is a pure latency prediction
+// problem. Following the hyrise JoinProxy recipe, each plan class gets a
+// small linear model over query-dependent features; the coefficients are
+// fit OFFLINE by tools/calibrate from measured wall times on a generated
+// workload and stored in plan_coefficients.json (checked in, loadable at
+// runtime, re-fittable on new hardware with one command).
+//
+// The features come from the per-relation statistics (RelationStats) and
+// the same corner-bound geometry the execution layers prune with:
+//
+//   * estimated access depth -- how deep the sorted streams must go
+//     before the bound certifies the top K. Found by a doubling search:
+//     depth d is sufficient once the admissible corner bound over the
+//     unseen region (score histogram ceiling, frontier radius from the
+//     local density sketch) drops to the estimated K-th result score;
+//   * pull volume and per-plan setup proxies (per-query sort for the
+//     presorted backend, per-shard execution overhead for the scatter);
+//   * the shard survivor estimate -- how many shards' corner bounds beat
+//     the estimated K-th score, i.e. how much of the fan-out pruning
+//     will NOT remove (computed by the planner, which owns the shards).
+//
+// Everything here is an estimate feeding a prediction; no feature ever
+// affects result content.
+#ifndef PRJ_PLAN_COST_MODEL_H_
+#define PRJ_PLAN_COST_MODEL_H_
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "access/source.h"
+#include "common/status.h"
+#include "common/vec.h"
+#include "core/scoring.h"
+#include "plan/relation_stats.h"
+
+namespace prj {
+
+/// The plan classes the cost model distinguishes (one coefficient vector
+/// each). Mono plans run the monolithic Engine with the named catalog
+/// backend; sharded plans run the scatter-gather engine with per-request
+/// scatter/prune hints.
+enum class PlanBackend { kMonoRTree, kMonoPresorted, kSharded };
+
+/// One candidate plan: a backend class plus the execution knobs the
+/// planner may set per request. All plans are exact; only cost differs.
+struct PlanSpec {
+  PlanBackend backend = PlanBackend::kMonoRTree;
+  /// Effective scatter width for sharded plans: 1 = sequential scatter,
+  /// > 1 = parallel with up to this many threads. Ignored for mono plans.
+  uint32_t scatter_threads = 1;
+  /// Corner-bound shard pruning for sharded plans; ignored for mono.
+  bool prune = true;
+
+  /// Stable human-readable name, e.g. "sharded[prune,thr=4]"; recorded in
+  /// ExecStats::planned_backend so mispredictions are attributable.
+  std::string name() const;
+};
+
+/// Feature vector of one (plan, query, k) triple. Fixed layout shared by
+/// every plan class; per-class coefficients give each slot its own weight
+/// (and irrelevant slots a fitted near-zero one).
+struct PlanFeatures {
+  static constexpr int kCount = 6;
+  // [0] intercept (1.0)
+  // [1] estimated per-relation access depth
+  // [2] k
+  // [3] class setup proxy: N*log2(N) per-query sort for mono-presorted,
+  //     depth*log2(N) tree descent for mono-rtree, surviving-shard count
+  //     (per-shard execution overhead) for sharded
+  // [4] estimated total pull volume: n*depth, plus the per-survivor
+  //     certification tail (~k each) for sharded plans
+  // [5] estimated makespan: pull volume / scatter width
+  std::array<double, kCount> v{};
+};
+
+/// Coefficients of one plan class: predicted_seconds = dot(coef, features).
+struct CostCoefficients {
+  std::array<double, PlanFeatures::kCount> v{};
+};
+
+/// The full fitted model: one coefficient vector per plan class, JSON
+/// round-trippable (tools/calibrate writes, runtime loads).
+struct PlanCoefficients {
+  CostCoefficients mono_rtree;
+  CostCoefficients mono_presorted;
+  CostCoefficients sharded;
+
+  const CostCoefficients& of(PlanBackend backend) const;
+  CostCoefficients& of(PlanBackend backend);
+
+  /// Built-in defaults: a conservative hand-seeded model (microseconds
+  /// per pull / per shard / per sort element on commodity hardware) so a
+  /// PlannedEngine works out of the box; re-fit with tools/calibrate for
+  /// the deployment machine.
+  static PlanCoefficients Defaults();
+
+  /// JSON round trip. The format is the flat object tools/calibrate
+  /// writes: {"version": 1, "mono_rtree": [6 numbers], ...}.
+  std::string ToJson() const;
+  static Result<PlanCoefficients> FromJson(const std::string& json);
+  static Result<PlanCoefficients> LoadFile(const std::string& path);
+  Status WriteFile(const std::string& path) const;
+};
+
+/// The per-engine cost model: per-relation statistics + the scoring
+/// function, answering depth/score estimates and plan features.
+/// Immutable and thread-safe after construction.
+class CostModel {
+ public:
+  /// `scoring` must outlive the model; `stats` one entry per relation in
+  /// join order.
+  CostModel(AccessKind kind, const ScoringFunction* scoring,
+            std::vector<RelationStats> stats);
+
+  struct DepthEstimate {
+    double depth = 1.0;      ///< per-relation access depth
+    double kth_score = 0.0;  ///< estimated score of the K-th result
+  };
+
+  /// Estimated access depth per relation for a top-k query at `query`:
+  /// the smallest depth (doubling search) whose corner bound over the
+  /// unseen region falls to the estimated K-th result score. Also returns
+  /// that score estimate -- the threshold the planner counts shard
+  /// survivors against.
+  DepthEstimate EstimateDepth(const Vec& query, int k) const;
+
+  /// Features of `spec` for a top-k query at `query`. `survivors` is the
+  /// planner's surviving-shard estimate (pass 0 for mono plans).
+  PlanFeatures Features(const PlanSpec& spec, const DepthEstimate& estimate,
+                        int k, size_t survivors) const;
+
+  /// dot(coefficients[spec.backend], features), floored at zero (a linear
+  /// fit can dip negative outside its training range; a negative latency
+  /// prediction would distort plan ranking).
+  static double PredictSeconds(const PlanSpec& spec, const PlanFeatures& f,
+                               const PlanCoefficients& coefficients);
+
+  const std::vector<RelationStats>& stats() const { return stats_; }
+
+ private:
+  /// Admissible-style corner bound over the unseen region at per-relation
+  /// depth `d`, and the typical-result score estimate at that depth.
+  double BoundAtDepth(const Vec& query, double d) const;
+  double TypicalScoreAtDepth(const Vec& query, double d) const;
+  /// Frontier radius of relation `i` at depth `d` under its local density.
+  double RadiusAtDepth(size_t i, const Vec& query, double d) const;
+
+  AccessKind kind_;
+  const ScoringFunction* scoring_;
+  std::vector<RelationStats> stats_;
+  double max_cardinality_ = 0.0;
+};
+
+}  // namespace prj
+
+#endif  // PRJ_PLAN_COST_MODEL_H_

@@ -1,0 +1,247 @@
+#include "plan/planned_engine.h"
+
+#include <limits>
+#include <string>
+#include <utility>
+
+#include "core/result_cursor.h"
+
+namespace prj {
+namespace {
+
+/// Overlays the planner's accounting on the chosen plan's cursor stats.
+class PlannedCursor : public ResultCursor {
+ public:
+  PlannedCursor(std::unique_ptr<ResultCursor> inner, std::string backend,
+                double cost_estimate, uint32_t alternatives)
+      : inner_(std::move(inner)),
+        backend_(std::move(backend)),
+        cost_estimate_(cost_estimate),
+        alternatives_(alternatives) {}
+
+  Result<std::optional<ResultCombination>> Next() override {
+    return inner_->Next();
+  }
+  ExecStats stats() const override {
+    ExecStats s = inner_->stats();
+    s.planned_backend = backend_;
+    s.plan_cost_estimate = cost_estimate_;
+    s.plan_alternatives_considered = alternatives_;
+    return s;
+  }
+  uint64_t emitted() const override { return inner_->emitted(); }
+
+ private:
+  std::unique_ptr<ResultCursor> inner_;
+  std::string backend_;
+  double cost_estimate_;
+  uint32_t alternatives_;
+};
+
+}  // namespace
+
+Result<PlannedEngine> PlannedEngine::Create(
+    const std::vector<Relation>& relations, AccessKind kind,
+    const ScoringFunction* scoring, Options options) {
+  PRJ_RETURN_IF_ERROR(ValidateEngineInputs(relations, kind, scoring));
+  PlannedEngine planned(kind, scoring, std::move(options),
+                        relations.front().dim(), relations.size());
+
+  EngineOptions mono;
+  mono.block_size = planned.options_.block_size;
+  if (kind == AccessKind::kDistance) {
+    mono.backend = SourceBackend::kRTree;
+    auto rtree = Engine::Create(relations, kind, scoring, mono);
+    PRJ_RETURN_IF_ERROR(rtree.status());
+    planned.mono_rtree_.emplace(std::move(*rtree));
+  }
+  mono.backend = SourceBackend::kPresorted;
+  auto presorted = Engine::Create(relations, kind, scoring, mono);
+  PRJ_RETURN_IF_ERROR(presorted.status());
+  planned.mono_presorted_.emplace(std::move(*presorted));
+
+  auto sharded =
+      ShardedEngine::Create(relations, kind, scoring, planned.options_.sharded);
+  PRJ_RETURN_IF_ERROR(sharded.status());
+  planned.sharded_.emplace(std::move(*sharded));
+
+  // The cost model reads the whole-relation statistics off a mono
+  // catalog: exact, and shared with relation_stats().
+  const Engine& stats_source = planned.mono_rtree_
+                                   ? *planned.mono_rtree_
+                                   : *planned.mono_presorted_;
+  planned.cost_model_ = std::make_unique<CostModel>(
+      kind, scoring, stats_source.relation_stats());
+
+  // The candidate roster: backend x scatter width x prune, restricted to
+  // what this configuration can actually run (hints never create
+  // threads). Plan 0 is always a mono plan -- the traced-query fallback.
+  if (planned.mono_rtree_) {
+    planned.plans_.push_back({PlanBackend::kMonoRTree, 1, true});
+  }
+  planned.plans_.push_back({PlanBackend::kMonoPresorted, 1, true});
+  planned.plans_.push_back({PlanBackend::kSharded, 1, true});
+  const uint32_t width = planned.options_.sharded.scatter_threads;
+  if (width > 1) {
+    planned.plans_.push_back({PlanBackend::kSharded, width, true});
+    planned.plans_.push_back({PlanBackend::kSharded, width, false});
+  } else {
+    planned.plans_.push_back({PlanBackend::kSharded, 1, false});
+  }
+  return planned;
+}
+
+const QueryEngine* PlannedEngine::EngineFor(const PlanSpec& spec,
+                                            ProxRJOptions* options) const {
+  switch (spec.backend) {
+    case PlanBackend::kMonoRTree:
+      return &*mono_rtree_;
+    case PlanBackend::kMonoPresorted:
+      return &*mono_presorted_;
+    case PlanBackend::kSharded:
+      options->scatter_hint =
+          spec.scatter_threads <= 1 ? 1u : spec.scatter_threads;
+      options->prune_hint = spec.prune ? 1 : -1;
+      return &*sharded_;
+  }
+  return &*mono_presorted_;
+}
+
+PlanChoice PlannedEngine::ChoosePlan(const Vec& query, int k) const {
+  PlanChoice choice;
+  choice.depth = cost_model_->EstimateDepth(query, std::max(1, k));
+
+  // Survivor estimate: shards whose a-priori corner bound reaches the
+  // estimated K-th score -- the same test the scatter will apply against
+  // the real threshold. At least one shard always runs (the scout).
+  size_t survivors = 0;
+  for (size_t s = 0; s < sharded_->num_shards(); ++s) {
+    if (sharded_->ShardUpperBound(s, query) >= choice.depth.kth_score) {
+      ++survivors;
+    }
+  }
+  if (survivors == 0 && sharded_->num_shards() > 0) survivors = 1;
+  choice.shard_survivors = survivors;
+
+  double best = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < plans_.size(); ++i) {
+    const PlanSpec& spec = plans_[i];
+    // A no-prune scatter executes every shard, whatever the bounds say.
+    const size_t surv = spec.backend == PlanBackend::kSharded
+                            ? (spec.prune ? survivors : sharded_->num_shards())
+                            : 0;
+    const PlanFeatures f = cost_model_->Features(spec, choice.depth, k, surv);
+    const double cost =
+        CostModel::PredictSeconds(spec, f, options_.coefficients);
+    if (cost < best) {
+      best = cost;
+      choice.plan_index = i;
+      choice.cost_estimate = cost;
+    }
+  }
+  return choice;
+}
+
+Result<std::vector<ResultCombination>> PlannedEngine::TopK(
+    const Vec& query, const ProxRJOptions& options,
+    ExecStats* stats_out) const {
+  if (stats_out) *stats_out = ExecStats{};
+  PRJ_RETURN_IF_ERROR(ValidateOptions(options));
+  if (query.dim() != dim_) {
+    return Status::InvalidArgument(
+        "engine serves dim " + std::to_string(dim_) +
+        " but the query has dim " + std::to_string(query.dim()));
+  }
+  if (options.trace != nullptr) {
+    // Traces observe one engine's execution; their shape must not flip
+    // with a planning decision, so traced queries pin the first mono plan.
+    return TopKWithPlan(0, query, options, stats_out);
+  }
+  const PlanChoice choice = ChoosePlan(query, options.k);
+  const PlanSpec& spec = plans_[choice.plan_index];
+  ProxRJOptions dispatched = options;
+  const QueryEngine* engine = EngineFor(spec, &dispatched);
+  auto result = engine->TopK(query, dispatched, stats_out);
+  if (stats_out) {
+    stats_out->planned_backend = spec.name();
+    stats_out->plan_cost_estimate = choice.cost_estimate;
+    stats_out->plan_alternatives_considered =
+        static_cast<uint32_t>(plans_.size());
+  }
+  return result;
+}
+
+Result<std::vector<ResultCombination>> PlannedEngine::TopKWithPlan(
+    size_t plan_index, const Vec& query, const ProxRJOptions& options,
+    ExecStats* stats_out) const {
+  if (stats_out) *stats_out = ExecStats{};
+  if (plan_index >= plans_.size()) {
+    return Status::InvalidArgument(
+        "plan index " + std::to_string(plan_index) + " out of range (" +
+        std::to_string(plans_.size()) + " plans)");
+  }
+  PRJ_RETURN_IF_ERROR(ValidateOptions(options));
+  if (query.dim() != dim_) {
+    return Status::InvalidArgument(
+        "engine serves dim " + std::to_string(dim_) +
+        " but the query has dim " + std::to_string(query.dim()));
+  }
+  const PlanSpec& spec = plans_[plan_index];
+  // The forced plan's own estimate, for the accounting fields (estimation
+  // touches only statistics, never the access streams, so it is safe
+  // under tracing too).
+  const CostModel::DepthEstimate depth =
+      cost_model_->EstimateDepth(query, std::max(1, options.k));
+  size_t surv = 0;
+  if (spec.backend == PlanBackend::kSharded) {
+    if (spec.prune) {
+      for (size_t s = 0; s < sharded_->num_shards(); ++s) {
+        if (sharded_->ShardUpperBound(s, query) >= depth.kth_score) ++surv;
+      }
+      if (surv == 0 && sharded_->num_shards() > 0) surv = 1;
+    } else {
+      surv = sharded_->num_shards();
+    }
+  }
+  const PlanFeatures f = cost_model_->Features(spec, depth, options.k, surv);
+  const double cost = CostModel::PredictSeconds(spec, f, options_.coefficients);
+
+  ProxRJOptions dispatched = options;
+  const QueryEngine* engine = EngineFor(spec, &dispatched);
+  auto result = engine->TopK(query, dispatched, stats_out);
+  if (stats_out) {
+    stats_out->planned_backend = spec.name();
+    stats_out->plan_cost_estimate = cost;
+    stats_out->plan_alternatives_considered = 1;
+  }
+  return result;
+}
+
+Result<std::unique_ptr<ResultCursor>> PlannedEngine::OpenCursor(
+    const QueryRequest& request) const {
+  PRJ_RETURN_IF_ERROR(ValidateOptions(request.options));
+  if (request.query.dim() != dim_) {
+    return Status::InvalidArgument(
+        "engine serves dim " + std::to_string(dim_) +
+        " but the query has dim " + std::to_string(request.query.dim()));
+  }
+  size_t plan_index = 0;  // traced enumerations pin the mono plan, like TopK
+  double cost_estimate = 0.0;
+  uint32_t alternatives = 1;
+  if (request.options.trace == nullptr) {
+    const PlanChoice choice =
+        ChoosePlan(request.query, request.options.k);
+    plan_index = choice.plan_index;
+    cost_estimate = choice.cost_estimate;
+    alternatives = static_cast<uint32_t>(plans_.size());
+  }
+  const PlanSpec& spec = plans_[plan_index];
+  QueryRequest dispatched = request;
+  const QueryEngine* engine = EngineFor(spec, &dispatched.options);
+  auto cursor = engine->OpenCursor(dispatched);
+  if (!cursor.ok()) return cursor.status();
+  return std::unique_ptr<ResultCursor>(new PlannedCursor(
+      std::move(*cursor), spec.name(), cost_estimate, alternatives));
+}
+
+}  // namespace prj

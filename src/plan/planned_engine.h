@@ -1,0 +1,152 @@
+// PlannedEngine: adaptive per-query plan selection over the exact stack.
+//
+// Every backend in this library answers bit-identically, but latency
+// differs by orders of magnitude with query locality, k and data shape:
+// shard pruning wins ~100x on localized workloads and loses (bound
+// computation + scatter overhead) on uniform ones; the R-tree backend has
+// O(1) per-query setup while the presorted backend pays an O(N log N)
+// sort but cheaper pulls; parallel scatter pays off only when enough
+// shards survive pruning. PlannedEngine closes that gap: it owns a small
+// roster of candidate plans (mono engines per distance backend plus one
+// sharded engine driven through per-request scatter/prune hints), scores
+// every candidate with the calibrated CostModel, and dispatches to the
+// cheapest -- recording what it predicted in ExecStats so mispredictions
+// are measurable after the fact. A wrong pick costs milliseconds, never
+// correctness: the planner's whole safety argument is that there is
+// nothing to be unsafe about.
+//
+// The decorator satisfies QueryEngine, so it slots under Server or
+// CachedEngine like any other backend; the execution hints it sets are
+// excluded from the canonical request key, so cache entries are shared
+// across plans -- which is correct precisely because plans are
+// bit-identical.
+#ifndef PRJ_PLAN_PLANNED_ENGINE_H_
+#define PRJ_PLAN_PLANNED_ENGINE_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/query_engine.h"
+#include "plan/cost_model.h"
+#include "plan/relation_stats.h"
+#include "shard/sharded_engine.h"
+
+namespace prj {
+
+struct PlannedEngineOptions {
+  /// Configuration of the sharded candidate (partitioning, scatter pool).
+  /// scatter_threads > 1 adds a parallel-scatter plan to the roster.
+  ShardedEngineOptions sharded;
+  /// Paging applied to the mono candidates (EngineOptions::block_size).
+  size_t block_size = 0;
+  /// The fitted cost coefficients; load plan_coefficients.json via
+  /// PlanCoefficients::LoadFile for a machine-specific fit, or keep the
+  /// built-in defaults.
+  PlanCoefficients coefficients = PlanCoefficients::Defaults();
+};
+
+/// What ChoosePlan decided for one (query, k): the winning plan plus the
+/// estimates it was judged on (exposed for tests, benches, calibration).
+struct PlanChoice {
+  size_t plan_index = 0;
+  double cost_estimate = 0.0;          ///< predicted seconds of the winner
+  CostModel::DepthEstimate depth;      ///< shared depth/score estimate
+  size_t shard_survivors = 0;          ///< shards predicted to survive
+};
+
+class PlannedEngine : public QueryEngine {
+ public:
+  using Options = PlannedEngineOptions;
+
+  /// Ingests the relations into the full roster (the mono engines and the
+  /// sharded engine each build their own catalogs -- the planner trades
+  /// construction memory for per-query choice) and builds the cost model
+  /// from the catalog statistics. `scoring` must outlive the engine.
+  /// Under distance access the roster is {mono R-tree, mono presorted,
+  /// sharded sequential, sharded parallel (when configured), sharded
+  /// no-prune}; under score access the backends coincide (score streams
+  /// always come off the snapshot catalog), so one mono plan serves.
+  static Result<PlannedEngine> Create(const std::vector<Relation>& relations,
+                                      AccessKind kind,
+                                      const ScoringFunction* scoring,
+                                      Options options = {});
+
+  PlannedEngine(PlannedEngine&&) = default;
+  PlannedEngine& operator=(PlannedEngine&&) = default;
+
+  /// Scores every candidate plan for this request and dispatches to the
+  /// predicted-fastest; bit-identical to every other plan (and to an
+  /// unplanned Engine) by construction. `stats_out` additionally carries
+  /// planned_backend / plan_cost_estimate / plan_alternatives_considered.
+  /// Traced queries skip planning and run the first mono plan: a trace is
+  /// a per-engine observer, so its shape must not depend on a planner
+  /// decision.
+  Result<std::vector<ResultCombination>> TopK(
+      const Vec& query, const ProxRJOptions& options,
+      ExecStats* stats_out = nullptr) const override;
+
+  /// Streaming enumeration through the chosen plan's engine; the cursor's
+  /// stats() carry the planner fields. Same exactness contract as TopK.
+  Result<std::unique_ptr<ResultCursor>> OpenCursor(
+      const QueryRequest& request) const override;
+
+  /// Forced execution of plan `plan_index` (tests, benches, calibration):
+  /// same dispatch as TopK minus the choice. The planner fields report
+  /// the forced plan's own cost estimate.
+  Result<std::vector<ResultCombination>> TopKWithPlan(
+      size_t plan_index, const Vec& query, const ProxRJOptions& options,
+      ExecStats* stats_out = nullptr) const;
+
+  /// The planning decision for (query, k), without executing anything.
+  PlanChoice ChoosePlan(const Vec& query, int k) const;
+
+  size_t num_plans() const { return plans_.size(); }
+  const PlanSpec& plan(size_t i) const { return plans_[i]; }
+  const CostModel& cost_model() const { return *cost_model_; }
+
+  AccessKind kind() const override { return kind_; }
+  int dim() const override { return dim_; }
+  size_t num_relations() const override { return num_relations_; }
+  /// Capacity fan-out: what the sharded candidate would consult.
+  size_t fan_out() const override { return sharded_->fan_out(); }
+
+  /// The cost model's statistics -- identical objects to what the mono
+  /// catalogs computed at Create.
+  std::vector<RelationStats> relation_stats() const override {
+    return cost_model_->stats();
+  }
+
+ private:
+  PlannedEngine(AccessKind kind, const ScoringFunction* scoring,
+                Options options, int dim, size_t num_relations)
+      : kind_(kind),
+        scoring_(scoring),
+        options_(std::move(options)),
+        dim_(dim),
+        num_relations_(num_relations) {}
+
+  /// The engine a plan dispatches to, plus the per-request hint rewrite
+  /// (scatter_hint/prune_hint for sharded plans, nothing for mono).
+  const QueryEngine* EngineFor(const PlanSpec& spec,
+                               ProxRJOptions* options) const;
+
+  AccessKind kind_;
+  const ScoringFunction* scoring_;
+  Options options_;
+  int dim_;
+  size_t num_relations_;
+  /// The roster. mono_rtree_ is absent under score access: score streams
+  /// come off the presorted snapshot catalog whatever the backend, so the
+  /// single mono plan lives in mono_presorted_.
+  std::optional<Engine> mono_rtree_;
+  std::optional<Engine> mono_presorted_;
+  std::optional<ShardedEngine> sharded_;
+  std::unique_ptr<CostModel> cost_model_;
+  std::vector<PlanSpec> plans_;
+};
+
+}  // namespace prj
+
+#endif  // PRJ_PLAN_PLANNED_ENGINE_H_

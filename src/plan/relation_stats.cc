@@ -1,0 +1,199 @@
+#include "plan/relation_stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace prj {
+namespace {
+
+/// Tile count of a sketch with `grid_dims` gridded dimensions.
+size_t TileCount(int grid_dims) {
+  size_t n = 1;
+  for (int d = 0; d < grid_dims; ++d) n *= RelationStats::kTilesPerDim;
+  return n;
+}
+
+/// Extent of dimension `d` of `mbr`, floored at a tiny epsilon so tile
+/// geometry and densities stay finite on degenerate (all-points-equal)
+/// relations.
+double Extent(const Rect& mbr, int d) {
+  return std::max(mbr.hi[d] - mbr.lo[d], 1e-12);
+}
+
+/// Tile index along one gridded dimension for coordinate `x` (clamped).
+uint32_t TileIndex(const Rect& mbr, int d, double x) {
+  const double rel = (x - mbr.lo[d]) / Extent(mbr, d);
+  const double scaled = rel * RelationStats::kTilesPerDim;
+  if (scaled <= 0.0) return 0;
+  const auto idx = static_cast<uint32_t>(scaled);
+  return std::min(idx, RelationStats::kTilesPerDim - 1);
+}
+
+/// Volume of the MBR with every dimension's extent epsilon-floored;
+/// dimensions beyond the stored Vec never occur (mbr always has full dim).
+double FlooredVolume(const Rect& mbr) {
+  double v = 1.0;
+  for (int d = 0; d < mbr.dim(); ++d) v *= Extent(mbr, d);
+  return v;
+}
+
+}  // namespace
+
+double RelationStats::ScoreQuantile(double q) const {
+  if (score_edges.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Each bucket holds an equal share of the mass; interpolate within it.
+  const double pos = q * kScoreBuckets;
+  const int bucket = std::min(static_cast<int>(pos), kScoreBuckets - 1);
+  const double frac = pos - bucket;
+  return score_edges[bucket] +
+         frac * (score_edges[bucket + 1] - score_edges[bucket]);
+}
+
+double RelationStats::GlobalDensity() const {
+  if (empty() || !mbr) return 0.0;
+  return static_cast<double>(cardinality) / FlooredVolume(*mbr);
+}
+
+double RelationStats::LocalDensity(const Vec& point) const {
+  if (empty() || !mbr) return 0.0;
+  if (grid_dims <= 0 || tile_counts.empty()) return GlobalDensity();
+  size_t tile = 0;
+  for (int d = 0; d < grid_dims; ++d) {
+    tile = tile * kTilesPerDim + TileIndex(*mbr, d, point[d]);
+  }
+  // Tile d-volume: the gridded dims contribute extent / kTilesPerDim each,
+  // the remaining dims their full extent (uniformity assumption).
+  double tile_volume = 1.0;
+  for (int d = 0; d < mbr->dim(); ++d) {
+    const double extent = Extent(*mbr, d);
+    tile_volume *= d < grid_dims ? extent / kTilesPerDim : extent;
+  }
+  return static_cast<double>(tile_counts[tile]) / tile_volume;
+}
+
+RelationStats BuildRelationStats(const std::vector<Tuple>& tuples, int dim,
+                                 double sigma_max) {
+  RelationStats stats;
+  stats.cardinality = tuples.size();
+  stats.sigma_max = sigma_max;
+  if (tuples.empty()) return stats;
+
+  // Score histogram: equi-depth edges off the sorted score multiset.
+  std::vector<double> scores;
+  scores.reserve(tuples.size());
+  for (const Tuple& t : tuples) scores.push_back(t.score);
+  std::sort(scores.begin(), scores.end());
+  stats.score_min = scores.front();
+  stats.score_max = scores.back();
+  stats.score_edges.resize(RelationStats::kScoreBuckets + 1);
+  const size_t n = scores.size();
+  for (int b = 0; b <= RelationStats::kScoreBuckets; ++b) {
+    const size_t pos = std::min(
+        n - 1, b * (n - 1) / static_cast<size_t>(RelationStats::kScoreBuckets));
+    stats.score_edges[b] = scores[pos];
+  }
+
+  // Spatial envelope + density sketch.
+  Rect mbr = Rect::ForPoint(tuples.front().x);
+  for (const Tuple& t : tuples) mbr.Extend(Rect::ForPoint(t.x));
+  stats.mbr = mbr;
+  stats.grid_dims = std::min(dim, 2);
+  stats.tile_counts.assign(TileCount(stats.grid_dims), 0);
+  for (const Tuple& t : tuples) {
+    size_t tile = 0;
+    for (int d = 0; d < stats.grid_dims; ++d) {
+      tile = tile * RelationStats::kTilesPerDim + TileIndex(mbr, d, t.x[d]);
+    }
+    ++stats.tile_counts[tile];
+  }
+  return stats;
+}
+
+RelationStats MergeRelationStats(const RelationStats& a,
+                                 const RelationStats& b) {
+  if (a.empty()) return b;
+  if (b.empty()) return a;
+  RelationStats merged;
+  merged.cardinality = a.cardinality + b.cardinality;
+  merged.sigma_max = std::max(a.sigma_max, b.sigma_max);
+  merged.score_max = std::max(a.score_max, b.score_max);
+  merged.score_min = std::min(a.score_min, b.score_min);
+
+  // Merged equi-depth edges: sample the cardinality-weighted mixture of
+  // the two quantile functions. For each target quantile q of the merged
+  // distribution, bisect for the score s with weighted_cdf(s) ~= q, where
+  // each input's CDF is the inverse of its own (piecewise-linear)
+  // quantile function. A dozen bisection steps per edge is plenty for a
+  // planning histogram.
+  const double wa = static_cast<double>(a.cardinality);
+  const double wb = static_cast<double>(b.cardinality);
+  auto cdf_of = [](const RelationStats& s, double x) {
+    if (x <= s.score_edges.front()) return 0.0;
+    if (x >= s.score_edges.back()) return 1.0;
+    // Find the bucket containing x; mass is uniform per bucket.
+    const auto it = std::upper_bound(s.score_edges.begin(),
+                                     s.score_edges.end(), x);
+    const int bucket =
+        static_cast<int>(it - s.score_edges.begin()) - 1;
+    const double lo = s.score_edges[bucket];
+    const double hi = s.score_edges[bucket + 1];
+    const double inside = hi > lo ? (x - lo) / (hi - lo) : 1.0;
+    return (bucket + inside) / RelationStats::kScoreBuckets;
+  };
+  merged.score_edges.resize(RelationStats::kScoreBuckets + 1);
+  for (int e = 0; e <= RelationStats::kScoreBuckets; ++e) {
+    const double q = static_cast<double>(e) / RelationStats::kScoreBuckets;
+    double lo = merged.score_min, hi = merged.score_max;
+    for (int iter = 0; iter < 24; ++iter) {
+      const double mid = 0.5 * (lo + hi);
+      const double cdf = (wa * cdf_of(a, mid) + wb * cdf_of(b, mid)) /
+                         (wa + wb);
+      (cdf < q ? lo : hi) = mid;
+    }
+    merged.score_edges[e] = 0.5 * (lo + hi);
+  }
+  merged.score_edges.front() = merged.score_min;
+  merged.score_edges.back() = merged.score_max;
+
+  // Merged envelope + sketch: extend the MBR, then re-rasterize each
+  // input's tiles onto the merged grid (a tile's count lands in the
+  // merged tile containing its center -- coarse, and good enough for a
+  // density estimate).
+  Rect mbr = *a.mbr;
+  mbr.Extend(*b.mbr);
+  merged.mbr = mbr;
+  merged.grid_dims = std::max(a.grid_dims, b.grid_dims);
+  merged.tile_counts.assign(TileCount(merged.grid_dims), 0);
+  auto splat = [&](const RelationStats& s) {
+    if (s.grid_dims <= 0 || s.tile_counts.empty()) return;
+    const uint32_t per_dim = RelationStats::kTilesPerDim;
+    for (size_t t = 0; t < s.tile_counts.size(); ++t) {
+      if (s.tile_counts[t] == 0) continue;
+      // Decode the source tile's per-dim indices and compute its center.
+      size_t rest = t;
+      size_t merged_tile = 0;
+      for (int d = 0; d < merged.grid_dims; ++d) {
+        // Source index along dim d (0 when the source did not grid d).
+        size_t divisor = 1;
+        for (int dd = d + 1; dd < s.grid_dims; ++dd) divisor *= per_dim;
+        const size_t src_idx = d < s.grid_dims ? rest / divisor : 0;
+        if (d < s.grid_dims) rest %= divisor;
+        const double extent = std::max(s.mbr->hi[d] - s.mbr->lo[d], 1e-12);
+        // Tile center along gridded dims, MBR center along the rest.
+        const double center =
+            d < s.grid_dims
+                ? s.mbr->lo[d] + (static_cast<double>(src_idx) + 0.5) *
+                                     (extent / per_dim)
+                : s.mbr->lo[d] + 0.5 * extent;
+        merged_tile = merged_tile * per_dim + TileIndex(mbr, d, center);
+      }
+      merged.tile_counts[merged_tile] += s.tile_counts[t];
+    }
+  };
+  splat(a);
+  splat(b);
+  return merged;
+}
+
+}  // namespace prj

@@ -1,0 +1,91 @@
+// Per-relation statistics for adaptive plan selection.
+//
+// Every execution backend in this stack is bit-identical by construction,
+// so picking between them is purely a COST question -- and the cost of a
+// proximity rank join depends on where the data sits relative to the
+// query (local density decides how deep the distance streams go), how the
+// scores are distributed (the histogram decides how fast the bound
+// tightens), and how large the relation is (setup costs). RelationStats
+// captures exactly those three axes, computed once when an engine ingests
+// its relations and exposed through QueryEngine::relation_stats() so
+// decorators (live, planned) can read and aggregate them without knowing
+// the concrete engine underneath.
+//
+// Statistics are planning ESTIMATES, never correctness inputs: a stale or
+// merged-approximate histogram can only make the planner pick a slower
+// plan, and every plan returns the same bits.
+#ifndef PRJ_PLAN_RELATION_STATS_H_
+#define PRJ_PLAN_RELATION_STATS_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "access/relation.h"
+#include "common/vec.h"
+#include "index/rtree.h"
+
+namespace prj {
+
+/// One relation's planning statistics: cardinality, an equi-depth score
+/// histogram, the spatial envelope, and a per-tile point-density sketch
+/// over the first (up to) two dimensions.
+struct RelationStats {
+  /// Buckets of the equi-depth score histogram (score_edges has
+  /// kScoreBuckets + 1 entries when non-empty).
+  static constexpr int kScoreBuckets = 16;
+  /// Tiles per gridded dimension of the density sketch.
+  static constexpr uint32_t kTilesPerDim = 8;
+
+  uint64_t cardinality = 0;
+  double sigma_max = 1.0;   ///< a-priori score ceiling
+  double score_max = 0.0;   ///< largest score present (0 when empty)
+  double score_min = 0.0;   ///< smallest score present (0 when empty)
+  /// Equi-depth histogram bucket edges, ascending; edge[0] = score_min,
+  /// edge[kScoreBuckets] = score_max. Empty for an empty relation.
+  std::vector<double> score_edges;
+  /// Spatial envelope of the member points; nullopt when empty.
+  std::optional<Rect> mbr;
+  /// Dimensions the density sketch grids: min(dim, 2); 0 when empty.
+  int grid_dims = 0;
+  /// Point counts per tile, row-major over the gridded dims
+  /// (kTilesPerDim^grid_dims entries). Tiles cover the MBR exactly.
+  std::vector<uint32_t> tile_counts;
+
+  bool empty() const { return cardinality == 0; }
+
+  /// Score at quantile `q` in [0, 1] of the equi-depth histogram (q = 1 is
+  /// the maximum, q = 0 the minimum), linearly interpolated inside the
+  /// bucket. 0 for an empty relation.
+  double ScoreQuantile(double q) const;
+
+  /// Estimated point density (tuples per unit d-volume) in the
+  /// neighbourhood of `point`: the density of the sketch tile `point`
+  /// falls in (clamped into the MBR), assuming uniformity along any
+  /// non-gridded dimensions. Falls back to the global density when the
+  /// sketch is degenerate; 0 for an empty relation.
+  double LocalDensity(const Vec& point) const;
+
+  /// cardinality / MBR volume, with degenerate (zero-extent) dimensions
+  /// treated as unit extent so the value stays finite and comparable.
+  double GlobalDensity() const;
+};
+
+/// Computes the statistics of one relation's tuple set in a single
+/// O(N log N) pass (the score sort dominates). `sigma_max` is the
+/// relation's a-priori ceiling; `dim` its dimensionality.
+RelationStats BuildRelationStats(const std::vector<Tuple>& tuples, int dim,
+                                 double sigma_max);
+
+/// Merges two per-relation statistics describing disjoint tuple sets of
+/// the SAME relation slot (base + delta, or two partitions): cardinalities
+/// add, envelopes extend, the merged equi-depth histogram is re-sampled
+/// from the weighted union of the inputs' quantile functions, and the
+/// density sketch is re-rasterized onto the merged MBR grid. The result
+/// is approximate where the inputs overlap -- fine for planning.
+RelationStats MergeRelationStats(const RelationStats& a,
+                                 const RelationStats& b);
+
+}  // namespace prj
+
+#endif  // PRJ_PLAN_RELATION_STATS_H_

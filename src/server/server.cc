@@ -64,7 +64,9 @@ struct Server::PageSession {
 };
 
 Server::Server(const QueryEngine* engine, ServerOptions options)
-    : engine_(engine), queue_(options.queue_capacity) {
+    : engine_(engine),
+      queue_(options.queue_capacity),
+      max_page_sessions_(std::max<size_t>(1, options.max_page_sessions)) {
   PRJ_CHECK(engine != nullptr);
   cache_baseline_ = engine->cache_counters();
   compactions_baseline_ = engine->live_counters().compactions;
@@ -238,6 +240,11 @@ void Server::Shutdown(DrainMode mode) {
   session_lru_.clear();
 }
 
+size_t Server::live_page_sessions() const {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  return session_lru_.size();
+}
+
 std::shared_ptr<Server::PageSession> Server::FindSession(uint64_t id) {
   std::lock_guard<std::mutex> lock(sessions_mu_);
   auto it = session_index_.find(id);
@@ -254,7 +261,7 @@ std::shared_ptr<Server::PageSession> Server::RegisterSession(
   session->id = next_session_id_++;
   session_lru_.push_front(session);
   session_index_.emplace(session->id, session_lru_.begin());
-  while (session_lru_.size() > kMaxPageSessions) {
+  while (session_lru_.size() > max_page_sessions_) {
     // The evicted session's token stays serviceable: its next pull
     // reopens a cursor and skips to the token's offset.
     session_index_.erase(session_lru_.back()->id);

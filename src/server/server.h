@@ -51,6 +51,12 @@ struct ServerOptions {
   int num_workers = 0;
   /// Bounded request-queue capacity; Submit blocks when it is full.
   size_t queue_capacity = 1024;
+  /// Cap on live paged-enumeration sessions (SubmitPage cursors). Least-
+  /// recently-used sessions beyond the cap are evicted; their tokens stay
+  /// valid -- a stale token reopens the cursor and skips to its offset --
+  /// so the cap bounds memory (cursors pin engine snapshots), never
+  /// correctness. Values below 1 are treated as 1.
+  size_t max_page_sessions = 64;
 };
 
 /// One page of a paged enumeration (SubmitPage): up to options.k results
@@ -189,6 +195,9 @@ class Server {
 
   int num_workers() const { return static_cast<int>(workers_.size()); }
   const QueryEngine& engine() const { return *engine_; }
+  /// Paged-enumeration sessions currently registered (bounded by
+  /// ServerOptions::max_page_sessions; test/ops introspection).
+  size_t live_page_sessions() const;
 
  private:
   struct Task {
@@ -251,9 +260,10 @@ class Server {
 
   /// Cursor sessions behind outstanding page tokens: bounded MRU-front
   /// list + id index. Eviction is safe -- a stale token reopens and
-  /// skips -- so the cap only bounds resources, never correctness.
-  /// Cleared at Shutdown (cursors pin engine snapshots).
-  static constexpr size_t kMaxPageSessions = 64;
+  /// skips -- so the cap (ServerOptions::max_page_sessions) only bounds
+  /// resources, never correctness. Cleared at Shutdown (cursors pin
+  /// engine snapshots).
+  size_t max_page_sessions_;
   mutable std::mutex sessions_mu_;
   std::list<std::shared_ptr<PageSession>> session_lru_;
   std::unordered_map<uint64_t, std::list<std::shared_ptr<PageSession>>::iterator>

@@ -110,6 +110,24 @@ Result<ShardedEngine> ShardedEngine::Create(
     }
   }
 
+  // Aggregate planning statistics: each relation's view is its parts'
+  // catalog statistics folded together, so decorators above see the whole
+  // relation however it was partitioned.
+  sharded.stats_.reserve(n);
+  for (size_t j = 0; j < n; ++j) {
+    RelationStats merged;
+    if (use_rtree) {
+      for (const auto& part : indexes[j]) {
+        merged = MergeRelationStats(merged, part->stats());
+      }
+    } else {
+      for (const auto& part : snaps[j]) {
+        merged = MergeRelationStats(merged, part->stats());
+      }
+    }
+    sharded.stats_.push_back(std::move(merged));
+  }
+
   sharded.shards_.reserve(fan_out);
   sharded.shard_parts_.reserve(fan_out);
   // Odometer over the part indices (i_1,...,i_n): one shard engine per
@@ -201,9 +219,21 @@ Result<std::vector<ResultCombination>> ShardedEngine::TopK(
   // A traced query always runs the plain sequential scatter: the trace
   // contract is every shard's execution, concatenated in shard order --
   // pruning would drop segments and the pool would interleave them.
+  // The planner's per-request hints override the construction-time
+  // defaults within what exists: prune_hint flips pruning either way,
+  // scatter_hint = 1 forces the sequential scatter and larger values cap
+  // the parallel width at the configured pool (hints never create
+  // threads). Every combination is bit-identical (see file comment).
   const bool traced = options.trace != nullptr;
-  const bool prune = options_.prune && !traced;
-  const bool parallel = pool_ != nullptr && !traced && shards_.size() > 1;
+  const bool prune_configured =
+      options.prune_hint != 0 ? options.prune_hint > 0 : options_.prune;
+  const bool prune = prune_configured && !traced;
+  const bool parallel = pool_ != nullptr && !traced && shards_.size() > 1 &&
+                        options.scatter_hint != 1;
+  const uint32_t scatter_width =
+      options.scatter_hint > 1
+          ? std::min(options_.scatter_threads, options.scatter_hint)
+          : options_.scatter_threads;
   // Flips to kParallel right before helpers launch (never after: helpers
   // read it through the aggregation lock, the flip is pre-publication).
   ScatterMode mode = ScatterMode::kSequential;
@@ -311,8 +341,7 @@ Result<std::vector<ResultCombination>> ShardedEngine::TopK(
     // out; the calling thread participates, so progress never depends on
     // the pool being free.
     mode = ScatterMode::kParallel;
-    const size_t workers =
-        std::min<size_t>(options_.scatter_threads, order.size());
+    const size_t workers = std::min<size_t>(scatter_width, order.size());
     const size_t helpers = workers - 1;
     std::mutex done_mu;
     std::condition_variable done_cv;
@@ -392,7 +421,11 @@ Result<std::unique_ptr<ResultCursor>> ShardedEngine::OpenCursor(
   }
   // One merge part per shard, carrying the same corner bound the one-shot
   // scatter prunes with; the shard's Engine cursor is only opened when
-  // the merge proves it could still contribute.
+  // the merge proves it could still contribute. The planner's prune_hint
+  // overrides the configured default, exactly as in TopK.
+  const bool prune = request.options.prune_hint != 0
+                         ? request.options.prune_hint > 0
+                         : options_.prune;
   std::vector<GatherMergeCursor::Part> parts;
   parts.reserve(shards_.size());
   std::vector<RelationEnvelope> envelopes;
@@ -404,7 +437,7 @@ Result<std::unique_ptr<ResultCursor>> ShardedEngine::OpenCursor(
         [shard, request]() { return shard->OpenCursor(request); }});
   }
   return std::unique_ptr<ResultCursor>(
-      new ShardedCursor(kind_, request.query, num_relations_, options_.prune,
+      new ShardedCursor(kind_, request.query, num_relations_, prune,
                         std::move(parts)));
 }
 

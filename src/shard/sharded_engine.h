@@ -84,6 +84,7 @@
 #include "core/gather.h"
 #include "core/query_engine.h"
 #include "index/rtree.h"
+#include "plan/relation_stats.h"
 
 namespace prj {
 
@@ -161,6 +162,15 @@ class ShardedEngine : public QueryEngine {
   /// the best-bound-first visit order; exposed for tests and benches.
   double ShardUpperBound(size_t i, const Vec& query) const;
 
+  /// Per-relation planning statistics: the per-partition catalog
+  /// statistics merged across each relation's parts at Create
+  /// (MergeRelationStats), so the aggregate view matches what an
+  /// unsharded engine over the same relations would report -- up to the
+  /// merge's histogram resampling, which is fine for planning.
+  std::vector<RelationStats> relation_stats() const override {
+    return stats_;
+  }
+
   AccessKind kind() const override { return kind_; }
   int dim() const override { return dim_; }
   size_t num_relations() const override { return num_relations_; }
@@ -214,6 +224,8 @@ class ShardedEngine : public QueryEngine {
   std::vector<std::vector<uint32_t>> shard_parts_;
   /// Per relation, per part: the pruning envelope.
   std::vector<std::vector<PartMeta>> part_meta_;
+  /// Per relation: the parts' catalog statistics merged at Create.
+  std::vector<RelationStats> stats_;
   /// Present iff options_.scatter_threads > 1; shared by concurrent
   /// queries.
   std::unique_ptr<ThreadPool> pool_;

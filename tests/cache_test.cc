@@ -95,6 +95,14 @@ TEST(CanonicalRequestKeyTest, IgnoresTraceAndBackendAndNegativeZero) {
   traced.options.trace = &trace;
   EXPECT_TRUE(CanonicalRequestEqual(base, traced));
 
+  // The planner's execution hints pick among bit-identical plans, so a
+  // planned request and an unplanned one share cache entries.
+  QueryRequest hinted = base;
+  hinted.options.scatter_hint = 4;
+  hinted.options.prune_hint = -1;
+  EXPECT_TRUE(CanonicalRequestEqual(base, hinted));
+  EXPECT_EQ(CanonicalRequestKey(base), CanonicalRequestKey(hinted));
+
   // -0.0 == 0.0 and produces the identical execution: one key.
   QueryRequest negzero = base;
   negzero.query = Vec{-0.0, 1.0};

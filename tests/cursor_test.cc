@@ -770,6 +770,48 @@ TEST(CursorPagingTest, StaleAndReplayedTokensAreServedExactly) {
   EXPECT_EQ(garbage.result.status.code(), StatusCode::kInvalidArgument);
 }
 
+TEST(CursorPagingTest, SessionRegistryEvictsUnderPressureAndStaysExact) {
+  // ServerOptions::max_page_sessions bounds the cursor-session registry;
+  // pushing more concurrent enumerations than the cap evicts LRU sessions
+  // without ever invalidating their tokens.
+  const auto rels = MakeRelations(2, 50, /*seed=*/89);
+  const SumLogEuclideanScoring scoring(1.0, 1.0, 1.0);
+  auto engine = Engine::Create(rels, AccessKind::kDistance, &scoring);
+  ASSERT_TRUE(engine.ok());
+  ServerOptions server_opts;
+  server_opts.num_workers = 1;
+  server_opts.max_page_sessions = 2;
+  Server server(&*engine, server_opts);
+
+  constexpr int kEnumerations = 6;
+  std::vector<QueryRequest> reqs;
+  std::vector<std::string> tokens;
+  for (int i = 0; i < kEnumerations; ++i) {
+    reqs.push_back(MakeRequest(-0.5 + 0.2 * i, 0.3, 4, kTBPA));
+    auto page = server.SubmitPage(reqs.back()).get();
+    ASSERT_TRUE(page.result.status.ok()) << "enumeration " << i;
+    ASSERT_FALSE(page.next_page_token.empty());
+    tokens.push_back(page.next_page_token);
+    // The registry never exceeds the configured cap, however many
+    // enumerations are in flight.
+    EXPECT_LE(server.live_page_sessions(), server_opts.max_page_sessions);
+  }
+  EXPECT_EQ(server.live_page_sessions(), server_opts.max_page_sessions);
+
+  // Enumeration 0's session was evicted long ago; its token still serves
+  // page 2 exactly (the server reopens a cursor and skips to the offset).
+  auto page2 = server.SubmitPage(reqs[0], tokens[0]).get();
+  ASSERT_TRUE(page2.result.status.ok());
+  EXPECT_EQ(page2.page_start, 4u);
+  ProxRJOptions eight = reqs[0].options;
+  eight.k = 8;
+  auto oneshot = engine->TopK(reqs[0].query, eight);
+  ASSERT_TRUE(oneshot.ok());
+  const std::vector<ResultCombination> tail(oneshot->begin() + 4,
+                                            oneshot->end());
+  ExpectBitIdentical(page2.result.combinations, tail, "evicted-token page 2");
+}
+
 TEST(CursorPagingTest, CursorlessEnginesFallBackToDeepTopK) {
   // An engine that only implements TopK still pages exactly, via the
   // TopK(offset + k) fallback and its id-0 tokens.

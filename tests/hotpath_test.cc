@@ -131,6 +131,68 @@ TEST(MbrKernelTest, ReportsAnIsa) {
   EXPECT_TRUE(isa == "avx2" || isa == "sse2" || isa == "scalar") << isa;
 }
 
+TEST(MbrKernelTest, RuntimeDispatchResolvesWidestAvailableVariant) {
+  const auto variants = AvailableMbrKernelVariants();
+  ASSERT_FALSE(variants.empty());
+  EXPECT_STREQ(variants.front().name, "scalar");
+  // The dispatched entry points run the last (widest) runnable variant.
+  EXPECT_STREQ(MbrKernelIsa(), variants.back().name);
+#if defined(PRJ_MBR_KERNEL_RUNTIME_DISPATCH)
+  // With SIMD compiled in, at least the x86-64 baseline joins the roster.
+  ASSERT_GE(variants.size(), 2u);
+  EXPECT_STREQ(variants[1].name, "sse2");
+#else
+  // PRJ_SIMD=OFF (or a non-x86 target): scalar is the whole roster.
+  EXPECT_EQ(variants.size(), 1u);
+#endif
+}
+
+TEST(MbrKernelTest, AllRunnableVariantsAreBitIdenticalPairwise) {
+  // The dispatch satellite's load-bearing property: whichever variant the
+  // host resolves, the answer is the same bit pattern. Exercise every
+  // compiled-in, runnable variant (not just the dispatched one) across
+  // dims and every SIMD tail length, on finite and adversarial inputs.
+  const auto variants = AvailableMbrKernelVariants();
+  const double inf = std::numeric_limits<double>::infinity();
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  Rng rng(90210);
+  for (int trial = 0; trial < 60; ++trial) {
+    const int dim = 1 + static_cast<int>(rng.NextBounded(8));
+    const size_t count = 1 + rng.NextBounded(13);
+    std::vector<double> q(static_cast<size_t>(dim));
+    std::vector<double> lo(static_cast<size_t>(dim) * count);
+    std::vector<double> hi(static_cast<size_t>(dim) * count);
+    for (auto& v : q) v = rng.Uniform(-10.0, 10.0);
+    for (size_t d = 0; d < static_cast<size_t>(dim); ++d) {
+      for (size_t i = 0; i < count; ++i) {
+        double a = rng.Uniform(-10.0, 10.0);
+        double b = rng.Uniform(-10.0, 10.0);
+        // Sprinkle in the unordered/overflow lanes the max_pd rule covers.
+        const uint64_t spice = rng.NextBounded(20);
+        if (spice == 0) a = nan;
+        if (spice == 1) b = inf;
+        if (spice == 2) a = b;  // degenerate point box
+        lo[d * count + i] = std::min(a, b);
+        hi[d * count + i] = std::max(a, b);
+      }
+    }
+    std::vector<double> want_box(count), want_pt(count);
+    variants[0].min_squared_distance(q.data(), dim, count, lo.data(),
+                                     hi.data(), want_box.data());
+    variants[0].point_squared_distance(q.data(), dim, count, lo.data(),
+                                       want_pt.data());
+    for (size_t v = 1; v < variants.size(); ++v) {
+      std::vector<double> got(count);
+      variants[v].min_squared_distance(q.data(), dim, count, lo.data(),
+                                       hi.data(), got.data());
+      ExpectBitEqual(got, want_box, variants[v].name);
+      variants[v].point_squared_distance(q.data(), dim, count, lo.data(),
+                                         got.data());
+      ExpectBitEqual(got, want_pt, variants[v].name);
+    }
+  }
+}
+
 // -------------------------------- Arena -------------------------------- //
 
 TEST(ArenaTest, AllocationsAreAlignedAndDistinct) {

@@ -1,0 +1,619 @@
+// The adaptive plan-selection layer (src/plan/): relation-statistics
+// units, cost-model estimates, coefficient JSON round trips, per-request
+// execution hints, and the PlannedEngine exactness property -- the
+// planner and every forced plan bit-identical to an unplanned Engine
+// across presets x access kinds x partitioners x adversarial tie-heavy
+// data -- plus the misprediction-accounting fields that make a wrong
+// pick measurable after the fact.
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "access/partition.h"
+#include "cache/cached_engine.h"
+#include "common/random.h"
+#include "core/engine.h"
+#include "core/trace.h"
+#include "live/live_engine.h"
+#include "plan/cost_model.h"
+#include "plan/planned_engine.h"
+#include "plan/relation_stats.h"
+#include "result_matchers.h"
+#include "shard/sharded_engine.h"
+#include "workload/synthetic.h"
+
+namespace prj {
+namespace {
+
+const AlgorithmPreset kAllPresets[] = {kCBRR, kCBPA, kTBRR, kTBPA};
+
+const SumLogEuclideanScoring& Scoring() {
+  static const SumLogEuclideanScoring scoring(1.0, 1.0, 1.0);
+  return scoring;
+}
+
+std::vector<Relation> MakeRelations(int n, int count, uint64_t seed) {
+  SyntheticSpec spec;
+  spec.dim = 2;
+  spec.count = count;
+  spec.density = 50;
+  spec.seed = seed;
+  return GenerateProblem(n, spec);
+}
+
+/// Adversarial tie factory (shared idiom with shard_test): scores from a
+/// 4-value grid and coordinates on a coarse lattice, so many distinct
+/// combinations share exact aggregate scores and exact distances -- every
+/// plan must still reproduce the unplanned tie order.
+std::vector<Relation> MakeTieHeavyRelations(int n, int count, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Relation> rels;
+  for (int r = 0; r < n; ++r) {
+    Relation rel("tie" + std::to_string(r), 2);
+    for (int i = 0; i < count; ++i) {
+      const double score = 0.25 * (1 + static_cast<int>(rng.NextBounded(4)));
+      const Vec x{static_cast<double>(rng.NextBounded(4)),
+                  static_cast<double>(rng.NextBounded(4))};
+      rel.Add(i, score, x);
+    }
+    rels.push_back(std::move(rel));
+  }
+  return rels;
+}
+
+/// A localized / shifted / far query mix around the data of `rels[0]`:
+/// exercises both the shard-pruning-wins and the pruning-overhead-loses
+/// regimes the planner arbitrates between.
+std::vector<Vec> MakeQueries(const std::vector<Relation>& rels, int count,
+                             uint64_t seed) {
+  Rng rng(seed);
+  const auto& tuples = rels[0].tuples();
+  std::vector<Vec> queries;
+  queries.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    Vec q = tuples[rng.NextBounded(tuples.size())].x;
+    if (i % 3 == 1) {
+      for (int d = 0; d < q.dim(); ++d) q[d] += rng.Uniform(-0.5, 0.5);
+    } else if (i % 3 == 2) {
+      for (int d = 0; d < q.dim(); ++d) q[d] += 5.0;
+    }
+    queries.push_back(std::move(q));
+  }
+  return queries;
+}
+
+// --------------------------- relation stats ---------------------------- //
+
+TEST(PlanStatsTest, BuildComputesCardinalityQuantilesAndDensity) {
+  const auto rels = MakeRelations(1, 200, /*seed=*/5);
+  const RelationStats stats =
+      BuildRelationStats(rels[0].tuples(), rels[0].dim(), rels[0].sigma_max());
+
+  EXPECT_FALSE(stats.empty());
+  EXPECT_EQ(stats.cardinality, 200u);
+  EXPECT_EQ(stats.sigma_max, rels[0].sigma_max());
+  ASSERT_EQ(stats.score_edges.size(),
+            static_cast<size_t>(RelationStats::kScoreBuckets) + 1);
+  EXPECT_TRUE(std::is_sorted(stats.score_edges.begin(),
+                             stats.score_edges.end()));
+  EXPECT_DOUBLE_EQ(stats.score_edges.front(), stats.score_min);
+  EXPECT_DOUBLE_EQ(stats.score_edges.back(), stats.score_max);
+  EXPECT_DOUBLE_EQ(stats.ScoreQuantile(0.0), stats.score_min);
+  EXPECT_DOUBLE_EQ(stats.ScoreQuantile(1.0), stats.score_max);
+  double prev = stats.ScoreQuantile(0.0);
+  for (double q = 0.1; q <= 1.0; q += 0.1) {
+    const double s = stats.ScoreQuantile(q);
+    EXPECT_GE(s, prev) << "quantile " << q;
+    prev = s;
+  }
+
+  ASSERT_TRUE(stats.mbr.has_value());
+  EXPECT_EQ(stats.grid_dims, 2);
+  ASSERT_EQ(stats.tile_counts.size(),
+            static_cast<size_t>(RelationStats::kTilesPerDim) *
+                RelationStats::kTilesPerDim);
+  uint64_t tiled = 0;
+  for (uint32_t c : stats.tile_counts) tiled += c;
+  EXPECT_EQ(tiled, stats.cardinality);
+  EXPECT_GT(stats.GlobalDensity(), 0.0);
+  EXPECT_GT(stats.LocalDensity(rels[0].tuples()[7].x), 0.0);
+}
+
+TEST(PlanStatsTest, EmptyRelationIsDegenerateButSafe) {
+  const RelationStats stats = BuildRelationStats({}, 2, 1.0);
+  EXPECT_TRUE(stats.empty());
+  EXPECT_TRUE(stats.score_edges.empty());
+  EXPECT_FALSE(stats.mbr.has_value());
+  EXPECT_DOUBLE_EQ(stats.ScoreQuantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(stats.LocalDensity(Vec{0.0, 0.0}), 0.0);
+}
+
+TEST(PlanStatsTest, MergeAddsCardinalityAndExtendsEnvelope) {
+  const auto rels = MakeRelations(1, 240, /*seed=*/6);
+  const auto& tuples = rels[0].tuples();
+  const std::vector<Tuple> lo(tuples.begin(), tuples.begin() + 90);
+  const std::vector<Tuple> hi(tuples.begin() + 90, tuples.end());
+  const double sigma = rels[0].sigma_max();
+
+  const RelationStats whole = BuildRelationStats(tuples, 2, sigma);
+  const RelationStats merged = MergeRelationStats(
+      BuildRelationStats(lo, 2, sigma), BuildRelationStats(hi, 2, sigma));
+
+  EXPECT_EQ(merged.cardinality, whole.cardinality);
+  EXPECT_DOUBLE_EQ(merged.score_min, whole.score_min);
+  EXPECT_DOUBLE_EQ(merged.score_max, whole.score_max);
+  ASSERT_TRUE(merged.mbr.has_value());
+  for (int d = 0; d < 2; ++d) {
+    EXPECT_DOUBLE_EQ(merged.mbr->lo[d], whole.mbr->lo[d]) << "dim " << d;
+    EXPECT_DOUBLE_EQ(merged.mbr->hi[d], whole.mbr->hi[d]) << "dim " << d;
+  }
+  // The merged histogram is approximate where the halves overlap, but it
+  // must stay a valid quantile function over the union's score range.
+  EXPECT_TRUE(std::is_sorted(merged.score_edges.begin(),
+                             merged.score_edges.end()));
+  for (double q = 0.0; q <= 1.0; q += 0.25) {
+    EXPECT_GE(merged.ScoreQuantile(q), whole.score_min);
+    EXPECT_LE(merged.ScoreQuantile(q), whole.score_max);
+  }
+  uint64_t tiled = 0;
+  for (uint32_t c : merged.tile_counts) tiled += c;
+  EXPECT_EQ(tiled, merged.cardinality);
+  // Merging an empty side is the identity on the non-empty one.
+  const RelationStats id =
+      MergeRelationStats(whole, BuildRelationStats({}, 2, sigma));
+  EXPECT_EQ(id.cardinality, whole.cardinality);
+  EXPECT_DOUBLE_EQ(id.score_max, whole.score_max);
+}
+
+// ----------------------------- cost model ------------------------------ //
+
+TEST(PlanCostModelTest, DepthEstimateIsMonotoneInK) {
+  const auto rels = MakeRelations(2, 300, /*seed=*/8);
+  auto engine = Engine::Create(rels, AccessKind::kDistance, &Scoring());
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  const CostModel model(AccessKind::kDistance, &Scoring(),
+                        engine->relation_stats());
+
+  const Vec query = rels[0].tuples()[3].x;
+  double prev_depth = 0.0;
+  double prev_kth = std::numeric_limits<double>::infinity();
+  for (int k : {1, 2, 4, 8, 16, 32, 64}) {
+    const CostModel::DepthEstimate e = model.EstimateDepth(query, k);
+    EXPECT_TRUE(std::isfinite(e.depth)) << "k=" << k;
+    EXPECT_TRUE(std::isfinite(e.kth_score)) << "k=" << k;
+    EXPECT_GE(e.depth, 1.0) << "k=" << k;
+    // Certifying more results can only require deeper streams, and the
+    // K-th best score can only fall as K grows.
+    EXPECT_GE(e.depth, prev_depth) << "k=" << k;
+    EXPECT_LE(e.kth_score, prev_kth) << "k=" << k;
+    prev_depth = e.depth;
+    prev_kth = e.kth_score;
+  }
+}
+
+TEST(PlanCostModelTest, PredictSecondsFloorsNegativeFitsAtZero) {
+  const auto rels = MakeRelations(2, 60, /*seed=*/9);
+  auto engine = Engine::Create(rels, AccessKind::kDistance, &Scoring());
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  const CostModel model(AccessKind::kDistance, &Scoring(),
+                        engine->relation_stats());
+  const PlanSpec spec;  // mono R-tree
+  const CostModel::DepthEstimate e =
+      model.EstimateDepth(rels[0].tuples()[0].x, 5);
+  const PlanFeatures f = model.Features(spec, e, 5, /*survivors=*/0);
+  EXPECT_DOUBLE_EQ(f.v[0], 1.0);  // intercept
+
+  EXPECT_GE(CostModel::PredictSeconds(spec, f, PlanCoefficients::Defaults()),
+            0.0);
+  PlanCoefficients negative;  // a fit gone wrong must not rank below zero
+  negative.of(spec.backend).v.fill(-1.0);
+  EXPECT_DOUBLE_EQ(CostModel::PredictSeconds(spec, f, negative), 0.0);
+}
+
+// ------------------------- coefficient round trip ----------------------- //
+
+TEST(PlanCoefficientsTest, JsonRoundTripIsExact) {
+  PlanCoefficients original = PlanCoefficients::Defaults();
+  original.mono_rtree.v[1] = 1.25e-7;
+  original.mono_presorted.v[3] = 3.5e-9;
+  original.sharded.v[5] = 0.0625;
+
+  auto parsed = PlanCoefficients::FromJson(original.ToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  for (PlanBackend backend :
+       {PlanBackend::kMonoRTree, PlanBackend::kMonoPresorted,
+        PlanBackend::kSharded}) {
+    for (int i = 0; i < PlanFeatures::kCount; ++i) {
+      EXPECT_DOUBLE_EQ(parsed->of(backend).v[static_cast<size_t>(i)],
+                       original.of(backend).v[static_cast<size_t>(i)])
+          << "backend " << static_cast<int>(backend) << " coef " << i;
+    }
+  }
+}
+
+TEST(PlanCoefficientsTest, RejectsMalformedJson) {
+  EXPECT_FALSE(PlanCoefficients::FromJson("not json at all").ok());
+  EXPECT_FALSE(PlanCoefficients::FromJson("{\"version\": 1}").ok());
+  // A truncated coefficient array must not silently zero-fill.
+  std::string truncated = PlanCoefficients::Defaults().ToJson();
+  const size_t open = truncated.find("\"mono_rtree\": [");
+  ASSERT_NE(open, std::string::npos);
+  const size_t first_comma = truncated.find(',', open);
+  const size_t close = truncated.find(']', open);
+  ASSERT_NE(first_comma, std::string::npos);
+  ASSERT_LT(first_comma, close);
+  truncated.erase(first_comma, close - first_comma);
+  EXPECT_FALSE(PlanCoefficients::FromJson(truncated).ok());
+}
+
+TEST(PlanCoefficientsTest, LoadFileReportsMissingPath) {
+  auto loaded =
+      PlanCoefficients::LoadFile("definitely/not/a/real/coefficients.json");
+  EXPECT_FALSE(loaded.ok());
+}
+
+// --------------------------- execution hints --------------------------- //
+
+TEST(PlanHintTest, HintsNeverChangeAnswersAndControlPruning) {
+  const auto rels = MakeRelations(2, 150, /*seed=*/12);
+  auto reference = Engine::Create(rels, AccessKind::kDistance, &Scoring());
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+
+  ShardedEngineOptions sharded_options;
+  sharded_options.partitions_per_relation = 3;
+  sharded_options.scatter_threads = 2;
+  sharded_options.prune = true;
+  auto sharded = ShardedEngine::Create(rels, AccessKind::kDistance, &Scoring(),
+                                       sharded_options);
+  ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+
+  const auto queries = MakeQueries(rels, 4, /*seed=*/13);
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    ProxRJOptions options;
+    options.k = 6;
+    options.Apply(kTBPA);
+    auto want = reference->TopK(queries[qi], options);
+    ASSERT_TRUE(want.ok()) << want.status().ToString();
+
+    uint64_t pruned_default = 0;
+    for (uint32_t scatter_hint : {0u, 1u, 4u}) {
+      for (int prune_hint : {-1, 0, 1}) {
+        ProxRJOptions hinted = options;
+        hinted.scatter_hint = scatter_hint;
+        hinted.prune_hint = static_cast<int8_t>(prune_hint);
+        ExecStats stats;
+        auto got = sharded->TopK(queries[qi], hinted, &stats);
+        ASSERT_TRUE(got.ok()) << got.status().ToString();
+        ExpectBitIdentical(*got, *want,
+                           "query " + std::to_string(qi) + " scatter_hint=" +
+                               std::to_string(scatter_hint) +
+                               " prune_hint=" + std::to_string(prune_hint));
+        if (prune_hint < 0) {
+          EXPECT_EQ(stats.shards_pruned, 0u)
+              << "prune forced off must not skip shards";
+        }
+        if (scatter_hint == 0 && prune_hint == 0) {
+          pruned_default = stats.shards_pruned;
+        }
+      }
+    }
+    // Forcing pruning on can never prune less than the default
+    // configuration of this engine (which already prunes).
+    ProxRJOptions force_on = options;
+    force_on.prune_hint = 1;
+    ExecStats stats;
+    auto got = sharded->TopK(queries[qi], force_on, &stats);
+    ASSERT_TRUE(got.ok());
+    EXPECT_GE(stats.shards_pruned, pruned_default);
+  }
+}
+
+// ------------------------- planner exactness grid ----------------------- //
+
+TEST(PlannedEngineTest, BitIdenticalToUnplannedAcrossGrid) {
+  for (bool tie_heavy : {false, true}) {
+    const auto rels = tie_heavy ? MakeTieHeavyRelations(2, 90, /*seed=*/7)
+                                : MakeRelations(2, 90, /*seed=*/11);
+    for (PartitionScheme scheme :
+         {PartitionScheme::kHash, PartitionScheme::kStrTile}) {
+      for (AccessKind kind : {AccessKind::kDistance, AccessKind::kScore}) {
+        auto reference = Engine::Create(rels, kind, &Scoring());
+        ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+
+        PlannedEngineOptions options;
+        options.sharded.partitions_per_relation = 2;
+        options.sharded.scheme = scheme;
+        options.sharded.scatter_threads = 2;
+        auto planned = PlannedEngine::Create(rels, kind, &Scoring(), options);
+        ASSERT_TRUE(planned.ok()) << planned.status().ToString();
+        // Distance rosters carry both mono backends; score access has one
+        // mono plan (the backends coincide) plus the sharded variants.
+        EXPECT_GE(planned->num_plans(),
+                  kind == AccessKind::kDistance ? 4u : 3u);
+
+        const auto queries = MakeQueries(rels, 3, /*seed=*/29);
+        for (const AlgorithmPreset& preset : kAllPresets) {
+          for (int k : {1, 7}) {
+            ProxRJOptions topk_options;
+            topk_options.k = k;
+            topk_options.Apply(preset);
+            for (size_t qi = 0; qi < queries.size(); ++qi) {
+              const std::string label =
+                  std::string(tie_heavy ? "tie" : "uniform") + "/" +
+                  (scheme == PartitionScheme::kHash ? "hash" : "str-tile") +
+                  "/" + (kind == AccessKind::kDistance ? "dist" : "score") +
+                  "/" + preset.name + "/k=" + std::to_string(k) + "/q" +
+                  std::to_string(qi);
+              auto want = reference->TopK(queries[qi], topk_options);
+              ASSERT_TRUE(want.ok()) << label << ": " << want.status().ToString();
+              auto got = planned->TopK(queries[qi], topk_options);
+              ASSERT_TRUE(got.ok()) << label << ": " << got.status().ToString();
+              ExpectBitIdentical(*got, *want, label + "/planner");
+              for (size_t p = 0; p < planned->num_plans(); ++p) {
+                auto forced =
+                    planned->TopKWithPlan(p, queries[qi], topk_options);
+                ASSERT_TRUE(forced.ok())
+                    << label << ": " << forced.status().ToString();
+                ExpectBitIdentical(*forced, *want,
+                                   label + "/" + planned->plan(p).name());
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+// ------------------------ misprediction accounting ---------------------- //
+
+TEST(PlannedEngineTest, RecordsPlanAccountingOnEveryPath) {
+  const auto rels = MakeRelations(2, 120, /*seed=*/17);
+  PlannedEngineOptions options;
+  options.sharded.partitions_per_relation = 2;
+  options.sharded.scatter_threads = 2;
+  auto planned =
+      PlannedEngine::Create(rels, AccessKind::kDistance, &Scoring(), options);
+  ASSERT_TRUE(planned.ok()) << planned.status().ToString();
+  const size_t num_plans = planned->num_plans();
+  ASSERT_GE(num_plans, 2u);
+
+  const auto queries = MakeQueries(rels, 5, /*seed=*/18);
+  ProxRJOptions topk_options;
+  topk_options.k = 8;
+  topk_options.Apply(kTBPA);
+
+  for (const Vec& query : queries) {
+    // The planner's own pick: backend name from the roster, a positive
+    // estimate, every alternative scored.
+    const PlanChoice choice = planned->ChoosePlan(query, topk_options.k);
+    ASSERT_LT(choice.plan_index, num_plans);
+    EXPECT_GT(choice.cost_estimate, 0.0);
+    EXPECT_GE(choice.depth.depth, 1.0);
+
+    ExecStats stats;
+    auto got = planned->TopK(query, topk_options, &stats);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    EXPECT_EQ(stats.planned_backend, planned->plan(choice.plan_index).name());
+    EXPECT_DOUBLE_EQ(stats.plan_cost_estimate, choice.cost_estimate);
+    EXPECT_EQ(stats.plan_alternatives_considered,
+              static_cast<uint32_t>(num_plans));
+
+    // Forcing the worst-estimate plan stays exact and reports itself as a
+    // single considered alternative with its own (positive) estimate.
+    size_t worst = 0;
+    double worst_cost = -1.0;
+    for (size_t p = 0; p < num_plans; ++p) {
+      ExecStats forced_stats;
+      auto forced = planned->TopKWithPlan(p, query, topk_options, &forced_stats);
+      ASSERT_TRUE(forced.ok()) << forced.status().ToString();
+      EXPECT_EQ(forced_stats.planned_backend, planned->plan(p).name());
+      EXPECT_GT(forced_stats.plan_cost_estimate, 0.0);
+      EXPECT_EQ(forced_stats.plan_alternatives_considered, 1u);
+      ExpectBitIdentical(*forced, *got, "forced " + planned->plan(p).name());
+      if (forced_stats.plan_cost_estimate > worst_cost) {
+        worst_cost = forced_stats.plan_cost_estimate;
+        worst = p;
+      }
+    }
+    EXPECT_GE(worst_cost, choice.cost_estimate);
+    (void)worst;
+  }
+}
+
+TEST(PlannedEngineTest, TracedQueriesPinTheFirstMonoPlan) {
+  const auto rels = MakeRelations(2, 80, /*seed=*/21);
+  PlannedEngineOptions options;
+  options.sharded.partitions_per_relation = 2;
+  auto planned =
+      PlannedEngine::Create(rels, AccessKind::kDistance, &Scoring(), options);
+  ASSERT_TRUE(planned.ok()) << planned.status().ToString();
+
+  ProxRJOptions topk_options;
+  topk_options.k = 5;
+  topk_options.Apply(kCBRR);
+  const Vec query = rels[0].tuples()[2].x;
+  auto want = planned->TopK(query, topk_options);
+  ASSERT_TRUE(want.ok());
+
+  ExecTrace trace;
+  topk_options.trace = &trace;
+  ExecStats stats;
+  auto traced = planned->TopK(query, topk_options, &stats);
+  ASSERT_TRUE(traced.ok()) << traced.status().ToString();
+  ExpectBitIdentical(*traced, *want, "traced");
+  // A trace observes one engine's execution, so its shape must not flip
+  // with a planning decision: traced queries always run plan 0.
+  EXPECT_EQ(stats.planned_backend, planned->plan(0).name());
+  EXPECT_EQ(stats.plan_alternatives_considered, 1u);
+}
+
+TEST(PlannedEngineTest, OutOfRangePlanIndexIsRejected) {
+  const auto rels = MakeRelations(2, 40, /*seed=*/22);
+  auto planned =
+      PlannedEngine::Create(rels, AccessKind::kDistance, &Scoring());
+  ASSERT_TRUE(planned.ok()) << planned.status().ToString();
+  ProxRJOptions topk_options;
+  topk_options.k = 3;
+  auto got = planned->TopKWithPlan(planned->num_plans(),
+                                   rels[0].tuples()[0].x, topk_options);
+  EXPECT_FALSE(got.ok());
+}
+
+TEST(PlannedEngineTest, CursorCarriesPlannerFieldsAndStaysExact) {
+  const auto rels = MakeRelations(2, 100, /*seed=*/23);
+  PlannedEngineOptions options;
+  options.sharded.partitions_per_relation = 2;
+  auto planned =
+      PlannedEngine::Create(rels, AccessKind::kDistance, &Scoring(), options);
+  ASSERT_TRUE(planned.ok()) << planned.status().ToString();
+
+  QueryRequest request;
+  request.query = rels[0].tuples()[9].x;
+  request.options.k = 6;
+  request.options.Apply(kTBPA);
+  auto want = planned->TopK(request.query, request.options);
+  ASSERT_TRUE(want.ok());
+
+  auto cursor = planned->OpenCursor(request);
+  ASSERT_TRUE(cursor.ok()) << cursor.status().ToString();
+  auto prefix = (*cursor)->NextBatch(6);
+  ASSERT_TRUE(prefix.ok()) << prefix.status().ToString();
+  ExpectBitIdentical(*prefix, *want, "cursor prefix");
+
+  const ExecStats stats = (*cursor)->stats();
+  EXPECT_FALSE(stats.planned_backend.empty());
+  EXPECT_GT(stats.plan_cost_estimate, 0.0);
+  EXPECT_EQ(stats.plan_alternatives_considered,
+            static_cast<uint32_t>(planned->num_plans()));
+}
+
+TEST(PlannedEngineTest, ConcurrentPlannedQueriesStayExact) {
+  const auto rels = MakeRelations(2, 130, /*seed=*/25);
+  auto reference = Engine::Create(rels, AccessKind::kDistance, &Scoring());
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+  PlannedEngineOptions options;
+  options.sharded.partitions_per_relation = 2;
+  options.sharded.scatter_threads = 2;
+  auto planned =
+      PlannedEngine::Create(rels, AccessKind::kDistance, &Scoring(), options);
+  ASSERT_TRUE(planned.ok()) << planned.status().ToString();
+
+  const auto queries = MakeQueries(rels, 12, /*seed=*/26);
+  ProxRJOptions topk_options;
+  topk_options.k = 5;
+  topk_options.Apply(kTBPA);
+  std::vector<std::vector<ResultCombination>> expected;
+  for (const Vec& query : queries) {
+    auto want = reference->TopK(query, topk_options);
+    ASSERT_TRUE(want.ok());
+    expected.push_back(std::move(*want));
+  }
+
+  constexpr int kThreads = 4;
+  std::atomic<int> divergences{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (size_t qi = static_cast<size_t>(t) % queries.size(), n = 0;
+           n < queries.size();
+           qi = (qi + 1) % queries.size(), ++n) {
+        ExecStats stats;
+        auto got = planned->TopK(queries[qi], topk_options, &stats);
+        if (!got.ok() || !BitIdenticalResults(*got, expected[qi]) ||
+            stats.planned_backend.empty()) {
+          divergences.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(divergences.load(), 0);
+}
+
+// ------------------------- statistics plumbing -------------------------- //
+
+TEST(PlanPlumbingTest, EnginesExposeAndDecoratorsForwardStatistics) {
+  const auto rels = MakeRelations(2, 70, /*seed=*/31);
+
+  auto engine = Engine::Create(rels, AccessKind::kDistance, &Scoring());
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  const auto mono_stats = engine->relation_stats();
+  ASSERT_EQ(mono_stats.size(), 2u);
+  for (const RelationStats& s : mono_stats) {
+    EXPECT_EQ(s.cardinality, 70u);
+    EXPECT_TRUE(s.mbr.has_value());
+  }
+
+  // The sharded decorator merges its partitions back into per-relation
+  // statistics: same cardinality as the unsharded catalog.
+  ShardedEngineOptions sharded_options;
+  sharded_options.partitions_per_relation = 3;
+  auto sharded = ShardedEngine::Create(rels, AccessKind::kDistance, &Scoring(),
+                                       sharded_options);
+  ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+  const auto sharded_stats = sharded->relation_stats();
+  ASSERT_EQ(sharded_stats.size(), 2u);
+  for (size_t i = 0; i < sharded_stats.size(); ++i) {
+    EXPECT_EQ(sharded_stats[i].cardinality, mono_stats[i].cardinality);
+  }
+
+  // The cache decorator forwards verbatim.
+  const CachedEngine cached(&*engine);
+  const auto cached_stats = cached.relation_stats();
+  ASSERT_EQ(cached_stats.size(), mono_stats.size());
+  for (size_t i = 0; i < cached_stats.size(); ++i) {
+    EXPECT_EQ(cached_stats[i].cardinality, mono_stats[i].cardinality);
+    EXPECT_DOUBLE_EQ(cached_stats[i].score_max, mono_stats[i].score_max);
+  }
+
+  // The planner re-exposes the cost model's statistics.
+  auto planned =
+      PlannedEngine::Create(rels, AccessKind::kDistance, &Scoring());
+  ASSERT_TRUE(planned.ok()) << planned.status().ToString();
+  const auto planned_stats = planned->relation_stats();
+  ASSERT_EQ(planned_stats.size(), 2u);
+  EXPECT_EQ(planned_stats[0].cardinality, 70u);
+}
+
+TEST(PlanPlumbingTest, LiveEngineFoldsDeltaStatistics) {
+  const auto rels = MakeRelations(2, 40, /*seed=*/33);
+  LiveEngineOptions live_options;
+  live_options.compact_threshold = 0;  // manual compaction only
+  auto live = LiveEngine::Create(
+      rels, AccessKind::kDistance, &Scoring(),
+      LiveEngine::MonolithicFactory(AccessKind::kDistance, &Scoring()),
+      live_options);
+  ASSERT_TRUE(live.ok()) << live.status().ToString();
+
+  const auto before = (*live)->relation_stats();
+  ASSERT_EQ(before.size(), 2u);
+  EXPECT_EQ(before[0].cardinality, 40u);
+  EXPECT_EQ(before[1].cardinality, 40u);
+
+  UpdateBatch batch;
+  batch.relations.resize(2);
+  for (int i = 0; i < 6; ++i) {
+    batch.relations[0].inserts.push_back(
+        Tuple{1000 + i, 0.4 + 0.05 * i, Vec{0.1 * i, -0.2}});
+  }
+  ASSERT_TRUE((*live)->Apply(batch).ok());
+
+  const auto after = (*live)->relation_stats();
+  ASSERT_EQ(after.size(), 2u);
+  EXPECT_EQ(after[0].cardinality, 46u);  // delta folded into relation 0
+  EXPECT_EQ(after[1].cardinality, 40u);  // untouched relation unchanged
+}
+
+}  // namespace
+}  // namespace prj

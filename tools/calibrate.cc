@@ -1,0 +1,348 @@
+// calibrate: fits the planner's cost coefficients on this machine.
+//
+// The PlannedEngine ranks candidate plans with a linear model per plan
+// class (plan/cost_model.h). This tool produces those coefficients the
+// honest way: it generates a synthetic workload spanning the regimes the
+// planner must distinguish (localized vs uniform queries, small and large
+// relations, several k, 2- and 3-way joins, both access kinds), executes
+// EVERY candidate plan on every query via PlannedEngine::TopKWithPlan,
+// and least-squares-fits measured wall seconds against the exact feature
+// vectors the runtime planner will compute. The fit is ridge-regularized
+// and clamped to nonnegative coefficients (a negative per-unit cost
+// would let predictions dip below zero and distort plan ranking).
+//
+// Output: plan_coefficients.json (see --out), the file
+// PlannedEngineOptions loads via PlanCoefficients::LoadFile. The checked-
+// in copy at the repo root was produced by this tool; re-fit on new
+// hardware with:
+//
+//     cmake --build build --target calibrate
+//     ./build/tools/calibrate --out plan_coefficients.json
+//
+// --smoke (or PRJ_BENCH_SMOKE=1) shrinks the workload to a seconds-scale
+// sanity run wired into CTest: it exercises the full measure-fit-write
+// path, gates on the fit being usable (finite, nonnegative, nonzero),
+// and writes into the build tree, never over the checked-in file.
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/timer.h"
+#include "core/query_engine.h"
+#include "core/scoring.h"
+#include "plan/cost_model.h"
+#include "plan/planned_engine.h"
+#include "solver/linalg.h"
+#include "workload/synthetic.h"
+
+namespace prj {
+namespace {
+
+struct Sample {
+  PlanFeatures features;
+  double seconds = 0.0;
+};
+
+/// Measured (features, seconds) rows of one plan class.
+struct ClassSamples {
+  std::vector<Sample> rows;
+};
+
+/// Relative ridge least squares with an active-set nonnegativity clamp.
+/// Rows are weighted by 1/measured_seconds, so the fit minimizes RELATIVE
+/// error -- plan ranking compares predictions across plans whose costs
+/// span orders of magnitude, where an absolute fit would ignore every
+/// cheap query. Fit all features, zero out any negative coefficient,
+/// refit the survivors until the solution is nonnegative; feature slots
+/// with no signal in this class's rows end up at exactly zero.
+std::array<double, PlanFeatures::kCount> FitNonnegative(
+    const std::vector<Sample>& rows) {
+  constexpr int kF = PlanFeatures::kCount;
+  std::array<double, kF> coef{};
+  if (rows.empty()) return coef;
+  std::array<bool, kF> active;
+  active.fill(true);
+  for (int pass = 0; pass < kF; ++pass) {
+    std::vector<int> idx;
+    for (int j = 0; j < kF; ++j) {
+      if (active[j]) idx.push_back(j);
+    }
+    if (idx.empty()) break;
+    const int m = static_cast<int>(idx.size());
+    // Normal equations over the active columns, with a small ridge term
+    // scaled to each column's energy so ill-conditioned feature mixes
+    // (e.g. pull volume == makespan for sequential plans) stay SPD.
+    Matrix ata(m, m);
+    std::vector<double> atb(static_cast<size_t>(m), 0.0);
+    for (const Sample& s : rows) {
+      const double w = 1.0 / std::max(s.seconds, 1e-7);
+      const double w2 = w * w;
+      for (int a = 0; a < m; ++a) {
+        const double fa = s.features.v[static_cast<size_t>(idx[a])];
+        atb[static_cast<size_t>(a)] += w2 * fa * s.seconds;
+        for (int b = 0; b < m; ++b) {
+          ata(a, b) += w2 * fa * s.features.v[static_cast<size_t>(idx[b])];
+        }
+      }
+    }
+    for (int a = 0; a < m; ++a) {
+      ata(a, a) += 1e-8 * ata(a, a) + 1e-12;
+    }
+    const std::vector<double> x = SolveSPD(ata, atb);
+    bool all_nonneg = true;
+    coef.fill(0.0);
+    for (int a = 0; a < m; ++a) {
+      if (x[static_cast<size_t>(a)] < 0.0) {
+        active[idx[static_cast<size_t>(a)]] = false;
+        all_nonneg = false;
+      } else {
+        coef[static_cast<size_t>(idx[a])] = x[static_cast<size_t>(a)];
+      }
+    }
+    if (all_nonneg) break;
+  }
+  return coef;
+}
+
+double MeanRelativeError(const std::vector<Sample>& rows,
+                         const std::array<double, PlanFeatures::kCount>& coef) {
+  if (rows.empty()) return 0.0;
+  double sum = 0.0;
+  for (const Sample& s : rows) {
+    double pred = 0.0;
+    for (int j = 0; j < PlanFeatures::kCount; ++j) {
+      pred += coef[static_cast<size_t>(j)] * s.features.v[static_cast<size_t>(j)];
+    }
+    sum += std::abs(pred - s.seconds) / std::max(s.seconds, 1e-9);
+  }
+  return sum / static_cast<double>(rows.size());
+}
+
+struct Scenario {
+  int n = 2;
+  int count = 2000;
+  AccessKind kind = AccessKind::kDistance;
+  bool localized = false;  ///< queries near data vs uniform over the cube
+  uint64_t seed = 1;
+};
+
+/// Measures every plan of `planned` on `queries` x `ks`, appending one
+/// row per (query, k, plan) to the per-class sample sets. Also verifies
+/// the planner's exactness contract en passant: every plan's answer must
+/// be bit-identical to plan 0's.
+bool MeasureScenario(const PlannedEngine& planned,
+                     const std::vector<Vec>& queries,
+                     const std::vector<int>& ks, int repeats,
+                     ClassSamples* by_class) {
+  for (const Vec& query : queries) {
+    for (int k : ks) {
+      ProxRJOptions options;
+      options.k = k;
+      const PlanChoice choice = planned.ChoosePlan(query, k);
+      std::vector<ResultCombination> reference;
+      for (size_t p = 0; p < planned.num_plans(); ++p) {
+        const PlanSpec& spec = planned.plan(p);
+        const size_t survivors =
+            spec.backend == PlanBackend::kSharded
+                ? (spec.prune ? choice.shard_survivors : planned.fan_out())
+                : 0;
+        double best_seconds = 0.0;
+        for (int rep = 0; rep <= repeats; ++rep) {
+          WallTimer timer;
+          auto result = planned.TopKWithPlan(p, query, options);
+          const double seconds = timer.ElapsedSeconds();
+          if (!result.ok()) {
+            std::fprintf(stderr, "FAIL: plan %zu (%s): %s\n", p,
+                         spec.name().c_str(),
+                         result.status().ToString().c_str());
+            return false;
+          }
+          if (rep == 0) {
+            // Warmup pull doubles as the exactness check.
+            if (p == 0) {
+              reference = std::move(*result);
+            } else {
+              std::string why;
+              if (!BitIdenticalResults(*result, reference, &why)) {
+                std::fprintf(stderr, "FAIL: plan %s diverges from plan 0: %s\n",
+                             spec.name().c_str(), why.c_str());
+                return false;
+              }
+            }
+            best_seconds = seconds;
+          } else {
+            best_seconds = std::min(best_seconds, seconds);
+          }
+        }
+        Sample sample;
+        sample.features =
+            planned.cost_model().Features(spec, choice.depth, k, survivors);
+        sample.seconds = best_seconds;
+        by_class[static_cast<size_t>(spec.backend)].rows.push_back(sample);
+      }
+    }
+  }
+  return true;
+}
+
+int Run(int argc, char** argv) {
+  std::string out_path = "plan_coefficients.json";
+  const char* smoke_env = std::getenv("PRJ_BENCH_SMOKE");
+  bool smoke = smoke_env != nullptr && *smoke_env != '\0' &&
+               std::strcmp(smoke_env, "0") != 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: calibrate [--smoke] [--out <path>]\n");
+      return 2;
+    }
+  }
+
+  const int count_small = smoke ? 300 : 2000;
+  const int count_large = smoke ? 600 : 8000;
+  const int queries_per_scenario = smoke ? 3 : 24;
+  const int repeats = smoke ? 0 : 2;
+  const std::vector<int> ks = smoke ? std::vector<int>{5}
+                                    : std::vector<int>{5, 10, 25};
+
+  std::vector<Scenario> scenarios = {
+      {2, count_small, AccessKind::kDistance, true, 11},
+      {2, count_large, AccessKind::kDistance, true, 12},
+      {2, count_large, AccessKind::kDistance, false, 13},
+      {2, count_small, AccessKind::kScore, false, 14},
+  };
+  if (!smoke) {
+    scenarios.push_back({3, count_small, AccessKind::kDistance, true, 15});
+    scenarios.push_back({3, count_small, AccessKind::kDistance, false, 16});
+    scenarios.push_back({2, count_small, AccessKind::kDistance, false, 17});
+    scenarios.push_back({2, count_large, AccessKind::kScore, true, 18});
+  }
+
+  std::printf("calibrate: %zu scenarios x %d queries x %zu k values%s\n",
+              scenarios.size(), queries_per_scenario, ks.size(),
+              smoke ? " (smoke)" : "");
+
+  const SumLogEuclideanScoring scoring(1.0, 1.0, 1.0);
+  ClassSamples by_class[3];
+  for (const Scenario& sc : scenarios) {
+    SyntheticSpec spec;
+    spec.dim = 2;
+    spec.count = sc.count;
+    spec.density = 50;
+    spec.seed = sc.seed;
+    const auto rels = GenerateProblem(sc.n, spec);
+
+    PlannedEngineOptions options;
+    options.sharded.partitions_per_relation = 2;
+    options.sharded.scatter_threads = 4;
+    auto planned = PlannedEngine::Create(rels, sc.kind, &scoring, options);
+    if (!planned.ok()) {
+      std::fprintf(stderr, "FAIL: PlannedEngine::Create: %s\n",
+                   planned.status().ToString().c_str());
+      return 1;
+    }
+
+    const double side = CubeSide(spec);
+    Rng rng(sc.seed * 1000 + 7);
+    std::vector<Vec> queries;
+    queries.reserve(static_cast<size_t>(queries_per_scenario));
+    for (int q = 0; q < queries_per_scenario; ++q) {
+      if (sc.localized) {
+        // Near a data point: the regime where pruning and the R-tree
+        // frontier pay off.
+        const auto& tuples = rels[0].tuples();
+        const Tuple& anchor = tuples[rng.NextBounded(tuples.size())];
+        Vec query = anchor.x;
+        for (int d = 0; d < query.dim(); ++d) {
+          query[d] += rng.Uniform(-0.05, 0.05) * side;
+        }
+        queries.push_back(std::move(query));
+      } else {
+        queries.push_back(rng.UniformInCube(2, -0.5 * side, 0.5 * side));
+      }
+    }
+    if (!MeasureScenario(*planned, queries, ks, repeats, by_class)) return 1;
+  }
+
+  PlanCoefficients fitted;
+  const char* class_names[3] = {"mono_rtree", "mono_presorted", "sharded"};
+  const PlanBackend classes[3] = {PlanBackend::kMonoRTree,
+                                  PlanBackend::kMonoPresorted,
+                                  PlanBackend::kSharded};
+  bool any_signal = false;
+  for (int c = 0; c < 3; ++c) {
+    const auto& rows = by_class[static_cast<size_t>(classes[c])].rows;
+    auto coef = FitNonnegative(rows);
+    // A class with no measured rows (e.g. mono_rtree under a score-only
+    // calibration) keeps its hand-seeded default.
+    bool nonzero = false;
+    for (double v : coef) {
+      if (!std::isfinite(v)) {
+        std::fprintf(stderr, "FAIL: non-finite coefficient for %s\n",
+                     class_names[c]);
+        return 1;
+      }
+      if (v > 0.0) nonzero = true;
+    }
+    if (rows.empty() || !nonzero) {
+      fitted.of(classes[c]) = PlanCoefficients::Defaults().of(classes[c]);
+      std::printf("%-15s %5zu rows: kept defaults\n", class_names[c],
+                  rows.size());
+      continue;
+    }
+    any_signal = true;
+    fitted.of(classes[c]).v = coef;
+    std::printf("%-15s %5zu rows, mean |rel err| %.2f, coef [", class_names[c],
+                rows.size(), MeanRelativeError(rows, coef));
+    for (int j = 0; j < PlanFeatures::kCount; ++j) {
+      std::printf("%s%.3g", j ? ", " : "", coef[static_cast<size_t>(j)]);
+    }
+    std::printf("]\n");
+  }
+  if (!any_signal) {
+    std::fprintf(stderr, "FAIL: no plan class produced a usable fit\n");
+    return 1;
+  }
+
+  const Status written = fitted.WriteFile(out_path);
+  if (!written.ok()) {
+    std::fprintf(stderr, "FAIL: %s\n", written.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", out_path.c_str());
+
+  // Round-trip sanity: the file the runtime will load reproduces the fit.
+  auto reloaded = PlanCoefficients::LoadFile(out_path);
+  if (!reloaded.ok()) {
+    std::fprintf(stderr, "FAIL: reload: %s\n",
+                 reloaded.status().ToString().c_str());
+    return 1;
+  }
+  for (int c = 0; c < 3; ++c) {
+    for (int j = 0; j < PlanFeatures::kCount; ++j) {
+      const double a = fitted.of(classes[c]).v[static_cast<size_t>(j)];
+      const double b = reloaded->of(classes[c]).v[static_cast<size_t>(j)];
+      if (a != b) {
+        std::fprintf(stderr, "FAIL: %s[%d] round-trips %.17g -> %.17g\n",
+                     class_names[c], j, a, b);
+        return 1;
+      }
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace prj
+
+int main(int argc, char** argv) { return prj::Run(argc, argv); }
