@@ -77,7 +77,9 @@ class CachedEngine : public QueryEngine {
  private:
   const QueryEngine* inner_;
   /// TopK is const yet must touch LRU order and counters; all mutation is
-  /// internally synchronized (sharded locks + atomics).
+  /// internally synchronized (sharded prj::Mutex locks + atomics, with
+  /// the guarded state annotated PRJ_GUARDED_BY inside each cache), so
+  /// this decorator holds no lock of its own.
   mutable QueryCache cache_;
   mutable CursorCache cursor_cache_;
 };

@@ -12,11 +12,13 @@ namespace prj {
 /// prefix grows append-only under the same lock, so a view's position
 /// stays valid across concurrent extensions.
 struct CursorCacheEntry {
-  mutable std::mutex mu;
-  std::unique_ptr<ResultCursor> inner;        ///< guarded by mu
-  std::vector<ResultCombination> prefix;      ///< guarded by mu
-  bool finished = false;                      ///< inner returned nullopt
-  Status failed = Status::OK();               ///< sticky inner failure
+  mutable Mutex mu;
+  std::unique_ptr<ResultCursor> inner PRJ_GUARDED_BY(mu);
+  std::vector<ResultCombination> prefix PRJ_GUARDED_BY(mu);
+  /// True once inner returned nullopt.
+  bool finished PRJ_GUARDED_BY(mu) = false;
+  /// Sticky inner failure.
+  Status failed PRJ_GUARDED_BY(mu) = Status::OK();
 };
 
 namespace {
@@ -31,7 +33,7 @@ class CachedCursorView : public ResultCursor {
       : entry_(std::move(entry)) {}
 
   Result<std::optional<ResultCombination>> Next() override {
-    std::lock_guard<std::mutex> lock(entry_->mu);
+    MutexLock lock(entry_->mu);
     if (pos_ < entry_->prefix.size()) {
       ++partial_hits_;
       return std::optional<ResultCombination>(entry_->prefix[pos_++]);
@@ -58,7 +60,7 @@ class CachedCursorView : public ResultCursor {
   /// is exactly what unchanged sum_depths across two drains shows), with
   /// this view's replay/resume split overlaid.
   ExecStats stats() const override {
-    std::lock_guard<std::mutex> lock(entry_->mu);
+    MutexLock lock(entry_->mu);
     ExecStats s = entry_->inner ? entry_->inner->stats() : ExecStats{};
     s.cursor_partial_hits = partial_hits_;
     s.cursor_resumes = resumes_;
@@ -92,7 +94,7 @@ CursorCache::CursorCache(CursorCacheOptions options)
 std::unique_ptr<ResultCursor> CursorCache::Lookup(const std::string& key,
                                                   uint64_t fingerprint) {
   Shard& shard = ShardFor(fingerprint);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.index.find(key);
   if (it == shard.index.end()) {
     misses_.fetch_add(1, std::memory_order_relaxed);
@@ -106,7 +108,7 @@ std::unique_ptr<ResultCursor> CursorCache::Lookup(const std::string& key,
 std::unique_ptr<ResultCursor> CursorCache::Adopt(
     std::string key, uint64_t fingerprint, std::unique_ptr<ResultCursor> inner) {
   Shard& shard = ShardFor(fingerprint);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.index.find(key);
   if (it != shard.index.end()) {
     // A concurrent Adopt won the race; join its enumeration so both
@@ -137,7 +139,7 @@ CacheCounters CursorCache::counters() const {
 size_t CursorCache::size() const {
   size_t total = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     total += shard->lru.size();
   }
   return total;

@@ -28,12 +28,13 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "core/query_engine.h"
 #include "core/result_cursor.h"
 
@@ -88,10 +89,12 @@ class CursorCache {
   };
 
   struct Shard {
-    std::mutex mu;
+    Mutex mu;
     /// Front = most recently used; map keys view into the nodes.
-    std::list<Node> lru;
-    std::unordered_map<std::string_view, decltype(lru)::iterator> index;
+    std::list<Node> lru PRJ_GUARDED_BY(mu);
+    std::unordered_map<std::string_view, std::list<Node>::iterator> index
+        PRJ_GUARDED_BY(mu);
+    /// Fixed at construction, read-only after: deliberately unguarded.
     size_t capacity = 0;
   };
 

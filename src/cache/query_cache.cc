@@ -46,7 +46,7 @@ std::shared_ptr<const QueryCache::Entry> QueryCache::Lookup(
   Shard& shard = ShardFor(fingerprint);
   std::shared_ptr<const Entry> found;
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     auto it = shard.index.find(std::string_view(key));
     if (it != shard.index.end()) {
       shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
@@ -66,7 +66,7 @@ QueryCache::CoalesceOutcome QueryCache::LookupOrLead(const std::string& key,
   Shard& shard = ShardFor(fingerprint);
   std::shared_ptr<Flight> flight;
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     auto it = shard.index.find(std::string_view(key));
     if (it != shard.index.end()) {
       shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
@@ -85,8 +85,8 @@ QueryCache::CoalesceOutcome QueryCache::LookupOrLead(const std::string& key,
   }
   // Wait off the shard lock: a slow leader stalls only its own key.
   coalesced_.fetch_add(1, std::memory_order_relaxed);
-  std::unique_lock<std::mutex> wait_lock(flight->mu);
-  flight->cv.wait(wait_lock, [&flight] { return flight->done; });
+  MutexLock wait_lock(flight->mu);
+  while (!flight->done) flight->cv.Wait(wait_lock);
   if (flight->result) {
     hits_.fetch_add(1, std::memory_order_relaxed);
   } else {
@@ -100,7 +100,7 @@ void QueryCache::Publish(std::string key, uint64_t fingerprint,
   Shard& shard = ShardFor(fingerprint);
   std::shared_ptr<Flight> flight;
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     auto in = shard.inflight.find(key);
     if (in != shard.inflight.end()) {
       flight = std::move(in->second);
@@ -108,10 +108,10 @@ void QueryCache::Publish(std::string key, uint64_t fingerprint,
     }
   }
   if (flight) {
-    std::lock_guard<std::mutex> wake_lock(flight->mu);
+    MutexLock wake_lock(flight->mu);
     flight->done = true;
     flight->result = entry;
-    flight->cv.notify_all();
+    flight->cv.NotifyAll();
   }
   Insert(std::move(key), fingerprint, std::move(entry));
 }
@@ -120,7 +120,7 @@ void QueryCache::AbortLead(const std::string& key, uint64_t fingerprint) {
   Shard& shard = ShardFor(fingerprint);
   std::shared_ptr<Flight> flight;
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     auto in = shard.inflight.find(key);
     if (in != shard.inflight.end()) {
       flight = std::move(in->second);
@@ -128,9 +128,9 @@ void QueryCache::AbortLead(const std::string& key, uint64_t fingerprint) {
     }
   }
   if (flight) {
-    std::lock_guard<std::mutex> wake_lock(flight->mu);
+    MutexLock wake_lock(flight->mu);
     flight->done = true;
-    flight->cv.notify_all();
+    flight->cv.NotifyAll();
   }
 }
 
@@ -141,7 +141,7 @@ void QueryCache::Insert(std::string key, uint64_t fingerprint,
   Shard& shard = ShardFor(fingerprint);
   uint64_t evicted = 0;
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     auto it = shard.index.find(std::string_view(key));
     if (it != shard.index.end()) {
       shard.bytes -= it->second->bytes;
@@ -183,7 +183,7 @@ CacheCounters QueryCache::counters() const {
 size_t QueryCache::size() const {
   size_t total = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     total += shard->lru.size();
   }
   return total;
@@ -192,7 +192,7 @@ size_t QueryCache::size() const {
 size_t QueryCache::ApproxBytes() const {
   size_t total = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     total += shard->bytes;
   }
   return total;

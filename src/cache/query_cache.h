@@ -27,16 +27,16 @@
 #define PRJ_CACHE_QUERY_CACHE_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "core/query_engine.h"
 
 namespace prj {
@@ -145,24 +145,29 @@ class QueryCache {
   /// shard lock once found: waiting happens on the flight's own mutex, so
   /// a slow leader never blocks unrelated keys of its shard.
   struct Flight {
-    std::mutex mu;
-    std::condition_variable cv;
-    bool done = false;                    ///< guarded by mu
-    std::shared_ptr<const Entry> result;  ///< guarded by mu; null = aborted
+    Mutex mu;
+    CondVar cv;
+    bool done PRJ_GUARDED_BY(mu) = false;
+    /// Null = the leader aborted; waiters recompute on their own.
+    std::shared_ptr<const Entry> result PRJ_GUARDED_BY(mu);
   };
 
   struct Shard {
-    std::mutex mu;
+    Mutex mu;
     /// Front = most recently used. The list node owns the key string; the
     /// map's string_view keys point into the nodes (stable across splice),
     /// so each key is stored exactly once.
-    std::list<Node> lru;
-    std::unordered_map<std::string_view, decltype(lru)::iterator> index;
+    std::list<Node> lru PRJ_GUARDED_BY(mu);
+    std::unordered_map<std::string_view, std::list<Node>::iterator> index
+        PRJ_GUARDED_BY(mu);
+    /// capacity / byte_budget are fixed at construction (before the shard
+    /// is shared) and read-only afterwards: deliberately unguarded.
     size_t capacity = 0;
-    size_t byte_budget = 0;  ///< 0 = unbounded bytes
-    size_t bytes = 0;        ///< sum of node bytes, guarded by mu
-    /// Keys currently being computed by a leader, guarded by mu.
-    std::unordered_map<std::string, std::shared_ptr<Flight>> inflight;
+    size_t byte_budget = 0;              ///< 0 = unbounded bytes
+    size_t bytes PRJ_GUARDED_BY(mu) = 0; ///< sum of node bytes
+    /// Keys currently being computed by a leader.
+    std::unordered_map<std::string, std::shared_ptr<Flight>> inflight
+        PRJ_GUARDED_BY(mu);
   };
 
   Shard& ShardFor(uint64_t fingerprint) {

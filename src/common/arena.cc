@@ -53,7 +53,7 @@ size_t Arena::RetainedBytes() const {
 ArenaPool::Lease ArenaPool::Acquire() {
   std::unique_ptr<Arena> arena;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++leases_;
     if (!free_.empty()) {
       arena = std::move(free_.back());
@@ -68,17 +68,17 @@ ArenaPool::Lease ArenaPool::Acquire() {
 
 void ArenaPool::Return(std::unique_ptr<Arena> arena) {
   arena->Reset();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   free_.push_back(std::move(arena));
 }
 
 size_t ArenaPool::arenas_created() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return created_;
 }
 
 uint64_t ArenaPool::leases_issued() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return leases_;
 }
 

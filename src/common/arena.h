@@ -18,11 +18,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <utility>
 #include <vector>
 
 #include "common/logging.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace prj {
 
@@ -144,10 +145,10 @@ class ArenaPool {
  private:
   void Return(std::unique_ptr<Arena> arena);
 
-  mutable std::mutex mu_;
-  std::vector<std::unique_ptr<Arena>> free_;  ///< guarded by mu_
-  size_t created_ = 0;                        ///< guarded by mu_
-  uint64_t leases_ = 0;                       ///< guarded by mu_
+  mutable Mutex mu_;
+  std::vector<std::unique_ptr<Arena>> free_ PRJ_GUARDED_BY(mu_);
+  size_t created_ PRJ_GUARDED_BY(mu_) = 0;
+  uint64_t leases_ PRJ_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace prj

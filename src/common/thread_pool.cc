@@ -31,10 +31,10 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(idle_mu_);
+    MutexLock lock(idle_mu_);
     stopping_ = true;
   }
-  idle_cv_.notify_all();
+  idle_cv_.NotifyAll();
   for (std::thread& t : threads_) t.join();
 }
 
@@ -51,22 +51,22 @@ void ThreadPool::Submit(std::function<void()> task) {
   // worker may claim it and decrement queued_, so the increment must
   // already be in place.
   {
-    std::lock_guard<std::mutex> lock(idle_mu_);
+    MutexLock lock(idle_mu_);
     ++queued_;
   }
   {
     WorkerQueue& q = *queues_[target];
-    std::lock_guard<std::mutex> lock(q.mu);
+    MutexLock lock(q.mu);
     q.tasks.push_back(std::move(task));
   }
-  idle_cv_.notify_one();
+  idle_cv_.NotifyOne();
 }
 
 bool ThreadPool::TryRunOne(size_t self) {
   std::function<void()> task;
   {
     WorkerQueue& own = *queues_[self];
-    std::lock_guard<std::mutex> lock(own.mu);
+    MutexLock lock(own.mu);
     if (!own.tasks.empty()) {
       task = std::move(own.tasks.front());
       own.tasks.pop_front();
@@ -76,7 +76,7 @@ bool ThreadPool::TryRunOne(size_t self) {
     const size_t n = queues_.size();
     for (size_t k = 1; k < n && task == nullptr; ++k) {
       WorkerQueue& victim = *queues_[(self + k) % n];
-      std::lock_guard<std::mutex> lock(victim.mu);
+      MutexLock lock(victim.mu);
       if (!victim.tasks.empty()) {
         // Steal from the back: the owner pops the front, so thief and
         // owner touch opposite ends of a deep backlog.
@@ -88,7 +88,7 @@ bool ThreadPool::TryRunOne(size_t self) {
   }
   if (task == nullptr) return false;
   {
-    std::lock_guard<std::mutex> lock(idle_mu_);
+    MutexLock lock(idle_mu_);
     --queued_;
   }
   task();
@@ -100,8 +100,8 @@ void ThreadPool::WorkerLoop(size_t self) {
   tl_index = self;
   for (;;) {
     if (TryRunOne(self)) continue;
-    std::unique_lock<std::mutex> lock(idle_mu_);
-    idle_cv_.wait(lock, [&] { return stopping_ || queued_ > 0; });
+    MutexLock lock(idle_mu_);
+    while (!stopping_ && queued_ == 0) idle_cv_.Wait(lock);
     // queued_ may already be claimed by a sibling when we wake; the loop
     // re-scans and, finding nothing, waits again.
     if (stopping_ && queued_ == 0) return;

@@ -32,14 +32,15 @@
 #define PRJ_COMMON_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace prj {
 
@@ -69,8 +70,8 @@ class ThreadPool {
   // different workers proceed in parallel. unique_ptr in the vector
   // because the mutex is immovable.
   struct WorkerQueue {
-    std::mutex mu;
-    std::deque<std::function<void()>> tasks;  ///< guarded by mu
+    Mutex mu;
+    std::deque<std::function<void()>> tasks PRJ_GUARDED_BY(mu);
   };
 
   void WorkerLoop(size_t self);
@@ -85,10 +86,10 @@ class ThreadPool {
   // Global idle/shutdown coordination. queued_ counts submitted tasks not
   // yet claimed by any worker; it is incremented *before* the task is
   // published to a deque so a concurrent claim can never underflow it.
-  std::mutex idle_mu_;
-  std::condition_variable idle_cv_;
-  size_t queued_ = 0;      ///< guarded by idle_mu_
-  bool stopping_ = false;  ///< guarded by idle_mu_
+  Mutex idle_mu_;
+  CondVar idle_cv_;
+  size_t queued_ PRJ_GUARDED_BY(idle_mu_) = 0;
+  bool stopping_ PRJ_GUARDED_BY(idle_mu_) = false;
   std::vector<std::thread> threads_;
 };
 

@@ -15,10 +15,11 @@ namespace {
 /// then the sources, and the lease (whose arena backs the sources'
 /// browse frontiers) last.
 struct EngineCursor : public ResultCursor {
-  EngineCursor(ArenaPool::Lease lease, Vec query, ProxRJOptions options)
-      : lease(std::move(lease)),
-        query(std::move(query)),
-        options(std::move(options)) {}
+  EngineCursor(ArenaPool::Lease arena_lease, Vec query_point,
+               ProxRJOptions run_options)
+      : lease(std::move(arena_lease)),
+        query(std::move(query_point)),
+        options(run_options) {}
 
   Result<std::optional<ResultCombination>> Next() override {
     return exec->Next();

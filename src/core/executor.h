@@ -50,65 +50,156 @@ inline constexpr AlgorithmPreset kTBRR{"TBRR", BoundKind::kTight,
 inline constexpr AlgorithmPreset kTBPA{"TBPA", BoundKind::kTight,
                                        PullKind::kPotentialAdaptive};
 
+// ---------------------------------------------------------------------
+// The options field registry.
+//
+// Every ProxRJOptions field is declared through PRJ_OPTION_FIELDS, an
+// X-macro that forces a classification choice per field:
+//
+//   KEY    -- the field can change what a query returns (or how far an
+//             enumeration runs), so it participates in the canonical
+//             request key (core/query_engine.h). Forgetting a KEY field
+//             would make two different queries share one cache entry:
+//             silent wrong answers from CachedEngine.
+//   EXEMPT -- the field can never change the answer (execution hints,
+//             backend choice among bit-identical access paths, trace
+//             attachment), so the key deliberately excludes it: sharing
+//             a cache entry across hint values is the point, not a
+//             collision.
+//
+// The struct fields, the canonical key encoding (AppendCanonicalOptions
+// in query_engine.cc), CanonicalOptionsEqual, and the exemption list
+// below are all generated from this one list, and a static_assert
+// (OptionsFieldsAllRegistered) proves the struct has no field the list
+// missed -- adding an option without classifying it fails to compile
+// (tests/compile_fail/options_unregistered_field.cc proves the check
+// fires). Field semantics:
+//
+//   k                    number of result combinations K.
+//   bound / pull         the algorithm axes of the experimental study
+//                        (corner vs tight bound, round-robin vs
+//                        potential-adaptive pulls); see the presets.
+//   backend              distance-access implementation used by RunProxRJ
+//                        when it builds the sources itself (Engine has its
+//                        own construction-time choice). Both backends
+//                        deliver the identical stream (tested): EXEMPT.
+//   dominance_period     tight bound, distance access only: run the
+//                        dominance LP sweep every N pulls; 0 disables
+//                        (paper Figure 3(m)/(n)).
+//   bound_update_period  tight bound, distance access only: refresh stale
+//                        partial bounds every N pulls (>= 1). 1 reproduces
+//                        Algorithm 2; larger trades I/O for CPU (paper
+//                        section 4.2 remark).
+//   use_generic_qp       solve each t(tau) through the paper's explicit QP
+//                        formulation (14)/(30) instead of closed-form
+//                        water-filling. Identical results, different CPU
+//                        regime -- but KEY: it changes ExecStats timings a
+//                        cached entry would replay.
+//   max_pulls /          safety rails for benchmarking; 0 disables each.
+//   time_budget_seconds  When tripped the executor still returns the
+//                        current buffer with ExecStats::completed = false
+//                        (how the paper reports CBPA's DNF at n = 4).
+//   epsilon              certification slack on the threshold test
+//                        (floating-point guard, widens the comparison in
+//                        the safe direction).
+//   scatter_hint         planner hint (plan/planned_engine.h): 0 keeps the
+//                        engine's scatter configuration, 1 forces
+//                        sequential, > 1 allows parallel scatter (capped
+//                        by the engine's pool width). Picks among
+//                        bit-identical plans: EXEMPT.
+//   prune_hint           planner hint: 0 keeps the engine configuration,
+//                        > 0 forces corner-bound shard pruning on, < 0
+//                        forces it off. EXEMPT for the same reason.
+//   trace                when non-null, records one TraceStep per pull
+//                        (not owned). Observation only: EXEMPT.
+// ---------------------------------------------------------------------
+#define PRJ_OPTION_FIELDS(X)                                             \
+  X(KEY, int, k, 10)                                                     \
+  X(KEY, BoundKind, bound, BoundKind::kTight)                            \
+  X(KEY, PullKind, pull, PullKind::kPotentialAdaptive)                   \
+  X(EXEMPT, SourceBackend, backend, SourceBackend::kPresorted)           \
+  X(KEY, int, dominance_period, 0)                                       \
+  X(KEY, int, bound_update_period, 1)                                    \
+  X(KEY, bool, use_generic_qp, false)                                    \
+  X(KEY, uint64_t, max_pulls, 0)                                         \
+  X(KEY, double, time_budget_seconds, 0.0)                               \
+  X(KEY, double, epsilon, 1e-9)                                          \
+  X(EXEMPT, uint32_t, scatter_hint, 0)                                   \
+  X(EXEMPT, int8_t, prune_hint, 0)                                       \
+  X(EXEMPT, ExecTrace*, trace, nullptr)
+
+/// Expands one registry row into its member declaration. Stays defined
+/// (not #undef'd) so the negative-compile test can build a rogue struct
+/// from the same list.
+#define PRJ_OPTION_DECLARE_FIELD(CLASS, TYPE, NAME, DEFAULT) \
+  TYPE NAME = DEFAULT;
+
+/// Number of rows in PRJ_OPTION_FIELDS.
+#define PRJ_OPTION_COUNT_FIELD(CLASS, TYPE, NAME, DEFAULT) +1
+inline constexpr size_t kProxRJOptionFieldCount =
+    0 PRJ_OPTION_FIELDS(PRJ_OPTION_COUNT_FIELD);
+#undef PRJ_OPTION_COUNT_FIELD
+
+/// Names of the EXEMPT rows -- the explicit canonical-key exemption list,
+/// generated so it can never drift from the registry (the key-audit tests
+/// sweep it).
+#define PRJ_OPTION_EXEMPT_NAME(CLASS, TYPE, NAME, DEFAULT) \
+  PRJ_OPTION_EXEMPT_NAME_##CLASS(NAME)
+#define PRJ_OPTION_EXEMPT_NAME_KEY(NAME)
+#define PRJ_OPTION_EXEMPT_NAME_EXEMPT(NAME) #NAME,
+inline constexpr const char* kCanonicalKeyExemptFields[] = {
+    PRJ_OPTION_FIELDS(PRJ_OPTION_EXEMPT_NAME)};
+#undef PRJ_OPTION_EXEMPT_NAME
+#undef PRJ_OPTION_EXEMPT_NAME_KEY
+#undef PRJ_OPTION_EXEMPT_NAME_EXEMPT
+
+namespace internal {
+
+/// Converts to any field type; only ever used unevaluated, to probe
+/// aggregate initialization.
+struct AnyOptionField {
+  template <typename T>
+  operator T() const;  // NOLINT(google-explicit-constructor)
+};
+
+/// Counts the fields of aggregate T by probing how many initializers
+/// T{...} accepts: braced init with N+1 convert-to-anything arguments is
+/// well-formed exactly while N+1 <= field count.
+template <typename T, typename... Probe>
+constexpr size_t AggregateFieldCount() {
+  if constexpr (requires { T{Probe{}..., AnyOptionField{}}; }) {
+    return AggregateFieldCount<T, Probe..., AnyOptionField>();
+  } else {
+    return sizeof...(Probe);
+  }
+}
+
+}  // namespace internal
+
+/// True iff every field of T appears in PRJ_OPTION_FIELDS. Asserted over
+/// ProxRJOptions below: a field added to the struct without a registry row
+/// (KEY or EXEMPT) fails this at compile time, replacing the old
+/// sizeof-based layout tripwire with a check that counts fields exactly
+/// and cannot be silenced by padding.
+template <typename T>
+constexpr bool OptionsFieldsAllRegistered() {
+  return internal::AggregateFieldCount<T>() == kProxRJOptionFieldCount;
+}
+
 struct ProxRJOptions {
-  int k = 10;                       ///< number of result combinations K
-  BoundKind bound = BoundKind::kTight;
-  PullKind pull = PullKind::kPotentialAdaptive;
-
-  /// Distance-access implementation used by RunProxRJ when it builds the
-  /// sources itself (Engine has its own construction-time choice, and
-  /// explicitly constructed sources are taken as given).
-  SourceBackend backend = SourceBackend::kPresorted;
-
-  /// Tight bound, distance access only: run the dominance LP sweep every
-  /// `dominance_period` pulls; 0 disables dominance (paper Figure 3(m)/(n)).
-  int dominance_period = 0;
-  /// Tight bound, distance access only: refresh stale partial bounds every
-  /// `bound_update_period` pulls (>= 1). 1 reproduces Algorithm 2; larger
-  /// values trade extra I/O for less CPU (paper §4.2 remark).
-  int bound_update_period = 1;
-  /// Tight bound, distance access only: solve each t(tau) through the
-  /// paper's explicit QP formulation (14)/(30) instead of the closed-form
-  /// water-filling path. Identical results; matches the paper's
-  /// off-the-shelf-solver CPU regime (used by the dominance ablations).
-  bool use_generic_qp = false;
-
-  /// Safety rails for benchmarking; 0 disables each. When tripped, the
-  /// executor still returns the current buffer but ExecStats::completed is
-  /// false (this is how the paper reports CBPA's DNF at n = 4).
-  uint64_t max_pulls = 0;
-  double time_budget_seconds = 0.0;
-
-  /// Certification slack on the threshold test (floating-point guard):
-  /// a result is emitted once its score exceeds the bound by more than
-  /// this. The slack widens the comparison in the safe direction -- a
-  /// bound that rounds low can only delay emission (extra pulls), never
-  /// certify a result an unseen combination could still beat or tie.
-  double epsilon = 1e-9;
-
-  // Per-request execution hints, set by a planning layer
-  // (plan/planned_engine.h). Like `backend` they can never change the
-  // answer -- every plan is exact -- so the canonical request key
-  // (core/query_engine.h) excludes them; engines without the hinted
-  // machinery ignore them.
-
-  /// Scatter-width hint for sharded execution: 0 keeps the engine's
-  /// construction-time scatter configuration, 1 forces the sequential
-  /// scatter, > 1 allows parallel scatter (capped by the engine's
-  /// configured pool width -- hints never create threads).
-  uint32_t scatter_hint = 0;
-  /// Shard-pruning hint: 0 keeps the engine's configuration, > 0 forces
-  /// corner-bound shard pruning on, < 0 forces it off.
-  int8_t prune_hint = 0;
-
-  /// When non-null, records one TraceStep per pull (not owned).
-  ExecTrace* trace = nullptr;
+  PRJ_OPTION_FIELDS(PRJ_OPTION_DECLARE_FIELD)
 
   void Apply(const AlgorithmPreset& preset) {
     bound = preset.bound;
     pull = preset.pull;
   }
 };
+
+static_assert(
+    OptionsFieldsAllRegistered<ProxRJOptions>(),
+    "ProxRJOptions field is not registered in PRJ_OPTION_FIELDS: classify "
+    "it KEY (participates in CanonicalRequestKey) or EXEMPT (cannot change "
+    "the answer)");
 
 /// Cost accounting matching the paper's reporting: sumDepths, total CPU
 /// time, and the fractions spent in updateBound and in dominance tests.

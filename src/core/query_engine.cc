@@ -59,31 +59,40 @@ void AppendDouble(double v, std::string* out) {
   AppendU64(bits, out);
 }
 
+// Overload set mapping each KEY field type to its canonical byte
+// encoding. A KEY field whose type has no overload here fails to compile:
+// choosing an encoding is part of registering the field.
+void AppendCanonicalField(int v, std::string* out) { AppendI64(v, out); }
+void AppendCanonicalField(BoundKind v, std::string* out) {
+  out->push_back(static_cast<char>(v));
+}
+void AppendCanonicalField(PullKind v, std::string* out) {
+  out->push_back(static_cast<char>(v));
+}
+void AppendCanonicalField(bool v, std::string* out) {
+  out->push_back(v ? 1 : 0);
+}
+void AppendCanonicalField(uint64_t v, std::string* out) { AppendU64(v, out); }
+void AppendCanonicalField(double v, std::string* out) { AppendDouble(v, out); }
+
 }  // namespace
 
-// Layout tripwire: if ProxRJOptions gains (or loses) a field, this fires
-// and forces a review of the canonical encoding below -- a forgotten
-// result-relevant field would make two different queries share one cache
-// key, i.e. silent wrong answers from CachedEngine. Update the encoding
-// (and the CanonicalRequestKeyTest field sweep) before bumping the size.
-static_assert(sizeof(ProxRJOptions) == 72,
-              "ProxRJOptions changed: audit AppendCanonicalOptions");
-
-// Deliberately excluded from the canonical encoding, alongside `trace` and
-// `backend`: the planner's execution hints (scatter_hint, prune_hint).
-// They pick among bit-identical plans, so two requests differing only in
-// hints ARE the same query -- sharing a cache entry across them is the
-// point, not a collision.
+// Generated from the PRJ_OPTION_FIELDS registry (core/executor.h): KEY
+// rows are encoded in declaration order (byte-compatible with the
+// hand-written encoding this replaces -- CanonicalRequestKeyTest pins the
+// separations); EXEMPT rows (kCanonicalKeyExemptFields: backend, the
+// planner hints, trace) are skipped. They pick among bit-identical plans,
+// so two requests differing only in an exempt field ARE the same query --
+// sharing a cache entry across them is the point, not a collision.
 void AppendCanonicalOptions(const ProxRJOptions& options, std::string* out) {
-  AppendI64(options.k, out);
-  out->push_back(static_cast<char>(options.bound));
-  out->push_back(static_cast<char>(options.pull));
-  AppendI64(options.dominance_period, out);
-  AppendI64(options.bound_update_period, out);
-  out->push_back(options.use_generic_qp ? 1 : 0);
-  AppendU64(options.max_pulls, out);
-  AppendDouble(options.time_budget_seconds, out);
-  AppendDouble(options.epsilon, out);
+#define PRJ_OPTION_APPEND_KEY(NAME) AppendCanonicalField(options.NAME, out);
+#define PRJ_OPTION_APPEND_EXEMPT(NAME)
+#define PRJ_OPTION_APPEND_FIELD(CLASS, TYPE, NAME, DEFAULT) \
+  PRJ_OPTION_APPEND_##CLASS(NAME)
+  PRJ_OPTION_FIELDS(PRJ_OPTION_APPEND_FIELD)
+#undef PRJ_OPTION_APPEND_FIELD
+#undef PRJ_OPTION_APPEND_EXEMPT
+#undef PRJ_OPTION_APPEND_KEY
 }
 
 std::string CanonicalRequestKey(const Vec& query, const ProxRJOptions& options,

@@ -116,8 +116,8 @@ class LiveMergeCursor : public ResultCursor {
 /// live-layer sibling of engine.cc's EngineCursor). Member order is
 /// reverse destruction order: exec first dead, sources after.
 struct DeltaPartCursor : public ResultCursor {
-  DeltaPartCursor(Vec query, ProxRJOptions options)
-      : query(std::move(query)), options(options) {}
+  DeltaPartCursor(Vec query_point, ProxRJOptions run_options)
+      : query(std::move(query_point)), options(run_options) {}
 
   Result<std::optional<ResultCombination>> Next() override {
     return exec->Next();
@@ -239,12 +239,12 @@ Status LiveEngine::BuildBaseState(const std::vector<Relation>& relations,
 }
 
 std::shared_ptr<const LiveEngine::Snapshot> LiveEngine::Capture() const {
-  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  MutexLock lock(snapshot_mu_);
   return snapshot_;
 }
 
 void LiveEngine::Publish(std::shared_ptr<const Snapshot> next) {
-  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  MutexLock lock(snapshot_mu_);
   snapshot_ = std::move(next);
 }
 
@@ -645,7 +645,7 @@ Status LiveEngine::Apply(const UpdateBatch& batch) {
         "update batch has " + std::to_string(batch.relations.size()) +
         " relation slices, engine joins " + std::to_string(num_relations_));
   }
-  std::lock_guard<std::mutex> writer_lock(writer_mu_);
+  MutexLock writer_lock(writer_mu_);
   const auto cur = Capture();
 
   // Build the successor state relation by relation; nothing is published
@@ -754,7 +754,7 @@ std::vector<Relation> LiveEngine::MaterializeContent(const Snapshot& snap) {
 }
 
 Status LiveEngine::Compact() {
-  std::lock_guard<std::mutex> compact_lock(compact_mu_);
+  MutexLock compact_lock(compact_mu_);
   const auto s0 = Capture();
   if (s0->delta_tuples() == 0 && s0->tombstones() == 0) {
     return Status();  // nothing to fold; don't count a no-op rebuild
@@ -779,7 +779,7 @@ Status LiveEngine::Compact() {
   // NOT change -- logical content is untouched, so epoch-keyed cache
   // entries stay valid and warm across the swap.
   {
-    std::lock_guard<std::mutex> writer_lock(writer_mu_);
+    MutexLock writer_lock(writer_mu_);
     const auto cur = Capture();
     auto next = std::make_shared<Snapshot>();
     next->epoch = cur->epoch;

@@ -48,13 +48,14 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "access/delta_relation.h"
 #include "access/source.h"
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "common/vec.h"
 #include "core/engine.h"
@@ -246,11 +247,14 @@ class LiveEngine : public QueryEngine {
   int dim_;
   size_t num_relations_;
 
-  mutable std::mutex snapshot_mu_;  ///< guards snapshot_ (pointer swap only)
-  std::shared_ptr<const Snapshot> snapshot_;
+  mutable Mutex snapshot_mu_;  ///< held for the pointer swap only
+  std::shared_ptr<const Snapshot> snapshot_ PRJ_GUARDED_BY(snapshot_mu_);
 
-  std::mutex writer_mu_;   ///< serializes Apply and the compaction splice
-  std::mutex compact_mu_;  ///< serializes whole compactions
+  /// Phase locks, not data guards: writer_mu_ serializes Apply with the
+  /// compaction splice, compact_mu_ serializes whole compactions. All
+  /// versioned data still flows through the snapshot_ swap above.
+  Mutex writer_mu_ PRJ_ACQUIRED_BEFORE(snapshot_mu_);
+  Mutex compact_mu_ PRJ_ACQUIRED_BEFORE(writer_mu_);
   std::atomic<bool> compaction_pending_{false};
   std::atomic<uint64_t> compactions_{0};
 

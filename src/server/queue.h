@@ -14,13 +14,14 @@
 #ifndef PRJ_SERVER_QUEUE_H_
 #define PRJ_SERVER_QUEUE_H_
 
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "common/logging.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace prj {
 
@@ -38,13 +39,12 @@ class BoundedQueue {
   /// returns true. Returns false -- leaving `item` untouched -- once the
   /// queue is closed, so the caller keeps ownership of rejected work.
   bool Push(T& item) {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_full_.wait(lock,
-                   [this] { return closed_ || items_.size() < capacity_; });
+    MutexLock lock(mu_);
+    while (!closed_ && items_.size() >= capacity_) not_full_.Wait(lock);
     if (closed_) return false;
     items_.push_back(std::move(item));
     if (items_.size() > high_water_) high_water_ = items_.size();
-    not_empty_.notify_one();
+    not_empty_.NotifyOne();
     return true;
   }
 
@@ -52,59 +52,59 @@ class BoundedQueue {
   /// only when the queue is closed *and* drained: items enqueued before
   /// Close() are still delivered.
   std::optional<T> Pop() {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    MutexLock lock(mu_);
+    while (!closed_ && items_.empty()) not_empty_.Wait(lock);
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
-    not_full_.notify_one();
+    not_full_.NotifyOne();
     return item;
   }
 
   /// Rejects all future pushes and wakes every blocked thread. Pending
   /// items remain poppable (drain semantics). Idempotent.
   void Close() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     closed_ = true;
-    not_full_.notify_all();
-    not_empty_.notify_all();
+    not_full_.NotifyAll();
+    not_empty_.NotifyAll();
   }
 
   /// Close() plus cancellation: returns every item still queued, in FIFO
   /// order, so the caller can fail them instead of running them.
   std::vector<T> CloseAndDrain() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     closed_ = true;
     std::vector<T> drained;
     drained.reserve(items_.size());
     for (T& item : items_) drained.push_back(std::move(item));
     items_.clear();
-    not_full_.notify_all();
-    not_empty_.notify_all();
+    not_full_.NotifyAll();
+    not_empty_.NotifyAll();
     return drained;
   }
 
   size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return items_.size();
   }
 
   /// Largest depth the queue ever reached.
   size_t high_water() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return high_water_;
   }
 
   size_t capacity() const { return capacity_; }
 
  private:
-  mutable std::mutex mu_;
-  std::condition_variable not_full_;
-  std::condition_variable not_empty_;
-  std::deque<T> items_;
+  mutable Mutex mu_;
+  CondVar not_full_;
+  CondVar not_empty_;
+  std::deque<T> items_ PRJ_GUARDED_BY(mu_);
   const size_t capacity_;
-  size_t high_water_ = 0;
-  bool closed_ = false;
+  size_t high_water_ PRJ_GUARDED_BY(mu_) = 0;
+  bool closed_ PRJ_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace prj

@@ -52,17 +52,6 @@ bool ParsePageToken(const std::string& token, uint64_t* id, uint64_t* offset) {
 
 }  // namespace
 
-struct Server::PageSession {
-  uint64_t id = 0;
-  /// CanonicalEnumerationKey of the request that opened the session:
-  /// guards against a token replayed with a different request.
-  std::string enum_key;
-  std::mutex mu;
-  std::unique_ptr<ResultCursor> cursor;  ///< guarded by mu
-  uint64_t next_rank = 0;                ///< guarded by mu
-  uint64_t reported_depths = 0;          ///< guarded by mu (marginal-cost base)
-};
-
 Server::Server(const QueryEngine* engine, ServerOptions options)
     : engine_(engine),
       queue_(options.queue_capacity),
@@ -215,7 +204,7 @@ std::vector<QueryResult> Server::SubmitBatch(
 }
 
 void Server::Shutdown(DrainMode mode) {
-  std::lock_guard<std::mutex> lock(shutdown_mu_);
+  MutexLock lock(shutdown_mu_);
   if (stopped_) return;
   stopped_ = true;
   if (mode == DrainMode::kCancel) {
@@ -235,18 +224,18 @@ void Server::Shutdown(DrainMode mode) {
   // Page-session cursors pin engine snapshots (and, for live engines,
   // whole epochs); a stopped server must not keep them alive. Workers are
   // joined, so no session is in use.
-  std::lock_guard<std::mutex> sessions_lock(sessions_mu_);
+  MutexLock sessions_lock(sessions_mu_);
   session_index_.clear();
   session_lru_.clear();
 }
 
 size_t Server::live_page_sessions() const {
-  std::lock_guard<std::mutex> lock(sessions_mu_);
+  MutexLock lock(sessions_mu_);
   return session_lru_.size();
 }
 
 std::shared_ptr<Server::PageSession> Server::FindSession(uint64_t id) {
-  std::lock_guard<std::mutex> lock(sessions_mu_);
+  MutexLock lock(sessions_mu_);
   auto it = session_index_.find(id);
   if (it == session_index_.end()) return nullptr;
   session_lru_.splice(session_lru_.begin(), session_lru_, it->second);
@@ -257,7 +246,7 @@ std::shared_ptr<Server::PageSession> Server::RegisterSession(
     std::string enum_key) {
   auto session = std::make_shared<PageSession>();
   session->enum_key = std::move(enum_key);
-  std::lock_guard<std::mutex> lock(sessions_mu_);
+  MutexLock lock(sessions_mu_);
   session->id = next_session_id_++;
   session_lru_.push_front(session);
   session_index_.emplace(session->id, session_lru_.begin());
@@ -271,7 +260,7 @@ std::shared_ptr<Server::PageSession> Server::RegisterSession(
 }
 
 void Server::DropSession(uint64_t id) {
-  std::lock_guard<std::mutex> lock(sessions_mu_);
+  MutexLock lock(sessions_mu_);
   auto it = session_index_.find(id);
   if (it == session_index_.end()) return;
   session_lru_.erase(it->second);
@@ -300,36 +289,11 @@ PageResult Server::ServePage(const QueryRequest& request,
     return page;
   }
 
-  // Serves one page from a positioned cursor; assumes session->mu held
-  // and session->cursor at session->next_rank == offset.
-  auto serve = [&](PageSession* s) -> PageResult {
-    PageResult out;
-    auto batch = s->cursor->NextBatch(page_size);
-    if (!batch.ok()) {
-      out.result.status = batch.status();
-      return out;
-    }
-    out.result.status = Status::OK();
-    out.result.combinations = std::move(batch).value();
-    out.result.stats = s->cursor->stats();
-    out.page_start = offset;
-    out.page_cost_depths = out.result.stats.sum_depths - s->reported_depths;
-    s->reported_depths = out.result.stats.sum_depths;
-    s->next_rank = offset + out.result.combinations.size();
-    if (out.result.combinations.size() == page_size && page_size > 0) {
-      out.next_page_token = MakePageToken(s->id, s->next_rank);
-    } else {
-      // Enumeration exhausted: retire the session (safe lock order --
-      // nothing takes a session mutex while holding sessions_mu_).
-      DropSession(s->id);
-    }
-    return out;
-  };
-
   if (session) {
-    std::lock_guard<std::mutex> lock(session->mu);
-    if (session->cursor != nullptr && session->next_rank == offset) {
-      return serve(session.get());
+    PageSession* held = session.get();
+    MutexLock lock(held->mu);
+    if (held->cursor != nullptr && held->next_rank == offset) {
+      return ServeCursorPage(held, offset, page_size);
     }
     // A replayed or out-of-order token: the cursor cannot rewind, so fall
     // through and reopen at the requested offset.
@@ -344,32 +308,58 @@ PageResult Server::ServePage(const QueryRequest& request,
     return page;
   }
   if (!session) session = RegisterSession(enum_key);
-  std::lock_guard<std::mutex> lock(session->mu);
-  session->cursor = std::move(cursor).value();
-  session->next_rank = 0;
-  session->reported_depths = 0;
+  PageSession* held = session.get();
+  MutexLock lock(held->mu);
+  held->cursor = std::move(cursor).value();
+  held->next_rank = 0;
+  held->reported_depths = 0;
   if (offset > 0) {
     // Stale or replayed token: skip to its offset. Exact -- the skipped
     // prefix is the same prefix every earlier page served.
-    auto skipped = session->cursor->NextBatch(offset);
+    auto skipped = held->cursor->NextBatch(offset);
     if (!skipped.ok()) {
       page.result.status = skipped.status();
       return page;
     }
-    session->next_rank = skipped->size();
+    held->next_rank = skipped->size();
     if (skipped->size() < offset) {
       // The enumeration ends before this page starts: empty final page.
       page.result.status = Status::OK();
-      page.result.stats = session->cursor->stats();
+      page.result.stats = held->cursor->stats();
       page.page_start = offset;
       page.page_cost_depths =
-          page.result.stats.sum_depths - session->reported_depths;
-      session->reported_depths = page.result.stats.sum_depths;
-      DropSession(session->id);
+          page.result.stats.sum_depths - held->reported_depths;
+      held->reported_depths = page.result.stats.sum_depths;
+      DropSession(held->id);
       return page;
     }
   }
-  return serve(session.get());
+  return ServeCursorPage(held, offset, page_size);
+}
+
+PageResult Server::ServeCursorPage(PageSession* session, uint64_t offset,
+                                   uint64_t page_size) {
+  PageResult out;
+  auto batch = session->cursor->NextBatch(page_size);
+  if (!batch.ok()) {
+    out.result.status = batch.status();
+    return out;
+  }
+  out.result.status = Status::OK();
+  out.result.combinations = std::move(batch).value();
+  out.result.stats = session->cursor->stats();
+  out.page_start = offset;
+  out.page_cost_depths = out.result.stats.sum_depths - session->reported_depths;
+  session->reported_depths = out.result.stats.sum_depths;
+  session->next_rank = offset + out.result.combinations.size();
+  if (out.result.combinations.size() == page_size && page_size > 0) {
+    out.next_page_token = MakePageToken(session->id, session->next_rank);
+  } else {
+    // Enumeration exhausted: retire the session (safe lock order --
+    // nothing takes a session mutex while holding sessions_mu_).
+    DropSession(session->id);
+  }
+  return out;
 }
 
 PageResult Server::PageViaTopK(const QueryRequest& request, uint64_t offset,

@@ -31,13 +31,14 @@
 #include <future>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/timer.h"
 #include "core/query_engine.h"
 #include "server/histogram.h"
@@ -214,7 +215,17 @@ class Server {
   /// One paged enumeration: the engine cursor plus its read position,
   /// owned by the session registry and serialized by its own mutex (two
   /// racing pulls of the same token never interleave on the cursor).
-  struct PageSession;
+  struct PageSession {
+    uint64_t id = 0;
+    /// CanonicalEnumerationKey of the request that opened the session:
+    /// guards against a token replayed with a different request.
+    std::string enum_key;
+    Mutex mu;
+    std::unique_ptr<ResultCursor> cursor PRJ_GUARDED_BY(mu);
+    uint64_t next_rank PRJ_GUARDED_BY(mu) = 0;
+    /// Marginal-cost base: sum_depths already billed to earlier pages.
+    uint64_t reported_depths PRJ_GUARDED_BY(mu) = 0;
+  };
 
   /// One cache line per worker: the hot path touches only its own slot,
   /// with relaxed atomics, so serving threads never contend on stats.
@@ -237,6 +248,12 @@ class Server {
   static void Reject(Task* task);
 
   PageResult ServePage(const QueryRequest& request, const std::string& token);
+  /// Serves one page from `session`'s positioned cursor (which must sit at
+  /// rank `offset`). Formerly a lambda invoked with the session lock held
+  /// -- opaque to the thread-safety analysis; as an annotated member the
+  /// requirement is machine-checked at every call site.
+  PageResult ServeCursorPage(PageSession* session, uint64_t offset,
+                             uint64_t page_size) PRJ_REQUIRES(session->mu);
   PageResult PageViaTopK(const QueryRequest& request, uint64_t offset,
                          uint64_t page_size);
   QueryResult ServeStream(const QueryRequest& request,
@@ -264,14 +281,21 @@ class Server {
   /// resources, never correctness. Cleared at Shutdown (cursors pin
   /// engine snapshots).
   size_t max_page_sessions_;
-  mutable std::mutex sessions_mu_;
-  std::list<std::shared_ptr<PageSession>> session_lru_;
-  std::unordered_map<uint64_t, std::list<std::shared_ptr<PageSession>>::iterator>
-      session_index_;
-  uint64_t next_session_id_ = 1;  ///< guarded by sessions_mu_
+  /// Registry lock. Ordering contract (by convention -- a per-instance
+  /// session mutex cannot be named by a PRJ_ACQUIRED_* annotation):
+  /// sessions_mu_ may be taken while holding a session's own mu (the
+  /// exhausted-enumeration DropSession path) -- never the other way
+  /// around, so the pair cannot deadlock.
+  mutable Mutex sessions_mu_;
+  std::list<std::shared_ptr<PageSession>> session_lru_
+      PRJ_GUARDED_BY(sessions_mu_);
+  std::unordered_map<uint64_t,
+                     std::list<std::shared_ptr<PageSession>>::iterator>
+      session_index_ PRJ_GUARDED_BY(sessions_mu_);
+  uint64_t next_session_id_ PRJ_GUARDED_BY(sessions_mu_) = 1;
 
-  std::mutex shutdown_mu_;  ///< serializes Shutdown; guards stopped_
-  bool stopped_ = false;
+  Mutex shutdown_mu_;  ///< serializes Shutdown
+  bool stopped_ PRJ_GUARDED_BY(shutdown_mu_) = false;
 };
 
 }  // namespace prj

@@ -3,13 +3,12 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
-#include <condition_variable>
 #include <cstddef>
 #include <limits>
-#include <mutex>
 #include <string>
 #include <utility>
 
+#include "common/mutex.h"
 #include "common/timer.h"
 #include "core/bounds.h"
 #include "core/executor.h"
@@ -270,7 +269,7 @@ Result<std::vector<ResultCombination>> ShardedEngine::TopK(
   // checks -- it only ever tightens, so a stale read is merely
   // conservative.
   const size_t keep = static_cast<size_t>(options.k);
-  std::mutex mu;
+  Mutex mu;
   // The heap's spine lives in a leased arena. The lease is declared
   // before the heap (destroyed after it), and every heap touch -- growth
   // on Offer, the final sort -- happens either under mu or after the
@@ -291,7 +290,7 @@ Result<std::vector<ResultCombination>> ShardedEngine::TopK(
       // No combination of this shard can reach the K already gathered
       // -- strictly below on score, so no tie to win either.
       pruned.fetch_add(1, std::memory_order_relaxed);
-      std::lock_guard<std::mutex> lock(mu);
+      MutexLock lock(mu);
       aggregate.final_bound = std::max(aggregate.final_bound, ranked.bound);
       return;
     }
@@ -299,7 +298,7 @@ Result<std::vector<ResultCombination>> ShardedEngine::TopK(
     ExecStats shard_stats;
     auto local = shards_[ranked.shard].TopK(query, options, &shard_stats);
     if (!local.ok()) {
-      std::lock_guard<std::mutex> lock(mu);
+      MutexLock lock(mu);
       if (first_error.ok()) first_error = local.status();
       failed.store(true, std::memory_order_relaxed);
       return;
@@ -314,7 +313,7 @@ Result<std::vector<ResultCombination>> ShardedEngine::TopK(
     for (ResultCombination& combo : *local) {
       keyed.push_back(MakeKeyed(std::move(combo), kind_, query));
     }
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     const WallTimer gather_timer;
     AggregateShardStats(shard_stats, mode, &aggregate);
     for (KeyedCombination& kc : keyed) {
@@ -343,8 +342,8 @@ Result<std::vector<ResultCombination>> ShardedEngine::TopK(
     mode = ScatterMode::kParallel;
     const size_t workers = std::min<size_t>(scatter_width, order.size());
     const size_t helpers = workers - 1;
-    std::mutex done_mu;
-    std::condition_variable done_cv;
+    Mutex done_mu;
+    CondVar done_cv;
     size_t outstanding = helpers;  // guarded by done_mu
     for (size_t h = 0; h < helpers; ++h) {
       pool_->Submit([&]() {
@@ -352,13 +351,13 @@ Result<std::vector<ResultCombination>> ShardedEngine::TopK(
         // The decrement happens under the lock so the waiter can only
         // observe 0 once this helper is past every touch of the shared
         // scatter state -- after which the caller may safely destroy it.
-        std::lock_guard<std::mutex> lock(done_mu);
-        if (--outstanding == 0) done_cv.notify_all();
+        MutexLock lock(done_mu);
+        if (--outstanding == 0) done_cv.NotifyAll();
       });
     }
     run_shards();
-    std::unique_lock<std::mutex> lock(done_mu);
-    done_cv.wait(lock, [&]() { return outstanding == 0; });
+    MutexLock lock(done_mu);
+    while (outstanding != 0) done_cv.Wait(lock);
     aggregate.scatter_threads = static_cast<uint32_t>(workers);
   };
 

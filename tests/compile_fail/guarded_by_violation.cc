@@ -1,0 +1,36 @@
+// Negative-compile test (clang only): writing a PRJ_GUARDED_BY member
+// without holding its mutex must be rejected by the Thread Safety
+// Analysis. If this file ever compiles under clang, the annotation
+// plumbing (common/thread_annotations.h + the prj::Mutex capability
+// wrappers) has come apart and none of the lock contracts in src/ are
+// being checked.
+//
+// Expected diagnostic (matched by the CTest harness):
+//   "writing variable 'value_' requires holding mutex 'mu_'"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  // BUG (deliberate): touches value_ with mu_ not held.
+  void Increment() { ++value_; }
+
+  int Read() {
+    prj::MutexLock lock(mu_);
+    return value_;
+  }
+
+ private:
+  prj::Mutex mu_;
+  int value_ PRJ_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.Increment();
+  return counter.Read();
+}

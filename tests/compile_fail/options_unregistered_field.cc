@@ -1,0 +1,30 @@
+// Negative-compile test: a ProxRJOptions-shaped struct with a field that
+// has no PRJ_OPTION_FIELDS row must fail OptionsFieldsAllRegistered.
+//
+// This models exactly the bug the registry exists to prevent -- adding an
+// option field without deciding whether it participates in the canonical
+// request key. If this file ever compiles, the registry's static_assert
+// has lost its teeth and CachedEngine could serve stale hits for requests
+// differing in the unregistered field.
+//
+// Expected diagnostic (matched by the CTest harness):
+//   "not registered in PRJ_OPTION_FIELDS"
+#include "core/executor.h"
+
+namespace prj {
+
+struct RogueOptions {
+  PRJ_OPTION_FIELDS(PRJ_OPTION_DECLARE_FIELD)
+
+  /// Deliberately NOT in the registry: the field the checker must catch.
+  int rogue_knob = 0;
+};
+
+static_assert(
+    OptionsFieldsAllRegistered<RogueOptions>(),
+    "RogueOptions field is not registered in PRJ_OPTION_FIELDS: classify "
+    "it KEY or EXEMPT");
+
+}  // namespace prj
+
+int main() { return 0; }

@@ -581,6 +581,101 @@ TEST(CachedCursorTest, ConcurrentOpensShareOneEnumeration) {
   EXPECT_EQ(cached.cursor_cache().size(), 1u);
 }
 
+/// QueryEngine decorator counting the OpenCursor calls that reach the
+/// inner engine: the handoff test's whole point is that a herd of views
+/// shares ONE underlying enumeration.
+class CountingCursorEngine : public QueryEngine {
+ public:
+  explicit CountingCursorEngine(const QueryEngine* inner) : inner_(inner) {}
+
+  Result<std::vector<ResultCombination>> TopK(
+      const Vec& query, const ProxRJOptions& options,
+      ExecStats* stats_out = nullptr) const override {
+    return inner_->TopK(query, options, stats_out);
+  }
+  Result<std::unique_ptr<ResultCursor>> OpenCursor(
+      const QueryRequest& request) const override {
+    open_cursors_.fetch_add(1, std::memory_order_relaxed);
+    return inner_->OpenCursor(request);
+  }
+  AccessKind kind() const override { return inner_->kind(); }
+  int dim() const override { return inner_->dim(); }
+  size_t num_relations() const override { return inner_->num_relations(); }
+
+  uint64_t open_cursors() const {
+    return open_cursors_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  const QueryEngine* inner_;
+  mutable std::atomic<uint64_t> open_cursors_{0};
+};
+
+TEST(CursorCacheHandoffTest, LeaderWaiterHandoffStaysExactAndExecutesOnce) {
+  // Regression for the trickiest annotated invariant of the cursor cache
+  // (cache/cursor_cache.cc, CursorCacheEntry): prefix / finished / failed
+  // may only change under the entry mutex, and every pull hands the
+  // leader role to whichever view is past the shared prefix while the
+  // rest replay it. A broken handoff shows up as a torn prefix (wrong
+  // results), a second execution (inner OpenCursor count > 1), or a data
+  // race on the CI TSan leg (suite name matches the Cursor regex).
+  const auto rels = MakeRelations(2, 40, /*seed=*/61);
+  const SumLogEuclideanScoring scoring(1.0, 1.0, 1.0);
+  auto engine = Engine::Create(rels, AccessKind::kDistance, &scoring);
+  ASSERT_TRUE(engine.ok());
+  CountingCursorEngine counting(&*engine);
+  CachedEngine cached(&counting);
+  const QueryRequest req = MakeRequest(0.2, 0.15, 12, kTBPA);
+  auto expected = engine->TopK(req.query, req.options);
+  ASSERT_TRUE(expected.ok());
+  ASSERT_EQ(expected->size(), 12u);
+
+  // Seed the cache with a 3-result prefix so every racing view starts in
+  // replay and crosses into resume -- the handoff's hard case.
+  {
+    auto warm = cached.OpenCursor(req);
+    ASSERT_TRUE(warm.ok());
+    auto prefix = (*warm)->NextBatch(3);
+    ASSERT_TRUE(prefix.ok());
+    ASSERT_EQ(prefix->size(), 3u);
+  }
+
+  constexpr int kThreads = 8;
+  constexpr int kWant = 12;
+  std::vector<std::vector<ResultCombination>> got(kThreads);
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      auto cursor = cached.OpenCursor(req);
+      if (!cursor.ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      // Single-result pulls: each one is a fresh leader/waiter handoff on
+      // the shared entry, interleaving replays with extensions.
+      for (int i = 0; i < kWant; ++i) {
+        auto next = (*cursor)->Next();
+        if (!next.ok() || !next->has_value()) {
+          failures.fetch_add(1);
+          return;
+        }
+        got[t].push_back(**next);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  for (int t = 0; t < kThreads; ++t) {
+    ExpectBitIdentical(got[t], *expected, "view " + std::to_string(t));
+  }
+  // One execution total: the warm-up opened the only inner cursor; every
+  // racing view replayed or resumed it.
+  EXPECT_EQ(counting.open_cursors(), 1u);
+  EXPECT_EQ(cached.cursor_cache().size(), 1u);
+}
+
 // -------------------------- stampede guard ----------------------------- //
 
 /// QueryEngine decorator that counts TopK executions reaching the inner
